@@ -1,0 +1,97 @@
+// E2 — Noise makers compared on "performance overhead" (Section 2.2: "Two
+// noise makers can be compared to each other with regard to the performance
+// overhead and the likelihood of uncovering bugs"; E1 covers the latter).
+//
+// google-benchmark micro-harness: one fixed, race-free workload (so noise
+// changes nothing semantically) per heuristic, controlled and native.
+#include <benchmark/benchmark.h>
+
+#include "noise/noise.hpp"
+#include "rt/harness.hpp"
+#include "rt/primitives.hpp"
+
+using namespace mtt;
+
+namespace {
+
+void workload(rt::Runtime& rt) {
+  rt::SharedVar<int> counter(rt, "counter", 0);
+  rt::Mutex m(rt, "m");
+  auto inc = [&] {
+    for (int i = 0; i < 50; ++i) {
+      rt::LockGuard g(m);
+      counter.write(counter.read() + 1);
+    }
+  };
+  rt::Thread a(rt, "a", inc), b(rt, "b", inc);
+  a.join();
+  b.join();
+}
+
+void runControlled(benchmark::State& state, const std::string& heuristic) {
+  std::uint64_t seed = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    rt::ControlledRuntime rt;
+    noise::NoiseOptions no;
+    no.strength = 0.25;
+    auto nm = noise::makeNoise(heuristic, rt, no);
+    rt.hooks().add(nm.get());
+    rt::RunOptions o;
+    o.seed = seed++;
+    rt::RunResult r = rt.run(workload, o);
+    events += r.events;
+    benchmark::DoNotOptimize(r.status);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void runNative(benchmark::State& state, const std::string& heuristic) {
+  std::uint64_t seed = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    rt::NativeRuntime rt;
+    noise::NoiseOptions no;
+    no.strength = 0.25;
+    no.maxSleepNative = 200;
+    auto nm = noise::makeNoise(heuristic, rt, no);
+    rt.hooks().add(nm.get());
+    rt::RunOptions o;
+    o.seed = seed++;
+    rt::RunResult r = rt.run(workload, o);
+    events += r.events;
+    benchmark::DoNotOptimize(r.status);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void BM_Controlled_none(benchmark::State& s) { runControlled(s, "none"); }
+void BM_Controlled_yield(benchmark::State& s) { runControlled(s, "yield"); }
+void BM_Controlled_sleep(benchmark::State& s) { runControlled(s, "sleep"); }
+void BM_Controlled_mixed(benchmark::State& s) { runControlled(s, "mixed"); }
+void BM_Controlled_covdir(benchmark::State& s) {
+  runControlled(s, "coverage-directed");
+}
+void BM_Native_none(benchmark::State& s) { runNative(s, "none"); }
+void BM_Native_yield(benchmark::State& s) { runNative(s, "yield"); }
+void BM_Native_sleep(benchmark::State& s) { runNative(s, "sleep"); }
+void BM_Native_mixed(benchmark::State& s) { runNative(s, "mixed"); }
+
+// Fixed iteration counts: runs involve real thread creation (and, for the
+// native sleep heuristics, real delays), so auto-tuned iteration counts
+// would make the harness needlessly slow without improving the comparison.
+BENCHMARK(BM_Controlled_none)->Unit(benchmark::kMicrosecond)->Iterations(200);
+BENCHMARK(BM_Controlled_yield)->Unit(benchmark::kMicrosecond)->Iterations(200);
+BENCHMARK(BM_Controlled_sleep)->Unit(benchmark::kMicrosecond)->Iterations(200);
+BENCHMARK(BM_Controlled_mixed)->Unit(benchmark::kMicrosecond)->Iterations(200);
+BENCHMARK(BM_Controlled_covdir)->Unit(benchmark::kMicrosecond)->Iterations(200);
+BENCHMARK(BM_Native_none)->Unit(benchmark::kMicrosecond)->Iterations(60);
+BENCHMARK(BM_Native_yield)->Unit(benchmark::kMicrosecond)->Iterations(60);
+BENCHMARK(BM_Native_sleep)->Unit(benchmark::kMicrosecond)->Iterations(60);
+BENCHMARK(BM_Native_mixed)->Unit(benchmark::kMicrosecond)->Iterations(60);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,185 @@
+// F1 — Figure 1 of the paper, executed: every depicted information flow
+// between the technologies runs in one composed pipeline, and each edge is
+// verified programmatically.
+//
+//   static analysis ──▶ instrumentation filtering, noise targeting,
+//                        coverage feasibility
+//   instrumentation ──▶ noise, race detection, replay, coverage (enabling)
+//   dynamic run     ──▶ annotated trace ──▶ off-line race detection,
+//                        lock-graph deadlock detection (trace evaluation)
+//   replay          ──▶ deterministic re-execution of a found failure
+//   cloning         ──▶ composes with noise/coverage with no integration
+#include <cstdio>
+
+#include "cloning/cloning.hpp"
+#include "core/table.hpp"
+#include "coverage/coverage.hpp"
+#include "deadlock/lockgraph.hpp"
+#include "model/checker.hpp"
+#include "model/static.hpp"
+#include "noise/noise.hpp"
+#include "race/detectors.hpp"
+#include "replay/replay.hpp"
+#include "rt/harness.hpp"
+#include "suite/program.hpp"
+#include "trace/trace.hpp"
+
+using namespace mtt;
+
+int main() {
+  suite::registerBuiltins();
+  TextTable t("F1: Figure-1 information flows, executed and checked");
+  t.header({"edge", "evidence", "ok"});
+  auto row = [&](const std::string& edge, const std::string& evidence,
+                 bool ok) {
+    t.row({edge, evidence, ok ? "yes" : "NO"});
+  };
+
+  // --- static analysis on the account model -------------------------------
+  auto program = suite::makeProgram("account");
+  const model::Program* ir = program->irModel();
+  model::EscapeResult esc = model::escapeAnalysis(*ir);
+  auto staticRaces = model::staticLockset(*ir);
+  row("static analysis -> bug finding",
+      std::to_string(staticRaces.size()) + " static race warning(s)",
+      !staticRaces.empty());
+
+  model::CheckOptions mco;
+  mco.mode = model::SearchMode::StatefulDfs;
+  model::CheckResult mcr = model::check(*ir, mco);
+  row("formal verification -> bug finding",
+      "model checker: " + std::to_string(mcr.assertViolations) +
+          " violating terminal states",
+      mcr.foundBug());
+
+  // --- one composed dynamic run -------------------------------------------
+  rt::RecordingPolicy recorder(std::make_unique<rt::RandomPolicy>());
+  rt::ControlledRuntime rt(std::make_unique<rt::PolicyRef>(recorder));
+
+  // static -> instrumentor: filter thread-local variable events.
+  rt.setEventFilter(model::makeSharedVarEventFilter(rt, esc.sharedVarNames));
+  // static -> noise: perturb only the shared variables.
+  noise::NoiseOptions no;
+  no.strength = 0.4;
+  noise::TargetedNoise noiseMaker(rt, esc.sharedVarNames, no);
+  // instrumentation -> all dynamic tools.
+  race::FastTrackDetector raceDet;
+  race::EraserDetector eraserDet;
+  deadlock::LockGraphDetector lockGraph;
+  coverage::VarContentionCoverage contention(
+      [&rt](ObjectId id) { return rt.objectInfo(id).name; });
+  contention.declareTasks(model::contentionTaskUniverse(*ir));
+  trace::TraceRecorder traceRec(rt);
+  rt.hooks().add(&raceDet);
+  rt.hooks().add(&eraserDet);
+  rt.hooks().add(&lockGraph);
+  rt.hooks().add(&contention);
+  rt.hooks().add(&traceRec);
+  rt.hooks().add(&noiseMaker);  // noise last: tools see the event first
+
+  rt::RunResult r;
+  std::uint64_t usedSeed = 0;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    program->reset();
+    rt::RunOptions o = program->defaultRunOptions();
+    o.seed = s;
+    r = rt.run([&](rt::Runtime& rr) { program->body(rr); }, o);
+    usedSeed = s;
+    if (program->evaluate(r) == suite::Verdict::BugManifested) break;
+  }
+  bool manifested =
+      program->evaluate(r) == suite::Verdict::BugManifested;
+  row("static -> noise (targeting)",
+      std::to_string(noiseMaker.injections()) + " targeted injections",
+      noiseMaker.injections() > 0);
+  row("noise -> test failure",
+      "bug manifested at seed " + std::to_string(usedSeed), manifested);
+  row("instrumentation -> on-line race detection",
+      std::to_string(raceDet.warningCount()) + " fasttrack warning(s)",
+      raceDet.foundAnnotatedBug());
+  row("static -> coverage (feasible tasks)",
+      std::to_string(contention.coveredCount()) + "/" +
+          std::to_string(contention.taskCount()) + " feasible tasks covered",
+      contention.taskCount() == esc.sharedVarNames.size());
+
+  // --- trace evaluation (off-line) ----------------------------------------
+  trace::Trace tr = traceRec.takeTrace();
+  race::DjitDetector offline;
+  trace::feed(tr, offline);
+  row("instrumentation -> trace -> off-line race detection",
+      std::to_string(offline.warningCount()) + " warning(s) from the trace",
+      offline.warningCount() == 0 ? false : true);
+
+  auto deadlockProgram = suite::makeProgram("lock_order_inversion");
+  trace::Trace dtr;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    deadlockProgram->reset();
+    rt::ControlledRuntime drt;
+    trace::TraceRecorder drec(drt);
+    drt.hooks().add(&drec);
+    rt::RunOptions o;
+    o.seed = s;
+    rt::RunResult dres =
+        drt.run([&](rt::Runtime& rr) { deadlockProgram->body(rr); }, o);
+    if (dres.ok()) {
+      dtr = drec.takeTrace();
+      break;
+    }
+  }
+  deadlock::LockGraphDetector offlineLock;
+  trace::feed(dtr, offlineLock);
+  row("trace -> deadlock-potential analysis",
+      std::to_string(offlineLock.warnings().size()) +
+          " lock cycle(s) from a non-deadlocking trace",
+      offlineLock.foundPotentialDeadlock());
+
+  // --- replay ---------------------------------------------------------------
+  bool replayed = false;
+  if (manifested) {
+    program->reset();
+    rt::ReplayPolicy rep(recorder.schedule());
+    rt::ControlledRuntime rrt(std::make_unique<rt::PolicyRef>(rep));
+    noise::TargetedNoise nm2(rrt, esc.sharedVarNames, no);
+    rrt.setEventFilter(
+        model::makeSharedVarEventFilter(rrt, esc.sharedVarNames));
+    rrt.hooks().add(&nm2);
+    rt::RunOptions o = program->defaultRunOptions();
+    o.seed = usedSeed;
+    rt::RunResult r2 =
+        rrt.run([&](rt::Runtime& rr) { program->body(rr); }, o);
+    replayed = !rep.diverged() &&
+               program->evaluate(r2) == suite::Verdict::BugManifested;
+  }
+  row("replay -> deterministic failure reproduction",
+      replayed ? "recorded schedule reproduces the failure" : "-", replayed);
+
+  // --- cloning composes orthogonally ---------------------------------------
+  {
+    rt::ControlledRuntime crt;
+    auto counter =
+        std::make_shared<rt::SharedVar<int>>(crt, "cloned.counter", 0);
+    noise::MixedNoise cnoise(crt, no);
+    coverage::SwitchPairCoverage ccov;
+    crt.hooks().add(&cnoise);
+    crt.hooks().add(&ccov);
+    cloning::CloneSpec spec;
+    spec.name = "inc";
+    spec.clones = 4;
+    spec.body = [counter](rt::Runtime&, int) {
+      counter->write(counter->read() + 1);
+    };
+    spec.check = [counter](int) { return true; };
+    cloning::CloneResult cr = cloning::runCloned(crt, spec);
+    row("cloning + noise + coverage (dashed box)",
+        "cloned run ok; " + std::to_string(ccov.coveredCount()) +
+            " switch pairs covered under noise",
+        cr.run.ok());
+  }
+
+  t.print();
+  std::printf(
+      "\nEvery edge of the paper's Figure 1 executed in-process through the\n"
+      "one shared hook API — the mix-and-match composition the framework\n"
+      "exists to enable.\n");
+  return 0;
+}

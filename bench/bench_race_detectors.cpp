@@ -1,0 +1,139 @@
+// E3 — Race detectors compared on detection rate, false alarms, and
+// throughput, evaluated on the annotated trace repository (Section 4:
+// "race detection algorithms may be evaluated using the traces without any
+// work on the programs themselves").
+//
+// Setup: generate 25 annotated traces per program (mixed noise, random
+// scheduler, so racy interleavings are represented), then feed every trace
+// to each detector offline.  Ground truth = the BugMark annotations.
+#include <cstdio>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "noise/noise.hpp"
+#include "race/detectors.hpp"
+#include "rt/harness.hpp"
+#include "suite/program.hpp"
+#include "trace/trace.hpp"
+
+using namespace mtt;
+
+namespace {
+
+struct ProgramTraces {
+  std::string name;
+  bool buggyRaceProgram;  // annotated race/atomicity bug
+  std::vector<trace::Trace> traces;
+};
+
+std::vector<ProgramTraces> generateRepository() {
+  // Race-family bugs plus controls; deadlock-family programs are excluded
+  // (their annotated bugs are not data races, so they would skew recall).
+  const std::vector<std::pair<std::string, bool>> programs = {
+      {"account", true},          {"read_modify_write", true},
+      {"check_then_act", true},   {"double_checked_lock", true},
+      {"bank_transfer", true},    {"work_queue", true},
+      {"order_violation", true},  {"account_sync", false},
+      {"producer_consumer_sem", false},
+      {"stat_counter_sharded", false},
+      {"work_queue_ok", false},
+  };
+  std::vector<ProgramTraces> out;
+  for (const auto& [name, buggy] : programs) {
+    ProgramTraces pt;
+    pt.name = name;
+    pt.buggyRaceProgram = buggy;
+    auto program = suite::makeProgram(name);
+    for (std::uint64_t s = 0; s < 25; ++s) {
+      program->reset();
+      rt::ControlledRuntime rt;
+      trace::TraceRecorder rec(rt);
+      noise::NoiseOptions no;
+      no.strength = 0.2;
+      noise::MixedNoise nm(rt, no);
+      rt.hooks().add(&rec);
+      rt.hooks().add(&nm);
+      rt::RunOptions o = program->defaultRunOptions();
+      o.seed = s;
+      o.programName = name;
+      rt.run([&](rt::Runtime& rr) { program->body(rr); }, o);
+      pt.traces.push_back(rec.takeTrace());
+    }
+    out.push_back(std::move(pt));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  suite::registerBuiltins();
+  std::printf("E3: race detectors on the annotated trace repository\n");
+  auto repo = generateRepository();
+  std::size_t totalTraces = 0, totalEvents = 0;
+  for (const auto& pt : repo) {
+    totalTraces += pt.traces.size();
+    for (const auto& t : pt.traces) totalEvents += t.events.size();
+  }
+  std::printf("(%zu traces, %zu events total)\n\n", totalTraces, totalEvents);
+
+  TextTable summary("E3 / detector summary over the repository");
+  summary.header({"detector", "recall (buggy traces hit)", "false alarms",
+                  "true alarms", "false-rate", "events/sec"});
+
+  for (const auto& name : race::detectorNames()) {
+    Proportion recall;
+    std::size_t trueAlarms = 0, falseAlarms = 0;
+    Stopwatch sw;
+    std::uint64_t fed = 0;
+    for (const auto& pt : repo) {
+      for (const auto& t : pt.traces) {
+        auto det = race::makeDetector(name);
+        trace::feed(t, *det);
+        fed += t.events.size();
+        if (pt.buggyRaceProgram) recall.add(det->foundAnnotatedBug());
+        trueAlarms += det->trueAlarms();
+        falseAlarms += det->falseAlarms();
+      }
+    }
+    double secs = sw.elapsedSeconds();
+    double rate = secs > 0 ? static_cast<double>(fed) / secs : 0.0;
+    double falseRate =
+        trueAlarms + falseAlarms
+            ? 100.0 * static_cast<double>(falseAlarms) /
+                  static_cast<double>(trueAlarms + falseAlarms)
+            : 0.0;
+    summary.row({name, TextTable::frac(recall.successes, recall.trials),
+                 std::to_string(falseAlarms), std::to_string(trueAlarms),
+                 TextTable::num(falseRate, 1) + "%",
+                 TextTable::num(rate / 1e6, 2) + "M"});
+  }
+  summary.print();
+
+  // Per-program detail: where do the false alarms come from?
+  TextTable detail("E3 / false alarms by control program");
+  detail.header({"program", "eraser", "djit", "fasttrack", "hybrid"});
+  for (const auto& pt : repo) {
+    if (pt.buggyRaceProgram) continue;
+    std::vector<std::string> row = {pt.name};
+    for (const auto& name : race::detectorNames()) {
+      std::size_t alarms = 0;
+      for (const auto& t : pt.traces) {
+        auto det = race::makeDetector(name);
+        trace::feed(t, *det);
+        alarms += det->warningCount();
+      }
+      row.push_back(std::to_string(alarms));
+    }
+    detail.row(std::move(row));
+  }
+  detail.print();
+
+  std::printf(
+      "\nExpected shape (paper Section 2.2): lockset (eraser) has the best\n"
+      "schedule-insensitivity but 'produces too many false alarms' — all of\n"
+      "them on the fork/join- and semaphore-synchronized controls; the\n"
+      "happens-before family is precise; fasttrack matches djit at higher\n"
+      "throughput; the hybrid keeps lockset coverage with HB confirmation.\n");
+  return 0;
+}

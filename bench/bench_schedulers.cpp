@@ -1,0 +1,82 @@
+// E1b — ablations around the noise question (Section 2.2: "The first
+// [research question] is to find noise making heuristics with a higher
+// likelihood of uncovering bugs"):
+//
+//   (a) base schedulers compared WITHOUT noise — round-robin (deterministic
+//       unit testing), uniform random, and PCT-style priority scheduling —
+//       showing that adversarial scheduling subsumes noise when you control
+//       the scheduler, while noise is the only lever when you don't;
+//   (b) noise strength swept from 0.05 to 0.8 — the dose-response curve a
+//       tool author tunes against (too little noise finds nothing; past the
+//       knee, extra noise only costs time).
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "experiment/experiment.hpp"
+#include "suite/program.hpp"
+
+using namespace mtt;
+
+int main() {
+  suite::registerBuiltins();
+  std::printf("E1b: scheduler and noise-strength ablations\n\n");
+
+  // --- (a) scheduler comparison, no noise ---------------------------------
+  TextTable sched("E1b / base schedulers without noise (80 runs per cell)");
+  sched.header({"program", "round-robin", "random", "priority (PCT-style)"});
+  for (const auto& prog :
+       {"account", "check_then_act", "work_queue", "philosophers_deadlock",
+        "cache_server"}) {
+    std::vector<std::string> row = {prog};
+    for (const auto& policy : {"rr", "random", "priority"}) {
+      experiment::ExperimentSpec spec;
+      spec.programName = prog;
+      spec.runs = 80;
+      spec.tool.policy = policy;
+      spec.tool.noiseName = "none";
+      auto r = experiment::runExperiment(spec);
+      row.push_back(
+          TextTable::frac(r.manifested.successes, r.manifested.trials));
+    }
+    sched.row(std::move(row));
+  }
+  sched.print();
+
+  // --- (b) noise strength sweep -------------------------------------------
+  std::printf("\n");
+  TextTable sweep(
+      "E1b / mixed-noise strength sweep under round-robin (80 runs)");
+  sweep.header({"program", "0.05", "0.1", "0.2", "0.4", "0.8",
+                "injections@0.8"});
+  for (const auto& prog : {"account", "work_queue", "cache_server"}) {
+    std::vector<std::string> row = {prog};
+    std::uint64_t inj = 0;
+    for (double strength : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+      experiment::ExperimentSpec spec;
+      spec.programName = prog;
+      spec.runs = 80;
+      spec.tool.policy = "rr";
+      spec.tool.noiseName = "mixed";
+      spec.tool.noiseOpts.strength = strength;
+      auto r = experiment::runExperiment(spec);
+      row.push_back(
+          TextTable::frac(r.manifested.successes, r.manifested.trials));
+      inj = r.noiseInjections;
+    }
+    row.push_back(std::to_string(inj));
+    sweep.row(std::move(row));
+  }
+  sweep.print();
+
+  std::printf(
+      "\nExpected shape: round-robin finds nothing on its own; uniform random\n"
+      "finds every bug without a noise maker (when you OWN the scheduler,\n"
+      "adversarial scheduling subsumes noise — noise matters because\n"
+      "production schedulers are not pluggable).  PCT-style priority\n"
+      "scheduling pays for its 1/(n*k^(d-1)) guarantee: with only d change\n"
+      "points per run its hit rate on these tiny programs is window-bound\n"
+      "(~d*w/k for a w-step race window), well below uniform random — its\n"
+      "advantage only materializes on long runs where random switching\n"
+      "dilutes.  The strength sweep rises steeply then flattens at the knee.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// stress_cloning: the industry technique of Section 2.3 — take a sequential
+// "session" test, clone it k times, and watch the failure rate climb under a
+// preemptive scheduler; then compose cloning with a noise maker, which makes
+// even the deterministic unit-test scheduler find the bug ("value in using
+// the techniques at the same time; however, no integration is needed").
+#include <cstdio>
+#include <memory>
+
+#include "cloning/cloning.hpp"
+#include "core/table.hpp"
+#include "noise/noise.hpp"
+#include "rt/primitives.hpp"
+
+using namespace mtt;
+
+namespace {
+
+// The "server": a session registry with a check-then-act slot allocator —
+// correct when one client uses it, racy under concurrent sessions.
+struct SessionServer {
+  rt::SharedArray<int> owner;      // slot -> owning clone (+1), 0 = free
+  rt::SharedVar<int> activeCount;  // unsynchronized bookkeeping
+
+  SessionServer(rt::Runtime& rt, int slots)
+      : owner(rt, "session.owner", static_cast<std::size_t>(slots), 0),
+        activeCount(rt, "session.active", 0) {}
+
+  void runSession(int clone) {
+    // Find a free slot (check)...
+    for (std::size_t s = 0; s < owner.size(); ++s) {
+      if (owner.read(s, site("session.check")) == 0) {
+        // ...then claim it (act).  Two clones can claim the same slot.
+        owner.write(s, clone + 1, site("session.claim"));
+        break;
+      }
+    }
+    activeCount.write(activeCount.read(site("session.count.r")) + 1,
+                      site("session.count.w"));
+  }
+};
+
+cloning::CloneResult runOnce(int clones, std::uint64_t seed, bool preemptive,
+                             bool withNoise) {
+  auto policy = preemptive
+                    ? std::unique_ptr<rt::SchedulePolicy>(
+                          std::make_unique<rt::RandomPolicy>())
+                    : std::unique_ptr<rt::SchedulePolicy>(
+                          std::make_unique<rt::RoundRobinPolicy>());
+  rt::ControlledRuntime rt(std::move(policy));
+  auto server = std::make_shared<SessionServer>(rt, clones);
+  noise::NoiseOptions no;
+  no.strength = 0.3;
+  noise::MixedNoise noiseMaker(rt, no);
+  if (withNoise) rt.hooks().add(&noiseMaker);
+
+  cloning::CloneSpec spec;
+  spec.name = "session";
+  spec.clones = clones;
+  spec.body = [server](rt::Runtime&, int idx) { server->runSession(idx); };
+  spec.check = [server, clones](int idx) {
+    // Clone idx passed if it owns exactly one slot and the global count is
+    // consistent — "the expected results of each clone need to be
+    // interpreted".
+    int owned = 0;
+    for (std::size_t s = 0; s < server->owner.size(); ++s) {
+      if (server->owner.plainGet(s) == idx + 1) ++owned;
+    }
+    return owned == 1 && server->activeCount.plainGet() == clones;
+  };
+  rt::RunOptions o;
+  o.seed = seed;
+  return cloning::runCloned(rt, spec, o);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t runs = 60;
+  TextTable table("Cloned load test: session allocator failure rate");
+  table.header(
+      {"clones", "scheduler", "noise", "failed runs", "failed clones(avg)"});
+  for (int clones : {1, 2, 4, 8}) {
+    for (bool preemptive : {false, true}) {
+      for (bool noise : {false, true}) {
+        Proportion failedRuns;
+        double failedClones = 0;
+        for (std::size_t i = 0; i < runs; ++i) {
+          auto r = runOnce(clones, i, preemptive, noise);
+          failedRuns.add(!r.allPassed);
+          failedClones += static_cast<double>(r.failedClones);
+        }
+        table.row({std::to_string(clones),
+                   preemptive ? "preemptive" : "deterministic",
+                   noise ? "mixed" : "none",
+                   TextTable::frac(failedRuns.successes, failedRuns.trials),
+                   TextTable::num(
+                       failedClones / static_cast<double>(runs), 2)});
+      }
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading the table:\n"
+      " * one clone never fails — a sequential test cannot race with "
+      "itself;\n"
+      " * under the deterministic scheduler, cloning alone finds nothing\n"
+      "   (clones run back to back) — adding noise exposes the races;\n"
+      " * under a preemptive scheduler, \"contentions are almost "
+      "guaranteed\"\n"
+      "   and the failure rate climbs with the clone count.\n");
+  return 0;
+}

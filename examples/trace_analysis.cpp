@@ -1,0 +1,77 @@
+// trace_analysis: the trace-repository workflow of benchmark component 1 —
+// generate annotated traces from the program repository, store them, then
+// evaluate offline tools (race + potential-deadlock detection) on the trace
+// files alone, "without any work on the programs themselves".
+#include <cstdio>
+#include <filesystem>
+
+#include "core/table.hpp"
+#include "deadlock/lockgraph.hpp"
+#include "race/detectors.hpp"
+#include "rt/harness.hpp"
+#include "suite/program.hpp"
+#include "trace/trace.hpp"
+
+using namespace mtt;
+
+int main() {
+  suite::registerBuiltins();
+  std::filesystem::path dir = "/tmp/mtt_traces";
+  std::filesystem::create_directories(dir);
+
+  // --- generate the repository: programs x seeds --------------------------
+  const std::vector<std::string> programs = {
+      "account", "producer_consumer_sem", "lock_order_inversion",
+      "work_queue"};
+  const int seedsPerProgram = 5;
+  std::vector<std::string> files;
+  for (const auto& name : programs) {
+    auto program = suite::makeProgram(name);
+    for (int s = 0; s < seedsPerProgram; ++s) {
+      program->reset();
+      auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+      trace::TraceRecorder rec(*rt);
+      rt->hooks().add(&rec);
+      rt::RunOptions o = program->defaultRunOptions();
+      o.seed = static_cast<std::uint64_t>(s);
+      o.programName = name;
+      rt->run([&](rt::Runtime& rr) { program->body(rr); }, o);
+      std::string path =
+          (dir / (name + "." + std::to_string(s) + ".trace")).string();
+      trace::writeTextFile(rec.trace(), path);
+      files.push_back(path);
+    }
+  }
+  std::printf("Generated %zu annotated traces under %s\n\n", files.size(),
+              dir.c_str());
+
+  // --- offline evaluation over the stored traces --------------------------
+  TextTable table("Offline analysis of the trace repository");
+  table.header({"trace", "events", "shared-vars", "eraser", "fasttrack",
+                "lock-cycles", "bug-annotated?"});
+  for (const auto& path : files) {
+    trace::Trace t = trace::readTextFile(path);
+    race::EraserDetector eraser;
+    race::FastTrackDetector fasttrack;
+    deadlock::LockGraphDetector lockGraph;
+    trace::feed(t, {&eraser, &fasttrack, &lockGraph});
+    bool annotated = false;
+    for (const auto& e : t.events) {
+      annotated = annotated || e.bugSite == BugMark::Yes;
+    }
+    table.row({std::filesystem::path(path).filename().string(),
+               std::to_string(t.events.size()),
+               std::to_string(t.sharedVariables().size()),
+               std::to_string(eraser.warningCount()),
+               std::to_string(fasttrack.warningCount()),
+               std::to_string(lockGraph.warnings().size()),
+               annotated ? "yes" : "no"});
+  }
+  table.print();
+
+  std::printf(
+      "\nNote the producer_consumer_sem rows: eraser warns (false alarms on\n"
+      "semaphore synchronization), fasttrack stays silent — the precision\n"
+      "gap the benchmark is designed to measure.\n");
+  return 0;
+}

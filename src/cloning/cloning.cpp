@@ -1,0 +1,44 @@
+#include "cloning/cloning.hpp"
+
+#include "rt/primitives.hpp"
+
+namespace mtt::cloning {
+
+CloneResult runCloned(rt::Runtime& rt, const CloneSpec& spec,
+                      const rt::RunOptions& opts) {
+  CloneResult result;
+  rt::RunOptions ro = opts;
+  if (ro.programName.empty()) ro.programName = "cloned:" + spec.name;
+  result.run = rt.run(
+      [&](rt::Runtime& rr) {
+        std::vector<rt::Thread> clones;
+        clones.reserve(static_cast<std::size_t>(spec.clones));
+        for (int i = 0; i < spec.clones; ++i) {
+          clones.emplace_back(rr, spec.name + ".clone" + std::to_string(i),
+                              [&, i] { spec.body(rr, i); });
+        }
+        for (auto& c : clones) c.join();
+      },
+      ro);
+  result.clonePassed.resize(static_cast<std::size_t>(spec.clones), false);
+  for (int i = 0; i < spec.clones; ++i) {
+    bool ok = result.run.ok() && (!spec.check || spec.check(i));
+    result.clonePassed[static_cast<std::size_t>(i)] = ok;
+    if (!ok) ++result.failedClones;
+  }
+  result.allPassed = result.run.ok() && result.failedClones == 0;
+  return result;
+}
+
+CloneComparison compareCloning(
+    const std::function<CloneResult(int clones, std::uint64_t seed)>& makeRun,
+    int clones, std::size_t runs, std::uint64_t seedBase) {
+  CloneComparison cmp;
+  for (std::size_t i = 0; i < runs; ++i) {
+    cmp.sequentialFail.add(!makeRun(1, seedBase + i).allPassed);
+    cmp.clonedFail.add(!makeRun(clones, seedBase + i).allPassed);
+  }
+  return cmp;
+}
+
+}  // namespace mtt::cloning

@@ -1,0 +1,59 @@
+// Cloning / load testing — Section 2.3 of the paper:
+//
+//   "The idea, used in common commercial tools [...] is to take sequential
+//    tests and clone them many times.  [...] Because the same test is cloned
+//    many times, contentions are almost guaranteed.  [...] the expected
+//    results of each clone need to be interpreted [...] Many times, changes
+//    that distinguish between the clones are necessary."
+//
+// runCloned spawns k managed threads, each executing the (per-clone
+// parameterized) test body, and interprets each clone's expected result via
+// a per-clone oracle — the black-box technique, composable with noise and
+// coverage simply by registering those listeners on the same runtime
+// (Figure 1's dashed box: "value in using the techniques at the same time;
+// however, no integration is needed").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "rt/harness.hpp"
+
+namespace mtt::cloning {
+
+struct CloneSpec {
+  std::string name;
+  /// The test body; idx distinguishes the clones ("changes that distinguish
+  /// between the clones"), e.g. each clone uses its own session slot.
+  std::function<void(rt::Runtime&, int idx)> body;
+  /// Per-clone oracle, evaluated after the run completes.
+  std::function<bool(int idx)> check;
+  int clones = 4;
+};
+
+struct CloneResult {
+  rt::RunResult run;
+  std::vector<bool> clonePassed;
+  bool allPassed = false;
+  std::size_t failedClones = 0;
+};
+
+/// Runs spec.clones copies of the body concurrently on the given runtime
+/// (fixtures the body captures must already be registered against it).
+CloneResult runCloned(rt::Runtime& rt, const CloneSpec& spec,
+                      const rt::RunOptions& opts = {});
+
+/// The comparison the technique motivates: failure probability with 1 clone
+/// (sequential test) vs k clones, over `runs` seeded runs.  `makeRun` builds
+/// a fresh runtime + spec for each run (fixtures must be per-run).
+struct CloneComparison {
+  Proportion sequentialFail;  ///< 1 clone
+  Proportion clonedFail;      ///< k clones
+};
+CloneComparison compareCloning(
+    const std::function<CloneResult(int clones, std::uint64_t seed)>& makeRun,
+    int clones, std::size_t runs, std::uint64_t seedBase = 0);
+
+}  // namespace mtt::cloning

@@ -1,0 +1,83 @@
+#include "core/event.hpp"
+
+#include <array>
+
+namespace mtt {
+
+namespace {
+
+constexpr std::size_t kKindCount = static_cast<std::size_t>(EventKind::kCount);
+
+constexpr std::array<std::string_view, kKindCount> kKindNames = {
+    "ThreadStart",    "ThreadFinish",    "ThreadSpawn",  "ThreadJoin",
+    "MutexLock",      "MutexUnlock",     "MutexTryLockOk",
+    "MutexTryLockFail",
+    "CondWaitBegin",  "CondWaitEnd",     "CondSignal",   "CondBroadcast",
+    "SemAcquire",     "SemRelease",      "BarrierEnter", "BarrierExit",
+    "RwLockRead",     "RwLockWrite",     "RwUnlockRead", "RwUnlockWrite",
+    "VarRead",        "VarWrite",        "Yield",
+};
+
+}  // namespace
+
+AbstractType abstract_type_of(EventKind k) {
+  switch (k) {
+    case EventKind::VarRead:
+    case EventKind::VarWrite:
+      return AbstractType::Variable;
+    case EventKind::ThreadStart:
+    case EventKind::ThreadFinish:
+    case EventKind::ThreadSpawn:
+    case EventKind::ThreadJoin:
+    case EventKind::Yield:
+      return AbstractType::Control;
+    default:
+      return AbstractType::Sync;
+  }
+}
+
+Access access_of(EventKind k) {
+  switch (k) {
+    case EventKind::VarRead:
+      return Access::Read;
+    case EventKind::VarWrite:
+      return Access::Write;
+    default:
+      return Access::None;
+  }
+}
+
+bool is_sync_kind(EventKind k) {
+  return abstract_type_of(k) == AbstractType::Sync;
+}
+
+std::string_view to_string(EventKind k) {
+  auto i = static_cast<std::size_t>(k);
+  return i < kKindCount ? kKindNames[i] : std::string_view("?");
+}
+
+bool event_kind_from_string(std::string_view name, EventKind& out) {
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    if (kKindNames[i] == name) {
+      out = static_cast<EventKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string describe(const Event& e) {
+  std::string out = "#" + std::to_string(e.seq);
+  out += " T" + std::to_string(e.thread);
+  out += ' ';
+  out += to_string(e.kind);
+  if (e.object != kNoObject) out += " obj=" + std::to_string(e.object);
+  if (e.syncSite != kNoSite) {
+    out += " @";
+    out += SiteRegistry::instance().describe(e.syncSite);
+  }
+  if (e.bugSite == BugMark::Yes) out += " [bug-site]";
+  return out;
+}
+
+}  // namespace mtt

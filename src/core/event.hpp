@@ -1,0 +1,108 @@
+// The event model: one record per instrumentation point execution.
+//
+// This is the open API the paper proposes (Section 3): "assume that an
+// instrumented application is available in which a call is placed in every
+// concurrent location that has information such as the thread name, location,
+// bytecode type, abstract type (variable, control), read/write.  The writer
+// of a race-detection or noise heuristic can then write his algorithm only."
+//
+// Every dynamic tool in this repository (noise makers, race detectors,
+// deadlock detectors, replay recorders, coverage collectors, trace recorders)
+// consumes exactly this Event type, online via mtt::Listener or offline via
+// mtt::trace::TraceReader.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ids.hpp"
+#include "core/site.hpp"
+
+namespace mtt {
+
+/// Kind of operation executed at an instrumentation point.  This is the
+/// "bytecode type" of the paper's record, adapted to the mtt runtime's
+/// visible operations.
+enum class EventKind : std::uint8_t {
+  // Thread lifecycle.
+  ThreadStart,   ///< first event of a managed thread (object = own tid)
+  ThreadFinish,  ///< last event of a managed thread
+  ThreadSpawn,   ///< parent spawned a child (object = child tid)
+  ThreadJoin,    ///< join completed (object = joined tid)
+  // Mutexes.
+  MutexLock,     ///< lock acquired (after any blocking)
+  MutexUnlock,   ///< lock about to be released
+  MutexTryLockOk,    ///< try-lock succeeded
+  MutexTryLockFail,  ///< try-lock failed
+  // Condition variables.
+  CondWaitBegin,  ///< about to release mutex and block
+  CondWaitEnd,    ///< woken and mutex re-acquired
+  CondSignal,
+  CondBroadcast,
+  // Counting semaphores.
+  SemAcquire,  ///< permit obtained (after any blocking)
+  SemRelease,
+  // Barriers.
+  BarrierEnter,  ///< arrived at barrier
+  BarrierExit,   ///< released from barrier (generation completed)
+  // Readers-writer locks.
+  RwLockRead,    ///< shared (read) lock acquired
+  RwLockWrite,   ///< exclusive (write) lock acquired
+  RwUnlockRead,  ///< shared lock about to be released
+  RwUnlockWrite, ///< exclusive lock about to be released
+  // Shared variables.
+  VarRead,
+  VarWrite,
+  // Scheduling noise / explicit yields (control events).
+  Yield,
+  kCount  ///< number of kinds; not a real event
+};
+
+/// The "abstract type" dimension of the paper's record: whether the point
+/// touches a variable, a synchronization object, or thread control.
+enum class AbstractType : std::uint8_t { Variable, Sync, Control };
+
+/// Read/write dimension for variable accesses; None otherwise.
+enum class Access : std::uint8_t { None, Read, Write };
+
+/// Classifies an EventKind into the paper's "abstract type".
+AbstractType abstract_type_of(EventKind k);
+
+/// Access direction implied by the kind (Read/Write for variable events).
+Access access_of(EventKind k);
+
+/// True for kinds that operate on a synchronization object (mutex, condvar,
+/// semaphore, barrier).
+bool is_sync_kind(EventKind k);
+
+/// Short stable name ("MutexLock", "VarRead", ...); used in text traces.
+std::string_view to_string(EventKind k);
+
+/// Parses the short stable name; returns false on unknown names.
+bool event_kind_from_string(std::string_view name, EventKind& out);
+
+/// One instrumentation-point execution.
+///
+/// Field-for-field this is the record of Section 4 of the paper: "information
+/// about the location in the program from which it was called, what was
+/// instrumented, which variable was touched, thread name, if it is a read or
+/// write, and if this location is involved in a bug".
+struct Event {
+  std::uint64_t seq = 0;   ///< global sequence number within the run
+  ThreadId thread = kNoThread;
+  EventKind kind = EventKind::Yield;
+  ObjectId object = kNoObject;  ///< variable / sync object / peer thread id
+  SiteId syncSite = kNoSite;    ///< site of the operation in the program text
+  Access access = Access::None;
+  BugMark bugSite = BugMark::No;  ///< is this site involved in a documented bug
+  /// For sync objects: extra payload (e.g. semaphore permits released,
+  /// barrier generation).  Zero otherwise.
+  std::uint32_t arg = 0;
+
+  AbstractType abstractType() const { return abstract_type_of(kind); }
+};
+
+/// Renders an event for debugging: "#12 T2 MutexLock obj=3 @tag(file:line)".
+std::string describe(const Event& e);
+
+}  // namespace mtt

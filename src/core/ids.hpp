@@ -1,0 +1,36 @@
+// Fundamental identifier types shared by every mtt module.
+//
+// The framework assigns small dense integer ids to threads, synchronization
+// objects / shared variables, and instrumentation sites.  Ids are stable
+// within one process; traces persist the symbolic names alongside the ids so
+// offline tools can resolve them (see mtt::trace).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mtt {
+
+/// Identifies one managed thread within a single test run.  Thread ids are
+/// assigned densely starting from 1; id 1 is always the "main" thread of the
+/// run (the body passed to Runtime::run).
+using ThreadId = std::uint32_t;
+
+/// Identifies one instrumented object: a mutex, condition variable,
+/// semaphore, barrier, or shared variable.  Object ids are assigned densely
+/// per runtime instance.
+using ObjectId = std::uint32_t;
+
+/// Identifies one instrumentation site (source location + optional tag).
+/// Sites are interned process-wide; see SiteRegistry.
+using SiteId = std::uint32_t;
+
+inline constexpr ThreadId kNoThread = 0;
+inline constexpr ThreadId kMainThread = 1;
+inline constexpr ObjectId kNoObject = 0;
+inline constexpr SiteId kNoSite = 0;
+
+inline constexpr ThreadId kMaxThreads =
+    std::numeric_limits<std::uint16_t>::max();
+
+}  // namespace mtt

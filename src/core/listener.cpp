@@ -1,0 +1,31 @@
+#include "core/listener.hpp"
+
+#include <algorithm>
+
+namespace mtt {
+
+void HookChain::add(Listener* l) {
+  if (l == nullptr) return;
+  if (std::find(listeners_.begin(), listeners_.end(), l) == listeners_.end()) {
+    listeners_.push_back(l);
+  }
+}
+
+void HookChain::remove(Listener* l) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), l),
+                   listeners_.end());
+}
+
+void HookChain::dispatchRunStart(const RunInfo& info) const {
+  for (Listener* l : listeners_) l->onRunStart(info);
+}
+
+void HookChain::dispatchEvent(const Event& e) const {
+  for (Listener* l : listeners_) l->onEvent(e);
+}
+
+void HookChain::dispatchRunEnd() const {
+  for (Listener* l : listeners_) l->onRunEnd();
+}
+
+}  // namespace mtt

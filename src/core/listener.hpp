@@ -1,0 +1,78 @@
+// The hook API: how tools attach to the instrumented event stream.
+//
+// A Listener is the paper's "component with a standard interface" (Section 4,
+// third benchmark component).  Noise makers, race detectors, deadlock
+// detectors, replay recorders, coverage collectors and trace recorders all
+// implement this one interface; the runtime dispatches every instrumentation
+// point to every registered listener, so researchers "could use a
+// mix-and-match approach and complement her component with benchmark
+// components".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+
+namespace mtt {
+
+/// Which runtime executes the run.  Listeners may adapt (e.g. a noise maker
+/// injects real sleeps natively but scheduler perturbation under control).
+enum class RuntimeMode : std::uint8_t { Native, Controlled };
+
+/// Per-run metadata handed to listeners at run start.
+struct RunInfo {
+  std::string programName;  ///< suite program name, or "" for ad-hoc bodies
+  std::uint64_t seed = 0;   ///< schedule/noise seed for this run
+  RuntimeMode mode = RuntimeMode::Native;
+};
+
+/// Interface every dynamic tool implements.
+///
+/// Threading contract: in controlled mode, onEvent calls are serialized by
+/// construction (one runnable thread at a time).  In native mode, onEvent may
+/// be invoked concurrently from multiple test threads; listeners with mutable
+/// state must synchronize internally.  onEvent is invoked on the thread that
+/// executed the instrumentation point, so a listener may delay that specific
+/// thread by blocking (this is exactly how native noise makers work).
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Called once before the run's main body starts.
+  virtual void onRunStart(const RunInfo& info) { (void)info; }
+
+  /// Called for every instrumentation-point execution.
+  virtual void onEvent(const Event& e) = 0;
+
+  /// Called once after all managed threads finished (or the run aborted).
+  virtual void onRunEnd() {}
+};
+
+/// An ordered chain of listeners.  Dispatch order is registration order;
+/// noise makers are conventionally registered last so that analysis tools
+/// observe the event before the noise delay is injected.
+class HookChain {
+ public:
+  /// Registers a listener (non-owning).  The listener must outlive the runs
+  /// it observes.
+  void add(Listener* l);
+
+  /// Removes a previously registered listener; no-op if absent.
+  void remove(Listener* l);
+
+  void clear() { listeners_.clear(); }
+  bool empty() const { return listeners_.empty(); }
+  std::size_t size() const { return listeners_.size(); }
+
+  void dispatchRunStart(const RunInfo& info) const;
+  void dispatchEvent(const Event& e) const;
+  void dispatchRunEnd() const;
+
+ private:
+  std::vector<Listener*> listeners_;
+};
+
+}  // namespace mtt

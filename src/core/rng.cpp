@@ -1,0 +1,62 @@
+#include "core/rng.hpp"
+
+namespace mtt {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+  // Guard against the all-zero state (probability ~2^-256 but cheap to fix).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // 128-bit multiply-shift reduction.
+  unsigned __int128 m =
+      static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  if (hi <= lo) return lo;
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Rng Rng::split() { return Rng(next() ^ 0x6a09e667f3bcc909ull); }
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 sm(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace mtt

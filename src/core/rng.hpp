@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in mtt that makes a "random" decision (schedule policies, noise
+// heuristics, workload generators) draws from these generators with an
+// explicit seed, so that any run is reproducible from (program, tool config,
+// seed).  This is a prerequisite for the paper's replay and prepared-
+// experiment components.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mtt {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators" (public-domain output function).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator.  Small, fast, high quality, and
+/// trivially seedable — exactly what per-thread noise decisions need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound); bound must be > 0.  Uses Lemire's multiply-shift
+  /// reduction (slight modulo bias at 2^64 scale is irrelevant here).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Picks a uniformly random element index of a non-empty span.
+  template <typename T>
+  std::size_t pickIndex(std::span<const T> items) {
+    return static_cast<std::size_t>(below(items.size()));
+  }
+
+  /// Derives an independent child generator (for per-thread streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Stable 64-bit mix of two values; used to derive per-(seed, index) streams.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b);
+
+}  // namespace mtt

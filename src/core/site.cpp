@@ -1,0 +1,79 @@
+#include "core/site.hpp"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+namespace mtt {
+
+struct SiteRegistry::Impl {
+  mutable std::mutex mu;
+  // key: (tag, file, line)
+  std::map<std::tuple<std::string, std::string, std::uint32_t>, SiteId> index;
+  std::vector<SiteInfo> sites;
+};
+
+SiteRegistry::SiteRegistry() : impl_(new Impl) {
+  impl_->sites.push_back(SiteInfo{"<none>", "<none>", 0, "", BugMark::No});
+}
+
+SiteRegistry& SiteRegistry::instance() {
+  static SiteRegistry* reg = new SiteRegistry;  // leaked: no exit-order issues
+  return *reg;
+}
+
+SiteId SiteRegistry::intern(std::string_view tag, BugMark bug,
+                            const std::source_location& loc) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  auto key = std::make_tuple(std::string(tag), std::string(loc.file_name()),
+                             static_cast<std::uint32_t>(loc.line()));
+  auto it = impl_->index.find(key);
+  if (it != impl_->index.end()) {
+    // Upgrade the bug mark if a later registration marks the site buggy.
+    if (bug == BugMark::Yes) impl_->sites[it->second].bug = BugMark::Yes;
+    return it->second;
+  }
+  SiteId id = static_cast<SiteId>(impl_->sites.size());
+  impl_->sites.push_back(SiteInfo{std::string(loc.file_name()),
+                                  std::string(loc.function_name()),
+                                  static_cast<std::uint32_t>(loc.line()),
+                                  std::string(tag), bug});
+  impl_->index.emplace(std::move(key), id);
+  return id;
+}
+
+const SiteInfo& SiteRegistry::lookup(SiteId id) const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (id >= impl_->sites.size()) id = kNoSite;
+  return impl_->sites[id];
+}
+
+std::size_t SiteRegistry::size() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->sites.size();
+}
+
+std::string SiteRegistry::describe(SiteId id) const {
+  const SiteInfo& info = lookup(id);
+  std::string out;
+  if (!info.tag.empty()) {
+    out = info.tag;
+    out += " (";
+  }
+  // Strip directories from the file path for readability.
+  auto slash = info.file.find_last_of('/');
+  out += (slash == std::string::npos) ? info.file : info.file.substr(slash + 1);
+  out += ':';
+  out += std::to_string(info.line);
+  if (!info.tag.empty()) out += ')';
+  return out;
+}
+
+Site site(std::string_view tag, BugMark bug, const std::source_location& loc) {
+  Site s;
+  s.id = SiteRegistry::instance().intern(tag, bug, loc);
+  s.bug = bug;
+  return s;
+}
+
+}  // namespace mtt

@@ -1,0 +1,80 @@
+// Instrumentation sites: interned source locations with optional tags and
+// bug-involvement annotations.
+//
+// The paper (Section 3) requires that every instrumented call carry "the
+// thread name, location, bytecode type, abstract type (variable, control),
+// read/write".  A Site is the "location" part: file, line, function, plus an
+// optional human-readable tag.  The benchmark repository (Section 4)
+// additionally annotates each trace record with whether "this location is
+// involved in a bug"; that is the BugMark carried here.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace mtt {
+
+/// Whether an instrumentation site is part of a documented bug in the
+/// benchmark program it belongs to.  Used to compute true-positive /
+/// false-alarm statistics for detectors.
+enum class BugMark : std::uint8_t { No = 0, Yes = 1 };
+
+/// One interned instrumentation site.
+struct SiteInfo {
+  std::string file;
+  std::string function;
+  std::uint32_t line = 0;
+  std::string tag;  ///< optional stable label, e.g. "account.deposit.read"
+  BugMark bug = BugMark::No;
+};
+
+/// Process-wide intern table for instrumentation sites.
+///
+/// Thread-safe.  Sites are keyed by (tag, file, line) so that the same source
+/// location tagged twice yields the same id, and traces recorded in different
+/// runs agree on ids as long as registration order is deterministic (it is:
+/// sites are registered at static-initialization time or on first execution
+/// of the access expression, which in controlled mode is deterministic).
+class SiteRegistry {
+ public:
+  static SiteRegistry& instance();
+
+  /// Interns a site and returns its id.  Idempotent for identical keys.
+  SiteId intern(std::string_view tag, BugMark bug,
+                const std::source_location& loc);
+
+  /// Resolves an id; returns a static "unknown" record for kNoSite or
+  /// out-of-range ids.
+  const SiteInfo& lookup(SiteId id) const;
+
+  /// Number of interned sites (including the reserved id 0).
+  std::size_t size() const;
+
+  /// Short human-readable rendering: "tag (file:line)" or "file:line".
+  std::string describe(SiteId id) const;
+
+ private:
+  SiteRegistry();
+  struct Impl;
+  Impl* impl_;  // leaked singleton: lives for the whole process
+};
+
+/// A site reference as passed at instrumentation points.  Cheap to copy.
+struct Site {
+  SiteId id = kNoSite;
+  BugMark bug = BugMark::No;
+};
+
+/// Creates (interning on first use per call site arguments) a Site.
+///
+/// Typical use in a benchmark program:
+///   balance.read(site("account.read", BugMark::Yes));
+Site site(std::string_view tag = {}, BugMark bug = BugMark::No,
+          const std::source_location& loc = std::source_location::current());
+
+}  // namespace mtt

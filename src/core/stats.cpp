@@ -1,0 +1,75 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtt {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::ci95() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+namespace {
+// Wilson score interval at z = 1.96.
+std::pair<double, double> wilson(std::size_t k, std::size_t n) {
+  if (n == 0) return {0.0, 1.0};
+  const double z = 1.96;
+  const double z2 = z * z;
+  const double nf = static_cast<double>(n);
+  const double p = static_cast<double>(k) / nf;
+  const double denom = 1.0 + z2 / nf;
+  const double center = (p + z2 / (2.0 * nf)) / denom;
+  const double half =
+      (z * std::sqrt(p * (1.0 - p) / nf + z2 / (4.0 * nf * nf))) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+}  // namespace
+
+double Proportion::wilsonLow() const { return wilson(successes, trials).first; }
+double Proportion::wilsonHigh() const {
+  return wilson(successes, trials).second;
+}
+
+void OutcomeDistribution::add(const std::string& outcome) {
+  ++counts_[outcome];
+  ++total_;
+}
+
+double OutcomeDistribution::entropyBits() const {
+  if (total_ == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [_, c] : counts_) {
+    double p = static_cast<double>(c) / static_cast<double>(total_);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double OutcomeDistribution::modeFraction() const {
+  if (total_ == 0) return 0.0;
+  std::size_t best = 0;
+  for (const auto& [_, c] : counts_) best = std::max(best, c);
+  return static_cast<double>(best) / static_cast<double>(total_);
+}
+
+}  // namespace mtt

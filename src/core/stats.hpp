@@ -1,0 +1,93 @@
+// Statistics utilities for the prepared-experiment component (Section 4):
+// the benchmark compares tools on "the number of bugs they can find or the
+// probability of finding bugs, the percentage of false alarms and in
+// performance overhead" — all of which require proportion estimates,
+// confidence intervals, and distribution summaries.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mtt {
+
+/// Online mean / variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Half-width of an approximate 95% confidence interval for the mean.
+  double ci95() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Binomial proportion with Wilson-score 95% interval.  Used for
+/// bug-finding-probability and replay-success-probability estimates.
+struct Proportion {
+  std::size_t successes = 0;
+  std::size_t trials = 0;
+
+  void add(bool success) {
+    ++trials;
+    if (success) ++successes;
+  }
+  double rate() const {
+    return trials ? static_cast<double>(successes) / static_cast<double>(trials)
+                  : 0.0;
+  }
+  double wilsonLow() const;
+  double wilsonHigh() const;
+};
+
+/// Discrete outcome distribution; used by the MultiBenchmark (component 4)
+/// to compare noise makers "as to the distribution of their results".
+class OutcomeDistribution {
+ public:
+  void add(const std::string& outcome);
+  std::size_t total() const { return total_; }
+  std::size_t distinct() const { return counts_.size(); }
+  /// Shannon entropy in bits of the empirical distribution.
+  double entropyBits() const;
+  /// Frequency of the most common outcome.
+  double modeFraction() const;
+  const std::map<std::string, std::size_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::string, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  std::uint64_t elapsedMicros() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mtt

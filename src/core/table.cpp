@@ -1,0 +1,69 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mtt {
+
+void TextTable::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::frac(std::size_t k, std::size_t n) {
+  double pct = n ? 100.0 * static_cast<double>(k) / static_cast<double>(n) : 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%zu/%zu (%.1f%%)", k, n, pct);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  total = std::max(total, title_.size());
+
+  std::ostringstream out;
+  out << title_ << '\n' << std::string(total, '=') << '\n';
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      std::string cell = i < cells.size() ? cells[i] : std::string();
+      out << cell << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void TextTable::print() const {
+  std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace mtt

@@ -1,0 +1,39 @@
+// Plain-text table rendering for the "prepared evaluation report" (Section 4):
+// every bench binary prints its results through this so reports share one
+// easy-to-read format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mtt {
+
+/// A simple left/right-aligned text table with a title and column headers.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row; call before adding rows.
+  void header(std::vector<std::string> cols);
+
+  /// Adds one data row; short rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Convenience: "k/n (p%)" rendering for proportions.
+  static std::string frac(std::size_t k, std::size_t n);
+
+  /// Renders the table (title, rule, header, rows) as a string.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mtt

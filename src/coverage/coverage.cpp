@@ -1,0 +1,181 @@
+#include "coverage/coverage.hpp"
+
+#include <algorithm>
+
+#include "core/site.hpp"
+
+namespace mtt::coverage {
+
+void CoverageModel::declareTasks(const std::set<std::string>& tasks) {
+  std::lock_guard<std::mutex> lk(mu_);
+  known_ = tasks;
+  closed_ = true;
+}
+
+std::set<std::string> CoverageModel::covered() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return covered_;
+}
+
+std::set<std::string> CoverageModel::known() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return known_;
+}
+
+std::size_t CoverageModel::coveredCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return covered_.size();
+}
+
+std::size_t CoverageModel::taskCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return known_.size();
+}
+
+double CoverageModel::ratio() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return known_.empty()
+             ? 0.0
+             : static_cast<double>(covered_.size()) /
+                   static_cast<double>(known_.size());
+}
+
+void CoverageModel::onRunStart(const RunInfo& info) {
+  (void)info;
+  std::lock_guard<std::mutex> lk(mu_);
+  covered_.clear();
+  if (!closed_) known_.clear();
+  outsideUniverse_ = 0;
+}
+
+void CoverageModel::discover(const std::string& task) {
+  if (closed_) {
+    if (known_.find(task) == known_.end()) ++outsideUniverse_;
+    return;
+  }
+  known_.insert(task);
+}
+
+void CoverageModel::cover(const std::string& task) {
+  if (closed_ && known_.find(task) == known_.end()) {
+    ++outsideUniverse_;
+    return;
+  }
+  known_.insert(task);
+  covered_.insert(task);
+}
+
+// --- SitePointCoverage --------------------------------------------------------
+
+void SitePointCoverage::onEvent(const Event& e) {
+  if (e.syncSite == kNoSite) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  cover(SiteRegistry::instance().describe(e.syncSite));
+}
+
+// --- VarContentionCoverage ----------------------------------------------------
+
+void VarContentionCoverage::onEvent(const Event& e) {
+  if (e.kind != EventKind::VarRead && e.kind != EventKind::VarWrite) return;
+  bool isWrite = e.kind == EventKind::VarWrite;
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string task = varName_(e.object);
+  discover(task);
+  auto& hist = recent_[e.object];
+  for (const Recent& r : hist) {
+    if (r.thread != e.thread && (r.write || isWrite) &&
+        e.seq - r.seq <= window_) {
+      cover(task);
+      break;
+    }
+  }
+  hist.push_back(Recent{e.thread, isWrite, e.seq});
+  if (hist.size() > window_) hist.erase(hist.begin());
+}
+
+// --- SyncContentionCoverage ----------------------------------------------------
+
+void SyncContentionCoverage::onEvent(const Event& e) {
+  if (e.kind != EventKind::MutexLock && e.kind != EventKind::SemAcquire &&
+      e.kind != EventKind::RwLockRead && e.kind != EventKind::RwLockWrite) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string base = objName_(e.object);
+  discover(base + "/free");
+  discover(base + "/blocked");
+  cover(base + (e.arg != 0 ? "/blocked" : "/free"));
+}
+
+// --- LockPairCoverage -----------------------------------------------------------
+
+void LockPairCoverage::onEvent(const Event& e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (e.kind) {
+    case EventKind::MutexLock:
+    case EventKind::MutexTryLockOk: {
+      auto& stack = held_[e.thread];
+      for (ObjectId h : stack) {
+        if (h != e.object) {
+          cover(objName_(h) + "<" + objName_(e.object));
+        }
+      }
+      stack.push_back(e.object);
+      break;
+    }
+    case EventKind::MutexUnlock: {
+      auto& stack = held_[e.thread];
+      auto it = std::find(stack.rbegin(), stack.rend(), e.object);
+      if (it != stack.rend()) stack.erase(std::next(it).base());
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// --- SwitchPairCoverage -----------------------------------------------------------
+
+void SwitchPairCoverage::onEvent(const Event& e) {
+  if (e.kind != EventKind::VarRead && e.kind != EventKind::VarWrite) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  Last& l = last_[e.object];
+  if (l.thread != kNoThread && l.thread != e.thread) {
+    auto& reg = SiteRegistry::instance();
+    cover(reg.describe(l.site) + "=>" + reg.describe(e.syncSite));
+  }
+  l.thread = e.thread;
+  l.site = e.syncSite;
+}
+
+// --- CoverageAccumulator ------------------------------------------------------------
+
+std::size_t CoverageAccumulator::addRun(const CoverageModel& model) {
+  std::size_t before = covered_.size();
+  for (const auto& t : model.covered()) covered_.insert(t);
+  std::size_t added = covered_.size() - before;
+  perRunNew_.push_back(added);
+  return added;
+}
+
+std::vector<std::size_t> CoverageAccumulator::growthCurve() const {
+  std::vector<std::size_t> out;
+  std::size_t sum = 0;
+  for (std::size_t n : perRunNew_) {
+    sum += n;
+    out.push_back(sum);
+  }
+  return out;
+}
+
+std::size_t CoverageAccumulator::saturationRun(std::size_t quietRuns) const {
+  if (perRunNew_.size() < quietRuns) return 0;
+  std::size_t quiet = 0;
+  for (std::size_t i = 0; i < perRunNew_.size(); ++i) {
+    quiet = perRunNew_[i] == 0 ? quiet + 1 : 0;
+    if (quiet >= quietRuns) return i + 1 - quietRuns + 1;
+  }
+  return 0;
+}
+
+}  // namespace mtt::coverage

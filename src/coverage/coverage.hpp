@@ -1,0 +1,165 @@
+// Concurrency coverage — Section 2.2 of the paper:
+//
+//   "An equivalent process, in the multi-threaded domain, is to check that
+//    variables on which contention can occur had contention in the testing.
+//    [...] A new and interesting research question is to use coverage in
+//    order to decide, given limited resources, how many times each test
+//    should be executed."
+//
+// A CoverageModel defines a universe of tasks (possibly open-ended, i.e.
+// discovered while running, or closed when fed by static analysis — the
+// feasibility problem the paper describes) and marks tasks covered from the
+// event stream.  The CoverageAccumulator merges covered sets across runs and
+// answers the how-many-runs question from the growth curve.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/listener.hpp"
+
+namespace mtt::coverage {
+
+/// Base class for coverage models.  Task keys are strings so covered sets
+/// are stable across runs (object *ids* are not; names are).
+class CoverageModel : public Listener {
+ public:
+  virtual std::string name() const = 0;
+
+  /// Declares the task universe up front (from static analysis); without
+  /// this the universe is open and grows as tasks are discovered.
+  void declareTasks(const std::set<std::string>& tasks);
+  bool closedUniverse() const { return closed_; }
+
+  std::set<std::string> covered() const;
+  std::set<std::string> known() const;
+  std::size_t coveredCount() const;
+  std::size_t taskCount() const;
+  /// coveredCount / taskCount; 0 when the universe is empty.
+  double ratio() const;
+
+  void onRunStart(const RunInfo& info) override;
+
+ protected:
+  /// Registers a task (no-op against a closed universe when unknown — such
+  /// a hit is an infeasible-task signal and is counted separately).
+  void discover(const std::string& task);
+  void cover(const std::string& task);
+  mutable std::mutex mu_;
+
+ private:
+  std::set<std::string> known_;
+  std::set<std::string> covered_;
+  bool closed_ = false;
+  std::size_t outsideUniverse_ = 0;
+};
+
+/// Every instrumentation site executed at least once — the concurrent
+/// analogue of statement coverage (the baseline the paper says is of
+/// "very little utility"; included as the control model).
+class SitePointCoverage final : public CoverageModel {
+ public:
+  /// Resolves task names through the global SiteRegistry.
+  std::string name() const override { return "site-point"; }
+  void onEvent(const Event& e) override;
+};
+
+/// ConTest's measure: a shared variable is covered once it experienced
+/// contention — accessed by two distinct threads, at least one access a
+/// write, within a bounded event window.
+class VarContentionCoverage final : public CoverageModel {
+ public:
+  explicit VarContentionCoverage(
+      std::function<std::string(ObjectId)> varName, std::size_t window = 50)
+      : varName_(std::move(varName)), window_(window) {}
+  std::string name() const override { return "var-contention"; }
+  void onEvent(const Event& e) override;
+
+ private:
+  struct Recent {
+    ThreadId thread;
+    bool write;
+    std::uint64_t seq;
+  };
+  std::function<std::string(ObjectId)> varName_;
+  std::size_t window_;
+  std::map<ObjectId, std::vector<Recent>> recent_;
+};
+
+/// Synchronization coverage: each mutex/semaphore should be seen acquired
+/// both uncontended and contended (the runtime marks contended acquisitions
+/// with arg=1).  Two tasks per object: "<name>/free" and "<name>/blocked".
+class SyncContentionCoverage final : public CoverageModel {
+ public:
+  explicit SyncContentionCoverage(std::function<std::string(ObjectId)> name)
+      : objName_(std::move(name)) {}
+  std::string name() const override { return "sync-contention"; }
+  void onEvent(const Event& e) override;
+
+ private:
+  std::function<std::string(ObjectId)> objName_;
+};
+
+/// Ordered lock-pair coverage: task "A<B" covered when B is acquired while
+/// A is held; observing both "A<B" and "B<A" across the test suite is the
+/// classic deadlock-risk smell.
+class LockPairCoverage final : public CoverageModel {
+ public:
+  explicit LockPairCoverage(std::function<std::string(ObjectId)> name)
+      : objName_(std::move(name)) {}
+  std::string name() const override { return "lock-pair"; }
+  void onEvent(const Event& e) override;
+
+ private:
+  std::function<std::string(ObjectId)> objName_;
+  std::map<ThreadId, std::vector<ObjectId>> held_;
+};
+
+/// Interleaving coverage: a task per (site, site) pair where consecutive
+/// events on the same variable came from different threads — a cheap proxy
+/// for "this context switch location was exercised".
+class SwitchPairCoverage final : public CoverageModel {
+ public:
+  std::string name() const override { return "switch-pair"; }
+  void onEvent(const Event& e) override;
+
+ private:
+  struct Last {
+    ThreadId thread = kNoThread;
+    SiteId site = kNoSite;
+  };
+  std::map<ObjectId, Last> last_;
+};
+
+/// Merges covered sets across runs and models the growth curve.
+class CoverageAccumulator {
+ public:
+  /// Folds one run's results in; returns the number of newly covered tasks.
+  std::size_t addRun(const CoverageModel& model);
+
+  std::size_t runs() const { return perRunNew_.size(); }
+  std::size_t totalCovered() const { return covered_.size(); }
+  const std::vector<std::size_t>& newTasksPerRun() const {
+    return perRunNew_;
+  }
+  /// Cumulative covered count after each run (monotone, concave in
+  /// expectation — the diminishing-returns curve of experiment E5).
+  std::vector<std::size_t> growthCurve() const;
+
+  /// The paper's "how many times should a test run" estimator: the smallest
+  /// run count after which `quietRuns` consecutive runs added no new tasks,
+  /// or 0 if coverage was still growing at the end.
+  std::size_t saturationRun(std::size_t quietRuns = 3) const;
+
+ private:
+  std::set<std::string> covered_;
+  std::vector<std::size_t> perRunNew_;
+};
+
+}  // namespace mtt::coverage

@@ -1,0 +1,182 @@
+#include "deadlock/lockgraph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <iterator>
+
+#include "core/site.hpp"
+
+namespace mtt::deadlock {
+
+std::string DeadlockWarning::describe() const {
+  std::string out = "potential deadlock: lock cycle";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    out += (i == 0 ? " " : " -> ");
+    out += "lock#" + std::to_string(cycle[i]);
+  }
+  if (!acquisitionSites.empty()) {
+    out += " (acquired at";
+    for (SiteId s : acquisitionSites) {
+      out += ' ' + SiteRegistry::instance().describe(s);
+    }
+    out += ')';
+  }
+  if (gateProtected) {
+    out += " [gate-protected by lock#" + std::to_string(gateLock) +
+           ": likely false positive]";
+  }
+  if (onBugSite) out += " [annotated bug]";
+  return out;
+}
+
+std::size_t LockGraphDetector::unguardedWarningCount() const {
+  std::size_t n = 0;
+  for (const auto& w : warnings_) {
+    if (!w.gateProtected) ++n;
+  }
+  return n;
+}
+
+void LockGraphDetector::onRunStart(const RunInfo& info) {
+  (void)info;
+  std::lock_guard<std::mutex> lk(mu_);
+  held_.clear();
+  edges_.clear();
+  edgeInfo_.clear();
+  warnings_.clear();
+}
+
+void LockGraphDetector::onEvent(const Event& e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (e.kind) {
+    case EventKind::MutexLock:
+    case EventKind::MutexTryLockOk:
+    case EventKind::RwLockRead:
+    case EventKind::RwLockWrite: {
+      auto& stack = held_[e.thread];
+      for (ObjectId h : stack) {
+        if (h == e.object) continue;  // recursive re-acquire
+        if (edges_[h].insert(e.object).second) {
+          EdgeInfo info;
+          info.site = e.syncSite;
+          info.bug = e.bugSite == BugMark::Yes;
+          info.heldAtAcquire.insert(stack.begin(), stack.end());
+          info.heldAtAcquire.erase(h);
+          info.heldAtAcquire.erase(e.object);
+          edgeInfo_[{h, e.object}] = std::move(info);
+        }
+      }
+      stack.push_back(e.object);
+      break;
+    }
+    case EventKind::MutexUnlock:
+    case EventKind::RwUnlockRead:
+    case EventKind::RwUnlockWrite: {
+      auto& stack = held_[e.thread];
+      auto it = std::find(stack.rbegin(), stack.rend(), e.object);
+      if (it != stack.rend()) stack.erase(std::next(it).base());
+      break;
+    }
+    case EventKind::CondWaitBegin: {
+      // The wait releases the mutex in arg.
+      auto& stack = held_[e.thread];
+      auto it = std::find(stack.rbegin(), stack.rend(),
+                          static_cast<ObjectId>(e.arg));
+      if (it != stack.rend()) stack.erase(std::next(it).base());
+      break;
+    }
+    case EventKind::CondWaitEnd:
+      held_[e.thread].push_back(static_cast<ObjectId>(e.arg));
+      break;
+    default:
+      break;
+  }
+}
+
+void LockGraphDetector::onRunEnd() { findCyclesNow(); }
+
+void LockGraphDetector::mergeEdges(const LockGraphDetector& other) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [from, tos] : other.edges_) {
+    for (ObjectId to : tos) {
+      if (edges_[from].insert(to).second) {
+        auto it = other.edgeInfo_.find({from, to});
+        if (it != other.edgeInfo_.end()) edgeInfo_[{from, to}] = it->second;
+      }
+    }
+  }
+}
+
+void LockGraphDetector::findCyclesNow() {
+  std::lock_guard<std::mutex> lk(mu_);
+  warnings_.clear();
+  // DFS with colors; report each cycle once via its normalized (minimum
+  // rotation) form.
+  std::set<std::vector<ObjectId>> seen;
+  std::map<ObjectId, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<ObjectId> path;
+
+  std::function<void(ObjectId)> dfs = [&](ObjectId n) {
+    color[n] = 1;
+    path.push_back(n);
+    auto it = edges_.find(n);
+    if (it != edges_.end()) {
+      for (ObjectId m : it->second) {
+        if (color[m] == 1) {
+          // Found a cycle: the path suffix from m.
+          auto start = std::find(path.begin(), path.end(), m);
+          std::vector<ObjectId> cycle(start, path.end());
+          // Normalize: rotate so the smallest id is first.
+          auto mn = std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), mn, cycle.end());
+          if (seen.insert(cycle).second) {
+            DeadlockWarning w;
+            w.cycle = cycle;
+            // Gate-lock refinement: intersect the held-sets of every edge
+            // (excluding the cycle's own locks).
+            std::set<ObjectId> gates;
+            bool first = true;
+            for (std::size_t i = 0; i < cycle.size(); ++i) {
+              ObjectId from = cycle[i];
+              ObjectId to = cycle[(i + 1) % cycle.size()];
+              auto ei = edgeInfo_.find({from, to});
+              if (ei != edgeInfo_.end()) {
+                w.acquisitionSites.push_back(ei->second.site);
+                w.onBugSite = w.onBugSite || ei->second.bug;
+                std::set<ObjectId> held = ei->second.heldAtAcquire;
+                for (ObjectId c : cycle) held.erase(c);
+                if (first) {
+                  gates = std::move(held);
+                  first = false;
+                } else {
+                  std::set<ObjectId> inter;
+                  std::set_intersection(gates.begin(), gates.end(),
+                                        held.begin(), held.end(),
+                                        std::inserter(inter, inter.begin()));
+                  gates = std::move(inter);
+                }
+              } else {
+                gates.clear();
+                first = false;
+              }
+            }
+            if (!gates.empty()) {
+              w.gateProtected = true;
+              w.gateLock = *gates.begin();
+            }
+            warnings_.push_back(std::move(w));
+          }
+        } else if (color[m] == 0) {
+          dfs(m);
+        }
+      }
+    }
+    path.pop_back();
+    color[n] = 2;
+  };
+  for (const auto& [n, _] : edges_) {
+    if (color[n] == 0) dfs(n);
+  }
+}
+
+}  // namespace mtt::deadlock

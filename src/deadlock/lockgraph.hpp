@@ -1,0 +1,79 @@
+// Potential-deadlock detection via lock-order graphs (the GoodLock
+// algorithm family; the paper cites Harrow's Visual Threads and Havelund's
+// Java PathExplorer as trace-based deadlock-potential analyzers: "they look
+// for cycles in lock graphs").
+//
+// The detector watches lock acquisition events: acquiring m2 while holding
+// m1 adds edge m1 -> m2 (labeled with the acquisition site).  A cycle in the
+// accumulated graph is a potential deadlock, reported even on runs where the
+// deadlock did not manifest — the complementary strength to the controlled
+// runtime's actual-deadlock detection.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/listener.hpp"
+
+namespace mtt::deadlock {
+
+/// One lock-order cycle: the locks involved, in cycle order.
+struct DeadlockWarning {
+  std::vector<ObjectId> cycle;         ///< lock ids, cycle order
+  std::vector<SiteId> acquisitionSites;  ///< site of each edge's acquisition
+  bool onBugSite = false;              ///< any involved site bug-annotated
+  /// GoodLock's "gate lock" refinement: when every edge of the cycle was
+  /// acquired while some common outer lock was held, the cycle cannot
+  /// actually deadlock (the gate serializes the contenders).  Such warnings
+  /// are kept but downgraded — the classic false-positive class of plain
+  /// lock-order analysis.
+  bool gateProtected = false;
+  ObjectId gateLock = kNoObject;
+  std::string describe() const;
+};
+
+/// Online (Listener) and offline (trace::feed) potential-deadlock detector.
+class LockGraphDetector final : public Listener {
+ public:
+  void onRunStart(const RunInfo& info) override;
+  void onEvent(const Event& e) override;
+  void onRunEnd() override;
+
+  /// Warnings found (populated during onRunEnd; one per distinct cycle).
+  const std::vector<DeadlockWarning>& warnings() const { return warnings_; }
+  bool foundPotentialDeadlock() const { return !warnings_.empty(); }
+  /// Warnings that survive the gate-lock refinement (the high-confidence
+  /// subset).
+  std::size_t unguardedWarningCount() const;
+
+  /// Accumulated edges (m1 -> m2 means m2 acquired while holding m1).
+  const std::map<ObjectId, std::set<ObjectId>>& edges() const {
+    return edges_;
+  }
+
+  /// Merges another run's graph into this one (cross-run accumulation, as a
+  /// trace repository analysis would do); re-run cycle detection with
+  /// findCyclesNow().
+  void mergeEdges(const LockGraphDetector& other);
+  void findCyclesNow();
+
+ private:
+  struct EdgeInfo {
+    SiteId site = kNoSite;
+    bool bug = false;
+    /// Other locks held when the edge was first observed (for the gate-lock
+    /// refinement).
+    std::set<ObjectId> heldAtAcquire;
+  };
+  std::map<ThreadId, std::vector<ObjectId>> held_;  // acquisition order
+  std::map<ObjectId, std::set<ObjectId>> edges_;
+  std::map<std::pair<ObjectId, ObjectId>, EdgeInfo> edgeInfo_;
+  std::vector<DeadlockWarning> warnings_;
+  std::mutex mu_;
+};
+
+}  // namespace mtt::deadlock

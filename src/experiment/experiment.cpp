@@ -1,0 +1,130 @@
+#include "experiment/experiment.hpp"
+
+#include <stdexcept>
+
+#include "core/table.hpp"
+#include "deadlock/lockgraph.hpp"
+#include "race/detectors.hpp"
+
+namespace mtt::experiment {
+
+std::string ToolConfig::label() const {
+  std::string l = noiseName;
+  if (noiseName == "targeted" && !noiseTargets.empty()) {
+    l += "(" + std::to_string(noiseTargets.size()) + " vars)";
+  }
+  for (const auto& d : detectors) l += "+" + d;
+  if (lockGraph) l += "+lockgraph";
+  l += mode == RuntimeMode::Controlled ? "/ctl-" + policy : "/native";
+  return l;
+}
+
+std::unique_ptr<rt::SchedulePolicy> makePolicy(const std::string& name) {
+  if (name == "rr") return std::make_unique<rt::RoundRobinPolicy>();
+  if (name == "priority") return std::make_unique<rt::PriorityPolicy>();
+  if (name == "random") return std::make_unique<rt::RandomPolicy>();
+  throw std::runtime_error("mtt: unknown schedule policy " + name);
+}
+
+ExperimentResult runExperiment(const ExperimentSpec& spec) {
+  auto program = suite::makeProgram(spec.programName);
+
+  ExperimentResult result;
+  result.programName = spec.programName;
+  result.toolLabel = spec.tool.label();
+  result.runs = spec.runs;
+
+  for (std::size_t i = 0; i < spec.runs; ++i) {
+    program->reset();
+
+    auto rt = rt::makeRuntime(
+        spec.tool.mode, spec.tool.mode == RuntimeMode::Controlled
+                            ? makePolicy(spec.tool.policy)
+                            : nullptr);
+
+    // Tool assembly: detectors observe first, noise perturbs last.
+    std::vector<std::unique_ptr<race::RaceDetector>> detectors;
+    for (const auto& d : spec.tool.detectors) {
+      auto det = race::makeDetector(d);
+      if (!det) throw std::runtime_error("mtt: unknown detector " + d);
+      rt->hooks().add(det.get());
+      detectors.push_back(std::move(det));
+    }
+    deadlock::LockGraphDetector lockGraph;
+    if (spec.tool.lockGraph) rt->hooks().add(&lockGraph);
+
+    std::unique_ptr<noise::NoiseMaker> noiseMaker;
+    if (spec.tool.noiseName == "targeted") {
+      noiseMaker = std::make_unique<noise::TargetedNoise>(
+          *rt, spec.tool.noiseTargets, spec.tool.noiseOpts);
+    } else {
+      noiseMaker =
+          noise::makeNoise(spec.tool.noiseName, *rt, spec.tool.noiseOpts);
+      if (!noiseMaker) {
+        throw std::runtime_error("mtt: unknown noise heuristic " +
+                                 spec.tool.noiseName);
+      }
+    }
+    rt->hooks().add(noiseMaker.get());
+
+    rt::RunOptions opts =
+        spec.runOptions ? *spec.runOptions : program->defaultRunOptions();
+    opts.seed = spec.seedBase + i;
+    opts.programName = spec.programName;
+
+    rt::RunResult r = rt->run([&](rt::Runtime& rr) { program->body(rr); },
+                              opts);
+
+    result.manifested.add(program->evaluate(r) ==
+                          suite::Verdict::BugManifested);
+    bool hit = false;
+    for (const auto& det : detectors) {
+      result.warnings += det->warningCount();
+      result.trueWarnings += det->trueAlarms();
+      result.falseWarnings += det->falseAlarms();
+      hit = hit || det->foundAnnotatedBug();
+    }
+    if (!detectors.empty()) result.detectorHit.add(hit);
+    result.deadlockPotentials += lockGraph.warnings().size();
+    result.wallSeconds.add(r.wallSeconds);
+    result.events.add(static_cast<double>(r.events));
+    result.noiseInjections += noiseMaker->injections();
+    result.outcomes.add(program->outcome());
+    result.statusCounts[std::string(to_string(r.status))]++;
+  }
+  return result;
+}
+
+std::string findRateReport(const std::string& title,
+                           const std::vector<ExperimentResult>& results) {
+  TextTable t(title);
+  t.header({"program", "tool", "manifested", "95% CI", "avg events",
+            "avg ms", "injections"});
+  for (const auto& r : results) {
+    t.row({r.programName, r.toolLabel,
+           TextTable::frac(r.manifested.successes, r.manifested.trials),
+           "[" + TextTable::num(r.manifested.wilsonLow(), 2) + ", " +
+               TextTable::num(r.manifested.wilsonHigh(), 2) + "]",
+           TextTable::num(r.events.mean(), 0),
+           TextTable::num(r.wallSeconds.mean() * 1e3, 2),
+           std::to_string(r.noiseInjections)});
+  }
+  return t.render();
+}
+
+std::string detectorReport(const std::string& title,
+                           const std::vector<ExperimentResult>& results) {
+  TextTable t(title);
+  t.header({"program", "tool", "runs-with-hit", "warnings", "true", "false",
+            "false-rate"});
+  for (const auto& r : results) {
+    t.row({r.programName, r.toolLabel,
+           TextTable::frac(r.detectorHit.successes, r.detectorHit.trials),
+           std::to_string(r.warnings), std::to_string(r.trueWarnings),
+           std::to_string(r.falseWarnings),
+           TextTable::num(r.falseAlarmRate() * 100, 1) + "%"});
+  }
+  return t.render();
+}
+
+}  // namespace mtt::experiment

@@ -1,0 +1,103 @@
+// The prepared experiment — component 2 of the paper's benchmark:
+//
+//   "The experiment part of the benchmark contains prepared scripts with
+//    which programs such as race detection and noise can be evaluated as to
+//    how frequently they uncover faults, and if they raise false alarms.
+//    The analysis of the executions and statistics on the performance of
+//    the technologies is also executed with a script.  This script produces
+//    a prepared evaluation report [...] with the push of a button."
+//
+// An ExperimentSpec is (program × tool configuration × N seeded runs); the
+// harness runs it, gathering exactly the statistics the paper names: bug-
+// finding frequency, true/false alarm counts, runtime overhead, and the
+// outcome distribution.  Every bench binary is "a push of the button".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "noise/noise.hpp"
+#include "rt/harness.hpp"
+#include "suite/program.hpp"
+
+namespace mtt::experiment {
+
+/// Which tools run alongside the program.
+struct ToolConfig {
+  /// Noise heuristic name ("none", "yield", "sleep", "mixed",
+  /// "coverage-directed") or "targeted" (uses noiseTargets).
+  std::string noiseName = "none";
+  noise::NoiseOptions noiseOpts;
+  /// Variable names for TargetedNoise (typically escape-analysis output).
+  std::set<std::string> noiseTargets;
+  /// Race detectors to attach ("eraser", "djit", "fasttrack", "hybrid").
+  std::vector<std::string> detectors;
+  /// Attach the potential-deadlock lock-graph detector.
+  bool lockGraph = false;
+  RuntimeMode mode = RuntimeMode::Controlled;
+  /// Controlled-mode policy: "random", "rr", "priority".
+  std::string policy = "random";
+
+  std::string label() const;
+};
+
+struct ExperimentSpec {
+  std::string programName;
+  ToolConfig tool;
+  std::size_t runs = 100;
+  std::uint64_t seedBase = 0;
+  /// Overrides the program's default run options when set.
+  std::optional<rt::RunOptions> runOptions;
+};
+
+struct ExperimentResult {
+  std::string programName;
+  std::string toolLabel;
+  std::size_t runs = 0;
+
+  /// "how frequently they uncover faults"
+  Proportion manifested;
+  /// Runs where >= 1 detector raised a warning on an annotated bug site.
+  Proportion detectorHit;
+  /// "if they raise false alarms"
+  std::size_t warnings = 0;
+  std::size_t trueWarnings = 0;
+  std::size_t falseWarnings = 0;
+  std::size_t deadlockPotentials = 0;
+
+  /// "performance overhead"
+  OnlineStats wallSeconds;
+  OnlineStats events;
+  std::uint64_t noiseInjections = 0;
+
+  OutcomeDistribution outcomes;
+  std::map<std::string, std::size_t> statusCounts;
+
+  double falseAlarmRate() const {
+    return warnings == 0 ? 0.0
+                         : static_cast<double>(falseWarnings) /
+                               static_cast<double>(warnings);
+  }
+};
+
+/// Builds a fresh policy by name ("random", "rr", "priority").
+std::unique_ptr<rt::SchedulePolicy> makePolicy(const std::string& name);
+
+/// Runs the experiment.  Fully deterministic in controlled mode for a given
+/// (spec.seedBase, spec.runs).
+ExperimentResult runExperiment(const ExperimentSpec& spec);
+
+/// Renders the standard find-rate comparison table (one row per result).
+std::string findRateReport(const std::string& title,
+                           const std::vector<ExperimentResult>& results);
+
+/// Renders the detector-quality table (warnings / true / false / rate).
+std::string detectorReport(const std::string& title,
+                           const std::vector<ExperimentResult>& results);
+
+}  // namespace mtt::experiment

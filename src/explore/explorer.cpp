@@ -1,0 +1,164 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+
+namespace mtt::explore {
+
+void ExplorerPolicy::onRunStart(std::uint64_t seed) {
+  (void)seed;
+  step_ = 0;
+  lastSchedule_.decisions.clear();
+}
+
+std::vector<ThreadId> ExplorerPolicy::orderAlternatives(
+    const rt::PickContext& ctx) const {
+  // Continue-current first (a non-preemptive choice), then the others by
+  // ascending id.  With this ordering, alternative index 0 along the whole
+  // prefix is exactly round-robin — DFS explores low-preemption schedules
+  // first, which is what makes preemption bounding effective.
+  std::vector<ThreadId> out;
+  bool currentEnabled =
+      !ctx.currentYielding &&
+      std::find(ctx.enabled.begin(), ctx.enabled.end(), ctx.current) !=
+          ctx.enabled.end();
+  if (currentEnabled) out.push_back(ctx.current);
+  for (ThreadId t : ctx.enabled) {
+    if (!(currentEnabled && t == ctx.current)) out.push_back(t);
+  }
+  return out;
+}
+
+int ExplorerPolicy::preemptionsUpTo(std::size_t len,
+                                    std::uint32_t lastIdx) const {
+  // Preemptions in prefix_[0, len), with entry len-1's idx overridden by
+  // lastIdx (used to cost a hypothetical alternative during backtracking).
+  int p = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    std::uint32_t idx = (i + 1 == len) ? lastIdx : prefix_[i].idx;
+    if (idx > 0 && prefix_[i].currentWasEnabled) ++p;
+  }
+  return p;
+}
+
+ThreadId ExplorerPolicy::pick(const rt::PickContext& ctx) {
+  std::vector<ThreadId> alts = orderAlternatives(ctx);
+  bool currentEnabled = !alts.empty() && alts.front() == ctx.current &&
+                        !ctx.currentYielding &&
+                        std::find(ctx.enabled.begin(), ctx.enabled.end(),
+                                  ctx.current) != ctx.enabled.end();
+  if (step_ < prefix_.size()) {
+    // Replaying the committed prefix.
+    Choice& c = prefix_[step_];
+    if (c.realCount != alts.size()) diverged_ = true;
+    std::uint32_t idx = std::min<std::uint32_t>(
+        c.idx, static_cast<std::uint32_t>(alts.size()) - 1);
+    ++step_;
+    lastSchedule_.decisions.push_back(alts[idx]);
+    return alts[idx];
+  }
+  // Fresh node: take alternative 0 and record the branching degree.  When
+  // the preemption budget is exhausted, preemptive alternatives are not
+  // explorable, so the recorded count collapses accordingly.
+  Choice c;
+  c.idx = 0;
+  c.currentWasEnabled = currentEnabled;
+  // Would taking a preemptive alternative (idx > 0) at this node still fit
+  // the budget?  If not, only alternative 0 is ever explorable here.
+  bool budgetLeft =
+      preemptionBound_ < 0 ||
+      preemptionsUpTo(prefix_.size(),
+                      prefix_.empty() ? 0 : prefix_.back().idx) +
+              (currentEnabled ? 1 : 0) <=
+          preemptionBound_;
+  c.realCount = static_cast<std::uint32_t>(alts.size());
+  c.count = (currentEnabled && !budgetLeft) ? 1 : c.realCount;
+  prefix_.push_back(c);
+  ++step_;
+  lastSchedule_.decisions.push_back(alts[0]);
+  return alts[0];
+}
+
+bool ExplorerPolicy::backtrack() {
+  while (!prefix_.empty()) {
+    Choice& c = prefix_.back();
+    if (c.idx + 1 < c.count) {
+      // Check the preemption budget for the incremented alternative.
+      if (preemptionBound_ < 0 ||
+          preemptionsUpTo(prefix_.size(), c.idx + 1) <= preemptionBound_) {
+        ++c.idx;
+        return true;
+      }
+    }
+    prefix_.pop_back();
+  }
+  return false;
+}
+
+ExploreResult Explorer::explore(
+    const std::function<void(rt::Runtime&)>& body,
+    const std::function<bool(const rt::RunResult&)>& oracle,
+    const std::function<void()>& prepare) {
+  auto bugIn = [&](const rt::RunResult& r) {
+    return oracle ? oracle(r) : !r.ok();
+  };
+
+  ExploreResult result;
+  rt::RunOptions opts;
+  opts.maxSteps = opts_.maxStepsPerRun;
+
+  if (opts_.randomWalk) {
+    for (std::uint64_t i = 0; i < opts_.maxSchedules; ++i) {
+      if (prepare) prepare();
+      rt::ControlledRuntime rt(
+          std::make_unique<rt::RandomPolicy>());
+      auto rec = std::make_unique<rt::RecordingPolicy>(
+          std::make_unique<rt::RandomPolicy>());
+      rt::RecordingPolicy* recPtr = rec.get();
+      rt.setPolicy(std::move(rec));
+      opts.seed = opts_.seed + i;
+      rt::RunResult r = rt.run(body, opts);
+      ++result.schedules;
+      result.totalSteps += r.steps;
+      if (r.status == rt::RunStatus::Deadlock) ++result.deadlocks;
+      if (bugIn(r)) {
+        ++result.oracleFailures;
+        if (!result.bugFound) {
+          result.bugFound = true;
+          result.firstBugSchedule = result.schedules;
+          result.counterexample = recPtr->schedule();
+          result.bugResult = r;
+        }
+        if (opts_.stopAtFirstBug) return result;
+      }
+    }
+    return result;
+  }
+
+  ExplorerPolicy policy(opts_.preemptionBound);
+  for (std::uint64_t i = 0; i < opts_.maxSchedules; ++i) {
+    if (prepare) prepare();
+    rt::ControlledRuntime rt(std::make_unique<rt::PolicyRef>(policy));
+    opts.seed = opts_.seed;
+    rt::RunResult r = rt.run(body, opts);
+    ++result.schedules;
+    result.totalSteps += r.steps;
+    if (r.status == rt::RunStatus::Deadlock) ++result.deadlocks;
+    if (bugIn(r)) {
+      ++result.oracleFailures;
+      if (!result.bugFound) {
+        result.bugFound = true;
+        result.firstBugSchedule = result.schedules;
+        result.counterexample = policy.lastSchedule();
+        result.bugResult = r;
+      }
+      if (opts_.stopAtFirstBug) return result;
+    }
+    if (!policy.backtrack()) {
+      result.exhausted = !policy.divergenceDetected();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace mtt::explore

@@ -1,0 +1,111 @@
+// Systematic state-space exploration of real (instrumented) programs —
+// Section 2.2 of the paper:
+//
+//   "Such tools systematically explore the state space of a system by
+//    controlling and observing the execution of all the components, and by
+//    reinitializing their executions.  They search for deadlocks, and for
+//    violations of user-specified assertions.  Whenever an error is detected
+//    during state-space exploration, a scenario leading to the error state
+//    is saved.  Scenarios can be executed and replayed."
+//
+// This is the VeriSoft-style *stateless* search over the controlled
+// runtime: the schedule space is enumerated by depth-first search over
+// scheduling decisions, re-running the program from scratch for each
+// schedule (replay technology "is needed to force interleavings" — here the
+// controlled scheduler provides it).  Knobs:
+//   * preemption bounding (iterative context bounding): explore schedules
+//     with at most k preemptive switches first — most bugs need few;
+//   * random walk mode: sample schedules instead of enumerating (baseline).
+// The saved scenario is an rt::Schedule, replayable via rt::ReplayPolicy /
+// mtt::replay.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rt/controlled_runtime.hpp"
+#include "rt/policy.hpp"
+
+namespace mtt::explore {
+
+struct ExploreOptions {
+  /// Maximum complete executions to try.
+  std::uint64_t maxSchedules = 10'000;
+  /// Maximum preemptive context switches per schedule (-1 = unbounded).
+  /// A preemption is choosing away from the running thread while it is
+  /// enabled and not yielding.
+  int preemptionBound = -1;
+  /// Per-run step limit (livelock guard inside one schedule).
+  std::uint64_t maxStepsPerRun = 200'000;
+  /// Stop at the first schedule whose oracle reports a bug.
+  bool stopAtFirstBug = true;
+  /// Sample random schedules instead of DFS enumeration.
+  bool randomWalk = false;
+  std::uint64_t seed = 1;
+};
+
+struct ExploreResult {
+  std::uint64_t schedules = 0;   ///< complete executions performed
+  std::uint64_t totalSteps = 0;  ///< scheduling decisions across all runs
+  bool exhausted = false;        ///< schedule space fully enumerated
+  bool bugFound = false;
+  std::uint64_t firstBugSchedule = 0;  ///< 1-based index of the first bug
+  rt::Schedule counterexample;         ///< replayable scenario
+  rt::RunResult bugResult;
+  std::uint64_t deadlocks = 0;
+  std::uint64_t oracleFailures = 0;
+};
+
+/// The DFS-driving schedule policy.  One instance persists across runs; the
+/// Explorer re-runs the program until the decision tree is exhausted.
+class ExplorerPolicy final : public rt::SchedulePolicy {
+ public:
+  explicit ExplorerPolicy(int preemptionBound = -1)
+      : preemptionBound_(preemptionBound) {}
+
+  void onRunStart(std::uint64_t seed) override;
+  ThreadId pick(const rt::PickContext& ctx) override;
+
+  /// Advances to the next unexplored schedule; false when exhausted.
+  bool backtrack();
+  /// Decisions taken in the last run (the scenario).
+  const rt::Schedule& lastSchedule() const { return lastSchedule_; }
+  /// True when the program behaved nondeterministically under replayed
+  /// prefixes (would invalidate the search).
+  bool divergenceDetected() const { return diverged_; }
+
+ private:
+  struct Choice {
+    std::uint32_t idx = 0;    ///< which alternative is being explored
+    std::uint32_t count = 0;  ///< explorable alternatives (budget-capped)
+    std::uint32_t realCount = 0;     ///< actual alternatives (for the
+                                     ///< determinism/divergence check)
+    bool currentWasEnabled = false;  ///< picking idx>0 costs a preemption
+  };
+  std::vector<ThreadId> orderAlternatives(const rt::PickContext& ctx) const;
+  int preemptionsUpTo(std::size_t len, std::uint32_t lastIdx) const;
+
+  int preemptionBound_;
+  std::vector<Choice> prefix_;
+  std::size_t step_ = 0;
+  rt::Schedule lastSchedule_;
+  bool diverged_ = false;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExploreOptions opts = {}) : opts_(opts) {}
+
+  /// Explores schedules of `body`.  `oracle` returns true when the bug
+  /// manifested in a run (default: any abnormal termination).  `prepare`
+  /// (optional) runs before each execution (e.g. suite::Program::reset).
+  ExploreResult explore(
+      const std::function<void(rt::Runtime&)>& body,
+      const std::function<bool(const rt::RunResult&)>& oracle = {},
+      const std::function<void()>& prepare = {});
+
+ private:
+  ExploreOptions opts_;
+};
+
+}  // namespace mtt::explore

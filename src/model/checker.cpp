@@ -1,0 +1,506 @@
+#include "model/checker.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <unordered_set>
+
+#include "core/rng.hpp"
+
+namespace mtt::model {
+
+std::string_view to_string(SearchMode m) {
+  switch (m) {
+    case SearchMode::StatefulDfs: return "stateful-dfs";
+    case SearchMode::StatefulBfs: return "stateful-bfs";
+    case SearchMode::Stateless: return "stateless";
+    case SearchMode::RandomWalk: return "random-walk";
+  }
+  return "?";
+}
+
+namespace {
+
+struct State {
+  std::vector<std::uint32_t> pc;
+  std::vector<std::int64_t> regs;  // nthreads * kRegsPerThread
+  std::vector<std::int64_t> vars;
+  std::vector<std::int8_t> lockOwner;  // -1 = free
+};
+
+struct Hash128 {
+  std::uint64_t a = 0, b = 0;
+  bool operator==(const Hash128& o) const { return a == o.a && b == o.b; }
+};
+
+struct Hash128Hasher {
+  std::size_t operator()(const Hash128& h) const {
+    return static_cast<std::size_t>(h.a ^ (h.b * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+class Engine {
+ public:
+  Engine(const Program& p, const CheckOptions& opts) : p_(p), opts_(opts) {
+    threads_.assign(p.threads().begin(), p.threads().end());
+  }
+
+  CheckResult run() {
+    switch (opts_.mode) {
+      case SearchMode::StatefulDfs:
+        statefulDfs();
+        break;
+      case SearchMode::StatefulBfs:
+        statefulBfs();
+        break;
+      case SearchMode::Stateless:
+        statelessDfs();
+        break;
+      case SearchMode::RandomWalk:
+        randomWalk();
+        break;
+    }
+    return result_;
+  }
+
+ private:
+  State initial() const {
+    State s;
+    s.pc.assign(threads_.size(), 0);
+    s.regs.assign(threads_.size() * kRegsPerThread, 0);
+    s.vars.reserve(p_.vars().size());
+    for (const auto& v : p_.vars()) s.vars.push_back(v.init);
+    s.lockOwner.assign(p_.locks().size(), -1);
+    State s2 = s;
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+      fastForward(s2, static_cast<int>(t));
+    }
+    return s2;
+  }
+
+  /// Executes thread-local (invisible) instructions eagerly so each pc
+  /// always rests on a visible instruction or the end of the code.
+  void fastForward(State& s, int t) const {
+    const auto& code = threads_[t].code;
+    while (s.pc[t] < code.size() && !isVisible(code[s.pc[t]].kind)) {
+      const Inst& in = code[s.pc[t]];
+      std::int64_t* regs = &s.regs[t * kRegsPerThread];
+      switch (in.kind) {
+        case OpKind::Const:
+          regs[in.a] = in.b;
+          break;
+        case OpKind::Add:
+          regs[in.a] += regs[in.b];
+          break;
+        case OpKind::AddImm:
+          regs[in.a] += in.b;
+          break;
+        default:
+          break;
+      }
+      ++s.pc[t];
+    }
+  }
+
+  bool done(const State& s, int t) const {
+    return s.pc[t] >= threads_[t].code.size();
+  }
+
+  bool allDone(const State& s) const {
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+      if (!done(s, static_cast<int>(t))) return false;
+    }
+    return true;
+  }
+
+  const Inst& nextInst(const State& s, int t) const {
+    return threads_[t].code[s.pc[t]];
+  }
+
+  bool enabled(const State& s, int t) const {
+    if (done(s, t)) return false;
+    const Inst& in = nextInst(s, t);
+    return in.kind != OpKind::Acquire || s.lockOwner[in.a] == -1;
+  }
+
+  std::vector<int> enabledThreads(const State& s) const {
+    std::vector<int> out;
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+      if (enabled(s, static_cast<int>(t))) out.push_back(static_cast<int>(t));
+    }
+    return out;
+  }
+
+  /// Executes one visible step of thread t.  Returns true if an assertion
+  /// violated (recorded via noteViolation by the caller).
+  bool step(State& s, int t) const {
+    const Inst& in = nextInst(s, t);
+    std::int64_t* regs = &s.regs[t * kRegsPerThread];
+    bool assertFailed = false;
+    switch (in.kind) {
+      case OpKind::Acquire:
+        s.lockOwner[in.a] = static_cast<std::int8_t>(t);
+        break;
+      case OpKind::Release:
+        if (s.lockOwner[in.a] == t) s.lockOwner[in.a] = -1;
+        break;
+      case OpKind::Load:
+        regs[in.b] = s.vars[in.a];
+        break;
+      case OpKind::Store:
+        s.vars[in.a] = regs[in.b];
+        break;
+      case OpKind::AssertVarEq:
+        assertFailed = s.vars[in.a] != in.b;
+        break;
+      case OpKind::SkipIfNonZero:
+        if (s.vars[in.a] != 0) {
+          // Skip the next in.b visible instructions (invisible ones along
+          // the way are skipped too, NOT executed: the block is dead).
+          std::int64_t remaining = in.b;
+          const auto& code = threads_[t].code;
+          while (remaining > 0 && s.pc[t] + 1 < code.size()) {
+            ++s.pc[t];
+            if (isVisible(code[s.pc[t]].kind)) --remaining;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    ++s.pc[t];
+    fastForward(s, t);
+    ++result_.transitions;
+    return assertFailed;
+  }
+
+  Hash128 hash(const State& s) const {
+    auto fnv = [](const void* data, std::size_t n, std::uint64_t h) {
+      const auto* p = static_cast<const unsigned char*>(data);
+      for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+      }
+      return h;
+    };
+    Hash128 h{0xcbf29ce484222325ull, 0x84222325cbf29ce4ull};
+    auto mix = [&](const void* d, std::size_t n) {
+      h.a = fnv(d, n, h.a);
+      h.b = fnv(d, n, h.b ^ 0x5bd1e995u);
+    };
+    mix(s.pc.data(), s.pc.size() * sizeof(s.pc[0]));
+    mix(s.regs.data(), s.regs.size() * sizeof(s.regs[0]));
+    mix(s.vars.data(), s.vars.size() * sizeof(s.vars[0]));
+    mix(s.lockOwner.data(), s.lockOwner.size());
+    return h;
+  }
+
+  void noteViolation(Violation::Kind kind, std::string detail,
+                     const std::vector<int>& path) {
+    if (kind == Violation::Kind::Deadlock) {
+      ++result_.deadlocks;
+    } else {
+      ++result_.assertViolations;
+    }
+    if (!result_.firstViolation) {
+      Violation v;
+      v.kind = kind;
+      v.detail = std::move(detail);
+      v.schedule = path;
+      result_.firstViolation = std::move(v);
+    }
+  }
+
+  /// Terminal handling shared by all searches; returns true if a violation
+  /// was recorded at this terminal/deadlock state.
+  bool checkLeaf(const State& s, const std::vector<int>& path) {
+    if (allDone(s)) {
+      for (const auto& [var, expected] : p_.finalAsserts()) {
+        if (s.vars[var] != expected) {
+          noteViolation(Violation::Kind::FinalAssert,
+                        "final " + p_.vars()[var].name + " = " +
+                            std::to_string(s.vars[var]) + ", expected " +
+                            std::to_string(expected),
+                        path);
+          return true;
+        }
+      }
+      return false;
+    }
+    noteViolation(Violation::Kind::Deadlock, "no thread enabled", path);
+    return true;
+  }
+
+  bool stop() const {
+    return opts_.stopAtFirstViolation && result_.firstViolation.has_value();
+  }
+
+  // --- independence (for sleep sets) ----------------------------------------
+
+  bool conflict(const State& s, int t1, int t2) const {
+    const Inst& a = nextInst(s, t1);
+    const Inst& b = nextInst(s, t2);
+    auto lockOf = [](const Inst& i) {
+      return (i.kind == OpKind::Acquire || i.kind == OpKind::Release)
+                 ? i.a
+                 : -1;
+    };
+    auto varOf = [](const Inst& i) {
+      switch (i.kind) {
+        case OpKind::Load:
+        case OpKind::Store:
+        case OpKind::AssertVarEq:
+        case OpKind::SkipIfNonZero:
+          return i.a;
+        default:
+          return -1;
+      }
+    };
+    auto writes = [](const Inst& i) { return i.kind == OpKind::Store; };
+    if (lockOf(a) >= 0 && lockOf(a) == lockOf(b)) return true;
+    if (varOf(a) >= 0 && varOf(a) == varOf(b) && (writes(a) || writes(b))) {
+      return true;
+    }
+    return false;
+  }
+
+  // --- stateful DFS -----------------------------------------------------------
+
+  void statefulDfs() {
+    State s0 = initial();
+    visited_.clear();
+    visited_.insert(hash(s0));
+    result_.statesVisited = 1;
+    std::vector<int> path;
+    bool budget = dfs(s0, path);
+    result_.exhausted = budget && !(opts_.stopAtFirstViolation &&
+                                    result_.firstViolation.has_value());
+  }
+
+  bool dfs(const State& s, std::vector<int>& path) {
+    if (stop()) return true;
+    auto en = enabledThreads(s);
+    if (en.empty()) {
+      checkLeaf(s, path);
+      return true;
+    }
+    for (int t : en) {
+      State child = s;
+      bool assertFailed = step(child, t);
+      path.push_back(t);
+      if (assertFailed) {
+        noteViolation(Violation::Kind::Assert,
+                      "assertion in " + threads_[t].name, path);
+        path.pop_back();
+        if (stop()) return true;
+        continue;
+      }
+      Hash128 h = hash(child);
+      if (visited_.insert(h).second) {
+        ++result_.statesVisited;
+        if (result_.statesVisited > opts_.maxStates) {
+          path.pop_back();
+          return false;  // budget exhausted
+        }
+        if (!dfs(child, path)) {
+          path.pop_back();
+          return false;
+        }
+      }
+      path.pop_back();
+      if (stop()) return true;
+    }
+    return true;
+  }
+
+  // --- stateful BFS -----------------------------------------------------------
+
+  void statefulBfs() {
+    struct Node {
+      State s;
+      std::vector<int> path;
+    };
+    std::deque<Node> queue;
+    visited_.clear();
+    Node init{initial(), {}};
+    visited_.insert(hash(init.s));
+    result_.statesVisited = 1;
+    queue.push_back(std::move(init));
+    bool budget = true;
+    while (!queue.empty() && !stop()) {
+      Node n = std::move(queue.front());
+      queue.pop_front();
+      auto en = enabledThreads(n.s);
+      if (en.empty()) {
+        checkLeaf(n.s, n.path);
+        continue;
+      }
+      for (int t : en) {
+        State child = n.s;
+        bool assertFailed = step(child, t);
+        std::vector<int> childPath = n.path;
+        childPath.push_back(t);
+        if (assertFailed) {
+          noteViolation(Violation::Kind::Assert,
+                        "assertion in " + threads_[t].name, childPath);
+          continue;
+        }
+        Hash128 h = hash(child);
+        if (visited_.insert(h).second) {
+          ++result_.statesVisited;
+          if (result_.statesVisited > opts_.maxStates) {
+            budget = false;
+            break;
+          }
+          queue.push_back(Node{std::move(child), std::move(childPath)});
+        }
+      }
+      if (!budget) break;
+    }
+    result_.exhausted = budget && queue.empty() &&
+                        !(opts_.stopAtFirstViolation &&
+                          result_.firstViolation.has_value());
+  }
+
+  // --- stateless DFS (VeriSoft-style), optional sleep sets ---------------------
+
+  void statelessDfs() {
+    State s0 = initial();
+    std::vector<int> path;
+    bool budget = stateless(s0, 0u, path);
+    result_.exhausted = budget && !(opts_.stopAtFirstViolation &&
+                                    result_.firstViolation.has_value());
+  }
+
+  // sleep is a bitmask over thread indices.
+  bool stateless(const State& s, std::uint32_t sleep, std::vector<int>& path) {
+    if (stop()) return true;
+    auto en = enabledThreads(s);
+    if (en.empty()) {
+      ++result_.schedules;
+      checkLeaf(s, path);
+      return result_.schedules <= opts_.maxSchedules;
+    }
+    std::vector<int> explore;
+    for (int t : en) {
+      if (opts_.sleepSets && ((sleep >> t) & 1u)) continue;
+      explore.push_back(t);
+    }
+    if (explore.empty()) {
+      // Every enabled transition is asleep: this path is redundant.
+      return true;
+    }
+    std::uint32_t exploredMask = 0;
+    for (int t : explore) {
+      State child = s;
+      bool assertFailed = step(child, t);
+      path.push_back(t);
+      if (assertFailed) {
+        ++result_.schedules;
+        noteViolation(Violation::Kind::Assert,
+                      "assertion in " + threads_[t].name, path);
+        path.pop_back();
+        if (result_.schedules > opts_.maxSchedules) return false;
+        if (stop()) return true;
+        exploredMask |= (1u << t);
+        continue;
+      }
+      // Child's sleep set: previously sleeping or already-explored siblings
+      // whose next op is independent of t's op (evaluated in state s).
+      std::uint32_t childSleep = 0;
+      if (opts_.sleepSets) {
+        std::uint32_t candidates = sleep | exploredMask;
+        for (std::size_t q = 0; q < threads_.size(); ++q) {
+          if (((candidates >> q) & 1u) == 0) continue;
+          if (static_cast<int>(q) == t) continue;
+          if (!enabled(s, static_cast<int>(q))) continue;
+          if (!conflict(s, static_cast<int>(q), t)) {
+            childSleep |= (1u << q);
+          }
+        }
+      }
+      if (!stateless(child, childSleep, path)) {
+        path.pop_back();
+        return false;
+      }
+      path.pop_back();
+      if (stop()) return true;
+      exploredMask |= (1u << t);
+    }
+    return true;
+  }
+
+  // --- random walk ---------------------------------------------------------------
+
+  void randomWalk() {
+    Rng rng(opts_.seed);
+    for (std::uint64_t i = 0; i < opts_.randomWalks && !stop(); ++i) {
+      State s = initial();
+      std::vector<int> path;
+      for (;;) {
+        auto en = enabledThreads(s);
+        if (en.empty()) {
+          checkLeaf(s, path);
+          break;
+        }
+        int t = en[rng.below(en.size())];
+        path.push_back(t);
+        if (step(s, t)) {
+          noteViolation(Violation::Kind::Assert,
+                        "assertion in " + threads_[t].name, path);
+          break;
+        }
+      }
+      ++result_.schedules;
+    }
+    result_.exhausted = false;  // sampling never certifies exhaustion
+  }
+
+  const Program& p_;
+  CheckOptions opts_;
+  std::vector<ThreadCode> threads_;
+  mutable CheckResult result_;
+  std::unordered_set<Hash128, Hash128Hasher> visited_;
+};
+
+}  // namespace
+
+CheckResult check(const Program& p, const CheckOptions& opts) {
+  Engine e(p, opts);
+  return e.run();
+}
+
+std::string formatCounterexample(const Program& p, const Violation& v) {
+  std::vector<ThreadCode> threads(p.threads().begin(), p.threads().end());
+  std::vector<std::size_t> pc(threads.size(), 0);
+  std::string out;
+  auto instName = [](const Inst& in) {
+    switch (in.kind) {
+      case OpKind::Acquire: return std::string("acquire l") + std::to_string(in.a);
+      case OpKind::Release: return std::string("release l") + std::to_string(in.a);
+      case OpKind::Load: return std::string("load v") + std::to_string(in.a);
+      case OpKind::Store: return std::string("store v") + std::to_string(in.a);
+      case OpKind::AssertVarEq: return std::string("assert v") + std::to_string(in.a);
+      case OpKind::SkipIfNonZero:
+        return std::string("skip-if v") + std::to_string(in.a);
+      case OpKind::Const: return std::string("const");
+      case OpKind::Add: return std::string("add");
+      case OpKind::AddImm: return std::string("addimm");
+    }
+    return std::string("?");
+  };
+  for (int t : v.schedule) {
+    if (t < 0 || static_cast<std::size_t>(t) >= threads.size()) continue;
+    const auto& code = threads[t].code;
+    // Skip invisible ops, mirroring the checker's fast-forward.
+    while (pc[t] < code.size() && !isVisible(code[pc[t]].kind)) ++pc[t];
+    if (pc[t] < code.size()) {
+      out += threads[t].name + ": " + instName(code[pc[t]]) + "\n";
+      ++pc[t];
+    }
+  }
+  out += "=> " + v.detail + "\n";
+  return out;
+}
+
+}  // namespace mtt::model

@@ -1,0 +1,71 @@
+// Explicit-state model checker over the concurrency IR — the paper's
+// "systematic and exhaustive state-space exploration" (Section 2.1), with
+// the VeriSoft-vs-CMC contrast of Section 2.2 built in as search modes:
+//
+//   * Stateful  — CMC-style: "uses traditional state-based search
+//     algorithms, not state-less search, so it uses 'clone' procedures to
+//     copy the system state".  Visited-state hashing prunes re-exploration.
+//   * Stateless — VeriSoft-style: enumerate schedules, re-executing from the
+//     initial state each time; no visited set, so shared prefixes are
+//     re-explored (experiment E6 measures the cost gap).
+//   * RandomWalk — sample random complete schedules (the baseline).
+//
+// Sleep sets (a classic partial-order reduction) can be enabled for the
+// stateful searches; E6 ablates their effect.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/ir.hpp"
+
+namespace mtt::model {
+
+enum class SearchMode : std::uint8_t {
+  StatefulDfs,
+  StatefulBfs,
+  Stateless,
+  RandomWalk,
+};
+
+std::string_view to_string(SearchMode m);
+
+struct CheckOptions {
+  SearchMode mode = SearchMode::StatefulDfs;
+  bool sleepSets = false;      ///< partial-order reduction (stateful only)
+  std::uint64_t maxStates = 5'000'000;   ///< stateful exploration budget
+  std::uint64_t maxSchedules = 5'000'000;  ///< stateless/random budget
+  std::uint64_t randomWalks = 1000;     ///< RandomWalk sample count
+  std::uint64_t seed = 1;
+  bool stopAtFirstViolation = false;
+};
+
+struct Violation {
+  enum class Kind : std::uint8_t { Assert, FinalAssert, Deadlock };
+  Kind kind = Kind::Assert;
+  std::string detail;
+  /// Thread indices, in execution order, reproducing the violation.
+  std::vector<int> schedule;
+};
+
+struct CheckResult {
+  bool exhausted = false;  ///< full state space covered within budget
+  std::uint64_t statesVisited = 0;   ///< distinct states (stateful)
+  std::uint64_t transitions = 0;     ///< instructions executed
+  std::uint64_t schedules = 0;       ///< complete executions (stateless)
+  std::uint64_t deadlocks = 0;
+  std::uint64_t assertViolations = 0;
+  std::optional<Violation> firstViolation;
+
+  bool foundBug() const { return firstViolation.has_value(); }
+};
+
+CheckResult check(const Program& p, const CheckOptions& opts = {});
+
+/// Re-executes a violation schedule and renders a human-readable
+/// counterexample listing (thread name + instruction per step).
+std::string formatCounterexample(const Program& p, const Violation& v);
+
+}  // namespace mtt::model

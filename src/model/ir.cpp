@@ -1,0 +1,89 @@
+#include "model/ir.hpp"
+
+namespace mtt::model {
+
+bool isVisible(OpKind k) {
+  switch (k) {
+    case OpKind::Const:
+    case OpKind::Add:
+    case OpKind::AddImm:
+      return false;
+    default:
+      return true;
+  }
+}
+
+ThreadBuilder& ThreadBuilder::acquire(int lock) {
+  code_->code.push_back(Inst{OpKind::Acquire, lock, 0});
+  return *this;
+}
+ThreadBuilder& ThreadBuilder::release(int lock) {
+  code_->code.push_back(Inst{OpKind::Release, lock, 0});
+  return *this;
+}
+ThreadBuilder& ThreadBuilder::load(int var, int reg) {
+  code_->code.push_back(Inst{OpKind::Load, var, reg});
+  return *this;
+}
+ThreadBuilder& ThreadBuilder::store(int var, int reg) {
+  code_->code.push_back(Inst{OpKind::Store, var, reg});
+  return *this;
+}
+ThreadBuilder& ThreadBuilder::constant(int reg, std::int64_t value) {
+  code_->code.push_back(Inst{OpKind::Const, reg, value});
+  return *this;
+}
+ThreadBuilder& ThreadBuilder::add(int dstReg, int srcReg) {
+  code_->code.push_back(Inst{OpKind::Add, dstReg, srcReg});
+  return *this;
+}
+ThreadBuilder& ThreadBuilder::addImm(int reg, std::int64_t value) {
+  code_->code.push_back(Inst{OpKind::AddImm, reg, value});
+  return *this;
+}
+ThreadBuilder& ThreadBuilder::assertVarEq(int var, std::int64_t value) {
+  code_->code.push_back(Inst{OpKind::AssertVarEq, var, value});
+  return *this;
+}
+ThreadBuilder& ThreadBuilder::skipIfNonZero(int var, int visibleOps) {
+  code_->code.push_back(Inst{OpKind::SkipIfNonZero, var, visibleOps});
+  return *this;
+}
+ThreadBuilder& ThreadBuilder::incrementVar(int var, std::int64_t delta) {
+  load(var, 0);
+  addImm(0, delta);
+  store(var, 0);
+  return *this;
+}
+ThreadBuilder& ThreadBuilder::repeat(
+    int k, const std::function<void(ThreadBuilder&)>& body) {
+  for (int i = 0; i < k; ++i) body(*this);
+  return *this;
+}
+
+int Program::addVar(std::string name, std::int64_t init) {
+  vars_.push_back(VarDecl{std::move(name), init});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int Program::addLock(std::string name) {
+  locks_.push_back(std::move(name));
+  return static_cast<int>(locks_.size()) - 1;
+}
+
+ThreadBuilder Program::thread(std::string name) {
+  threads_.push_back(ThreadCode{std::move(name), {}});
+  return ThreadBuilder(threads_.back());
+}
+
+void Program::finalAssert(int var, std::int64_t expected) {
+  finalAsserts_.emplace_back(var, expected);
+}
+
+std::size_t Program::totalInstructions() const {
+  std::size_t n = 0;
+  for (const auto& t : threads_) n += t.code.size();
+  return n;
+}
+
+}  // namespace mtt::model

@@ -1,0 +1,130 @@
+// A small concurrency IR — the "model" side of the paper's static
+// technologies (Section 2.1).
+//
+// Model checkers "are traditionally used to verify models of software
+// expressed in special modeling languages, which are simpler and higher-
+// level than general-purpose programming languages".  This is that modeling
+// language for mtt: a program is a set of threads, each a straight-line
+// sequence of instructions over shared variables, per-thread registers and
+// locks (loops are unrolled by the builder).  Straight-line code keeps every
+// static analysis exact and the state space finite.
+//
+// The IR serves three paper roles:
+//  1. input to the explicit-state model checker (model/checker.hpp) — the
+//     formal-verification technology;
+//  2. input to the static analyses (model/static.hpp) — escape analysis,
+//     static lockset, static lock-order graph;
+//  3. the source of "information useful for other technologies" (Section 3):
+//     escape results drive instrumentation filtering, targeted noise and
+//     coverage feasibility.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mtt::model {
+
+inline constexpr int kRegsPerThread = 4;
+
+enum class OpKind : std::uint8_t {
+  Acquire,      ///< a = lock
+  Release,      ///< a = lock
+  Load,         ///< reg[b] = vars[a]
+  Store,        ///< vars[a] = reg[b]
+  Const,        ///< reg[a] = b
+  Add,          ///< reg[a] += reg[b]
+  AddImm,       ///< reg[a] += b
+  AssertVarEq,  ///< violation if vars[a] != b (checked atomically)
+  /// if vars[a] != 0, skip the next b *visible* instructions.  The only
+  /// control flow in the IR; the static analyses treat the guarded block
+  /// conservatively (its accesses may or may not execute).  By convention a
+  /// skipped block must not contain Acquire/Release (lock scoping stays
+  /// linear); the builder enforces nothing, the checker executes faithfully.
+  SkipIfNonZero,
+};
+
+struct Inst {
+  OpKind kind;
+  std::int32_t a = 0;
+  std::int64_t b = 0;
+};
+
+/// True when the instruction touches shared state (a scheduling-visible
+/// transition).  Const/Add/AddImm are thread-local and are fused into the
+/// next visible instruction by the checker.
+bool isVisible(OpKind k);
+
+struct ThreadCode {
+  std::string name;
+  std::vector<Inst> code;
+};
+
+struct VarDecl {
+  std::string name;
+  std::int64_t init = 0;
+};
+
+class Program;
+
+/// Fluent builder for one thread's code.
+class ThreadBuilder {
+ public:
+  ThreadBuilder& acquire(int lock);
+  ThreadBuilder& release(int lock);
+  ThreadBuilder& load(int var, int reg);
+  ThreadBuilder& store(int var, int reg);
+  ThreadBuilder& constant(int reg, std::int64_t value);
+  ThreadBuilder& add(int dstReg, int srcReg);
+  ThreadBuilder& addImm(int reg, std::int64_t value);
+  ThreadBuilder& assertVarEq(int var, std::int64_t value);
+  ThreadBuilder& skipIfNonZero(int var, int visibleOps);
+  /// Convenience: reg0 = var; reg0 += delta; var = reg0 (the canonical racy
+  /// read-modify-write).
+  ThreadBuilder& incrementVar(int var, std::int64_t delta = 1);
+  /// Unrolls `body` k times.
+  ThreadBuilder& repeat(int k, const std::function<void(ThreadBuilder&)>& body);
+
+ private:
+  friend class Program;
+  explicit ThreadBuilder(ThreadCode& code) : code_(&code) {}
+  ThreadCode* code_;
+};
+
+/// A closed concurrent program: shared variables, locks, threads, and a
+/// final-state invariant.
+class Program {
+ public:
+  explicit Program(std::string name) : name_(std::move(name)) {}
+
+  int addVar(std::string name, std::int64_t init = 0);
+  int addLock(std::string name);
+  ThreadBuilder thread(std::string name);
+
+  /// Adds a final-state invariant: vars[var] == expected once every thread
+  /// has terminated.
+  void finalAssert(int var, std::int64_t expected);
+
+  const std::string& name() const { return name_; }
+  const std::vector<VarDecl>& vars() const { return vars_; }
+  const std::vector<std::string>& locks() const { return locks_; }
+  const std::deque<ThreadCode>& threads() const { return threads_; }
+  const std::vector<std::pair<int, std::int64_t>>& finalAsserts() const {
+    return finalAsserts_;
+  }
+
+  std::size_t totalInstructions() const;
+
+ private:
+  std::string name_;
+  std::vector<VarDecl> vars_;
+  std::vector<std::string> locks_;
+  // deque: ThreadBuilder keeps a pointer into the container, so growth must
+  // not relocate existing elements.
+  std::deque<ThreadCode> threads_;
+  std::vector<std::pair<int, std::int64_t>> finalAsserts_;
+};
+
+}  // namespace mtt::model

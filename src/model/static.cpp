@@ -1,0 +1,179 @@
+#include "model/static.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace mtt::model {
+
+namespace {
+
+struct AccessRecord {
+  int thread;
+  bool write;
+  std::set<int> held;
+};
+
+/// Scans every thread's straight-line code, tracking the held-lock set, and
+/// returns all variable accesses with their protection.
+std::vector<std::vector<AccessRecord>> collectAccesses(const Program& p) {
+  std::vector<std::vector<AccessRecord>> perVar(p.vars().size());
+  int tIdx = 0;
+  for (const auto& t : p.threads()) {
+    std::set<int> held;
+    for (const Inst& in : t.code) {
+      switch (in.kind) {
+        case OpKind::Acquire:
+          held.insert(in.a);
+          break;
+        case OpKind::Release:
+          held.erase(in.a);
+          break;
+        case OpKind::Load:
+        case OpKind::AssertVarEq:
+        case OpKind::SkipIfNonZero:
+          perVar[in.a].push_back(AccessRecord{tIdx, false, held});
+          break;
+        case OpKind::Store:
+          perVar[in.a].push_back(AccessRecord{tIdx, true, held});
+          break;
+        default:
+          break;
+      }
+    }
+    ++tIdx;
+  }
+  return perVar;
+}
+
+}  // namespace
+
+EscapeResult escapeAnalysis(const Program& p) {
+  auto perVar = collectAccesses(p);
+  EscapeResult out;
+  for (std::size_t v = 0; v < perVar.size(); ++v) {
+    std::set<int> threads;
+    for (const auto& a : perVar[v]) threads.insert(a.thread);
+    if (threads.size() >= 2) {
+      out.sharedVars.insert(static_cast<int>(v));
+      out.sharedVarNames.insert(p.vars()[v].name);
+    } else {
+      out.localVars.insert(static_cast<int>(v));
+      out.localVarNames.insert(p.vars()[v].name);
+    }
+  }
+  return out;
+}
+
+std::vector<StaticRaceWarning> staticLockset(const Program& p) {
+  auto perVar = collectAccesses(p);
+  EscapeResult esc = escapeAnalysis(p);
+  std::vector<StaticRaceWarning> out;
+  for (std::size_t v = 0; v < perVar.size(); ++v) {
+    if (!esc.isShared(static_cast<int>(v))) continue;
+    const auto& accesses = perVar[v];
+    if (accesses.empty()) continue;
+    std::set<int> common = accesses.front().held;
+    bool hasWrite = false;
+    for (const auto& a : accesses) {
+      std::set<int> inter;
+      std::set_intersection(common.begin(), common.end(), a.held.begin(),
+                            a.held.end(),
+                            std::inserter(inter, inter.begin()));
+      common = std::move(inter);
+      hasWrite = hasWrite || a.write;
+    }
+    if (common.empty() && hasWrite) {
+      StaticRaceWarning w;
+      w.var = static_cast<int>(v);
+      w.varName = p.vars()[v].name;
+      w.hasWrite = true;
+      w.detail = "shared variable written with empty common lockset";
+      out.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+std::vector<StaticDeadlockWarning> staticLockGraph(const Program& p) {
+  std::map<int, std::set<int>> edges;
+  for (const auto& t : p.threads()) {
+    std::vector<int> held;
+    for (const Inst& in : t.code) {
+      if (in.kind == OpKind::Acquire) {
+        for (int h : held) {
+          if (h != in.a) edges[h].insert(in.a);
+        }
+        held.push_back(in.a);
+      } else if (in.kind == OpKind::Release) {
+        auto it = std::find(held.rbegin(), held.rend(), in.a);
+        if (it != held.rend()) held.erase(std::next(it).base());
+      }
+    }
+  }
+  // Cycle detection (small graphs: simple colored DFS).
+  std::vector<StaticDeadlockWarning> out;
+  std::set<std::vector<int>> seen;
+  std::map<int, int> color;
+  std::vector<int> path;
+  std::function<void(int)> dfs = [&](int n) {
+    color[n] = 1;
+    path.push_back(n);
+    for (int m : edges[n]) {
+      if (color[m] == 1) {
+        auto start = std::find(path.begin(), path.end(), m);
+        std::vector<int> cycle(start, path.end());
+        auto mn = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), mn, cycle.end());
+        if (seen.insert(cycle).second) {
+          StaticDeadlockWarning w;
+          w.cycle = cycle;
+          w.detail = "lock-order cycle of " + std::to_string(cycle.size()) +
+                     " locks";
+          out.push_back(std::move(w));
+        }
+      } else if (color[m] == 0) {
+        dfs(m);
+      }
+    }
+    path.pop_back();
+    color[n] = 2;
+  };
+  for (const auto& [n, _] : edges) {
+    if (color[n] == 0) dfs(n);
+  }
+  return out;
+}
+
+std::function<bool(const Event&)> makeSharedVarEventFilter(
+    rt::Runtime& rt, std::set<std::string> sharedNames) {
+  // The cache is shared by all invocations of the returned filter; the
+  // filter runs under the runtime's dispatch serialization in controlled
+  // mode and must be internally synchronized for native mode.
+  struct State {
+    rt::Runtime* rt;
+    std::set<std::string> names;
+    std::map<ObjectId, bool> cache;
+    std::mutex mu;
+  };
+  auto st = std::make_shared<State>();
+  st->rt = &rt;
+  st->names = std::move(sharedNames);
+  return [st](const Event& e) {
+    if (e.kind != EventKind::VarRead && e.kind != EventKind::VarWrite) {
+      return true;
+    }
+    std::lock_guard<std::mutex> lk(st->mu);
+    auto it = st->cache.find(e.object);
+    if (it != st->cache.end()) return it->second;
+    bool shared = st->names.count(st->rt->objectInfo(e.object).name) != 0;
+    st->cache[e.object] = shared;
+    return shared;
+  };
+}
+
+std::set<std::string> contentionTaskUniverse(const Program& p) {
+  return escapeAnalysis(p).sharedVarNames;
+}
+
+}  // namespace mtt::model

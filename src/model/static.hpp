@@ -1,0 +1,78 @@
+// Static analyses over the concurrency IR — Section 2.1 of the paper:
+//
+//   "escape analysis is used to determine which variables are thread-local
+//    and which may be shared; this information can be used to optimize the
+//    model, or to guide the placement of instrumentation used by dynamic
+//    testing techniques."
+//
+// Three analyses, all exact on the straight-line IR:
+//   * escapeAnalysis   — shared vs thread-local variables;
+//   * staticLockset    — Eraser's discipline, statically: a shared variable
+//     written without a common protecting lock is a potential race (the
+//     "type systems for detecting data races" analog);
+//   * staticLockGraph  — lock-order cycles = potential deadlocks.
+//
+// Plus the Section 3 information flow into the dynamic side:
+//   * makeSharedVarEventFilter — an instrumentation filter for a Runtime
+//     that suppresses events on thread-local variables ("this can be used
+//     to decide on a subset of the points to be instrumented"), and
+//   * contentionTaskUniverse — the feasible-task set for contention
+//     coverage (only shared variables can ever experience contention).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "model/ir.hpp"
+#include "rt/runtime.hpp"
+
+namespace mtt::model {
+
+struct EscapeResult {
+  std::set<int> sharedVars;
+  std::set<std::string> sharedVarNames;
+  std::set<int> localVars;
+  std::set<std::string> localVarNames;
+
+  bool isShared(int var) const { return sharedVars.count(var) != 0; }
+};
+
+EscapeResult escapeAnalysis(const Program& p);
+
+struct StaticRaceWarning {
+  int var = -1;
+  std::string varName;
+  /// True when at least one unprotected access is a write.
+  bool hasWrite = false;
+  std::string detail;
+};
+
+/// For each shared variable: intersect the lock sets held at its accesses
+/// across all threads; an empty intersection with at least one write is a
+/// potential race.
+std::vector<StaticRaceWarning> staticLockset(const Program& p);
+
+struct StaticDeadlockWarning {
+  std::vector<int> cycle;  ///< lock indices in cycle order
+  std::string detail;
+};
+
+/// Lock-order graph over the IR; cycles are potential deadlocks.
+std::vector<StaticDeadlockWarning> staticLockGraph(const Program& p);
+
+/// Builds a Runtime event filter that passes everything except variable
+/// accesses on objects whose names are NOT in `sharedNames` (i.e. events on
+/// thread-local variables are suppressed).  Name→id resolution is cached
+/// per object id.
+std::function<bool(const Event&)> makeSharedVarEventFilter(
+    rt::Runtime& rt, std::set<std::string> sharedNames);
+
+/// The feasible contention-coverage task universe: exactly the shared
+/// variables (thread-local variables can never be contended — the
+/// infeasible tasks the paper says plague concurrent coverage models).
+std::set<std::string> contentionTaskUniverse(const Program& p);
+
+}  // namespace mtt::model

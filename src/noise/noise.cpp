@@ -1,0 +1,170 @@
+#include "noise/noise.hpp"
+
+#include <vector>
+
+namespace mtt::noise {
+
+void NoiseMaker::onRunStart(const RunInfo& info) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Derive the noise stream from the run seed but keep it distinct from the
+  // schedule policy's stream.
+  rng_ = Rng(mix_seed(info.seed, 0x6e6f697365ull /* "noise" */));
+  mode_ = info.mode;
+  injections_ = 0;
+}
+
+bool NoiseMaker::eligible(const Event& e) {
+  switch (e.kind) {
+    case EventKind::Yield:  // never recurse on noise's own yields
+    case EventKind::ThreadFinish:
+      return false;
+    default:
+      // ThreadStart is eligible on purpose: noise right after start delays
+      // a thread's *first* operation, which is what exposes order
+      // violations and sleep-based synchronization.
+      return true;
+  }
+}
+
+std::uint32_t NoiseMaker::sampleSleep() {
+  std::uint32_t max = mode_ == RuntimeMode::Native ? opts_.maxSleepNative
+                                                   : opts_.maxSleepControlled;
+  if (max == 0) return 1;
+  return static_cast<std::uint32_t>(rng_.below(max)) + 1;
+}
+
+void NoiseMaker::onEvent(const Event& e) {
+  if (!eligible(e)) return;
+  rt::Runtime::NoiseRequest req;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    req = decide(e);
+    if (req.kind != rt::Runtime::NoiseRequest::Kind::None) ++injections_;
+  }
+  if (req.kind != rt::Runtime::NoiseRequest::Kind::None) {
+    rt_->postNoise(req);
+  }
+}
+
+rt::Runtime::NoiseRequest YieldNoise::decide(const Event& e) {
+  (void)e;
+  rt::Runtime::NoiseRequest req;
+  if (rng().chance(opts().strength)) {
+    req.kind = rt::Runtime::NoiseRequest::Kind::Yield;
+    req.amount =
+        static_cast<std::uint32_t>(rng().below(opts().maxYields)) + 1;
+  }
+  return req;
+}
+
+rt::Runtime::NoiseRequest SleepNoise::decide(const Event& e) {
+  (void)e;
+  rt::Runtime::NoiseRequest req;
+  if (rng().chance(opts().strength)) {
+    req.kind = rt::Runtime::NoiseRequest::Kind::Sleep;
+    req.amount = sampleSleep();
+  }
+  return req;
+}
+
+rt::Runtime::NoiseRequest MixedNoise::decide(const Event& e) {
+  (void)e;
+  rt::Runtime::NoiseRequest req;
+  if (rng().chance(opts().strength)) {
+    if (rng().chance(0.5)) {
+      req.kind = rt::Runtime::NoiseRequest::Kind::Yield;
+      req.amount =
+          static_cast<std::uint32_t>(rng().below(opts().maxYields)) + 1;
+    } else {
+      req.kind = rt::Runtime::NoiseRequest::Kind::Sleep;
+      req.amount = sampleSleep();
+    }
+  }
+  return req;
+}
+
+TargetedNoise::TargetedNoise(rt::Runtime& rt, std::set<ObjectId> sharedVars,
+                             NoiseOptions opts)
+    : NoiseMaker(rt, opts), rtForNames_(&rt), targets_(std::move(sharedVars)) {}
+
+TargetedNoise::TargetedNoise(rt::Runtime& rt,
+                             std::set<std::string> sharedVarNames,
+                             NoiseOptions opts)
+    : NoiseMaker(rt, opts),
+      rtForNames_(&rt),
+      targetNames_(std::move(sharedVarNames)) {}
+
+bool TargetedNoise::isTarget(ObjectId var) {
+  if (targets_.count(var) != 0) return true;
+  if (targetNames_.empty()) return false;
+  auto it = cache_.find(var);
+  if (it != cache_.end()) return it->second;
+  bool hit = targetNames_.count(rtForNames_->objectInfo(var).name) != 0;
+  cache_[var] = hit;
+  return hit;
+}
+
+rt::Runtime::NoiseRequest TargetedNoise::decide(const Event& e) {
+  rt::Runtime::NoiseRequest req;
+  if (e.kind != EventKind::VarRead && e.kind != EventKind::VarWrite) {
+    return req;  // only variable accesses are targeted
+  }
+  if (!isTarget(e.object)) return req;
+  // Full-strength perturbation at the interesting points only.
+  if (rng().chance(std::min(1.0, opts().strength * 4.0))) {
+    if (rng().chance(0.5)) {
+      req.kind = rt::Runtime::NoiseRequest::Kind::Yield;
+      req.amount =
+          static_cast<std::uint32_t>(rng().below(opts().maxYields)) + 1;
+    } else {
+      req.kind = rt::Runtime::NoiseRequest::Kind::Sleep;
+      req.amount = sampleSleep();
+    }
+  }
+  return req;
+}
+
+void CoverageDirectedNoise::onRunStart(const RunInfo& info) {
+  NoiseMaker::onRunStart(info);
+  // siteInjections_ deliberately persists: the heuristic learns across runs.
+  siteHits_.clear();
+}
+
+rt::Runtime::NoiseRequest CoverageDirectedNoise::decide(const Event& e) {
+  rt::Runtime::NoiseRequest req;
+  ++siteHits_[e.syncSite];
+  std::uint64_t inj = siteInjections_[e.syncSite];
+  // Cold sites get boosted probability, hot sites get throttled: the
+  // injection probability decays with the count of past injections here.
+  double p = opts().strength * 4.0 / (1.0 + static_cast<double>(inj));
+  if (rng().chance(std::min(1.0, p))) {
+    ++siteInjections_[e.syncSite];
+    if (rng().chance(0.5)) {
+      req.kind = rt::Runtime::NoiseRequest::Kind::Yield;
+      req.amount =
+          static_cast<std::uint32_t>(rng().below(opts().maxYields)) + 1;
+    } else {
+      req.kind = rt::Runtime::NoiseRequest::Kind::Sleep;
+      req.amount = sampleSleep();
+    }
+  }
+  return req;
+}
+
+std::unique_ptr<NoiseMaker> makeNoise(const std::string& name,
+                                      rt::Runtime& rt, NoiseOptions opts) {
+  if (name == "none") return std::make_unique<NoNoise>(rt, opts);
+  if (name == "yield") return std::make_unique<YieldNoise>(rt, opts);
+  if (name == "sleep") return std::make_unique<SleepNoise>(rt, opts);
+  if (name == "mixed") return std::make_unique<MixedNoise>(rt, opts);
+  if (name == "coverage-directed") {
+    return std::make_unique<CoverageDirectedNoise>(rt, opts);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> noiseNames() {
+  return {"none", "yield", "sleep", "mixed", "coverage-directed"};
+}
+
+}  // namespace mtt::noise

@@ -1,0 +1,174 @@
+// Noise makers — Section 2.2 of the paper:
+//
+//   "In the concurrent domain, noise makers are tools that force different
+//    legal interleavings for each execution of the test [...] The noise
+//    heuristic, during the execution of the program, receives calls embedded
+//    by the instrumentor.  When such a call is received, the noise heuristic
+//    decides, randomly or based on specific statistics or coverage, if some
+//    kind of delay is needed."
+//
+// Every noise maker is a Listener: it observes the event stream and posts
+// NoiseRequests back to the runtime (Runtime::postNoise), which injects a
+// real yield/sleep natively or an extra scheduling decision in controlled
+// mode.  The two research questions the paper names — which heuristic, and
+// where to embed it — map to the heuristic subclasses and to the
+// TargetedNoise filter (driven by static-analysis results) respectively.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "core/listener.hpp"
+#include "core/rng.hpp"
+#include "rt/runtime.hpp"
+
+namespace mtt::noise {
+
+/// Tuning knobs shared by all heuristics.
+struct NoiseOptions {
+  /// Probability of injecting a perturbation at an eligible event.
+  double strength = 0.1;
+  /// Maximum yields per injection (yield heuristics).
+  std::uint32_t maxYields = 4;
+  /// Maximum sleep per injection: microseconds natively, virtual ticks in
+  /// controlled mode (sampled uniformly in [1, max]).
+  std::uint32_t maxSleepNative = 1000;
+  std::uint32_t maxSleepControlled = 40;
+};
+
+/// Base class: seed handling and the injection plumbing.
+class NoiseMaker : public Listener {
+ public:
+  explicit NoiseMaker(rt::Runtime& rt, NoiseOptions opts = {})
+      : rt_(&rt), opts_(opts) {}
+
+  virtual std::string name() const = 0;
+
+  void onRunStart(const RunInfo& info) override;
+  void onEvent(const Event& e) override;
+
+  std::uint64_t injections() const { return injections_; }
+
+ protected:
+  /// Decides whether/how to perturb at this event; kNone for no noise.
+  /// Called with the internal lock held; implementations use rng() freely.
+  virtual rt::Runtime::NoiseRequest decide(const Event& e) = 0;
+
+  /// True for event kinds where noise is meaningful (variable accesses and
+  /// synchronization operations; never Yield, which would recurse).
+  static bool eligible(const Event& e);
+
+  Rng& rng() { return rng_; }
+  const NoiseOptions& opts() const { return opts_; }
+  RuntimeMode mode() const { return mode_; }
+
+  /// Sleep amount in the current mode's unit.
+  std::uint32_t sampleSleep();
+
+ private:
+  rt::Runtime* rt_;
+  NoiseOptions opts_;
+  Rng rng_{0};
+  RuntimeMode mode_ = RuntimeMode::Native;
+  std::uint64_t injections_ = 0;
+  std::mutex mu_;  // native mode: events arrive concurrently
+};
+
+/// No perturbation at all — the baseline every experiment compares against.
+class NoNoise final : public NoiseMaker {
+ public:
+  using NoiseMaker::NoiseMaker;
+  std::string name() const override { return "none"; }
+
+ protected:
+  rt::Runtime::NoiseRequest decide(const Event&) override { return {}; }
+};
+
+/// Random yields: cheap, mild perturbation.
+class YieldNoise final : public NoiseMaker {
+ public:
+  using NoiseMaker::NoiseMaker;
+  std::string name() const override { return "yield"; }
+
+ protected:
+  rt::Runtime::NoiseRequest decide(const Event& e) override;
+};
+
+/// Random sleeps: stronger perturbation (a sleeping thread lets every other
+/// thread pass it), at a higher runtime cost.
+class SleepNoise final : public NoiseMaker {
+ public:
+  using NoiseMaker::NoiseMaker;
+  std::string name() const override { return "sleep"; }
+
+ protected:
+  rt::Runtime::NoiseRequest decide(const Event& e) override;
+};
+
+/// ConTest-style mixed heuristic: each injection randomly chooses yield or
+/// sleep with random intensity.
+class MixedNoise final : public NoiseMaker {
+ public:
+  using NoiseMaker::NoiseMaker;
+  std::string name() const override { return "mixed"; }
+
+ protected:
+  rt::Runtime::NoiseRequest decide(const Event& e) override;
+};
+
+/// Decorator answering the paper's "where should calls be embedded"
+/// question: perturb only at accesses to a given set of shared variables
+/// (typically the escape-analysis result from mtt::model), with full
+/// strength there.  Sync events pass through to the inner heuristic.
+class TargetedNoise final : public NoiseMaker {
+ public:
+  TargetedNoise(rt::Runtime& rt, std::set<ObjectId> sharedVars,
+                NoiseOptions opts = {});
+  /// Variant that resolves variable *names* to ids lazily through the
+  /// runtime's object registry (names are stable across runs, ids are not).
+  TargetedNoise(rt::Runtime& rt, std::set<std::string> sharedVarNames,
+                NoiseOptions opts = {});
+  std::string name() const override { return "targeted"; }
+
+ protected:
+  rt::Runtime::NoiseRequest decide(const Event& e) override;
+
+ private:
+  bool isTarget(ObjectId var);
+  rt::Runtime* rtForNames_;
+  std::set<ObjectId> targets_;
+  std::set<std::string> targetNames_;
+  std::map<ObjectId, bool> cache_;
+};
+
+/// Coverage-directed heuristic: keeps per-site injection counts and focuses
+/// noise on rarely-perturbed sites, so over many runs the perturbation
+/// budget spreads across the program instead of hammering hot inner loops.
+class CoverageDirectedNoise final : public NoiseMaker {
+ public:
+  using NoiseMaker::NoiseMaker;
+  std::string name() const override { return "coverage-directed"; }
+  void onRunStart(const RunInfo& info) override;
+
+ protected:
+  rt::Runtime::NoiseRequest decide(const Event& e) override;
+
+ private:
+  std::map<SiteId, std::uint64_t> siteInjections_;  // persists across runs
+  std::map<SiteId, std::uint64_t> siteHits_;
+};
+
+/// Factory by heuristic name ("none", "yield", "sleep", "mixed",
+/// "coverage-directed"); TargetedNoise needs its variable set and is built
+/// explicitly.
+std::unique_ptr<NoiseMaker> makeNoise(const std::string& name,
+                                      rt::Runtime& rt,
+                                      NoiseOptions opts = {});
+std::vector<std::string> noiseNames();
+
+}  // namespace mtt::noise

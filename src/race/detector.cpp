@@ -1,0 +1,51 @@
+#include "race/detector.hpp"
+
+#include "core/site.hpp"
+
+namespace mtt::race {
+
+std::string RaceWarning::describe() const {
+  auto& reg = SiteRegistry::instance();
+  std::string out = "race on var#" + std::to_string(variable) + ": T" +
+                    std::to_string(firstThread) + " " +
+                    (firstAccess == Access::Write ? "write" : "read") + " @" +
+                    reg.describe(firstSite) + " vs T" +
+                    std::to_string(secondThread) + " " +
+                    (secondAccess == Access::Write ? "write" : "read") + " @" +
+                    reg.describe(secondSite);
+  if (onBugSite) out += " [annotated bug]";
+  if (!detail.empty()) out += " (" + detail + ")";
+  return out;
+}
+
+std::size_t RaceDetector::trueAlarms() const {
+  std::size_t n = 0;
+  for (const auto& w : warnings_) {
+    if (w.onBugSite) ++n;
+  }
+  return n;
+}
+
+void RaceDetector::onRunStart(const RunInfo& info) {
+  (void)info;
+  warnings_.clear();
+  resetState();
+}
+
+void RaceDetector::report(RaceWarning w) {
+  if (alreadyReported(w.variable, w.firstSite, w.secondSite)) return;
+  warnings_.push_back(std::move(w));
+}
+
+bool RaceDetector::alreadyReported(ObjectId var, SiteId a, SiteId b) const {
+  for (const auto& w : warnings_) {
+    if (w.variable != var) continue;
+    if ((w.firstSite == a && w.secondSite == b) ||
+        (w.firstSite == b && w.secondSite == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mtt::race

@@ -1,0 +1,76 @@
+// Race detectors — the paper's flagship dynamic technology (Section 2.2):
+//
+//   "A race is defined as accesses to a variable by two threads, at least
+//    one of which is a write, which have no synchronization statement
+//    temporally between them.  [...]  The main problem of race detectors of
+//    all breeds is that they produce too many false alarms."
+//
+// Four detectors share this interface; all consume the standard Event
+// stream, online (as Listeners) or offline (via mtt::trace::feed):
+//   * EraserDetector     — lockset algorithm (Savage et al., TOCS 1997)
+//   * DjitDetector       — vector-clock happens-before (DJIT+ style)
+//   * FastTrackDetector  — epoch-optimized happens-before
+//   * HybridDetector     — lockset candidates filtered by happens-before
+//
+// Warnings carry the two access sites so they can be checked against the
+// benchmark's bug annotations: a warning whose sites include a bug-marked
+// site is a true alarm, anything else counts toward the false-alarm rate
+// the paper says detectors compete on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/listener.hpp"
+
+namespace mtt::race {
+
+struct RaceWarning {
+  ObjectId variable = kNoObject;
+  /// Previous conflicting access.
+  ThreadId firstThread = kNoThread;
+  SiteId firstSite = kNoSite;
+  Access firstAccess = Access::None;
+  /// Current access (the one that triggered the warning).
+  ThreadId secondThread = kNoThread;
+  SiteId secondSite = kNoSite;
+  Access secondAccess = Access::None;
+  /// True when either involved site carries the benchmark's bug annotation.
+  bool onBugSite = false;
+  std::string detail;
+
+  std::string describe() const;
+};
+
+/// Base class: warning storage and alarm accounting.
+class RaceDetector : public Listener {
+ public:
+  virtual std::string name() const = 0;
+
+  const std::vector<RaceWarning>& warnings() const { return warnings_; }
+  std::size_t warningCount() const { return warnings_.size(); }
+  std::size_t trueAlarms() const;
+  std::size_t falseAlarms() const { return warningCount() - trueAlarms(); }
+  /// True when at least one warning touches a bug-annotated site.
+  bool foundAnnotatedBug() const { return trueAlarms() > 0; }
+
+  void onRunStart(const RunInfo& info) override;
+  void onRunEnd() override {}
+
+ protected:
+  /// Clears detector state between runs; subclasses extend.
+  virtual void resetState() = 0;
+
+  void report(RaceWarning w);
+
+  /// At most one warning is kept per (variable, site-pair) to keep alarm
+  /// counts comparable across detectors.
+  bool alreadyReported(ObjectId var, SiteId a, SiteId b) const;
+
+ private:
+  std::vector<RaceWarning> warnings_;
+};
+
+}  // namespace mtt::race

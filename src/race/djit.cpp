@@ -1,0 +1,65 @@
+#include "race/detectors.hpp"
+
+namespace mtt::race {
+
+void DjitDetector::resetState() {
+  hbReset();
+  vars_.clear();
+}
+
+void DjitDetector::onEvent(const Event& e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (e.kind == EventKind::VarRead || e.kind == EventKind::VarWrite) {
+    access(e);
+  } else {
+    hbProcess(e);
+  }
+}
+
+void DjitDetector::access(const Event& e) {
+  bool isWrite = e.kind == EventKind::VarWrite;
+  VarState& v = vars_[e.object];
+  const VectorClock& c = clockOf(e.thread);
+  auto warn = [&](ThreadId u, const Access_& prev, Access prevKind,
+                  const char* what) {
+    auto key = std::make_pair(prev.site, e.syncSite);
+    if (v.reportedPairs.count(key) != 0) return;
+    v.reportedPairs.insert(key);
+    RaceWarning w;
+    w.variable = e.object;
+    w.firstThread = u;
+    w.firstSite = prev.site;
+    w.firstAccess = prevKind;
+    w.secondThread = e.thread;
+    w.secondSite = e.syncSite;
+    w.secondAccess = isWrite ? Access::Write : Access::Read;
+    w.onBugSite = prev.bug || e.bugSite == BugMark::Yes;
+    w.detail = what;
+    report(std::move(w));
+  };
+  // A previous write by u is concurrent with this access iff its clock
+  // exceeds our view of u.
+  for (const auto& [u, prev] : v.writes) {
+    if (u != e.thread && prev.clock > c.get(u)) {
+      warn(u, prev, Access::Write,
+           isWrite ? "concurrent write-write" : "concurrent write-read");
+    }
+  }
+  if (isWrite) {
+    for (const auto& [u, prev] : v.reads) {
+      if (u != e.thread && prev.clock > c.get(u)) {
+        warn(u, prev, Access::Read, "concurrent read-write");
+      }
+    }
+  }
+  // mutableClockOf initializes our component on first sighting.
+  std::uint32_t now = mutableClockOf(e.thread).get(e.thread);
+  Access_ rec{now, e.syncSite, e.bugSite == BugMark::Yes};
+  if (isWrite) {
+    v.writes[e.thread] = rec;
+  } else {
+    v.reads[e.thread] = rec;
+  }
+}
+
+}  // namespace mtt::race

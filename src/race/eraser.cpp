@@ -1,0 +1,86 @@
+#include <algorithm>
+
+#include "race/detectors.hpp"
+
+namespace mtt::race {
+
+void EraserDetector::resetState() {
+  held_.clear();
+  vars_.clear();
+}
+
+void EraserDetector::onEvent(const Event& e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (e.kind) {
+    case EventKind::MutexLock:
+    case EventKind::MutexTryLockOk:
+    case EventKind::RwLockRead:
+    case EventKind::RwLockWrite:
+    case EventKind::CondWaitEnd:  // reacquired the mutex in arg... object is
+                                  // the condvar; the mutex id is in arg
+      held_[e.thread].insert(e.kind == EventKind::CondWaitEnd ? e.arg
+                                                              : e.object);
+      break;
+    case EventKind::MutexUnlock:
+    case EventKind::RwUnlockRead:
+    case EventKind::RwUnlockWrite:
+      held_[e.thread].erase(e.object);
+      break;
+    case EventKind::CondWaitBegin:
+      // The wait releases the mutex (id in arg).
+      held_[e.thread].erase(e.arg);
+      break;
+    case EventKind::VarRead:
+    case EventKind::VarWrite: {
+      bool isWrite = e.kind == EventKind::VarWrite;
+      VarState& v = vars_[e.object];
+      const std::set<ObjectId>& locks = held_[e.thread];
+      switch (v.phase) {
+        case Phase::Virgin:
+          v.phase = Phase::Exclusive;
+          v.owner = e.thread;
+          break;
+        case Phase::Exclusive:
+          if (e.thread != v.owner) {
+            v.candidates = locks;
+            v.phase = isWrite ? Phase::SharedMod : Phase::Shared;
+          }
+          break;
+        case Phase::Shared:
+          std::erase_if(v.candidates, [&](ObjectId l) {
+            return locks.find(l) == locks.end();
+          });
+          if (isWrite) v.phase = Phase::SharedMod;
+          break;
+        case Phase::SharedMod:
+          std::erase_if(v.candidates, [&](ObjectId l) {
+            return locks.find(l) == locks.end();
+          });
+          break;
+      }
+      if (v.phase == Phase::SharedMod && v.candidates.empty() && !v.reported) {
+        v.reported = true;
+        RaceWarning w;
+        w.variable = e.object;
+        w.firstThread = v.lastThread;
+        w.firstSite = v.lastSite;
+        w.firstAccess = v.lastAccess;
+        w.secondThread = e.thread;
+        w.secondSite = e.syncSite;
+        w.secondAccess = isWrite ? Access::Write : Access::Read;
+        w.onBugSite = v.lastBug || e.bugSite == BugMark::Yes;
+        w.detail = "lockset empty in shared-modified state";
+        report(std::move(w));
+      }
+      v.lastThread = e.thread;
+      v.lastSite = e.syncSite;
+      v.lastAccess = isWrite ? Access::Write : Access::Read;
+      v.lastBug = e.bugSite == BugMark::Yes;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace mtt::race

@@ -1,0 +1,93 @@
+#include "race/detectors.hpp"
+
+namespace mtt::race {
+
+void FastTrackDetector::resetState() {
+  hbReset();
+  vars_.clear();
+}
+
+void FastTrackDetector::onEvent(const Event& e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (e.kind == EventKind::VarRead || e.kind == EventKind::VarWrite) {
+    access(e);
+  } else {
+    hbProcess(e);
+  }
+}
+
+void FastTrackDetector::access(const Event& e) {
+  bool isWrite = e.kind == EventKind::VarWrite;
+  VarState& v = vars_[e.object];
+  const VectorClock& c = mutableClockOf(e.thread);
+  Epoch now{e.thread, c.get(e.thread)};
+
+  auto warn = [&](ThreadId u, SiteId prevSite, bool prevBug, Access prevKind,
+                  const char* what) {
+    auto key = std::make_pair(prevSite, e.syncSite);
+    if (v.reportedPairs.count(key) != 0) return;
+    v.reportedPairs.insert(key);
+    RaceWarning w;
+    w.variable = e.object;
+    w.firstThread = u;
+    w.firstSite = prevSite;
+    w.firstAccess = prevKind;
+    w.secondThread = e.thread;
+    w.secondSite = e.syncSite;
+    w.secondAccess = isWrite ? Access::Write : Access::Read;
+    w.onBugSite = prevBug || e.bugSite == BugMark::Yes;
+    w.detail = what;
+    report(std::move(w));
+  };
+
+  if (!isWrite) {
+    // READ.
+    if (!v.readShared && v.read == now) return;  // same-epoch fast path
+    if (!v.write.isBottom() && v.write.tid != e.thread && !v.write.leq(c)) {
+      warn(v.write.tid, v.writeSite, v.writeBug, Access::Write,
+           "concurrent write-read");
+    }
+    if (v.readShared) {
+      v.readVC.set(e.thread, now.clock);
+    } else if (v.read.isBottom() || v.read.tid == e.thread ||
+               v.read.leq(c)) {
+      v.read = now;  // stays an epoch
+    } else {
+      // Two concurrent-ish readers: inflate to a vector clock.
+      v.readShared = true;
+      v.readVC.clear();
+      v.readVC.set(v.read.tid, v.read.clock);
+      v.readVC.set(e.thread, now.clock);
+    }
+    v.lastReadSite = e.syncSite;
+    v.lastReadBug = e.bugSite == BugMark::Yes;
+    return;
+  }
+
+  // WRITE.
+  if (v.write == now) return;  // same-epoch fast path
+  if (!v.write.isBottom() && v.write.tid != e.thread && !v.write.leq(c)) {
+    warn(v.write.tid, v.writeSite, v.writeBug, Access::Write,
+         "concurrent write-write");
+  }
+  if (v.readShared) {
+    ThreadId u = v.readVC.firstExceeding(c);
+    if (u != kNoThread && u != e.thread) {
+      warn(u, v.lastReadSite, v.lastReadBug, Access::Read,
+           "concurrent read-write");
+    }
+    // Reads are now ordered before this write; deflate.
+    v.readShared = false;
+    v.read = Epoch{};
+    v.readVC.clear();
+  } else if (!v.read.isBottom() && v.read.tid != e.thread &&
+             !v.read.leq(c)) {
+    warn(v.read.tid, v.lastReadSite, v.lastReadBug, Access::Read,
+         "concurrent read-write");
+  }
+  v.write = now;
+  v.writeSite = e.syncSite;
+  v.writeBug = e.bugSite == BugMark::Yes;
+}
+
+}  // namespace mtt::race

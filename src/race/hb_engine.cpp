@@ -1,0 +1,107 @@
+#include "race/hb_engine.hpp"
+
+namespace mtt::race {
+
+namespace {
+const VectorClock kEmpty{};
+}
+
+const VectorClock& HbEngine::clockOf(ThreadId t) const {
+  auto it = threads_.find(t);
+  return it == threads_.end() ? kEmpty : it->second;
+}
+
+VectorClock& HbEngine::mutableClockOf(ThreadId t) {
+  VectorClock& c = threads_[t];
+  if (c.get(t) == 0) c.set(t, 1);  // first sighting: own component starts at 1
+  return c;
+}
+
+void HbEngine::hbReset() {
+  threads_.clear();
+  syncObjs_.clear();
+  rwReadRel_.clear();
+  barriers_.clear();
+  finished_.clear();
+  pendingSpawn_.clear();
+}
+
+void HbEngine::release(ThreadId t, VectorClock& target) {
+  VectorClock& c = mutableClockOf(t);
+  target.join(c);
+  c.tick(t);
+}
+
+void HbEngine::hbProcess(const Event& e) {
+  switch (e.kind) {
+    case EventKind::ThreadStart: {
+      VectorClock& c = mutableClockOf(e.thread);
+      auto it = pendingSpawn_.find(e.thread);
+      if (it != pendingSpawn_.end()) {
+        c.join(it->second);
+        pendingSpawn_.erase(it);
+      }
+      break;
+    }
+    case EventKind::ThreadSpawn: {
+      // e.object is the child's thread id.
+      pendingSpawn_[static_cast<ThreadId>(e.object)] = mutableClockOf(e.thread);
+      mutableClockOf(e.thread).tick(e.thread);
+      break;
+    }
+    case EventKind::ThreadFinish:
+      finished_[e.thread] = mutableClockOf(e.thread);
+      break;
+    case EventKind::ThreadJoin: {
+      auto it = finished_.find(static_cast<ThreadId>(e.object));
+      if (it != finished_.end()) mutableClockOf(e.thread).join(it->second);
+      break;
+    }
+    case EventKind::MutexLock:
+    case EventKind::MutexTryLockOk:
+    case EventKind::SemAcquire:
+    case EventKind::RwLockRead:  // readers are ordered after write releases
+      mutableClockOf(e.thread).join(syncObjs_[e.object]);
+      break;
+    case EventKind::RwLockWrite:
+      // A writer is ordered after every previous release, read or write.
+      mutableClockOf(e.thread).join(syncObjs_[e.object]);
+      mutableClockOf(e.thread).join(rwReadRel_[e.object]);
+      break;
+    case EventKind::RwUnlockWrite:
+      release(e.thread, syncObjs_[e.object]);
+      break;
+    case EventKind::RwUnlockRead:
+      release(e.thread, rwReadRel_[e.object]);
+      break;
+    case EventKind::MutexUnlock:
+    case EventKind::SemRelease:
+    case EventKind::CondSignal:
+    case EventKind::CondBroadcast:
+      release(e.thread, syncObjs_[e.object]);
+      break;
+    case EventKind::CondWaitBegin:
+      // Implicit release of the associated mutex (id in arg).
+      release(e.thread, syncObjs_[e.arg]);
+      break;
+    case EventKind::CondWaitEnd:
+      // Wake-up edge from the signal plus reacquire of the mutex.
+      mutableClockOf(e.thread).join(syncObjs_[e.object]);
+      mutableClockOf(e.thread).join(syncObjs_[e.arg]);
+      break;
+    case EventKind::BarrierEnter:
+      release(e.thread, barriers_[{e.object, e.arg}]);
+      break;
+    case EventKind::BarrierExit: {
+      // arg is the post-completion generation; arrivals accumulated under
+      // the previous generation number.
+      std::uint64_t gen = e.arg == 0 ? 0 : e.arg - 1;
+      mutableClockOf(e.thread).join(barriers_[{e.object, gen}]);
+      break;
+    }
+    default:
+      break;  // variable accesses, yields, trylock failures
+  }
+}
+
+}  // namespace mtt::race

@@ -1,0 +1,51 @@
+// Shared happens-before machinery for vector-clock-based detectors.
+//
+// Maintains one vector clock per thread and per synchronization object and
+// applies the standard release/acquire rules for every sync event kind the
+// runtime emits:
+//   mutex unlock -> lock, semaphore release -> acquire, condvar signal ->
+//   wakeup (plus the wait's implicit mutex release/reacquire, whose mutex id
+//   travels in the event's arg), barrier generation completion, thread
+//   spawn -> start and finish -> join.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/event.hpp"
+#include "race/vector_clock.hpp"
+
+namespace mtt::race {
+
+class HbEngine {
+ public:
+  /// Current clock of a thread.
+  const VectorClock& clockOf(ThreadId t) const;
+
+  /// True when the epoch (c@u) is concurrent with thread t's current clock,
+  /// i.e. NOT (c <= C_t[u]).
+  bool concurrentWithNow(ThreadId u, std::uint32_t c, ThreadId t) const {
+    return c > clockOf(t).get(u);
+  }
+
+ protected:
+  void hbReset();
+  /// Feed one event; handles all control/sync kinds and ignores variable
+  /// accesses (those are the subclasses' business).
+  void hbProcess(const Event& e);
+  VectorClock& mutableClockOf(ThreadId t);
+
+ private:
+  void release(ThreadId t, VectorClock& target);
+  std::map<ThreadId, VectorClock> threads_;
+  std::map<ObjectId, VectorClock> syncObjs_;  // mutexes, semaphores, signals
+  // Readers-writer locks: write releases go into syncObjs_ (every later
+  // acquire sees them); read releases accumulate separately and only write
+  // acquisitions join them (readers are unordered among themselves).
+  std::map<ObjectId, VectorClock> rwReadRel_;
+  std::map<std::pair<ObjectId, std::uint64_t>, VectorClock> barriers_;
+  std::map<ThreadId, VectorClock> finished_;
+  std::map<ThreadId, VectorClock> pendingSpawn_;
+};
+
+}  // namespace mtt::race

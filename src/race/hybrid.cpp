@@ -1,0 +1,123 @@
+#include <algorithm>
+
+#include "race/detectors.hpp"
+
+namespace mtt::race {
+
+void HybridDetector::resetState() {
+  hbReset();
+  held_.clear();
+  vars_.clear();
+}
+
+void HybridDetector::onEvent(const Event& e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (e.kind) {
+    case EventKind::MutexLock:
+    case EventKind::MutexTryLockOk:
+    case EventKind::RwLockRead:
+    case EventKind::RwLockWrite:
+      held_[e.thread].insert(e.object);
+      break;
+    case EventKind::CondWaitEnd:
+      held_[e.thread].insert(e.arg);
+      break;
+    case EventKind::MutexUnlock:
+    case EventKind::RwUnlockRead:
+    case EventKind::RwUnlockWrite:
+      held_[e.thread].erase(e.object);
+      break;
+    case EventKind::CondWaitBegin:
+      held_[e.thread].erase(e.arg);
+      break;
+    case EventKind::VarRead:
+    case EventKind::VarWrite:
+      access(e);
+      hbProcess(e);  // no-op for accesses, kept for symmetry
+      return;
+    default:
+      break;
+  }
+  hbProcess(e);
+}
+
+void HybridDetector::access(const Event& e) {
+  bool isWrite = e.kind == EventKind::VarWrite;
+  VarState& v = vars_[e.object];
+  const std::set<ObjectId>& locks = held_[e.thread];
+
+  // Lockset maintenance: intersect the candidate set with the locks held
+  // now (initialized lazily at the first access).
+  if (!v.candidatesInit) {
+    v.candidates = locks;
+    v.candidatesInit = true;
+  } else {
+    std::erase_if(v.candidates,
+                  [&](ObjectId l) { return locks.find(l) == locks.end(); });
+  }
+
+  const VectorClock& c = clockOf(e.thread);
+  auto confirmAndWarn = [&](const LastAccess& prev, const char* what) {
+    if (prev.thread == e.thread) return;
+    // Happens-before confirmation: drop the candidate if the previous
+    // access is ordered before this one.
+    if (prev.clock <= c.get(prev.thread)) return;
+    auto key = std::make_pair(prev.site, e.syncSite);
+    if (v.reportedPairs.count(key) != 0) return;
+    v.reportedPairs.insert(key);
+    RaceWarning w;
+    w.variable = e.object;
+    w.firstThread = prev.thread;
+    w.firstSite = prev.site;
+    w.firstAccess = prev.access;
+    w.secondThread = e.thread;
+    w.secondSite = e.syncSite;
+    w.secondAccess = isWrite ? Access::Write : Access::Read;
+    w.onBugSite = prev.bug || e.bugSite == BugMark::Yes;
+    w.detail = what;
+    report(std::move(w));
+  };
+
+  // Candidate race only when the lockset is empty (Eraser's criterion);
+  // then confirm concurrency against every conflicting previous access.
+  if (v.candidates.empty()) {
+    for (const auto& [u, prev] : v.lastWrite) {
+      (void)u;
+      confirmAndWarn(prev, isWrite ? "lockset empty + concurrent write-write"
+                                   : "lockset empty + concurrent write-read");
+    }
+    if (isWrite) {
+      for (const auto& [u, prev] : v.lastRead) {
+        (void)u;
+        confirmAndWarn(prev, "lockset empty + concurrent read-write");
+      }
+    }
+  }
+
+  std::uint32_t now = mutableClockOf(e.thread).get(e.thread);
+  LastAccess rec;
+  rec.thread = e.thread;
+  rec.clock = now;
+  rec.site = e.syncSite;
+  rec.access = isWrite ? Access::Write : Access::Read;
+  rec.bug = e.bugSite == BugMark::Yes;
+  if (isWrite) {
+    v.lastWrite[e.thread] = rec;
+  } else {
+    v.lastRead[e.thread] = rec;
+  }
+}
+
+std::unique_ptr<RaceDetector> makeDetector(const std::string& name) {
+  if (name == "eraser") return std::make_unique<EraserDetector>();
+  if (name == "djit") return std::make_unique<DjitDetector>();
+  if (name == "fasttrack") return std::make_unique<FastTrackDetector>();
+  if (name == "hybrid") return std::make_unique<HybridDetector>();
+  return nullptr;
+}
+
+std::vector<std::string> detectorNames() {
+  return {"eraser", "djit", "fasttrack", "hybrid"};
+}
+
+}  // namespace mtt::race

@@ -1,0 +1,86 @@
+// Vector clocks and epochs for happens-before race detection.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace mtt::race {
+
+/// A vector clock indexed by ThreadId (dense; grows on demand).  Component 0
+/// is unused (kNoThread).
+class VectorClock {
+ public:
+  std::uint32_t get(ThreadId t) const {
+    return t < c_.size() ? c_[t] : 0;
+  }
+  void set(ThreadId t, std::uint32_t v) {
+    ensure(t);
+    c_[t] = v;
+  }
+  void tick(ThreadId t) {
+    ensure(t);
+    ++c_[t];
+  }
+  /// Pointwise maximum.
+  void join(const VectorClock& o) {
+    if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0);
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], o.c_[i]);
+    }
+  }
+  /// this <= o pointwise.
+  bool leq(const VectorClock& o) const {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > o.get(static_cast<ThreadId>(i))) return false;
+    }
+    return true;
+  }
+  /// First thread u with this[u] > o[u], or kNoThread if none (i.e. leq).
+  ThreadId firstExceeding(const VectorClock& o) const {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > o.get(static_cast<ThreadId>(i))) {
+        return static_cast<ThreadId>(i);
+      }
+    }
+    return kNoThread;
+  }
+  void clear() { c_.clear(); }
+  bool empty() const {
+    return std::all_of(c_.begin(), c_.end(),
+                       [](std::uint32_t v) { return v == 0; });
+  }
+  std::string str() const {
+    std::string out = "[";
+    for (std::size_t i = 1; i < c_.size(); ++i) {
+      if (i > 1) out += ' ';
+      out += std::to_string(c_[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  void ensure(ThreadId t) {
+    if (t >= c_.size()) c_.resize(t + 1, 0);
+  }
+  std::vector<std::uint32_t> c_;
+};
+
+/// A scalar clock value of one thread: FastTrack's compressed representation
+/// of a vector clock that is "last access by thread t at time c".
+struct Epoch {
+  ThreadId tid = kNoThread;
+  std::uint32_t clock = 0;
+
+  bool isBottom() const { return tid == kNoThread && clock == 0; }
+  /// epoch (c@t) happens-before VC iff c <= VC[t].
+  bool leq(const VectorClock& vc) const { return clock <= vc.get(tid); }
+  bool operator==(const Epoch& o) const {
+    return tid == o.tid && clock == o.clock;
+  }
+};
+
+}  // namespace mtt::race

@@ -1,0 +1,214 @@
+#include "replay/replay.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace mtt::replay {
+
+void saveSchedule(const rt::Schedule& s, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("mtt: cannot open " + path);
+  f << "MTTSCHED 1\n" << s.decisions.size() << '\n';
+  for (ThreadId t : s.decisions) f << t << '\n';
+  if (!f) throw std::runtime_error("mtt: schedule write failed");
+}
+
+rt::Schedule loadSchedule(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("mtt: cannot open " + path);
+  std::string magic;
+  int version = 0;
+  f >> magic >> version;
+  if (magic != "MTTSCHED" || version != 1) {
+    throw std::runtime_error("mtt: not a schedule file: " + path);
+  }
+  std::size_t n = 0;
+  f >> n;
+  rt::Schedule s;
+  s.decisions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ThreadId t = kNoThread;
+    f >> t;
+    if (!f) throw std::runtime_error("mtt: truncated schedule file");
+    s.decisions.push_back(t);
+  }
+  return s;
+}
+
+EventKind opClass(EventKind k) {
+  switch (k) {
+    case EventKind::MutexTryLockFail:
+      return EventKind::MutexTryLockOk;
+    default:
+      return k;
+  }
+}
+
+bool isGatedClass(EventKind k) {
+  switch (opClass(k)) {
+    case EventKind::MutexLock:
+    case EventKind::MutexUnlock:
+    case EventKind::MutexTryLockOk:
+    case EventKind::CondWaitBegin:
+    case EventKind::CondSignal:
+    case EventKind::CondBroadcast:
+    case EventKind::SemAcquire:
+    case EventKind::SemRelease:
+    case EventKind::BarrierEnter:
+    case EventKind::RwLockRead:
+    case EventKind::RwLockWrite:
+    case EventKind::RwUnlockRead:
+    case EventKind::RwUnlockWrite:
+    case EventKind::VarRead:
+    case EventKind::VarWrite:
+    case EventKind::ThreadJoin:
+    case EventKind::ThreadSpawn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool inScope(EventKind k, OrderScope scope) {
+  if (scope == OrderScope::Full) return true;
+  return k != EventKind::VarRead && k != EventKind::VarWrite;
+}
+
+std::vector<SyncOp> projectOrder(const std::vector<SyncOp>& order,
+                                 OrderScope scope) {
+  std::vector<SyncOp> out;
+  out.reserve(order.size());
+  for (const SyncOp& op : order) {
+    if (inScope(op.kind, scope)) out.push_back(op);
+  }
+  return out;
+}
+
+bool isCompletionRecorded(EventKind k) {
+  switch (opClass(k)) {
+    case EventKind::MutexLock:
+    case EventKind::MutexTryLockOk:
+    case EventKind::SemAcquire:
+    case EventKind::RwLockRead:
+    case EventKind::RwLockWrite:
+    case EventKind::ThreadJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void SyncOrderRecorder::beforeOp(ThreadId t, EventKind kind, ObjectId obj) {
+  if (!inScope(kind, scope_) || isCompletionRecorded(kind)) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  order_.push_back(SyncOp{t, opClass(kind), obj});
+}
+
+void SyncOrderRecorder::onEvent(const Event& e) {
+  if (!isGatedClass(e.kind) || !inScope(e.kind, scope_) ||
+      !isCompletionRecorded(e.kind)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  order_.push_back(SyncOp{e.thread, opClass(e.kind), e.object});
+}
+
+void SyncOrderRecorder::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  order_.clear();
+}
+
+std::vector<SyncOp> SyncOrderRecorder::order() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return order_;
+}
+
+SyncOrderEnforcer::SyncOrderEnforcer(std::vector<SyncOp> order,
+                                     std::chrono::milliseconds timeout,
+                                     OrderScope scope,
+                                     std::chrono::milliseconds grace)
+    : order_(std::move(order)),
+      timeout_(timeout),
+      scope_(scope),
+      grace_(grace) {}
+
+void SyncOrderEnforcer::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  idx_ = 0;
+  diverged_ = false;
+  inFlight_ = false;
+}
+
+void SyncOrderEnforcer::onEvent(const Event& e) {
+  if (!inScope(e.kind, scope_)) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (inFlight_ && inFlightOp_.thread == e.thread &&
+      inFlightOp_.kind == opClass(e.kind)) {
+    inFlight_ = false;
+    cv_.notify_all();
+  }
+}
+
+bool SyncOrderEnforcer::diverged() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return diverged_;
+}
+
+bool SyncOrderEnforcer::completed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return !diverged_ && idx_ == order_.size();
+}
+
+std::size_t SyncOrderEnforcer::progress() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return idx_;
+}
+
+double SyncOrderEnforcer::progressRatio() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return order_.empty()
+             ? 1.0
+             : static_cast<double>(idx_) / static_cast<double>(order_.size());
+}
+
+void SyncOrderEnforcer::beforeOp(ThreadId t, EventKind kind, ObjectId obj) {
+  if (!inScope(kind, scope_)) return;  // out-of-scope ops free-run
+  SyncOp me{t, opClass(kind), obj};
+  std::unique_lock<std::mutex> lk(mu_);
+  auto divergeDeadline = std::chrono::steady_clock::now() + timeout_;
+  for (;;) {
+    if (diverged_) return;            // free-running after divergence
+    if (idx_ >= order_.size()) return;  // recording exhausted: free-run tail
+    bool myTurn = order_[idx_] == me;
+    auto now = std::chrono::steady_clock::now();
+    bool held = inFlight_ && now < inFlightDeadline_;
+    if (myTurn && !held) {
+      ++idx_;
+      inFlight_ = true;
+      inFlightOp_ = me;
+      inFlightDeadline_ = now + grace_;
+      cv_.notify_all();
+      return;
+    }
+    if (myTurn) {
+      // Waiting only for the in-flight predecessor: does not count toward
+      // the divergence timeout.
+      divergeDeadline = std::max(divergeDeadline, inFlightDeadline_ + timeout_);
+      cv_.wait_until(lk, inFlightDeadline_);
+      continue;
+    }
+    // An operation the recording never saw at this point (e.g. a different
+    // try-lock path) can never be scheduled: divergence.
+    auto wakeAt = divergeDeadline;
+    if (inFlight_) wakeAt = std::min(wakeAt, inFlightDeadline_);
+    if (cv_.wait_until(lk, wakeAt) == std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= divergeDeadline &&
+        !(idx_ < order_.size() && order_[idx_] == me)) {
+      diverged_ = true;
+      cv_.notify_all();
+      return;
+    }
+  }
+}
+
+}  // namespace mtt::replay

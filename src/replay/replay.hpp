@@ -1,0 +1,164 @@
+// Replay — Section 2.2 of the paper:
+//
+//   "Replay has two phases: record and playback.  [...]  Partial replay,
+//    which causes the program to behave as if the scheduler is deterministic
+//    and repeats the previous test, is much easier and, in many cases, good
+//    enough.  Partial replay algorithms can be compared on the likelihood of
+//    performing replay and on their performance."
+//
+// Two replay mechanisms, matching the two runtimes:
+//
+//  * Controlled (exact) replay — a run is fully determined by its schedule
+//    (the decision sequence of the controlled scheduler).  Record with
+//    rt::RecordingPolicy, play back with rt::ReplayPolicy; this module adds
+//    schedule persistence (save/load) so scenarios are artifacts, as the
+//    benchmark requires.
+//
+//  * Native (partial) replay — record the global order of synchronization
+//    and variable-access operations (SyncOrderRecorder, a Listener); on
+//    playback, a SyncOrderEnforcer (a PreOpGate) blocks each thread until
+//    its operation is next in the recorded order.  If the program takes a
+//    different path (a race resolved differently before the enforcer could
+//    constrain it) the enforcer times out, flags divergence and releases all
+//    threads — replay "fails", which is precisely the probability
+//    experiment E4 measures.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/listener.hpp"
+#include "rt/native_runtime.hpp"
+#include "rt/policy.hpp"
+
+namespace mtt::replay {
+
+// --- controlled-mode schedule persistence ----------------------------------
+
+/// Saves a schedule as a small text artifact ("scenario" file).
+void saveSchedule(const rt::Schedule& s, const std::string& path);
+rt::Schedule loadSchedule(const std::string& path);
+
+// --- native-mode partial replay ----------------------------------------------
+
+/// Normalizes an event kind to its operation class (try-lock outcomes
+/// collapse onto MutexTryLockOk; everything else maps to itself).
+EventKind opClass(EventKind k);
+
+/// True for the operation classes that are gated/recorded (pre-op events;
+/// completion events like CondWaitEnd or BarrierExit are not enforceable).
+bool isGatedClass(EventKind k);
+
+/// True for the op classes that are recorded at *completion* time (their
+/// emit event) rather than arrival: blocking acquisitions, whose winner is
+/// decided only when they complete.  Recording them at completion makes the
+/// order causally consistent, so the enforcer can release each acquisition
+/// only after everything it depended on has happened — the acquirer then
+/// wins deterministically.  All other gated ops are recorded at arrival.
+bool isCompletionRecorded(EventKind k);
+
+/// What a partial-replay algorithm records/enforces.  Full order includes
+/// every gated operation (variable accesses too): near-exact replay at a
+/// higher recording cost.  SyncOnly records just the synchronization
+/// skeleton (the classic cheap partial replay): racy variable accesses can
+/// still interleave differently, so replay may fail to reproduce the
+/// outcome — the likelihood-vs-overhead tradeoff of experiment E4.
+enum class OrderScope : std::uint8_t { Full, SyncOnly };
+
+/// True when `k` is enforced under the scope.
+bool inScope(EventKind k, OrderScope scope);
+
+/// One entry of the recorded synchronization order.
+struct SyncOp {
+  ThreadId thread = kNoThread;
+  EventKind kind = EventKind::Yield;
+  ObjectId object = kNoObject;
+  bool operator==(const SyncOp& o) const {
+    return thread == o.thread && kind == o.kind && object == o.object;
+  }
+};
+
+/// The record phase.  Non-blocking operations are recorded at arrival (as a
+/// PreOpGate), blocking acquisitions at completion (as a Listener) — see
+/// isCompletionRecorded.  Register it BOTH ways:
+///   rt.setPreOpGate(&rec);  rt.hooks().add(&rec);
+class SyncOrderRecorder final : public rt::PreOpGate, public Listener {
+ public:
+  explicit SyncOrderRecorder(OrderScope scope = OrderScope::Full)
+      : scope_(scope) {}
+  void beforeOp(ThreadId t, EventKind kind, ObjectId obj) override;
+  void onEvent(const Event& e) override;
+  /// Clears the recording (call between runs).
+  void reset();
+
+  std::vector<SyncOp> order() const;
+  std::vector<SyncOp> takeOrder() { return std::move(order_); }
+
+ private:
+  OrderScope scope_;
+  std::vector<SyncOp> order_;
+  mutable std::mutex mu_;
+};
+
+/// Projects a full recording onto a scope (e.g. derive the sync-only
+/// skeleton from a full recording without re-running).
+std::vector<SyncOp> projectOrder(const std::vector<SyncOp>& order,
+                                 OrderScope scope);
+
+/// The playback phase: a PreOpGate blocking each thread until its operation
+/// heads the recorded order.  On timeout (the recorded head never arrives —
+/// the run diverged) the gate deactivates and the run free-runs to
+/// completion.
+///
+/// Race-window handling: passing the gate and *performing* the operation
+/// are not atomic, so the next thread in the order could otherwise win a
+/// contended mutex first and wedge the recorded order.  The enforcer is
+/// therefore also a Listener: register it with the runtime's hooks, and it
+/// holds the next gate until the in-flight operation's completion event
+/// arrives.  A short grace period (default 2ms) releases the hold for
+/// operations that genuinely block (a recorded lock acquisition that must
+/// wait for a later unlock), which keeps the gate deadlock-free.  Without
+/// the hook registration the enforcer still works, paying the grace period
+/// on every operation.
+class SyncOrderEnforcer final : public rt::PreOpGate, public Listener {
+ public:
+  explicit SyncOrderEnforcer(
+      std::vector<SyncOp> order,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(200),
+      OrderScope scope = OrderScope::Full,
+      std::chrono::milliseconds grace = std::chrono::milliseconds(2));
+
+  void beforeOp(ThreadId t, EventKind kind, ObjectId obj) override;
+  void onEvent(const Event& e) override;
+
+  /// Call between runs when reusing the enforcer.
+  void reset();
+
+  bool diverged() const;
+  /// All recorded operations were enforced in order.
+  bool completed() const;
+  /// Index reached in the recorded order.
+  std::size_t progress() const;
+  double progressRatio() const;
+
+ private:
+  std::vector<SyncOp> order_;
+  std::chrono::milliseconds timeout_;
+  OrderScope scope_;
+  std::chrono::milliseconds grace_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t idx_ = 0;
+  bool diverged_ = false;
+  // In-flight operation: the last one whose gate was passed but whose
+  // completion event has not been seen yet.
+  bool inFlight_ = false;
+  SyncOp inFlightOp_{};
+  std::chrono::steady_clock::time_point inFlightDeadline_{};
+};
+
+}  // namespace mtt::replay

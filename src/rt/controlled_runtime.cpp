@@ -1,0 +1,838 @@
+#include "rt/controlled_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/stats.hpp"
+
+namespace mtt::rt {
+
+namespace {
+// The managed thread currently executing on this OS thread (one runtime's
+// managed threads never share an OS thread with another runtime's).
+thread_local void* tl_current = nullptr;
+}  // namespace
+
+ControlledRuntime::ControlledRuntime(std::unique_ptr<SchedulePolicy> policy)
+    : policy_(policy ? std::move(policy)
+                     : std::make_unique<RandomPolicy>()) {}
+
+ControlledRuntime::~ControlledRuntime() {
+  // run() joins all OS threads before returning; nothing outstanding here.
+  assert(osThreads_.empty());
+}
+
+void ControlledRuntime::setPolicy(std::unique_ptr<SchedulePolicy> p) {
+  if (p) policy_ = std::move(p);
+}
+
+ControlledRuntime::Tcb& ControlledRuntime::tcbOf(ThreadId id) const {
+  return *tcbs_[id - 1];
+}
+
+ControlledRuntime::Tcb* ControlledRuntime::currentTcb() const {
+  return static_cast<Tcb*>(tl_current);
+}
+
+ThreadId ControlledRuntime::currentThread() const {
+  Tcb* t = currentTcb();
+  return t ? t->id : kNoThread;
+}
+
+std::string ControlledRuntime::threadName(ThreadId t) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (t == kNoThread || t > tcbs_.size()) return "T?";
+  return tcbs_[t - 1]->name;
+}
+
+bool ControlledRuntime::enabledLocked(const Tcb& t) const {
+  if (t.st != St::Parked) return false;
+  const PendingOp& op = t.pending;
+  switch (op.code) {
+    case OpCode::Lock:
+      return op.m->owner == kNoThread ||
+             (op.m->recursive && op.m->owner == t.id && !op.condResume);
+    case OpCode::SemAcquire:
+      return op.sem->permits > 0;
+    case OpCode::RwRead:
+      return op.rw->writer == kNoThread;
+    case OpCode::RwWrite:
+      return op.rw->writer == kNoThread && op.rw->readers == 0;
+    case OpCode::Join:
+      return tcbOf(op.target).st == St::Finished;
+    case OpCode::Sleep:
+      return steps_ >= op.wakeStep;
+    default:
+      return true;
+  }
+}
+
+void ControlledRuntime::scheduleNextLocked() {
+  for (;;) {
+    std::vector<ThreadId> enabled;
+    enabled.reserve(tcbs_.size());
+    bool anySleeper = false;
+    std::uint64_t minWake = ~std::uint64_t{0};
+    bool allFinished = true;
+    for (const auto& t : tcbs_) {
+      if (t->st != St::Finished) allFinished = false;
+      if (t->st != St::Parked) continue;
+      if (t->pending.code == OpCode::Sleep && steps_ < t->pending.wakeStep) {
+        anySleeper = true;
+        minWake = std::min(minWake, t->pending.wakeStep);
+        continue;
+      }
+      if (enabledLocked(*t)) {
+        enabled.push_back(t->id);
+      } else if (t->pending.code == OpCode::Lock ||
+                 t->pending.code == OpCode::SemAcquire ||
+                 t->pending.code == OpCode::RwRead ||
+                 t->pending.code == OpCode::RwWrite) {
+        // Remember contention: the eventual MutexLock/SemAcquire event
+        // carries arg=1 so coverage models can count contended acquires.
+        t->pending.everBlocked = true;
+      }
+    }
+    if (!enabled.empty()) {
+      if (steps_ >= maxSteps_) {
+        beginAbortLocked(RunStatus::StepLimit);
+        return;
+      }
+      bool yielding = false;
+      if (lastRunning_ != kNoThread) {
+        const Tcb& prev = tcbOf(lastRunning_);
+        yielding = prev.st == St::Parked &&
+                   (prev.pending.code == OpCode::Yield ||
+                    prev.pending.code == OpCode::Sleep);
+      }
+      PickContext ctx;
+      ctx.enabled = std::span<const ThreadId>(enabled);
+      ctx.current = lastRunning_;
+      ctx.currentYielding = yielding;
+      ctx.step = steps_;
+      ThreadId choice = policy_->pick(ctx);
+      if (std::find(enabled.begin(), enabled.end(), choice) == enabled.end()) {
+        choice = enabled.front();  // defensive: policies must pick enabled
+      }
+      ++steps_;
+      Tcb& c = tcbOf(choice);
+      c.go = true;
+      c.cv.notify_one();
+      return;
+    }
+    if (anySleeper) {
+      // Every runnable thread is asleep: advance virtual time.  This is how
+      // sleep-based "synchronization" stays runnable yet unreliable.
+      steps_ = minWake;
+      continue;
+    }
+    if (allFinished) {
+      doneCv_.notify_all();
+      return;
+    }
+    beginAbortLocked(RunStatus::Deadlock);
+    return;
+  }
+}
+
+bool ControlledRuntime::waitForTurnLocked(std::unique_lock<std::mutex>& lk,
+                                          Tcb& self) {
+  // During an abort, ignore scheduling and wait for this thread's unwind
+  // turn instead (see advanceUnwindLocked).
+  self.cv.wait(lk, [&] { return abort_ ? unwindTurn_ == self.id : self.go; });
+  if (abort_) {
+    self.go = false;
+    return false;
+  }
+  self.go = false;
+  self.st = St::Running;
+  lastRunning_ = self.id;
+  return true;
+}
+
+void ControlledRuntime::releaseMutexFullyLocked(MutexState& m) {
+  m.owner = kNoThread;
+  m.depth = 0;
+}
+
+std::string ControlledRuntime::describeWait(const Tcb& t) const {
+  auto objName = [&](ObjectId id) { return objectInfo(id).name; };
+  switch (t.st) {
+    case St::WaitCond:
+      return "condvar " + objName(t.pending.c ? t.pending.c->id : kNoObject);
+    case St::WaitBarrier:
+      return "barrier " + objName(t.pending.b ? t.pending.b->id : kNoObject);
+    case St::Parked:
+      switch (t.pending.code) {
+        case OpCode::Lock: {
+          std::string s = "mutex " + objName(t.pending.m->id);
+          if (t.pending.m->owner != kNoThread) {
+            s += " (held by " + tcbOf(t.pending.m->owner).name + ")";
+          }
+          if (t.pending.condResume) s += " [reacquire after wait]";
+          return s;
+        }
+        case OpCode::SemAcquire:
+          return "semaphore " + objName(t.pending.sem->id);
+        case OpCode::RwRead:
+          return "rwlock " + objName(t.pending.rw->id) + " (read)";
+        case OpCode::RwWrite: {
+          std::string out = "rwlock " + objName(t.pending.rw->id) + " (write";
+          if (t.pending.rw->readers > 0) {
+            out += ", " + std::to_string(t.pending.rw->readers) +
+                   " reader(s) active";
+          }
+          return out + ")";
+        }
+        case OpCode::Join:
+          return "join " + tcbOf(t.pending.target).name;
+        case OpCode::Sleep:
+          return "sleeping";
+        default:
+          return "runnable";
+      }
+    default:
+      return "?";
+  }
+}
+
+void ControlledRuntime::collectBlockedLocked() {
+  blocked_.clear();
+  for (const auto& t : tcbs_) {
+    if (t->st == St::Finished) continue;
+    BlockedThreadInfo info;
+    info.thread = t->id;
+    info.threadName = t->name;
+    info.waitingFor = describeWait(*t);
+    if (t->st == St::Parked && t->pending.code == OpCode::Lock) {
+      info.object = t->pending.m->id;
+    } else if (t->st == St::WaitCond && t->pending.c) {
+      info.object = t->pending.c->id;
+    }
+    blocked_.push_back(std::move(info));
+  }
+}
+
+void ControlledRuntime::advanceUnwindLocked() {
+  unwindTurn_ = kNoThread;
+  for (const auto& t : tcbs_) {
+    if (t->st != St::Finished) unwindTurn_ = t->id;  // ids ascend: keeps max
+  }
+  if (unwindTurn_ != kNoThread) tcbOf(unwindTurn_).cv.notify_all();
+}
+
+void ControlledRuntime::beginAbortLocked(RunStatus status) {
+  if (abort_) return;
+  abort_ = true;
+  status_ = status;
+  if (status == RunStatus::Deadlock) collectBlockedLocked();
+  advanceUnwindLocked();
+  for (const auto& t : tcbs_) t->cv.notify_all();
+  doneCv_.notify_all();
+}
+
+void ControlledRuntime::failLocked(std::unique_lock<std::mutex>& lk,
+                                   std::string msg) {
+  if (!abort_) {
+    failureMessage_ = std::move(msg);
+    beginAbortLocked(RunStatus::AssertFailed);
+  }
+  // Wait for our unwind turn: every thread we spawned (higher id) must
+  // finish unwinding before our stack objects die.
+  Tcb* self = currentTcb();
+  if (self != nullptr && self->st != St::Finished) {
+    self->cv.wait(lk, [&] { return unwindTurn_ == self->id; });
+  }
+  throw RunAborted{};
+}
+
+void ControlledRuntime::fail(std::string msg) {
+  std::unique_lock<std::mutex> lk(mu_);
+  failLocked(lk, std::move(msg));
+}
+
+bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
+                                        Tcb& self) {
+  PendingOp& op = self.pending;
+  switch (op.code) {
+    case OpCode::Start:
+      emit(EventKind::ThreadStart, self.id, self.id, op.site);
+      return true;
+
+    case OpCode::Spawn: {
+      ThreadId cid = static_cast<ThreadId>(tcbs_.size() + 1);
+      auto child = std::make_unique<Tcb>();
+      child->id = cid;
+      child->name = self.spawnName.empty() ? "T" + std::to_string(cid)
+                                           : std::move(self.spawnName);
+      child->st = St::Parked;
+      child->pending = PendingOp{};
+      child->pending.code = OpCode::Start;
+      child->body = std::move(self.spawnFn);
+      Tcb* raw = child.get();
+      tcbs_.push_back(std::move(child));
+      osThreads_.emplace_back([this, raw] { trampoline(raw); });
+      emit(EventKind::ThreadSpawn, self.id, cid, op.site);
+      op.target = cid;  // result read by spawnThread
+      return true;
+    }
+
+    case OpCode::Lock:
+      if (op.m->owner == self.id && op.m->recursive) {
+        ++op.m->depth;
+      } else {
+        op.m->owner = self.id;
+        op.m->depth = op.condResume ? std::max<std::uint32_t>(op.arg, 1) : 1;
+      }
+      emit(op.condResume ? EventKind::CondWaitEnd : EventKind::MutexLock,
+           self.id, op.m->id, op.site,
+           op.condResume ? op.m->id : (op.everBlocked ? 1 : 0));
+      return true;
+
+    case OpCode::TryLock:
+      if (op.m->owner == kNoThread ||
+          (op.m->recursive && op.m->owner == self.id)) {
+        if (op.m->owner == self.id) {
+          ++op.m->depth;
+        } else {
+          op.m->owner = self.id;
+          op.m->depth = 1;
+        }
+        self.tryResult = true;
+        emit(EventKind::MutexTryLockOk, self.id, op.m->id, op.site);
+      } else {
+        self.tryResult = false;
+        emit(EventKind::MutexTryLockFail, self.id, op.m->id, op.site);
+      }
+      return true;
+
+    case OpCode::Unlock:
+      if (op.m->owner != self.id) {
+        // Program error.  Abort without throwing: unlock is reachable from
+        // destructors (LockGuard).
+        if (!abort_) {
+          failureMessage_ = "unlock of mutex " + objectInfo(op.m->id).name +
+                            " not owned by " + self.name;
+          beginAbortLocked(RunStatus::AssertFailed);
+        }
+        return false;
+      }
+      emit(EventKind::MutexUnlock, self.id, op.m->id, op.site);
+      if (--op.m->depth == 0) op.m->owner = kNoThread;
+      return true;
+
+    case OpCode::CondWait: {
+      if (op.m->owner != self.id) {
+        failLocked(lk, "condition wait on " + objectInfo(op.c->id).name +
+                           " without holding its mutex");
+      }
+      // arg carries the mutex id: happens-before analyses need the implicit
+      // release/reacquire edges of the wait.
+      emit(EventKind::CondWaitBegin, self.id, op.c->id, op.site, op.m->id);
+      std::uint32_t savedDepth = op.m->depth;
+      releaseMutexFullyLocked(*op.m);
+      CondState* c = op.c;
+      // Re-arm the pending op as the post-signal reacquire; the signaler
+      // flips our state to Parked and the policy schedules the reacquire
+      // once the mutex is free.
+      MutexState* m = op.m;
+      Site st = op.site;
+      self.pending = PendingOp{};
+      self.pending.code = OpCode::Lock;
+      self.pending.m = m;
+      self.pending.c = c;  // kept for deadlock diagnostics
+      self.pending.condResume = true;
+      self.pending.arg = savedDepth;
+      self.pending.site = st;
+      self.st = St::WaitCond;
+      c->waiters.push_back(self.id);
+      scheduleNextLocked();
+      if (!waitForTurnLocked(lk, self)) return false;
+      // Scheduled again: the reacquire is enabled, perform it.
+      m->owner = self.id;
+      m->depth = savedDepth;
+      emit(EventKind::CondWaitEnd, self.id, c->id, st, m->id);
+      return true;
+    }
+
+    case OpCode::CondSignal: {
+      std::uint32_t woken = 0;
+      if (!op.c->waiters.empty()) {
+        ThreadId w = op.c->waiters.front();
+        op.c->waiters.pop_front();
+        tcbOf(w).st = St::Parked;  // now competes to reacquire its mutex
+        woken = 1;
+      }
+      emit(EventKind::CondSignal, self.id, op.c->id, op.site, woken);
+      return true;
+    }
+
+    case OpCode::CondBroadcast: {
+      std::uint32_t woken = 0;
+      while (!op.c->waiters.empty()) {
+        ThreadId w = op.c->waiters.front();
+        op.c->waiters.pop_front();
+        tcbOf(w).st = St::Parked;
+        ++woken;
+      }
+      emit(EventKind::CondBroadcast, self.id, op.c->id, op.site, woken);
+      return true;
+    }
+
+    case OpCode::SemAcquire:
+      --op.sem->permits;
+      emit(EventKind::SemAcquire, self.id, op.sem->id, op.site,
+           op.everBlocked ? 1 : 0);
+      return true;
+
+    case OpCode::RwRead:
+      ++op.rw->readers;
+      emit(EventKind::RwLockRead, self.id, op.rw->id, op.site,
+           op.everBlocked ? 1 : 0);
+      return true;
+
+    case OpCode::RwWrite:
+      op.rw->writer = self.id;
+      emit(EventKind::RwLockWrite, self.id, op.rw->id, op.site,
+           op.everBlocked ? 1 : 0);
+      return true;
+
+    case OpCode::RwUnlockR:
+      if (op.rw->readers == 0) {
+        if (!abort_) {
+          failureMessage_ = "read-unlock of rwlock " +
+                            objectInfo(op.rw->id).name + " with no readers";
+          beginAbortLocked(RunStatus::AssertFailed);
+        }
+        return false;
+      }
+      emit(EventKind::RwUnlockRead, self.id, op.rw->id, op.site);
+      --op.rw->readers;
+      return true;
+
+    case OpCode::RwUnlockW:
+      if (op.rw->writer != self.id) {
+        if (!abort_) {
+          failureMessage_ = "write-unlock of rwlock " +
+                            objectInfo(op.rw->id).name + " not owned by " +
+                            self.name;
+          beginAbortLocked(RunStatus::AssertFailed);
+        }
+        return false;
+      }
+      emit(EventKind::RwUnlockWrite, self.id, op.rw->id, op.site);
+      op.rw->writer = kNoThread;
+      return true;
+
+    case OpCode::SemTryAcquire:
+      if (op.sem->permits > 0) {
+        --op.sem->permits;
+        self.tryResult = true;
+        emit(EventKind::SemAcquire, self.id, op.sem->id, op.site);
+      } else {
+        self.tryResult = false;
+      }
+      return true;
+
+    case OpCode::SemRelease:
+      op.sem->permits += op.arg;
+      emit(EventKind::SemRelease, self.id, op.sem->id, op.site, op.arg);
+      return true;
+
+    case OpCode::BarrierArrive: {
+      BarrierState* b = op.b;
+      emit(EventKind::BarrierEnter, self.id, b->id, op.site,
+           static_cast<std::uint32_t>(b->generation));
+      ++b->arrived;
+      Site st = op.site;
+      if (b->arrived >= b->parties) {
+        ++b->generation;
+        b->arrived = 0;
+        // Release every thread parked on this generation (including self).
+        for (const auto& t : tcbs_) {
+          if (t->st == St::WaitBarrier && t->pending.b == b) {
+            t->st = St::Parked;
+          }
+        }
+        self.st = St::Parked;
+      } else {
+        self.st = St::WaitBarrier;
+      }
+      scheduleNextLocked();
+      if (!waitForTurnLocked(lk, self)) return false;
+      emit(EventKind::BarrierExit, self.id, b->id, st,
+           static_cast<std::uint32_t>(b->generation));
+      return true;
+    }
+
+    case OpCode::Join:
+      emit(EventKind::ThreadJoin, self.id, op.target, op.site);
+      return true;
+
+    case OpCode::VarAccess:
+      emit(op.access == Access::Write ? EventKind::VarWrite
+                                      : EventKind::VarRead,
+           self.id, op.var, op.site);
+      return true;
+
+    case OpCode::Yield:
+      emit(EventKind::Yield, self.id, kNoObject, op.site);
+      return true;
+
+    case OpCode::Sleep:
+      emit(EventKind::Yield, self.id, kNoObject, op.site, op.arg);
+      return true;
+
+    case OpCode::Finish:
+      // Handled by threadFinish.
+      return true;
+  }
+  return true;
+}
+
+void ControlledRuntime::visibleOp(PendingOp op, bool mayThrow,
+                                  bool applyNoise) {
+  Tcb* selfp = currentTcb();
+  if (selfp == nullptr) {
+    throw std::logic_error(
+        "mtt: runtime operation called outside a managed thread");
+  }
+  Tcb& self = *selfp;
+  if (applyNoise && self.noise.kind != NoiseRequest::Kind::None) {
+    NoiseRequest nr = self.noise;
+    self.noise = NoiseRequest{};
+    if (nr.kind == NoiseRequest::Kind::Yield) {
+      for (std::uint32_t i = 0; i < std::max<std::uint32_t>(nr.amount, 1);
+           ++i) {
+        PendingOp y;
+        y.code = OpCode::Yield;
+        visibleOp(y, mayThrow, /*applyNoise=*/false);
+      }
+    } else if (nr.kind == NoiseRequest::Kind::Sleep) {
+      PendingOp sl;
+      sl.code = OpCode::Sleep;
+      sl.arg = std::max<std::uint32_t>(nr.amount, 1);
+      visibleOp(sl, mayThrow, /*applyNoise=*/false);
+    }
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (abort_) {
+    if (mayThrow) throw RunAborted{};
+    return;
+  }
+  if (op.code == OpCode::Sleep) {
+    op.wakeStep = steps_ + std::max<std::uint32_t>(op.arg, 1);
+  }
+  self.pending = op;
+  self.st = St::Parked;
+  scheduleNextLocked();
+  if (!waitForTurnLocked(lk, self)) {
+    if (mayThrow) throw RunAborted{};
+    return;
+  }
+  if (!performOpLocked(lk, self)) {
+    if (mayThrow) throw RunAborted{};
+    return;
+  }
+}
+
+void ControlledRuntime::trampoline(Tcb* self) {
+  tl_current = self;
+  bool started = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!abort_ && waitForTurnLocked(lk, *self)) {
+      emit(EventKind::ThreadStart, self->id, self->id, Site{});
+      started = true;
+    }
+  }
+  if (started) {
+    try {
+      self->body();
+    } catch (const RunAborted&) {
+      // Expected unwind path during aborts.
+    } catch (const std::exception& e) {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!abort_) {
+        failureMessage_ =
+            "uncaught exception in " + self->name + ": " + e.what();
+        beginAbortLocked(RunStatus::AssertFailed);
+      }
+    }
+  }
+  threadFinish(*self);
+  tl_current = nullptr;
+}
+
+void ControlledRuntime::threadFinish(Tcb& self) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!abort_) {
+    self.pending = PendingOp{};
+    self.pending.code = OpCode::Finish;
+    self.st = St::Parked;
+    scheduleNextLocked();
+    if (waitForTurnLocked(lk, self)) {
+      emit(EventKind::ThreadFinish, self.id, self.id, Site{});
+    }
+  }
+  self.st = St::Finished;
+  ++finishedCount_;
+  if (!abort_) {
+    scheduleNextLocked();
+  } else {
+    advanceUnwindLocked();
+  }
+  doneCv_.notify_all();
+}
+
+RunResult ControlledRuntime::run(std::function<void(Runtime&)> body,
+                                 const RunOptions& opts) {
+  if (runActive_) {
+    throw std::logic_error("mtt: ControlledRuntime::run is not reentrant");
+  }
+  runActive_ = true;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tcbs_.clear();
+    finishedCount_ = 0;
+    lastRunning_ = kNoThread;
+    abort_ = false;
+    status_ = RunStatus::Completed;
+    failureMessage_.clear();
+    steps_ = 0;
+    maxSteps_ = opts.maxSteps == 0 ? ~std::uint64_t{0} : opts.maxSteps;
+    blocked_.clear();
+    resetEventCount();
+  }
+  policy_->onRunStart(opts.seed);
+  RunInfo info;
+  info.programName = opts.programName;
+  info.seed = opts.seed;
+  info.mode = RuntimeMode::Controlled;
+  hooks_.dispatchRunStart(info);
+
+  Stopwatch sw;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto main = std::make_unique<Tcb>();
+    main->id = kMainThread;
+    main->name = "main";
+    main->st = St::Parked;
+    main->pending = PendingOp{};
+    main->pending.code = OpCode::Start;
+    main->body = [this, b = std::move(body)] { b(*this); };
+    Tcb* raw = main.get();
+    tcbs_.push_back(std::move(main));
+    osThreads_.emplace_back([this, raw] { trampoline(raw); });
+    scheduleNextLocked();
+    doneCv_.wait(lk, [&] {
+      return !tcbs_.empty() && finishedCount_ == tcbs_.size();
+    });
+  }
+  for (auto& t : osThreads_) t.join();
+  osThreads_.clear();
+
+  RunResult result;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    result.status = status_;
+    result.failureMessage = failureMessage_;
+    result.steps = steps_;
+    result.blocked = blocked_;
+  }
+  result.events = eventCount();
+  result.wallSeconds = sw.elapsedSeconds();
+  hooks_.dispatchRunEnd();
+  policy_->onRunEnd();
+  runActive_ = false;
+  return result;
+}
+
+ThreadId ControlledRuntime::spawnThread(std::string name,
+                                        std::function<void()> fn) {
+  Tcb* self = currentTcb();
+  if (self == nullptr) {
+    throw std::logic_error("mtt: spawnThread outside a managed thread");
+  }
+  self->spawnName = std::move(name);
+  self->spawnFn = std::move(fn);
+  PendingOp op;
+  op.code = OpCode::Spawn;
+  op.site = site("spawn");
+  visibleOp(op);
+  return self->pending.target;
+}
+
+void ControlledRuntime::joinThread(ThreadId target, Site s) {
+  PendingOp op;
+  op.code = OpCode::Join;
+  op.target = target;
+  op.site = s;
+  visibleOp(op);
+}
+
+void ControlledRuntime::reapThread(ThreadId target) noexcept {
+  if (currentTcb() == nullptr) return;
+  // A reap is a managed join that must not throw: during aborts it returns
+  // immediately (serial unwinding already guarantees the target finished
+  // before this frame unwinds); otherwise it blocks like a normal join.
+  PendingOp op;
+  op.code = OpCode::Join;
+  op.target = target;
+  try {
+    visibleOp(op, /*mayThrow=*/false);
+  } catch (...) {
+    // visibleOp(mayThrow=false) only throws on API misuse; ignore in a dtor.
+  }
+}
+
+void ControlledRuntime::yieldNow(Site s) {
+  PendingOp op;
+  op.code = OpCode::Yield;
+  op.site = s;
+  visibleOp(op);
+}
+
+void ControlledRuntime::sleepFor(std::chrono::microseconds d) {
+  PendingOp op;
+  op.code = OpCode::Sleep;
+  // 1 virtual tick per 100us of requested sleep, clamped to keep virtual
+  // time commensurate with maxSteps.
+  auto ticks = static_cast<std::uint32_t>(
+      std::clamp<std::int64_t>(d.count() / 100, 1, 100000));
+  op.arg = ticks;
+  visibleOp(op);
+}
+
+void ControlledRuntime::postNoise(const NoiseRequest& req) {
+  Tcb* self = currentTcb();
+  if (self != nullptr) self->noise = req;
+}
+
+void ControlledRuntime::mutexLock(MutexState& m, Site s) {
+  PendingOp op;
+  op.code = OpCode::Lock;
+  op.m = &m;
+  op.site = s;
+  visibleOp(op);
+}
+
+bool ControlledRuntime::mutexTryLock(MutexState& m, Site s) {
+  PendingOp op;
+  op.code = OpCode::TryLock;
+  op.m = &m;
+  op.site = s;
+  visibleOp(op);
+  return currentTcb()->tryResult;
+}
+
+void ControlledRuntime::mutexUnlock(MutexState& m, Site s) {
+  PendingOp op;
+  op.code = OpCode::Unlock;
+  op.m = &m;
+  op.site = s;
+  visibleOp(op, /*mayThrow=*/false);
+}
+
+void ControlledRuntime::condWait(CondState& c, MutexState& m, Site s) {
+  PendingOp op;
+  op.code = OpCode::CondWait;
+  op.c = &c;
+  op.m = &m;
+  op.site = s;
+  visibleOp(op);
+}
+
+void ControlledRuntime::condSignal(CondState& c, Site s) {
+  PendingOp op;
+  op.code = OpCode::CondSignal;
+  op.c = &c;
+  op.site = s;
+  visibleOp(op);
+}
+
+void ControlledRuntime::condBroadcast(CondState& c, Site s) {
+  PendingOp op;
+  op.code = OpCode::CondBroadcast;
+  op.c = &c;
+  op.site = s;
+  visibleOp(op);
+}
+
+void ControlledRuntime::semAcquire(SemState& sem, Site s) {
+  PendingOp op;
+  op.code = OpCode::SemAcquire;
+  op.sem = &sem;
+  op.site = s;
+  visibleOp(op);
+}
+
+bool ControlledRuntime::semTryAcquire(SemState& sem, Site s) {
+  PendingOp op;
+  op.code = OpCode::SemTryAcquire;
+  op.sem = &sem;
+  op.site = s;
+  visibleOp(op);
+  return currentTcb()->tryResult;
+}
+
+void ControlledRuntime::semRelease(SemState& sem, std::uint32_t n, Site s) {
+  PendingOp op;
+  op.code = OpCode::SemRelease;
+  op.sem = &sem;
+  op.arg = n;
+  op.site = s;
+  visibleOp(op, /*mayThrow=*/false);
+}
+
+void ControlledRuntime::rwLockRead(RwState& rw, Site s) {
+  PendingOp op;
+  op.code = OpCode::RwRead;
+  op.rw = &rw;
+  op.site = s;
+  visibleOp(op);
+}
+
+void ControlledRuntime::rwUnlockRead(RwState& rw, Site s) {
+  PendingOp op;
+  op.code = OpCode::RwUnlockR;
+  op.rw = &rw;
+  op.site = s;
+  visibleOp(op, /*mayThrow=*/false);
+}
+
+void ControlledRuntime::rwLockWrite(RwState& rw, Site s) {
+  PendingOp op;
+  op.code = OpCode::RwWrite;
+  op.rw = &rw;
+  op.site = s;
+  visibleOp(op);
+}
+
+void ControlledRuntime::rwUnlockWrite(RwState& rw, Site s) {
+  PendingOp op;
+  op.code = OpCode::RwUnlockW;
+  op.rw = &rw;
+  op.site = s;
+  visibleOp(op, /*mayThrow=*/false);
+}
+
+void ControlledRuntime::barrierWait(BarrierState& b, Site s) {
+  PendingOp op;
+  op.code = OpCode::BarrierArrive;
+  op.b = &b;
+  op.site = s;
+  visibleOp(op);
+}
+
+void ControlledRuntime::varAccess(ObjectId var, Access a, Site s) {
+  PendingOp op;
+  op.code = OpCode::VarAccess;
+  op.var = var;
+  op.access = a;
+  op.site = s;
+  visibleOp(op);
+}
+
+}  // namespace mtt::rt

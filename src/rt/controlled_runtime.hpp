@@ -1,0 +1,188 @@
+// ControlledRuntime: the cooperative, fully deterministic scheduler.
+//
+// Exactly one managed thread executes at a time.  Every visible operation
+// (lock, unlock, wait, signal, semaphore, barrier, variable access, spawn,
+// join, yield, sleep, finish) parks the calling thread with a pending-op
+// descriptor; the runtime computes the set of *enabled* pending operations
+// and asks the SchedulePolicy which one executes next.  Consequences:
+//
+//  * Determinism: (program, policy, seed) fully determines the run — the
+//    substrate for replay (record the decision sequence, re-apply it) and
+//    for systematic state-space exploration (enumerate decision sequences).
+//  * Deadlock detection for free: if no pending operation is enabled and not
+//    every thread has finished, the run is deadlocked; the runtime reports
+//    each blocked thread and what it waits on.
+//  * Livelock guard: runs abort after RunOptions::maxSteps decisions.
+//
+// Hooks are dispatched with the scheduler lock held (events are therefore
+// totally ordered and listeners need no internal locking in this mode);
+// listeners must not call runtime operations from onEvent — noise makers use
+// Runtime::postNoise, which is applied before the thread's next operation.
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "rt/policy.hpp"
+#include "rt/runtime.hpp"
+
+namespace mtt::rt {
+
+class ControlledRuntime final : public Runtime {
+ public:
+  /// Uses RandomPolicy if none is given.
+  explicit ControlledRuntime(std::unique_ptr<SchedulePolicy> policy = nullptr);
+  ~ControlledRuntime() override;
+
+  RuntimeMode mode() const override { return RuntimeMode::Controlled; }
+
+  SchedulePolicy& policy() { return *policy_; }
+  void setPolicy(std::unique_ptr<SchedulePolicy> p);
+
+  RunResult run(std::function<void(Runtime&)> body,
+                const RunOptions& opts) override;
+
+  ThreadId spawnThread(std::string name, std::function<void()> fn) override;
+  void joinThread(ThreadId target, Site s) override;
+  void reapThread(ThreadId target) noexcept override;
+  ThreadId currentThread() const override;
+  std::string threadName(ThreadId t) const override;
+  void yieldNow(Site s) override;
+  void sleepFor(std::chrono::microseconds d) override;
+  void postNoise(const NoiseRequest& req) override;
+  void fail(std::string msg) override;
+
+  void mutexLock(MutexState& m, Site s) override;
+  bool mutexTryLock(MutexState& m, Site s) override;
+  void mutexUnlock(MutexState& m, Site s) override;
+  void condWait(CondState& c, MutexState& m, Site s) override;
+  void condSignal(CondState& c, Site s) override;
+  void condBroadcast(CondState& c, Site s) override;
+  void semAcquire(SemState& sem, Site s) override;
+  bool semTryAcquire(SemState& sem, Site s) override;
+  void semRelease(SemState& sem, std::uint32_t n, Site s) override;
+  void barrierWait(BarrierState& b, Site s) override;
+  void rwLockRead(RwState& rw, Site s) override;
+  void rwUnlockRead(RwState& rw, Site s) override;
+  void rwLockWrite(RwState& rw, Site s) override;
+  void rwUnlockWrite(RwState& rw, Site s) override;
+  void varAccess(ObjectId var, Access a, Site s) override;
+
+ private:
+  enum class OpCode : std::uint8_t {
+    Start,
+    Spawn,
+    Lock,
+    TryLock,
+    Unlock,
+    CondWait,
+    CondSignal,
+    CondBroadcast,
+    SemAcquire,
+    SemTryAcquire,
+    SemRelease,
+    BarrierArrive,
+    RwRead,
+    RwWrite,
+    RwUnlockR,
+    RwUnlockW,
+    Join,
+    VarAccess,
+    Yield,
+    Sleep,
+    Finish,
+  };
+
+  struct PendingOp {
+    OpCode code = OpCode::Yield;
+    MutexState* m = nullptr;
+    CondState* c = nullptr;
+    RwState* rw = nullptr;
+    SemState* sem = nullptr;
+    BarrierState* b = nullptr;
+    ObjectId var = kNoObject;
+    Access access = Access::None;
+    ThreadId target = kNoThread;  ///< join target / spawned child
+    Site site{};
+    std::uint32_t arg = 0;        ///< sem release count / saved mutex depth
+    std::uint64_t wakeStep = 0;   ///< sleep expiry (virtual step)
+    bool condResume = false;      ///< Lock is a reacquire after cond wait
+    bool everBlocked = false;     ///< op was seen disabled at least once
+  };
+
+  enum class St : std::uint8_t {
+    Parked,       ///< has a pending op, competing for scheduling
+    Running,      ///< executing user code (at most one thread)
+    WaitCond,     ///< in a condition wait, not schedulable until signaled
+    WaitBarrier,  ///< arrived at a barrier, waiting for the generation
+    Finished,
+  };
+
+  struct Tcb {
+    ThreadId id = kNoThread;
+    std::string name;
+    St st = St::Parked;
+    PendingOp pending{};
+    bool go = false;
+    bool tryResult = false;  ///< out-param of TryLock / SemTryAcquire
+    NoiseRequest noise{};    ///< posted by listeners, applied at next op
+    std::condition_variable cv;
+    std::function<void()> body;
+    // Staging area for a pending Spawn op (per-thread, so concurrent
+    // spawners don't clobber each other).
+    std::string spawnName;
+    std::function<void()> spawnFn;
+  };
+
+  // The generic gateway for visible operations of the current thread.
+  // Applies any posted noise first, parks, schedules, waits for its turn and
+  // performs the op.  mayThrow=false is used by operations reachable from
+  // destructors (unlock): on abort they return without effect.
+  void visibleOp(PendingOp op, bool mayThrow = true, bool applyNoise = true);
+
+  // All *Locked functions require mu_ held.
+  Tcb& tcbOf(ThreadId id) const;
+  Tcb* currentTcb() const;
+  bool enabledLocked(const Tcb& t) const;
+  // Picks and wakes the next thread (or fast-forwards virtual time, or
+  // detects completion / deadlock / step-limit).
+  void scheduleNextLocked();
+  // Waits until this thread is scheduled.  Returns false if the run aborted.
+  bool waitForTurnLocked(std::unique_lock<std::mutex>& lk, Tcb& self);
+  // Executes self.pending; emits events; may internally block (cond/barrier)
+  // and re-schedule.  Returns false if the run aborted mid-operation.
+  bool performOpLocked(std::unique_lock<std::mutex>& lk, Tcb& self);
+  void beginAbortLocked(RunStatus status);
+  // Abort teardown is serialized: threads unwind one at a time in reverse
+  // thread-id order (children before their spawners, since ids are assigned
+  // in spawn order), so a thread never destroys stack objects that a
+  // still-unwinding thread it spawned references.  advanceUnwindLocked moves
+  // the turn to the highest-id unfinished thread.
+  void advanceUnwindLocked();
+  void collectBlockedLocked();
+  std::string describeWait(const Tcb& t) const;
+  void releaseMutexFullyLocked(MutexState& m);
+  void trampoline(Tcb* self);
+  void threadFinish(Tcb& self);
+  [[noreturn]] void failLocked(std::unique_lock<std::mutex>& lk,
+                               std::string msg);
+
+  std::unique_ptr<SchedulePolicy> policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable doneCv_;
+  std::vector<std::unique_ptr<Tcb>> tcbs_;   // index = id - 1
+  std::vector<std::thread> osThreads_;
+  std::size_t finishedCount_ = 0;
+  ThreadId lastRunning_ = kNoThread;
+  bool abort_ = false;
+  ThreadId unwindTurn_ = kNoThread;  ///< whose turn to unwind during abort
+  RunStatus status_ = RunStatus::Completed;
+  std::string failureMessage_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t maxSteps_ = 0;
+  std::vector<BlockedThreadInfo> blocked_;
+  bool runActive_ = false;
+};
+
+}  // namespace mtt::rt

@@ -1,0 +1,22 @@
+#include "rt/harness.hpp"
+
+namespace mtt::rt {
+
+std::unique_ptr<Runtime> makeRuntime(RuntimeMode mode,
+                                     std::unique_ptr<SchedulePolicy> policy) {
+  if (mode == RuntimeMode::Controlled) {
+    return std::make_unique<ControlledRuntime>(std::move(policy));
+  }
+  return std::make_unique<NativeRuntime>();
+}
+
+RunResult runOnce(RuntimeMode mode, std::function<void(Runtime&)> body,
+                  const RunOptions& opts,
+                  const std::vector<Listener*>& listeners,
+                  std::unique_ptr<SchedulePolicy> policy) {
+  auto rt = makeRuntime(mode, std::move(policy));
+  for (Listener* l : listeners) rt->hooks().add(l);
+  return rt->run(std::move(body), opts);
+}
+
+}  // namespace mtt::rt

@@ -1,0 +1,27 @@
+// Minimal single-run harness: builds a runtime for a mode, registers
+// listeners, runs one body.  The full prepared-experiment machinery lives in
+// mtt::experiment; this helper keeps tests and examples terse.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rt/controlled_runtime.hpp"
+#include "rt/native_runtime.hpp"
+#include "rt/policy.hpp"
+
+namespace mtt::rt {
+
+/// Creates a fresh runtime of the given mode.  `policy` is used only in
+/// controlled mode (RandomPolicy by default).
+std::unique_ptr<Runtime> makeRuntime(
+    RuntimeMode mode, std::unique_ptr<SchedulePolicy> policy = nullptr);
+
+/// Runs `body` once on a fresh runtime with the given listeners registered.
+RunResult runOnce(RuntimeMode mode, std::function<void(Runtime&)> body,
+                  const RunOptions& opts = {},
+                  const std::vector<Listener*>& listeners = {},
+                  std::unique_ptr<SchedulePolicy> policy = nullptr);
+
+}  // namespace mtt::rt

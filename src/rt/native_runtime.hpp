@@ -1,0 +1,116 @@
+// NativeRuntime: real std::threads under the OS scheduler.
+//
+// Instrumentation points emit events inline on the executing thread, so a
+// noise maker's delay (posted via Runtime::postNoise, applied immediately in
+// this mode) delays exactly the thread that hit the point — the paper's
+// native noise-making model.  Listeners may be invoked concurrently and must
+// synchronize internally in this mode.
+//
+// Every blocking operation carries a watchdog (RunOptions::blockTimeout):
+// a lock, condition wait, semaphore acquire, or barrier wait that exceeds it
+// aborts the run with RunStatus::Deadlock, so native runs of deadlocking or
+// lost-wakeup programs terminate and report instead of hanging the harness.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "rt/runtime.hpp"
+
+namespace mtt::rt {
+
+/// Hook invoked before each instrumented operation in native mode; may
+/// block the calling thread.  This is the mechanism partial replay uses to
+/// force the recorded synchronization order (mtt::replay::SyncOrderEnforcer)
+/// without any cooperation from the OS scheduler.
+class PreOpGate {
+ public:
+  virtual ~PreOpGate() = default;
+  /// kind is the operation's event-kind class (try-lock outcomes are not
+  /// known yet and arrive as MutexTryLockOk).
+  virtual void beforeOp(ThreadId t, EventKind kind, ObjectId obj) = 0;
+};
+
+class NativeRuntime final : public Runtime {
+ public:
+  NativeRuntime() = default;
+  ~NativeRuntime() override;
+
+  RuntimeMode mode() const override { return RuntimeMode::Native; }
+
+  RunResult run(std::function<void(Runtime&)> body,
+                const RunOptions& opts) override;
+
+  /// Installs (or clears, with nullptr) the pre-operation gate.  Set before
+  /// run(); the gate must outlive the run.
+  void setPreOpGate(PreOpGate* gate) {
+    gates_.clear();
+    if (gate != nullptr) gates_.push_back(gate);
+  }
+  /// Appends a gate; gates run in installation order (e.g. an enforcer
+  /// first, then a recorder observing the enforced order).
+  void addPreOpGate(PreOpGate* gate) {
+    if (gate != nullptr) gates_.push_back(gate);
+  }
+
+  ThreadId spawnThread(std::string name, std::function<void()> fn) override;
+  void joinThread(ThreadId target, Site s) override;
+  void reapThread(ThreadId target) noexcept override;
+  ThreadId currentThread() const override;
+  std::string threadName(ThreadId t) const override;
+  void yieldNow(Site s) override;
+  void sleepFor(std::chrono::microseconds d) override;
+  void postNoise(const NoiseRequest& req) override;
+  void fail(std::string msg) override;
+
+  void mutexLock(MutexState& m, Site s) override;
+  bool mutexTryLock(MutexState& m, Site s) override;
+  void mutexUnlock(MutexState& m, Site s) override;
+  void condWait(CondState& c, MutexState& m, Site s) override;
+  void condSignal(CondState& c, Site s) override;
+  void condBroadcast(CondState& c, Site s) override;
+  void semAcquire(SemState& sem, Site s) override;
+  bool semTryAcquire(SemState& sem, Site s) override;
+  void semRelease(SemState& sem, std::uint32_t n, Site s) override;
+  void barrierWait(BarrierState& b, Site s) override;
+  void rwLockRead(RwState& rw, Site s) override;
+  void rwUnlockRead(RwState& rw, Site s) override;
+  void rwLockWrite(RwState& rw, Site s) override;
+  void rwUnlockWrite(RwState& rw, Site s) override;
+  void varAccess(ObjectId var, Access a, Site s) override;
+
+ private:
+  struct Tcb {
+    ThreadId id = kNoThread;
+    std::string name;
+    std::atomic<bool> finished{false};
+  };
+
+  Tcb* currentTcb() const;
+  void checkAbort() const;  // throws RunAborted when the run is aborting
+  void gate(EventKind kind, ObjectId obj) {
+    // Inert during aborts: teardown must not wait on replay ordering.
+    if (!gates_.empty() && !abort_.load(std::memory_order_acquire)) {
+      for (PreOpGate* g : gates_) g->beforeOp(currentThread(), kind, obj);
+    }
+  }
+  // Records a watchdog expiry as a suspected deadlock and aborts.
+  [[noreturn]] void watchdogFired(const std::string& waitingFor,
+                                  ObjectId obj);
+  void trampoline(Tcb* self, std::function<void()> fn);
+
+  std::chrono::milliseconds blockTimeout_{500};
+  std::atomic<bool> abort_{false};
+  std::vector<PreOpGate*> gates_;
+
+  mutable std::mutex mu_;
+  std::condition_variable joinCv_;  // signaled when any thread finishes
+  std::vector<std::unique_ptr<Tcb>> tcbs_;
+  std::vector<std::thread> osThreads_;
+  RunStatus status_ = RunStatus::Completed;
+  std::string failureMessage_;
+  std::vector<BlockedThreadInfo> blocked_;
+  bool runActive_ = false;
+};
+
+}  // namespace mtt::rt

@@ -1,0 +1,119 @@
+#include "rt/policy.hpp"
+
+#include <algorithm>
+
+namespace mtt::rt {
+
+namespace {
+
+bool contains(std::span<const ThreadId> ids, ThreadId t) {
+  return std::find(ids.begin(), ids.end(), t) != ids.end();
+}
+
+/// Lowest enabled id strictly greater than `current`, wrapping to the lowest
+/// overall.  `enabled` is sorted ascending and non-empty.
+ThreadId nextAfter(std::span<const ThreadId> enabled, ThreadId current) {
+  for (ThreadId t : enabled) {
+    if (t > current) return t;
+  }
+  return enabled.front();
+}
+
+}  // namespace
+
+ThreadId RoundRobinPolicy::pick(const PickContext& ctx) {
+  if (!ctx.currentYielding && contains(ctx.enabled, ctx.current)) {
+    return ctx.current;
+  }
+  return nextAfter(ctx.enabled, ctx.current);
+}
+
+ThreadId RandomPolicy::pick(const PickContext& ctx) {
+  if (switchProb_ < 1.0 && contains(ctx.enabled, ctx.current) &&
+      !ctx.currentYielding && !rng_.chance(switchProb_)) {
+    return ctx.current;
+  }
+  return ctx.enabled[rng_.below(ctx.enabled.size())];
+}
+
+void PriorityPolicy::onRunStart(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  priority_.assign(2, 0);
+  nextPriority_ = 0;
+  changeAt_.clear();
+  // Spread the priority-change points over a window of plausible run length;
+  // re-rolled lazily as the run grows past the window.
+  for (int i = 0; i < changePoints_; ++i) {
+    changeAt_.push_back(rng_.below(expectedSteps_) + 1);
+  }
+  std::sort(changeAt_.begin(), changeAt_.end());
+}
+
+std::uint64_t PriorityPolicy::priorityFor(ThreadId t) {
+  if (t >= priority_.size()) priority_.resize(t + 1, 0);
+  if (priority_[t] == 0) {
+    // Fresh threads draw a random high priority band; ties broken by id.
+    priority_[t] = (rng_.below(1u << 20) << 16) | t;
+  }
+  return priority_[t];
+}
+
+ThreadId PriorityPolicy::pick(const PickContext& ctx) {
+  if (!changeAt_.empty() && ctx.step >= changeAt_.front()) {
+    changeAt_.erase(changeAt_.begin());
+    if (ctx.current != kNoThread) {
+      // Drop the running thread below every band; nextPriority_ keeps later
+      // drops even lower so the order of drops is preserved.
+      if (ctx.current >= priority_.size()) priority_.resize(ctx.current + 1, 0);
+      priority_[ctx.current] = ++nextPriority_;
+    }
+  }
+  ThreadId best = ctx.enabled.front();
+  std::uint64_t bestPrio = 0;
+  for (ThreadId t : ctx.enabled) {
+    std::uint64_t p = priorityFor(t);
+    if (p >= bestPrio) {
+      bestPrio = p;
+      best = t;
+    }
+  }
+  return best;
+}
+
+void RecordingPolicy::onRunStart(std::uint64_t seed) {
+  schedule_.decisions.clear();
+  inner_->onRunStart(seed);
+}
+
+ThreadId RecordingPolicy::pick(const PickContext& ctx) {
+  ThreadId t = inner_->pick(ctx);
+  schedule_.decisions.push_back(t);
+  return t;
+}
+
+void ReplayPolicy::onRunStart(std::uint64_t seed) {
+  (void)seed;
+  next_ = 0;
+  diverged_ = false;
+  divergenceStep_ = 0;
+}
+
+ThreadId ReplayPolicy::pick(const PickContext& ctx) {
+  if (!diverged_) {
+    if (next_ >= schedule_.decisions.size()) {
+      diverged_ = true;
+      divergenceStep_ = ctx.step;
+    } else {
+      ThreadId want = schedule_.decisions[next_];
+      if (contains(ctx.enabled, want)) {
+        ++next_;
+        return want;
+      }
+      diverged_ = true;
+      divergenceStep_ = ctx.step;
+    }
+  }
+  return fallback_.pick(ctx);
+}
+
+}  // namespace mtt::rt

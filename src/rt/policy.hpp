@@ -1,0 +1,164 @@
+// Schedule policies for the controlled runtime.
+//
+// At every visible operation the controlled runtime asks its SchedulePolicy
+// which enabled pending operation executes next.  Policies are the place
+// where "the behaviour of other possible schedulers" (paper, Section 2.2) is
+// simulated:
+//  * RoundRobinPolicy — the deterministic scheduler of "the simple conditions
+//    of unit testing" where "executing the same tests repeatedly does not
+//    help"; it runs a thread until it blocks, yields or finishes.
+//  * RandomPolicy     — a uniformly random scheduler; every decision point
+//    picks uniformly among enabled threads.
+//  * RecordingPolicy  — decorator capturing the decision sequence (the
+//    record phase of replay).
+//  * ReplayPolicy     — re-applies a recorded decision sequence (the playback
+//    phase); detects divergence.
+// Systematic exploration drives its own policy (mtt::explore::ExplorerPolicy).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/rng.hpp"
+
+namespace mtt::rt {
+
+/// Context handed to a policy at each decision point.
+struct PickContext {
+  /// Enabled pending operations, as thread ids sorted ascending.  Never
+  /// empty when pick() is called.
+  std::span<const ThreadId> enabled;
+  /// Thread that executed the previous operation (kNoThread at run start).
+  ThreadId current = kNoThread;
+  /// True when `current` is enabled and its pending operation is an explicit
+  /// yield/sleep-expiry — i.e. the thread itself requested descheduling.
+  bool currentYielding = false;
+  /// Scheduling decisions taken so far in this run.
+  std::uint64_t step = 0;
+};
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  /// Called once at the start of each run with the run's seed.
+  virtual void onRunStart(std::uint64_t seed) { (void)seed; }
+  /// Returns the thread whose pending operation executes next; must be a
+  /// member of ctx.enabled.
+  virtual ThreadId pick(const PickContext& ctx) = 0;
+  virtual void onRunEnd() {}
+};
+
+/// Deterministic cooperative scheduler: keeps running the current thread
+/// while it is enabled and not yielding; otherwise the lowest-id enabled
+/// thread strictly greater than current (wrapping).  Models the
+/// "deterministic scheduler" of naive unit testing.
+class RoundRobinPolicy final : public SchedulePolicy {
+ public:
+  ThreadId pick(const PickContext& ctx) override;
+};
+
+/// Uniformly random choice among enabled threads at every decision point.
+class RandomPolicy final : public SchedulePolicy {
+ public:
+  /// With probability (1 - switchProbability) the current thread continues
+  /// when enabled; 1.0 means a fully uniform pick at every point.
+  explicit RandomPolicy(double switchProbability = 1.0)
+      : switchProb_(switchProbability) {}
+  void onRunStart(std::uint64_t seed) override { rng_ = Rng(seed); }
+  ThreadId pick(const PickContext& ctx) override;
+
+ private:
+  double switchProb_;
+  Rng rng_{0};
+};
+
+/// PCT-inspired priority scheduler: assigns random priorities to threads at
+/// run start and always runs the highest-priority enabled thread; at `depth`
+/// random decision points, the running thread's priority is dropped below
+/// everyone else's.  Good at exposing ordering bugs with few preemptions.
+class PriorityPolicy final : public SchedulePolicy {
+ public:
+  /// changePoints ~ the bug depth to target plus one (PCT's d parameter);
+  /// expectedSteps is the window the change points are drawn from — it
+  /// should be on the order of the run's step count (PCT assumes the run
+  /// length k is known; 64 suits the benchmark suite's small programs).
+  explicit PriorityPolicy(int changePoints = 3,
+                          std::uint64_t expectedSteps = 64)
+      : changePoints_(changePoints), expectedSteps_(expectedSteps) {}
+  void onRunStart(std::uint64_t seed) override;
+  ThreadId pick(const PickContext& ctx) override;
+
+ private:
+  int changePoints_;
+  Rng rng_{0};
+  std::vector<std::uint64_t> priority_;  // indexed by ThreadId
+  std::vector<std::uint64_t> changeAt_;  // steps at which to deprioritize
+  std::uint64_t nextPriority_ = 0;
+  std::uint64_t expectedSteps_;
+  std::uint64_t priorityFor(ThreadId t);
+};
+
+/// The recorded decision sequence of one run.  Decisions are thread ids; the
+/// controlled runtime is deterministic given the same program and sequence,
+/// so this is a complete schedule representation ("scenario" in the paper's
+/// state-space-exploration terminology).
+struct Schedule {
+  std::vector<ThreadId> decisions;
+  bool empty() const { return decisions.empty(); }
+  std::size_t size() const { return decisions.size(); }
+};
+
+/// Decorator: forwards to an inner policy and records every decision.
+class RecordingPolicy final : public SchedulePolicy {
+ public:
+  explicit RecordingPolicy(std::unique_ptr<SchedulePolicy> inner)
+      : inner_(std::move(inner)) {}
+  void onRunStart(std::uint64_t seed) override;
+  ThreadId pick(const PickContext& ctx) override;
+  void onRunEnd() override { inner_->onRunEnd(); }
+  const Schedule& schedule() const { return schedule_; }
+
+ private:
+  std::unique_ptr<SchedulePolicy> inner_;
+  Schedule schedule_;
+};
+
+/// Replays a recorded schedule.  If the recorded thread is not enabled at
+/// some step, or the schedule is exhausted while the run continues, the
+/// policy marks divergence and falls back to round-robin so the run still
+/// terminates.
+class ReplayPolicy final : public SchedulePolicy {
+ public:
+  explicit ReplayPolicy(Schedule schedule) : schedule_(std::move(schedule)) {}
+  void onRunStart(std::uint64_t seed) override;
+  ThreadId pick(const PickContext& ctx) override;
+  bool diverged() const { return diverged_; }
+  /// Step at which divergence occurred (meaningful only when diverged()).
+  std::uint64_t divergenceStep() const { return divergenceStep_; }
+
+ private:
+  Schedule schedule_;
+  std::size_t next_ = 0;
+  bool diverged_ = false;
+  std::uint64_t divergenceStep_ = 0;
+  RoundRobinPolicy fallback_;
+};
+
+/// Non-owning adapter: lets a caller keep ownership of a policy (e.g. to
+/// read a RecordingPolicy's schedule after the run) while the runtime holds
+/// only this forwarding shim.
+class PolicyRef final : public SchedulePolicy {
+ public:
+  explicit PolicyRef(SchedulePolicy& p) : p_(&p) {}
+  void onRunStart(std::uint64_t seed) override { p_->onRunStart(seed); }
+  ThreadId pick(const PickContext& ctx) override { return p_->pick(ctx); }
+  void onRunEnd() override { p_->onRunEnd(); }
+
+ private:
+  SchedulePolicy* p_;
+};
+
+}  // namespace mtt::rt

@@ -1,0 +1,329 @@
+// The instrumented concurrency primitives benchmark programs are written
+// against.  Every operation on these types is an instrumentation point: it
+// emits an Event to the runtime's hook chain and, in controlled mode, is a
+// scheduling decision.  This API is the C++ substitute for the paper's
+// instrumented Java bytecode (see DESIGN.md, substitution table).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "rt/runtime.hpp"
+
+namespace mtt::rt {
+
+/// Instrumented mutual-exclusion lock (optionally recursive).
+class Mutex {
+ public:
+  Mutex(Runtime& rt, std::string name, bool recursive = false)
+      : rt_(&rt), recursive_(recursive) {
+    st_.id = rt.registerObject(ObjectKind::Mutex, std::move(name));
+    st_.recursive = recursive;
+  }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock(Site s = site()) { rt_->mutexLock(st_, s); }
+  bool tryLock(Site s = site()) { return rt_->mutexTryLock(st_, s); }
+  void unlock(Site s = site()) { rt_->mutexUnlock(st_, s); }
+
+  ObjectId id() const { return st_.id; }
+  bool isRecursive() const { return recursive_; }
+  MutexState& state() { return st_; }
+
+ private:
+  Runtime* rt_;
+  bool recursive_;
+  MutexState st_;
+};
+
+/// RAII lock ownership for Mutex.
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m, Site s = site()) : m_(&m) { m.lock(s); }
+  ~LockGuard() {
+    if (m_ != nullptr) m_->unlock();
+  }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+  /// Releases early (idempotent).
+  void unlock(Site s = site()) {
+    if (m_ != nullptr) {
+      m_->unlock(s);
+      m_ = nullptr;
+    }
+  }
+
+ private:
+  Mutex* m_;
+};
+
+/// Instrumented readers-writer lock: any number of concurrent readers OR a
+/// single writer.  Not recursive and not upgradable: requesting the write
+/// lock while holding the read lock self-deadlocks — which is exactly the
+/// classic "rwlock upgrade" bug the suite documents.
+class RwLock {
+ public:
+  RwLock(Runtime& rt, std::string name) : rt_(&rt) {
+    st_.id = rt.registerObject(ObjectKind::RwLock, std::move(name));
+  }
+  RwLock(const RwLock&) = delete;
+  RwLock& operator=(const RwLock&) = delete;
+
+  void lockRead(Site s = site()) { rt_->rwLockRead(st_, s); }
+  void unlockRead(Site s = site()) { rt_->rwUnlockRead(st_, s); }
+  void lockWrite(Site s = site()) { rt_->rwLockWrite(st_, s); }
+  void unlockWrite(Site s = site()) { rt_->rwUnlockWrite(st_, s); }
+
+  ObjectId id() const { return st_.id; }
+  RwState& state() { return st_; }
+
+ private:
+  Runtime* rt_;
+  RwState st_;
+};
+
+/// RAII shared ownership of an RwLock.
+class ReadGuard {
+ public:
+  explicit ReadGuard(RwLock& l, Site s = site()) : l_(&l) { l.lockRead(s); }
+  ~ReadGuard() {
+    if (l_ != nullptr) l_->unlockRead();
+  }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+  void unlock(Site s = site()) {
+    if (l_ != nullptr) {
+      l_->unlockRead(s);
+      l_ = nullptr;
+    }
+  }
+
+ private:
+  RwLock* l_;
+};
+
+/// RAII exclusive ownership of an RwLock.
+class WriteGuard {
+ public:
+  explicit WriteGuard(RwLock& l, Site s = site()) : l_(&l) { l.lockWrite(s); }
+  ~WriteGuard() {
+    if (l_ != nullptr) l_->unlockWrite();
+  }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+  void unlock(Site s = site()) {
+    if (l_ != nullptr) {
+      l_->unlockWrite(s);
+      l_ = nullptr;
+    }
+  }
+
+ private:
+  RwLock* l_;
+};
+
+/// Instrumented condition variable.  No timed waits: the runtime's watchdog
+/// converts a never-signaled wait into a reported hang, which is exactly how
+/// the benchmark treats lost-wakeup bugs.
+class CondVar {
+ public:
+  CondVar(Runtime& rt, std::string name) : rt_(&rt) {
+    st_.id = rt.registerObject(ObjectKind::CondVar, std::move(name));
+  }
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold m.  Releases m, blocks until signaled, reacquires m.
+  /// May wake spuriously in native mode; use the while-loop idiom (the
+  /// bounded_buffer_bug suite program deliberately uses `if` instead).
+  void wait(Mutex& m, Site s = site()) { rt_->condWait(st_, m.state(), s); }
+  void signal(Site s = site()) { rt_->condSignal(st_, s); }
+  void broadcast(Site s = site()) { rt_->condBroadcast(st_, s); }
+
+  ObjectId id() const { return st_.id; }
+
+ private:
+  Runtime* rt_;
+  CondState st_;
+};
+
+/// Instrumented counting semaphore.
+class Semaphore {
+ public:
+  Semaphore(Runtime& rt, std::string name, std::int64_t initial = 0)
+      : rt_(&rt) {
+    st_.id = rt.registerObject(ObjectKind::Semaphore, std::move(name));
+    st_.permits = initial;
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void acquire(Site s = site()) { rt_->semAcquire(st_, s); }
+  bool tryAcquire(Site s = site()) { return rt_->semTryAcquire(st_, s); }
+  void release(std::uint32_t n = 1, Site s = site()) {
+    rt_->semRelease(st_, n, s);
+  }
+
+  ObjectId id() const { return st_.id; }
+
+ private:
+  Runtime* rt_;
+  SemState st_;
+};
+
+/// Instrumented cyclic barrier.
+class Barrier {
+ public:
+  Barrier(Runtime& rt, std::string name, std::uint32_t parties) : rt_(&rt) {
+    st_.id = rt.registerObject(ObjectKind::Barrier, std::move(name));
+    st_.parties = parties;
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  void arriveAndWait(Site s = site()) { rt_->barrierWait(st_, s); }
+
+  ObjectId id() const { return st_.id; }
+
+ private:
+  Runtime* rt_;
+  BarrierState st_;
+};
+
+/// An instrumented shared variable.
+///
+/// T must be trivially copyable and lock-free-atomic-capable.  Storage is a
+/// relaxed std::atomic<T>: *logical* data races (interleavings that corrupt
+/// read-modify-write sequences, publish uninitialized data, etc.) manifest
+/// exactly as in unsynchronized code, while the C++ program itself stays
+/// free of undefined behaviour — the standard substitution when porting
+/// racy Java benchmarks.
+template <typename T>
+class SharedVar {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SharedVar requires a trivially copyable type");
+
+ public:
+  SharedVar(Runtime& rt, std::string name, T init = T{})
+      : rt_(&rt), value_(init) {
+    id_ = rt.registerObject(ObjectKind::Variable, std::move(name));
+  }
+  SharedVar(const SharedVar&) = delete;
+  SharedVar& operator=(const SharedVar&) = delete;
+
+  /// Instrumented read: emits VarRead (a scheduling point), then loads.
+  T read(Site s = site()) {
+    rt_->varAccess(id_, Access::Read, s);
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Instrumented write: emits VarWrite (a scheduling point), then stores.
+  void write(T v, Site s = site()) {
+    rt_->varAccess(id_, Access::Write, s);
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  /// Uninstrumented access for oracles / setup outside the measured run.
+  T plainGet() const { return value_.load(std::memory_order_relaxed); }
+  void plainSet(T v) { value_.store(v, std::memory_order_relaxed); }
+
+  ObjectId id() const { return id_; }
+
+ private:
+  Runtime* rt_;
+  ObjectId id_ = kNoObject;
+  std::atomic<T> value_;
+};
+
+/// A fixed-size array of instrumented shared slots; each slot is its own
+/// object (own id, own race-detection state), named "name[i]".
+template <typename T>
+class SharedArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SharedArray(Runtime& rt, const std::string& name, std::size_t n,
+              T init = T{})
+      : rt_(&rt), n_(n), ids_(new ObjectId[n]), slots_(new std::atomic<T>[n]) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ids_[i] = rt.registerObject(ObjectKind::Variable,
+                                  name + "[" + std::to_string(i) + "]");
+      slots_[i].store(init, std::memory_order_relaxed);
+    }
+  }
+  SharedArray(const SharedArray&) = delete;
+  SharedArray& operator=(const SharedArray&) = delete;
+  ~SharedArray() {
+    delete[] ids_;
+    delete[] slots_;
+  }
+
+  std::size_t size() const { return n_; }
+
+  T read(std::size_t i, Site s = site()) {
+    rt_->varAccess(ids_[i], Access::Read, s);
+    return slots_[i].load(std::memory_order_relaxed);
+  }
+  void write(std::size_t i, T v, Site s = site()) {
+    rt_->varAccess(ids_[i], Access::Write, s);
+    slots_[i].store(v, std::memory_order_relaxed);
+  }
+  T plainGet(std::size_t i) const {
+    return slots_[i].load(std::memory_order_relaxed);
+  }
+  void plainSet(std::size_t i, T v) {
+    slots_[i].store(v, std::memory_order_relaxed);
+  }
+  ObjectId idOf(std::size_t i) const { return ids_[i]; }
+
+ private:
+  Runtime* rt_;
+  std::size_t n_;
+  ObjectId* ids_;
+  std::atomic<T>* slots_;
+};
+
+/// A managed thread.  Spawning and joining are instrumentation points.
+/// Movable so programs can keep std::vector<Thread>.
+class Thread {
+ public:
+  Thread(Runtime& rt, std::string name, std::function<void()> fn)
+      : rt_(&rt), id_(rt.spawnThread(std::move(name), std::move(fn))) {}
+  Thread(Thread&& o) noexcept
+      : rt_(o.rt_), id_(o.id_), joined_(o.joined_) {
+    o.id_ = kNoThread;
+    o.joined_ = true;
+  }
+  Thread& operator=(Thread&&) = delete;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  /// The runtime owns the OS thread, but a thread that was never joined is
+  /// reaped here: the destructor blocks until the thread has finished, so
+  /// that objects on this stack frame (which the thread's body typically
+  /// captures by reference) outlive every use — including during the stack
+  /// unwinding of an aborted run.
+  ~Thread() {
+    if (!joined_ && id_ != kNoThread) rt_->reapThread(id_);
+  }
+
+  void join(Site s = site()) {
+    if (!joined_ && id_ != kNoThread) {
+      rt_->joinThread(id_, s);
+      joined_ = true;
+    }
+  }
+
+  ThreadId id() const { return id_; }
+
+ private:
+  Runtime* rt_;
+  ThreadId id_ = kNoThread;
+  bool joined_ = false;
+};
+
+}  // namespace mtt::rt

@@ -1,0 +1,64 @@
+#include "rt/runtime.hpp"
+
+namespace mtt::rt {
+
+std::string_view to_string(ObjectKind k) {
+  switch (k) {
+    case ObjectKind::Mutex: return "mutex";
+    case ObjectKind::RwLock: return "rwlock";
+    case ObjectKind::CondVar: return "condvar";
+    case ObjectKind::Semaphore: return "semaphore";
+    case ObjectKind::Barrier: return "barrier";
+    case ObjectKind::Variable: return "variable";
+    case ObjectKind::Thread: return "thread";
+  }
+  return "?";
+}
+
+std::string_view to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::Completed: return "completed";
+    case RunStatus::Deadlock: return "deadlock";
+    case RunStatus::AssertFailed: return "assert-failed";
+    case RunStatus::StepLimit: return "step-limit";
+  }
+  return "?";
+}
+
+ObjectId Runtime::registerObject(ObjectKind kind, std::string name) {
+  std::lock_guard<std::mutex> lk(objMu_);
+  if (objects_.empty()) {
+    objects_.push_back(ObjectInfo{ObjectKind::Variable, "<none>"});
+  }
+  ObjectId id = static_cast<ObjectId>(objects_.size());
+  objects_.push_back(ObjectInfo{kind, std::move(name)});
+  return id;
+}
+
+ObjectInfo Runtime::objectInfo(ObjectId id) const {
+  std::lock_guard<std::mutex> lk(objMu_);
+  if (id >= objects_.size()) return ObjectInfo{ObjectKind::Variable, "<?>"};
+  return objects_[id];
+}
+
+std::size_t Runtime::objectCount() const {
+  std::lock_guard<std::mutex> lk(objMu_);
+  return objects_.empty() ? 0 : objects_.size() - 1;
+}
+
+std::uint64_t Runtime::emit(EventKind kind, ThreadId thread, ObjectId object,
+                            Site s, std::uint32_t arg) {
+  Event e;
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  e.thread = thread;
+  e.kind = kind;
+  e.object = object;
+  e.syncSite = s.id;
+  e.access = access_of(kind);
+  e.bugSite = s.bug;
+  e.arg = arg;
+  if (!filter_ || filter_(e)) hooks_.dispatchEvent(e);
+  return e.seq;
+}
+
+}  // namespace mtt::rt

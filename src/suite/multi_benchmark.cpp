@@ -1,0 +1,56 @@
+#include "suite/multi_benchmark.hpp"
+
+namespace mtt::suite {
+
+MultiBenchmark::MultiBenchmark(std::vector<std::string> programNames)
+    : names_(std::move(programNames)) {
+  if (names_.empty()) {
+    names_ = {"ticket_lottery", "account", "check_then_act",
+              "order_violation"};
+  }
+  for (const auto& n : names_) components_.push_back(makeProgram(n));
+}
+
+void MultiBenchmark::reset() {
+  Program::reset();
+  for (auto& c : components_) c->reset();
+}
+
+void MultiBenchmark::body(rt::Runtime& rt) {
+  rt::SharedVar<int> finishSlot(rt, "mb.finishSlot", 0);
+  rt::Mutex orderLock(rt, "mb.orderLock");
+  std::vector<int> finishOrder(components_.size(), -1);
+
+  std::vector<rt::Thread> drivers;
+  drivers.reserve(components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    drivers.emplace_back(rt, "driver." + names_[i], [&, i] {
+      components_[i]->body(rt);
+      rt::LockGuard g(orderLock, site("mb.order.lock"));
+      int slot = finishSlot.read(site("mb.order.read"));
+      finishSlot.write(slot + 1, site("mb.order.write"));
+      finishOrder[i] = slot;
+    });
+  }
+  for (auto& d : drivers) d.join();
+
+  // "outputs these results as well as the order in which the sample
+  // programs finished".
+  std::string out;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += names_[i] + ":" + components_[i]->outcome();
+  }
+  out += " order=";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    out += std::to_string(finishOrder[i]);
+  }
+  setOutcome(out);
+}
+
+Verdict MultiBenchmark::evaluate(const rt::RunResult& r) const {
+  // A hang of any component hangs the driver; surface it as manifestation.
+  return r.ok() ? Verdict::Pass : Verdict::BugManifested;
+}
+
+}  // namespace mtt::suite

@@ -1,0 +1,45 @@
+// The "specially prepared benchmark program" — component 4 of the paper:
+//
+//   "a specially prepared benchmark program that has no inputs and many
+//    possible results.  We create the program by having a 'main' that starts
+//    many of our simpler documented sample programs in parallel, each of
+//    which writes its result (with a number of possible outcomes) into a
+//    variable.  The benchmark program outputs these results as well as the
+//    order in which the sample programs finished.  Tools such as noise
+//    makers can be compared as to the distribution of their results."
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "suite/program.hpp"
+
+namespace mtt::suite {
+
+class MultiBenchmark final : public Program {
+ public:
+  /// Uses the default component set when `programNames` is empty:
+  /// ticket_lottery, account, check_then_act, order_violation — all with
+  /// value outcomes and no run-aborting oracles.
+  explicit MultiBenchmark(std::vector<std::string> programNames = {});
+
+  std::string name() const override { return "multi_benchmark"; }
+  std::string description() const override {
+    return "no-input/many-outcomes driver: runs sample programs in parallel "
+           "and reports their results plus the finish order";
+  }
+  void reset() override;
+  void body(rt::Runtime& rt) override;
+  /// The MultiBenchmark itself has no bug: every outcome is legal.  A
+  /// deadlock/hang of a component is reported through the outcome string.
+  Verdict evaluate(const rt::RunResult& r) const override;
+
+  const std::vector<std::string>& componentNames() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Program>> components_;
+};
+
+}  // namespace mtt::suite

@@ -1,0 +1,75 @@
+#include "suite/program.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace mtt::suite {
+
+std::string_view to_string(BugKind k) {
+  switch (k) {
+    case BugKind::DataRace: return "data-race";
+    case BugKind::AtomicityViolation: return "atomicity-violation";
+    case BugKind::OrderViolation: return "order-violation";
+    case BugKind::Deadlock: return "deadlock";
+    case BugKind::LostWakeup: return "lost-wakeup";
+    case BugKind::Livelock: return "livelock";
+  }
+  return "?";
+}
+
+struct ProgramRegistry::Impl {
+  std::mutex mu;
+  std::map<std::string, Factory> factories;
+};
+
+ProgramRegistry::Impl* ProgramRegistry::impl() {
+  static Impl* impl = new Impl;  // leaked singleton
+  return impl;
+}
+
+ProgramRegistry& ProgramRegistry::instance() {
+  static ProgramRegistry* reg = new ProgramRegistry;
+  return *reg;
+}
+
+void ProgramRegistry::add(const std::string& name, Factory f) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lk(i->mu);
+  i->factories[name] = std::move(f);
+}
+
+std::vector<std::string> ProgramRegistry::names() const {
+  Impl* i = const_cast<ProgramRegistry*>(this)->impl();
+  std::lock_guard<std::mutex> lk(i->mu);
+  std::vector<std::string> out;
+  for (const auto& [n, _] : i->factories) out.push_back(n);
+  return out;
+}
+
+std::unique_ptr<Program> ProgramRegistry::make(const std::string& name) const {
+  Impl* i = const_cast<ProgramRegistry*>(this)->impl();
+  std::lock_guard<std::mutex> lk(i->mu);
+  auto it = i->factories.find(name);
+  return it == i->factories.end() ? nullptr : it->second();
+}
+
+bool ProgramRegistry::has(const std::string& name) const {
+  Impl* i = const_cast<ProgramRegistry*>(this)->impl();
+  std::lock_guard<std::mutex> lk(i->mu);
+  return i->factories.count(name) != 0;
+}
+
+std::unique_ptr<Program> makeProgram(const std::string& name) {
+  registerBuiltins();
+  auto p = ProgramRegistry::instance().make(name);
+  if (!p) throw std::runtime_error("mtt: unknown benchmark program " + name);
+  return p;
+}
+
+std::vector<std::string> allProgramNames() {
+  registerBuiltins();
+  return ProgramRegistry::instance().names();
+}
+
+}  // namespace mtt::suite

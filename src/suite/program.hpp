@@ -1,0 +1,127 @@
+// The benchmark program repository — component 1 of the paper's benchmark:
+//
+//   "a repository of programs on which the technologies can be evaluated,
+//    composed of: multi-threaded programs including source code [...] tests
+//    for the programs and test drivers, documentation of the repository and
+//    of the bugs in each program, versions of the programs instrumented with
+//    calls [...]"
+//
+// Every Program is written against the instrumented mtt::rt API (so the
+// "instrumented version" requirement is intrinsic), documents its bugs as
+// machine-readable BugInfo (kind + the instrumentation-site tags involved,
+// which also mark the emitted events via BugMark), and carries its own
+// oracle (evaluate) plus an outcome string for distribution analyses.
+//
+// "The repository of programs should include many small programs that
+// illustrate specific bugs as well as larger programs" — see the program
+// catalog in DESIGN.md and the files programs_*.cpp.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/ir.hpp"
+#include "rt/primitives.hpp"
+#include "rt/runtime.hpp"
+
+namespace mtt::suite {
+
+enum class BugKind : std::uint8_t {
+  DataRace,
+  AtomicityViolation,
+  OrderViolation,
+  Deadlock,
+  LostWakeup,
+  Livelock,
+};
+
+std::string_view to_string(BugKind k);
+
+/// One documented bug.
+struct BugInfo {
+  std::string id;           ///< stable identifier, e.g. "account.lost-update"
+  BugKind kind = BugKind::DataRace;
+  std::string description;  ///< what goes wrong and why
+  /// Instrumentation-site tags involved; the matching sites are registered
+  /// with BugMark::Yes, so traces and detector warnings can be scored.
+  std::vector<std::string> siteTags;
+};
+
+/// Did the documented bug manifest in a given run?
+enum class Verdict : std::uint8_t { Pass, BugManifested };
+
+/// One benchmark program.  Life cycle per run:
+///   reset() -> Runtime::run([&]{ body(rt) }) -> evaluate(result) / outcome()
+/// A Program instance may be reused across sequential runs but not shared
+/// between concurrent runs.
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  /// Documented bugs; empty for control (bug-free) programs.
+  virtual std::vector<BugInfo> bugs() const { return {}; }
+  bool isControl() const { return bugs().empty(); }
+
+  /// Clears per-run observations.
+  virtual void reset() { outcome_ = "-"; }
+
+  /// The program under test; executes on the runtime's managed main thread.
+  virtual void body(rt::Runtime& rt) = 0;
+
+  /// The oracle: did the documented bug manifest?  The default treats any
+  /// abnormal run (assert failure, deadlock, step limit) as manifestation;
+  /// programs with final-state invariants extend it.
+  virtual Verdict evaluate(const rt::RunResult& r) const {
+    return r.ok() ? Verdict::Pass : Verdict::BugManifested;
+  }
+
+  /// Outcome string for result-distribution analyses (benchmark component
+  /// 4); set by body() via setOutcome.
+  const std::string& outcome() const { return outcome_; }
+
+  /// Equivalent model in the concurrency IR, when expressible (used by the
+  /// model checker and the static analyses); nullptr otherwise.
+  virtual const model::Program* irModel() const { return nullptr; }
+
+  /// Run options appropriate for this program (e.g. spin-loop programs use
+  /// a small step limit so livelock detection is cheap).
+  virtual rt::RunOptions defaultRunOptions() const { return {}; }
+
+ protected:
+  void setOutcome(std::string o) { outcome_ = std::move(o); }
+
+ private:
+  std::string outcome_ = "-";
+};
+
+/// Factory registry; registerBuiltins() populates it with the catalog.
+class ProgramRegistry {
+ public:
+  static ProgramRegistry& instance();
+
+  using Factory = std::function<std::unique_ptr<Program>()>;
+  void add(const std::string& name, Factory f);
+  std::vector<std::string> names() const;
+  /// Creates a fresh instance; nullptr for unknown names.
+  std::unique_ptr<Program> make(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+ private:
+  ProgramRegistry() = default;
+  struct Impl;
+  Impl* impl();
+};
+
+/// Idempotently registers the built-in program catalog.
+void registerBuiltins();
+
+/// Convenience: registerBuiltins() + make(name); throws on unknown name.
+std::unique_ptr<Program> makeProgram(const std::string& name);
+/// Convenience: all catalog names.
+std::vector<std::string> allProgramNames();
+
+}  // namespace mtt::suite

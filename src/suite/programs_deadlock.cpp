@@ -1,0 +1,347 @@
+// Deadlock-family benchmark programs and medium-sized queue programs.
+#include "suite/register_parts.hpp"
+#include "suite/program.hpp"
+
+namespace mtt::suite {
+namespace {
+
+using rt::LockGuard;
+using rt::Mutex;
+using rt::Runtime;
+using rt::SharedArray;
+using rt::SharedVar;
+using rt::Thread;
+
+// ---------------------------------------------------------------------------
+// lock_order_inversion: the minimal two-lock deadlock.
+// ---------------------------------------------------------------------------
+class LockOrderInversion final : public Program {
+ public:
+  explicit LockOrderInversion(int rounds = 2) : rounds_(rounds) {}
+  std::string name() const override { return "lock_order_inversion"; }
+  std::string description() const override {
+    return "two threads take two locks in opposite orders; classic deadlock";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"inversion.ab-ba", BugKind::Deadlock,
+                    "thread1 locks A then B, thread2 locks B then A",
+                    {"inv.t1.a", "inv.t1.b", "inv.t2.b", "inv.t2.a"}}};
+  }
+  void body(Runtime& rt) override {
+    Mutex a(rt, "lockA"), b(rt, "lockB");
+    Thread t1(rt, "t1", [&] {
+      for (int i = 0; i < rounds_; ++i) {
+        LockGuard ga(a, site("inv.t1.a", BugMark::Yes));
+        LockGuard gb(b, site("inv.t1.b", BugMark::Yes));
+      }
+    });
+    Thread t2(rt, "t2", [&] {
+      for (int i = 0; i < rounds_; ++i) {
+        LockGuard gb(b, site("inv.t2.b", BugMark::Yes));
+        LockGuard ga(a, site("inv.t2.a", BugMark::Yes));
+      }
+    });
+    t1.join();
+    t2.join();
+    setOutcome("done");
+  }
+  const model::Program* irModel() const override {
+    if (!ir_) {
+      auto p = std::make_unique<model::Program>("lock_order_inversion");
+      int a = p->addLock("lockA");
+      int b = p->addLock("lockB");
+      int work = p->addVar("work", 0);
+      p->thread("t1").repeat(rounds_, [&](model::ThreadBuilder& t) {
+        t.acquire(a).acquire(b).incrementVar(work, 1).release(b).release(a);
+      });
+      p->thread("t2").repeat(rounds_, [&](model::ThreadBuilder& t) {
+        t.acquire(b).acquire(a).incrementVar(work, 1).release(a).release(b);
+      });
+      ir_ = std::move(p);
+    }
+    return ir_.get();
+  }
+
+ private:
+  int rounds_;
+  mutable std::unique_ptr<model::Program> ir_;
+};
+
+// ---------------------------------------------------------------------------
+// philosophers_deadlock: N dining philosophers, everyone left-then-right.
+// ---------------------------------------------------------------------------
+class PhilosophersDeadlock final : public Program {
+ public:
+  explicit PhilosophersDeadlock(int n = 3, int meals = 2)
+      : n_(n), meals_(meals) {}
+  std::string name() const override { return "philosophers_deadlock"; }
+  std::string description() const override {
+    return "dining philosophers, all picking the left fork first; the "
+           "circular wait deadlocks when every philosopher holds one fork";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"philo.circular-wait", BugKind::Deadlock,
+                    "uniform left-then-right acquisition forms a cycle",
+                    {"philo.left", "philo.right"}}};
+  }
+  void body(Runtime& rt) override {
+    std::vector<std::unique_ptr<Mutex>> forks;
+    for (int i = 0; i < n_; ++i) {
+      forks.push_back(std::make_unique<Mutex>(rt, "fork" + std::to_string(i)));
+    }
+    SharedVar<int> meals(rt, "meals", 0);
+    Mutex mealLock(rt, "meals.lock");
+    std::vector<Thread> ts;
+    for (int i = 0; i < n_; ++i) {
+      ts.emplace_back(rt, "philosopher" + std::to_string(i), [&, i] {
+        for (int m = 0; m < meals_; ++m) {
+          LockGuard left(*forks[i], site("philo.left", BugMark::Yes));
+          LockGuard right(*forks[(i + 1) % n_],
+                          site("philo.right", BugMark::Yes));
+          LockGuard g(mealLock, site("philo.meal.lock"));
+          meals.write(meals.read(site("philo.meal.read")) + 1,
+                      site("philo.meal.write"));
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    setOutcome("meals=" + std::to_string(meals.plainGet()));
+  }
+  const model::Program* irModel() const override {
+    if (!ir_) {
+      auto p = std::make_unique<model::Program>("philosophers_deadlock");
+      std::vector<int> forks;
+      for (int i = 0; i < n_; ++i) {
+        forks.push_back(p->addLock("fork" + std::to_string(i)));
+      }
+      int mealLock = p->addLock("meals.lock");
+      int meals = p->addVar("meals", 0);
+      for (int i = 0; i < n_; ++i) {
+        p->thread("philosopher" + std::to_string(i))
+            .repeat(meals_, [&](model::ThreadBuilder& t) {
+              t.acquire(forks[i])
+                  .acquire(forks[(i + 1) % n_])
+                  .acquire(mealLock)
+                  .incrementVar(meals, 1)
+                  .release(mealLock)
+                  .release(forks[(i + 1) % n_])
+                  .release(forks[i]);
+            });
+      }
+      ir_ = std::move(p);
+    }
+    return ir_.get();
+  }
+
+ private:
+  int n_, meals_;
+  mutable std::unique_ptr<model::Program> ir_;
+};
+
+// ---------------------------------------------------------------------------
+// philosophers_ordered: control; global fork ordering (resource hierarchy).
+// ---------------------------------------------------------------------------
+class PhilosophersOrdered final : public Program {
+ public:
+  explicit PhilosophersOrdered(int n = 3, int meals = 2)
+      : n_(n), meals_(meals) {}
+  std::string name() const override { return "philosophers_ordered"; }
+  std::string description() const override {
+    return "dining philosophers with a global fork order (control: "
+           "deadlock-free resource hierarchy)";
+  }
+  void reset() override {
+    Program::reset();
+    meals_eaten_ = -1;
+  }
+  void body(Runtime& rt) override {
+    std::vector<std::unique_ptr<Mutex>> forks;
+    for (int i = 0; i < n_; ++i) {
+      forks.push_back(std::make_unique<Mutex>(rt, "fork" + std::to_string(i)));
+    }
+    SharedVar<int> meals(rt, "meals", 0);
+    Mutex mealLock(rt, "meals.lock");
+    std::vector<Thread> ts;
+    for (int i = 0; i < n_; ++i) {
+      ts.emplace_back(rt, "philosopher" + std::to_string(i), [&, i] {
+        int first = std::min(i, (i + 1) % n_);
+        int second = std::max(i, (i + 1) % n_);
+        for (int m = 0; m < meals_; ++m) {
+          LockGuard lo(*forks[first], site("philo_ok.first"));
+          LockGuard hi(*forks[second], site("philo_ok.second"));
+          LockGuard g(mealLock, site("philo_ok.meal.lock"));
+          meals.write(meals.read(site("philo_ok.meal.read")) + 1,
+                      site("philo_ok.meal.write"));
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    meals_eaten_ = meals.read();
+    setOutcome("meals=" + std::to_string(meals_eaten_));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return meals_eaten_ == n_ * meals_ ? Verdict::Pass
+                                       : Verdict::BugManifested;
+  }
+  const model::Program* irModel() const override {
+    if (!ir_) {
+      auto p = std::make_unique<model::Program>("philosophers_ordered");
+      std::vector<int> forks;
+      for (int i = 0; i < n_; ++i) {
+        forks.push_back(p->addLock("fork" + std::to_string(i)));
+      }
+      int mealLock = p->addLock("meals.lock");
+      int meals = p->addVar("meals", 0);
+      for (int i = 0; i < n_; ++i) {
+        int first = std::min(i, (i + 1) % n_);
+        int second = std::max(i, (i + 1) % n_);
+        p->thread("philosopher" + std::to_string(i))
+            .repeat(meals_, [&](model::ThreadBuilder& t) {
+              t.acquire(forks[first])
+                  .acquire(forks[second])
+                  .acquire(mealLock)
+                  .incrementVar(meals, 1)
+                  .release(mealLock)
+                  .release(forks[second])
+                  .release(forks[first]);
+            });
+      }
+      p->finalAssert(meals, n_ * meals_);
+      ir_ = std::move(p);
+    }
+    return ir_.get();
+  }
+
+ private:
+  int n_, meals_;
+  int meals_eaten_ = -1;
+  mutable std::unique_ptr<model::Program> ir_;
+};
+
+// ---------------------------------------------------------------------------
+// work_queue: medium program; workers check the pending count outside the
+// lock and pop inside it without re-checking.
+// ---------------------------------------------------------------------------
+class WorkQueue final : public Program {
+ public:
+  WorkQueue(int workers = 3, int tasks = 6)
+      : workers_(workers), tasks_(tasks) {}
+  std::string name() const override { return "work_queue"; }
+  std::string description() const override {
+    return "task queue whose workers test 'queue non-empty' outside the "
+           "lock and pop inside it without re-checking: pops from empty";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"queue.check-outside-lock", BugKind::AtomicityViolation,
+                    "emptiness check and pop are not atomic",
+                    {"queue.peek", "queue.pop"}}};
+  }
+  void reset() override {
+    Program::reset();
+    processed_ = -1;
+    underflow_ = false;
+  }
+  void body(Runtime& rt) override {
+    SharedVar<int> pending(rt, "queue.pending", tasks_);
+    SharedVar<int> processed(rt, "queue.processed", 0);
+    SharedVar<int> underflows(rt, "queue.underflows", 0);
+    Mutex m(rt, "queue.lock");
+    std::vector<Thread> ts;
+    for (int w = 0; w < workers_; ++w) {
+      ts.emplace_back(rt, "worker" + std::to_string(w), [&] {
+        for (;;) {
+          // BUG: peek outside the lock.
+          if (pending.read(site("queue.peek", BugMark::Yes)) <= 0) break;
+          LockGuard g(m, site("queue.lock"));
+          int p = pending.read(site("queue.pop", BugMark::Yes));
+          pending.write(p - 1, site("queue.pop.write"));
+          if (p - 1 < 0) {
+            underflows.write(underflows.read() + 1, site("queue.underflow"));
+            break;
+          }
+          processed.write(processed.read(site("queue.done.read")) + 1,
+                          site("queue.done.write"));
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    processed_ = processed.read();
+    underflow_ = underflows.read() > 0;
+    setOutcome("processed=" + std::to_string(processed_) +
+               (underflow_ ? "+underflow" : ""));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return (underflow_ || processed_ != tasks_) ? Verdict::BugManifested
+                                                : Verdict::Pass;
+  }
+
+ private:
+  int workers_, tasks_;
+  int processed_ = -1;
+  bool underflow_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// work_queue_ok: control; check and pop both inside the lock.
+// ---------------------------------------------------------------------------
+class WorkQueueOk final : public Program {
+ public:
+  WorkQueueOk(int workers = 3, int tasks = 6)
+      : workers_(workers), tasks_(tasks) {}
+  std::string name() const override { return "work_queue_ok"; }
+  std::string description() const override {
+    return "task queue with check-and-pop atomically under the lock "
+           "(control: correct)";
+  }
+  void reset() override {
+    Program::reset();
+    processed_ = -1;
+  }
+  void body(Runtime& rt) override {
+    SharedVar<int> pending(rt, "queue.pending", tasks_);
+    SharedVar<int> processed(rt, "queue.processed", 0);
+    Mutex m(rt, "queue.lock");
+    std::vector<Thread> ts;
+    for (int w = 0; w < workers_; ++w) {
+      ts.emplace_back(rt, "worker" + std::to_string(w), [&] {
+        for (;;) {
+          LockGuard g(m, site("qok.lock"));
+          int p = pending.read(site("qok.peek"));
+          if (p <= 0) break;
+          pending.write(p - 1, site("qok.pop"));
+          processed.write(processed.read(site("qok.done.read")) + 1,
+                          site("qok.done.write"));
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    processed_ = processed.read();
+    setOutcome("processed=" + std::to_string(processed_));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return processed_ == tasks_ ? Verdict::Pass : Verdict::BugManifested;
+  }
+
+ private:
+  int workers_, tasks_;
+  int processed_ = -1;
+};
+
+}  // namespace
+
+void registerDeadlockPrograms() {
+  auto& reg = ProgramRegistry::instance();
+  reg.add("lock_order_inversion",
+          [] { return std::make_unique<LockOrderInversion>(); });
+  reg.add("philosophers_deadlock",
+          [] { return std::make_unique<PhilosophersDeadlock>(); });
+  reg.add("philosophers_ordered",
+          [] { return std::make_unique<PhilosophersOrdered>(); });
+  reg.add("work_queue", [] { return std::make_unique<WorkQueue>(); });
+  reg.add("work_queue_ok", [] { return std::make_unique<WorkQueueOk>(); });
+}
+
+}  // namespace mtt::suite

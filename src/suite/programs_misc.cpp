@@ -1,0 +1,73 @@
+// Outcome-diversity programs and the registry assembly.
+#include <algorithm>
+#include <mutex>
+
+#include "suite/register_parts.hpp"
+#include "suite/program.hpp"
+
+namespace mtt::suite {
+namespace {
+
+using rt::LockGuard;
+using rt::Mutex;
+using rt::Runtime;
+using rt::SharedVar;
+using rt::Thread;
+
+// ---------------------------------------------------------------------------
+// ticket_lottery: no inputs, many legal outcomes.  Three contestants grab
+// tickets; the outcome records who got which ticket — a direct probe of
+// scheduler diversity (the MultiBenchmark's main ingredient, and a control
+// program: every outcome is legal).
+// ---------------------------------------------------------------------------
+class TicketLottery final : public Program {
+ public:
+  explicit TicketLottery(int contestants = 3) : contestants_(contestants) {}
+  std::string name() const override { return "ticket_lottery"; }
+  std::string description() const override {
+    return "contestants draw tickets under a lock; every draw order is "
+           "legal, so the outcome distribution measures schedule diversity";
+  }
+  void body(Runtime& rt) override {
+    SharedVar<int> nextTicket(rt, "nextTicket", 0);
+    Mutex m(rt, "ticket.lock");
+    std::vector<int> got(contestants_, -1);
+    std::vector<Thread> ts;
+    for (int i = 0; i < contestants_; ++i) {
+      ts.emplace_back(rt, "contestant" + std::to_string(i), [&, i] {
+        LockGuard g(m, site("ticket.lock"));
+        int t = nextTicket.read(site("ticket.read"));
+        nextTicket.write(t + 1, site("ticket.write"));
+        got[i] = t;
+      });
+    }
+    for (auto& t : ts) t.join();
+    std::string o = "tickets=";
+    for (int i = 0; i < contestants_; ++i) o += std::to_string(got[i]);
+    setOutcome(o);
+  }
+
+ private:
+  int contestants_;
+};
+
+}  // namespace
+
+void registerMiscPrograms() {
+  auto& reg = ProgramRegistry::instance();
+  reg.add("ticket_lottery", [] { return std::make_unique<TicketLottery>(); });
+}
+
+void registerBuiltins() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    registerRacePrograms();
+    registerSyncPrograms();
+    registerDeadlockPrograms();
+    registerRwlockPrograms();
+    registerServerPrograms();
+    registerMiscPrograms();
+  });
+}
+
+}  // namespace mtt::suite

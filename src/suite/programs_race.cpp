@@ -1,0 +1,481 @@
+// Race / atomicity-violation benchmark programs (and their bug-free control
+// variants).  Each documents its bug with BugInfo and marks the involved
+// instrumentation sites with BugMark::Yes.
+#include "suite/register_parts.hpp"
+#include "suite/program.hpp"
+
+namespace mtt::suite {
+namespace {
+
+using rt::LockGuard;
+using rt::Mutex;
+using rt::Runtime;
+using rt::SharedArray;
+using rt::SharedVar;
+using rt::Thread;
+
+// ---------------------------------------------------------------------------
+// account: the canonical lost-update.  Two tellers deposit into one account
+// with an unsynchronized read-modify-write.
+// ---------------------------------------------------------------------------
+class Account final : public Program {
+ public:
+  explicit Account(int tellers = 2, int deposits = 2)
+      : tellers_(tellers), deposits_(deposits) {}
+
+  std::string name() const override { return "account"; }
+  std::string description() const override {
+    return "bank account; unsynchronized deposits lose updates "
+           "(read-modify-write atomicity violation)";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"account.lost-update", BugKind::AtomicityViolation,
+                    "balance read and write are separate operations with no "
+                    "lock; concurrent deposits overwrite each other",
+                    {"account.read", "account.write"}}};
+  }
+
+  void reset() override {
+    Program::reset();
+    finalBalance_ = -1;
+  }
+
+  void body(Runtime& rt) override {
+    SharedVar<int> balance(rt, "balance", 0);
+    std::vector<Thread> ts;
+    ts.reserve(tellers_);
+    for (int i = 0; i < tellers_; ++i) {
+      ts.emplace_back(rt, "teller" + std::to_string(i), [&] {
+        for (int d = 0; d < deposits_; ++d) {
+          int v = balance.read(site("account.read", BugMark::Yes));
+          balance.write(v + 10, site("account.write", BugMark::Yes));
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    finalBalance_ = balance.read(site("account.check"));
+    setOutcome("balance=" + std::to_string(finalBalance_));
+  }
+
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return finalBalance_ == tellers_ * deposits_ * 10 ? Verdict::Pass
+                                                      : Verdict::BugManifested;
+  }
+
+  const model::Program* irModel() const override {
+    if (!ir_) {
+      auto p = std::make_unique<model::Program>("account");
+      int bal = p->addVar("balance", 0);
+      for (int i = 0; i < tellers_; ++i) {
+        auto t = p->thread("teller" + std::to_string(i));
+        t.repeat(deposits_,
+                 [&](model::ThreadBuilder& b) { b.incrementVar(bal, 10); });
+      }
+      p->finalAssert(bal, tellers_ * deposits_ * 10);
+      ir_ = std::move(p);
+    }
+    return ir_.get();
+  }
+
+ private:
+  int tellers_, deposits_;
+  int finalBalance_ = -1;
+  mutable std::unique_ptr<model::Program> ir_;
+};
+
+// ---------------------------------------------------------------------------
+// account_sync: control variant with a lock.
+// ---------------------------------------------------------------------------
+class AccountSync final : public Program {
+ public:
+  explicit AccountSync(int tellers = 2, int deposits = 2)
+      : tellers_(tellers), deposits_(deposits) {}
+  std::string name() const override { return "account_sync"; }
+  std::string description() const override {
+    return "bank account with a lock around each deposit (control: race-free)";
+  }
+  void reset() override {
+    Program::reset();
+    finalBalance_ = -1;
+  }
+  void body(Runtime& rt) override {
+    SharedVar<int> balance(rt, "balance", 0);
+    Mutex m(rt, "balance.lock");
+    std::vector<Thread> ts;
+    for (int i = 0; i < tellers_; ++i) {
+      ts.emplace_back(rt, "teller" + std::to_string(i), [&] {
+        for (int d = 0; d < deposits_; ++d) {
+          LockGuard g(m, site("account_sync.lock"));
+          int v = balance.read(site("account_sync.read"));
+          balance.write(v + 10, site("account_sync.write"));
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    finalBalance_ = balance.read();
+    setOutcome("balance=" + std::to_string(finalBalance_));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return finalBalance_ == tellers_ * deposits_ * 10 ? Verdict::Pass
+                                                      : Verdict::BugManifested;
+  }
+  const model::Program* irModel() const override {
+    if (!ir_) {
+      auto p = std::make_unique<model::Program>("account_sync");
+      int bal = p->addVar("balance", 0);
+      int lock = p->addLock("balance.lock");
+      for (int i = 0; i < tellers_; ++i) {
+        auto t = p->thread("teller" + std::to_string(i));
+        t.repeat(deposits_, [&](model::ThreadBuilder& b) {
+          b.acquire(lock).incrementVar(bal, 10).release(lock);
+        });
+      }
+      p->finalAssert(bal, tellers_ * deposits_ * 10);
+      ir_ = std::move(p);
+    }
+    return ir_.get();
+  }
+
+ private:
+  int tellers_, deposits_;
+  int finalBalance_ = -1;
+  mutable std::unique_ptr<model::Program> ir_;
+};
+
+// ---------------------------------------------------------------------------
+// read_modify_write: a bare shared counter hammered by several threads.
+// ---------------------------------------------------------------------------
+class ReadModifyWrite final : public Program {
+ public:
+  explicit ReadModifyWrite(int threads = 3, int iters = 4)
+      : threads_(threads), iters_(iters) {}
+  std::string name() const override { return "read_modify_write"; }
+  std::string description() const override {
+    return "shared counter incremented without synchronization by several "
+           "threads; the classic data race";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"rmw.data-race", BugKind::DataRace,
+                    "counter++ compiles to load/add/store with no lock",
+                    {"rmw.read", "rmw.write"}}};
+  }
+  void reset() override {
+    Program::reset();
+    final_ = -1;
+  }
+  void body(Runtime& rt) override {
+    SharedVar<int> counter(rt, "counter", 0);
+    std::vector<Thread> ts;
+    for (int i = 0; i < threads_; ++i) {
+      ts.emplace_back(rt, "inc" + std::to_string(i), [&] {
+        for (int k = 0; k < iters_; ++k) {
+          int v = counter.read(site("rmw.read", BugMark::Yes));
+          counter.write(v + 1, site("rmw.write", BugMark::Yes));
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    final_ = counter.read();
+    setOutcome("count=" + std::to_string(final_));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return final_ == threads_ * iters_ ? Verdict::Pass
+                                       : Verdict::BugManifested;
+  }
+
+  const model::Program* irModel() const override {
+    if (!ir_) {
+      auto p = std::make_unique<model::Program>("read_modify_write");
+      int c = p->addVar("counter", 0);
+      // Keep the model small for exhaustive search: 2 iterations/thread.
+      int iters = std::min(iters_, 2);
+      for (int i = 0; i < threads_; ++i) {
+        p->thread("inc" + std::to_string(i))
+            .repeat(iters,
+                    [&](model::ThreadBuilder& b) { b.incrementVar(c, 1); });
+      }
+      p->finalAssert(c, threads_ * iters);
+      ir_ = std::move(p);
+    }
+    return ir_.get();
+  }
+
+ private:
+  int threads_, iters_;
+  int final_ = -1;
+  mutable std::unique_ptr<model::Program> ir_;
+};
+
+// ---------------------------------------------------------------------------
+// check_then_act: time-of-check-to-time-of-use on lazy initialization.
+// ---------------------------------------------------------------------------
+class CheckThenAct final : public Program {
+ public:
+  std::string name() const override { return "check_then_act"; }
+  std::string description() const override {
+    return "lazy initialization guarded by an unsynchronized flag check; two "
+           "threads can both observe 'uninitialized' and initialize twice";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"cta.toctou", BugKind::AtomicityViolation,
+                    "flag check and initialization are not atomic",
+                    {"cta.check", "cta.init", "cta.set"}}};
+  }
+  void reset() override {
+    Program::reset();
+    inits_ = -1;
+  }
+  void body(Runtime& rt) override {
+    SharedVar<int> initialized(rt, "initialized", 0);
+    SharedVar<int> initCount(rt, "initCount", 0);
+    auto user = [&] {
+      if (initialized.read(site("cta.check", BugMark::Yes)) == 0) {
+        int c = initCount.read(site("cta.init", BugMark::Yes));
+        initCount.write(c + 1, site("cta.init.write", BugMark::Yes));
+        initialized.write(1, site("cta.set", BugMark::Yes));
+      }
+    };
+    Thread a(rt, "userA", user), b(rt, "userB", user);
+    a.join();
+    b.join();
+    inits_ = initCount.read();
+    setOutcome("inits=" + std::to_string(inits_));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return inits_ == 1 ? Verdict::Pass : Verdict::BugManifested;
+  }
+
+  const model::Program* irModel() const override {
+    if (!ir_) {
+      auto p = std::make_unique<model::Program>("check_then_act");
+      int initialized = p->addVar("initialized", 0);
+      int initCount = p->addVar("initCount", 0);
+      for (const char* name : {"userA", "userB"}) {
+        auto t = p->thread(name);
+        // if (initialized == 0) { initCount++; initialized = 1; }
+        // The guarded block is 4 visible ops: load/store of initCount and
+        // the constant store to initialized (load+store + store = 3 visible
+        // plus the load in incrementVar) — count: Load(initCount),
+        // Store(initCount), Store(initialized) = 3.
+        t.skipIfNonZero(initialized, 3)
+            .incrementVar(initCount, 1)
+            .constant(1, 1)
+            .store(initialized, 1);
+      }
+      // Serialized: the second user skips, so exactly one initialization.
+      // The racy interleaving initializes twice.
+      p->finalAssert(initCount, 1);
+      ir_ = std::move(p);
+    }
+    return ir_.get();
+  }
+
+ private:
+  int inits_ = -1;
+  mutable std::unique_ptr<model::Program> ir_;
+};
+
+// ---------------------------------------------------------------------------
+// double_checked_lock: publication before initialization.
+// ---------------------------------------------------------------------------
+class DoubleCheckedLock final : public Program {
+ public:
+  std::string name() const override { return "double_checked_lock"; }
+  std::string description() const override {
+    return "double-checked locking that publishes the 'constructed' pointer "
+           "before the object's fields are written; readers observe a "
+           "half-built object";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"dcl.early-publish", BugKind::OrderViolation,
+                    "ptr is set before data is initialized; the unlocked "
+                    "fast-path read sees ptr != 0 with data still 0",
+                    {"dcl.publish", "dcl.init", "dcl.fastpath", "dcl.use"}}};
+  }
+  void reset() override {
+    Program::reset();
+    sawHalfBuilt_ = false;
+    observed_ = -1;
+  }
+  void body(Runtime& rt) override {
+    SharedVar<int> ptr(rt, "ptr", 0);
+    SharedVar<int> data(rt, "data", 0);
+    Mutex m(rt, "dcl.lock");
+    Thread writer(rt, "writer", [&] {
+      if (ptr.read(site("dcl.wcheck")) == 0) {
+        LockGuard g(m, site("dcl.lock"));
+        if (ptr.read(site("dcl.wcheck2")) == 0) {
+          // BUG: publish before initializing.
+          ptr.write(1, site("dcl.publish", BugMark::Yes));
+          data.write(42, site("dcl.init", BugMark::Yes));
+        }
+      }
+    });
+    Thread reader(rt, "reader", [&] {
+      if (ptr.read(site("dcl.fastpath", BugMark::Yes)) != 0) {
+        observed_ = data.read(site("dcl.use", BugMark::Yes));
+        if (observed_ != 42) sawHalfBuilt_ = true;
+      }
+    });
+    writer.join();
+    reader.join();
+    setOutcome(observed_ < 0 ? "reader-skipped"
+                             : "observed=" + std::to_string(observed_));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return sawHalfBuilt_ ? Verdict::BugManifested : Verdict::Pass;
+  }
+
+ private:
+  bool sawHalfBuilt_ = false;
+  int observed_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// bank_transfer: medium program; stale read outside the locks breaks the
+// conservation invariant even though writes are locked.
+// ---------------------------------------------------------------------------
+class BankTransfer final : public Program {
+ public:
+  BankTransfer(int accounts = 4, int movers = 3, int transfers = 3)
+      : accounts_(accounts), movers_(movers), transfers_(transfers) {}
+  std::string name() const override { return "bank_transfer"; }
+  std::string description() const override {
+    return "bank with per-account locks; transfer amounts are computed from "
+           "balances read before taking the locks (stale reads), violating "
+           "conservation of money";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"bank.stale-read", BugKind::AtomicityViolation,
+                    "source balance read outside the critical section; "
+                    "concurrent transfers double-spend",
+                    {"bank.stale-read", "bank.debit", "bank.credit"}}};
+  }
+  void reset() override {
+    Program::reset();
+    total_ = -1;
+  }
+  void body(Runtime& rt) override {
+    const int initial = 100;
+    SharedArray<int> balance(rt, "balance", accounts_, initial);
+    std::vector<std::unique_ptr<Mutex>> locks;
+    for (int i = 0; i < accounts_; ++i) {
+      locks.push_back(
+          std::make_unique<Mutex>(rt, "acct.lock" + std::to_string(i)));
+    }
+    std::vector<Thread> ts;
+    for (int m = 0; m < movers_; ++m) {
+      ts.emplace_back(rt, "mover" + std::to_string(m), [&, m] {
+        for (int k = 0; k < transfers_; ++k) {
+          int src = (m + k) % accounts_;
+          int dst = (m + k + 1) % accounts_;
+          // BUG: the source balance is read before taking the locks, and the
+          // debit is written from that stale base — a concurrent debit of
+          // the same account is silently undone (lost update), so money is
+          // created or destroyed.
+          int stale =
+              balance.read(src, site("bank.stale-read", BugMark::Yes));
+          int amount = stale / 2;
+          // Locks taken in index order (no deadlock; the bug is the race).
+          Mutex& first = *locks[std::min(src, dst)];
+          Mutex& second = *locks[std::max(src, dst)];
+          LockGuard g1(first, site("bank.lock1"));
+          LockGuard g2(second, site("bank.lock2"));
+          balance.write(src, stale - amount,
+                        site("bank.debit", BugMark::Yes));
+          balance.write(dst,
+                        balance.read(dst, site("bank.credit.read")) + amount,
+                        site("bank.credit", BugMark::Yes));
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    total_ = 0;
+    for (int i = 0; i < accounts_; ++i) total_ += balance.read(i);
+    setOutcome("total=" + std::to_string(total_));
+    expected_ = accounts_ * initial;
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    // The stale read misorders debits: money is conserved only if every
+    // amount was computed from an up-to-date balance.  Any drift from the
+    // initial total means the race fired...
+    (void)expected_;
+    return total_ == expected_ ? Verdict::Pass : Verdict::BugManifested;
+  }
+
+ private:
+  int accounts_, movers_, transfers_;
+  int total_ = -1;
+  mutable int expected_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// stat_counter_sharded: control; per-thread shards, aggregated under a lock.
+// ---------------------------------------------------------------------------
+class StatCounterSharded final : public Program {
+ public:
+  StatCounterSharded(int threads = 3, int iters = 5)
+      : threads_(threads), iters_(iters) {}
+  std::string name() const override { return "stat_counter_sharded"; }
+  std::string description() const override {
+    return "statistics counter sharded per thread and aggregated under a "
+           "lock after joins (control: race-free by design)";
+  }
+  void reset() override {
+    Program::reset();
+    total_ = -1;
+  }
+  void body(Runtime& rt) override {
+    SharedArray<int> shard(rt, "shard", threads_, 0);
+    SharedVar<int> total(rt, "total", 0);
+    Mutex m(rt, "total.lock");
+    std::vector<Thread> ts;
+    for (int i = 0; i < threads_; ++i) {
+      ts.emplace_back(rt, "counter" + std::to_string(i), [&, i] {
+        for (int k = 0; k < iters_; ++k) {
+          shard.write(i, shard.read(i, site("shard.read")) + 1,
+                      site("shard.write"));
+        }
+        LockGuard g(m, site("shard.flush.lock"));
+        total.write(total.read(site("total.read")) + shard.read(i),
+                    site("total.write"));
+      });
+    }
+    for (auto& t : ts) t.join();
+    total_ = total.read();
+    setOutcome("total=" + std::to_string(total_));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return total_ == threads_ * iters_ ? Verdict::Pass
+                                       : Verdict::BugManifested;
+  }
+
+ private:
+  int threads_, iters_;
+  int total_ = -1;
+};
+
+}  // namespace
+
+void registerRacePrograms() {
+  auto& reg = ProgramRegistry::instance();
+  reg.add("account", [] { return std::make_unique<Account>(); });
+  reg.add("account_sync", [] { return std::make_unique<AccountSync>(); });
+  reg.add("read_modify_write",
+          [] { return std::make_unique<ReadModifyWrite>(); });
+  reg.add("check_then_act", [] { return std::make_unique<CheckThenAct>(); });
+  reg.add("double_checked_lock",
+          [] { return std::make_unique<DoubleCheckedLock>(); });
+  reg.add("bank_transfer", [] { return std::make_unique<BankTransfer>(); });
+  reg.add("stat_counter_sharded",
+          [] { return std::make_unique<StatCounterSharded>(); });
+}
+
+}  // namespace mtt::suite

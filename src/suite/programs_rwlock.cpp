@@ -1,0 +1,182 @@
+// Readers-writer-lock benchmark programs.
+#include "suite/register_parts.hpp"
+#include "suite/program.hpp"
+
+namespace mtt::suite {
+namespace {
+
+using rt::ReadGuard;
+using rt::Runtime;
+using rt::RwLock;
+using rt::SharedVar;
+using rt::Thread;
+using rt::WriteGuard;
+
+// ---------------------------------------------------------------------------
+// rwlock_cache: the classic read-check / write-populate race.  Each client
+// checks the cache under the READ lock, releases it, and repopulates under
+// the WRITE lock without re-checking — two clients can both miss and both
+// populate ("cache stampede" / lost-upgrade atomicity violation).
+// ---------------------------------------------------------------------------
+class RwlockCache final : public Program {
+ public:
+  explicit RwlockCache(int clients = 3) : clients_(clients) {}
+  std::string name() const override { return "rwlock_cache"; }
+  std::string description() const override {
+    return "cache guarded by a readers-writer lock; clients check under the "
+           "read lock and populate under the write lock without re-checking "
+           "— concurrent misses populate twice";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"rwcache.check-upgrade", BugKind::AtomicityViolation,
+                    "the miss check (read lock) and the populate (write "
+                    "lock) are not atomic; the read lock must be released "
+                    "before the write lock can be taken, opening the window",
+                    {"rwcache.check", "rwcache.populate"}}};
+  }
+  void reset() override {
+    Program::reset();
+    populations_ = -1;
+  }
+  void body(Runtime& rt) override {
+    RwLock cacheLock(rt, "cache.lock");
+    SharedVar<int> cached(rt, "cache.value", 0);
+    SharedVar<int> populations(rt, "cache.populations", 0);
+    std::vector<Thread> ts;
+    for (int i = 0; i < clients_; ++i) {
+      ts.emplace_back(rt, "client" + std::to_string(i), [&] {
+        bool miss = false;
+        {
+          ReadGuard g(cacheLock, site("rwcache.check", BugMark::Yes));
+          miss = cached.read(site("rwcache.check.read")) == 0;
+        }
+        // BUG: the read lock is gone; another client can populate here.
+        if (miss) {
+          WriteGuard g(cacheLock, site("rwcache.populate", BugMark::Yes));
+          cached.write(42, site("rwcache.populate.write"));
+          populations.write(
+              populations.read(site("rwcache.populate.count.r")) + 1,
+              site("rwcache.populate.count.w"));
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    populations_ = populations.read();
+    setOutcome("populations=" + std::to_string(populations_));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return populations_ == 1 ? Verdict::Pass : Verdict::BugManifested;
+  }
+
+ private:
+  int clients_;
+  int populations_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// rwlock_upgrade: in-place upgrade attempt — the thread requests the write
+// lock while still holding its own read lock; with a second reader doing the
+// same, both block forever (and even alone the writer waits on itself).
+// ---------------------------------------------------------------------------
+class RwlockUpgrade final : public Program {
+ public:
+  std::string name() const override { return "rwlock_upgrade"; }
+  std::string description() const override {
+    return "two threads try to upgrade a held read lock to a write lock in "
+           "place; the write waits for readers to drain, which includes the "
+           "upgrader itself — deadlock";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"rwupgrade.in-place", BugKind::Deadlock,
+                    "write-lock request while holding the read lock",
+                    {"rwupgrade.read", "rwupgrade.write"}}};
+  }
+  void body(Runtime& rt) override {
+    RwLock l(rt, "upgrade.lock");
+    SharedVar<int> v(rt, "upgrade.value", 0);
+    auto upgrader = [&] {
+      l.lockRead(site("rwupgrade.read", BugMark::Yes));
+      int seen = v.read(site("rwupgrade.peek"));
+      // BUG: "upgrade" without releasing the read lock.
+      l.lockWrite(site("rwupgrade.write", BugMark::Yes));
+      v.write(seen + 1, site("rwupgrade.store"));
+      l.unlockWrite(site("rwupgrade.wunlock"));
+      l.unlockRead(site("rwupgrade.runlock"));
+    };
+    Thread a(rt, "upgraderA", upgrader), b(rt, "upgraderB", upgrader);
+    a.join();
+    b.join();
+    setOutcome("value=" + std::to_string(v.plainGet()));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// rwlock_stats: control — readers aggregate under the read lock, the writer
+// updates under the write lock; correct by construction.
+// ---------------------------------------------------------------------------
+class RwlockStats final : public Program {
+ public:
+  RwlockStats(int readers = 3, int rounds = 3)
+      : readers_(readers), rounds_(rounds) {}
+  std::string name() const override { return "rwlock_stats"; }
+  std::string description() const override {
+    return "statistics table read by many threads under the read lock and "
+           "updated under the write lock (control: correct)";
+  }
+  void reset() override {
+    Program::reset();
+    torn_ = false;
+    final_ = -1;
+  }
+  void body(Runtime& rt) override {
+    RwLock l(rt, "stats.lock");
+    // Invariant: a == b at every point readers can observe.
+    SharedVar<int> a(rt, "stats.a", 0);
+    SharedVar<int> b(rt, "stats.b", 0);
+    std::vector<Thread> ts;
+    for (int i = 0; i < readers_; ++i) {
+      ts.emplace_back(rt, "reader" + std::to_string(i), [&] {
+        for (int k = 0; k < rounds_; ++k) {
+          ReadGuard g(l, site("rwstats.read.lock"));
+          int x = a.read(site("rwstats.read.a"));
+          int y = b.read(site("rwstats.read.b"));
+          if (x != y) torn_ = true;
+        }
+      });
+    }
+    Thread writer(rt, "writer", [&] {
+      for (int k = 1; k <= rounds_; ++k) {
+        WriteGuard g(l, site("rwstats.write.lock"));
+        a.write(k, site("rwstats.write.a"));
+        b.write(k, site("rwstats.write.b"));
+      }
+    });
+    for (auto& t : ts) t.join();
+    writer.join();
+    final_ = a.read();
+    setOutcome("final=" + std::to_string(final_) +
+               (torn_ ? "+torn" : ""));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return (!torn_ && final_ == rounds_) ? Verdict::Pass
+                                         : Verdict::BugManifested;
+  }
+
+ private:
+  int readers_, rounds_;
+  bool torn_ = false;
+  int final_ = -1;
+};
+
+}  // namespace
+
+void registerRwlockPrograms() {
+  auto& reg = ProgramRegistry::instance();
+  reg.add("rwlock_cache", [] { return std::make_unique<RwlockCache>(); });
+  reg.add("rwlock_upgrade", [] { return std::make_unique<RwlockUpgrade>(); });
+  reg.add("rwlock_stats", [] { return std::make_unique<RwlockStats>(); });
+}
+
+}  // namespace mtt::suite

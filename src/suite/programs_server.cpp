@@ -1,0 +1,252 @@
+// The repository's "larger program": a miniature multi-threaded cache
+// server combining several subsystems (connection queue, worker pool,
+// session table behind a readers-writer lock, sharded statistics, a log
+// lock), with three documented field-style bugs that interact:
+//
+//   1. stats under-count    — the hit/miss counters are updated with an
+//                             unsynchronized read-modify-write;
+//   2. eviction TOCTOU      — the evictor checks the session count under
+//                             the read lock, drops it, then evicts under
+//                             the write lock without re-checking;
+//   3. log/table inversion  — one path locks log->table, another
+//                             table->log (a potential deadlock that
+//                             manifests only under tight interleavings).
+//
+// Control variant `cache_server_fixed` repairs all three (atomic updates
+// under a lock, re-check under the write lock, a single global lock order).
+#include <algorithm>
+
+#include "suite/register_parts.hpp"
+#include "suite/program.hpp"
+
+namespace mtt::suite {
+namespace {
+
+using rt::LockGuard;
+using rt::Mutex;
+using rt::ReadGuard;
+using rt::Runtime;
+using rt::RwLock;
+using rt::Semaphore;
+using rt::SharedArray;
+using rt::SharedVar;
+using rt::Thread;
+using rt::WriteGuard;
+
+struct ServerConfig {
+  int workers = 3;
+  int requests = 9;       // total requests pushed through the queue
+  int sessionCapacity = 2;  // evictor trims the table above this
+};
+
+/// Shared plumbing for both variants; `buggy` selects the defect paths.
+class CacheServerBase : public Program {
+ public:
+  explicit CacheServerBase(bool buggy, ServerConfig cfg = {})
+      : buggy_(buggy), cfg_(cfg) {}
+
+  void reset() override {
+    Program::reset();
+    hits_ = misses_ = sessions_ = installs_ = evictions_ = -1;
+  }
+
+  void body(Runtime& rt) override {
+    // --- subsystems --------------------------------------------------------
+    Semaphore pending(rt, "queue.pending", 0);  // producer -> workers
+    SharedVar<int> nextRequest(rt, "queue.next", 0);
+    Mutex queueLock(rt, "queue.lock");
+
+    RwLock tableLock(rt, "session.tableLock");
+    SharedVar<int> sessionCount(rt, "session.count", 0);
+    // Book-keeping updated only under the table WRITE lock, so it is exact
+    // by construction and usable as the oracle's ground truth.
+    SharedVar<int> installs(rt, "session.installs", 0);
+    SharedVar<int> evictionsApplied(rt, "session.evictions", 0);
+
+    SharedVar<int> hitCount(rt, "stats.hits", 0);
+    SharedVar<int> missCount(rt, "stats.misses", 0);
+    Mutex statsLock(rt, "stats.lock");
+
+    Mutex logLock(rt, "log.lock");
+    SharedVar<int> logLines(rt, "log.lines", 0);
+
+    auto logLine = [&](Site s) {
+      LockGuard g(logLock, s);
+      logLines.write(logLines.read(site("srv.log.read")) + 1,
+                     site("srv.log.write"));
+    };
+
+    auto bumpStat = [&](SharedVar<int>& counter, Site s) {
+      if (buggy_) {
+        // BUG 1: unsynchronized read-modify-write on the counters.
+        int v = counter.read(site("srv.stats.read", BugMark::Yes));
+        counter.write(v + 1, s);
+      } else {
+        LockGuard g(statsLock, site("srv.stats.lock"));
+        counter.write(counter.read(site("srv.stats.read.ok")) + 1, s);
+      }
+    };
+
+    // --- worker pool --------------------------------------------------------
+    std::vector<Thread> workers;
+    for (int w = 0; w < cfg_.workers; ++w) {
+      workers.emplace_back(rt, "worker" + std::to_string(w), [&] {
+        for (;;) {
+          pending.acquire(site("srv.queue.acquire"));
+          int req;
+          {
+            LockGuard g(queueLock, site("srv.queue.lock"));
+            req = nextRequest.read(site("srv.queue.take"));
+            nextRequest.write(req + 1, site("srv.queue.advance"));
+          }
+          if (req >= cfg_.requests) break;  // poison pill
+          // Look up the "session" (cache hit when the table is warm).
+          bool hit;
+          {
+            ReadGuard g(tableLock, site("srv.table.read"));
+            hit = sessionCount.read(site("srv.table.peek")) > req % 3;
+          }
+          if (hit) {
+            bumpStat(hitCount, site("srv.stats.hit", BugMark::Yes));
+          } else {
+            bumpStat(missCount, site("srv.stats.miss", BugMark::Yes));
+            // Install a session for the missed key.
+            WriteGuard g(tableLock, site("srv.table.install"));
+            sessionCount.write(
+                sessionCount.read(site("srv.table.count.read")) + 1,
+                site("srv.table.count.write"));
+            installs.write(installs.read(site("srv.table.inst.read")) + 1,
+                           site("srv.table.inst.write"));
+            if (buggy_) {
+              // BUG 3 (one side): table lock held, now the log lock.
+              logLine(site("srv.log.under-table", BugMark::Yes));
+            }
+          }
+          if (!buggy_) logLine(site("srv.log.after-table"));
+        }
+      });
+    }
+
+    // --- evictor -------------------------------------------------------------
+    Thread evictor(rt, "evictor", [&] {
+      for (int round = 0; round < 3; ++round) {
+        int count;
+        {
+          ReadGuard g(tableLock, site("srv.evict.check", BugMark::Yes));
+          count = sessionCount.read(site("srv.evict.peek"));
+        }
+        if (count > cfg_.sessionCapacity) {
+          if (buggy_) {
+            // BUG 3 (other side): log lock first, then the table lock.
+            LockGuard lg(logLock, site("srv.log.before-table",
+                                       BugMark::Yes));
+            logLines.write(logLines.read(site("srv.log.evict.read")) + 1,
+                           site("srv.log.evict.write"));
+            // BUG 2: evict based on the stale count without re-checking.
+            WriteGuard g(tableLock, site("srv.evict.apply", BugMark::Yes));
+            sessionCount.write(count - 1,
+                               site("srv.evict.write", BugMark::Yes));
+            evictionsApplied.write(
+                evictionsApplied.read(site("srv.evict.count.read")) + 1,
+                site("srv.evict.count.write"));
+          } else {
+            WriteGuard g(tableLock, site("srv.evict.apply.ok"));
+            int now = sessionCount.read(site("srv.evict.recheck"));
+            if (now > cfg_.sessionCapacity) {
+              sessionCount.write(now - 1, site("srv.evict.write.ok"));
+              evictionsApplied.write(
+                  evictionsApplied.read(site("srv.evict.count.r.ok")) + 1,
+                  site("srv.evict.count.w.ok"));
+            }
+            logLine(site("srv.log.after-evict"));
+          }
+        }
+        rt.yieldNow(site("srv.evict.pause"));
+      }
+    });
+
+    // --- request producer (main) ---------------------------------------------
+    for (int r = 0; r < cfg_.requests; ++r) {
+      pending.release(1, site("srv.queue.release"));
+    }
+    // Poison pills: one per worker.
+    pending.release(static_cast<std::uint32_t>(cfg_.workers),
+                    site("srv.queue.poison"));
+
+    for (auto& w : workers) w.join();
+    evictor.join();
+
+    hits_ = hitCount.read();
+    misses_ = missCount.read();
+    sessions_ = sessionCount.read();
+    installs_ = installs.read();
+    evictions_ = evictionsApplied.read();
+    setOutcome("hits=" + std::to_string(hits_) + " misses=" +
+               std::to_string(misses_) + " sessions=" +
+               std::to_string(sessions_));
+  }
+
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;  // incl. the lock inversion
+    // Conservation: every request is either a hit or a miss, and every miss
+    // installed a session (minus explicit evictions).  The stats race and
+    // the eviction TOCTOU both break these books.
+    if (hits_ + misses_ != cfg_.requests) return Verdict::BugManifested;
+    // Session ledger: the table count must equal installs minus evictions;
+    // the eviction TOCTOU silently discards concurrent installs.
+    if (sessions_ != installs_ - evictions_) return Verdict::BugManifested;
+    return Verdict::Pass;
+  }
+
+ protected:
+  bool buggy_;
+  ServerConfig cfg_;
+  int hits_ = -1, misses_ = -1, sessions_ = -1, installs_ = -1,
+      evictions_ = -1;
+};
+
+class CacheServer final : public CacheServerBase {
+ public:
+  CacheServer() : CacheServerBase(true) {}
+  std::string name() const override { return "cache_server"; }
+  std::string description() const override {
+    return "multi-threaded cache server (queue + worker pool + rwlock "
+           "session table + stats + log) with three interacting field bugs";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {
+        BugInfo{"server.stats-race", BugKind::DataRace,
+                "hit/miss counters updated with unsynchronized "
+                "read-modify-write across the worker pool",
+                {"srv.stats.read", "srv.stats.hit", "srv.stats.miss"}},
+        BugInfo{"server.evict-toctou", BugKind::AtomicityViolation,
+                "evictor samples the session count under the read lock and "
+                "applies the eviction from the stale value",
+                {"srv.evict.check", "srv.evict.apply", "srv.evict.write"}},
+        BugInfo{"server.log-table-inversion", BugKind::Deadlock,
+                "workers lock table->log, the evictor locks log->table",
+                {"srv.log.under-table", "srv.log.before-table"}},
+    };
+  }
+};
+
+class CacheServerFixed final : public CacheServerBase {
+ public:
+  CacheServerFixed() : CacheServerBase(false) {}
+  std::string name() const override { return "cache_server_fixed"; }
+  std::string description() const override {
+    return "the cache server with all three defects repaired (control): "
+           "locked stats, re-check under the write lock, one lock order";
+  }
+};
+
+}  // namespace
+
+void registerServerPrograms() {
+  auto& reg = ProgramRegistry::instance();
+  reg.add("cache_server", [] { return std::make_unique<CacheServer>(); });
+  reg.add("cache_server_fixed",
+          [] { return std::make_unique<CacheServerFixed>(); });
+}
+
+}  // namespace mtt::suite

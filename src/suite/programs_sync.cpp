@@ -1,0 +1,387 @@
+// Condition-variable / semaphore / barrier / ordering benchmark programs.
+#include "suite/register_parts.hpp"
+#include "suite/program.hpp"
+
+namespace mtt::suite {
+namespace {
+
+using rt::Barrier;
+using rt::CondVar;
+using rt::LockGuard;
+using rt::Mutex;
+using rt::Runtime;
+using rt::Semaphore;
+using rt::SharedVar;
+using rt::Thread;
+
+// ---------------------------------------------------------------------------
+// bounded_buffer_bug: consumer re-checks the buffer with `if` instead of
+// `while` after a condition wait; with two consumers a wakeup can be
+// consumed by the other one first -> underflow.
+// ---------------------------------------------------------------------------
+class BoundedBufferBug final : public Program {
+ public:
+  std::string name() const override { return "bounded_buffer_bug"; }
+  std::string description() const override {
+    return "bounded buffer whose consumers use 'if' instead of 'while' "
+           "around the condition wait; a broadcast wakes both consumers for "
+           "a single item and one underflows";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"buffer.if-not-while", BugKind::LostWakeup,
+                    "woken consumer does not re-check the predicate",
+                    {"buffer.consume.wait", "buffer.consume.take"}}};
+  }
+  void body(Runtime& rt) override {
+    Mutex m(rt, "buffer.lock");
+    CondVar notEmpty(rt, "buffer.notEmpty");
+    SharedVar<int> count(rt, "buffer.count", 0);
+    SharedVar<int> produced(rt, "produced", 0);
+    auto consumer = [&] {
+      LockGuard g(m, site("buffer.consume.lock"));
+      if (count.read(site("buffer.consume.check")) == 0) {
+        notEmpty.wait(m, site("buffer.consume.wait", BugMark::Yes));
+      }
+      int c = count.read(site("buffer.consume.take", BugMark::Yes));
+      count.write(c - 1, site("buffer.consume.dec"));
+      rt.check(c - 1 >= 0, "buffer underflow: consumed from empty buffer");
+    };
+    Thread c1(rt, "consumer1", consumer), c2(rt, "consumer2", consumer);
+    Thread producer(rt, "producer", [&] {
+      for (int i = 0; i < 2; ++i) {
+        LockGuard g(m, site("buffer.produce.lock"));
+        count.write(count.read(site("buffer.produce.read")) + 1,
+                    site("buffer.produce.write"));
+        produced.write(produced.read() + 1);
+        notEmpty.broadcast(site("buffer.produce.broadcast"));
+      }
+    });
+    c1.join();
+    c2.join();
+    producer.join();
+    setOutcome("count=" + std::to_string(count.plainGet()));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// bounded_buffer_ok: the while-loop control variant.
+// ---------------------------------------------------------------------------
+class BoundedBufferOk final : public Program {
+ public:
+  std::string name() const override { return "bounded_buffer_ok"; }
+  std::string description() const override {
+    return "bounded buffer with the canonical while-loop around the wait "
+           "(control: correct)";
+  }
+  void body(Runtime& rt) override {
+    Mutex m(rt, "buffer.lock");
+    CondVar notEmpty(rt, "buffer.notEmpty");
+    SharedVar<int> count(rt, "buffer.count", 0);
+    auto consumer = [&] {
+      LockGuard g(m, site("bufok.consume.lock"));
+      while (count.read(site("bufok.consume.check")) == 0) {
+        notEmpty.wait(m, site("bufok.consume.wait"));
+      }
+      int c = count.read(site("bufok.consume.take"));
+      count.write(c - 1, site("bufok.consume.dec"));
+      rt.check(c - 1 >= 0, "buffer underflow in control program");
+    };
+    Thread c1(rt, "consumer1", consumer), c2(rt, "consumer2", consumer);
+    Thread producer(rt, "producer", [&] {
+      for (int i = 0; i < 2; ++i) {
+        LockGuard g(m, site("bufok.produce.lock"));
+        count.write(count.read(site("bufok.produce.read")) + 1,
+                    site("bufok.produce.write"));
+        notEmpty.broadcast(site("bufok.produce.broadcast"));
+      }
+    });
+    c1.join();
+    c2.join();
+    producer.join();
+    setOutcome("count=" + std::to_string(count.plainGet()));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// notify_lost: signal races with the wait; a signal sent while nobody waits
+// is lost and the waiter blocks forever.
+// ---------------------------------------------------------------------------
+class NotifyLost final : public Program {
+ public:
+  std::string name() const override { return "notify_lost"; }
+  std::string description() const override {
+    return "signaler sets the flag and signals without holding the waiter's "
+           "lock; if the signal lands between the waiter's check and its "
+           "wait, it is lost and the waiter hangs";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"notify.lost-signal", BugKind::LostWakeup,
+                    "flag write and signal are not under the waiter's mutex",
+                    {"notify.flag", "notify.signal", "notify.wait"}}};
+  }
+  void body(Runtime& rt) override {
+    Mutex m(rt, "notify.lock");
+    CondVar cv(rt, "notify.cv");
+    SharedVar<int> flag(rt, "notify.flag", 0);
+    Thread waiter(rt, "waiter", [&] {
+      LockGuard g(m, site("notify.waiter.lock"));
+      while (flag.read(site("notify.check")) == 0) {
+        cv.wait(m, site("notify.wait", BugMark::Yes));
+      }
+    });
+    Thread signaler(rt, "signaler", [&] {
+      // BUG: no lock around flag + signal.
+      flag.write(1, site("notify.flag", BugMark::Yes));
+      cv.signal(site("notify.signal", BugMark::Yes));
+    });
+    waiter.join();
+    signaler.join();
+    setOutcome("done");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// producer_consumer_sem: control; semaphore handoff.  Race-free, but
+// lockset-only detectors (Eraser) flag the data handoff — the benchmark's
+// false-alarm showcase.
+// ---------------------------------------------------------------------------
+class ProducerConsumerSem final : public Program {
+ public:
+  explicit ProducerConsumerSem(int items = 3) : items_(items) {}
+  std::string name() const override { return "producer_consumer_sem"; }
+  std::string description() const override {
+    return "producer/consumer synchronized by counting semaphores (control: "
+           "correct, but lock-free of locks — lockset detectors false-alarm)";
+  }
+  void reset() override {
+    Program::reset();
+    consumed_ = -1;
+  }
+  void body(Runtime& rt) override {
+    Semaphore full(rt, "sem.full", 0);
+    Semaphore empty(rt, "sem.empty", 1);
+    SharedVar<int> slot(rt, "slot", 0);
+    SharedVar<int> sum(rt, "sum", 0);
+    Thread producer(rt, "producer", [&] {
+      for (int i = 1; i <= items_; ++i) {
+        empty.acquire(site("pcsem.empty.acquire"));
+        slot.write(i, site("pcsem.slot.write"));
+        full.release(1, site("pcsem.full.release"));
+      }
+    });
+    Thread consumer(rt, "consumer", [&] {
+      for (int i = 0; i < items_; ++i) {
+        full.acquire(site("pcsem.full.acquire"));
+        sum.write(sum.read(site("pcsem.sum.read")) +
+                      slot.read(site("pcsem.slot.read")),
+                  site("pcsem.sum.write"));
+        empty.release(1, site("pcsem.empty.release"));
+      }
+    });
+    producer.join();
+    consumer.join();
+    consumed_ = sum.read();
+    setOutcome("sum=" + std::to_string(consumed_));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return consumed_ == items_ * (items_ + 1) / 2 ? Verdict::Pass
+                                                  : Verdict::BugManifested;
+  }
+
+ private:
+  int items_;
+  int consumed_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// barrier_reuse: one worker arrives at the barrier once while the others
+// loop twice; the second generation never completes.
+// ---------------------------------------------------------------------------
+class BarrierReuse final : public Program {
+ public:
+  std::string name() const override { return "barrier_reuse"; }
+  std::string description() const override {
+    return "three phase-synchronized workers; one skips the second barrier "
+           "generation (off-by-one in its phase loop) and the rest hang";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"barrier.missing-party", BugKind::Deadlock,
+                    "a party arrives fewer times than the others",
+                    {"barrier.phase", "barrier.short"}}};
+  }
+  void body(Runtime& rt) override {
+    Barrier bar(rt, "phase.barrier", 3);
+    std::vector<Thread> ts;
+    for (int i = 0; i < 3; ++i) {
+      ts.emplace_back(rt, "worker" + std::to_string(i), [&, i] {
+        // BUG: worker 2's loop runs one phase short.
+        int phases = i == 2 ? 1 : 2;
+        for (int p = 0; p < phases; ++p) {
+          bar.arriveAndWait(i == 2 ? site("barrier.short", BugMark::Yes)
+                                   : site("barrier.phase", BugMark::Yes));
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    setOutcome("done");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// order_violation: a worker consumes a configuration value its spawner only
+// writes after the spawn.
+// ---------------------------------------------------------------------------
+class OrderViolation final : public Program {
+ public:
+  std::string name() const override { return "order_violation"; }
+  std::string description() const override {
+    return "main spawns the worker first and fills in the configuration "
+           "afterwards; the worker may read it before it is set";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"order.use-before-init", BugKind::OrderViolation,
+                    "no synchronization orders config write before use",
+                    {"order.init", "order.use"}}};
+  }
+  void reset() override {
+    Program::reset();
+    used_ = -1;
+  }
+  void body(Runtime& rt) override {
+    SharedVar<int> config(rt, "config", 0);
+    Thread worker(rt, "worker", [&] {
+      used_ = config.read(site("order.use", BugMark::Yes));
+    });
+    config.write(7, site("order.init", BugMark::Yes));
+    worker.join();
+    setOutcome("used=" + std::to_string(used_));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return used_ == 7 ? Verdict::Pass : Verdict::BugManifested;
+  }
+
+  const model::Program* irModel() const override {
+    if (!ir_) {
+      auto p = std::make_unique<model::Program>("order_violation");
+      int config = p->addVar("config", 0);
+      int observed = p->addVar("observed", -1);
+      // The IR starts every thread concurrently, which is exactly the
+      // missing-ordering situation of the bug (no spawn edge constrains
+      // the reader).
+      p->thread("main").constant(0, 7).store(config, 0);
+      p->thread("worker").load(config, 0).store(observed, 0);
+      p->finalAssert(observed, 7);
+      ir_ = std::move(p);
+    }
+    return ir_.get();
+  }
+
+ private:
+  int used_ = -1;
+  mutable std::unique_ptr<model::Program> ir_;
+};
+
+// ---------------------------------------------------------------------------
+// shared_flag_spin: busy-wait on a flag with no yield; under a cooperative
+// (unit-test) scheduler the spinner starves the writer forever.
+// ---------------------------------------------------------------------------
+class SharedFlagSpin final : public Program {
+ public:
+  std::string name() const override { return "shared_flag_spin"; }
+  std::string description() const override {
+    return "worker busy-waits on a flag without yielding; livelocks under a "
+           "cooperative scheduler (and burns CPU natively)";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"spin.no-yield", BugKind::Livelock,
+                    "spin loop contains no blocking or yielding operation",
+                    {"spin.read"}}};
+  }
+  rt::RunOptions defaultRunOptions() const override {
+    rt::RunOptions o;
+    o.maxSteps = 20'000;  // livelock guard trips quickly
+    return o;
+  }
+  void body(Runtime& rt) override {
+    SharedVar<int> flag(rt, "spin.flag", 0);
+    Thread spinner(rt, "spinner", [&] {
+      while (flag.read(site("spin.read", BugMark::Yes)) == 0) {
+      }
+    });
+    // Main hands the CPU over (unit tests do other work here); under a
+    // cooperative scheduler the non-yielding spinner then starves it and
+    // the flag is never set.
+    rt.yieldNow(site("spin.handoff"));
+    flag.write(1, site("spin.set"));
+    spinner.join();
+    setOutcome("done");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// sleep_sync: sleep used as synchronization; any extra delay on the writer
+// breaks the "usually works" timing.
+// ---------------------------------------------------------------------------
+class SleepSync final : public Program {
+ public:
+  std::string name() const override { return "sleep_sync"; }
+  std::string description() const override {
+    return "writer sleeps briefly then writes; reader sleeps slightly longer "
+           "then reads — sleep-as-synchronization, broken by any noise";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"sleep.as-sync", BugKind::OrderViolation,
+                    "ordering depends on relative sleep durations",
+                    {"sleep.write", "sleep.read"}}};
+  }
+  void reset() override {
+    Program::reset();
+    got_ = -1;
+  }
+  void body(Runtime& rt) override {
+    SharedVar<int> data(rt, "sleep.data", 0);
+    Thread writer(rt, "writer", [&] {
+      rt.sleepFor(std::chrono::microseconds(100));
+      data.write(42, site("sleep.write", BugMark::Yes));
+    });
+    Thread reader(rt, "reader", [&] {
+      // 20x the writer's delay: "plenty of margin" — until noise delays the
+      // writer past it.
+      rt.sleepFor(std::chrono::microseconds(2000));
+      got_ = data.read(site("sleep.read", BugMark::Yes));
+    });
+    writer.join();
+    reader.join();
+    setOutcome("got=" + std::to_string(got_));
+  }
+  Verdict evaluate(const rt::RunResult& r) const override {
+    if (!r.ok()) return Verdict::BugManifested;
+    return got_ == 42 ? Verdict::Pass : Verdict::BugManifested;
+  }
+
+ private:
+  int got_ = -1;
+};
+
+}  // namespace
+
+void registerSyncPrograms() {
+  auto& reg = ProgramRegistry::instance();
+  reg.add("bounded_buffer_bug",
+          [] { return std::make_unique<BoundedBufferBug>(); });
+  reg.add("bounded_buffer_ok",
+          [] { return std::make_unique<BoundedBufferOk>(); });
+  reg.add("notify_lost", [] { return std::make_unique<NotifyLost>(); });
+  reg.add("producer_consumer_sem",
+          [] { return std::make_unique<ProducerConsumerSem>(); });
+  reg.add("barrier_reuse", [] { return std::make_unique<BarrierReuse>(); });
+  reg.add("order_violation",
+          [] { return std::make_unique<OrderViolation>(); });
+  reg.add("shared_flag_spin",
+          [] { return std::make_unique<SharedFlagSpin>(); });
+  reg.add("sleep_sync", [] { return std::make_unique<SleepSync>(); });
+}
+
+}  // namespace mtt::suite

@@ -1,0 +1,13 @@
+// Internal: per-file registration hooks assembled by registerBuiltins().
+#pragma once
+
+namespace mtt::suite {
+
+void registerRacePrograms();
+void registerSyncPrograms();
+void registerDeadlockPrograms();
+void registerRwlockPrograms();
+void registerServerPrograms();
+void registerMiscPrograms();
+
+}  // namespace mtt::suite

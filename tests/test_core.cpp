@@ -1,0 +1,335 @@
+// Unit tests for mtt_core: ids, sites, events, hooks, rng, stats, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/event.hpp"
+#include "core/listener.hpp"
+#include "core/rng.hpp"
+#include "core/site.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+namespace mtt {
+namespace {
+
+// --- sites -----------------------------------------------------------------
+
+TEST(Site, InternSameTagSameLineIsStable) {
+  Site a = site("core.test.stable");
+  Site b = site("core.test.stable");
+  EXPECT_NE(a.id, b.id);  // different source lines → different sites
+  Site c = a;
+  EXPECT_EQ(c.id, a.id);
+}
+
+TEST(Site, DistinctTagsGetDistinctIds) {
+  Site a = site("core.test.a");
+  Site b = site("core.test.b");
+  EXPECT_NE(a.id, b.id);
+}
+
+TEST(Site, LookupCarriesTagAndLine) {
+  Site a = site("core.test.lookup");
+  const SiteInfo& info = SiteRegistry::instance().lookup(a.id);
+  EXPECT_EQ(info.tag, "core.test.lookup");
+  EXPECT_GT(info.line, 0u);
+  EXPECT_NE(info.file.find("test_core.cpp"), std::string::npos);
+}
+
+TEST(Site, BugMarkUpgradesExisting) {
+  // Two registrations on the same line: lambda trick to hit one line twice.
+  auto make = [](BugMark m) { return site("core.test.upgrade", m); };
+  Site a = make(BugMark::No);
+  Site b = make(BugMark::Yes);
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(SiteRegistry::instance().lookup(a.id).bug, BugMark::Yes);
+}
+
+TEST(Site, NoSiteLookupIsSafe) {
+  const SiteInfo& info = SiteRegistry::instance().lookup(kNoSite);
+  EXPECT_EQ(info.tag, "");
+  EXPECT_EQ(info.line, 0u);
+}
+
+TEST(Site, DescribeContainsTagAndFile) {
+  Site a = site("core.test.describe");
+  std::string d = SiteRegistry::instance().describe(a.id);
+  EXPECT_NE(d.find("core.test.describe"), std::string::npos);
+  EXPECT_NE(d.find("test_core.cpp"), std::string::npos);
+}
+
+// --- events ----------------------------------------------------------------
+
+TEST(Event, KindNamesRoundTrip) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(EventKind::kCount);
+       ++i) {
+    auto k = static_cast<EventKind>(i);
+    EventKind back{};
+    ASSERT_TRUE(event_kind_from_string(to_string(k), back))
+        << "kind " << i << " name " << to_string(k);
+    EXPECT_EQ(back, k);
+  }
+}
+
+TEST(Event, UnknownNameRejected) {
+  EventKind k{};
+  EXPECT_FALSE(event_kind_from_string("NotAKind", k));
+}
+
+TEST(Event, AbstractTypeClassification) {
+  EXPECT_EQ(abstract_type_of(EventKind::VarRead), AbstractType::Variable);
+  EXPECT_EQ(abstract_type_of(EventKind::VarWrite), AbstractType::Variable);
+  EXPECT_EQ(abstract_type_of(EventKind::MutexLock), AbstractType::Sync);
+  EXPECT_EQ(abstract_type_of(EventKind::SemAcquire), AbstractType::Sync);
+  EXPECT_EQ(abstract_type_of(EventKind::BarrierExit), AbstractType::Sync);
+  EXPECT_EQ(abstract_type_of(EventKind::ThreadStart), AbstractType::Control);
+  EXPECT_EQ(abstract_type_of(EventKind::Yield), AbstractType::Control);
+}
+
+TEST(Event, AccessOfKinds) {
+  EXPECT_EQ(access_of(EventKind::VarRead), Access::Read);
+  EXPECT_EQ(access_of(EventKind::VarWrite), Access::Write);
+  EXPECT_EQ(access_of(EventKind::MutexLock), Access::None);
+}
+
+TEST(Event, DescribeMentionsThreadAndKind) {
+  Event e;
+  e.seq = 7;
+  e.thread = 3;
+  e.kind = EventKind::MutexLock;
+  e.object = 9;
+  std::string d = describe(e);
+  EXPECT_NE(d.find("#7"), std::string::npos);
+  EXPECT_NE(d.find("T3"), std::string::npos);
+  EXPECT_NE(d.find("MutexLock"), std::string::npos);
+  EXPECT_NE(d.find("obj=9"), std::string::npos);
+}
+
+// --- hook chain --------------------------------------------------------------
+
+class CountingListener final : public Listener {
+ public:
+  int starts = 0, events = 0, ends = 0;
+  void onRunStart(const RunInfo&) override { ++starts; }
+  void onEvent(const Event&) override { ++events; }
+  void onRunEnd() override { ++ends; }
+};
+
+TEST(HookChain, DispatchReachesAllListeners) {
+  HookChain chain;
+  CountingListener a, b;
+  chain.add(&a);
+  chain.add(&b);
+  chain.dispatchRunStart(RunInfo{});
+  chain.dispatchEvent(Event{});
+  chain.dispatchEvent(Event{});
+  chain.dispatchRunEnd();
+  EXPECT_EQ(a.starts, 1);
+  EXPECT_EQ(a.events, 2);
+  EXPECT_EQ(a.ends, 1);
+  EXPECT_EQ(b.events, 2);
+}
+
+TEST(HookChain, DuplicateAddIsIgnored) {
+  HookChain chain;
+  CountingListener a;
+  chain.add(&a);
+  chain.add(&a);
+  EXPECT_EQ(chain.size(), 1u);
+  chain.dispatchEvent(Event{});
+  EXPECT_EQ(a.events, 1);
+}
+
+TEST(HookChain, RemoveStopsDispatch) {
+  HookChain chain;
+  CountingListener a, b;
+  chain.add(&a);
+  chain.add(&b);
+  chain.remove(&a);
+  chain.dispatchEvent(Event{});
+  EXPECT_EQ(a.events, 0);
+  EXPECT_EQ(b.events, 1);
+}
+
+TEST(HookChain, NullAddIsNoop) {
+  HookChain chain;
+  chain.add(nullptr);
+  EXPECT_TRUE(chain.empty());
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(13), 13u);
+  }
+  EXPECT_EQ(r.below(1), 0u);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng r(3);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    if (v == -2) sawLo = true;
+    if (v == 2) sawHi = true;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+  EXPECT_EQ(r.range(5, 5), 5);
+  EXPECT_EQ(r.range(5, 4), 5);  // degenerate: returns lo
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Rng, MixSeedSensitiveToBothInputs) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+  EXPECT_NE(mix_seed(1, 2), mix_seed(1, 3));
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95(), 0.0);
+}
+
+TEST(OnlineStats, CiShrinksWithSamples) {
+  OnlineStats small, large;
+  Rng r(1);
+  for (int i = 0; i < 10; ++i) small.add(r.uniform());
+  for (int i = 0; i < 1000; ++i) large.add(r.uniform());
+  EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(Proportion, RateAndWilson) {
+  Proportion p;
+  for (int i = 0; i < 30; ++i) p.add(i < 12);
+  EXPECT_DOUBLE_EQ(p.rate(), 0.4);
+  EXPECT_LT(p.wilsonLow(), 0.4);
+  EXPECT_GT(p.wilsonHigh(), 0.4);
+  EXPECT_GE(p.wilsonLow(), 0.0);
+  EXPECT_LE(p.wilsonHigh(), 1.0);
+}
+
+TEST(Proportion, EmptyIsFullInterval) {
+  Proportion p;
+  EXPECT_EQ(p.rate(), 0.0);
+  EXPECT_EQ(p.wilsonLow(), 0.0);
+  EXPECT_EQ(p.wilsonHigh(), 1.0);
+}
+
+TEST(OutcomeDistribution, EntropyOfUniformAndPoint) {
+  OutcomeDistribution point, uniform;
+  for (int i = 0; i < 8; ++i) point.add("a");
+  for (int i = 0; i < 8; ++i) uniform.add(std::string(1, char('a' + i % 4)));
+  EXPECT_DOUBLE_EQ(point.entropyBits(), 0.0);
+  EXPECT_NEAR(uniform.entropyBits(), 2.0, 1e-9);
+  EXPECT_EQ(point.distinct(), 1u);
+  EXPECT_EQ(uniform.distinct(), 4u);
+  EXPECT_DOUBLE_EQ(point.modeFraction(), 1.0);
+  EXPECT_DOUBLE_EQ(uniform.modeFraction(), 0.25);
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("E1: demo");
+  t.header({"tool", "rate"});
+  t.row({"none", "0.00"});
+  t.row({"random", "0.42"});
+  std::string s = t.render();
+  EXPECT_NE(s.find("E1: demo"), std::string::npos);
+  EXPECT_NE(s.find("tool"), std::string::npos);
+  EXPECT_NE(s.find("random"), std::string::npos);
+  EXPECT_NE(s.find("0.42"), std::string::npos);
+}
+
+TEST(TextTable, NumAndFracFormat) {
+  EXPECT_EQ(TextTable::num(0.123456, 3), "0.123");
+  EXPECT_EQ(TextTable::num(2.0, 1), "2.0");
+  EXPECT_EQ(TextTable::frac(1, 4), "1/4 (25.0%)");
+  EXPECT_EQ(TextTable::frac(0, 0), "0/0 (0.0%)");
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t("pad");
+  t.header({"a", "b", "c"});
+  t.row({"x"});
+  EXPECT_NO_THROW({ auto s = t.render(); });
+}
+
+}  // namespace
+}  // namespace mtt

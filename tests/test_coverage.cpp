@@ -1,0 +1,243 @@
+// Tests for the concurrency coverage models and the cross-run accumulator.
+#include <gtest/gtest.h>
+
+#include "coverage/coverage.hpp"
+#include "model/static.hpp"
+#include "rt/harness.hpp"
+#include "rt/primitives.hpp"
+
+namespace mtt::coverage {
+namespace {
+
+using rt::LockGuard;
+using rt::Mutex;
+using rt::Runtime;
+using rt::Semaphore;
+using rt::SharedVar;
+using rt::Thread;
+
+/// Name resolver bound to a runtime.
+std::function<std::string(ObjectId)> namesOf(rt::Runtime& rt) {
+  return [&rt](ObjectId id) { return rt.objectInfo(id).name; };
+}
+
+void contentionBody(Runtime& rt) {
+  SharedVar<int> shared(rt, "shared", 0);
+  SharedVar<int> local(rt, "local", 0);  // only main touches it
+  Mutex m(rt, "m");
+  Thread t(rt, "t", [&] {
+    LockGuard g(m);
+    shared.write(shared.read() + 1);
+  });
+  {
+    LockGuard g(m);
+    shared.write(shared.read() + 1);
+  }
+  local.write(1);
+  t.join();
+}
+
+TEST(VarContention, SharedVarCoveredLocalNot) {
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+    VarContentionCoverage cov(namesOf(*rt));
+    rt->hooks().add(&cov);
+    rt::RunOptions o;
+    o.seed = s;
+    rt->run(contentionBody, o);
+    auto covered = cov.covered();
+    EXPECT_EQ(covered.count("local"), 0u) << "seed " << s;
+    if (covered.count("shared")) return;  // found a contended schedule
+  }
+  FAIL() << "no schedule produced contention on 'shared'";
+}
+
+TEST(VarContention, SequentialAccessIsNotContention) {
+  // Accesses by two threads ordered by join, far apart in the window.
+  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+  VarContentionCoverage cov(namesOf(*rt), /*window=*/2);
+  rt->hooks().add(&cov);
+  rt->run(
+      [](Runtime& rr) {
+        SharedVar<int> x(rr, "x", 0);
+        SharedVar<int> pad(rr, "pad", 0);
+        Thread t(rr, "t", [&] { x.write(1); });
+        t.join();
+        for (int i = 0; i < 10; ++i) pad.write(i);
+        x.write(2);  // > window events after t's write
+      },
+      rt::RunOptions{});
+  EXPECT_EQ(cov.covered().count("x"), 0u);
+}
+
+TEST(SyncContention, FreeAndBlockedTasks) {
+  // RoundRobin: never contended; Random: eventually both tasks covered.
+  auto rt = rt::makeRuntime(
+      RuntimeMode::Controlled, std::make_unique<rt::RoundRobinPolicy>());
+  SyncContentionCoverage cov(namesOf(*rt));
+  rt->hooks().add(&cov);
+  rt->run(contentionBody, rt::RunOptions{});
+  EXPECT_EQ(cov.covered().count("m/free"), 1u);
+  EXPECT_EQ(cov.covered().count("m/blocked"), 0u);
+
+  bool blockedSeen = false;
+  for (std::uint64_t s = 0; s < 30 && !blockedSeen; ++s) {
+    auto rt2 = rt::makeRuntime(RuntimeMode::Controlled);
+    SyncContentionCoverage cov2(namesOf(*rt2));
+    rt2->hooks().add(&cov2);
+    rt::RunOptions o;
+    o.seed = s;
+    rt2->run(contentionBody, o);
+    blockedSeen = cov2.covered().count("m/blocked") != 0;
+  }
+  EXPECT_TRUE(blockedSeen);
+}
+
+TEST(SyncContention, SemaphoreBlockedAcquire) {
+  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+  SyncContentionCoverage cov(namesOf(*rt));
+  rt->hooks().add(&cov);
+  rt->run(
+      [](Runtime& rr) {
+        Semaphore sem(rr, "sem", 0);
+        Thread t(rr, "t", [&] { sem.acquire(); });  // must block
+        rr.sleepFor(std::chrono::milliseconds(1));
+        sem.release();
+        t.join();
+      },
+      rt::RunOptions{});
+  EXPECT_EQ(cov.covered().count("sem/blocked"), 1u);
+}
+
+TEST(LockPair, NestedOrderObserved) {
+  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+  LockPairCoverage cov(namesOf(*rt));
+  rt->hooks().add(&cov);
+  rt->run(
+      [](Runtime& rr) {
+        Mutex a(rr, "A"), b(rr, "B");
+        LockGuard ga(a);
+        LockGuard gb(b);
+      },
+      rt::RunOptions{});
+  EXPECT_EQ(cov.covered().count("A<B"), 1u);
+  EXPECT_EQ(cov.covered().count("B<A"), 0u);
+}
+
+TEST(SwitchPair, CoversOnlyCrossThreadAdjacency) {
+  bool seen = false;
+  for (std::uint64_t s = 0; s < 20 && !seen; ++s) {
+    auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+    SwitchPairCoverage cov;
+    rt->hooks().add(&cov);
+    rt::RunOptions o;
+    o.seed = s;
+    rt->run(contentionBody, o);
+    seen = cov.coveredCount() > 0;
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(SitePoint, CoversExecutedSites) {
+  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+  SitePointCoverage cov;
+  rt->hooks().add(&cov);
+  rt->run(
+      [](Runtime& rr) {
+        SharedVar<int> x(rr, "x", 0);
+        x.write(1, site("covtest.write"));
+      },
+      rt::RunOptions{});
+  bool found = false;
+  for (const auto& t : cov.covered()) {
+    if (t.find("covtest.write") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ClosedUniverse, StaticFeasibilityFiltersTasks) {
+  // The paper: "Static techniques could be used to evaluate which variables
+  // can be accessed by multiple threads.  This evaluation is needed to
+  // create the coverage metric."
+  model::Program p("cov");
+  int shared = p.addVar("shared", 0);
+  int local = p.addVar("local", 0);
+  p.thread("main").incrementVar(local, 1).incrementVar(shared, 1);
+  p.thread("t").incrementVar(shared, 1);
+
+  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+  VarContentionCoverage cov(namesOf(*rt));
+  cov.declareTasks(model::contentionTaskUniverse(p));
+  EXPECT_TRUE(cov.closedUniverse());
+  EXPECT_EQ(cov.taskCount(), 1u);  // only "shared" is feasible
+  rt::RunOptions o;
+  o.seed = 4;
+  rt->run(contentionBody, o);
+  // Ratio is now meaningful: covered/feasible, not covered/all.
+  EXPECT_LE(cov.ratio(), 1.0);
+  EXPECT_EQ(cov.known().count("local"), 0u);
+}
+
+TEST(Accumulator, GrowthCurveAndSaturation) {
+  CoverageAccumulator acc;
+  auto runOne = [&](std::uint64_t seed) {
+    auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+    SwitchPairCoverage cov;
+    rt->hooks().add(&cov);
+    rt::RunOptions o;
+    o.seed = seed;
+    rt->run(contentionBody, o);
+    acc.addRun(cov);
+  };
+  for (std::uint64_t s = 0; s < 25; ++s) runOne(s);
+  auto curve = acc.growthCurve();
+  ASSERT_EQ(curve.size(), 25u);
+  // Monotone non-decreasing.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+  EXPECT_EQ(curve.back(), acc.totalCovered());
+}
+
+TEST(Accumulator, SaturationDetectsQuietTail) {
+  CoverageAccumulator acc;
+  // Synthesize: growth in runs 1-3, quiet afterwards.
+  class FakeModel : public CoverageModel {
+   public:
+    std::string name() const override { return "fake"; }
+    void onEvent(const Event&) override {}
+    void coverNow(const std::string& t) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cover(t);
+    }
+  };
+  for (int run = 0; run < 8; ++run) {
+    FakeModel m;
+    m.coverNow("a");
+    if (run < 3) m.coverNow("task" + std::to_string(run));
+    acc.addRun(m);
+  }
+  EXPECT_EQ(acc.saturationRun(3), 4u);  // runs 4,5,6 added nothing
+}
+
+TEST(Accumulator, NoSaturationWhileGrowing) {
+  CoverageAccumulator acc;
+  class FakeModel : public CoverageModel {
+   public:
+    std::string name() const override { return "fake"; }
+    void onEvent(const Event&) override {}
+    void coverNow(const std::string& t) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cover(t);
+    }
+  };
+  for (int run = 0; run < 5; ++run) {
+    FakeModel m;
+    m.coverNow("task" + std::to_string(run));
+    acc.addRun(m);
+  }
+  EXPECT_EQ(acc.saturationRun(3), 0u);
+}
+
+}  // namespace
+}  // namespace mtt::coverage

@@ -1,0 +1,227 @@
+// Tests for the prepared-experiment harness (benchmark component 2) and the
+// cloning harness (Section 2.3).
+#include <gtest/gtest.h>
+
+#include "cloning/cloning.hpp"
+#include "experiment/experiment.hpp"
+#include "rt/primitives.hpp"
+
+namespace mtt::experiment {
+namespace {
+
+TEST(Experiment, RunsAndCollectsBasics) {
+  ExperimentSpec spec;
+  spec.programName = "account";
+  spec.runs = 30;
+  spec.tool.noiseName = "none";
+  spec.tool.policy = "random";
+  ExperimentResult r = runExperiment(spec);
+  EXPECT_EQ(r.runs, 30u);
+  EXPECT_EQ(r.manifested.trials, 30u);
+  EXPECT_GT(r.events.mean(), 0.0);
+  EXPECT_GT(r.outcomes.total(), 0u);
+  EXPECT_FALSE(r.statusCounts.empty());
+}
+
+TEST(Experiment, DeterministicForSameSeedBase) {
+  ExperimentSpec spec;
+  spec.programName = "read_modify_write";
+  spec.runs = 25;
+  spec.seedBase = 42;
+  ExperimentResult a = runExperiment(spec);
+  ExperimentResult b = runExperiment(spec);
+  EXPECT_EQ(a.manifested.successes, b.manifested.successes);
+  EXPECT_EQ(a.outcomes.counts(), b.outcomes.counts());
+}
+
+TEST(Experiment, RoundRobinWithoutNoiseNeverFindsAccountBug) {
+  ExperimentSpec spec;
+  spec.programName = "account";
+  spec.runs = 20;
+  spec.tool.policy = "rr";
+  ExperimentResult r = runExperiment(spec);
+  EXPECT_EQ(r.manifested.successes, 0u);
+}
+
+TEST(Experiment, NoiseBeatsNoNoiseUnderRoundRobin) {
+  // The paper's headline comparison, miniaturized.
+  ExperimentSpec base;
+  base.programName = "account";
+  base.runs = 40;
+  base.tool.policy = "rr";
+  base.tool.noiseName = "none";
+  ExperimentSpec noisy = base;
+  noisy.tool.noiseName = "mixed";
+  noisy.tool.noiseOpts.strength = 0.4;
+  ExperimentResult r0 = runExperiment(base);
+  ExperimentResult r1 = runExperiment(noisy);
+  EXPECT_EQ(r0.manifested.successes, 0u);
+  EXPECT_GT(r1.manifested.successes, 0u);
+  EXPECT_GT(r1.noiseInjections, 0u);
+}
+
+TEST(Experiment, DetectorsAccounted) {
+  ExperimentSpec spec;
+  spec.programName = "read_modify_write";
+  spec.runs = 15;
+  spec.tool.detectors = {"fasttrack"};
+  ExperimentResult r = runExperiment(spec);
+  EXPECT_EQ(r.detectorHit.trials, 15u);
+  EXPECT_GT(r.detectorHit.successes, 0u)
+      << "fasttrack should flag the rmw race in most schedules";
+  EXPECT_GT(r.trueWarnings, 0u);
+}
+
+TEST(Experiment, EraserFalseAlarmsOnSemControl) {
+  ExperimentSpec spec;
+  spec.programName = "producer_consumer_sem";
+  spec.runs = 10;
+  spec.tool.detectors = {"eraser", "fasttrack"};
+  ExperimentResult r = runExperiment(spec);
+  EXPECT_GT(r.falseWarnings, 0u) << "eraser false-alarms on semaphores";
+  EXPECT_EQ(r.trueWarnings, 0u) << "control program has no annotated bugs";
+}
+
+TEST(Experiment, LockGraphCountsPotentials) {
+  ExperimentSpec spec;
+  spec.programName = "lock_order_inversion";
+  spec.runs = 10;
+  spec.tool.lockGraph = true;
+  ExperimentResult r = runExperiment(spec);
+  EXPECT_GT(r.deadlockPotentials, 0u);
+}
+
+TEST(Experiment, TargetedNoiseUsesTargets) {
+  ExperimentSpec spec;
+  spec.programName = "account";
+  spec.runs = 20;
+  spec.tool.policy = "rr";
+  spec.tool.noiseName = "targeted";
+  spec.tool.noiseTargets = {"balance"};
+  spec.tool.noiseOpts.strength = 0.25;
+  ExperimentResult r = runExperiment(spec);
+  EXPECT_GT(r.noiseInjections, 0u);
+  EXPECT_GT(r.manifested.successes, 0u);
+}
+
+TEST(Experiment, LabelsAreDescriptive) {
+  ToolConfig t;
+  t.noiseName = "mixed";
+  t.detectors = {"eraser"};
+  t.policy = "rr";
+  EXPECT_EQ(t.label(), "mixed+eraser/ctl-rr");
+  t.mode = RuntimeMode::Native;
+  EXPECT_EQ(t.label(), "mixed+eraser/native");
+}
+
+TEST(Experiment, ReportsRender) {
+  ExperimentSpec spec;
+  spec.programName = "account";
+  spec.runs = 5;
+  spec.tool.detectors = {"fasttrack"};
+  auto r = runExperiment(spec);
+  std::string fr = findRateReport("E1 mini", {r});
+  EXPECT_NE(fr.find("account"), std::string::npos);
+  EXPECT_NE(fr.find("manifested"), std::string::npos);
+  std::string dr = detectorReport("E3 mini", {r});
+  EXPECT_NE(dr.find("false-rate"), std::string::npos);
+}
+
+TEST(Experiment, UnknownNamesThrow) {
+  ExperimentSpec spec;
+  spec.programName = "account";
+  spec.runs = 1;
+  spec.tool.noiseName = "bogus";
+  EXPECT_THROW(runExperiment(spec), std::runtime_error);
+  spec.tool.noiseName = "none";
+  spec.tool.detectors = {"bogus"};
+  EXPECT_THROW(runExperiment(spec), std::runtime_error);
+  EXPECT_THROW(makePolicy("bogus"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mtt::experiment
+
+namespace mtt::cloning {
+namespace {
+
+using rt::LockGuard;
+using rt::Mutex;
+using rt::Runtime;
+using rt::SharedVar;
+
+TEST(Cloning, AllClonesRunAndPass) {
+  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+  // Fixture: a correct per-clone slot array.
+  rt::SharedArray<int> slots(*rt, "slots", 8, 0);
+  CloneSpec spec;
+  spec.name = "slot-writer";
+  spec.clones = 8;
+  spec.body = [&](Runtime&, int idx) { slots.write(idx, idx + 1); };
+  spec.check = [&](int idx) { return slots.plainGet(idx) == idx + 1; };
+  CloneResult r = runCloned(*rt, spec);
+  EXPECT_TRUE(r.allPassed);
+  EXPECT_EQ(r.failedClones, 0u);
+  EXPECT_EQ(r.clonePassed.size(), 8u);
+}
+
+TEST(Cloning, DetectsPerCloneFailures) {
+  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+  SharedVar<int> counter(*rt, "counter", 0);
+  CloneSpec spec;
+  spec.name = "racy-counter";
+  spec.clones = 4;
+  spec.body = [&](Runtime&, int) {
+    int v = counter.read();
+    counter.write(v + 1);
+  };
+  // Interpreting clone results: every clone expects the final counter to
+  // equal the clone count — fails when updates were lost.
+  spec.check = [&](int) { return counter.plainGet() == 4; };
+  bool sawFailure = false, sawPass = false;
+  for (std::uint64_t s = 0; s < 40 && !(sawFailure && sawPass); ++s) {
+    auto rt2 = rt::makeRuntime(RuntimeMode::Controlled);
+    SharedVar<int> c2(*rt2, "counter", 0);
+    CloneSpec sp = spec;
+    sp.body = [&](Runtime&, int) {
+      int v = c2.read();
+      c2.write(v + 1);
+    };
+    sp.check = [&](int) { return c2.plainGet() == 4; };
+    rt::RunOptions o;
+    o.seed = s;
+    CloneResult r = runCloned(*rt2, sp, o);
+    (r.allPassed ? sawPass : sawFailure) = true;
+  }
+  EXPECT_TRUE(sawFailure) << "cloning must expose the lost update";
+  EXPECT_TRUE(sawPass);
+}
+
+TEST(Cloning, SequentialVsClonedComparison) {
+  // "Because the same test is cloned many times, contentions are almost
+  // guaranteed": failure rate with k clones must dominate 1 clone.
+  auto makeRun = [](int clones, std::uint64_t seed) {
+    auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+    auto counter = std::make_shared<SharedVar<int>>(*rt, "counter", 0);
+    CloneSpec spec;
+    spec.name = "inc";
+    spec.clones = clones;
+    spec.body = [counter](Runtime&, int) {
+      int v = counter->read();
+      counter->write(v + 1);
+    };
+    spec.check = [counter, clones](int) {
+      return counter->plainGet() == clones;
+    };
+    rt::RunOptions o;
+    o.seed = seed;
+    return runCloned(*rt, spec, o);
+  };
+  CloneComparison cmp = compareCloning(makeRun, 4, 60);
+  EXPECT_EQ(cmp.sequentialFail.successes, 0u)
+      << "a single clone cannot race with itself";
+  EXPECT_GT(cmp.clonedFail.successes, 0u);
+}
+
+}  // namespace
+}  // namespace mtt::cloning

@@ -1,0 +1,187 @@
+// Tests for systematic state-space exploration over the controlled runtime.
+#include <gtest/gtest.h>
+
+#include "explore/explorer.hpp"
+#include "rt/primitives.hpp"
+#include "suite/program.hpp"
+
+namespace mtt::explore {
+namespace {
+
+using rt::LockGuard;
+using rt::Mutex;
+using rt::Runtime;
+using rt::SharedVar;
+using rt::Thread;
+
+void racyBody(Runtime& rt) {
+  SharedVar<int> c(rt, "c", 0);
+  auto inc = [&] {
+    int v = c.read();
+    c.write(v + 1);
+  };
+  Thread a(rt, "a", inc), b(rt, "b", inc);
+  a.join();
+  b.join();
+  if (c.read() != 2) rt.fail("lost update");
+}
+
+void cleanBody(Runtime& rt) {
+  SharedVar<int> c(rt, "c", 0);
+  Mutex m(rt, "m");
+  auto inc = [&] {
+    LockGuard g(m);
+    c.write(c.read() + 1);
+  };
+  Thread a(rt, "a", inc), b(rt, "b", inc);
+  a.join();
+  b.join();
+  if (c.read() != 2) rt.fail("lost update");
+}
+
+void inversionBody(Runtime& rt) {
+  Mutex a(rt, "A"), b(rt, "B");
+  Thread t1(rt, "t1", [&] {
+    LockGuard ga(a);
+    LockGuard gb(b);
+  });
+  Thread t2(rt, "t2", [&] {
+    LockGuard gb(b);
+    LockGuard ga(a);
+  });
+  t1.join();
+  t2.join();
+}
+
+TEST(Explorer, FindsLostUpdate) {
+  Explorer ex;
+  ExploreResult r = ex.explore(racyBody);
+  EXPECT_TRUE(r.bugFound);
+  EXPECT_GT(r.firstBugSchedule, 0u);
+  EXPECT_EQ(r.bugResult.status, rt::RunStatus::AssertFailed);
+  EXPECT_FALSE(r.counterexample.empty());
+}
+
+TEST(Explorer, ExhaustsCleanProgram) {
+  ExploreOptions o;
+  o.maxSchedules = 200'000;
+  Explorer ex(o);
+  ExploreResult r = ex.explore(cleanBody);
+  EXPECT_FALSE(r.bugFound);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(Explorer, FindsDeadlock) {
+  Explorer ex;
+  ExploreResult r = ex.explore(inversionBody);
+  EXPECT_TRUE(r.bugFound);
+  EXPECT_EQ(r.bugResult.status, rt::RunStatus::Deadlock);
+  EXPECT_GT(r.deadlocks, 0u);
+}
+
+TEST(Explorer, ScenarioReplaysToSameBug) {
+  // "Whenever an error is detected [...] a scenario leading to the error
+  // state is saved.  Scenarios can be executed and replayed."
+  Explorer ex;
+  ExploreResult r = ex.explore(racyBody);
+  ASSERT_TRUE(r.bugFound);
+  rt::ReplayPolicy rep(r.counterexample);
+  rt::ControlledRuntime replayRt(std::make_unique<rt::PolicyRef>(rep));
+  rt::RunResult rr = replayRt.run(racyBody, rt::RunOptions{});
+  EXPECT_EQ(rr.status, rt::RunStatus::AssertFailed);
+  EXPECT_FALSE(rep.diverged());
+}
+
+TEST(Explorer, PreemptionBoundFindsBugCheaper) {
+  ExploreOptions unbounded, bounded;
+  bounded.preemptionBound = 1;
+  ExploreResult u = Explorer(unbounded).explore(racyBody);
+  ExploreResult b = Explorer(bounded).explore(racyBody);
+  ASSERT_TRUE(u.bugFound);
+  ASSERT_TRUE(b.bugFound) << "one preemption suffices for a lost update";
+  EXPECT_LE(b.firstBugSchedule, u.firstBugSchedule);
+}
+
+TEST(Explorer, PreemptionBoundZeroIsRoundRobinOnly) {
+  // Bound 0 means no preemptive switches: the racy increment can never be
+  // torn, so the bug is not found and the search space is tiny.
+  ExploreOptions o;
+  o.preemptionBound = 0;
+  ExploreResult r = Explorer(o).explore(racyBody);
+  EXPECT_FALSE(r.bugFound);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_LE(r.schedules, 8u);
+}
+
+TEST(Explorer, BoundedSpaceIsSmaller) {
+  ExploreOptions b1, b2;
+  b1.preemptionBound = 1;
+  b1.stopAtFirstBug = false;
+  b1.maxSchedules = 1'000'000;
+  b2.preemptionBound = 2;
+  b2.stopAtFirstBug = false;
+  b2.maxSchedules = 1'000'000;
+  ExploreResult r1 = Explorer(b1).explore(cleanBody);
+  ExploreResult r2 = Explorer(b2).explore(cleanBody);
+  EXPECT_TRUE(r1.exhausted);
+  EXPECT_TRUE(r2.exhausted);
+  EXPECT_LT(r1.schedules, r2.schedules);
+}
+
+TEST(Explorer, RandomWalkModeFindsBug) {
+  ExploreOptions o;
+  o.randomWalk = true;
+  o.maxSchedules = 500;
+  o.seed = 11;
+  ExploreResult r = Explorer(o).explore(racyBody);
+  EXPECT_TRUE(r.bugFound);
+  // Its counterexample replays too.
+  rt::ReplayPolicy rep(r.counterexample);
+  rt::ControlledRuntime replayRt(std::make_unique<rt::PolicyRef>(rep));
+  rt::RunResult rr = replayRt.run(racyBody, rt::RunOptions{});
+  EXPECT_EQ(rr.status, rt::RunStatus::AssertFailed);
+}
+
+TEST(Explorer, CountAllBugsWhenNotStopping) {
+  ExploreOptions o;
+  o.stopAtFirstBug = false;
+  o.maxSchedules = 1'000'000;
+  ExploreResult r = Explorer(o).explore(racyBody);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.oracleFailures, 1u) << "many schedules lose the update";
+  EXPECT_LT(r.oracleFailures, r.schedules) << "some schedules pass";
+}
+
+TEST(Explorer, WorksOnSuiteProgram) {
+  suite::registerBuiltins();
+  auto program = suite::makeProgram("check_then_act");
+  Explorer ex;
+  ExploreResult r = ex.explore(
+      [&](Runtime& rr) { program->body(rr); },
+      [&](const rt::RunResult& res) {
+        return program->evaluate(res) == suite::Verdict::BugManifested;
+      },
+      [&] { program->reset(); });
+  EXPECT_TRUE(r.bugFound);
+}
+
+TEST(Explorer, CustomOracleDrivesSearch) {
+  // Oracle looking for a specific outcome rather than a failure.
+  Explorer ex;
+  int target = 0;
+  ExploreResult r = ex.explore(
+      [&](Runtime& rt) {
+        SharedVar<int> c(rt, "c", 0);
+        Thread a(rt, "a", [&] { c.write(1); });
+        Thread b(rt, "b", [&] { c.write(2); });
+        a.join();
+        b.join();
+        target = c.read();
+      },
+      [&](const rt::RunResult&) { return target == 1; });
+  EXPECT_TRUE(r.bugFound) << "some schedule ends with c == 1";
+}
+
+}  // namespace
+}  // namespace mtt::explore

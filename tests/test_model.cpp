@@ -1,0 +1,390 @@
+// Tests for the concurrency IR, the static analyses, and the explicit-state
+// model checker (stateful vs stateless vs random walk; sleep sets).
+#include <gtest/gtest.h>
+
+#include "model/checker.hpp"
+#include "model/static.hpp"
+
+namespace mtt::model {
+namespace {
+
+/// Two threads increment a shared counter without a lock, twice each.
+Program racyCounter(int threads = 2, int iters = 2) {
+  Program p("racyCounter");
+  int c = p.addVar("counter", 0);
+  for (int t = 0; t < threads; ++t) {
+    p.thread("inc" + std::to_string(t))
+        .repeat(iters, [&](ThreadBuilder& b) { b.incrementVar(c, 1); });
+  }
+  p.finalAssert(c, threads * iters);
+  return p;
+}
+
+Program lockedCounter(int threads = 2, int iters = 2) {
+  Program p("lockedCounter");
+  int c = p.addVar("counter", 0);
+  int l = p.addLock("lock");
+  for (int t = 0; t < threads; ++t) {
+    p.thread("inc" + std::to_string(t)).repeat(iters, [&](ThreadBuilder& b) {
+      b.acquire(l).incrementVar(c, 1).release(l);
+    });
+  }
+  p.finalAssert(c, threads * iters);
+  return p;
+}
+
+Program abba() {
+  Program p("abba");
+  int a = p.addLock("A");
+  int b = p.addLock("B");
+  p.thread("t1").acquire(a).acquire(b).release(b).release(a);
+  p.thread("t2").acquire(b).acquire(a).release(a).release(b);
+  return p;
+}
+
+// --- IR ----------------------------------------------------------------------
+
+TEST(Ir, BuilderComposesAndCounts) {
+  Program p = racyCounter(2, 3);
+  EXPECT_EQ(p.threads().size(), 2u);
+  EXPECT_EQ(p.vars().size(), 1u);
+  // incrementVar = load + addimm + store, 3 iterations.
+  EXPECT_EQ(p.threads()[0].code.size(), 9u);
+  EXPECT_EQ(p.totalInstructions(), 18u);
+}
+
+TEST(Ir, VisibilityClassification) {
+  EXPECT_TRUE(isVisible(OpKind::Load));
+  EXPECT_TRUE(isVisible(OpKind::Store));
+  EXPECT_TRUE(isVisible(OpKind::Acquire));
+  EXPECT_TRUE(isVisible(OpKind::AssertVarEq));
+  EXPECT_FALSE(isVisible(OpKind::Const));
+  EXPECT_FALSE(isVisible(OpKind::Add));
+  EXPECT_FALSE(isVisible(OpKind::AddImm));
+}
+
+// --- model checker -------------------------------------------------------------
+
+TEST(Checker, FindsLostUpdateExhaustively) {
+  CheckOptions o;
+  o.mode = SearchMode::StatefulDfs;
+  CheckResult r = check(racyCounter(), o);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.assertViolations, 0u);
+  ASSERT_TRUE(r.firstViolation.has_value());
+  EXPECT_EQ(r.firstViolation->kind, Violation::Kind::FinalAssert);
+  EXPECT_FALSE(r.firstViolation->schedule.empty());
+}
+
+TEST(Checker, VerifiesLockedCounter) {
+  CheckOptions o;
+  o.mode = SearchMode::StatefulDfs;
+  CheckResult r = check(lockedCounter(), o);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.assertViolations, 0u);
+  EXPECT_EQ(r.deadlocks, 0u);
+  EXPECT_FALSE(r.foundBug());
+}
+
+TEST(Checker, FindsAbbaDeadlock) {
+  CheckOptions o;
+  o.mode = SearchMode::StatefulDfs;
+  CheckResult r = check(abba(), o);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.deadlocks, 0u);
+  ASSERT_TRUE(r.firstViolation.has_value());
+}
+
+TEST(Checker, BfsAndDfsAgreeOnVerdicts) {
+  for (auto* prog : {+[] { return racyCounter(); }, +[] { return abba(); },
+                     +[] { return lockedCounter(); }}) {
+    CheckOptions dfs, bfs;
+    dfs.mode = SearchMode::StatefulDfs;
+    bfs.mode = SearchMode::StatefulBfs;
+    CheckResult a = check(prog(), dfs);
+    CheckResult b = check(prog(), bfs);
+    EXPECT_EQ(a.foundBug(), b.foundBug());
+    EXPECT_EQ(a.statesVisited, b.statesVisited)
+        << "state counts must match on exhaustive searches";
+  }
+}
+
+TEST(Checker, StatelessAgreesButCostsMore) {
+  CheckOptions st, sl;
+  st.mode = SearchMode::StatefulDfs;
+  sl.mode = SearchMode::Stateless;
+  CheckResult a = check(racyCounter(), st);
+  CheckResult b = check(racyCounter(), sl);
+  EXPECT_TRUE(b.exhausted);
+  EXPECT_EQ(a.foundBug(), b.foundBug());
+  // The CMC-vs-VeriSoft contrast: stateless re-executes shared prefixes.
+  EXPECT_GT(b.transitions, a.transitions);
+}
+
+TEST(Checker, SleepSetsPruneWithoutLosingBugs) {
+  CheckOptions plain, sleepy;
+  plain.mode = SearchMode::Stateless;
+  sleepy.mode = SearchMode::Stateless;
+  sleepy.sleepSets = true;
+  CheckResult a = check(racyCounter(), plain);
+  CheckResult b = check(racyCounter(), sleepy);
+  EXPECT_TRUE(a.exhausted);
+  EXPECT_TRUE(b.exhausted);
+  EXPECT_EQ(a.foundBug(), b.foundBug());
+  EXPECT_LT(b.schedules, a.schedules) << "sleep sets must prune schedules";
+  // Independence-only pruning is sound for deadlock/assert detection here.
+  EXPECT_GT(b.assertViolations, 0u);
+}
+
+TEST(Checker, SleepSetsOnDeadlockProgram) {
+  CheckOptions plain, sleepy;
+  plain.mode = SearchMode::Stateless;
+  sleepy.mode = SearchMode::Stateless;
+  sleepy.sleepSets = true;
+  CheckResult a = check(abba(), plain);
+  CheckResult b = check(abba(), sleepy);
+  EXPECT_EQ(a.deadlocks > 0, b.deadlocks > 0);
+  EXPECT_LE(b.schedules, a.schedules);
+}
+
+TEST(Checker, RandomWalkSamplesBugs) {
+  CheckOptions o;
+  o.mode = SearchMode::RandomWalk;
+  o.randomWalks = 200;
+  o.seed = 3;
+  CheckResult r = check(racyCounter(), o);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_EQ(r.schedules, 200u);
+  EXPECT_GT(r.assertViolations, 0u);
+}
+
+TEST(Checker, StopAtFirstViolation) {
+  CheckOptions o;
+  o.mode = SearchMode::StatefulDfs;
+  o.stopAtFirstViolation = true;
+  CheckResult r = check(racyCounter(3, 2), o);
+  EXPECT_TRUE(r.foundBug());
+  EXPECT_FALSE(r.exhausted);
+}
+
+TEST(Checker, StateBudgetTruncatesSearch) {
+  CheckOptions o;
+  o.mode = SearchMode::StatefulDfs;
+  o.maxStates = 10;
+  CheckResult r = check(racyCounter(3, 3), o);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_LE(r.statesVisited, 11u);
+}
+
+TEST(Checker, CounterexampleReplaysToViolation) {
+  CheckOptions o;
+  o.mode = SearchMode::StatefulDfs;
+  o.stopAtFirstViolation = true;
+  Program p = racyCounter();
+  CheckResult r = check(p, o);
+  ASSERT_TRUE(r.firstViolation.has_value());
+  std::string cx = formatCounterexample(p, *r.firstViolation);
+  EXPECT_NE(cx.find("inc0"), std::string::npos);
+  EXPECT_NE(cx.find("=>"), std::string::npos);
+}
+
+TEST(Checker, MidExecutionAssertDetected) {
+  Program p("assertion");
+  int v = p.addVar("v", 0);
+  p.thread("writer").constant(0, 5).store(v, 0);
+  p.thread("checker").assertVarEq(v, 0);  // fails if writer ran first
+  CheckOptions o;
+  o.mode = SearchMode::StatefulDfs;
+  CheckResult r = check(p, o);
+  EXPECT_GT(r.assertViolations, 0u);
+}
+
+TEST(Checker, StateCountMatchesHandComputation) {
+  // One thread, two visible ops (load fused? no: load and store are both
+  // visible): states = initial, after-load, after-store = 3 distinct.
+  Program p("tiny");
+  int v = p.addVar("v", 0);
+  p.thread("t").load(v, 0).store(v, 0);
+  CheckOptions o;
+  o.mode = SearchMode::StatefulDfs;
+  CheckResult r = check(p, o);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.statesVisited, 3u);
+}
+
+// --- static analyses --------------------------------------------------------------
+
+TEST(Static, EscapeSeparatesSharedFromLocal) {
+  Program p("escape");
+  int shared = p.addVar("shared", 0);
+  int local = p.addVar("local", 0);
+  p.thread("a").incrementVar(shared, 1).incrementVar(local, 1);
+  p.thread("b").incrementVar(shared, 1);
+  EscapeResult e = escapeAnalysis(p);
+  EXPECT_TRUE(e.isShared(shared));
+  EXPECT_FALSE(e.isShared(local));
+  EXPECT_EQ(e.sharedVarNames, std::set<std::string>{"shared"});
+  EXPECT_EQ(e.localVarNames, std::set<std::string>{"local"});
+}
+
+TEST(Static, LocksetFlagsUnprotectedShared) {
+  auto warnings = staticLockset(racyCounter());
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].varName, "counter");
+  EXPECT_TRUE(warnings[0].hasWrite);
+}
+
+TEST(Static, LocksetSilentOnLockedProgram) {
+  EXPECT_TRUE(staticLockset(lockedCounter()).empty());
+}
+
+TEST(Static, LocksetSilentOnReadOnlySharing) {
+  Program p("readonly");
+  int v = p.addVar("v", 7);
+  p.thread("a").load(v, 0);
+  p.thread("b").load(v, 0);
+  EXPECT_TRUE(staticLockset(p).empty());
+}
+
+TEST(Static, LockGraphFindsAbbaCycle) {
+  auto warnings = staticLockGraph(abba());
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].cycle.size(), 2u);
+}
+
+TEST(Static, LockGraphSilentOnOrderedLocks) {
+  Program p("ordered");
+  int a = p.addLock("A");
+  int b = p.addLock("B");
+  p.thread("t1").acquire(a).acquire(b).release(b).release(a);
+  p.thread("t2").acquire(a).acquire(b).release(b).release(a);
+  EXPECT_TRUE(staticLockGraph(p).empty());
+}
+
+TEST(Static, ConsistencyWithChecker) {
+  // Property: on this program family, static lockset warnings and dynamic
+  // model-checking violations coincide.
+  for (int threads = 2; threads <= 3; ++threads) {
+    Program racy = racyCounter(threads, 1);
+    Program locked = lockedCounter(threads, 1);
+    CheckOptions o;
+    o.mode = SearchMode::StatefulDfs;
+    EXPECT_EQ(!staticLockset(racy).empty(), check(racy, o).foundBug());
+    EXPECT_EQ(!staticLockset(locked).empty(), check(locked, o).foundBug());
+  }
+}
+
+TEST(Static, ContentionUniverseOnlyFeasibleTasks) {
+  Program p("feas");
+  int s1 = p.addVar("s1", 0);
+  (void)p.addVar("l1", 0);
+  p.thread("a").incrementVar(s1, 1);
+  p.thread("b").incrementVar(s1, 1);
+  auto tasks = contentionTaskUniverse(p);
+  EXPECT_EQ(tasks, std::set<std::string>{"s1"});
+}
+
+}  // namespace
+}  // namespace mtt::model
+
+// Appended: conditional-IR (SkipIfNonZero) coverage.
+namespace mtt::model {
+namespace {
+
+Program lazyInit() {
+  Program p("lazyInit");
+  int flag = p.addVar("flag", 0);
+  int count = p.addVar("count", 0);
+  for (const char* n : {"a", "b"}) {
+    p.thread(n)
+        .skipIfNonZero(flag, 3)  // Load(count), Store(count), Store(flag)
+        .incrementVar(count, 1)
+        .constant(1, 1)
+        .store(flag, 1);
+  }
+  p.finalAssert(count, 1);
+  return p;
+}
+
+TEST(SkipIf, SerializedExecutionInitializesOnce) {
+  // Single thread: the second "user" in one thread would skip; model it by
+  // running one thread's code twice via two sequential threads... here just
+  // verify the exhaustive checker sees BOTH outcomes: pass paths exist
+  // (serialized) and violation paths exist (concurrent double-init).
+  CheckOptions o;
+  o.mode = SearchMode::StatefulDfs;
+  CheckResult r = check(lazyInit(), o);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.assertViolations, 0u) << "double-init schedules must exist";
+  ASSERT_TRUE(r.firstViolation.has_value());
+  EXPECT_EQ(r.firstViolation->kind, Violation::Kind::FinalAssert);
+}
+
+TEST(SkipIf, GuardPreventsViolationWhenAtomic) {
+  // Same pattern but the check+act is under a lock: no violation anywhere.
+  Program p("lazyInitLocked");
+  int flag = p.addVar("flag", 0);
+  int count = p.addVar("count", 0);
+  int l = p.addLock("l");
+  for (const char* n : {"a", "b"}) {
+    p.thread(n)
+        .acquire(l)
+        .skipIfNonZero(flag, 3)
+        .incrementVar(count, 1)
+        .constant(1, 1)
+        .store(flag, 1)
+        .release(l);
+  }
+  p.finalAssert(count, 1);
+  CheckOptions o;
+  o.mode = SearchMode::StatefulDfs;
+  CheckResult r = check(p, o);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.assertViolations, 0u);
+  EXPECT_FALSE(r.foundBug());
+}
+
+TEST(SkipIf, SkipCountsOnlyVisibleOps) {
+  // Block with interleaved invisible ops: Const is invisible, so the skip
+  // width counts Load/Store only.
+  Program p("skipWidth");
+  int flag = p.addVar("flag", 1);  // always skip
+  int v = p.addVar("v", 0);
+  p.thread("t")
+      .skipIfNonZero(flag, 2)  // skip the Load+Store (Const is invisible)
+      .load(v, 0)
+      .constant(0, 99)
+      .store(v, 0)
+      .constant(1, 5)
+      .store(v, 1);  // NOT skipped: lands after the 2 visible ops
+  p.finalAssert(v, 5);
+  CheckOptions o;
+  o.mode = SearchMode::StatefulDfs;
+  CheckResult r = check(p, o);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_FALSE(r.foundBug()) << "v must be 5: the tail store executes";
+}
+
+TEST(SkipIf, StaticAnalysesSeeTheGuardAsARead) {
+  Program p = lazyInit();
+  EscapeResult esc = escapeAnalysis(p);
+  EXPECT_TRUE(esc.isShared(0));  // flag read by both guards
+  auto warnings = staticLockset(p);
+  EXPECT_EQ(warnings.size(), 2u);  // flag and count both unprotected
+}
+
+TEST(SkipIf, SleepSetsStillSound) {
+  CheckOptions plain, sleepy;
+  plain.mode = SearchMode::Stateless;
+  sleepy.mode = SearchMode::Stateless;
+  sleepy.sleepSets = true;
+  CheckResult a = check(lazyInit(), plain);
+  CheckResult b = check(lazyInit(), sleepy);
+  EXPECT_TRUE(a.exhausted);
+  EXPECT_TRUE(b.exhausted);
+  EXPECT_EQ(a.foundBug(), b.foundBug());
+  EXPECT_LE(b.schedules, a.schedules);
+}
+
+}  // namespace
+}  // namespace mtt::model

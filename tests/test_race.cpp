@@ -1,0 +1,349 @@
+// Tests for the four race detectors: detection on racy programs, silence on
+// properly synchronized ones, and the characteristic false-alarm behaviour
+// (Eraser flags semaphore-synchronized code; happens-before does not).
+#include <gtest/gtest.h>
+
+#include "race/detectors.hpp"
+#include "rt/harness.hpp"
+#include "rt/primitives.hpp"
+#include "trace/trace.hpp"
+
+namespace mtt::race {
+namespace {
+
+using rt::Barrier;
+using rt::CondVar;
+using rt::LockGuard;
+using rt::Mutex;
+using rt::Runtime;
+using rt::Semaphore;
+using rt::SharedVar;
+using rt::Thread;
+
+/// Runs a body under a seeded controlled runtime with a detector attached.
+template <typename Detector>
+std::unique_ptr<Detector> runWith(std::function<void(Runtime&)> body,
+                                  std::uint64_t seed = 1) {
+  auto det = std::make_unique<Detector>();
+  rt::RunOptions o;
+  o.seed = seed;
+  rt::runOnce(RuntimeMode::Controlled, std::move(body), o, {det.get()});
+  return det;
+}
+
+void racyBody(Runtime& rt) {
+  SharedVar<int> x(rt, "x", 0);
+  Thread t(rt, "t", [&] { x.write(1, site("race.t.write", BugMark::Yes)); });
+  x.write(2, site("race.main.write", BugMark::Yes));
+  t.join();
+}
+
+void lockedBody(Runtime& rt) {
+  SharedVar<int> x(rt, "x", 0);
+  Mutex m(rt, "m");
+  Thread t(rt, "t", [&] {
+    LockGuard g(m);
+    x.write(1);
+  });
+  {
+    LockGuard g(m);
+    x.write(2);
+  }
+  t.join();
+}
+
+void semSyncBody(Runtime& rt) {
+  // Correct handoff through a semaphore; no locks at all.
+  SharedVar<int> x(rt, "x", 0);
+  Semaphore s(rt, "s", 0);
+  Thread t(rt, "t", [&] {
+    x.write(1);
+    s.release();
+  });
+  s.acquire();
+  x.write(2);
+  t.join();
+}
+
+void forkJoinBody(Runtime& rt) {
+  SharedVar<int> x(rt, "x", 0);
+  x.write(1);
+  Thread t(rt, "t", [&] { x.write(2); });
+  t.join();
+  x.write(3);
+}
+
+void barrierSyncBody(Runtime& rt) {
+  SharedVar<int> x(rt, "x", 0);
+  Barrier b(rt, "b", 2);
+  Thread t(rt, "t", [&] {
+    x.write(1);
+    b.arriveAndWait();
+    b.arriveAndWait();
+  });
+  b.arriveAndWait();  // t's write ordered before...
+  x.write(2);         // ...this write
+  b.arriveAndWait();
+  t.join();
+}
+
+void condSyncBody(Runtime& rt) {
+  SharedVar<int> x(rt, "x", 0);
+  SharedVar<int> ready(rt, "ready", 0);
+  Mutex m(rt, "m");
+  CondVar cv(rt, "cv");
+  Thread t(rt, "t", [&] {
+    LockGuard g(m);
+    x.write(1);
+    ready.write(1);
+    cv.signal();
+  });
+  {
+    LockGuard g(m);
+    while (ready.read() == 0) cv.wait(m);
+    x.write(2);
+  }
+  t.join();
+}
+
+// --- cross-detector expectations ---------------------------------------------
+
+template <typename D>
+class TypedDetectorTest : public ::testing::Test {};
+
+using AllDetectors = ::testing::Types<EraserDetector, DjitDetector,
+                                      FastTrackDetector, HybridDetector>;
+TYPED_TEST_SUITE(TypedDetectorTest, AllDetectors);
+
+TYPED_TEST(TypedDetectorTest, FlagsPlainRace) {
+  // Any seed: the two writes conflict and no sync orders them.
+  auto det = runWith<TypeParam>(racyBody, 5);
+  EXPECT_GE(det->warningCount(), 1u) << det->name();
+  EXPECT_TRUE(det->foundAnnotatedBug()) << det->name();
+}
+
+TYPED_TEST(TypedDetectorTest, SilentOnLockedProgram) {
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    auto det = runWith<TypeParam>(lockedBody, s);
+    EXPECT_EQ(det->warningCount(), 0u)
+        << det->name() << " seed " << s << ": "
+        << (det->warningCount() ? det->warnings()[0].describe() : "");
+  }
+}
+
+TEST(HappensBeforeFamily, SilentOnForkJoin) {
+  // Spawn and join edges order the accesses; the HB family and the hybrid
+  // stay silent.  (Classic Eraser false-alarms here — covered below.)
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(runWith<DjitDetector>(forkJoinBody, s)->warningCount(), 0u);
+    EXPECT_EQ(runWith<FastTrackDetector>(forkJoinBody, s)->warningCount(), 0u);
+    EXPECT_EQ(runWith<HybridDetector>(forkJoinBody, s)->warningCount(), 0u);
+  }
+}
+
+TEST(Eraser, FalseAlarmOnForkJoin) {
+  // Eraser tracks only locks: the join-ordered unlocked accesses trip the
+  // shared-modified/empty-lockset rule — the false-alarm weakness the
+  // paper's benchmark quantifies.
+  auto det = runWith<EraserDetector>(forkJoinBody, 1);
+  EXPECT_GE(det->warningCount(), 1u);
+  EXPECT_EQ(det->trueAlarms(), 0u);
+}
+
+TYPED_TEST(TypedDetectorTest, WarningCarriesBothSites) {
+  auto det = runWith<TypeParam>(racyBody, 3);
+  ASSERT_GE(det->warningCount(), 1u);
+  const RaceWarning& w = det->warnings()[0];
+  EXPECT_NE(w.variable, kNoObject);
+  EXPECT_NE(w.secondSite, kNoSite);
+  EXPECT_NE(w.firstThread, w.secondThread);
+  EXPECT_FALSE(w.describe().empty());
+}
+
+TYPED_TEST(TypedDetectorTest, ResetBetweenRuns) {
+  TypeParam det;
+  rt::RunOptions o;
+  o.seed = 1;
+  rt::runOnce(RuntimeMode::Controlled, racyBody, o, {&det});
+  EXPECT_GE(det.warningCount(), 1u);
+  rt::runOnce(RuntimeMode::Controlled, lockedBody, o, {&det});
+  EXPECT_EQ(det.warningCount(), 0u) << det.name();
+}
+
+// --- the precision split the paper highlights -------------------------------
+
+TEST(Eraser, FalseAlarmOnSemaphoreSync) {
+  // Eraser knows only locks: the semaphore-ordered writes draw a warning.
+  auto det = runWith<EraserDetector>(semSyncBody, 2);
+  EXPECT_GE(det->warningCount(), 1u);
+  EXPECT_EQ(det->trueAlarms(), 0u);  // ... and it is a false alarm
+}
+
+TEST(Djit, NoFalseAlarmOnSemaphoreSync) {
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    auto det = runWith<DjitDetector>(semSyncBody, s);
+    EXPECT_EQ(det->warningCount(), 0u) << "seed " << s;
+  }
+}
+
+TEST(FastTrack, NoFalseAlarmOnSemaphoreSync) {
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    auto det = runWith<FastTrackDetector>(semSyncBody, s);
+    EXPECT_EQ(det->warningCount(), 0u) << "seed " << s;
+  }
+}
+
+TEST(Hybrid, NoFalseAlarmOnSemaphoreSync) {
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    auto det = runWith<HybridDetector>(semSyncBody, s);
+    EXPECT_EQ(det->warningCount(), 0u) << "seed " << s;
+  }
+}
+
+TEST(Djit, NoFalseAlarmOnBarrierSync) {
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    auto det = runWith<DjitDetector>(barrierSyncBody, s);
+    EXPECT_EQ(det->warningCount(), 0u)
+        << "seed " << s << ": "
+        << (det->warningCount() ? det->warnings()[0].describe() : "");
+  }
+}
+
+TEST(FastTrack, NoFalseAlarmOnBarrierSync) {
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    auto det = runWith<FastTrackDetector>(barrierSyncBody, s);
+    EXPECT_EQ(det->warningCount(), 0u) << "seed " << s;
+  }
+}
+
+TEST(Djit, NoFalseAlarmOnCondvarSync) {
+  for (std::uint64_t s = 0; s < 15; ++s) {
+    auto det = runWith<DjitDetector>(condSyncBody, s);
+    EXPECT_EQ(det->warningCount(), 0u)
+        << "seed " << s << ": "
+        << (det->warningCount() ? det->warnings()[0].describe() : "");
+  }
+}
+
+TEST(FastTrack, NoFalseAlarmOnCondvarSync) {
+  for (std::uint64_t s = 0; s < 15; ++s) {
+    auto det = runWith<FastTrackDetector>(condSyncBody, s);
+    EXPECT_EQ(det->warningCount(), 0u) << "seed " << s;
+  }
+}
+
+TEST(FastTrack, AgreesWithDjitOnRacyAndCleanBodies) {
+  // FastTrack is an optimization of the same happens-before relation: on
+  // these programs the "found a race on variable X" verdicts must match.
+  std::vector<std::function<void(Runtime&)>> bodies = {
+      racyBody, lockedBody, semSyncBody, forkJoinBody, condSyncBody};
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    for (std::size_t b = 0; b < bodies.size(); ++b) {
+      auto djit = runWith<DjitDetector>(bodies[b], s);
+      auto ft = runWith<FastTrackDetector>(bodies[b], s);
+      EXPECT_EQ(djit->warningCount() > 0, ft->warningCount() > 0)
+          << "body " << b << " seed " << s;
+    }
+  }
+}
+
+TEST(Eraser, SharedReadOnlyIsNotARace) {
+  auto det = runWith<EraserDetector>([](Runtime& rt) {
+    SharedVar<int> x(rt, "x", 7);
+    x.write(7);  // initialize while exclusive
+    Thread a(rt, "a", [&] { (void)x.read(); });
+    Thread b(rt, "b", [&] { (void)x.read(); });
+    a.join();
+    b.join();
+  });
+  EXPECT_EQ(det->warningCount(), 0u);
+}
+
+TEST(Eraser, LocksetShrinksToCommonProtection) {
+  // Accesses under two different locks with one common lock: no warning.
+  auto det = runWith<EraserDetector>([](Runtime& rt) {
+    SharedVar<int> x(rt, "x", 0);
+    Mutex common(rt, "common"), extra(rt, "extra");
+    Thread t(rt, "t", [&] {
+      LockGuard g1(common);
+      LockGuard g2(extra);
+      x.write(1);
+    });
+    {
+      LockGuard g(common);
+      x.write(2);
+    }
+    t.join();
+  });
+  EXPECT_EQ(det->warningCount(), 0u);
+}
+
+TEST(Detectors, OfflineEqualsOnline) {
+  // Record a trace and feed it offline: identical warning counts.
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+    trace::TraceRecorder rec(*rt);
+    DjitDetector online;
+    rt->hooks().add(&rec);
+    rt->hooks().add(&online);
+    rt::RunOptions o;
+    o.seed = s;
+    rt->run(racyBody, o);
+
+    DjitDetector offline;
+    trace::feed(rec.trace(), offline);
+    EXPECT_EQ(offline.warningCount(), online.warningCount()) << "seed " << s;
+  }
+}
+
+TEST(Detectors, FactoryMakesAll) {
+  for (const auto& name : detectorNames()) {
+    auto det = makeDetector(name);
+    ASSERT_NE(det, nullptr) << name;
+    EXPECT_EQ(det->name(), name);
+  }
+  EXPECT_EQ(makeDetector("nope"), nullptr);
+}
+
+TEST(Detectors, DedupOneWarningPerSitePair) {
+  // The same racy pair executed repeatedly must yield one warning.
+  auto body = [](Runtime& rt) {
+    SharedVar<int> x(rt, "x", 0);
+    Thread t(rt, "t", [&] {
+      for (int i = 0; i < 5; ++i) x.write(1, site("dedup.t"));
+    });
+    for (int i = 0; i < 5; ++i) x.write(2, site("dedup.main"));
+    t.join();
+  };
+  auto det = runWith<DjitDetector>(body, 4);
+  EXPECT_LE(det->warningCount(), 2u);  // at most per ordered site pair
+}
+
+TEST(VectorClockUnit, JoinLeqTick) {
+  VectorClock a, b;
+  a.set(1, 3);
+  b.set(2, 5);
+  EXPECT_FALSE(a.leq(b));
+  a.join(b);
+  EXPECT_EQ(a.get(1), 3u);
+  EXPECT_EQ(a.get(2), 5u);
+  EXPECT_TRUE(b.leq(a));
+  b.tick(2);
+  EXPECT_FALSE(b.leq(a));
+  EXPECT_EQ(b.firstExceeding(a), 2u);
+  EXPECT_EQ(a.firstExceeding(a), kNoThread);
+}
+
+TEST(VectorClockUnit, EpochLeq) {
+  VectorClock c;
+  c.set(3, 10);
+  Epoch e{3, 10};
+  EXPECT_TRUE(e.leq(c));
+  Epoch later{3, 11};
+  EXPECT_FALSE(later.leq(c));
+  Epoch bottom;
+  EXPECT_TRUE(bottom.isBottom());
+}
+
+}  // namespace
+}  // namespace mtt::race

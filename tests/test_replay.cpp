@@ -1,0 +1,195 @@
+// Tests for replay: controlled-mode exact replay persistence and
+// native-mode partial replay (record -> enforce).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "replay/replay.hpp"
+#include "rt/harness.hpp"
+#include "rt/primitives.hpp"
+#include "test_util.hpp"
+
+namespace mtt::replay {
+namespace {
+
+using rt::LockGuard;
+using rt::Mutex;
+using rt::Runtime;
+using rt::SharedVar;
+using rt::Thread;
+using testutil::EventCollector;
+
+void counterBody(Runtime& rt) {
+  SharedVar<int> c(rt, "c", 0);
+  Mutex m(rt, "m");
+  auto inc = [&] {
+    for (int i = 0; i < 3; ++i) {
+      LockGuard g(m);
+      c.write(c.read() + 1);
+    }
+  };
+  Thread a(rt, "a", inc), b(rt, "b", inc);
+  a.join();
+  b.join();
+}
+
+void racyBody(Runtime& rt) {
+  SharedVar<int> c(rt, "c", 0);
+  auto inc = [&] {
+    for (int i = 0; i < 3; ++i) {
+      int v = c.read();
+      c.write(v + 1);
+    }
+  };
+  Thread a(rt, "a", inc), b(rt, "b", inc);
+  a.join();
+  b.join();
+  if (c.read() != 6) rt.fail("lost update");
+}
+
+TEST(ScheduleFile, SaveLoadRoundTrip) {
+  rt::Schedule s;
+  s.decisions = {1, 2, 2, 1, 3, 1};
+  std::string path = "/tmp/mtt_test_sched.txt";
+  saveSchedule(s, path);
+  rt::Schedule back = loadSchedule(path);
+  EXPECT_EQ(back.decisions, s.decisions);
+}
+
+TEST(ScheduleFile, RejectsGarbage) {
+  std::string path = "/tmp/mtt_test_sched_bad.txt";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("junk\n", f);
+  fclose(f);
+  EXPECT_THROW(loadSchedule(path), std::runtime_error);
+}
+
+TEST(ControlledReplay, SavedScenarioReproducesFailure) {
+  // The full scenario workflow: find a failing schedule, persist it, load
+  // it, replay it, observe the identical failure — "Scenarios can be
+  // executed and replayed".
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    rt::RecordingPolicy rec(std::make_unique<rt::RandomPolicy>());
+    rt::RunOptions o;
+    o.seed = s;
+    rt::RunResult r1 = rt::runOnce(RuntimeMode::Controlled, racyBody, o, {},
+                                   std::make_unique<rt::PolicyRef>(rec));
+    if (r1.status != rt::RunStatus::AssertFailed) continue;
+
+    std::string path = "/tmp/mtt_test_scenario.txt";
+    saveSchedule(rec.schedule(), path);
+    rt::ReplayPolicy rep(loadSchedule(path));
+    rt::RunResult r2 = rt::runOnce(RuntimeMode::Controlled, racyBody, o, {},
+                                   std::make_unique<rt::PolicyRef>(rep));
+    EXPECT_EQ(r2.status, rt::RunStatus::AssertFailed);
+    EXPECT_FALSE(rep.diverged());
+    return;
+  }
+  FAIL() << "no failing schedule found";
+}
+
+TEST(OpClass, TryLockOutcomesCollapse) {
+  EXPECT_EQ(opClass(EventKind::MutexTryLockFail),
+            EventKind::MutexTryLockOk);
+  EXPECT_EQ(opClass(EventKind::MutexLock), EventKind::MutexLock);
+}
+
+TEST(OpClass, GatedSetExcludesCompletionEvents) {
+  EXPECT_TRUE(isGatedClass(EventKind::MutexLock));
+  EXPECT_TRUE(isGatedClass(EventKind::VarWrite));
+  EXPECT_TRUE(isGatedClass(EventKind::CondWaitBegin));
+  EXPECT_FALSE(isGatedClass(EventKind::CondWaitEnd));
+  EXPECT_FALSE(isGatedClass(EventKind::BarrierExit));
+  EXPECT_FALSE(isGatedClass(EventKind::ThreadStart));
+  EXPECT_FALSE(isGatedClass(EventKind::Yield));
+}
+
+TEST(SyncOrderRecorder, RecordsOnlyGatedClasses) {
+  rt::NativeRuntime rt;
+  SyncOrderRecorder rec;
+  rt.setPreOpGate(&rec);
+  rt.hooks().add(&rec);
+  rt.run(counterBody, rt::RunOptions{});
+  EXPECT_FALSE(rec.order().empty());
+  for (const SyncOp& op : rec.order()) {
+    EXPECT_TRUE(isGatedClass(op.kind));
+  }
+  rec.reset();
+  EXPECT_TRUE(rec.order().empty());
+}
+
+TEST(NativeReplay, RecordedOrderIsEnforced) {
+  // Record natively (arrival order), replay natively with the enforcer: it
+  // must walk the whole recording without divergence, and a second recorder
+  // chained after the enforcer must see the same operation multiset.
+  rt::NativeRuntime recordRt;
+  SyncOrderRecorder rec;
+  rt::RunOptions o;
+  recordRt.setPreOpGate(&rec);
+      recordRt.hooks().add(&rec);
+  rt::RunResult r1 = recordRt.run(counterBody, o);
+  ASSERT_TRUE(r1.ok());
+  std::vector<SyncOp> order = rec.takeOrder();
+  ASSERT_FALSE(order.empty());
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    rt::NativeRuntime replayRt;
+    SyncOrderEnforcer enf(order);
+    SyncOrderRecorder rec2;
+    replayRt.setPreOpGate(&enf);
+    replayRt.addPreOpGate(&rec2);
+    replayRt.hooks().add(&enf);
+    replayRt.hooks().add(&rec2);
+    rt::RunResult r2 = replayRt.run(counterBody, o);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_TRUE(enf.completed()) << "progress " << enf.progress() << "/"
+                                 << order.size();
+    EXPECT_FALSE(enf.diverged());
+    EXPECT_EQ(rec2.order().size(), order.size());
+  }
+}
+
+TEST(NativeReplay, ForeignOrderDiverges) {
+  // An order from a different program cannot be enforced; the gate must
+  // detect divergence and release the run.
+  std::vector<SyncOp> bogus = {
+      SyncOp{1, EventKind::MutexLock, 999},
+      SyncOp{2, EventKind::VarWrite, 998},
+  };
+  rt::NativeRuntime rt;
+  SyncOrderEnforcer enf(bogus, std::chrono::milliseconds(50));
+  rt.setPreOpGate(&enf);
+  rt.hooks().add(&enf);
+  rt::RunResult r = rt.run(counterBody, rt::RunOptions{});
+  EXPECT_TRUE(r.ok()) << "divergence must not wedge the run";
+  EXPECT_TRUE(enf.diverged());
+  EXPECT_FALSE(enf.completed());
+}
+
+TEST(NativeReplay, EnforcerResetAllowsReuse) {
+  rt::NativeRuntime recordRt;
+  SyncOrderRecorder rec;
+  recordRt.setPreOpGate(&rec);
+      recordRt.hooks().add(&rec);
+  recordRt.run(counterBody, rt::RunOptions{});
+  SyncOrderEnforcer enf(rec.takeOrder());
+
+  for (int i = 0; i < 2; ++i) {
+    enf.reset();
+    rt::NativeRuntime rt;
+    rt.setPreOpGate(&enf);
+    rt.hooks().add(&enf);
+    rt::RunResult r = rt.run(counterBody, rt::RunOptions{});
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(enf.completed()) << "iteration " << i;
+  }
+}
+
+TEST(NativeReplay, ProgressRatioReflectsPartialEnforcement) {
+  SyncOrderEnforcer empty({});
+  EXPECT_DOUBLE_EQ(empty.progressRatio(), 1.0);
+  EXPECT_TRUE(empty.completed());
+}
+
+}  // namespace
+}  // namespace mtt::replay

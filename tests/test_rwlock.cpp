@@ -1,0 +1,394 @@
+// Tests for the readers-writer lock: controlled-mode semantics (reader
+// concurrency, writer exclusion, upgrade deadlock), native mode, detector
+// integration (HB edges, lockset, lock graph) and the new suite programs.
+#include <gtest/gtest.h>
+
+#include "deadlock/lockgraph.hpp"
+#include "race/detectors.hpp"
+#include "rt/harness.hpp"
+#include "rt/primitives.hpp"
+#include "suite/program.hpp"
+#include "test_util.hpp"
+
+namespace mtt::rt {
+namespace {
+
+using testutil::EventCollector;
+
+RunOptions seeded(std::uint64_t s) {
+  RunOptions o;
+  o.seed = s;
+  return o;
+}
+
+TEST(RwLock, SingleThreadReadWriteCycle) {
+  RunResult r = runOnce(RuntimeMode::Controlled, [](Runtime& rt) {
+    RwLock l(rt, "l");
+    l.lockRead();
+    l.unlockRead();
+    l.lockWrite();
+    l.unlockWrite();
+    {
+      ReadGuard g(l);
+    }
+    {
+      WriteGuard g(l);
+    }
+  });
+  EXPECT_TRUE(r.ok()) << r.failureMessage;
+}
+
+TEST(RwLock, TwoReadersCanHoldSimultaneously) {
+  // Find a schedule where both readers are inside the lock at once:
+  // two RwLockRead events with no RwUnlockRead between them.
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    EventCollector col;
+    RunResult r = runOnce(
+        RuntimeMode::Controlled,
+        [](Runtime& rt) {
+          RwLock l(rt, "l");
+          SharedVar<int> inside(rt, "inside", 0);
+          auto reader = [&] {
+            ReadGuard g(l);
+            inside.write(inside.read() + 1);
+            rt.yieldNow(site("rw.test.yield"));
+            inside.write(inside.read() - 1);
+          };
+          Thread a(rt, "a", reader), b(rt, "b", reader);
+          a.join();
+          b.join();
+        },
+        seeded(s), {&col});
+    ASSERT_TRUE(r.ok());
+    int depth = 0, maxDepth = 0;
+    for (const auto& e : col.events()) {
+      if (e.kind == EventKind::RwLockRead) maxDepth = std::max(maxDepth, ++depth);
+      if (e.kind == EventKind::RwUnlockRead) --depth;
+    }
+    if (maxDepth >= 2) return;  // concurrency observed
+  }
+  FAIL() << "no schedule let two readers in simultaneously";
+}
+
+TEST(RwLock, WriterExcludesReaders) {
+  // Under every seed the invariant "no reader sees a half-done write pair"
+  // holds (this is the rwlock_stats program in miniature).
+  auto body = [](Runtime& rt) {
+    RwLock l(rt, "l");
+    SharedVar<int> a(rt, "a", 0), b(rt, "b", 0);
+    Thread writer(rt, "w", [&] {
+      for (int i = 1; i <= 3; ++i) {
+        WriteGuard g(l);
+        a.write(i);
+        b.write(i);
+      }
+    });
+    Thread reader(rt, "r", [&] {
+      for (int i = 0; i < 3; ++i) {
+        ReadGuard g(l);
+        rt.check(a.read() == b.read(), "torn read under rwlock");
+      }
+    });
+    writer.join();
+    reader.join();
+  };
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    RunResult r = runOnce(RuntimeMode::Controlled, body, seeded(s));
+    EXPECT_TRUE(r.ok()) << "seed " << s << ": " << r.failureMessage;
+  }
+}
+
+TEST(RwLock, WritersExcludeEachOther) {
+  auto body = [](Runtime& rt) {
+    RwLock l(rt, "l");
+    SharedVar<int> c(rt, "c", 0);
+    auto w = [&] {
+      for (int i = 0; i < 3; ++i) {
+        WriteGuard g(l);
+        c.write(c.read() + 1);
+      }
+    };
+    Thread t1(rt, "w1", w), t2(rt, "w2", w);
+    t1.join();
+    t2.join();
+    rt.check(c.read() == 6, "writer critical sections are atomic");
+  };
+  for (std::uint64_t s = 0; s < 25; ++s) {
+    RunResult r = runOnce(RuntimeMode::Controlled, body, seeded(s));
+    EXPECT_TRUE(r.ok()) << "seed " << s << ": " << r.failureMessage;
+  }
+}
+
+TEST(RwLock, UpgradeSelfDeadlocks) {
+  RunResult r = runOnce(RuntimeMode::Controlled, [](Runtime& rt) {
+    RwLock l(rt, "l");
+    l.lockRead();
+    l.lockWrite();  // waits for readers == 0, including ourselves
+    l.unlockWrite();
+    l.unlockRead();
+  });
+  EXPECT_TRUE(r.deadlocked());
+  ASSERT_FALSE(r.blocked.empty());
+  EXPECT_NE(r.blocked[0].waitingFor.find("rwlock"), std::string::npos);
+  EXPECT_NE(r.blocked[0].waitingFor.find("write"), std::string::npos);
+}
+
+TEST(RwLock, UnlockWithoutHoldFailsRun) {
+  RunResult r = runOnce(RuntimeMode::Controlled, [](Runtime& rt) {
+    RwLock l(rt, "l");
+    l.unlockRead();
+  });
+  EXPECT_EQ(r.status, RunStatus::AssertFailed);
+  EXPECT_NE(r.failureMessage.find("no readers"), std::string::npos);
+}
+
+TEST(RwLock, ContendedAcquireMarked) {
+  EventCollector col;
+  runOnce(
+      RuntimeMode::Controlled,
+      [](Runtime& rt) {
+        RwLock l(rt, "l");
+        SharedVar<int> sync(rt, "sync", 0);
+        l.lockRead();
+        Thread w(rt, "w", [&] { WriteGuard g(l); });  // must block
+        rt.sleepFor(std::chrono::milliseconds(1));
+        l.unlockRead();
+        w.join();
+      },
+      seeded(1), {&col});
+  bool sawContendedWrite = false;
+  for (const auto& e : col.events()) {
+    if (e.kind == EventKind::RwLockWrite && e.arg == 1) {
+      sawContendedWrite = true;
+    }
+  }
+  EXPECT_TRUE(sawContendedWrite);
+}
+
+TEST(RwLock, NativeModeWorks) {
+  RunResult r = runOnce(RuntimeMode::Native, [](Runtime& rt) {
+    RwLock l(rt, "l");
+    SharedVar<int> c(rt, "c", 0);
+    auto w = [&] {
+      for (int i = 0; i < 50; ++i) {
+        WriteGuard g(l);
+        c.write(c.read() + 1);
+      }
+    };
+    auto rd = [&] {
+      for (int i = 0; i < 50; ++i) {
+        ReadGuard g(l);
+        (void)c.read();
+      }
+    };
+    Thread t1(rt, "w1", w), t2(rt, "w2", w), t3(rt, "r", rd);
+    t1.join();
+    t2.join();
+    t3.join();
+    rt.check(c.read() == 100, "rwlock writers atomic natively");
+  });
+  EXPECT_TRUE(r.ok()) << r.failureMessage;
+}
+
+TEST(RwLock, NativeUpgradeHitsWatchdog) {
+  RunOptions o;
+  o.blockTimeout = std::chrono::milliseconds(100);
+  RunResult r = runOnce(
+      RuntimeMode::Native,
+      [](Runtime& rt) {
+        RwLock l(rt, "l");
+        l.lockRead();
+        l.lockWrite();
+        l.unlockWrite();
+        l.unlockRead();
+      },
+      o);
+  EXPECT_TRUE(r.deadlocked());
+}
+
+}  // namespace
+}  // namespace mtt::rt
+
+namespace mtt::race {
+namespace {
+
+using rt::ReadGuard;
+using rt::Runtime;
+using rt::RwLock;
+using rt::SharedVar;
+using rt::Thread;
+using rt::WriteGuard;
+
+template <typename Detector>
+std::unique_ptr<Detector> runWith(std::function<void(Runtime&)> body,
+                                  std::uint64_t seed = 1) {
+  auto det = std::make_unique<Detector>();
+  rt::RunOptions o;
+  o.seed = seed;
+  rt::runOnce(RuntimeMode::Controlled, std::move(body), o, {det.get()});
+  return det;
+}
+
+void rwProtectedBody(Runtime& rt) {
+  RwLock l(rt, "l");
+  SharedVar<int> x(rt, "x", 0);
+  Thread w(rt, "w", [&] {
+    WriteGuard g(l);
+    x.write(1);
+  });
+  Thread r(rt, "r", [&] {
+    ReadGuard g(l);
+    (void)x.read();
+  });
+  w.join();
+  r.join();
+}
+
+void rwReadLockOnlyWriterBody(Runtime& rt) {
+  // BUG pattern: the writer takes only the READ lock — concurrent with
+  // other readers, so the write is unprotected in the HB sense whenever a
+  // reader overlaps it.
+  RwLock l(rt, "l");
+  SharedVar<int> x(rt, "x", 0);
+  Thread w(rt, "w", [&] {
+    ReadGuard g(l);  // wrong lock mode
+    x.write(1);
+  });
+  Thread r(rt, "r", [&] {
+    ReadGuard g(l);
+    (void)x.read();
+  });
+  w.join();
+  r.join();
+}
+
+TEST(RwLockDetectors, HappensBeforeSilentOnProperUse) {
+  for (std::uint64_t s = 0; s < 15; ++s) {
+    EXPECT_EQ(runWith<DjitDetector>(rwProtectedBody, s)->warningCount(), 0u)
+        << "seed " << s;
+    EXPECT_EQ(runWith<FastTrackDetector>(rwProtectedBody, s)->warningCount(),
+              0u)
+        << "seed " << s;
+  }
+}
+
+TEST(RwLockDetectors, EraserSilentOnProperUse) {
+  for (std::uint64_t s = 0; s < 15; ++s) {
+    EXPECT_EQ(runWith<EraserDetector>(rwProtectedBody, s)->warningCount(), 0u)
+        << "seed " << s;
+  }
+}
+
+TEST(RwLockDetectors, HbFlagsWriterUnderReadLock) {
+  // Readers are unordered among themselves, so a write under the read lock
+  // is concurrent with an overlapping read: HB detectors must flag it on
+  // the schedules where the guards overlap.
+  int flagged = 0;
+  for (std::uint64_t s = 0; s < 40; ++s) {
+    flagged +=
+        runWith<DjitDetector>(rwReadLockOnlyWriterBody, s)->warningCount() > 0
+            ? 1
+            : 0;
+  }
+  EXPECT_GT(flagged, 0);
+}
+
+TEST(RwLockDetectors, LockGraphSeesRwEdges) {
+  deadlock::LockGraphDetector det;
+  rt::RunOptions o;
+  o.seed = 2;
+  rt::runOnce(
+      RuntimeMode::Controlled,
+      [](Runtime& rt) {
+        RwLock l(rt, "rw");
+        rt::Mutex m(rt, "m");
+        ReadGuard g(l);
+        rt::LockGuard g2(m);
+      },
+      o, {&det});
+  bool edge = false;
+  for (const auto& [from, tos] : det.edges()) {
+    (void)from;
+    edge = edge || !tos.empty();
+  }
+  EXPECT_TRUE(edge);
+}
+
+}  // namespace
+}  // namespace mtt::race
+
+namespace mtt::suite {
+namespace {
+
+rt::RunResult runProgram(Program& p, std::uint64_t seed) {
+  p.reset();
+  rt::ControlledRuntime rt;
+  rt::RunOptions o = p.defaultRunOptions();
+  o.seed = seed;
+  return rt.run([&](rt::Runtime& rr) { p.body(rr); }, o);
+}
+
+TEST(RwlockPrograms, CacheBugManifestsUnderSomeSchedule) {
+  auto p = makeProgram("rwlock_cache");
+  bool manifested = false, passed = false;
+  for (std::uint64_t s = 0; s < 60 && !(manifested && passed); ++s) {
+    rt::RunResult r = runProgram(*p, s);
+    (p->evaluate(r) == Verdict::BugManifested ? manifested : passed) = true;
+  }
+  EXPECT_TRUE(manifested);
+  EXPECT_TRUE(passed);
+}
+
+TEST(RwlockPrograms, UpgradeAlwaysDeadlocks) {
+  auto p = makeProgram("rwlock_upgrade");
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    rt::RunResult r = runProgram(*p, s);
+    EXPECT_TRUE(r.deadlocked()) << "seed " << s;
+    EXPECT_EQ(p->evaluate(r), Verdict::BugManifested);
+  }
+}
+
+TEST(RwlockPrograms, StatsControlAlwaysPasses) {
+  auto p = makeProgram("rwlock_stats");
+  for (std::uint64_t s = 0; s < 25; ++s) {
+    rt::RunResult r = runProgram(*p, s);
+    EXPECT_EQ(p->evaluate(r), Verdict::Pass)
+        << "seed " << s << " " << r.failureMessage;
+  }
+}
+
+}  // namespace
+}  // namespace mtt::suite
+
+// Appended: rwlock object-kind trace fidelity.
+#include "trace/trace.hpp"
+
+namespace mtt::trace {
+namespace {
+
+TEST(RwLockTrace, ObjectKindRoundTrips) {
+  rt::ControlledRuntime rtx;
+  TraceRecorder rec(rtx);
+  rtx.hooks().add(&rec);
+  rtx.run(
+      [](rt::Runtime& rr) {
+        rt::RwLock l(rr, "the-rwlock");
+        rt::ReadGuard g(l);
+      },
+      rt::RunOptions{});
+  std::ostringstream os;
+  writeText(rec.trace(), os);
+  std::istringstream is(os.str());
+  Trace back = readText(is);
+  bool found = false;
+  for (const auto& [id, sym] : back.objects) {
+    if (sym.name == "the-rwlock") {
+      found = true;
+      EXPECT_EQ(sym.kind, rt::ObjectKind::RwLock);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace mtt::trace

@@ -1,0 +1,125 @@
+// Integration tests for the mtt command-line driver: every subcommand runs
+// as a real subprocess against the built binary (path injected by CMake via
+// MTT_CLI_PATH).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+struct CmdResult {
+  int exitCode = -1;
+  std::string output;
+};
+
+CmdResult runCli(const std::string& args) {
+  std::string cmd = std::string(MTT_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return {};
+  CmdResult r;
+  std::array<char, 4096> buf{};
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), n);
+  }
+  int status = pclose(pipe);
+  r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+TEST(Cli, ListShowsCatalog) {
+  CmdResult r = runCli("list");
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.output.find("account"), std::string::npos);
+  EXPECT_NE(r.output.find("philosophers_deadlock"), std::string::npos);
+  EXPECT_NE(r.output.find("control"), std::string::npos);
+  EXPECT_NE(r.output.find("buggy"), std::string::npos);
+}
+
+TEST(Cli, DescribeShowsBugsAndModel) {
+  CmdResult r = runCli("describe account");
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.output.find("account.lost-update"), std::string::npos);
+  EXPECT_NE(r.output.find("atomicity-violation"), std::string::npos);
+  EXPECT_NE(r.output.find("IR model:"), std::string::npos);
+}
+
+TEST(Cli, RunReportsVerdict) {
+  // Controlled + random at some seed; exit code 1 iff manifested.
+  CmdResult r = runCli("run account_sync --seed 3");
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.output.find("verdict: pass"), std::string::npos);
+}
+
+TEST(Cli, RunDeterministicSchedulerMasksBug) {
+  CmdResult r = runCli("run account --policy rr --seed 1");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("verdict: pass"), std::string::npos);
+}
+
+TEST(Cli, HuntThenReplayReproduces) {
+  std::string scenario = "/tmp/mtt_cli_test.scenario";
+  CmdResult hunt = runCli("hunt account --noise mixed --policy rr --out " +
+                          scenario + " --seeds 200");
+  ASSERT_EQ(hunt.exitCode, 0) << hunt.output;
+  ASSERT_NE(hunt.output.find("scenario saved"), std::string::npos);
+  // Extract the seed from "bug manifested at seed N".
+  auto pos = hunt.output.find("at seed ");
+  ASSERT_NE(pos, std::string::npos);
+  std::string seed = hunt.output.substr(pos + 8);
+  seed = seed.substr(0, seed.find(' '));
+  CmdResult rep = runCli("replay account " + scenario + " --seed " + seed +
+                         " --noise mixed");
+  EXPECT_EQ(rep.exitCode, 0) << rep.output;
+  EXPECT_NE(rep.output.find("(exact)"), std::string::npos) << rep.output;
+}
+
+TEST(Cli, ExploreFindsDeadlock) {
+  CmdResult r = runCli("explore lock_order_inversion --bound 1");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("bug found"), std::string::npos);
+  EXPECT_NE(r.output.find("deadlock"), std::string::npos);
+}
+
+TEST(Cli, TracegenAndAnalyze) {
+  CmdResult gen = runCli(
+      "tracegen /tmp/mtt_cli_traces --programs account,producer_consumer_sem "
+      "--seeds 2 --noise mixed");
+  ASSERT_EQ(gen.exitCode, 0) << gen.output;
+  EXPECT_NE(gen.output.find("wrote 4 traces"), std::string::npos);
+  CmdResult ana = runCli(
+      "analyze /tmp/mtt_cli_traces/account.0.trace "
+      "/tmp/mtt_cli_traces/producer_consumer_sem.0.trace");
+  EXPECT_EQ(ana.exitCode, 0) << ana.output;
+  EXPECT_NE(ana.output.find("eraser"), std::string::npos);
+  EXPECT_NE(ana.output.find("account.0.trace"), std::string::npos);
+}
+
+TEST(Cli, ExperimentPrintsReport) {
+  CmdResult r = runCli("experiment account --runs 20 --noise none,mixed");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("manifested"), std::string::npos);
+  EXPECT_NE(r.output.find("mixed"), std::string::npos);
+}
+
+TEST(Cli, CheckRunsStaticAndModelChecking) {
+  CmdResult r = runCli("check philosophers_deadlock");
+  EXPECT_EQ(r.exitCode, 1) << r.output;  // bug found -> exit 1
+  EXPECT_NE(r.output.find("static deadlock"), std::string::npos);
+  EXPECT_NE(r.output.find("counterexample"), std::string::npos);
+
+  CmdResult ok = runCli("check account_sync");
+  EXPECT_EQ(ok.exitCode, 0) << ok.output;
+  EXPECT_NE(ok.output.find("verified"), std::string::npos);
+}
+
+TEST(Cli, BadUsageFails) {
+  EXPECT_NE(runCli("").exitCode, 0);
+  EXPECT_NE(runCli("frobnicate").exitCode, 0);
+  EXPECT_NE(runCli("run no_such_program").exitCode, 0);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Shared helpers for mtt test binaries.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/listener.hpp"
+
+namespace mtt::testutil {
+
+/// Collects every event of a run (thread-safe for native mode).
+class EventCollector final : public Listener {
+ public:
+  void onRunStart(const RunInfo& info) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.clear();
+    info_ = info;
+    started_ = true;
+  }
+  void onEvent(const Event& e) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(e);
+  }
+  void onRunEnd() override {
+    std::lock_guard<std::mutex> lk(mu_);
+    ended_ = true;
+  }
+
+  std::vector<Event> events() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_;
+  }
+  bool started() const { return started_; }
+  bool ended() const { return ended_; }
+  const RunInfo& info() const { return info_; }
+
+  std::size_t countKind(EventKind k) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (e.kind == k) ++n;
+    }
+    return n;
+  }
+
+  /// Compact signature "T1:MutexLock T2:VarRead ..." for determinism checks.
+  std::string signature() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string out;
+    for (const auto& e : events_) {
+      out += 'T';
+      out += std::to_string(e.thread);
+      out += ':';
+      out += to_string(e.kind);
+      out += '/';
+      out += std::to_string(e.object);
+      out += ' ';
+    }
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  RunInfo info_;
+  bool started_ = false;
+  bool ended_ = false;
+};
+
+}  // namespace mtt::testutil

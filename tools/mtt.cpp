@@ -1,0 +1,468 @@
+// mtt — the framework's command-line driver: the paper's "prepared scripts"
+// as one binary.  A researcher evaluating a new tool uses these subcommands
+// to browse the repository, generate trace artifacts, run prepared
+// experiments and reproduce scenarios without writing any C++.
+//
+//   mtt list                          program catalog with bug documentation
+//   mtt describe <program>            full documentation of one program
+//   mtt run <program> [options]       one seeded run, verdict + outcome
+//   mtt hunt <program> [options]      seed sweep until the bug manifests;
+//                                     saves the scenario file
+//   mtt replay <program> <scenario>   re-execute a saved scenario
+//   mtt explore <program> [options]   systematic schedule exploration
+//   mtt tracegen <dir> [options]      build an annotated trace repository
+//   mtt analyze <trace...>            offline race + deadlock analysis
+//   mtt experiment <program> [opts]   the prepared experiment (find rates)
+//   mtt check <program>               static analysis + model checking (IR)
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "deadlock/lockgraph.hpp"
+#include "experiment/experiment.hpp"
+#include "explore/explorer.hpp"
+#include "model/checker.hpp"
+#include "model/static.hpp"
+#include "noise/noise.hpp"
+#include "race/detectors.hpp"
+#include "replay/replay.hpp"
+#include "rt/harness.hpp"
+#include "suite/program.hpp"
+#include "trace/trace.hpp"
+
+using namespace mtt;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // --key value / --flag
+
+  bool has(const std::string& k) const { return options.count(k) != 0; }
+  std::string get(const std::string& k, const std::string& dflt) const {
+    auto it = options.find(k);
+    return it == options.end() ? dflt : it->second;
+  }
+  std::uint64_t getU64(const std::string& k, std::uint64_t dflt) const {
+    auto it = options.find(k);
+    return it == options.end() ? dflt : std::stoull(it->second);
+  }
+  double getF(const std::string& k, double dflt) const {
+    auto it = options.find(k);
+    return it == options.end() ? dflt : std::stod(it->second);
+  }
+};
+
+Args parseArgs(int argc, char** argv, int from) {
+  Args a;
+  for (int i = from; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) == 0) {
+      std::string key = s.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        a.options[key] = argv[++i];
+      } else {
+        a.options[key] = "1";
+      }
+    } else {
+      a.positional.push_back(std::move(s));
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::fputs(
+      "usage: mtt <command> [args]\n"
+      "\n"
+      "  list                                   program catalog\n"
+      "  describe <program>                     documentation + bugs + IR info\n"
+      "  run <program> [--seed N] [--mode controlled|native]\n"
+      "                [--policy rr|random|priority] [--noise H] [--strength F]\n"
+      "  hunt <program> [--seeds N] [--noise H] [--policy P] [--out FILE]\n"
+      "  replay <program> <scenario-file> [--seed N] [--noise H] [--strength F]\n"
+      "  explore <program> [--bound K] [--budget N] [--random-walk]\n"
+      "  tracegen <dir> [--programs a,b,c] [--seeds N] [--noise H] [--binary]\n"
+      "  analyze <trace-file...>\n"
+      "  experiment <program> [--runs N] [--policy P] [--noise a,b,c]\n"
+      "  check <program>                        static + model checking\n",
+      stderr);
+  return 2;
+}
+
+std::vector<std::string> splitList(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+// --- list / describe ---------------------------------------------------------
+
+int cmdList() {
+  TextTable t("benchmark program repository");
+  t.header({"program", "kind", "bugs", "description"});
+  for (const auto& name : suite::allProgramNames()) {
+    auto p = suite::makeProgram(name);
+    std::string kinds;
+    for (const auto& b : p->bugs()) {
+      if (!kinds.empty()) kinds += ",";
+      kinds += to_string(b.kind);
+    }
+    std::string desc = p->description();
+    if (desc.size() > 58) desc = desc.substr(0, 55) + "...";
+    t.row({name, p->isControl() ? "control" : "buggy",
+           kinds.empty() ? "-" : kinds, desc});
+  }
+  t.print();
+  return 0;
+}
+
+int cmdDescribe(const Args& a) {
+  if (a.positional.empty()) return usage();
+  auto p = suite::makeProgram(a.positional[0]);
+  std::printf("%s (%s)\n  %s\n", p->name().c_str(),
+              p->isControl() ? "control" : "buggy",
+              p->description().c_str());
+  for (const auto& b : p->bugs()) {
+    std::printf("\n  bug %s [%s]\n    %s\n    sites:", b.id.c_str(),
+                std::string(to_string(b.kind)).c_str(),
+                b.description.c_str());
+    for (const auto& t : b.siteTags) std::printf(" %s", t.c_str());
+    std::printf("\n");
+  }
+  if (const model::Program* ir = p->irModel()) {
+    std::printf("\n  IR model: %zu threads, %zu vars, %zu locks, %zu instructions\n",
+                ir->threads().size(), ir->vars().size(), ir->locks().size(),
+                ir->totalInstructions());
+  } else {
+    std::printf("\n  IR model: (none)\n");
+  }
+  return 0;
+}
+
+// --- run / hunt / replay -------------------------------------------------------
+
+struct RunSetup {
+  std::unique_ptr<rt::Runtime> runtime;
+  std::unique_ptr<noise::NoiseMaker> noiseMaker;
+};
+
+RunSetup makeSetup(const Args& a, rt::SchedulePolicy* policyRef) {
+  RunSetup s;
+  RuntimeMode mode = a.get("mode", "controlled") == "native"
+                         ? RuntimeMode::Native
+                         : RuntimeMode::Controlled;
+  std::unique_ptr<rt::SchedulePolicy> policy;
+  if (policyRef != nullptr) {
+    policy = std::make_unique<rt::PolicyRef>(*policyRef);
+  } else if (mode == RuntimeMode::Controlled) {
+    policy = experiment::makePolicy(a.get("policy", "random"));
+  }
+  s.runtime = rt::makeRuntime(mode, std::move(policy));
+  std::string noiseName = a.get("noise", "none");
+  if (noiseName != "none") {
+    noise::NoiseOptions no;
+    no.strength = a.getF("strength", 0.25);
+    s.noiseMaker = noise::makeNoise(noiseName, *s.runtime, no);
+    if (!s.noiseMaker) {
+      throw std::runtime_error("unknown noise heuristic " + noiseName);
+    }
+    s.runtime->hooks().add(s.noiseMaker.get());
+  }
+  return s;
+}
+
+int cmdRun(const Args& a) {
+  if (a.positional.empty()) return usage();
+  auto p = suite::makeProgram(a.positional[0]);
+  RunSetup s = makeSetup(a, nullptr);
+  p->reset();
+  rt::RunOptions o = p->defaultRunOptions();
+  o.seed = a.getU64("seed", 0);
+  o.programName = p->name();
+  rt::RunResult r =
+      s.runtime->run([&](rt::Runtime& rr) { p->body(rr); }, o);
+  std::printf("status:  %s\n", std::string(to_string(r.status)).c_str());
+  if (!r.failureMessage.empty()) {
+    std::printf("failure: %s\n", r.failureMessage.c_str());
+  }
+  for (const auto& b : r.blocked) {
+    std::printf("blocked: %s waiting for %s\n", b.threadName.c_str(),
+                b.waitingFor.c_str());
+  }
+  std::printf("events:  %llu\noutcome: %s\nverdict: %s\n",
+              static_cast<unsigned long long>(r.events),
+              p->outcome().c_str(),
+              p->evaluate(r) == suite::Verdict::BugManifested
+                  ? "BUG MANIFESTED"
+                  : "pass");
+  return p->evaluate(r) == suite::Verdict::BugManifested ? 1 : 0;
+}
+
+int cmdHunt(const Args& a) {
+  if (a.positional.empty()) return usage();
+  auto p = suite::makeProgram(a.positional[0]);
+  std::uint64_t seeds = a.getU64("seeds", 500);
+  std::string outPath = a.get("out", "/tmp/" + p->name() + ".scenario");
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    rt::RecordingPolicy rec(experiment::makePolicy(a.get("policy", "random")));
+    Args aa = a;
+    aa.options["mode"] = "controlled";
+    RunSetup s = makeSetup(aa, &rec);
+    p->reset();
+    rt::RunOptions o = p->defaultRunOptions();
+    o.seed = seed;
+    o.programName = p->name();
+    rt::RunResult r =
+        s.runtime->run([&](rt::Runtime& rr) { p->body(rr); }, o);
+    if (p->evaluate(r) == suite::Verdict::BugManifested) {
+      replay::saveSchedule(rec.schedule(), outPath);
+      std::string noiseArgs;
+      if (a.has("noise")) {
+        noiseArgs = " --noise " + a.get("noise", "") + " --strength " +
+                    a.get("strength", "0.25");
+      }
+      std::printf(
+          "bug manifested at seed %llu (%s) after %llu runs\n"
+          "scenario saved to %s (%zu decisions)\n"
+          "replay with: mtt replay %s %s --seed %llu%s\n",
+          static_cast<unsigned long long>(seed),
+          std::string(to_string(r.status)).c_str(),
+          static_cast<unsigned long long>(seed + 1), outPath.c_str(),
+          rec.schedule().size(), p->name().c_str(), outPath.c_str(),
+          static_cast<unsigned long long>(seed), noiseArgs.c_str());
+      return 0;
+    }
+  }
+  std::printf("no manifestation in %llu seeds\n",
+              static_cast<unsigned long long>(seeds));
+  return 1;
+}
+
+int cmdReplay(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  auto p = suite::makeProgram(a.positional[0]);
+  rt::ReplayPolicy rep(replay::loadSchedule(a.positional[1]));
+  Args aa = a;
+  aa.options["mode"] = "controlled";
+  RunSetup s = makeSetup(aa, &rep);
+  p->reset();
+  rt::RunOptions o = p->defaultRunOptions();
+  o.seed = a.getU64("seed", 0);
+  o.programName = p->name();
+  rt::RunResult r =
+      s.runtime->run([&](rt::Runtime& rr) { p->body(rr); }, o);
+  std::printf("status:  %s%s\noutcome: %s\n",
+              std::string(to_string(r.status)).c_str(),
+              rep.diverged() ? " (DIVERGED)" : " (exact)",
+              p->outcome().c_str());
+  return rep.diverged() ? 1 : 0;
+}
+
+// --- explore ---------------------------------------------------------------------
+
+int cmdExplore(const Args& a) {
+  if (a.positional.empty()) return usage();
+  auto p = suite::makeProgram(a.positional[0]);
+  explore::ExploreOptions o;
+  o.preemptionBound = static_cast<int>(
+      static_cast<std::int64_t>(a.getU64("bound", static_cast<std::uint64_t>(-1))));
+  if (!a.has("bound")) o.preemptionBound = -1;
+  o.maxSchedules = a.getU64("budget", 20'000);
+  o.randomWalk = a.has("random-walk");
+  explore::Explorer ex(o);
+  explore::ExploreResult r = ex.explore(
+      [&](rt::Runtime& rr) { p->body(rr); },
+      [&](const rt::RunResult& res) {
+        return p->evaluate(res) == suite::Verdict::BugManifested;
+      },
+      [&] { p->reset(); });
+  if (r.bugFound) {
+    std::string path = "/tmp/" + p->name() + ".scenario";
+    replay::saveSchedule(r.counterexample, path);
+    std::printf(
+        "bug found at schedule %llu/%llu (%s)\nscenario saved to %s\n",
+        static_cast<unsigned long long>(r.firstBugSchedule),
+        static_cast<unsigned long long>(r.schedules),
+        std::string(to_string(r.bugResult.status)).c_str(), path.c_str());
+    return 0;
+  }
+  std::printf("no bug in %llu schedules%s\n",
+              static_cast<unsigned long long>(r.schedules),
+              r.exhausted ? " (schedule space exhausted)" : " (budget)");
+  return 1;
+}
+
+// --- tracegen / analyze -------------------------------------------------------------
+
+int cmdTracegen(const Args& a) {
+  if (a.positional.empty()) return usage();
+  std::filesystem::path dir = a.positional[0];
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> programs = a.has("programs")
+                                          ? splitList(a.get("programs", ""))
+                                          : suite::allProgramNames();
+  std::uint64_t seeds = a.getU64("seeds", 5);
+  bool binary = a.has("binary");
+  std::size_t written = 0;
+  for (const auto& name : programs) {
+    auto p = suite::makeProgram(name);
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      p->reset();
+      rt::ControlledRuntime rt;
+      trace::TraceRecorder rec(rt);
+      rt.hooks().add(&rec);
+      std::unique_ptr<noise::NoiseMaker> nm;
+      if (a.has("noise")) {
+        noise::NoiseOptions no;
+        no.strength = a.getF("strength", 0.25);
+        nm = noise::makeNoise(a.get("noise", "mixed"), rt, no);
+        rt.hooks().add(nm.get());
+      }
+      rt::RunOptions o = p->defaultRunOptions();
+      o.seed = s;
+      o.programName = name;
+      rt.run([&](rt::Runtime& rr) { p->body(rr); }, o);
+      std::string ext = binary ? ".mttb" : ".trace";
+      std::string path =
+          (dir / (name + "." + std::to_string(s) + ext)).string();
+      if (binary) {
+        trace::writeBinaryFile(rec.trace(), path);
+      } else {
+        trace::writeTextFile(rec.trace(), path);
+      }
+      ++written;
+    }
+  }
+  std::printf("wrote %zu traces to %s\n", written, dir.c_str());
+  return 0;
+}
+
+int cmdAnalyze(const Args& a) {
+  if (a.positional.empty()) return usage();
+  TextTable t("offline trace analysis");
+  t.header({"trace", "events", "eraser", "djit", "fasttrack", "hybrid",
+            "lock-cycles", "annotated-bug-hit"});
+  for (const auto& path : a.positional) {
+    trace::Trace tr = path.size() > 5 && path.substr(path.size() - 5) == ".mttb"
+                          ? trace::readBinaryFile(path)
+                          : trace::readTextFile(path);
+    std::vector<std::string> row = {
+        std::filesystem::path(path).filename().string(),
+        std::to_string(tr.events.size())};
+    bool hit = false;
+    for (const auto& d : race::detectorNames()) {
+      auto det = race::makeDetector(d);
+      trace::feed(tr, *det);
+      row.push_back(std::to_string(det->warningCount()));
+      hit = hit || det->foundAnnotatedBug();
+    }
+    deadlock::LockGraphDetector lg;
+    trace::feed(tr, lg);
+    row.push_back(std::to_string(lg.warnings().size()));
+    row.push_back(hit ? "yes" : "no");
+    t.row(std::move(row));
+  }
+  t.print();
+  return 0;
+}
+
+// --- experiment / check --------------------------------------------------------------
+
+int cmdExperiment(const Args& a) {
+  if (a.positional.empty()) return usage();
+  std::vector<std::string> heuristics =
+      a.has("noise") ? splitList(a.get("noise", ""))
+                     : std::vector<std::string>{"none", "yield", "sleep",
+                                                "mixed"};
+  std::vector<experiment::ExperimentResult> rows;
+  for (const auto& h : heuristics) {
+    experiment::ExperimentSpec spec;
+    spec.programName = a.positional[0];
+    spec.runs = a.getU64("runs", 100);
+    spec.tool.policy = a.get("policy", "rr");
+    spec.tool.noiseName = h;
+    spec.tool.noiseOpts.strength = a.getF("strength", 0.25);
+    rows.push_back(experiment::runExperiment(spec));
+  }
+  std::fputs(experiment::findRateReport(
+                 "prepared experiment / " + a.positional[0], rows)
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+int cmdCheck(const Args& a) {
+  if (a.positional.empty()) return usage();
+  auto p = suite::makeProgram(a.positional[0]);
+  const model::Program* ir = p->irModel();
+  if (ir == nullptr) {
+    std::printf("%s has no IR model; static checking unavailable\n",
+                p->name().c_str());
+    return 1;
+  }
+  model::EscapeResult esc = model::escapeAnalysis(*ir);
+  std::printf("escape analysis: %zu shared, %zu thread-local variables\n",
+              esc.sharedVars.size(), esc.localVars.size());
+  for (const auto& w : model::staticLockset(*ir)) {
+    std::printf("static race:     %s (%s)\n", w.varName.c_str(),
+                w.detail.c_str());
+  }
+  for (const auto& w : model::staticLockGraph(*ir)) {
+    std::printf("static deadlock: %s\n", w.detail.c_str());
+  }
+  model::CheckOptions o;
+  o.mode = model::SearchMode::StatefulDfs;
+  model::CheckResult r = model::check(*ir, o);
+  std::printf(
+      "model checking:  %llu states, %llu transitions, %llu assert "
+      "violations, %llu deadlocks -> %s\n",
+      static_cast<unsigned long long>(r.statesVisited),
+      static_cast<unsigned long long>(r.transitions),
+      static_cast<unsigned long long>(r.assertViolations),
+      static_cast<unsigned long long>(r.deadlocks),
+      r.foundBug() ? "BUG" : (r.exhausted ? "verified" : "budget exceeded"));
+  if (r.firstViolation) {
+    std::printf("\ncounterexample:\n%s",
+                model::formatCounterexample(*ir, *r.firstViolation).c_str());
+  }
+  return r.foundBug() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  suite::registerBuiltins();
+  std::string cmd = argv[1];
+  Args a = parseArgs(argc, argv, 2);
+  try {
+    if (cmd == "list") return cmdList();
+    if (cmd == "describe") return cmdDescribe(a);
+    if (cmd == "run") return cmdRun(a);
+    if (cmd == "hunt") return cmdHunt(a);
+    if (cmd == "replay") return cmdReplay(a);
+    if (cmd == "explore") return cmdExplore(a);
+    if (cmd == "tracegen") return cmdTracegen(a);
+    if (cmd == "analyze") return cmdAnalyze(a);
+    if (cmd == "experiment") return cmdExperiment(a);
+    if (cmd == "check") return cmdCheck(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mtt: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
