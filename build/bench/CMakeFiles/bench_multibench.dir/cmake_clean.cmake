@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multibench.dir/bench_multibench.cpp.o"
+  "CMakeFiles/bench_multibench.dir/bench_multibench.cpp.o.d"
+  "bench_multibench"
+  "bench_multibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noise_findrate.dir/bench_noise_findrate.cpp.o"
+  "CMakeFiles/bench_noise_findrate.dir/bench_noise_findrate.cpp.o.d"
+  "bench_noise_findrate"
+  "bench_noise_findrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noise_findrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_noise_findrate.
+# This may be replaced when dependencies are built.

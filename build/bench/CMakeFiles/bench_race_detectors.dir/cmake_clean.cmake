@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_race_detectors.dir/bench_race_detectors.cpp.o"
+  "CMakeFiles/bench_race_detectors.dir/bench_race_detectors.cpp.o.d"
+  "bench_race_detectors"
+  "bench_race_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_race_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_exploration.dir/deadlock_exploration.cpp.o"
+  "CMakeFiles/deadlock_exploration.dir/deadlock_exploration.cpp.o.d"
+  "deadlock_exploration"
+  "deadlock_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stress_cloning.cpp" "examples/CMakeFiles/stress_cloning.dir/stress_cloning.cpp.o" "gcc" "examples/CMakeFiles/stress_cloning.dir/stress_cloning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloning/CMakeFiles/mtt_cloning.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/mtt_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/mtt_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_cloning.dir/stress_cloning.cpp.o"
+  "CMakeFiles/stress_cloning.dir/stress_cloning.cpp.o.d"
+  "stress_cloning"
+  "stress_cloning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_cloning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

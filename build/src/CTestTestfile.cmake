@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("rt")
+subdirs("model")
+subdirs("trace")
+subdirs("noise")
+subdirs("race")
+subdirs("deadlock")
+subdirs("replay")
+subdirs("coverage")
+subdirs("explore")
+subdirs("suite")
+subdirs("experiment")
+subdirs("cloning")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_cloning.dir/cloning.cpp.o"
+  "CMakeFiles/mtt_cloning.dir/cloning.cpp.o.d"
+  "libmtt_cloning.a"
+  "libmtt_cloning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_cloning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

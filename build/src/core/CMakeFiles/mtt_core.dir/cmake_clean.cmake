@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_core.dir/event.cpp.o"
+  "CMakeFiles/mtt_core.dir/event.cpp.o.d"
+  "CMakeFiles/mtt_core.dir/listener.cpp.o"
+  "CMakeFiles/mtt_core.dir/listener.cpp.o.d"
+  "CMakeFiles/mtt_core.dir/rng.cpp.o"
+  "CMakeFiles/mtt_core.dir/rng.cpp.o.d"
+  "CMakeFiles/mtt_core.dir/site.cpp.o"
+  "CMakeFiles/mtt_core.dir/site.cpp.o.d"
+  "CMakeFiles/mtt_core.dir/stats.cpp.o"
+  "CMakeFiles/mtt_core.dir/stats.cpp.o.d"
+  "CMakeFiles/mtt_core.dir/table.cpp.o"
+  "CMakeFiles/mtt_core.dir/table.cpp.o.d"
+  "libmtt_core.a"
+  "libmtt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_coverage.dir/coverage.cpp.o"
+  "CMakeFiles/mtt_coverage.dir/coverage.cpp.o.d"
+  "libmtt_coverage.a"
+  "libmtt_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

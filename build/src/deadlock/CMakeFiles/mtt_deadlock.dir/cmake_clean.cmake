@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_deadlock.dir/lockgraph.cpp.o"
+  "CMakeFiles/mtt_deadlock.dir/lockgraph.cpp.o.d"
+  "libmtt_deadlock.a"
+  "libmtt_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_experiment.dir/experiment.cpp.o"
+  "CMakeFiles/mtt_experiment.dir/experiment.cpp.o.d"
+  "libmtt_experiment.a"
+  "libmtt_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_explore.dir/explorer.cpp.o"
+  "CMakeFiles/mtt_explore.dir/explorer.cpp.o.d"
+  "libmtt_explore.a"
+  "libmtt_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_model.dir/checker.cpp.o"
+  "CMakeFiles/mtt_model.dir/checker.cpp.o.d"
+  "CMakeFiles/mtt_model.dir/ir.cpp.o"
+  "CMakeFiles/mtt_model.dir/ir.cpp.o.d"
+  "CMakeFiles/mtt_model.dir/static.cpp.o"
+  "CMakeFiles/mtt_model.dir/static.cpp.o.d"
+  "libmtt_model.a"
+  "libmtt_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_noise.dir/noise.cpp.o"
+  "CMakeFiles/mtt_noise.dir/noise.cpp.o.d"
+  "libmtt_noise.a"
+  "libmtt_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

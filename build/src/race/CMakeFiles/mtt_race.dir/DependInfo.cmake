@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/race/detector.cpp" "src/race/CMakeFiles/mtt_race.dir/detector.cpp.o" "gcc" "src/race/CMakeFiles/mtt_race.dir/detector.cpp.o.d"
+  "/root/repo/src/race/djit.cpp" "src/race/CMakeFiles/mtt_race.dir/djit.cpp.o" "gcc" "src/race/CMakeFiles/mtt_race.dir/djit.cpp.o.d"
+  "/root/repo/src/race/eraser.cpp" "src/race/CMakeFiles/mtt_race.dir/eraser.cpp.o" "gcc" "src/race/CMakeFiles/mtt_race.dir/eraser.cpp.o.d"
+  "/root/repo/src/race/fasttrack.cpp" "src/race/CMakeFiles/mtt_race.dir/fasttrack.cpp.o" "gcc" "src/race/CMakeFiles/mtt_race.dir/fasttrack.cpp.o.d"
+  "/root/repo/src/race/hb_engine.cpp" "src/race/CMakeFiles/mtt_race.dir/hb_engine.cpp.o" "gcc" "src/race/CMakeFiles/mtt_race.dir/hb_engine.cpp.o.d"
+  "/root/repo/src/race/hybrid.cpp" "src/race/CMakeFiles/mtt_race.dir/hybrid.cpp.o" "gcc" "src/race/CMakeFiles/mtt_race.dir/hybrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_race.dir/detector.cpp.o"
+  "CMakeFiles/mtt_race.dir/detector.cpp.o.d"
+  "CMakeFiles/mtt_race.dir/djit.cpp.o"
+  "CMakeFiles/mtt_race.dir/djit.cpp.o.d"
+  "CMakeFiles/mtt_race.dir/eraser.cpp.o"
+  "CMakeFiles/mtt_race.dir/eraser.cpp.o.d"
+  "CMakeFiles/mtt_race.dir/fasttrack.cpp.o"
+  "CMakeFiles/mtt_race.dir/fasttrack.cpp.o.d"
+  "CMakeFiles/mtt_race.dir/hb_engine.cpp.o"
+  "CMakeFiles/mtt_race.dir/hb_engine.cpp.o.d"
+  "CMakeFiles/mtt_race.dir/hybrid.cpp.o"
+  "CMakeFiles/mtt_race.dir/hybrid.cpp.o.d"
+  "libmtt_race.a"
+  "libmtt_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

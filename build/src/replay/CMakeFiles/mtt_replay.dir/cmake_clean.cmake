@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_replay.dir/replay.cpp.o"
+  "CMakeFiles/mtt_replay.dir/replay.cpp.o.d"
+  "libmtt_replay.a"
+  "libmtt_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

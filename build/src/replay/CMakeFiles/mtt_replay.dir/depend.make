@@ -1,0 +1,2 @@
+# Empty dependencies file for mtt_replay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/controlled_runtime.cpp" "src/rt/CMakeFiles/mtt_rt.dir/controlled_runtime.cpp.o" "gcc" "src/rt/CMakeFiles/mtt_rt.dir/controlled_runtime.cpp.o.d"
+  "/root/repo/src/rt/harness.cpp" "src/rt/CMakeFiles/mtt_rt.dir/harness.cpp.o" "gcc" "src/rt/CMakeFiles/mtt_rt.dir/harness.cpp.o.d"
+  "/root/repo/src/rt/native_runtime.cpp" "src/rt/CMakeFiles/mtt_rt.dir/native_runtime.cpp.o" "gcc" "src/rt/CMakeFiles/mtt_rt.dir/native_runtime.cpp.o.d"
+  "/root/repo/src/rt/policy.cpp" "src/rt/CMakeFiles/mtt_rt.dir/policy.cpp.o" "gcc" "src/rt/CMakeFiles/mtt_rt.dir/policy.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/rt/CMakeFiles/mtt_rt.dir/runtime.cpp.o" "gcc" "src/rt/CMakeFiles/mtt_rt.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

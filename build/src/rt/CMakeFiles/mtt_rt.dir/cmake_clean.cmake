@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_rt.dir/controlled_runtime.cpp.o"
+  "CMakeFiles/mtt_rt.dir/controlled_runtime.cpp.o.d"
+  "CMakeFiles/mtt_rt.dir/harness.cpp.o"
+  "CMakeFiles/mtt_rt.dir/harness.cpp.o.d"
+  "CMakeFiles/mtt_rt.dir/native_runtime.cpp.o"
+  "CMakeFiles/mtt_rt.dir/native_runtime.cpp.o.d"
+  "CMakeFiles/mtt_rt.dir/policy.cpp.o"
+  "CMakeFiles/mtt_rt.dir/policy.cpp.o.d"
+  "CMakeFiles/mtt_rt.dir/runtime.cpp.o"
+  "CMakeFiles/mtt_rt.dir/runtime.cpp.o.d"
+  "libmtt_rt.a"
+  "libmtt_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

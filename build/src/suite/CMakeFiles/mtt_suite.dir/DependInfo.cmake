@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/multi_benchmark.cpp" "src/suite/CMakeFiles/mtt_suite.dir/multi_benchmark.cpp.o" "gcc" "src/suite/CMakeFiles/mtt_suite.dir/multi_benchmark.cpp.o.d"
+  "/root/repo/src/suite/program.cpp" "src/suite/CMakeFiles/mtt_suite.dir/program.cpp.o" "gcc" "src/suite/CMakeFiles/mtt_suite.dir/program.cpp.o.d"
+  "/root/repo/src/suite/programs_deadlock.cpp" "src/suite/CMakeFiles/mtt_suite.dir/programs_deadlock.cpp.o" "gcc" "src/suite/CMakeFiles/mtt_suite.dir/programs_deadlock.cpp.o.d"
+  "/root/repo/src/suite/programs_misc.cpp" "src/suite/CMakeFiles/mtt_suite.dir/programs_misc.cpp.o" "gcc" "src/suite/CMakeFiles/mtt_suite.dir/programs_misc.cpp.o.d"
+  "/root/repo/src/suite/programs_race.cpp" "src/suite/CMakeFiles/mtt_suite.dir/programs_race.cpp.o" "gcc" "src/suite/CMakeFiles/mtt_suite.dir/programs_race.cpp.o.d"
+  "/root/repo/src/suite/programs_rwlock.cpp" "src/suite/CMakeFiles/mtt_suite.dir/programs_rwlock.cpp.o" "gcc" "src/suite/CMakeFiles/mtt_suite.dir/programs_rwlock.cpp.o.d"
+  "/root/repo/src/suite/programs_server.cpp" "src/suite/CMakeFiles/mtt_suite.dir/programs_server.cpp.o" "gcc" "src/suite/CMakeFiles/mtt_suite.dir/programs_server.cpp.o.d"
+  "/root/repo/src/suite/programs_sync.cpp" "src/suite/CMakeFiles/mtt_suite.dir/programs_sync.cpp.o" "gcc" "src/suite/CMakeFiles/mtt_suite.dir/programs_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/mtt_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mtt_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

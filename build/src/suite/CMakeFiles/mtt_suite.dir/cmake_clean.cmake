@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_suite.dir/multi_benchmark.cpp.o"
+  "CMakeFiles/mtt_suite.dir/multi_benchmark.cpp.o.d"
+  "CMakeFiles/mtt_suite.dir/program.cpp.o"
+  "CMakeFiles/mtt_suite.dir/program.cpp.o.d"
+  "CMakeFiles/mtt_suite.dir/programs_deadlock.cpp.o"
+  "CMakeFiles/mtt_suite.dir/programs_deadlock.cpp.o.d"
+  "CMakeFiles/mtt_suite.dir/programs_misc.cpp.o"
+  "CMakeFiles/mtt_suite.dir/programs_misc.cpp.o.d"
+  "CMakeFiles/mtt_suite.dir/programs_race.cpp.o"
+  "CMakeFiles/mtt_suite.dir/programs_race.cpp.o.d"
+  "CMakeFiles/mtt_suite.dir/programs_rwlock.cpp.o"
+  "CMakeFiles/mtt_suite.dir/programs_rwlock.cpp.o.d"
+  "CMakeFiles/mtt_suite.dir/programs_server.cpp.o"
+  "CMakeFiles/mtt_suite.dir/programs_server.cpp.o.d"
+  "CMakeFiles/mtt_suite.dir/programs_sync.cpp.o"
+  "CMakeFiles/mtt_suite.dir/programs_sync.cpp.o.d"
+  "libmtt_suite.a"
+  "libmtt_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

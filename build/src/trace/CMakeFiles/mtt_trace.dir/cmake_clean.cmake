@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt_trace.dir/trace.cpp.o"
+  "CMakeFiles/mtt_trace.dir/trace.cpp.o.d"
+  "libmtt_trace.a"
+  "libmtt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rwlock.dir/test_rwlock.cpp.o"
+  "CMakeFiles/test_rwlock.dir/test_rwlock.cpp.o.d"
+  "test_rwlock"
+  "test_rwlock.pdb"
+  "test_rwlock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rwlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

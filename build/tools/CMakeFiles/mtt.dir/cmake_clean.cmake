@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtt.dir/mtt.cpp.o"
+  "CMakeFiles/mtt.dir/mtt.cpp.o.d"
+  "mtt"
+  "mtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
