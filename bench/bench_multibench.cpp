@@ -6,6 +6,7 @@
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "experiment/experiment.hpp"
+#include "farm/farm.hpp"
 #include "noise/noise.hpp"
 #include "rt/harness.hpp"
 #include "suite/multi_benchmark.hpp"
@@ -14,24 +15,39 @@ using namespace mtt;
 
 namespace {
 
+// Each seed is an independent farm job (fresh benchmark + runtime + noise
+// per run); the outcome strings come back as records and fold in seed
+// order, so the distribution matches the old serial loop exactly.
 OutcomeDistribution distributionFor(const std::string& noiseName,
                                     const std::string& policy,
                                     std::size_t runs) {
-  suite::MultiBenchmark mb;
+  farm::FarmOptions fo;
+  farm::CampaignResult cr = farm::runJobs(
+      runs,
+      [&](std::uint64_t s) {
+        suite::MultiBenchmark mb;
+        mb.reset();
+        rt::ControlledRuntime rt(experiment::makePolicy(policy));
+        noise::NoiseOptions no;
+        no.strength = 0.25;
+        auto nm = noise::makeNoise(noiseName, rt, no);
+        rt.hooks().add(nm.get());
+        rt::RunOptions o;
+        o.seed = s;
+        rt::RunResult r = rt.run([&](rt::Runtime& rr) { mb.body(rr); }, o);
+        experiment::RunObservation obs;
+        obs.runIndex = s;
+        obs.seed = s;
+        obs.status = std::string(to_string(r.status));
+        obs.events = r.events;
+        obs.noiseInjections = nm->injections();
+        obs.outcome = r.ok() ? mb.outcome()
+                             : "aborted:" + std::string(to_string(r.status));
+        return obs;
+      },
+      fo);
   OutcomeDistribution dist;
-  for (std::uint64_t s = 0; s < runs; ++s) {
-    mb.reset();
-    rt::ControlledRuntime rt(experiment::makePolicy(policy));
-    noise::NoiseOptions no;
-    no.strength = 0.25;
-    auto nm = noise::makeNoise(noiseName, rt, no);
-    rt.hooks().add(nm.get());
-    rt::RunOptions o;
-    o.seed = s;
-    rt::RunResult r = rt.run([&](rt::Runtime& rr) { mb.body(rr); }, o);
-    dist.add(r.ok() ? mb.outcome()
-                    : "aborted:" + std::string(to_string(r.status)));
-  }
+  for (const auto& rec : cr.records) dist.add(rec.outcome);
   return dist;
 }
 

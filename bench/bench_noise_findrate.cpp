@@ -7,9 +7,14 @@
 // decides manifestation.  Controls are included to show noise does not
 // break correct programs.  A native-mode table repeats the headline
 // comparison with real threads and real delays.
+//
+// Campaigns run on the mtt::farm engine with all cores: controlled-mode
+// cells are byte-identical to the serial path, and the per-run watchdog
+// keeps one pathological native-mode run from wedging the whole table.
 #include <cstdio>
 
 #include "experiment/experiment.hpp"
+#include "farm/farm.hpp"
 #include "model/static.hpp"
 #include "suite/program.hpp"
 
@@ -39,7 +44,9 @@ experiment::ExperimentResult runRow(const std::string& program,
     o.blockTimeout = std::chrono::milliseconds(120);
     spec.runOptions = o;
   }
-  return experiment::runExperiment(spec);
+  farm::FarmOptions fo;
+  fo.runTimeout = std::chrono::seconds(30);
+  return farm::runExperimentFarm(spec, fo).result;
 }
 
 }  // namespace

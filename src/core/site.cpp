@@ -1,16 +1,26 @@
 #include "core/site.hpp"
 
+#include <deque>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <tuple>
 
 namespace mtt {
 
+// The registry sits on the instrumentation fast path: every lock/read/write
+// in every program thread re-interns its site.  Hits (everything after the
+// first execution of an access expression) take only a shared lock and do a
+// heterogeneous map find on string_views — no allocation, so concurrent
+// campaign runs in one process don't serialize here.  SiteInfo storage is a
+// deque: lookup() hands out references that must survive later interning.
 struct SiteRegistry::Impl {
-  mutable std::mutex mu;
-  // key: (tag, file, line)
-  std::map<std::tuple<std::string, std::string, std::uint32_t>, SiteId> index;
-  std::vector<SiteInfo> sites;
+  mutable std::shared_mutex mu;
+  // key: (tag, file, line); less<> enables allocation-free string_view finds
+  std::map<std::tuple<std::string, std::string, std::uint32_t>, SiteId,
+           std::less<>>
+      index;
+  std::deque<SiteInfo> sites;
 };
 
 SiteRegistry::SiteRegistry() : impl_(new Impl) {
@@ -24,10 +34,20 @@ SiteRegistry& SiteRegistry::instance() {
 
 SiteId SiteRegistry::intern(std::string_view tag, BugMark bug,
                             const std::source_location& loc) {
-  std::lock_guard<std::mutex> lk(impl_->mu);
-  auto key = std::make_tuple(std::string(tag), std::string(loc.file_name()),
-                             static_cast<std::uint32_t>(loc.line()));
-  auto it = impl_->index.find(key);
+  const auto probe = std::make_tuple(
+      tag, std::string_view(loc.file_name()),
+      static_cast<std::uint32_t>(loc.line()));
+  {
+    std::shared_lock<std::shared_mutex> lk(impl_->mu);
+    auto it = impl_->index.find(probe);
+    // Hit with no bug-mark upgrade needed: the hot path, read lock only.
+    if (it != impl_->index.end() &&
+        (bug == BugMark::No || impl_->sites[it->second].bug == BugMark::Yes)) {
+      return it->second;
+    }
+  }
+  std::lock_guard<std::shared_mutex> lk(impl_->mu);
+  auto it = impl_->index.find(probe);
   if (it != impl_->index.end()) {
     // Upgrade the bug mark if a later registration marks the site buggy.
     if (bug == BugMark::Yes) impl_->sites[it->second].bug = BugMark::Yes;
@@ -38,18 +58,21 @@ SiteId SiteRegistry::intern(std::string_view tag, BugMark bug,
                                   std::string(loc.function_name()),
                                   static_cast<std::uint32_t>(loc.line()),
                                   std::string(tag), bug});
-  impl_->index.emplace(std::move(key), id);
+  impl_->index.emplace(
+      std::make_tuple(std::string(tag), std::string(loc.file_name()),
+                      static_cast<std::uint32_t>(loc.line())),
+      id);
   return id;
 }
 
 const SiteInfo& SiteRegistry::lookup(SiteId id) const {
-  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::shared_lock<std::shared_mutex> lk(impl_->mu);
   if (id >= impl_->sites.size()) id = kNoSite;
   return impl_->sites[id];
 }
 
 std::size_t SiteRegistry::size() const {
-  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::shared_lock<std::shared_mutex> lk(impl_->mu);
   return impl_->sites.size();
 }
 

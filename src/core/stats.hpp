@@ -17,6 +17,11 @@ namespace mtt {
 class OnlineStats {
  public:
   void add(double x);
+  /// Combines another accumulator into this one (Chan et al. parallel
+  /// variance merge).  Algebraically exact; float rounding may differ from
+  /// the equivalent sequence of add() calls, so order-sensitive consumers
+  /// (the farm's deterministic campaign merge) fold per-run records instead.
+  void merge(const OnlineStats& other);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;  ///< sample variance (n-1 denominator)
@@ -44,6 +49,11 @@ struct Proportion {
     ++trials;
     if (success) ++successes;
   }
+  /// Exact combination of two disjoint samples.
+  void merge(const Proportion& other) {
+    successes += other.successes;
+    trials += other.trials;
+  }
   double rate() const {
     return trials ? static_cast<double>(successes) / static_cast<double>(trials)
                   : 0.0;
@@ -57,6 +67,8 @@ struct Proportion {
 class OutcomeDistribution {
  public:
   void add(const std::string& outcome);
+  /// Exact combination of two disjoint samples.
+  void merge(const OutcomeDistribution& other);
   std::size_t total() const { return total_; }
   std::size_t distinct() const { return counts_.size(); }
   /// Shannon entropy in bits of the empirical distribution.

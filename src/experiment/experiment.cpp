@@ -1,5 +1,6 @@
 #include "experiment/experiment.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/table.hpp"
@@ -19,95 +20,191 @@ std::string ToolConfig::label() const {
   return l;
 }
 
+namespace {
+
+std::string joinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
 std::unique_ptr<rt::SchedulePolicy> makePolicy(const std::string& name) {
   if (name == "rr") return std::make_unique<rt::RoundRobinPolicy>();
   if (name == "priority") return std::make_unique<rt::PriorityPolicy>();
   if (name == "random") return std::make_unique<rt::RandomPolicy>();
-  throw std::runtime_error("mtt: unknown schedule policy " + name);
+  throw std::runtime_error("unknown schedule policy '" + name +
+                           "' (valid: " + joinNames(policyNames()) + ")");
+}
+
+std::vector<std::string> policyNames() { return {"random", "rr", "priority"}; }
+
+void validateToolConfig(const ToolConfig& tool) {
+  if (tool.mode == RuntimeMode::Controlled) {
+    makePolicy(tool.policy);  // throws with the valid list on unknown names
+  }
+  if (tool.noiseName != "targeted") {
+    // Probe the factory without a runtime: the name list is authoritative.
+    const auto names = noise::noiseNames();
+    if (std::find(names.begin(), names.end(), tool.noiseName) ==
+        names.end()) {
+      throw std::runtime_error("unknown noise heuristic '" +
+                               tool.noiseName +
+                               "' (valid: " + joinNames(names) +
+                               ", targeted)");
+    }
+  }
+  for (const auto& d : tool.detectors) {
+    if (!race::makeDetector(d)) {
+      throw std::runtime_error("unknown detector '" + d + "' (valid: " +
+                               joinNames(race::detectorNames()) + ")");
+    }
+  }
+}
+
+RunObservation executeRun(const ExperimentSpec& spec, std::size_t i) {
+  auto program = suite::makeProgram(spec.programName);
+  program->reset();
+
+  auto rt = rt::makeRuntime(
+      spec.tool.mode, spec.tool.mode == RuntimeMode::Controlled
+                          ? makePolicy(spec.tool.policy)
+                          : nullptr);
+
+  // Tool assembly: detectors observe first, noise perturbs last.
+  std::vector<std::unique_ptr<race::RaceDetector>> detectors;
+  for (const auto& d : spec.tool.detectors) {
+    auto det = race::makeDetector(d);
+    if (!det) throw std::runtime_error("unknown detector " + d);
+    rt->hooks().add(det.get());
+    detectors.push_back(std::move(det));
+  }
+  deadlock::LockGraphDetector lockGraph;
+  if (spec.tool.lockGraph) rt->hooks().add(&lockGraph);
+
+  std::unique_ptr<noise::NoiseMaker> noiseMaker;
+  if (spec.tool.noiseName == "targeted") {
+    noiseMaker = std::make_unique<noise::TargetedNoise>(
+        *rt, spec.tool.noiseTargets, spec.tool.noiseOpts);
+  } else {
+    noiseMaker =
+        noise::makeNoise(spec.tool.noiseName, *rt, spec.tool.noiseOpts);
+    if (!noiseMaker) {
+      throw std::runtime_error("unknown noise heuristic " +
+                               spec.tool.noiseName);
+    }
+  }
+  rt->hooks().add(noiseMaker.get());
+
+  rt::RunOptions opts =
+      spec.runOptions ? *spec.runOptions : program->defaultRunOptions();
+  opts.seed = spec.seedBase + i;
+  opts.programName = spec.programName;
+
+  rt::RunResult r =
+      rt->run([&](rt::Runtime& rr) { program->body(rr); }, opts);
+
+  RunObservation obs;
+  obs.runIndex = i;
+  obs.seed = opts.seed;
+  obs.status = std::string(to_string(r.status));
+  obs.manifested = program->evaluate(r) == suite::Verdict::BugManifested;
+  obs.hasDetectors = !detectors.empty();
+  for (const auto& det : detectors) {
+    obs.warnings += det->warningCount();
+    obs.trueWarnings += det->trueAlarms();
+    obs.falseWarnings += det->falseAlarms();
+    obs.detectorHit = obs.detectorHit || det->foundAnnotatedBug();
+  }
+  obs.deadlockPotentials = lockGraph.warnings().size();
+  obs.wallSeconds = r.wallSeconds;
+  obs.events = r.events;
+  obs.noiseInjections = noiseMaker->injections();
+  obs.outcome = program->outcome();
+  obs.failureMessage = r.failureMessage;
+  return obs;
+}
+
+void accumulate(ExperimentResult& result, const RunObservation& obs) {
+  if (obs.supervised()) {
+    // A timed-out / crashed / irrecoverable run yields no measurements;
+    // it counts as a non-manifestation and is visible in statusCounts
+    // and in the outcome distribution.
+    result.manifested.add(false);
+    if (obs.hasDetectors) result.detectorHit.add(false);
+    result.outcomes.add("farm:" + obs.status);
+    result.statusCounts[obs.status]++;
+    return;
+  }
+  result.manifested.add(obs.manifested);
+  result.warnings += obs.warnings;
+  result.trueWarnings += obs.trueWarnings;
+  result.falseWarnings += obs.falseWarnings;
+  if (obs.hasDetectors) result.detectorHit.add(obs.detectorHit);
+  result.deadlockPotentials += obs.deadlockPotentials;
+  result.wallSeconds.add(obs.wallSeconds);
+  result.events.add(static_cast<double>(obs.events));
+  result.noiseInjections += obs.noiseInjections;
+  result.outcomes.add(obs.outcome);
+  result.statusCounts[obs.status]++;
+}
+
+void mergeInto(ExperimentResult& into, const ExperimentResult& part) {
+  if (into.runs == 0) {
+    into.programName = part.programName;
+    into.toolLabel = part.toolLabel;
+  }
+  into.runs += part.runs;
+  into.manifested.merge(part.manifested);
+  into.detectorHit.merge(part.detectorHit);
+  into.warnings += part.warnings;
+  into.trueWarnings += part.trueWarnings;
+  into.falseWarnings += part.falseWarnings;
+  into.deadlockPotentials += part.deadlockPotentials;
+  into.wallSeconds.merge(part.wallSeconds);
+  into.events.merge(part.events);
+  into.noiseInjections += part.noiseInjections;
+  into.outcomes.merge(part.outcomes);
+  for (const auto& [status, n] : part.statusCounts) {
+    into.statusCounts[status] += n;
+  }
 }
 
 ExperimentResult runExperiment(const ExperimentSpec& spec) {
-  auto program = suite::makeProgram(spec.programName);
-
+  validateToolConfig(spec.tool);
   ExperimentResult result;
   result.programName = spec.programName;
   result.toolLabel = spec.tool.label();
   result.runs = spec.runs;
-
   for (std::size_t i = 0; i < spec.runs; ++i) {
-    program->reset();
-
-    auto rt = rt::makeRuntime(
-        spec.tool.mode, spec.tool.mode == RuntimeMode::Controlled
-                            ? makePolicy(spec.tool.policy)
-                            : nullptr);
-
-    // Tool assembly: detectors observe first, noise perturbs last.
-    std::vector<std::unique_ptr<race::RaceDetector>> detectors;
-    for (const auto& d : spec.tool.detectors) {
-      auto det = race::makeDetector(d);
-      if (!det) throw std::runtime_error("mtt: unknown detector " + d);
-      rt->hooks().add(det.get());
-      detectors.push_back(std::move(det));
-    }
-    deadlock::LockGraphDetector lockGraph;
-    if (spec.tool.lockGraph) rt->hooks().add(&lockGraph);
-
-    std::unique_ptr<noise::NoiseMaker> noiseMaker;
-    if (spec.tool.noiseName == "targeted") {
-      noiseMaker = std::make_unique<noise::TargetedNoise>(
-          *rt, spec.tool.noiseTargets, spec.tool.noiseOpts);
-    } else {
-      noiseMaker =
-          noise::makeNoise(spec.tool.noiseName, *rt, spec.tool.noiseOpts);
-      if (!noiseMaker) {
-        throw std::runtime_error("mtt: unknown noise heuristic " +
-                                 spec.tool.noiseName);
-      }
-    }
-    rt->hooks().add(noiseMaker.get());
-
-    rt::RunOptions opts =
-        spec.runOptions ? *spec.runOptions : program->defaultRunOptions();
-    opts.seed = spec.seedBase + i;
-    opts.programName = spec.programName;
-
-    rt::RunResult r = rt->run([&](rt::Runtime& rr) { program->body(rr); },
-                              opts);
-
-    result.manifested.add(program->evaluate(r) ==
-                          suite::Verdict::BugManifested);
-    bool hit = false;
-    for (const auto& det : detectors) {
-      result.warnings += det->warningCount();
-      result.trueWarnings += det->trueAlarms();
-      result.falseWarnings += det->falseAlarms();
-      hit = hit || det->foundAnnotatedBug();
-    }
-    if (!detectors.empty()) result.detectorHit.add(hit);
-    result.deadlockPotentials += lockGraph.warnings().size();
-    result.wallSeconds.add(r.wallSeconds);
-    result.events.add(static_cast<double>(r.events));
-    result.noiseInjections += noiseMaker->injections();
-    result.outcomes.add(program->outcome());
-    result.statusCounts[std::string(to_string(r.status))]++;
+    accumulate(result, executeRun(spec, i));
   }
   return result;
 }
 
 std::string findRateReport(const std::string& title,
-                           const std::vector<ExperimentResult>& results) {
+                           const std::vector<ExperimentResult>& results,
+                           const ReportOptions& opts) {
   TextTable t(title);
-  t.header({"program", "tool", "manifested", "95% CI", "avg events",
-            "avg ms", "injections"});
+  std::vector<std::string> head = {"program", "tool", "manifested",
+                                   "95% CI", "avg events"};
+  if (opts.timing) head.push_back("avg ms");
+  head.push_back("injections");
+  t.header(head);
   for (const auto& r : results) {
-    t.row({r.programName, r.toolLabel,
-           TextTable::frac(r.manifested.successes, r.manifested.trials),
-           "[" + TextTable::num(r.manifested.wilsonLow(), 2) + ", " +
-               TextTable::num(r.manifested.wilsonHigh(), 2) + "]",
-           TextTable::num(r.events.mean(), 0),
-           TextTable::num(r.wallSeconds.mean() * 1e3, 2),
-           std::to_string(r.noiseInjections)});
+    std::vector<std::string> row = {
+        r.programName, r.toolLabel,
+        TextTable::frac(r.manifested.successes, r.manifested.trials),
+        "[" + TextTable::num(r.manifested.wilsonLow(), 2) + ", " +
+            TextTable::num(r.manifested.wilsonHigh(), 2) + "]",
+        TextTable::num(r.events.mean(), 0)};
+    if (opts.timing) row.push_back(TextTable::num(r.wallSeconds.mean() * 1e3, 2));
+    row.push_back(std::to_string(r.noiseInjections));
+    t.row(std::move(row));
   }
   return t.render();
 }

@@ -85,16 +85,79 @@ struct ExperimentResult {
   }
 };
 
-/// Builds a fresh policy by name ("random", "rr", "priority").
-std::unique_ptr<rt::SchedulePolicy> makePolicy(const std::string& name);
+/// Everything observed in one seeded run — the unit of work the farm ships
+/// between workers (and across the process-isolation pipe) and folds back
+/// into an ExperimentResult.  Folding observations in runIndex order through
+/// accumulate() reproduces the serial runExperiment aggregation exactly.
+struct RunObservation {
+  std::uint64_t runIndex = 0;
+  std::uint64_t seed = 0;
+  std::string status;  ///< rt::to_string(RunStatus)
+  bool manifested = false;
+  bool hasDetectors = false;
+  bool detectorHit = false;
+  std::uint64_t warnings = 0;
+  std::uint64_t trueWarnings = 0;
+  std::uint64_t falseWarnings = 0;
+  std::uint64_t deadlockPotentials = 0;
+  double wallSeconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t noiseInjections = 0;
+  std::string outcome;
+  std::string failureMessage;
+  /// Farm bookkeeping: how many attempts this run took (retries + 1).
+  std::uint32_t attempts = 1;
 
-/// Runs the experiment.  Fully deterministic in controlled mode for a given
-/// (spec.seedBase, spec.runs).
+  /// True for farm-assigned supervision statuses (timeout / crashed /
+  /// infra-error): the run produced no usable measurements.
+  bool supervised() const {
+    return status == "timeout" || status == "crashed" ||
+           status == "infra-error";
+  }
+};
+
+/// Builds a fresh policy by name ("random", "rr", "priority"); throws a
+/// std::runtime_error naming the valid policies on an unknown name.
+std::unique_ptr<rt::SchedulePolicy> makePolicy(const std::string& name);
+/// All valid policy names, for error messages and CLI validation.
+std::vector<std::string> policyNames();
+
+/// Throws std::runtime_error on the first unknown policy / noise heuristic /
+/// detector name in the config, listing the valid alternatives.  Campaign
+/// drivers call this once up front so configuration mistakes fail fast
+/// instead of surfacing as per-run infrastructure errors.
+void validateToolConfig(const ToolConfig& tool);
+
+/// Executes run `i` of the spec on the calling thread.  Thread-safe: each
+/// call builds its own program instance, runtime, and tool stack, so any
+/// number of runs of the same spec may execute concurrently.
+RunObservation executeRun(const ExperimentSpec& spec, std::size_t i);
+
+/// Folds one observation into the aggregate (exact serial semantics).
+void accumulate(ExperimentResult& result, const RunObservation& obs);
+
+/// Merges a partial result into `into` using the stats merge() operations.
+/// Counts are exact; OnlineStats fields are algebraically exact but may
+/// differ from a sequential fold in the last float bits (see OnlineStats).
+void mergeInto(ExperimentResult& into, const ExperimentResult& part);
+
+/// Runs the experiment serially in-process.  Fully deterministic in
+/// controlled mode for a given (spec.seedBase, spec.runs).  For parallel /
+/// fault-isolated campaigns, see farm::runExperimentFarm.
 ExperimentResult runExperiment(const ExperimentSpec& spec);
+
+struct ReportOptions {
+  /// Include wall-clock timing columns.  Disable for byte-stable reports:
+  /// in controlled mode everything except wall time is a pure function of
+  /// (program, tool config, seedBase, runs), so timing-free reports are
+  /// bitwise identical no matter how the campaign was scheduled.
+  bool timing = true;
+};
 
 /// Renders the standard find-rate comparison table (one row per result).
 std::string findRateReport(const std::string& title,
-                           const std::vector<ExperimentResult>& results);
+                           const std::vector<ExperimentResult>& results,
+                           const ReportOptions& opts = {});
 
 /// Renders the detector-quality table (warnings / true / false / rate).
 std::string detectorReport(const std::string& title,

@@ -1,0 +1,139 @@
+// Internal to mtt::farm: the thread-safe sink both worker models feed.
+// Owns the JSONL stream, the live progress line, the early-stop latch, and
+// the record store that the deterministic merge later folds in run order.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "farm/farm.hpp"
+
+namespace mtt::farm::detail {
+
+class Collector {
+ public:
+  Collector(std::uint64_t total, const FarmOptions& options)
+      : total_(total), options_(options) {
+    if (!options_.jsonlPath.empty()) {
+      jsonl_ = std::fopen(options_.jsonlPath.c_str(),
+                          options_.jsonlAppend ? "a" : "w");
+      if (jsonl_ == nullptr) {
+        throw std::runtime_error("mtt::farm: cannot open JSONL path " +
+                                 options_.jsonlPath);
+      }
+    }
+  }
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  ~Collector() {
+    if (jsonl_ != nullptr) std::fclose(jsonl_);
+  }
+
+  /// Records one finished run: stores it, streams the JSONL line, updates
+  /// the progress display, and evaluates the early-stop predicate.
+  void deliver(experiment::RunObservation obs, std::size_t worker) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (obs.status == "timeout") ++timeouts_;
+    if (obs.status == "crashed") ++crashes_;
+    if (obs.status == "infra-error") ++infraErrors_;
+    retries_ += obs.attempts > 0 ? obs.attempts - 1 : 0;
+    if (jsonl_ != nullptr) {
+      std::string line = toJson(obs);
+      // Splice the worker id in as a top-level field before the close.
+      line.insert(line.size() - 1, ",\"worker\":" + std::to_string(worker));
+      line += '\n';
+      std::fputs(line.c_str(), jsonl_);
+      std::fflush(jsonl_);
+    }
+    records_.push_back(std::move(obs));
+    if (options_.stopOnRecord && !stop_.load(std::memory_order_relaxed) &&
+        options_.stopOnRecord(records_.back())) {
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    maybeProgressLocked(false);
+  }
+
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+  void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  std::size_t timeouts() const { return timeouts_; }
+  std::size_t crashes() const { return crashes_; }
+  std::size_t infraErrors() const { return infraErrors_; }
+  std::size_t retries() const { return retries_; }
+  std::size_t delivered() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return records_.size();
+  }
+
+  /// Final progress line (with newline) + the records, sorted by runIndex.
+  std::vector<experiment::RunObservation> finish() {
+    std::lock_guard<std::mutex> lk(mu_);
+    maybeProgressLocked(true);
+    std::sort(records_.begin(), records_.end(),
+              [](const experiment::RunObservation& a,
+                 const experiment::RunObservation& b) {
+                return a.runIndex < b.runIndex;
+              });
+    return std::move(records_);
+  }
+
+  /// Seed for a record the farm synthesizes itself (the job produced
+  /// nothing — timeout, crash, or exhausted retries).
+  std::uint64_t seedFor(std::uint64_t index) const {
+    return options_.seedForIndex ? options_.seedForIndex(index) : index;
+  }
+
+  experiment::RunObservation supervisedRecord(std::uint64_t index,
+                                              const char* status,
+                                              std::string message,
+                                              std::uint32_t attempts) const {
+    experiment::RunObservation o;
+    o.runIndex = index;
+    o.seed = seedFor(index);
+    o.status = status;
+    o.failureMessage = std::move(message);
+    o.attempts = attempts;
+    return o;
+  }
+
+ private:
+  void maybeProgressLocked(bool final) {
+    if (!options_.progress) return;
+    double elapsed = clock_.elapsedSeconds();
+    if (!final && elapsed - lastPrint_ < 0.2) return;
+    lastPrint_ = elapsed;
+    double rate = elapsed > 0.0
+                      ? static_cast<double>(records_.size()) / elapsed
+                      : 0.0;
+    std::fprintf(stderr,
+                 "\r[farm] %zu/%llu runs  %.1f runs/s  "
+                 "%zu timeout  %zu crash  %zu infra%s",
+                 records_.size(), static_cast<unsigned long long>(total_),
+                 rate, timeouts_, crashes_, infraErrors_, final ? "\n" : "");
+    std::fflush(stderr);
+  }
+
+  const std::uint64_t total_;
+  const FarmOptions& options_;
+  std::FILE* jsonl_ = nullptr;
+  mutable std::mutex mu_;
+  std::vector<experiment::RunObservation> records_;
+  std::atomic<bool> stop_{false};
+  std::size_t timeouts_ = 0;
+  std::size_t crashes_ = 0;
+  std::size_t infraErrors_ = 0;
+  std::size_t retries_ = 0;
+  Stopwatch clock_;
+  double lastPrint_ = -1.0;
+};
+
+}  // namespace mtt::farm::detail

@@ -1,0 +1,155 @@
+// mtt::farm — the campaign execution engine behind every "push of a button".
+//
+// The paper's component 2 promises that a prepared experiment "can be
+// evaluated and compared to alternative approaches" with a script; this
+// subsystem makes that scale: a work-stealing scheduler shards a campaign's
+// seed space across a pool of worker threads (or, on POSIX, forked worker
+// processes for hard crash isolation), supervises every run with a
+// wall-clock watchdog, retries infrastructure failures with bounded
+// backoff, and records misbehaving runs (timeout / crash / infra-error) as
+// RunStatus outcomes instead of letting them abort the campaign.
+//
+// Observability: each completed run is streamed as one JSONL record
+// (seed, status, wall time, events, warnings, outcome, attempts) the moment
+// it finishes, plus an optional live progress/throughput line on stderr.
+//
+// Determinism: records are keyed by run index and folded back in index
+// order through experiment::accumulate, so a controlled-mode campaign
+// produces results identical to the serial experiment::runExperiment path
+// regardless of worker count or model.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "experiment/experiment.hpp"
+
+namespace mtt::farm {
+
+/// How runs are isolated from each other.
+enum class WorkerModel : std::uint8_t {
+  /// Worker threads in this process.  Cheapest; a hung run is abandoned to
+  /// a watchdogged host thread, but a run that crashes the process takes
+  /// the campaign with it.
+  Thread,
+  /// Forked worker processes (POSIX).  A run that aborts, segfaults, or
+  /// hangs kills only its worker: the parent records the outcome, respawns
+  /// the worker, and the campaign continues.  Falls back to Thread where
+  /// fork() is unavailable.
+  Process,
+};
+
+std::string_view to_string(WorkerModel m);
+
+/// One campaign job: produce the observation for run `index`.
+/// Must be thread-safe across concurrent indices (experiment::executeRun is).
+using JobFn = std::function<experiment::RunObservation(std::uint64_t index)>;
+
+struct FarmOptions {
+  /// Worker count; 0 = hardware concurrency.
+  std::size_t jobs = 0;
+  /// Per-run wall-clock watchdog; 0 disables it.  A run exceeding the
+  /// deadline is recorded as RunStatus::Timeout and its worker is
+  /// abandoned (Thread) or killed and respawned (Process).
+  std::chrono::milliseconds runTimeout{0};
+  /// Extra attempts for runs that fail with a harness error (an exception
+  /// out of the job, not a program verdict).  Exhaustion records the run
+  /// as RunStatus::InfraError.
+  std::size_t maxRetries = 2;
+  /// Backoff before the first retry; doubles per subsequent attempt.
+  std::chrono::milliseconds retryBackoff{10};
+  WorkerModel model = WorkerModel::Thread;
+  /// When non-empty, every completed run appends one JSON object line here.
+  std::string jsonlPath;
+  /// Append to jsonlPath instead of truncating it (multi-campaign drivers
+  /// stream every campaign of one invocation into a single file).
+  bool jsonlAppend = false;
+  /// Live "done/total, runs/s, timeouts, crashes" line on stderr.
+  bool progress = false;
+  /// Optional early cancellation: once a delivered record satisfies this,
+  /// no further runs are dispatched (in-flight runs drain).  Used by
+  /// parallel bug hunts to stop at the first manifestation.
+  std::function<bool(const experiment::RunObservation&)> stopOnRecord;
+  /// Maps a run index to its seed, for records the farm must synthesize
+  /// itself (timeout / crash / infra-error, where the job produced
+  /// nothing).  Defaults to identity.
+  std::function<std::uint64_t(std::uint64_t)> seedForIndex;
+};
+
+/// What happened to a campaign, beyond the per-run records.
+struct CampaignResult {
+  /// Completed-run observations, sorted by runIndex.  Gaps only when the
+  /// campaign was cancelled early via stopOnRecord.
+  std::vector<experiment::RunObservation> records;
+  std::uint64_t requested = 0;
+  std::size_t workers = 0;
+  WorkerModel model = WorkerModel::Thread;
+  std::size_t timeouts = 0;
+  std::size_t crashes = 0;
+  std::size_t infraErrors = 0;
+  std::size_t retries = 0;
+  bool stoppedEarly = false;
+  double wallSeconds = 0.0;
+
+  double throughput() const {
+    return wallSeconds > 0.0
+               ? static_cast<double>(records.size()) / wallSeconds
+               : 0.0;
+  }
+};
+
+/// Resolved worker count for an options block (0 → hardware concurrency).
+std::size_t resolveJobs(std::size_t jobs);
+
+/// Runs `total` jobs through the farm and returns every record.
+/// The generic entry point: bench_multibench uses it for raw outcome
+/// distributions; runExperimentFarm builds the experiment flow on top.
+CampaignResult runJobs(std::uint64_t total, const JobFn& fn,
+                       const FarmOptions& options);
+
+/// A farm-executed prepared experiment: the merged (deterministic) result
+/// plus the campaign telemetry.
+struct ExperimentCampaign {
+  experiment::ExperimentResult result;
+  CampaignResult campaign;
+};
+
+/// Farm-parallel drop-in for experiment::runExperiment: shards spec.runs
+/// across the pool and folds the records in run order, so controlled-mode
+/// results (and timing-free reports) are identical to the serial path for
+/// any worker count or isolation model.
+ExperimentCampaign runExperimentFarm(const experiment::ExperimentSpec& spec,
+                                     const FarmOptions& options);
+
+// --- record serialization (exposed for tests and external consumers) -----
+
+/// The JSONL encoding of one run record, as streamed to FarmOptions::
+/// jsonlPath (one object per line; `worker` is added by the streamer).
+std::string toJson(const experiment::RunObservation& o);
+
+/// Compact escaped tab-separated encoding used on the worker-process pipe;
+/// round-trips exactly (doubles via %.17g).
+std::string encodePipeRecord(const experiment::RunObservation& o);
+bool decodePipeRecord(const std::string& line, experiment::RunObservation& o);
+
+// --- internal entry points shared by farm.cpp / process_pool.cpp ---------
+
+namespace detail {
+
+/// Sink shared by both worker models: thread-safe record delivery, JSONL
+/// streaming, progress reporting, and early-stop bookkeeping.
+class Collector;
+
+CampaignResult runJobsThreads(std::uint64_t total, const JobFn& fn,
+                              const FarmOptions& options);
+CampaignResult runJobsProcesses(std::uint64_t total, const JobFn& fn,
+                                const FarmOptions& options);
+/// True when fork()-based isolation is available on this platform.
+bool processIsolationSupported();
+
+}  // namespace detail
+
+}  // namespace mtt::farm

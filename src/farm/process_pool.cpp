@@ -1,0 +1,398 @@
+// mtt::farm — forked worker processes (POSIX): hard crash isolation.
+//
+// The parent is the scheduler: it forks N workers up front (before creating
+// any threads of its own, so fork() is safe), hands each worker one run
+// index at a time over a command pipe, and reads completed records back
+// over a result pipe.  A worker that segfaults, aborts, or hangs kills only
+// itself: the parent records the in-flight run as crashed / timed out,
+// forks a replacement, and the campaign continues.  Harness errors inside a
+// worker come back as infra-error records and are re-dispatched with
+// backoff up to FarmOptions::maxRetries.
+#include "farm/farm.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MTT_FARM_HAS_FORK 1
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <optional>
+
+#include "core/stats.hpp"
+#include "farm/collector.hpp"
+
+namespace mtt::farm::detail {
+
+bool processIsolationSupported() {
+#ifdef MTT_FARM_HAS_FORK
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifndef MTT_FARM_HAS_FORK
+
+CampaignResult runJobsProcesses(std::uint64_t total, const JobFn& fn,
+                                const FarmOptions& options) {
+  return runJobsThreads(total, fn, options);  // graceful degradation
+}
+
+#else
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+ssize_t writeAll(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return static_cast<ssize_t>(off);
+}
+
+/// Worker-side loop: read one decimal run index per line, execute, answer
+/// with "R <record>\n".  "Q" (or EOF) exits.  Never returns.
+[[noreturn]] void workerMain(int cmdFd, int resFd, const JobFn& fn) {
+  std::string buf;
+  char c;
+  for (;;) {
+    buf.clear();
+    for (;;) {
+      ssize_t r = ::read(cmdFd, &c, 1);
+      if (r <= 0) {
+        if (r < 0 && errno == EINTR) continue;
+        ::_exit(0);  // parent went away
+      }
+      if (c == '\n') break;
+      buf += c;
+    }
+    if (buf.empty() || buf == "Q") ::_exit(0);
+    std::uint64_t idx = 0;
+    try {
+      idx = std::stoull(buf);
+    } catch (const std::exception&) {
+      ::_exit(3);  // protocol error; parent records the in-flight run
+    }
+    experiment::RunObservation obs;
+    try {
+      obs = fn(idx);
+    } catch (const std::exception& e) {
+      obs.runIndex = idx;
+      obs.status = "infra-error";
+      obs.failureMessage = e.what();
+    } catch (...) {
+      obs.runIndex = idx;
+      obs.status = "infra-error";
+      obs.failureMessage = "unknown harness error";
+    }
+    std::string line = "R " + encodePipeRecord(obs) + "\n";
+    if (writeAll(resFd, line.data(), line.size()) < 0) ::_exit(0);
+  }
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int cmdFd = -1;   // parent -> worker
+  int resFd = -1;   // worker -> parent
+  std::string buf;  // partial result line
+  bool busy = false;
+  std::uint64_t idx = 0;
+  std::uint32_t attempts = 0;
+  Clock::time_point start;
+};
+
+struct Retry {
+  std::uint64_t idx = 0;
+  std::uint32_t attempts = 0;  // attempts already spent
+  Clock::time_point readyAt;
+};
+
+class ProcessPool {
+ public:
+  ProcessPool(std::uint64_t total, const JobFn& fn,
+              const FarmOptions& options, Collector& collector)
+      : fn_(fn), options_(options), collector_(collector) {
+    std::size_t workers = resolveJobs(options.jobs);
+    if (total < workers) workers = static_cast<std::size_t>(total);
+    if (workers == 0) workers = 1;
+    for (std::uint64_t i = 0; i < total; ++i) queue_.push_back(i);
+    workers_.resize(workers);
+  }
+
+  std::size_t workerCount() const { return workers_.size(); }
+
+  void run() {
+    // A worker can die while we write to its command pipe; that must be
+    // an EPIPE errno, not a fatal SIGPIPE.
+    struct sigaction ign {}, old {};
+    ign.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ign, &old);
+
+    for (auto& w : workers_) spawn(w);
+    dispatchIdle();
+    while (pendingWork()) {
+      pollOnce();
+      expireDeadlines();
+      dispatchIdle();
+    }
+    shutdown();
+    ::sigaction(SIGPIPE, &old, nullptr);
+  }
+
+ private:
+  void spawn(Worker& w) {
+    int cmd[2], res[2];
+    if (::pipe(cmd) != 0 || ::pipe(res) != 0) {
+      throw std::runtime_error("mtt::farm: pipe() failed");
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("mtt::farm: fork() failed");
+    if (pid == 0) {
+      // Child: keep only this worker's two fds (plus inherited stdio).
+      ::close(cmd[1]);
+      ::close(res[0]);
+      for (const auto& other : workers_) {
+        if (other.cmdFd >= 0) ::close(other.cmdFd);
+        if (other.resFd >= 0) ::close(other.resFd);
+      }
+      workerMain(cmd[0], res[1], fn_);
+    }
+    ::close(cmd[0]);
+    ::close(res[1]);
+    w.pid = pid;
+    w.cmdFd = cmd[1];
+    w.resFd = res[0];
+    w.buf.clear();
+    w.busy = false;
+  }
+
+  void despawn(Worker& w, bool kill) {
+    if (w.pid < 0) return;
+    if (kill) ::kill(w.pid, SIGKILL);
+    if (w.cmdFd >= 0) ::close(w.cmdFd);
+    if (w.resFd >= 0) ::close(w.resFd);
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    w.pid = -1;
+    w.cmdFd = w.resFd = -1;
+    w.busy = false;
+  }
+
+  bool pendingWork() {
+    if (!collector_.stopped() && (!queue_.empty() || !retries_.empty())) {
+      return true;
+    }
+    for (const auto& w : workers_) {
+      if (w.busy) return true;
+    }
+    return false;
+  }
+
+  std::optional<std::uint64_t> nextJob(std::uint32_t& attemptsSpent) {
+    if (collector_.stopped()) return std::nullopt;
+    Clock::time_point now = Clock::now();
+    for (auto it = retries_.begin(); it != retries_.end(); ++it) {
+      if (it->readyAt <= now) {
+        attemptsSpent = it->attempts;
+        std::uint64_t idx = it->idx;
+        retries_.erase(it);
+        return idx;
+      }
+    }
+    if (!queue_.empty()) {
+      attemptsSpent = 0;
+      std::uint64_t idx = queue_.front();
+      queue_.pop_front();
+      return idx;
+    }
+    return std::nullopt;
+  }
+
+  void dispatchIdle() {
+    for (auto& w : workers_) {
+      if (w.busy || w.pid < 0) continue;
+      std::uint32_t spent = 0;
+      std::optional<std::uint64_t> idx = nextJob(spent);
+      if (!idx) return;
+      std::string cmd = std::to_string(*idx) + "\n";
+      if (writeAll(w.cmdFd, cmd.data(), cmd.size()) < 0) {
+        // Worker died between jobs; its HUP will be reaped by pollOnce.
+        // Put the job back so another worker picks it up.
+        queue_.push_front(*idx);
+        continue;
+      }
+      w.busy = true;
+      w.idx = *idx;
+      w.attempts = spent + 1;
+      w.start = Clock::now();
+    }
+  }
+
+  int pollTimeoutMs() const {
+    Clock::time_point next = Clock::time_point::max();
+    if (options_.runTimeout.count() > 0) {
+      for (const auto& w : workers_) {
+        if (w.busy) next = std::min(next, w.start + options_.runTimeout);
+      }
+    }
+    for (const auto& r : retries_) next = std::min(next, r.readyAt);
+    if (next == Clock::time_point::max()) return 1000;
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  next - Clock::now())
+                  .count();
+    return ms < 0 ? 0 : static_cast<int>(std::min<long long>(ms + 1, 1000));
+  }
+
+  void pollOnce() {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owner;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (workers_[i].pid < 0) continue;
+      fds.push_back(pollfd{workers_[i].resFd, POLLIN, 0});
+      owner.push_back(i);
+    }
+    if (fds.empty()) return;
+    int n = ::poll(fds.data(), fds.size(), pollTimeoutMs());
+    if (n <= 0) return;
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      Worker& w = workers_[owner[k]];
+      if (fds[k].revents & POLLIN) drainWorker(w);
+      if ((fds[k].revents & (POLLHUP | POLLERR)) && w.pid >= 0 &&
+          !(fds[k].revents & POLLIN)) {
+        onWorkerDeath(w);
+      }
+    }
+  }
+
+  void drainWorker(Worker& w) {
+    char chunk[4096];
+    ssize_t r = ::read(w.resFd, chunk, sizeof chunk);
+    if (r < 0 && errno == EINTR) return;
+    if (r <= 0) {
+      onWorkerDeath(w);
+      return;
+    }
+    w.buf.append(chunk, static_cast<std::size_t>(r));
+    std::size_t nl;
+    while ((nl = w.buf.find('\n')) != std::string::npos) {
+      std::string line = w.buf.substr(0, nl);
+      w.buf.erase(0, nl + 1);
+      handleLine(w, line);
+    }
+  }
+
+  void handleLine(Worker& w, const std::string& line) {
+    experiment::RunObservation obs;
+    if (line.size() < 2 || line[0] != 'R' ||
+        !decodePipeRecord(line.substr(2), obs)) {
+      return;  // garbled line; worker death / timeout handling covers it
+    }
+    w.busy = false;
+    obs.attempts = w.attempts;
+    if (obs.status == "infra-error" && w.attempts <= options_.maxRetries) {
+      retries_.push_back(
+          Retry{obs.runIndex, w.attempts,
+                Clock::now() + options_.retryBackoff * (1u << (w.attempts - 1))});
+      return;
+    }
+    if (obs.status == "infra-error") {
+      obs.seed = collector_.seedFor(obs.runIndex);
+    }
+    collector_.deliver(std::move(obs), &w - workers_.data());
+  }
+
+  void onWorkerDeath(Worker& w) {
+    bool wasBusy = w.busy;
+    std::uint64_t idx = w.idx;
+    std::uint32_t attempts = w.attempts;
+    despawn(w, /*kill=*/false);
+    if (wasBusy) {
+      collector_.deliver(
+          collector_.supervisedRecord(idx, "crashed",
+                                      "worker process died mid-run",
+                                      attempts),
+          &w - workers_.data());
+    }
+    if (moreWorkComing()) spawn(w);
+  }
+
+  void expireDeadlines() {
+    if (options_.runTimeout.count() <= 0) return;
+    Clock::time_point now = Clock::now();
+    for (auto& w : workers_) {
+      if (!w.busy || w.pid < 0) continue;
+      if (now - w.start < options_.runTimeout) continue;
+      std::uint64_t idx = w.idx;
+      std::uint32_t attempts = w.attempts;
+      despawn(w, /*kill=*/true);
+      collector_.deliver(collector_.supervisedRecord(
+                             idx, "timeout", "watchdog expired", attempts),
+                         &w - workers_.data());
+      if (moreWorkComing()) spawn(w);
+    }
+  }
+
+  bool moreWorkComing() const {
+    return !collector_.stopped() &&
+           (!queue_.empty() || !retries_.empty());
+  }
+
+  void shutdown() {
+    for (auto& w : workers_) {
+      if (w.pid < 0) continue;
+      writeAll(w.cmdFd, "Q\n", 2);
+      despawn(w, /*kill=*/false);
+    }
+  }
+
+  const JobFn& fn_;
+  const FarmOptions& options_;
+  Collector& collector_;
+  std::deque<std::uint64_t> queue_;
+  std::vector<Retry> retries_;
+  std::vector<Worker> workers_;
+};
+
+}  // namespace
+
+CampaignResult runJobsProcesses(std::uint64_t total, const JobFn& fn,
+                                const FarmOptions& options) {
+  Stopwatch clock;
+  Collector collector(total, options);
+  CampaignResult cr;
+  cr.requested = total;
+  cr.model = WorkerModel::Process;
+  std::size_t workers = 0;
+  if (total > 0) {
+    ProcessPool pool(total, fn, options, collector);
+    workers = pool.workerCount();
+    pool.run();
+  }
+  cr.workers = workers;
+  cr.records = collector.finish();
+  cr.timeouts = collector.timeouts();
+  cr.crashes = collector.crashes();
+  cr.infraErrors = collector.infraErrors();
+  cr.retries = collector.retries();
+  cr.stoppedEarly = collector.stopped();
+  cr.wallSeconds = clock.elapsedSeconds();
+  return cr;
+}
+
+#endif  // MTT_FARM_HAS_FORK
+
+}  // namespace mtt::farm::detail

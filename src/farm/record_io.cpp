@@ -1,0 +1,204 @@
+// Record serialization for mtt::farm: the JSONL observability stream and
+// the escaped-TSV framing used on the worker-process result pipe.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "farm/farm.hpp"
+
+namespace mtt::farm {
+
+std::string_view to_string(WorkerModel m) {
+  switch (m) {
+    case WorkerModel::Thread: return "thread";
+    case WorkerModel::Process: return "process";
+  }
+  return "?";
+}
+
+std::size_t resolveJobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+namespace {
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string formatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string toJson(const experiment::RunObservation& o) {
+  std::string j = "{";
+  j += "\"run\":" + std::to_string(o.runIndex);
+  j += ",\"seed\":" + std::to_string(o.seed);
+  j += ",\"status\":";
+  appendJsonString(j, o.status);
+  j += ",\"manifested\":";
+  j += o.manifested ? "true" : "false";
+  j += ",\"detector_hit\":";
+  j += o.detectorHit ? "true" : "false";
+  j += ",\"warnings\":" + std::to_string(o.warnings);
+  j += ",\"true_warnings\":" + std::to_string(o.trueWarnings);
+  j += ",\"false_warnings\":" + std::to_string(o.falseWarnings);
+  j += ",\"deadlock_potentials\":" + std::to_string(o.deadlockPotentials);
+  j += ",\"wall_ms\":" + formatDouble(o.wallSeconds * 1e3);
+  j += ",\"events\":" + std::to_string(o.events);
+  j += ",\"injections\":" + std::to_string(o.noiseInjections);
+  j += ",\"outcome\":";
+  appendJsonString(j, o.outcome);
+  j += ",\"attempts\":" + std::to_string(o.attempts);
+  if (!o.failureMessage.empty()) {
+    j += ",\"error\":";
+    appendJsonString(j, o.failureMessage);
+  }
+  j += "}";
+  return j;
+}
+
+namespace {
+
+// Pipe framing: '\t' separates fields, so embedded tabs/newlines/backslashes
+// are escaped.  The format only ever talks farm-worker -> farm-parent of the
+// same build, so there is no versioning concern.
+void appendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[++i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> splitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == '\t') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace
+
+std::string encodePipeRecord(const experiment::RunObservation& o) {
+  std::string line;
+  line += std::to_string(o.runIndex);
+  line += '\t';
+  line += std::to_string(o.seed);
+  line += '\t';
+  appendEscaped(line, o.status);
+  line += '\t';
+  line += o.manifested ? '1' : '0';
+  line += '\t';
+  line += o.hasDetectors ? '1' : '0';
+  line += '\t';
+  line += o.detectorHit ? '1' : '0';
+  line += '\t';
+  line += std::to_string(o.warnings);
+  line += '\t';
+  line += std::to_string(o.trueWarnings);
+  line += '\t';
+  line += std::to_string(o.falseWarnings);
+  line += '\t';
+  line += std::to_string(o.deadlockPotentials);
+  line += '\t';
+  line += formatDouble(o.wallSeconds);
+  line += '\t';
+  line += std::to_string(o.events);
+  line += '\t';
+  line += std::to_string(o.noiseInjections);
+  line += '\t';
+  appendEscaped(line, o.outcome);
+  line += '\t';
+  appendEscaped(line, o.failureMessage);
+  line += '\t';
+  line += std::to_string(o.attempts);
+  return line;
+}
+
+bool decodePipeRecord(const std::string& line,
+                      experiment::RunObservation& o) {
+  std::vector<std::string> f = splitFields(line);
+  if (f.size() != 16) return false;
+  try {
+    o.runIndex = std::stoull(f[0]);
+    o.seed = std::stoull(f[1]);
+    o.status = unescape(f[2]);
+    o.manifested = f[3] == "1";
+    o.hasDetectors = f[4] == "1";
+    o.detectorHit = f[5] == "1";
+    o.warnings = std::stoull(f[6]);
+    o.trueWarnings = std::stoull(f[7]);
+    o.falseWarnings = std::stoull(f[8]);
+    o.deadlockPotentials = std::stoull(f[9]);
+    o.wallSeconds = std::stod(f[10]);
+    o.events = std::stoull(f[11]);
+    o.noiseInjections = std::stoull(f[12]);
+    o.outcome = unescape(f[13]);
+    o.failureMessage = unescape(f[14]);
+    o.attempts = static_cast<std::uint32_t>(std::stoul(f[15]));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mtt::farm

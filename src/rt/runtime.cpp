@@ -21,6 +21,9 @@ std::string_view to_string(RunStatus s) {
     case RunStatus::Deadlock: return "deadlock";
     case RunStatus::AssertFailed: return "assert-failed";
     case RunStatus::StepLimit: return "step-limit";
+    case RunStatus::Timeout: return "timeout";
+    case RunStatus::Crashed: return "crashed";
+    case RunStatus::InfraError: return "infra-error";
   }
   return "?";
 }

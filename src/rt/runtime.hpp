@@ -75,12 +75,19 @@ struct RunOptions {
   std::string programName;
 };
 
-/// Why a run ended.
+/// Why a run ended.  The first four are produced by the runtimes themselves;
+/// the last three are assigned by the mtt::farm campaign engine, which
+/// supervises runs from the outside (wall-clock watchdog, forked-worker
+/// crash containment, infrastructure retry exhaustion) and records every
+/// failure mode as an outcome instead of aborting the campaign.
 enum class RunStatus : std::uint8_t {
   Completed,      ///< all managed threads finished
   Deadlock,       ///< controlled: no enabled thread; native: watchdog fired
   AssertFailed,   ///< Runtime::fail / Runtime::check aborted the run
   StepLimit,      ///< controlled: maxSteps exceeded (possible livelock)
+  Timeout,        ///< farm: per-run wall-clock watchdog fired
+  Crashed,        ///< farm: isolated worker process died (signal/abort)
+  InfraError,     ///< farm: harness failure persisted through all retries
 };
 
 std::string_view to_string(RunStatus s);

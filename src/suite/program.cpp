@@ -63,7 +63,7 @@ bool ProgramRegistry::has(const std::string& name) const {
 std::unique_ptr<Program> makeProgram(const std::string& name) {
   registerBuiltins();
   auto p = ProgramRegistry::instance().make(name);
-  if (!p) throw std::runtime_error("mtt: unknown benchmark program " + name);
+  if (!p) throw std::runtime_error("unknown benchmark program " + name);
   return p;
 }
 

@@ -1,0 +1,410 @@
+// Tests for mtt::farm — the parallel, fault-isolated campaign engine:
+// deterministic serial/sharded equivalence, watchdog timeouts, forked-worker
+// crash containment, retry-with-backoff, JSONL streaming, and the new
+// stats merge operations it builds on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "core/stats.hpp"
+#include "farm/farm.hpp"
+
+namespace mtt::farm {
+namespace {
+
+experiment::ExperimentSpec accountSpec(std::size_t runs) {
+  experiment::ExperimentSpec spec;
+  spec.programName = "account";
+  spec.runs = runs;
+  spec.seedBase = 7;
+  spec.tool.policy = "rr";
+  spec.tool.noiseName = "mixed";
+  spec.tool.noiseOpts.strength = 0.4;
+  return spec;
+}
+
+// --- stats merge -----------------------------------------------------------
+
+TEST(StatsMerge, OnlineStatsMatchesSequential) {
+  OnlineStats whole, a, b;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i) * 10.0 + i * 0.25;
+    whole.add(x);
+    (i < 37 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(StatsMerge, OnlineStatsEmptySides) {
+  OnlineStats a, b, empty;
+  a.add(1.0);
+  a.add(3.0);
+  b.merge(a);  // empty.merge(nonempty) adopts
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  a.merge(empty);  // nonempty.merge(empty) is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(StatsMerge, ProportionAndOutcomeDistribution) {
+  Proportion p1, p2;
+  p1.add(true);
+  p1.add(false);
+  p2.add(true);
+  p1.merge(p2);
+  EXPECT_EQ(p1.successes, 2u);
+  EXPECT_EQ(p1.trials, 3u);
+
+  OutcomeDistribution d1, d2;
+  d1.add("x");
+  d1.add("y");
+  d2.add("x");
+  d2.add("z");
+  d1.merge(d2);
+  EXPECT_EQ(d1.total(), 4u);
+  EXPECT_EQ(d1.counts().at("x"), 2u);
+  EXPECT_EQ(d1.distinct(), 3u);
+}
+
+TEST(StatsMerge, ExperimentResultMerge) {
+  auto spec = accountSpec(30);
+  experiment::ExperimentResult whole = experiment::runExperiment(spec);
+
+  experiment::ExperimentSpec left = spec, right = spec;
+  left.runs = 12;
+  right.runs = 18;
+  right.seedBase = spec.seedBase + 12;
+  experiment::ExperimentResult merged = experiment::runExperiment(left);
+  experiment::mergeInto(merged, experiment::runExperiment(right));
+
+  EXPECT_EQ(merged.runs, whole.runs);
+  EXPECT_EQ(merged.manifested.successes, whole.manifested.successes);
+  EXPECT_EQ(merged.manifested.trials, whole.manifested.trials);
+  EXPECT_EQ(merged.outcomes.counts(), whole.outcomes.counts());
+  EXPECT_EQ(merged.statusCounts, whole.statusCounts);
+  EXPECT_EQ(merged.noiseInjections, whole.noiseInjections);
+  EXPECT_NEAR(merged.events.mean(), whole.events.mean(), 1e-9);
+}
+
+// --- record serialization --------------------------------------------------
+
+TEST(RecordIo, PipeRecordRoundTrips) {
+  experiment::RunObservation o;
+  o.runIndex = 42;
+  o.seed = 1234567890123ull;
+  o.status = "assert-failed";
+  o.manifested = true;
+  o.hasDetectors = true;
+  o.detectorHit = true;
+  o.warnings = 3;
+  o.trueWarnings = 2;
+  o.falseWarnings = 1;
+  o.deadlockPotentials = 9;
+  o.wallSeconds = 0.123456789012345678;
+  o.events = 987654;
+  o.noiseInjections = 55;
+  o.outcome = "weird\toutcome\nwith\\escapes";
+  o.failureMessage = "assert: x == y\tfailed";
+  o.attempts = 3;
+
+  experiment::RunObservation back;
+  ASSERT_TRUE(decodePipeRecord(encodePipeRecord(o), back));
+  EXPECT_EQ(back.runIndex, o.runIndex);
+  EXPECT_EQ(back.seed, o.seed);
+  EXPECT_EQ(back.status, o.status);
+  EXPECT_EQ(back.manifested, o.manifested);
+  EXPECT_EQ(back.hasDetectors, o.hasDetectors);
+  EXPECT_EQ(back.detectorHit, o.detectorHit);
+  EXPECT_EQ(back.warnings, o.warnings);
+  EXPECT_EQ(back.deadlockPotentials, o.deadlockPotentials);
+  EXPECT_DOUBLE_EQ(back.wallSeconds, o.wallSeconds);  // %.17g round-trip
+  EXPECT_EQ(back.events, o.events);
+  EXPECT_EQ(back.outcome, o.outcome);
+  EXPECT_EQ(back.failureMessage, o.failureMessage);
+  EXPECT_EQ(back.attempts, o.attempts);
+}
+
+TEST(RecordIo, DecodeRejectsGarbage) {
+  experiment::RunObservation o;
+  EXPECT_FALSE(decodePipeRecord("not a record", o));
+  EXPECT_FALSE(decodePipeRecord("", o));
+}
+
+TEST(RecordIo, JsonHasTheDocumentedFields) {
+  experiment::RunObservation o;
+  o.runIndex = 5;
+  o.seed = 12;
+  o.status = "completed";
+  o.outcome = "he said \"hi\"";
+  std::string j = toJson(o);
+  EXPECT_NE(j.find("\"run\":5"), std::string::npos);
+  EXPECT_NE(j.find("\"seed\":12"), std::string::npos);
+  EXPECT_NE(j.find("\"status\":\"completed\""), std::string::npos);
+  EXPECT_NE(j.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+// --- deterministic equivalence --------------------------------------------
+
+TEST(FarmEquivalence, ShardedCampaignMatchesSerialBitwise) {
+  auto spec = accountSpec(48);
+  experiment::ExperimentResult serial = experiment::runExperiment(spec);
+
+  for (std::size_t jobs : {1u, 4u, 8u}) {
+    FarmOptions fo;
+    fo.jobs = jobs;
+    ExperimentCampaign ec = runExperimentFarm(spec, fo);
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    EXPECT_EQ(ec.result.runs, serial.runs);
+    EXPECT_EQ(ec.result.manifested.successes, serial.manifested.successes);
+    EXPECT_EQ(ec.result.manifested.trials, serial.manifested.trials);
+    EXPECT_EQ(ec.result.outcomes.counts(), serial.outcomes.counts());
+    EXPECT_EQ(ec.result.statusCounts, serial.statusCounts);
+    EXPECT_EQ(ec.result.noiseInjections, serial.noiseInjections);
+    // Records fold in run order, so even the float accumulators are
+    // bitwise identical to the serial path.
+    EXPECT_EQ(ec.result.events.mean(), serial.events.mean());
+    EXPECT_EQ(ec.result.events.variance(), serial.events.variance());
+
+    experiment::ReportOptions ro;
+    ro.timing = false;
+    EXPECT_EQ(experiment::findRateReport("t", {ec.result}, ro),
+              experiment::findRateReport("t", {serial}, ro));
+  }
+}
+
+TEST(FarmEquivalence, ProcessIsolationMatchesSerialToo) {
+  if (!detail::processIsolationSupported()) GTEST_SKIP();
+  auto spec = accountSpec(24);
+  experiment::ExperimentResult serial = experiment::runExperiment(spec);
+
+  FarmOptions fo;
+  fo.jobs = 4;
+  fo.model = WorkerModel::Process;
+  ExperimentCampaign ec = runExperimentFarm(spec, fo);
+  EXPECT_EQ(ec.campaign.model, WorkerModel::Process);
+  EXPECT_EQ(ec.campaign.crashes, 0u);
+  EXPECT_EQ(ec.result.manifested.successes, serial.manifested.successes);
+  EXPECT_EQ(ec.result.outcomes.counts(), serial.outcomes.counts());
+  EXPECT_EQ(ec.result.events.mean(), serial.events.mean());
+  EXPECT_EQ(ec.result.noiseInjections, serial.noiseInjections);
+}
+
+// --- supervision: watchdog, crash containment, retries ---------------------
+
+experiment::RunObservation quickJob(std::uint64_t i) {
+  experiment::RunObservation o;
+  o.runIndex = i;
+  o.seed = i;
+  o.status = "completed";
+  o.outcome = "ok";
+  return o;
+}
+
+TEST(FarmWatchdog, HungRunIsRecordedAndCampaignCompletes) {
+  FarmOptions fo;
+  fo.jobs = 2;
+  fo.runTimeout = std::chrono::milliseconds(60);
+  CampaignResult cr = runJobs(
+      8,
+      [](std::uint64_t i) {
+        if (i == 3) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        }
+        return quickJob(i);
+      },
+      fo);
+  ASSERT_EQ(cr.records.size(), 8u);
+  EXPECT_EQ(cr.timeouts, 1u);
+  EXPECT_EQ(cr.records[3].status, "timeout");
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i != 3) EXPECT_EQ(cr.records[i].status, "completed") << i;
+  }
+}
+
+TEST(FarmWatchdog, ProcessWorkerIsKilledOnTimeout) {
+  if (!detail::processIsolationSupported()) GTEST_SKIP();
+  FarmOptions fo;
+  fo.jobs = 2;
+  fo.model = WorkerModel::Process;
+  fo.runTimeout = std::chrono::milliseconds(80);
+  CampaignResult cr = runJobs(
+      6,
+      [](std::uint64_t i) {
+        if (i == 2) {
+          std::this_thread::sleep_for(std::chrono::seconds(10));  // "hung"
+        }
+        return quickJob(i);
+      },
+      fo);
+  ASSERT_EQ(cr.records.size(), 6u);
+  EXPECT_EQ(cr.timeouts, 1u);
+  EXPECT_EQ(cr.records[2].status, "timeout");
+  EXPECT_EQ(cr.records[5].status, "completed");
+}
+
+TEST(FarmCrash, AbortingWorkerIsContained) {
+  if (!detail::processIsolationSupported()) GTEST_SKIP();
+  FarmOptions fo;
+  fo.jobs = 3;
+  fo.model = WorkerModel::Process;
+  CampaignResult cr = runJobs(
+      9,
+      [](std::uint64_t i) -> experiment::RunObservation {
+        if (i == 4) std::abort();  // isolated: kills only its worker
+        return quickJob(i);
+      },
+      fo);
+  ASSERT_EQ(cr.records.size(), 9u);
+  EXPECT_EQ(cr.crashes, 1u);
+  EXPECT_EQ(cr.records[4].status, "crashed");
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (i != 4) EXPECT_EQ(cr.records[i].status, "completed") << i;
+  }
+}
+
+TEST(FarmRetry, TransientInfraFailureIsRetried) {
+  std::atomic<int> failures{2};
+  FarmOptions fo;
+  fo.jobs = 1;
+  fo.maxRetries = 3;
+  fo.retryBackoff = std::chrono::milliseconds(1);
+  CampaignResult cr = runJobs(
+      3,
+      [&failures](std::uint64_t i) {
+        if (i == 1 && failures.fetch_sub(1) > 0) {
+          throw std::runtime_error("transient harness failure");
+        }
+        return quickJob(i);
+      },
+      fo);
+  ASSERT_EQ(cr.records.size(), 3u);
+  EXPECT_EQ(cr.records[1].status, "completed");
+  EXPECT_EQ(cr.records[1].attempts, 3u);
+  EXPECT_EQ(cr.retries, 2u);
+  EXPECT_EQ(cr.infraErrors, 0u);
+}
+
+TEST(FarmRetry, PersistentInfraFailureIsRecordedNotFatal) {
+  FarmOptions fo;
+  fo.jobs = 2;
+  fo.maxRetries = 1;
+  fo.retryBackoff = std::chrono::milliseconds(1);
+  CampaignResult cr = runJobs(
+      4,
+      [](std::uint64_t i) -> experiment::RunObservation {
+        if (i == 0) throw std::runtime_error("broken harness");
+        return quickJob(i);
+      },
+      fo);
+  ASSERT_EQ(cr.records.size(), 4u);
+  EXPECT_EQ(cr.records[0].status, "infra-error");
+  EXPECT_EQ(cr.records[0].attempts, 2u);
+  EXPECT_NE(cr.records[0].failureMessage.find("broken harness"),
+            std::string::npos);
+  EXPECT_EQ(cr.infraErrors, 1u);
+  EXPECT_EQ(cr.records[3].status, "completed");
+}
+
+// --- early stop + JSONL ----------------------------------------------------
+
+TEST(FarmStop, StopOnRecordCancelsRemainingRuns) {
+  FarmOptions fo;
+  fo.jobs = 2;
+  fo.stopOnRecord = [](const experiment::RunObservation& o) {
+    return o.runIndex == 1;
+  };
+  CampaignResult cr = runJobs(1000, quickJob, fo);
+  EXPECT_TRUE(cr.stoppedEarly);
+  EXPECT_LT(cr.records.size(), 1000u);
+  EXPECT_GE(cr.records.size(), 1u);
+}
+
+TEST(FarmJsonl, StreamsOneRecordPerRun) {
+  std::string path = ::testing::TempDir() + "farm_stream.jsonl";
+  auto spec = accountSpec(10);
+  FarmOptions fo;
+  fo.jobs = 4;
+  fo.jsonlPath = path;
+  ExperimentCampaign ec = runExperimentFarm(spec, fo);
+  ASSERT_EQ(ec.result.runs, 10u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"run\":"), std::string::npos);
+    EXPECT_NE(line.find("\"status\":"), std::string::npos);
+    EXPECT_NE(line.find("\"worker\":"), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 10u);
+  std::remove(path.c_str());
+}
+
+// --- supervised outcomes flow into the experiment merge --------------------
+
+TEST(FarmMerge, SupervisedRecordsBecomeRunStatusOutcomes) {
+  auto spec = accountSpec(6);
+  FarmOptions fo;
+  fo.jobs = 2;
+  ExperimentCampaign ec = runExperimentFarm(spec, fo);
+
+  // Splice in a synthetic timeout record the way the engine would and
+  // re-fold: the outcome distribution and status counts must reflect it.
+  experiment::RunObservation t;
+  t.runIndex = 99;
+  t.seed = 99;
+  t.status = "timeout";
+  experiment::ExperimentResult again;
+  for (const auto& r : ec.campaign.records) experiment::accumulate(again, r);
+  experiment::accumulate(again, t);
+  EXPECT_EQ(again.statusCounts.at("timeout"), 1u);
+  EXPECT_EQ(again.outcomes.counts().at("farm:timeout"), 1u);
+  EXPECT_EQ(again.manifested.trials, 7u);
+}
+
+// --- configuration validation ----------------------------------------------
+
+TEST(FarmValidation, UnknownNamesFailFastWithClearErrors) {
+  auto spec = accountSpec(5);
+  spec.tool.policy = "bogus";
+  EXPECT_THROW(runExperimentFarm(spec, {}), std::runtime_error);
+
+  spec = accountSpec(5);
+  spec.tool.noiseName = "zap";
+  EXPECT_THROW(runExperimentFarm(spec, {}), std::runtime_error);
+
+  spec = accountSpec(5);
+  spec.tool.detectors = {"nope"};
+  EXPECT_THROW(runExperimentFarm(spec, {}), std::runtime_error);
+
+  spec = accountSpec(5);
+  spec.programName = "no_such_program";
+  EXPECT_THROW(runExperimentFarm(spec, {}), std::runtime_error);
+
+  try {
+    experiment::makePolicy("bogus");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rr"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mtt::farm

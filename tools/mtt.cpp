@@ -18,12 +18,14 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/table.hpp"
 #include "deadlock/lockgraph.hpp"
 #include "experiment/experiment.hpp"
+#include "farm/farm.hpp"
 #include "explore/explorer.hpp"
 #include "model/checker.hpp"
 #include "model/static.hpp"
@@ -49,11 +51,24 @@ struct Args {
   }
   std::uint64_t getU64(const std::string& k, std::uint64_t dflt) const {
     auto it = options.find(k);
-    return it == options.end() ? dflt : std::stoull(it->second);
+    if (it == options.end()) return dflt;
+    try {
+      if (!it->second.empty() && it->second[0] == '-') throw std::exception();
+      return std::stoull(it->second);
+    } catch (const std::exception&) {
+      throw std::runtime_error("--" + k + " expects a non-negative integer, got '" +
+                               it->second + "'");
+    }
   }
   double getF(const std::string& k, double dflt) const {
     auto it = options.find(k);
-    return it == options.end() ? dflt : std::stod(it->second);
+    if (it == options.end()) return dflt;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw std::runtime_error("--" + k + " expects a number, got '" +
+                               it->second + "'");
+    }
   }
 };
 
@@ -84,12 +99,20 @@ int usage() {
       "  run <program> [--seed N] [--mode controlled|native]\n"
       "                [--policy rr|random|priority] [--noise H] [--strength F]\n"
       "  hunt <program> [--seeds N] [--noise H] [--policy P] [--out FILE]\n"
+      "                [--jobs N] [--timeout-ms T] [--jsonl FILE]\n"
       "  replay <program> <scenario-file> [--seed N] [--noise H] [--strength F]\n"
       "  explore <program> [--bound K] [--budget N] [--random-walk]\n"
       "  tracegen <dir> [--programs a,b,c] [--seeds N] [--noise H] [--binary]\n"
       "  analyze <trace-file...>\n"
       "  experiment <program> [--runs N] [--policy P] [--noise a,b,c]\n"
-      "  check <program>                        static + model checking\n",
+      "                [--detectors a,b,c] [--jobs N] [--timeout-ms T]\n"
+      "                [--jsonl FILE] [--isolate] [--progress] [--no-timing]\n"
+      "  check <program>                        static + model checking\n"
+      "\n"
+      "  farm flags: --jobs N shards runs over N workers (0 = all cores);\n"
+      "  --timeout-ms is a per-run watchdog; --jsonl streams one JSON record\n"
+      "  per run; --isolate forks worker processes (crash containment);\n"
+      "  --no-timing drops wall-clock columns for byte-stable reports.\n",
       stderr);
   return 2;
 }
@@ -160,11 +183,33 @@ struct RunSetup {
   std::unique_ptr<noise::NoiseMaker> noiseMaker;
 };
 
+RuntimeMode parseMode(const Args& a) {
+  std::string m = a.get("mode", "controlled");
+  if (m == "native") return RuntimeMode::Native;
+  if (m == "controlled") return RuntimeMode::Controlled;
+  throw std::runtime_error("unknown mode '" + m +
+                           "' (valid: controlled, native)");
+}
+
+farm::FarmOptions farmOptions(const Args& a) {
+  farm::FarmOptions fo;
+  fo.jobs = static_cast<std::size_t>(a.getU64("jobs", 0));
+  fo.runTimeout = std::chrono::milliseconds(a.getU64("timeout-ms", 0));
+  fo.jsonlPath = a.get("jsonl", "");
+  fo.model = a.has("isolate") ? farm::WorkerModel::Process
+                              : farm::WorkerModel::Thread;
+  fo.progress = a.has("progress");
+  return fo;
+}
+
+bool farmRequested(const Args& a) {
+  return a.has("jobs") || a.has("timeout-ms") || a.has("jsonl") ||
+         a.has("isolate") || a.has("progress");
+}
+
 RunSetup makeSetup(const Args& a, rt::SchedulePolicy* policyRef) {
   RunSetup s;
-  RuntimeMode mode = a.get("mode", "controlled") == "native"
-                         ? RuntimeMode::Native
-                         : RuntimeMode::Controlled;
+  RuntimeMode mode = parseMode(a);
   std::unique_ptr<rt::SchedulePolicy> policy;
   if (policyRef != nullptr) {
     policy = std::make_unique<rt::PolicyRef>(*policyRef);
@@ -212,44 +257,101 @@ int cmdRun(const Args& a) {
   return p->evaluate(r) == suite::Verdict::BugManifested ? 1 : 0;
 }
 
+// Re-executes one hunted seed with a RecordingPolicy and saves the schedule
+// (controlled mode is deterministic in (policy, seed), so the recording run
+// reproduces exactly what the scan observed).  Returns the run status.
+rt::RunStatus recordScenario(const Args& a, suite::Program& p,
+                             std::uint64_t seed, const std::string& outPath,
+                             std::size_t* decisions) {
+  rt::RecordingPolicy rec(experiment::makePolicy(a.get("policy", "random")));
+  Args aa = a;
+  aa.options["mode"] = "controlled";
+  RunSetup s = makeSetup(aa, &rec);
+  p.reset();
+  rt::RunOptions o = p.defaultRunOptions();
+  o.seed = seed;
+  o.programName = p.name();
+  rt::RunResult r = s.runtime->run([&](rt::Runtime& rr) { p.body(rr); }, o);
+  replay::saveSchedule(rec.schedule(), outPath);
+  *decisions = rec.schedule().size();
+  return r.status;
+}
+
 int cmdHunt(const Args& a) {
   if (a.positional.empty()) return usage();
   auto p = suite::makeProgram(a.positional[0]);
   std::uint64_t seeds = a.getU64("seeds", 500);
   std::string outPath = a.get("out", "/tmp/" + p->name() + ".scenario");
-  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
-    rt::RecordingPolicy rec(experiment::makePolicy(a.get("policy", "random")));
-    Args aa = a;
-    aa.options["mode"] = "controlled";
-    RunSetup s = makeSetup(aa, &rec);
-    p->reset();
-    rt::RunOptions o = p->defaultRunOptions();
-    o.seed = seed;
-    o.programName = p->name();
-    rt::RunResult r =
-        s.runtime->run([&](rt::Runtime& rr) { p->body(rr); }, o);
-    if (p->evaluate(r) == suite::Verdict::BugManifested) {
-      replay::saveSchedule(rec.schedule(), outPath);
-      std::string noiseArgs;
-      if (a.has("noise")) {
-        noiseArgs = " --noise " + a.get("noise", "") + " --strength " +
-                    a.get("strength", "0.25");
+
+  // The seed scan is a farm campaign: sharded over --jobs workers, stopped
+  // at the first manifestation, optionally streamed to --jsonl.
+  experiment::ExperimentSpec spec;
+  spec.programName = p->name();
+  spec.runs = seeds;
+  spec.tool.mode = RuntimeMode::Controlled;
+  spec.tool.policy = a.get("policy", "random");
+  spec.tool.noiseName = a.get("noise", "none");
+  spec.tool.noiseOpts.strength = a.getF("strength", 0.25);
+  experiment::validateToolConfig(spec.tool);
+
+  std::optional<std::uint64_t> found;
+  std::string foundStatus;
+  std::uint64_t scanned = 0;
+  if (!farmRequested(a)) {
+    // Serial scan: exact legacy behavior (stops at the first seed, in
+    // order), no farm machinery involved.
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      experiment::RunObservation obs =
+          experiment::executeRun(spec, static_cast<std::size_t>(seed));
+      ++scanned;
+      if (obs.manifested) {
+        found = seed;
+        foundStatus = obs.status;
+        break;
       }
-      std::printf(
-          "bug manifested at seed %llu (%s) after %llu runs\n"
-          "scenario saved to %s (%zu decisions)\n"
-          "replay with: mtt replay %s %s --seed %llu%s\n",
-          static_cast<unsigned long long>(seed),
-          std::string(to_string(r.status)).c_str(),
-          static_cast<unsigned long long>(seed + 1), outPath.c_str(),
-          rec.schedule().size(), p->name().c_str(), outPath.c_str(),
-          static_cast<unsigned long long>(seed), noiseArgs.c_str());
-      return 0;
+    }
+  } else {
+    farm::FarmOptions fo = farmOptions(a);
+    fo.stopOnRecord = [](const experiment::RunObservation& o) {
+      return o.manifested;
+    };
+    farm::CampaignResult cr = farm::runJobs(
+        seeds,
+        [&spec](std::uint64_t i) {
+          return experiment::executeRun(spec, static_cast<std::size_t>(i));
+        },
+        fo);
+    scanned = cr.records.size();
+    for (const auto& r : cr.records) {  // sorted: smallest manifesting seed
+      if (r.manifested) {
+        found = r.runIndex;
+        foundStatus = r.status;
+        break;
+      }
     }
   }
-  std::printf("no manifestation in %llu seeds\n",
-              static_cast<unsigned long long>(seeds));
-  return 1;
+
+  if (!found) {
+    std::printf("no manifestation in %llu seeds\n",
+                static_cast<unsigned long long>(seeds));
+    return 1;
+  }
+  std::size_t decisions = 0;
+  recordScenario(a, *p, *found, outPath, &decisions);
+  std::string noiseArgs;
+  if (a.has("noise")) {
+    noiseArgs = " --noise " + a.get("noise", "") + " --strength " +
+                a.get("strength", "0.25");
+  }
+  std::printf(
+      "bug manifested at seed %llu (%s) after %llu runs\n"
+      "scenario saved to %s (%zu decisions)\n"
+      "replay with: mtt replay %s %s --seed %llu%s\n",
+      static_cast<unsigned long long>(*found), foundStatus.c_str(),
+      static_cast<unsigned long long>(scanned), outPath.c_str(), decisions,
+      p->name().c_str(), outPath.c_str(),
+      static_cast<unsigned long long>(*found), noiseArgs.c_str());
+  return 0;
 }
 
 int cmdReplay(const Args& a) {
@@ -388,20 +490,50 @@ int cmdExperiment(const Args& a) {
       a.has("noise") ? splitList(a.get("noise", ""))
                      : std::vector<std::string>{"none", "yield", "sleep",
                                                 "mixed"};
+  std::vector<std::string> detectors = splitList(a.get("detectors", ""));
   std::vector<experiment::ExperimentResult> rows;
+  std::size_t supervised = 0;
+  bool first = true;
   for (const auto& h : heuristics) {
     experiment::ExperimentSpec spec;
     spec.programName = a.positional[0];
     spec.runs = a.getU64("runs", 100);
+    spec.tool.mode = parseMode(a);
     spec.tool.policy = a.get("policy", "rr");
     spec.tool.noiseName = h;
     spec.tool.noiseOpts.strength = a.getF("strength", 0.25);
-    rows.push_back(experiment::runExperiment(spec));
+    spec.tool.detectors = detectors;
+    experiment::validateToolConfig(spec.tool);
+    if (!farmRequested(a)) {
+      rows.push_back(experiment::runExperiment(spec));
+    } else {
+      farm::FarmOptions fo = farmOptions(a);
+      fo.jsonlAppend = !first;  // one stream across all campaign rows
+      farm::ExperimentCampaign ec = farm::runExperimentFarm(spec, fo);
+      supervised += ec.campaign.timeouts + ec.campaign.crashes +
+                    ec.campaign.infraErrors;
+      rows.push_back(std::move(ec.result));
+    }
+    first = false;
   }
+  experiment::ReportOptions ro;
+  ro.timing = !a.has("no-timing");
   std::fputs(experiment::findRateReport(
-                 "prepared experiment / " + a.positional[0], rows)
+                 "prepared experiment / " + a.positional[0], rows, ro)
                  .c_str(),
              stdout);
+  if (!detectors.empty()) {
+    std::fputs(experiment::detectorReport(
+                   "detector quality / " + a.positional[0], rows)
+                   .c_str(),
+               stdout);
+  }
+  if (supervised > 0) {
+    std::fprintf(stderr,
+                 "mtt: %zu run(s) ended under farm supervision "
+                 "(timeout/crash/infra); see statusCounts or --jsonl\n",
+                 supervised);
+  }
   return 0;
 }
 
