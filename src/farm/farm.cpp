@@ -3,6 +3,8 @@
 // The forked-process worker model lives in process_pool.cpp.
 #include "farm/farm.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <deque>
 #include <future>
 #include <memory>
@@ -209,6 +211,61 @@ CampaignResult runJobsThreads(std::uint64_t total, const JobFn& fn,
 }
 
 }  // namespace detail
+
+CandidateScan scanCandidates(std::uint64_t total,
+                             const std::function<bool(std::uint64_t)>& accept,
+                             std::size_t jobs) {
+  CandidateScan scan;
+  auto tryIndex = [&accept](std::uint64_t i) {
+    try {
+      return accept(i);
+    } catch (...) {
+      return false;  // a throwing candidate is a rejected candidate
+    }
+  };
+  if (jobs <= 1 || total <= 1) {
+    for (std::uint64_t i = 0; i < total; ++i) {
+      ++scan.evaluated;
+      if (tryIndex(i)) {
+        scan.found = true;
+        scan.index = i;
+        return scan;
+      }
+    }
+    return scan;
+  }
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> best{total};
+  std::atomic<std::uint64_t> evaluated{0};
+  std::size_t workers = std::min<std::size_t>(resolveJobs(jobs),
+                                              static_cast<std::size_t>(total));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        // Skipping is only safe past an already-accepted smaller index:
+        // every index below the final minimum is always evaluated.
+        if (i >= total || i >= best.load(std::memory_order_acquire)) return;
+        evaluated.fetch_add(1, std::memory_order_relaxed);
+        if (tryIndex(i)) {
+          std::uint64_t cur = best.load(std::memory_order_acquire);
+          while (i < cur &&
+                 !best.compare_exchange_weak(cur, i,
+                                             std::memory_order_acq_rel)) {
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  scan.evaluated = evaluated.load();
+  std::uint64_t b = best.load();
+  scan.found = b < total;
+  scan.index = scan.found ? b : 0;
+  return scan;
+}
 
 CampaignResult runJobs(std::uint64_t total, const JobFn& fn,
                        const FarmOptions& options) {

@@ -124,6 +124,28 @@ struct ExperimentCampaign {
 ExperimentCampaign runExperimentFarm(const experiment::ExperimentSpec& spec,
                                      const FarmOptions& options);
 
+// --- generic candidate evaluation ----------------------------------------
+
+/// Outcome of a scanCandidates call.
+struct CandidateScan {
+  bool found = false;
+  std::uint64_t index = 0;      ///< smallest accepted index (when found)
+  std::uint64_t evaluated = 0;  ///< predicate invocations actually performed
+};
+
+/// Deterministic first-accepted-candidate selection: evaluates candidates
+/// 0..total-1 with `accept` (which must be a pure, thread-safe function of
+/// its index) on `jobs` workers and returns the SMALLEST accepted index.
+/// Workers race ahead, but an index is only skipped when a smaller index has
+/// already been accepted, so the result is identical for any worker count —
+/// this is what makes farm-parallel schedule minimization byte-stable.
+/// `evaluated` is exact and minimal for jobs<=1 (serial early-stop order);
+/// with more workers speculative evaluations may raise it.  A predicate
+/// that throws counts as a rejection.
+CandidateScan scanCandidates(std::uint64_t total,
+                             const std::function<bool(std::uint64_t)>& accept,
+                             std::size_t jobs);
+
 // --- record serialization (exposed for tests and external consumers) -----
 
 /// The JSONL encoding of one run record, as streamed to FarmOptions::

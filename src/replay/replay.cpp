@@ -1,38 +1,131 @@
 #include "replay/replay.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace mtt::replay {
 
-void saveSchedule(const rt::Schedule& s, const std::string& path) {
+namespace {
+
+[[noreturn]] void badScenario(const std::string& path, const std::string& why) {
+  throw std::runtime_error("bad scenario file " + path + ": " + why);
+}
+
+std::vector<ThreadId> readDecisions(std::istream& f, const std::string& path,
+                                    std::uint64_t n) {
+  if (n > kMaxScenarioDecisions) {
+    badScenario(path, "implausible decision count " + std::to_string(n));
+  }
+  std::vector<ThreadId> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t t = 0;
+    if (!(f >> t)) {
+      badScenario(path, "truncated decision list (" + std::to_string(i) +
+                            " of " + std::to_string(n) + " decisions)");
+    }
+    if (t == kNoThread || t > kMaxThreads) {
+      badScenario(path, "invalid thread id " + std::to_string(t) +
+                            " at decision " + std::to_string(i));
+    }
+    out.push_back(static_cast<ThreadId>(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+void saveScenario(const Scenario& s, const std::string& path) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
   std::ofstream f(path);
-  if (!f) throw std::runtime_error("mtt: cannot open " + path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  char strength[64];
+  std::snprintf(strength, sizeof(strength), "%.17g", s.strength);
+  f << "MTTSCHED 2\n"
+    << "program " << s.program << '\n'
+    << "seed " << s.seed << '\n'
+    << "policy " << s.policy << '\n'
+    << "noise " << s.noise << '\n'
+    << "strength " << strength << '\n'
+    << "decisions " << s.schedule.decisions.size() << '\n';
+  for (ThreadId t : s.schedule.decisions) f << t << '\n';
+  f << "end\n";
+  if (!f) throw std::runtime_error("scenario write failed: " + path);
+}
+
+Scenario loadScenario(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open scenario file " + path);
+  std::string magic;
+  int version = 0;
+  if (!(f >> magic) || magic != "MTTSCHED") {
+    badScenario(path, "not a scenario/schedule file (bad magic)");
+  }
+  if (!(f >> version)) badScenario(path, "missing format version");
+  Scenario s;
+  if (version == 1) {
+    std::uint64_t n = 0;
+    if (!(f >> n)) badScenario(path, "missing decision count");
+    s.schedule.decisions = readDecisions(f, path, n);
+    return s;
+  }
+  if (version != 2) {
+    badScenario(path, "unsupported version " + std::to_string(version));
+  }
+  // v2 header: "key value" lines until the decisions count, then the
+  // decision list, then the "end" trailer that catches truncation.
+  std::uint64_t n = 0;
+  bool haveCount = false;
+  for (std::string key; !haveCount;) {
+    if (!(f >> key)) badScenario(path, "truncated header");
+    if (key == "program") {
+      if (!(f >> s.program)) badScenario(path, "truncated 'program' field");
+    } else if (key == "seed") {
+      if (!(f >> s.seed)) badScenario(path, "malformed 'seed' field");
+    } else if (key == "policy") {
+      if (!(f >> s.policy)) badScenario(path, "truncated 'policy' field");
+    } else if (key == "noise") {
+      if (!(f >> s.noise)) badScenario(path, "truncated 'noise' field");
+    } else if (key == "strength") {
+      if (!(f >> s.strength)) badScenario(path, "malformed 'strength' field");
+    } else if (key == "decisions") {
+      if (!(f >> n)) badScenario(path, "malformed decision count");
+      haveCount = true;
+    } else {
+      badScenario(path, "unknown header key '" + key + "'");
+    }
+  }
+  s.schedule.decisions = readDecisions(f, path, n);
+  std::string trailer;
+  if (!(f >> trailer) || trailer != "end") {
+    badScenario(path, "missing 'end' trailer (file truncated?)");
+  }
+  return s;
+}
+
+void saveSchedule(const rt::Schedule& s, const std::string& path) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
   f << "MTTSCHED 1\n" << s.decisions.size() << '\n';
   for (ThreadId t : s.decisions) f << t << '\n';
-  if (!f) throw std::runtime_error("mtt: schedule write failed");
+  if (!f) throw std::runtime_error("schedule write failed");
 }
 
 rt::Schedule loadSchedule(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) throw std::runtime_error("mtt: cannot open " + path);
-  std::string magic;
-  int version = 0;
-  f >> magic >> version;
-  if (magic != "MTTSCHED" || version != 1) {
-    throw std::runtime_error("mtt: not a schedule file: " + path);
-  }
-  std::size_t n = 0;
-  f >> n;
-  rt::Schedule s;
-  s.decisions.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    ThreadId t = kNoThread;
-    f >> t;
-    if (!f) throw std::runtime_error("mtt: truncated schedule file");
-    s.decisions.push_back(t);
-  }
-  return s;
+  return loadScenario(path).schedule;
 }
 
 EventKind opClass(EventKind k) {

@@ -37,9 +37,38 @@
 
 namespace mtt::replay {
 
-// --- controlled-mode schedule persistence ----------------------------------
+// --- controlled-mode scenario persistence ----------------------------------
 
-/// Saves a schedule as a small text artifact ("scenario" file).
+/// A saved scenario: the recorded schedule plus the metadata needed to
+/// re-execute it "with the push of a button" — which program was run, which
+/// seed, and which tool stack (policy/noise) shaped the recorded run.
+/// Version-2 scenario files carry this header; version-1 files are the bare
+/// schedule (program empty, tool fields defaulted).
+struct Scenario {
+  std::string program;           ///< suite program name ("" for v1 files)
+  std::uint64_t seed = 0;        ///< run seed (noise makers derive from it)
+  std::string policy = "random"; ///< policy that recorded it (informational)
+  std::string noise = "none";    ///< noise heuristic active while recording
+  double strength = 0.25;        ///< noise strength while recording
+  rt::Schedule schedule;
+};
+
+/// Upper bounds rejected by the loader before any allocation happens, so a
+/// corrupt header can neither exhaust memory nor fabricate thread ids.
+inline constexpr std::size_t kMaxScenarioDecisions = 16u << 20;
+
+/// Writes a version-2 scenario file, creating parent directories as needed.
+void saveScenario(const Scenario& s, const std::string& path);
+
+/// Loads a version-1 or version-2 scenario file.  Hardened: a missing,
+/// truncated, or corrupt file (bad magic, unsupported version, malformed
+/// header, implausible decision count, invalid thread id, missing trailer)
+/// throws std::runtime_error with a diagnostic naming the path and the
+/// defect — never UB and never a silently empty schedule.
+Scenario loadScenario(const std::string& path);
+
+/// Legacy helpers: bare-schedule persistence (version-1 file format).
+/// loadSchedule accepts both versions and discards the header.
 void saveSchedule(const rt::Schedule& s, const std::string& path);
 rt::Schedule loadSchedule(const std::string& path);
 

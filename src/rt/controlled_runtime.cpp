@@ -117,6 +117,7 @@ void ControlledRuntime::scheduleNextLocked() {
       }
       ++steps_;
       Tcb& c = tcbOf(choice);
+      decisionNoise_.push_back(c.pending.injected);
       c.go = true;
       c.cv.notify_one();
       return;
@@ -507,12 +508,14 @@ void ControlledRuntime::visibleOp(PendingOp op, bool mayThrow,
            ++i) {
         PendingOp y;
         y.code = OpCode::Yield;
+        y.injected = true;
         visibleOp(y, mayThrow, /*applyNoise=*/false);
       }
     } else if (nr.kind == NoiseRequest::Kind::Sleep) {
       PendingOp sl;
       sl.code = OpCode::Sleep;
       sl.arg = std::max<std::uint32_t>(nr.amount, 1);
+      sl.injected = true;
       visibleOp(sl, mayThrow, /*applyNoise=*/false);
     }
   }
@@ -603,6 +606,7 @@ RunResult ControlledRuntime::run(std::function<void(Runtime&)> body,
     steps_ = 0;
     maxSteps_ = opts.maxSteps == 0 ? ~std::uint64_t{0} : opts.maxSteps;
     blocked_.clear();
+    decisionNoise_.clear();
     resetEventCount();
   }
   policy_->onRunStart(opts.seed);

@@ -42,6 +42,13 @@ class ControlledRuntime final : public Runtime {
   RunResult run(std::function<void(Runtime&)> body,
                 const RunOptions& opts) override;
 
+  /// Per-decision provenance of the last run, parallel to a recorded
+  /// Schedule: true where the decision scheduled a noise-injected yield or
+  /// sleep (Runtime::postNoise), false for the program's own operations.
+  /// Projecting the noise decisions out of a recording yields the schedule
+  /// of the same run with no noise maker attached (triage's noise-strip).
+  const std::vector<bool>& decisionNoise() const { return decisionNoise_; }
+
   ThreadId spawnThread(std::string name, std::function<void()> fn) override;
   void joinThread(ThreadId target, Site s) override;
   void reapThread(ThreadId target) noexcept override;
@@ -108,6 +115,7 @@ class ControlledRuntime final : public Runtime {
     std::uint64_t wakeStep = 0;   ///< sleep expiry (virtual step)
     bool condResume = false;      ///< Lock is a reacquire after cond wait
     bool everBlocked = false;     ///< op was seen disabled at least once
+    bool injected = false;        ///< noise-injected yield/sleep (postNoise)
   };
 
   enum class St : std::uint8_t {
@@ -182,6 +190,7 @@ class ControlledRuntime final : public Runtime {
   std::uint64_t steps_ = 0;
   std::uint64_t maxSteps_ = 0;
   std::vector<BlockedThreadInfo> blocked_;
+  std::vector<bool> decisionNoise_;
   bool runActive_ = false;
 };
 

@@ -13,6 +13,8 @@ thread_local void* tl_native_current = nullptr;
 
 // Abort-responsiveness granularity for watchdog waits.
 constexpr std::chrono::milliseconds kSlice{10};
+// Poll granularity for contended mutex acquisition (see mutexLock).
+constexpr std::chrono::microseconds kLockPoll{100};
 }  // namespace
 
 NativeRuntime::~NativeRuntime() { assert(osThreads_.empty()); }
@@ -264,8 +266,15 @@ void NativeRuntime::mutexLock(MutexState& m, Site s) {
   if (!m.native.try_lock()) {
     contended = true;
     auto deadline = std::chrono::steady_clock::now() + blockTimeout_;
+    // Poll with try_lock instead of blocking in try_lock_for: glibc
+    // implements timed_mutex::try_lock_for via pthread_mutex_clocklock,
+    // which TSan does not intercept — an acquisition through it is
+    // invisible to the tool, so the owner-bookkeeping writes below and the
+    // eventual unlock get reported as races on a mutex TSan believes is
+    // unlocked.  try_lock maps to pthread_mutex_trylock, which TSan models.
     for (;;) {
-      if (m.native.try_lock_for(kSlice)) break;
+      if (m.native.try_lock()) break;
+      std::this_thread::sleep_for(kLockPoll);
       checkAbort();
       if (std::chrono::steady_clock::now() >= deadline) {
         watchdogFired("mutex " + objectInfo(m.id).name, m.id);

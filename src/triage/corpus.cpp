@@ -1,0 +1,280 @@
+#include "triage/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "triage/probe.hpp"
+
+namespace mtt::triage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kWitnessFile = "witness.scenario";
+constexpr const char* kMetaFile = "meta";
+constexpr const char* kIndexFile = "index.tsv";
+
+void writeMeta(const fs::path& path, const CorpusEntry& e) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("corpus: cannot write " + path.string());
+  }
+  out << "MTTMETA 1\n";
+  out << "program " << e.program << '\n';
+  out << "fingerprint " << e.fingerprint << '\n';
+  out << "kind " << e.kind << '\n';
+  out << "seed " << e.seed << '\n';
+  out << "decisions " << e.decisions << '\n';
+  out << "preemptions " << e.preemptions << '\n';
+  out << "discovered " << e.discovered << '\n';
+  out << "verified " << (e.replayVerified ? 1 : 0) << '\n';
+  out << "shrunk " << (e.shrunk ? 1 : 0) << '\n';
+  out << "noise " << e.noise << '\n';
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", e.strength);
+  out << "strength " << buf << '\n';
+  std::istringstream canon(e.canonical);
+  for (std::string line; std::getline(canon, line);) {
+    out << "sig " << line << '\n';
+  }
+  out << "end\n";
+  if (!out.flush()) {
+    throw std::runtime_error("corpus: short write to " + path.string());
+  }
+}
+
+bool parseU64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end && *end == '\0';
+}
+
+}  // namespace
+
+fs::path Corpus::bucketDir(const std::string& program,
+                           const std::string& fingerprint) const {
+  return root_ / program / fingerprint;
+}
+
+fs::path Corpus::witnessPath(const std::string& program,
+                             const std::string& fingerprint) const {
+  return bucketDir(program, fingerprint) / kWitnessFile;
+}
+
+std::optional<CorpusEntry> Corpus::loadEntry(const fs::path& dir) const {
+  std::ifstream in(dir / kMetaFile);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != "MTTMETA 1") return std::nullopt;
+  CorpusEntry e;
+  bool sawEnd = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      sawEnd = true;
+      break;
+    }
+    auto space = line.find(' ');
+    std::string key = line.substr(0, space);
+    std::string val = space == std::string::npos ? "" : line.substr(space + 1);
+    std::uint64_t n = 0;
+    if (key == "program") {
+      e.program = val;
+    } else if (key == "fingerprint") {
+      e.fingerprint = val;
+    } else if (key == "kind") {
+      e.kind = val;
+    } else if (key == "seed" && parseU64(val, n)) {
+      e.seed = n;
+    } else if (key == "decisions" && parseU64(val, n)) {
+      e.decisions = n;
+    } else if (key == "preemptions" && parseU64(val, n)) {
+      e.preemptions = n;
+    } else if (key == "discovered" && parseU64(val, n)) {
+      e.discovered = n;
+    } else if (key == "verified") {
+      e.replayVerified = val == "1";
+    } else if (key == "shrunk") {
+      e.shrunk = val == "1";
+    } else if (key == "noise") {
+      e.noise = val;
+    } else if (key == "strength") {
+      e.strength = std::strtod(val.c_str(), nullptr);
+    } else if (key == "sig") {
+      e.canonical += val;
+      e.canonical += '\n';
+    } else {
+      return std::nullopt;  // unknown key: treat the bucket as corrupt
+    }
+  }
+  if (!sawEnd || e.program.empty() || e.fingerprint.empty()) {
+    return std::nullopt;
+  }
+  e.scenarioPath = dir / kWitnessFile;
+  std::error_code ec;
+  if (!fs::exists(e.scenarioPath, ec)) return std::nullopt;
+  return e;
+}
+
+InsertResult Corpus::insert(const replay::Scenario& s,
+                            const FailureSignature& sig, bool replayVerified,
+                            bool shrunk, std::uint64_t discoveredEpoch) {
+  if (!sig.failure()) {
+    throw std::runtime_error(
+        "corpus: refusing to insert a non-failing scenario");
+  }
+  if (s.program.empty()) {
+    throw std::runtime_error("corpus: scenario has no program name");
+  }
+  InsertResult res;
+  res.fingerprint = sig.fingerprint();
+  fs::path dir = bucketDir(s.program, res.fingerprint);
+  res.witness = dir / kWitnessFile;
+
+  CorpusEntry e;
+  e.program = s.program;
+  e.fingerprint = res.fingerprint;
+  e.kind = std::string(to_string(sig.kind));
+  e.canonical = sig.canonical();
+  e.seed = s.seed;
+  e.decisions = s.schedule.size();
+  e.preemptions = countPreemptions(s.schedule.decisions);
+  e.discovered = discoveredEpoch;
+  e.replayVerified = replayVerified;
+  e.shrunk = shrunk;
+  e.noise = s.noise;
+  e.strength = s.strength;
+  e.scenarioPath = res.witness;
+
+  std::optional<CorpusEntry> existing = loadEntry(dir);
+  if (existing) {
+    bool better = e.decisions < existing->decisions ||
+                  (e.decisions == existing->decisions &&
+                   e.preemptions < existing->preemptions);
+    if (!better) return res;  // bucket already holds a witness at least as small
+    e.discovered = existing->discovered;  // first discovery time sticks
+    res.replaced = true;
+  } else {
+    res.inserted = true;
+  }
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  replay::saveScenario(s, res.witness.string());
+  writeMeta(dir / kMetaFile, e);
+  rebuildIndex();
+  return res;
+}
+
+std::vector<CorpusEntry> Corpus::entries(
+    const std::string& programFilter) const {
+  std::vector<CorpusEntry> out;
+  std::error_code ec;
+  if (!fs::is_directory(root_, ec)) return out;
+  for (const auto& progDir : fs::directory_iterator(root_, ec)) {
+    if (!progDir.is_directory()) continue;
+    std::string program = progDir.path().filename().string();
+    if (!programFilter.empty() && program != programFilter) continue;
+    std::error_code ec2;
+    for (const auto& bucket : fs::directory_iterator(progDir.path(), ec2)) {
+      if (!bucket.is_directory()) continue;
+      if (auto e = loadEntry(bucket.path())) out.push_back(std::move(*e));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) {
+              return std::tie(a.program, a.fingerprint) <
+                     std::tie(b.program, b.fingerprint);
+            });
+  return out;
+}
+
+std::optional<CorpusEntry> Corpus::find(const std::string& program,
+                                        const std::string& fingerprint) const {
+  return loadEntry(bucketDir(program, fingerprint));
+}
+
+VerifyOutcome Corpus::verify(const std::string& programFilter) const {
+  VerifyOutcome out;
+  for (const CorpusEntry& e : entries(programFilter)) {
+    ++out.checked;
+    std::string where = e.program + "/" + e.fingerprint;
+    try {
+      replay::Scenario s = replay::loadScenario(e.scenarioPath.string());
+      if (!s.program.empty() && s.program != e.program) {
+        out.failures.push_back(where + ": witness names program '" +
+                               s.program + "'");
+        continue;
+      }
+      ProbeResult p = probeExact(e.program, s.schedule, toolConfigOf(s));
+      if (!p.signature.failure()) {
+        out.failures.push_back(where + ": replay no longer fails");
+      } else if (p.signature.fingerprint() != e.fingerprint) {
+        out.failures.push_back(where + ": signature drifted to " +
+                               p.signature.fingerprint());
+      } else {
+        ++out.passed;
+      }
+    } catch (const std::exception& ex) {
+      out.failures.push_back(where + ": " + ex.what());
+    }
+  }
+  return out;
+}
+
+std::size_t Corpus::gc() {
+  std::size_t removed = 0;
+  std::error_code ec;
+  if (!fs::is_directory(root_, ec)) return 0;
+  for (const auto& progDir : fs::directory_iterator(root_, ec)) {
+    if (!progDir.is_directory()) continue;
+    std::error_code ec2;
+    for (const auto& bucket : fs::directory_iterator(progDir.path(), ec2)) {
+      if (!bucket.is_directory()) continue;
+      bool healthy = false;
+      if (auto e = loadEntry(bucket.path())) {
+        try {
+          replay::Scenario s = replay::loadScenario(e->scenarioPath.string());
+          healthy = s.program.empty() || s.program == e->program;
+        } catch (const std::exception&) {
+          healthy = false;
+        }
+      }
+      if (!healthy) {
+        fs::remove_all(bucket.path(), ec2);
+        ++removed;
+      }
+    }
+    // Drop program directories emptied by the sweep.
+    if (fs::is_empty(progDir.path(), ec2)) {
+      fs::remove(progDir.path(), ec2);
+    }
+  }
+  rebuildIndex();
+  return removed;
+}
+
+void Corpus::rebuildIndex() const {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  std::ofstream out(root_ / kIndexFile, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("corpus: cannot write " +
+                             (root_ / kIndexFile).string());
+  }
+  out << "# program\tfingerprint\tkind\tdecisions\tpreemptions\tseed\t"
+         "verified\tshrunk\tnoise\tdiscovered\n";
+  for (const CorpusEntry& e : entries()) {
+    out << e.program << '\t' << e.fingerprint << '\t' << e.kind << '\t'
+        << e.decisions << '\t' << e.preemptions << '\t' << e.seed << '\t'
+        << (e.replayVerified ? 1 : 0) << '\t' << (e.shrunk ? 1 : 0) << '\t'
+        << e.noise << '\t' << e.discovered << '\n';
+  }
+}
+
+}  // namespace mtt::triage

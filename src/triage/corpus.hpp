@@ -1,0 +1,107 @@
+// Scenario corpus — the on-disk repository of reproducible failure
+// witnesses, organized by failure fingerprint:
+//
+//   <root>/index.tsv                              one line per entry
+//   <root>/<program>/<fingerprint>/witness.scenario   v2 scenario file
+//   <root>/<program>/<fingerprint>/meta               entry metadata
+//
+// One entry per (program, fingerprint): inserting a second witness for the
+// same root cause keeps the *smaller* one (fewer decisions, then fewer
+// preemptions), so over a long hunting campaign each bucket converges to its
+// best-known minimal reproduction.  The paper's benchmark component 1 asks
+// for "tests for the programs and test drivers" kept alongside documented
+// bugs; the corpus is that artifact for schedule-level counterexamples —
+// each witness re-runs with `mtt replay` (push-of-a-button, §4).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "replay/replay.hpp"
+#include "triage/signature.hpp"
+
+namespace mtt::triage {
+
+/// One corpus entry (the parsed `meta` file).
+struct CorpusEntry {
+  std::string program;
+  std::string fingerprint;
+  std::string kind;       ///< to_string(FailureKind)
+  std::string canonical;  ///< full signature text (multi-line)
+  std::uint64_t seed = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t discovered = 0;  ///< unix epoch seconds of first discovery
+  bool replayVerified = false;   ///< witness was replay-checked at insert
+  bool shrunk = false;           ///< witness went through the minimizer
+  std::string noise = "none";
+  double strength = 0.25;
+  std::filesystem::path scenarioPath;  ///< the witness.scenario file
+};
+
+struct InsertResult {
+  bool inserted = false;  ///< a new fingerprint bucket was created
+  bool replaced = false;  ///< an existing witness was improved
+  std::string fingerprint;
+  std::filesystem::path witness;
+};
+
+struct VerifyOutcome {
+  std::size_t checked = 0;
+  std::size_t passed = 0;
+  /// "<program>/<fingerprint>: <why>" per failing entry.
+  std::vector<std::string> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+class Corpus {
+ public:
+  explicit Corpus(std::filesystem::path root) : root_(std::move(root)) {}
+
+  const std::filesystem::path& root() const { return root_; }
+
+  /// Inserts (or improves) the bucket for the scenario's signature.
+  /// Dedup-on-insert: an existing witness is replaced only by a strictly
+  /// smaller one (fewer decisions; tie broken by fewer preemptions), and the
+  /// bucket keeps its original discovery time.  `discoveredEpoch` is passed
+  /// by the caller so tests stay deterministic.  Throws on a non-failure
+  /// signature or an I/O error.
+  InsertResult insert(const replay::Scenario& s, const FailureSignature& sig,
+                      bool replayVerified, bool shrunk,
+                      std::uint64_t discoveredEpoch);
+
+  /// All entries (optionally for one program), sorted by (program,
+  /// fingerprint).  Unreadable buckets are skipped.
+  std::vector<CorpusEntry> entries(const std::string& programFilter = "") const;
+
+  std::optional<CorpusEntry> find(const std::string& program,
+                                  const std::string& fingerprint) const;
+
+  std::filesystem::path witnessPath(const std::string& program,
+                                    const std::string& fingerprint) const;
+
+  /// Re-executes every witness under exact replay and checks that the
+  /// observed signature still matches the stored fingerprint.
+  VerifyOutcome verify(const std::string& programFilter = "") const;
+
+  /// Removes buckets whose witness or metadata no longer loads (corrupt,
+  /// truncated, deleted by hand) and rewrites the index.  Returns the number
+  /// of buckets removed.
+  std::size_t gc();
+
+  /// Rewrites index.tsv from the on-disk buckets.
+  void rebuildIndex() const;
+
+ private:
+  std::filesystem::path bucketDir(const std::string& program,
+                                  const std::string& fingerprint) const;
+  std::optional<CorpusEntry> loadEntry(
+      const std::filesystem::path& dir) const;
+
+  std::filesystem::path root_;
+};
+
+}  // namespace mtt::triage

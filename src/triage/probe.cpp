@@ -1,0 +1,152 @@
+#include "triage/probe.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "experiment/experiment.hpp"
+#include "noise/noise.hpp"
+#include "rt/controlled_runtime.hpp"
+#include "suite/program.hpp"
+
+namespace mtt::triage {
+
+namespace {
+
+/// Repair-mode schedule application, the minimizer's evaluation primitive.
+/// A ddmin candidate is an edited decision vector, so some decisions may
+/// name threads that are no longer enabled at their step (the deleted chunk
+/// changed the interleaving).  Those decisions are consumed and skipped; an
+/// exhausted vector falls back to deterministic round-robin.  The run the
+/// repair actually produced is captured by the surrounding RecordingPolicy
+/// and IS exactly replayable — that recording, not the edited input, becomes
+/// the next current schedule.
+class CandidatePolicy final : public rt::SchedulePolicy {
+ public:
+  explicit CandidatePolicy(std::vector<ThreadId> decisions)
+      : decisions_(std::move(decisions)) {}
+
+  void onRunStart(std::uint64_t seed) override {
+    (void)seed;
+    next_ = 0;
+    skips_ = 0;
+    tailPicks_ = 0;
+  }
+
+  ThreadId pick(const rt::PickContext& ctx) override {
+    while (next_ < decisions_.size()) {
+      ThreadId want = decisions_[next_++];
+      if (std::find(ctx.enabled.begin(), ctx.enabled.end(), want) !=
+          ctx.enabled.end()) {
+        return want;
+      }
+      ++skips_;
+    }
+    ++tailPicks_;
+    return fallback_.pick(ctx);
+  }
+
+  /// No decision was skipped and the round-robin tail never ran.
+  bool exact() const { return skips_ == 0 && tailPicks_ == 0; }
+
+ private:
+  std::vector<ThreadId> decisions_;
+  std::size_t next_ = 0;
+  std::uint64_t skips_ = 0;
+  std::uint64_t tailPicks_ = 0;
+  rt::RoundRobinPolicy fallback_;
+};
+
+/// Shared probe body: builds program + controlled runtime around `inner`
+/// (ownership stays with the caller), attaches the scenario's tool stack,
+/// runs once, and signs the result.  `exact` is sampled after the run.
+ProbeResult executeProbe(const std::string& program, rt::SchedulePolicy& inner,
+                         const ReplayToolConfig& cfg,
+                         const std::function<bool()>& exact) {
+  auto prog = suite::makeProgram(program);
+  prog->reset();
+
+  rt::RecordingPolicy recording(std::make_unique<rt::PolicyRef>(inner));
+  rt::ControlledRuntime rt(std::make_unique<rt::PolicyRef>(recording));
+
+  SignatureCollector collector;
+  rt.hooks().add(&collector);
+
+  std::unique_ptr<noise::NoiseMaker> noiseMaker;
+  if (cfg.noiseName != "none" && !cfg.noiseName.empty()) {
+    noise::NoiseOptions nopts;
+    nopts.strength = cfg.strength;
+    noiseMaker = noise::makeNoise(cfg.noiseName, rt, nopts);
+    if (!noiseMaker) {
+      throw std::runtime_error("unknown noise heuristic '" + cfg.noiseName +
+                               "' in replay tool config");
+    }
+    rt.hooks().add(noiseMaker.get());
+  }
+
+  rt::RunOptions opts = prog->defaultRunOptions();
+  opts.seed = cfg.seed;
+  opts.programName = program;
+
+  ProbeResult out;
+  out.result = rt.run([&](rt::Runtime& rr) { prog->body(rr); }, opts);
+  bool manifested =
+      prog->evaluate(out.result) == suite::Verdict::BugManifested;
+  out.outcome = prog->outcome();
+  out.signature = makeSignature(out.result, manifested, out.outcome,
+                                collector.bugSiteTags());
+  out.recorded = recording.schedule();
+  out.noiseDecisions = rt.decisionNoise();
+  out.exact = exact();
+  return out;
+}
+
+}  // namespace
+
+ReplayToolConfig toolConfigOf(const replay::Scenario& s) {
+  ReplayToolConfig cfg;
+  cfg.noiseName = s.noise;
+  cfg.strength = s.strength;
+  cfg.seed = s.seed;
+  return cfg;
+}
+
+ProbeResult recordRun(const std::string& program, const std::string& policy,
+                      const ReplayToolConfig& cfg) {
+  auto inner = experiment::makePolicy(policy);
+  return executeProbe(program, *inner, cfg, [] { return true; });
+}
+
+ProbeResult probeExact(const std::string& program, const rt::Schedule& s,
+                       const ReplayToolConfig& cfg) {
+  rt::ReplayPolicy rep(s);
+  return executeProbe(program, rep, cfg, [&rep] { return !rep.diverged(); });
+}
+
+ProbeResult probeCandidate(const std::string& program,
+                           const std::vector<ThreadId>& decisions,
+                           const ReplayToolConfig& cfg) {
+  CandidatePolicy cand(decisions);
+  return executeProbe(program, cand, cfg, [&cand] { return cand.exact(); });
+}
+
+std::size_t countPreemptions(const std::vector<ThreadId>& decisions) {
+  if (decisions.size() < 2) return 0;
+  // lastAt[t] = last index where thread t is scheduled.
+  std::vector<std::size_t> lastAt;
+  auto noteLast = [&lastAt](ThreadId t, std::size_t i) {
+    if (t >= lastAt.size()) lastAt.resize(t + 1, 0);
+    lastAt[t] = i;
+  };
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    noteLast(decisions[i], i);
+  }
+  std::size_t preemptions = 0;
+  for (std::size_t i = 1; i < decisions.size(); ++i) {
+    ThreadId prev = decisions[i - 1];
+    if (decisions[i] != prev && lastAt[prev] >= i) ++preemptions;
+  }
+  return preemptions;
+}
+
+}  // namespace mtt::triage

@@ -1,0 +1,74 @@
+// Replay probes: the three ways mtt::triage re-executes a suite program
+// under the controlled runtime and observes its failure signature.
+//
+//   * recordRun      — run a fresh named policy (the hunt/record path),
+//                      capturing the decision vector.
+//   * probeExact     — exact replay of a recorded schedule via
+//                      rt::ReplayPolicy (what `mtt replay` does), plus the
+//                      signature of what happened.
+//   * probeCandidate — best-effort execution of an *edited* decision vector,
+//                      the evaluation primitive of schedule minimization:
+//                      decisions naming a not-currently-enabled thread are
+//                      skipped, an exhausted vector falls back to a
+//                      deterministic round-robin tail, and the decisions the
+//                      run actually took are re-recorded.  The recorded
+//                      vector is always exactly replayable by probeExact.
+//
+// Every probe builds its own program instance, runtime and tool stack, so
+// any number of probes may run concurrently (the property farm-parallel
+// candidate batches rely on).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "replay/replay.hpp"
+#include "rt/policy.hpp"
+#include "triage/signature.hpp"
+
+namespace mtt::triage {
+
+/// The tool stack a probe attaches around the program: the noise heuristic
+/// that shaped the recorded run (signature-relevant: noise changes the
+/// event stream) and the seed its injections derive from.
+struct ReplayToolConfig {
+  std::string noiseName = "none";
+  double strength = 0.25;
+  std::uint64_t seed = 0;
+};
+
+/// The replay tool config stored in a scenario's header.
+ReplayToolConfig toolConfigOf(const replay::Scenario& s);
+
+struct ProbeResult {
+  rt::RunResult result;
+  FailureSignature signature;
+  rt::Schedule recorded;  ///< decisions the run actually took
+  /// Parallel to `recorded`: true where the decision scheduled a
+  /// noise-injected yield/sleep (ControlledRuntime::decisionNoise).
+  std::vector<bool> noiseDecisions;
+  bool exact = false;     ///< followed the given decisions with no repair
+  std::string outcome;    ///< program outcome string
+};
+
+/// Runs the program under a fresh policy built by name ("random", "rr",
+/// "priority") at cfg.seed, recording schedule + signature.
+ProbeResult recordRun(const std::string& program, const std::string& policy,
+                      const ReplayToolConfig& cfg);
+
+/// Exact replay of a recorded schedule (rt::ReplayPolicy).  exact is false
+/// when the replay diverged.
+ProbeResult probeExact(const std::string& program, const rt::Schedule& s,
+                       const ReplayToolConfig& cfg);
+
+/// Best-effort execution of an edited decision vector (see file comment).
+ProbeResult probeCandidate(const std::string& program,
+                           const std::vector<ThreadId>& decisions,
+                           const ReplayToolConfig& cfg);
+
+/// Offline preemption estimate for a decision vector: context switches away
+/// from a thread that is scheduled again later (a switch away from a thread
+/// that never runs again is it finishing, not a preemption).
+std::size_t countPreemptions(const std::vector<ThreadId>& decisions);
+
+}  // namespace mtt::triage

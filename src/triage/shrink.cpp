@@ -1,0 +1,188 @@
+#include "triage/shrink.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "farm/farm.hpp"
+#include "triage/probe.hpp"
+
+namespace mtt::triage {
+
+namespace {
+
+using Decisions = std::vector<ThreadId>;
+
+/// current minus its i-th of n chunks (ddmin complement).
+Decisions dropChunk(const Decisions& current, std::size_t n, std::size_t i) {
+  std::size_t len = current.size();
+  std::size_t lo = i * len / n;
+  std::size_t hi = (i + 1) * len / n;
+  Decisions out;
+  out.reserve(len - (hi - lo));
+  out.insert(out.end(), current.begin(), current.begin() + lo);
+  out.insert(out.end(), current.begin() + hi, current.end());
+  return out;
+}
+
+/// Indices of context switches in `current` (candidate positions for the
+/// preemption-lowering pass).
+std::vector<std::size_t> switchPositions(const Decisions& current) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 1; i < current.size(); ++i) {
+    if (current[i] != current[i - 1]) out.push_back(i);
+  }
+  return out;
+}
+
+struct Shrinker {
+  const std::string& program;
+  ReplayToolConfig cfg;
+  FailureSignature target;
+  ShrinkOptions opts;
+  std::atomic<std::uint64_t> validations{0};
+
+  bool budgetLeft() const {
+    return validations.load(std::memory_order_relaxed) < opts.maxValidations;
+  }
+
+  ProbeResult probe(const Decisions& d) {
+    validations.fetch_add(1, std::memory_order_relaxed);
+    return probeCandidate(program, d, cfg);
+  }
+
+  /// One ddmin fixpoint: returns true if `current` shrank.
+  bool ddmin(Decisions& current, std::uint64_t& rounds) {
+    bool improvedEver = false;
+    std::size_t n = 2;
+    while (current.size() >= 2 && budgetLeft()) {
+      if (n > current.size()) n = current.size();
+      const Decisions snapshot = current;
+      const std::size_t curSize = snapshot.size();
+      auto accept = [&](std::uint64_t i) {
+        ProbeResult p = probe(dropChunk(snapshot, n, static_cast<std::size_t>(i)));
+        return p.signature == target && p.recorded.size() < curSize;
+      };
+      farm::CandidateScan scan = farm::scanCandidates(n, accept, opts.jobs);
+      if (scan.found) {
+        // Deterministic winner: smallest accepted chunk index.  Re-probe it
+        // to obtain the re-recorded (repaired) schedule.
+        ProbeResult p = probe(
+            dropChunk(snapshot, n, static_cast<std::size_t>(scan.index)));
+        current = p.recorded.decisions;
+        improvedEver = true;
+        ++rounds;
+        n = n > 2 ? n - 1 : 2;
+      } else {
+        if (n >= current.size()) break;
+        n = std::min(n * 2, current.size());
+      }
+    }
+    return improvedEver;
+  }
+
+  /// One preemption-lowering fixpoint: returns true if preemptions dropped.
+  bool lowerPreemptions(Decisions& current, std::uint64_t& rounds) {
+    bool improvedEver = false;
+    while (budgetLeft()) {
+      const Decisions snapshot = current;
+      const std::size_t curSize = snapshot.size();
+      const std::size_t curPre = countPreemptions(snapshot);
+      if (curPre == 0) break;
+      std::vector<std::size_t> positions = switchPositions(snapshot);
+      auto accept = [&](std::uint64_t i) {
+        Decisions cand = snapshot;
+        std::size_t pos = positions[static_cast<std::size_t>(i)];
+        cand[pos] = cand[pos - 1];  // let the previous thread keep running
+        ProbeResult p = probe(cand);
+        return p.signature == target &&
+               countPreemptions(p.recorded.decisions) < curPre &&
+               p.recorded.size() <= curSize;
+      };
+      farm::CandidateScan scan =
+          farm::scanCandidates(positions.size(), accept, opts.jobs);
+      if (!scan.found) break;
+      Decisions winner = snapshot;
+      std::size_t pos = positions[static_cast<std::size_t>(scan.index)];
+      winner[pos] = winner[pos - 1];
+      ProbeResult p = probe(winner);
+      current = p.recorded.decisions;
+      improvedEver = true;
+      ++rounds;
+    }
+    return improvedEver;
+  }
+};
+
+}  // namespace
+
+ShrinkResult shrinkScenario(const replay::Scenario& s,
+                            const ShrinkOptions& opts) {
+  ShrinkResult res;
+  res.original = s.schedule;
+  res.originalPreemptions = countPreemptions(s.schedule.decisions);
+  res.minimized = s;
+
+  Shrinker sh{s.program, toolConfigOf(s), {}, opts};
+
+  // 1. Reproduce the original and pin the target signature.
+  sh.validations.fetch_add(1);
+  ProbeResult base = probeExact(s.program, s.schedule, sh.cfg);
+  if (!base.signature.failure()) {
+    res.validations = sh.validations.load();
+    res.minimizedPreemptions = res.originalPreemptions;
+    return res;  // reproduced stays false
+  }
+  res.reproduced = true;
+  sh.target = base.signature;
+  res.signature = base.signature;
+  Decisions current = base.recorded.decisions;
+
+  // 2. Noise-strip baseline: with exact decision control the noise maker is
+  // redundant.  Project the noise-injected decisions out of the recording
+  // (ControlledRuntime::decisionNoise marks them): what remains schedules
+  // the run's real operations in their original global order, so replaying
+  // it with no noise attached reproduces the same interleaving — exactly for
+  // sleep-free programs, best-effort (repair mode) otherwise.  Kept only
+  // when the target signature survives; the noisy tool stack is the
+  // fallback.
+  if (opts.allowNoiseStrip && sh.cfg.noiseName != "none" &&
+      !sh.cfg.noiseName.empty()) {
+    Decisions projected;
+    projected.reserve(current.size());
+    for (std::size_t i = 0; i < base.recorded.decisions.size(); ++i) {
+      bool noiseOp = i < base.noiseDecisions.size() && base.noiseDecisions[i];
+      if (!noiseOp) projected.push_back(base.recorded.decisions[i]);
+    }
+    ReplayToolConfig bare = sh.cfg;
+    bare.noiseName = "none";
+    sh.validations.fetch_add(1);
+    ProbeResult stripped = probeCandidate(s.program, projected, bare);
+    if (stripped.signature == sh.target) {
+      sh.cfg = bare;
+      res.noiseStripped = true;
+      current = stripped.recorded.decisions;
+      ++res.rounds;
+    }
+  }
+
+  // 3./4. Alternate ddmin and preemption lowering to a joint fixpoint.
+  for (;;) {
+    bool improved = sh.ddmin(current, res.rounds);
+    improved = sh.lowerPreemptions(current, res.rounds) || improved;
+    if (!improved || !sh.budgetLeft()) break;
+  }
+
+  // 5. Exact-replay verification of the minimized witness.
+  sh.validations.fetch_add(1);
+  ProbeResult fin = probeExact(s.program, rt::Schedule{current}, sh.cfg);
+  res.verifiedExact = fin.exact && fin.signature == sh.target;
+
+  res.minimized.schedule.decisions = current;
+  res.minimized.noise = sh.cfg.noiseName;
+  res.minimizedPreemptions = countPreemptions(current);
+  res.validations = sh.validations.load();
+  return res;
+}
+
+}  // namespace mtt::triage

@@ -1,0 +1,78 @@
+// Schedule minimization — delta debugging over the decision vector.
+//
+// A hunted counterexample carries every scheduling decision of the run that
+// found it, including noise-injected yields/sleeps and scheduling churn that
+// has nothing to do with the bug.  shrinkScenario reduces it to a small
+// witness with the SAME failure signature:
+//
+//   1. reproduce the original under exact replay and take its signature as
+//      the target;
+//   2. noise-strip baseline: re-run the decisions *without* the noise maker
+//      (exact decision control makes noise redundant) — kept if the
+//      signature still matches, dropping every noise-injected operation;
+//   3. ddmin (Zeller/Hildebrandt) over the decision vector: repeatedly
+//      delete chunks, re-executing each candidate in repair mode
+//      (probeCandidate) and accepting it iff the signature matches and the
+//      re-recorded schedule is strictly shorter;
+//   4. a preemption-lowering pass: rewrite context switches to let the
+//      previous thread continue, accepting signature-preserving candidates
+//      with strictly fewer preemptions — witnesses end up "mostly
+//      sequential", which is what a human wants to read;
+//   5. final exact-replay verification of the minimized witness.
+//
+// Candidate batches are evaluated in parallel through farm::scanCandidates;
+// because the scan always selects the smallest accepted candidate index, the
+// minimized schedule is byte-identical for any --jobs value.
+#pragma once
+
+#include <cstdint>
+
+#include "replay/replay.hpp"
+#include "triage/signature.hpp"
+
+namespace mtt::triage {
+
+struct ShrinkOptions {
+  /// Workers for candidate evaluation; 0 = hardware concurrency, 1 = serial.
+  std::size_t jobs = 1;
+  /// Hard cap on candidate executions (the shrink budget).
+  std::uint64_t maxValidations = 50'000;
+  /// Try dropping the noise maker from the replay tool stack first.
+  bool allowNoiseStrip = true;
+};
+
+struct ShrinkResult {
+  /// The input scenario reproduced its failure under exact replay.  When
+  /// false, nothing was minimized and `minimized` echoes the input.
+  bool reproduced = false;
+  /// The minimized witness exact-replays (no divergence) with the target
+  /// signature.
+  bool verifiedExact = false;
+  /// The witness no longer needs the noise maker attached.
+  bool noiseStripped = false;
+  /// The target signature every accepted candidate matched.
+  FailureSignature signature;
+
+  rt::Schedule original;
+  replay::Scenario minimized;
+  std::size_t originalPreemptions = 0;
+  std::size_t minimizedPreemptions = 0;
+  /// Candidate/replay executions performed.
+  std::uint64_t validations = 0;
+  /// Accepted improvements (size or preemption reductions).
+  std::uint64_t rounds = 0;
+
+  double removedRatio() const {
+    if (original.size() == 0) return 0.0;
+    double kept = static_cast<double>(minimized.schedule.size()) /
+                  static_cast<double>(original.size());
+    return kept < 1.0 ? 1.0 - kept : 0.0;
+  }
+};
+
+/// Minimizes a failing scenario.  Deterministic for a given input and any
+/// ShrinkOptions::jobs value.
+ShrinkResult shrinkScenario(const replay::Scenario& s,
+                            const ShrinkOptions& opts = {});
+
+}  // namespace mtt::triage

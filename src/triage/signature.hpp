@@ -1,0 +1,92 @@
+// mtt::triage — failure fingerprinting: turning one failing run into a
+// canonical, seed-independent identity for its root cause.
+//
+// The paper's repository component promises *reusable* failure artifacts —
+// scenarios that can be re-executed "with the push of a button" (§4).  A raw
+// counterexample is tied to the seed that found it; two seeds tripping the
+// same bug produce two different schedules.  The FailureSignature abstracts
+// a failing run to what actually identifies the root cause:
+//
+//   * the outcome kind  — assert / oracle / deadlock / livelock-step-limit;
+//   * the bug-involved site set — which BugMark::Yes instrumentation sites
+//     the run exercised (the benchmark's machine-readable bug annotation);
+//   * a normalized lock/thread shape — e.g. for a deadlock, the multiset of
+//     "<thread> waits <object>" lines with digit runs collapsed, so
+//     philosopher2-waits-fork0 and philosopher0-waits-fork1 coincide.
+//
+// Equal signatures bucket together in the scenario corpus (corpus.hpp) and
+// define the validity predicate for schedule minimization (shrink.hpp): a
+// shrunken schedule is a witness iff its signature still matches.
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/listener.hpp"
+#include "rt/runtime.hpp"
+
+namespace mtt::triage {
+
+/// Why a run counts as failing.  None means the run passed its oracle.
+enum class FailureKind : std::uint8_t {
+  None,       ///< completed and the oracle passed
+  Assert,     ///< Runtime::fail / Runtime::check aborted the run
+  Oracle,     ///< completed but the program's oracle flagged the bug
+  Deadlock,   ///< controlled scheduler found an empty enabled set
+  StepLimit,  ///< livelock guard: maxSteps exceeded
+};
+
+std::string_view to_string(FailureKind k);
+bool failure_kind_from_string(std::string_view name, FailureKind& out);
+
+/// The canonical identity of a failure.  Value-comparable; stable across
+/// seeds, schedules, and worker counts for the same root cause.
+struct FailureSignature {
+  FailureKind kind = FailureKind::None;
+  /// Sorted unique tags of bug-marked sites exercised in the run.
+  std::vector<std::string> bugSites;
+  /// Normalized shape lines, sorted: blocked-thread wait edges for a
+  /// deadlock, the normalized failure message for an assert, the normalized
+  /// outcome string for an oracle failure.
+  std::vector<std::string> shape;
+
+  bool failure() const { return kind != FailureKind::None; }
+  /// Stable multi-line text form (the corpus stores it verbatim).
+  std::string canonical() const;
+  /// 16-hex-digit FNV-1a hash of canonical(): the corpus bucket name.
+  std::string fingerprint() const;
+
+  friend bool operator==(const FailureSignature&,
+                         const FailureSignature&) = default;
+};
+
+/// Collapses every maximal digit run to '#': "philosopher2 waits fork0"
+/// -> "philosopher# waits fork#".  This is the normalization that makes
+/// shapes rotation/seed independent.
+std::string normalizeTokens(std::string_view s);
+
+/// Listener collecting the bug-involved site set during a run.  Register
+/// with the runtime's hooks before run(); thread-safe for native mode.
+class SignatureCollector final : public Listener {
+ public:
+  void onRunStart(const RunInfo& info) override;
+  void onEvent(const Event& e) override;
+
+  /// Sorted unique tags of BugMark::Yes sites seen since run start.
+  std::vector<std::string> bugSiteTags() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::set<std::string> tags_;
+};
+
+/// Builds the signature of one observed run.  `manifested` is the program
+/// oracle's verdict, `outcome` the program's outcome string.
+FailureSignature makeSignature(const rt::RunResult& r, bool manifested,
+                               const std::string& outcome,
+                               std::vector<std::string> bugSiteTags);
+
+}  // namespace mtt::triage

@@ -406,5 +406,55 @@ TEST(FarmValidation, UnknownNamesFailFastWithClearErrors) {
   }
 }
 
+// --- generic candidate evaluation -------------------------------------------
+
+TEST(CandidateScan, SmallestAcceptedIndexWinsForAnyWorkerCount) {
+  auto accept = [](std::uint64_t i) { return i >= 3; };
+  for (std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    CandidateScan s = scanCandidates(64, accept, jobs);
+    EXPECT_TRUE(s.found) << "jobs=" << jobs;
+    EXPECT_EQ(s.index, 3u) << "jobs=" << jobs;
+  }
+}
+
+TEST(CandidateScan, SerialScanStopsAtTheFirstAccept) {
+  std::atomic<std::uint64_t> calls{0};
+  CandidateScan s = scanCandidates(
+      100,
+      [&calls](std::uint64_t i) {
+        calls.fetch_add(1);
+        return i == 5;
+      },
+      1);
+  EXPECT_TRUE(s.found);
+  EXPECT_EQ(s.index, 5u);
+  EXPECT_EQ(s.evaluated, 6u);
+  EXPECT_EQ(calls.load(), 6u);
+}
+
+TEST(CandidateScan, HandlesNoAcceptAndEmptyRange) {
+  CandidateScan none =
+      scanCandidates(17, [](std::uint64_t) { return false; }, 4);
+  EXPECT_FALSE(none.found);
+  EXPECT_EQ(none.evaluated, 17u);
+
+  CandidateScan empty =
+      scanCandidates(0, [](std::uint64_t) { return true; }, 4);
+  EXPECT_FALSE(empty.found);
+  EXPECT_EQ(empty.evaluated, 0u);
+}
+
+TEST(CandidateScan, ThrowingPredicateCountsAsRejection) {
+  auto accept = [](std::uint64_t i) -> bool {
+    if (i < 4) throw std::runtime_error("probe exploded");
+    return i == 4;
+  };
+  for (std::size_t jobs : {1u, 4u}) {
+    CandidateScan s = scanCandidates(8, accept, jobs);
+    EXPECT_TRUE(s.found) << "jobs=" << jobs;
+    EXPECT_EQ(s.index, 4u) << "jobs=" << jobs;
+  }
+}
+
 }  // namespace
 }  // namespace mtt::farm

@@ -6,6 +6,8 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 namespace {
@@ -120,6 +122,82 @@ TEST(Cli, BadUsageFails) {
   EXPECT_NE(runCli("").exitCode, 0);
   EXPECT_NE(runCli("frobnicate").exitCode, 0);
   EXPECT_NE(runCli("run no_such_program").exitCode, 0);
+}
+
+// --- triage: shrink + corpus ------------------------------------------------
+
+TEST(Cli, HuntShrinkCorpusWorkflow) {
+  namespace fs = std::filesystem;
+  fs::path dir = "/tmp/mtt_cli_triage";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string scen = (dir / "acct.scenario").string();
+  std::string minScen = (dir / "acct.min.scenario").string();
+  std::string corpus = (dir / "corpus").string();
+
+  // Full-strength noise leaves the minimizer plenty of headroom.
+  CmdResult hunt = runCli("hunt account --noise mixed --strength 1.0 "
+                          "--seeds 200 --out " + scen);
+  ASSERT_EQ(hunt.exitCode, 0) << hunt.output;
+  ASSERT_NE(hunt.output.find("scenario saved to " + scen), std::string::npos)
+      << hunt.output;
+  EXPECT_NE(hunt.output.find("fingerprint "), std::string::npos);
+
+  CmdResult shr = runCli("shrink account " + scen + " --jobs 2 --out " +
+                         minScen + " --corpus " + corpus);
+  ASSERT_EQ(shr.exitCode, 0) << shr.output;
+  EXPECT_NE(shr.output.find("% removed"), std::string::npos) << shr.output;
+  EXPECT_NE(shr.output.find("exact (verified)"), std::string::npos)
+      << shr.output;
+  EXPECT_NE(shr.output.find("corpus: new entry account/"), std::string::npos)
+      << shr.output;
+
+  // The minimized witness replays exactly on its own.
+  CmdResult rep = runCli("replay account " + minScen);
+  EXPECT_EQ(rep.exitCode, 0) << rep.output;
+  EXPECT_NE(rep.output.find("(exact)"), std::string::npos) << rep.output;
+
+  CmdResult list = runCli("corpus list --corpus " + corpus);
+  EXPECT_EQ(list.exitCode, 0) << list.output;
+  EXPECT_NE(list.output.find("account"), std::string::npos);
+  EXPECT_NE(list.output.find("1 entry"), std::string::npos) << list.output;
+
+  CmdResult ver = runCli("corpus verify --corpus " + corpus);
+  EXPECT_EQ(ver.exitCode, 0) << ver.output;
+  EXPECT_NE(ver.output.find("verified 1/1"), std::string::npos) << ver.output;
+}
+
+TEST(Cli, CorruptScenarioFailsWithDiagnosticNotCrash) {
+  std::string path = "/tmp/mtt_cli_corrupt.scenario";
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << "garbage\n";
+  }
+  CmdResult r = runCli("replay account " + path);
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("bad magic"), std::string::npos) << r.output;
+
+  CmdResult s = runCli("shrink account " + path);
+  EXPECT_EQ(s.exitCode, 2) << s.output;
+
+  CmdResult missing = runCli("replay account /tmp/mtt_no_such.scenario");
+  EXPECT_EQ(missing.exitCode, 2) << missing.output;
+}
+
+TEST(Cli, ShrinkRejectsWrongProgram) {
+  namespace fs = std::filesystem;
+  fs::path dir = "/tmp/mtt_cli_wrongprog";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string scen = (dir / "dine.scenario").string();
+  CmdResult hunt = runCli(
+      "hunt philosophers_deadlock --noise mixed --strength 1.0 --seeds 200 "
+      "--out " + scen);
+  ASSERT_EQ(hunt.exitCode, 0) << hunt.output;
+  CmdResult r = runCli("shrink account " + scen);
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("was recorded for program"), std::string::npos)
+      << r.output;
 }
 
 }  // namespace

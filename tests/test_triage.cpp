@@ -1,0 +1,505 @@
+// Tests for mtt::triage — failure fingerprinting, the scenario corpus, the
+// replay probes, and farm-parallel schedule minimization — plus the hardened
+// scenario (de)serialization the subsystem depends on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "replay/replay.hpp"
+#include "triage/corpus.hpp"
+#include "triage/probe.hpp"
+#include "triage/shrink.hpp"
+#include "triage/signature.hpp"
+
+namespace mtt::triage {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path freshDir(const std::string& name) {
+  fs::path d = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(d);
+  fs::create_directories(d);
+  return d;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f), {});
+}
+
+/// Hunts a failing seed for `program` under mixed noise at full strength
+/// (the configuration that leaves the minimizer plenty of headroom) and
+/// packages it as a saved-scenario would.
+replay::Scenario huntFailure(const std::string& program,
+                             FailureSignature* sigOut = nullptr) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    ReplayToolConfig cfg;
+    cfg.noiseName = "mixed";
+    cfg.strength = 1.0;
+    cfg.seed = seed;
+    ProbeResult r = recordRun(program, "random", cfg);
+    if (!r.signature.failure()) continue;
+    replay::Scenario s;
+    s.program = program;
+    s.seed = seed;
+    s.policy = "random";
+    s.noise = cfg.noiseName;
+    s.strength = cfg.strength;
+    s.schedule = r.recorded;
+    if (sigOut != nullptr) *sigOut = r.signature;
+    return s;
+  }
+  throw std::runtime_error("no failing seed for " + program + " in 64 tries");
+}
+
+// Hunts and shrinks are the slow part; share one scenario / one shrink per
+// program across the tests that only inspect the result.
+const replay::Scenario& accountScenario() {
+  static const replay::Scenario s = huntFailure("account");
+  return s;
+}
+
+const replay::Scenario& philosophersScenario() {
+  static const replay::Scenario s = huntFailure("philosophers_deadlock");
+  return s;
+}
+
+const ShrinkResult& accountShrunk() {
+  static const ShrinkResult r = shrinkScenario(accountScenario(), {});
+  return r;
+}
+
+// --- failure signatures -----------------------------------------------------
+
+TEST(Signature, NormalizeTokensCollapsesDigitRuns) {
+  EXPECT_EQ(normalizeTokens("philosopher2 waits fork0"),
+            "philosopher# waits fork#");
+  EXPECT_EQ(normalizeTokens("balance=1730 expected=2000"),
+            "balance=# expected=#");
+  EXPECT_EQ(normalizeTokens("no digits here"), "no digits here");
+  EXPECT_EQ(normalizeTokens("123"), "#");
+  EXPECT_EQ(normalizeTokens(""), "");
+}
+
+TEST(Signature, KindNamesRoundTrip) {
+  for (FailureKind k : {FailureKind::None, FailureKind::Assert,
+                        FailureKind::Oracle, FailureKind::Deadlock,
+                        FailureKind::StepLimit}) {
+    FailureKind back{};
+    ASSERT_TRUE(failure_kind_from_string(to_string(k), back));
+    EXPECT_EQ(back, k);
+  }
+  FailureKind out{};
+  EXPECT_FALSE(failure_kind_from_string("bogus", out));
+}
+
+TEST(Signature, FingerprintIsAFunctionOfCanonicalForm) {
+  FailureSignature a;
+  a.kind = FailureKind::Deadlock;
+  a.bugSites = {"dine.deadlock"};
+  a.shape = {"philosopher# waits fork#"};
+  FailureSignature b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint().size(), 16u);
+
+  b.shape = {"philosopher# waits spoon#"};
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.canonical(), b.canonical());
+  EXPECT_NE(a.canonical().find("deadlock"), std::string::npos);
+}
+
+TEST(Signature, StableAcrossSeedsForTheSameRootCause) {
+  // Different seeds deadlock the dining philosophers with different thread /
+  // fork indices; digit normalization must bucket them together.
+  std::set<std::string> fingerprints;
+  int found = 0;
+  for (std::uint64_t seed = 0; seed < 64 && found < 3; ++seed) {
+    ReplayToolConfig cfg;
+    cfg.noiseName = "mixed";
+    cfg.strength = 1.0;
+    cfg.seed = seed;
+    ProbeResult r = recordRun("philosophers_deadlock", "random", cfg);
+    if (r.signature.kind != FailureKind::Deadlock) continue;
+    ++found;
+    fingerprints.insert(r.signature.fingerprint());
+  }
+  ASSERT_GE(found, 2);
+  EXPECT_EQ(fingerprints.size(), 1u);
+}
+
+TEST(Signature, DistinguishesPrograms) {
+  FailureSignature acct;
+  huntFailure("account", &acct);
+  FailureSignature dine;
+  huntFailure("philosophers_deadlock", &dine);
+  EXPECT_EQ(acct.kind, FailureKind::Oracle);
+  EXPECT_EQ(dine.kind, FailureKind::Deadlock);
+  EXPECT_NE(acct.fingerprint(), dine.fingerprint());
+}
+
+// --- probes -----------------------------------------------------------------
+
+TEST(Probe, ExactReplayReproducesTheRecordedSignature) {
+  const replay::Scenario& s = accountScenario();
+  ProbeResult r = probeExact(s.program, s.schedule, toolConfigOf(s));
+  EXPECT_TRUE(r.exact);
+  EXPECT_TRUE(r.signature.failure());
+  EXPECT_EQ(r.recorded.decisions, s.schedule.decisions);
+  EXPECT_EQ(r.noiseDecisions.size(), r.recorded.decisions.size());
+}
+
+TEST(Probe, CandidateRecordingIsExactlyReplayable) {
+  // Feed a mangled decision vector: the repair-mode policy must survive and
+  // its recording must replay exactly.
+  const replay::Scenario& s = accountScenario();
+  std::vector<ThreadId> mangled(s.schedule.decisions.begin(),
+                                s.schedule.decisions.begin() +
+                                    s.schedule.decisions.size() / 2);
+  ProbeResult cand = probeCandidate(s.program, mangled, toolConfigOf(s));
+  ProbeResult again =
+      probeExact(s.program, cand.recorded, toolConfigOf(s));
+  EXPECT_TRUE(again.exact);
+  EXPECT_EQ(again.signature, cand.signature);
+  EXPECT_EQ(again.recorded.decisions, cand.recorded.decisions);
+}
+
+TEST(Probe, CountPreemptionsDistinguishesFinishFromPreempt) {
+  EXPECT_EQ(countPreemptions({}), 0u);
+  EXPECT_EQ(countPreemptions({1, 1, 1}), 0u);
+  // Switch away from a thread that never runs again = it finished.
+  EXPECT_EQ(countPreemptions({1, 1, 2, 2}), 0u);
+  // Switch away from a thread that runs again later = preemption.
+  EXPECT_EQ(countPreemptions({1, 2, 1}), 1u);
+  EXPECT_EQ(countPreemptions({1, 2, 1, 2}), 2u);
+  EXPECT_EQ(countPreemptions({1, 1, 2, 2, 1}), 1u);
+}
+
+TEST(Probe, UnknownNoiseNameThrows) {
+  ReplayToolConfig cfg;
+  cfg.noiseName = "zap";
+  EXPECT_THROW(recordRun("account", "random", cfg), std::runtime_error);
+}
+
+// --- scenario serialization (satellite: hardened loader) --------------------
+
+TEST(ScenarioFormat, V2RoundTripPreservesEveryField) {
+  fs::path dir = freshDir("triage_fmt");
+  replay::Scenario s;
+  s.program = "account";
+  s.seed = 42;
+  s.policy = "random";
+  s.noise = "mixed";
+  s.strength = 0.3333333333333333;
+  s.schedule.decisions = {1, 2, 1, 3, 3, 2};
+  std::string path = (dir / "rt.scenario").string();
+  replay::saveScenario(s, path);
+  replay::Scenario back = replay::loadScenario(path);
+  EXPECT_EQ(back.program, s.program);
+  EXPECT_EQ(back.seed, s.seed);
+  EXPECT_EQ(back.policy, s.policy);
+  EXPECT_EQ(back.noise, s.noise);
+  EXPECT_EQ(back.strength, s.strength);  // %.17g round-trips exactly
+  EXPECT_EQ(back.schedule.decisions, s.schedule.decisions);
+}
+
+TEST(ScenarioFormat, V1FilesStillLoad) {
+  fs::path dir = freshDir("triage_fmt_v1");
+  rt::Schedule sched;
+  sched.decisions = {2, 1, 2};
+  std::string path = (dir / "v1.schedule").string();
+  replay::saveSchedule(sched, path);
+  replay::Scenario back = replay::loadScenario(path);
+  EXPECT_TRUE(back.program.empty());
+  EXPECT_EQ(back.noise, "none");
+  EXPECT_EQ(back.schedule.decisions, sched.decisions);
+}
+
+TEST(ScenarioFormat, CorruptFilesThrowWithDiagnostics) {
+  fs::path dir = freshDir("triage_fmt_bad");
+  struct Case {
+    const char* name;
+    const char* content;
+    const char* expect;  // substring of the diagnostic
+  };
+  const Case cases[] = {
+      {"magic", "garbage\n", "bad magic"},
+      {"version", "MTTSCHED 9\nend\n", "unsupported version"},
+      {"header", "MTTSCHED 2\nprogram account\n", "truncated header"},
+      {"key", "MTTSCHED 2\nwibble 3\ndecisions 0\nend\n",
+       "unknown header key"},
+      {"count", "MTTSCHED 2\ndecisions many\n", "malformed decision count"},
+      {"bloat", "MTTSCHED 2\ndecisions 99999999999\n", "decision count"},
+      {"decisions", "MTTSCHED 2\ndecisions 4\n1 2\n", "truncated decision"},
+      {"threadid", "MTTSCHED 2\ndecisions 2\n1 0\nend\n",
+       "invalid thread id"},
+      {"trailer", "MTTSCHED 2\ndecisions 2\n1 2\n", "missing 'end' trailer"},
+  };
+  for (const Case& c : cases) {
+    std::string path = (dir / (std::string(c.name) + ".scenario")).string();
+    {
+      std::ofstream f(path, std::ios::binary);
+      f << c.content;
+    }
+    try {
+      (void)replay::loadScenario(path);
+      FAIL() << c.name << ": expected a throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect), std::string::npos)
+          << c.name << " diagnostic was: " << e.what();
+    }
+  }
+  EXPECT_THROW(replay::loadScenario((dir / "missing.scenario").string()),
+               std::runtime_error);
+}
+
+TEST(ScenarioFormat, EveryTruncationEitherLoadsOrThrows) {
+  // Fuzz-ish property: no byte-prefix of a valid scenario may crash the
+  // loader or load to a *different* scenario; it must throw or load equal.
+  fs::path dir = freshDir("triage_fmt_fuzz");
+  replay::Scenario s;
+  s.program = "philosophers_deadlock";
+  s.seed = 7;
+  s.noise = "mixed";
+  s.strength = 1.0;
+  s.schedule.decisions = {1, 2, 3, 12, 3, 2, 1, 10, 11, 2};
+  std::string full = (dir / "full.scenario").string();
+  replay::saveScenario(s, full);
+  std::string bytes = slurp(full);
+  ASSERT_FALSE(bytes.empty());
+  std::string prefixPath = (dir / "prefix.scenario").string();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    {
+      std::ofstream f(prefixPath, std::ios::binary | std::ios::trunc);
+      f.write(bytes.data(), static_cast<std::streamsize>(len));
+    }
+    try {
+      replay::Scenario back = replay::loadScenario(prefixPath);
+      EXPECT_EQ(back.schedule.decisions, s.schedule.decisions)
+          << "prefix of length " << len << " loaded but differs";
+    } catch (const std::runtime_error&) {
+      // Expected for most prefixes: a clear diagnostic, never UB.
+    }
+  }
+}
+
+// --- corpus -----------------------------------------------------------------
+
+replay::Scenario syntheticScenario(std::size_t decisions,
+                                   std::size_t distinctThreads = 2) {
+  replay::Scenario s;
+  s.program = "account";
+  s.seed = 5;
+  for (std::size_t i = 0; i < decisions; ++i) {
+    s.schedule.decisions.push_back(
+        static_cast<ThreadId>(1 + i % distinctThreads));
+  }
+  return s;
+}
+
+FailureSignature syntheticSignature() {
+  FailureSignature sig;
+  sig.kind = FailureKind::Oracle;
+  sig.bugSites = {"account.lost-update"};
+  sig.shape = {"balance=#"};
+  return sig;
+}
+
+TEST(Corpus, InsertDedupKeepsTheSmallestWitness) {
+  Corpus corpus(freshDir("triage_corpus_dedup"));
+  FailureSignature sig = syntheticSignature();
+
+  InsertResult first = corpus.insert(syntheticScenario(6), sig,
+                                     /*replayVerified=*/false,
+                                     /*shrunk=*/false, 100);
+  EXPECT_TRUE(first.inserted);
+  EXPECT_FALSE(first.replaced);
+  EXPECT_EQ(first.fingerprint, sig.fingerprint());
+
+  // Smaller witness replaces; discovery time sticks with the bucket.
+  InsertResult better = corpus.insert(syntheticScenario(4), sig, true,
+                                      /*shrunk=*/true, 200);
+  EXPECT_FALSE(better.inserted);
+  EXPECT_TRUE(better.replaced);
+  auto e = corpus.find("account", sig.fingerprint());
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->decisions, 4u);
+  EXPECT_EQ(e->discovered, 100u);
+  EXPECT_TRUE(e->replayVerified);
+  EXPECT_TRUE(e->shrunk);
+
+  // Larger witness is rejected; the bucket is untouched.
+  InsertResult worse = corpus.insert(syntheticScenario(9), sig, true,
+                                     /*shrunk=*/false, 300);
+  EXPECT_FALSE(worse.inserted);
+  EXPECT_FALSE(worse.replaced);
+  e = corpus.find("account", sig.fingerprint());
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->decisions, 4u);
+  EXPECT_TRUE(e->shrunk);
+
+  // Same size but fewer preemptions also wins the tie-break.
+  InsertResult calmer = corpus.insert(syntheticScenario(4, 1), sig, true,
+                                      /*shrunk=*/true, 400);
+  EXPECT_TRUE(calmer.replaced);
+  e = corpus.find("account", sig.fingerprint());
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->preemptions, 0u);
+}
+
+TEST(Corpus, RejectsNonFailureSignatures) {
+  Corpus corpus(freshDir("triage_corpus_reject"));
+  FailureSignature pass;  // kind == None
+  EXPECT_THROW(corpus.insert(syntheticScenario(3), pass, false, false, 1),
+               std::runtime_error);
+}
+
+TEST(Corpus, EntriesAreSortedAndIndexed) {
+  fs::path root = freshDir("triage_corpus_sorted");
+  Corpus corpus(root);
+  FailureSignature a = syntheticSignature();
+  FailureSignature b = syntheticSignature();
+  b.shape = {"other shape"};
+  replay::Scenario sb = syntheticScenario(3);
+  sb.program = "bounded_buffer_bug";
+  corpus.insert(syntheticScenario(3), a, false, false, 1);
+  corpus.insert(sb, b, false, false, 2);
+
+  std::vector<CorpusEntry> all = corpus.entries();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].program, "account");
+  EXPECT_EQ(all[1].program, "bounded_buffer_bug");
+  EXPECT_TRUE(fs::exists(all[0].scenarioPath));
+  EXPECT_TRUE(fs::exists(root / "index.tsv"));
+  EXPECT_NE(slurp(root / "index.tsv").find(a.fingerprint()),
+            std::string::npos);
+
+  std::vector<CorpusEntry> onlyAccount = corpus.entries("account");
+  ASSERT_EQ(onlyAccount.size(), 1u);
+  EXPECT_EQ(onlyAccount[0].fingerprint, a.fingerprint());
+}
+
+TEST(Corpus, VerifyAndGcCatchCorruptWitnesses) {
+  Corpus corpus(freshDir("triage_corpus_verify"));
+  replay::Scenario s = accountScenario();
+  ProbeResult r = probeExact(s.program, s.schedule, toolConfigOf(s));
+  ASSERT_TRUE(r.signature.failure());
+  corpus.insert(s, r.signature, true, false, 1);
+
+  VerifyOutcome good = corpus.verify();
+  EXPECT_EQ(good.checked, 1u);
+  EXPECT_EQ(good.passed, 1u);
+  EXPECT_TRUE(good.ok());
+
+  // Corrupt the witness on disk: verify must flag it, gc must remove it.
+  fs::path witness = corpus.witnessPath(s.program, r.signature.fingerprint());
+  {
+    std::ofstream f(witness, std::ios::binary | std::ios::trunc);
+    f << "garbage\n";
+  }
+  VerifyOutcome bad = corpus.verify();
+  EXPECT_FALSE(bad.ok());
+  ASSERT_EQ(bad.failures.size(), 1u);
+  EXPECT_NE(bad.failures[0].find(s.program), std::string::npos);
+
+  EXPECT_EQ(corpus.gc(), 1u);
+  EXPECT_TRUE(corpus.entries().empty());
+  EXPECT_EQ(corpus.gc(), 0u);
+}
+
+// --- shrink -----------------------------------------------------------------
+
+TEST(Shrink, AccountLosesAtLeastHalfItsDecisions) {
+  const replay::Scenario& s = accountScenario();
+  const ShrinkResult& r = accountShrunk();
+  ASSERT_TRUE(r.reproduced);
+  EXPECT_TRUE(r.verifiedExact);
+  EXPECT_GE(r.removedRatio(), 0.5)
+      << r.original.size() << " -> " << r.minimized.schedule.size();
+  EXPECT_LT(r.minimized.schedule.size(), s.schedule.size());
+  EXPECT_LE(r.minimizedPreemptions, r.originalPreemptions);
+  EXPECT_EQ(r.signature.kind, FailureKind::Oracle);
+  if (r.noiseStripped) {
+    EXPECT_EQ(r.minimized.noise, "none");
+  }
+}
+
+TEST(Shrink, PhilosophersDeadlockLosesAtLeastHalfItsDecisions) {
+  ShrinkResult r = shrinkScenario(philosophersScenario(), {});
+  ASSERT_TRUE(r.reproduced);
+  EXPECT_TRUE(r.verifiedExact);
+  EXPECT_GE(r.removedRatio(), 0.5)
+      << r.original.size() << " -> " << r.minimized.schedule.size();
+  EXPECT_EQ(r.signature.kind, FailureKind::Deadlock);
+}
+
+TEST(Shrink, MinimizedWitnessKeepsTheOriginalSignature) {
+  const ShrinkResult& r = accountShrunk();
+  ProbeResult back = probeExact(r.minimized.program, r.minimized.schedule,
+                                toolConfigOf(r.minimized));
+  EXPECT_TRUE(back.exact);
+  EXPECT_EQ(back.signature, r.signature);
+}
+
+TEST(Shrink, ParallelShrinkMatchesSerialExactly) {
+  const ShrinkResult& serial = accountShrunk();
+  ShrinkOptions par;
+  par.jobs = 4;
+  ShrinkResult parallel = shrinkScenario(accountScenario(), par);
+  ASSERT_TRUE(parallel.reproduced);
+  EXPECT_EQ(parallel.minimized.schedule.decisions,
+            serial.minimized.schedule.decisions);
+  EXPECT_EQ(parallel.minimized.noise, serial.minimized.noise);
+  EXPECT_EQ(parallel.signature, serial.signature);
+}
+
+TEST(Shrink, ShrinkIsIdempotent) {
+  const ShrinkResult& first = accountShrunk();
+  ShrinkResult second = shrinkScenario(first.minimized, {});
+  ASSERT_TRUE(second.reproduced);
+  EXPECT_TRUE(second.verifiedExact);
+  EXPECT_EQ(second.minimized.schedule.decisions,
+            first.minimized.schedule.decisions);
+  EXPECT_EQ(second.removedRatio(), 0.0);
+}
+
+TEST(Shrink, NonReproducingScenarioIsReportedNotShrunk) {
+  // A passing run's schedule has nothing to shrink; the result must say so
+  // instead of fabricating a witness.
+  replay::Scenario s;
+  s.program = "account";
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    ReplayToolConfig cfg;
+    cfg.seed = seed;
+    ProbeResult r = recordRun("account", "rr", cfg);
+    if (r.signature.failure()) continue;
+    s.seed = seed;
+    s.policy = "rr";
+    s.schedule = r.recorded;
+    break;
+  }
+  ASSERT_FALSE(s.schedule.decisions.empty());
+  ShrinkResult r = shrinkScenario(s, {});
+  EXPECT_FALSE(r.reproduced);
+  EXPECT_FALSE(r.verifiedExact);
+  EXPECT_EQ(r.minimized.schedule.decisions, s.schedule.decisions);
+}
+
+TEST(Shrink, RespectsTheValidationBudget) {
+  ShrinkOptions so;
+  so.maxValidations = 3;  // reproduce + strip eat most of it
+  ShrinkResult r = shrinkScenario(accountScenario(), so);
+  ASSERT_TRUE(r.reproduced);
+  EXPECT_LE(r.validations, so.maxValidations + 2);  // + final verification
+}
+
+}  // namespace
+}  // namespace mtt::triage

@@ -10,12 +10,15 @@
 //                                     saves the scenario file
 //   mtt replay <program> <scenario>   re-execute a saved scenario
 //   mtt explore <program> [options]   systematic schedule exploration
+//   mtt shrink <program> <scenario>   ddmin-minimize a failing scenario
+//   mtt corpus <list|show|verify|gc>  browse/maintain the scenario corpus
 //   mtt tracegen <dir> [options]      build an annotated trace repository
 //   mtt analyze <trace...>            offline race + deadlock analysis
 //   mtt experiment <program> [opts]   the prepared experiment (find rates)
 //   mtt check <program>               static analysis + model checking (IR)
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <map>
 #include <optional>
@@ -35,6 +38,10 @@
 #include "rt/harness.hpp"
 #include "suite/program.hpp"
 #include "trace/trace.hpp"
+#include "triage/corpus.hpp"
+#include "triage/probe.hpp"
+#include "triage/shrink.hpp"
+#include "triage/signature.hpp"
 
 using namespace mtt;
 
@@ -100,8 +107,14 @@ int usage() {
       "                [--policy rr|random|priority] [--noise H] [--strength F]\n"
       "  hunt <program> [--seeds N] [--noise H] [--policy P] [--out FILE]\n"
       "                [--jobs N] [--timeout-ms T] [--jsonl FILE]\n"
+      "                [--corpus DIR] [--shrink]\n"
       "  replay <program> <scenario-file> [--seed N] [--noise H] [--strength F]\n"
+      "  shrink <program> <scenario-file> [--jobs N] [--out FILE]\n"
+      "                [--corpus DIR] [--keep-noise] [--max-validations N]\n"
+      "  corpus list|show|verify|gc [--corpus DIR] [--program P]\n"
+      "                (show takes: corpus show <program> <fingerprint>)\n"
       "  explore <program> [--bound K] [--budget N] [--random-walk]\n"
+      "                [--out FILE] [--corpus DIR] [--shrink]\n"
       "  tracegen <dir> [--programs a,b,c] [--seeds N] [--noise H] [--binary]\n"
       "  analyze <trace-file...>\n"
       "  experiment <program> [--runs N] [--policy P] [--noise a,b,c]\n"
@@ -112,7 +125,11 @@ int usage() {
       "  farm flags: --jobs N shards runs over N workers (0 = all cores);\n"
       "  --timeout-ms is a per-run watchdog; --jsonl streams one JSON record\n"
       "  per run; --isolate forks worker processes (crash containment);\n"
-      "  --no-timing drops wall-clock columns for byte-stable reports.\n",
+      "  --no-timing drops wall-clock columns for byte-stable reports.\n"
+      "\n"
+      "  triage flags: --corpus DIR files each counterexample under its\n"
+      "  failure fingerprint (dedup keeps the smallest witness); --shrink\n"
+      "  ddmin-minimizes the schedule before filing/saving it.\n",
       stderr);
   return 2;
 }
@@ -257,31 +274,70 @@ int cmdRun(const Args& a) {
   return p->evaluate(r) == suite::Verdict::BugManifested ? 1 : 0;
 }
 
-// Re-executes one hunted seed with a RecordingPolicy and saves the schedule
-// (controlled mode is deterministic in (policy, seed), so the recording run
-// reproduces exactly what the scan observed).  Returns the run status.
-rt::RunStatus recordScenario(const Args& a, suite::Program& p,
-                             std::uint64_t seed, const std::string& outPath,
-                             std::size_t* decisions) {
-  rt::RecordingPolicy rec(experiment::makePolicy(a.get("policy", "random")));
-  Args aa = a;
-  aa.options["mode"] = "controlled";
-  RunSetup s = makeSetup(aa, &rec);
-  p.reset();
-  rt::RunOptions o = p.defaultRunOptions();
-  o.seed = seed;
-  o.programName = p.name();
-  rt::RunResult r = s.runtime->run([&](rt::Runtime& rr) { p.body(rr); }, o);
-  replay::saveSchedule(rec.schedule(), outPath);
-  *decisions = rec.schedule().size();
-  return r.status;
+// Derives the minimized-witness path for a scenario file:
+// "x.scenario" -> "x.min.scenario", anything else -> "<path>.min".
+std::string minimizedPathFor(const std::string& path) {
+  const std::string ext = ".scenario";
+  if (path.size() > ext.size() &&
+      path.compare(path.size() - ext.size(), ext.size(), ext) == 0) {
+    return path.substr(0, path.size() - ext.size()) + ".min" + ext;
+  }
+  return path + ".min";
+}
+
+// Shared --shrink / --corpus handling for a freshly saved counterexample
+// (hunt and explore).  `sig` is the signature of the recorded run.
+void triageScenario(const Args& a, const replay::Scenario& sc,
+                    const triage::FailureSignature& sig,
+                    const std::string& outPath) {
+  replay::Scenario best = sc;
+  triage::FailureSignature bestSig = sig;
+  bool shrunk = false;
+  bool verified = false;
+  if (a.has("shrink")) {
+    triage::ShrinkOptions so;
+    so.jobs = static_cast<std::size_t>(a.getU64("jobs", 1));
+    triage::ShrinkResult r = triage::shrinkScenario(sc, so);
+    if (!r.reproduced) {
+      std::printf("shrink: scenario did not reproduce; keeping original\n");
+    } else {
+      best = r.minimized;
+      bestSig = r.signature;
+      shrunk = true;
+      verified = r.verifiedExact;
+      std::string minPath = minimizedPathFor(outPath);
+      replay::saveScenario(best, minPath);
+      std::printf(
+          "minimized scenario saved to %s (%zu of %zu decisions, "
+          "%zu preemptions%s)\n",
+          minPath.c_str(), best.schedule.size(), sc.schedule.size(),
+          r.minimizedPreemptions, r.noiseStripped ? ", noise stripped" : "");
+    }
+  }
+  if (a.has("corpus")) {
+    if (!shrunk) {
+      // Honest replay-verified flag: re-run the witness under exact replay.
+      triage::ProbeResult p =
+          triage::probeExact(best.program, best.schedule,
+                             triage::toolConfigOf(best));
+      verified = p.exact && p.signature == bestSig;
+    }
+    triage::Corpus corpus(a.get("corpus", "corpus"));
+    triage::InsertResult ins =
+        corpus.insert(best, bestSig, verified, shrunk,
+                      static_cast<std::uint64_t>(std::time(nullptr)));
+    const char* what = ins.inserted ? "new entry"
+                       : ins.replaced ? "improved witness"
+                                      : "kept existing smaller witness";
+    std::printf("corpus: %s %s/%s\n", what, best.program.c_str(),
+                ins.fingerprint.c_str());
+  }
 }
 
 int cmdHunt(const Args& a) {
   if (a.positional.empty()) return usage();
   auto p = suite::makeProgram(a.positional[0]);
   std::uint64_t seeds = a.getU64("seeds", 500);
-  std::string outPath = a.get("out", "/tmp/" + p->name() + ".scenario");
 
   // The seed scan is a farm campaign: sharded over --jobs workers, stopped
   // at the first manifestation, optionally streamed to --jsonl.
@@ -336,8 +392,23 @@ int cmdHunt(const Args& a) {
                 static_cast<unsigned long long>(seeds));
     return 1;
   }
-  std::size_t decisions = 0;
-  recordScenario(a, *p, *found, outPath, &decisions);
+  // Re-execute the found seed with a RecordingPolicy (controlled mode is
+  // deterministic in (policy, seed), so this reproduces what the scan saw)
+  // and save the full v2 scenario: seed, tool stack and decisions.
+  replay::Scenario sc;
+  sc.program = p->name();
+  sc.seed = *found;
+  sc.policy = spec.tool.policy;
+  sc.noise = spec.tool.noiseName;
+  sc.strength = spec.tool.noiseOpts.strength;
+  triage::ProbeResult rec =
+      triage::recordRun(sc.program, sc.policy, triage::toolConfigOf(sc));
+  sc.schedule = rec.recorded;
+  // Default scenario name carries the seed, so concurrent hunts (or hunts
+  // for different bugs of one program) never clobber each other's files.
+  std::string outPath =
+      a.get("out", sc.program + ".seed" + std::to_string(*found) + ".scenario");
+  replay::saveScenario(sc, outPath);
   std::string noiseArgs;
   if (a.has("noise")) {
     noiseArgs = " --noise " + a.get("noise", "") + " --strength " +
@@ -346,24 +417,44 @@ int cmdHunt(const Args& a) {
   std::printf(
       "bug manifested at seed %llu (%s) after %llu runs\n"
       "scenario saved to %s (%zu decisions)\n"
+      "fingerprint %s (%s)\n"
       "replay with: mtt replay %s %s --seed %llu%s\n",
       static_cast<unsigned long long>(*found), foundStatus.c_str(),
-      static_cast<unsigned long long>(scanned), outPath.c_str(), decisions,
-      p->name().c_str(), outPath.c_str(),
-      static_cast<unsigned long long>(*found), noiseArgs.c_str());
+      static_cast<unsigned long long>(scanned), outPath.c_str(),
+      sc.schedule.size(), rec.signature.fingerprint().c_str(),
+      std::string(to_string(rec.signature.kind)).c_str(), p->name().c_str(),
+      outPath.c_str(), static_cast<unsigned long long>(*found),
+      noiseArgs.c_str());
+  triageScenario(a, sc, rec.signature, outPath);
   return 0;
 }
 
 int cmdReplay(const Args& a) {
   if (a.positional.size() < 2) return usage();
   auto p = suite::makeProgram(a.positional[0]);
-  rt::ReplayPolicy rep(replay::loadSchedule(a.positional[1]));
+  replay::Scenario sc = replay::loadScenario(a.positional[1]);
+  if (!sc.program.empty() && sc.program != p->name()) {
+    throw std::runtime_error("scenario " + a.positional[1] +
+                             " was recorded for program '" + sc.program +
+                             "', not '" + p->name() + "'");
+  }
+  rt::ReplayPolicy rep(sc.schedule);
   Args aa = a;
   aa.options["mode"] = "controlled";
+  // The v2 scenario header carries the tool stack that recorded it, so a
+  // bare `mtt replay <prog> <file>` reproduces exactly; explicit flags win.
+  if (!a.has("noise") && sc.noise != "none" && !sc.noise.empty()) {
+    aa.options["noise"] = sc.noise;
+  }
+  if (!a.has("strength")) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", sc.strength);
+    aa.options["strength"] = buf;
+  }
   RunSetup s = makeSetup(aa, &rep);
   p->reset();
   rt::RunOptions o = p->defaultRunOptions();
-  o.seed = a.getU64("seed", 0);
+  o.seed = a.has("seed") ? a.getU64("seed", 0) : sc.seed;
   o.programName = p->name();
   rt::RunResult r =
       s.runtime->run([&](rt::Runtime& rr) { p->body(rr); }, o);
@@ -393,19 +484,157 @@ int cmdExplore(const Args& a) {
       },
       [&] { p->reset(); });
   if (r.bugFound) {
-    std::string path = "/tmp/" + p->name() + ".scenario";
-    replay::saveSchedule(r.counterexample, path);
+    replay::Scenario sc;
+    sc.program = p->name();
+    sc.seed = 0;
+    sc.policy = "explore";
+    sc.noise = "none";
+    sc.schedule = r.counterexample;
+    // Sign the counterexample; the fingerprint names the default scenario
+    // file, so exploring different bugs never overwrites earlier finds.
+    triage::ProbeResult pr =
+        triage::probeExact(sc.program, sc.schedule, triage::toolConfigOf(sc));
+    std::string path = a.get(
+        "out",
+        sc.program + "." + pr.signature.fingerprint() + ".scenario");
+    replay::saveScenario(sc, path);
     std::printf(
-        "bug found at schedule %llu/%llu (%s)\nscenario saved to %s\n",
+        "bug found at schedule %llu/%llu (%s)\n"
+        "scenario saved to %s (%zu decisions)\n"
+        "fingerprint %s (%s)\n",
         static_cast<unsigned long long>(r.firstBugSchedule),
         static_cast<unsigned long long>(r.schedules),
-        std::string(to_string(r.bugResult.status)).c_str(), path.c_str());
+        std::string(to_string(r.bugResult.status)).c_str(), path.c_str(),
+        sc.schedule.size(), pr.signature.fingerprint().c_str(),
+        std::string(to_string(pr.signature.kind)).c_str());
+    triageScenario(a, sc, pr.signature, path);
     return 0;
   }
   std::printf("no bug in %llu schedules%s\n",
               static_cast<unsigned long long>(r.schedules),
               r.exhausted ? " (schedule space exhausted)" : " (budget)");
   return 1;
+}
+
+// --- shrink / corpus ---------------------------------------------------------
+
+int cmdShrink(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  auto p = suite::makeProgram(a.positional[0]);
+  replay::Scenario sc = replay::loadScenario(a.positional[1]);
+  if (sc.program.empty()) sc.program = p->name();  // v1 files carry no name
+  if (sc.program != p->name()) {
+    throw std::runtime_error("scenario " + a.positional[1] +
+                             " was recorded for program '" + sc.program +
+                             "', not '" + p->name() + "'");
+  }
+  // Flag overrides for scenarios whose header doesn't describe the tool
+  // stack that recorded them (v1 files).
+  if (a.has("noise")) sc.noise = a.get("noise", "none");
+  if (a.has("strength")) sc.strength = a.getF("strength", sc.strength);
+  if (a.has("seed")) sc.seed = a.getU64("seed", sc.seed);
+
+  triage::ShrinkOptions so;
+  so.jobs = static_cast<std::size_t>(a.getU64("jobs", 1));
+  so.maxValidations = a.getU64("max-validations", 50'000);
+  so.allowNoiseStrip = !a.has("keep-noise");
+  triage::ShrinkResult r = triage::shrinkScenario(sc, so);
+  if (!r.reproduced) {
+    std::printf(
+        "scenario does not reproduce a failure under exact replay; "
+        "nothing to shrink\n");
+    return 1;
+  }
+  std::string outPath = a.get("out", minimizedPathFor(a.positional[1]));
+  replay::saveScenario(r.minimized, outPath);
+  std::printf(
+      "signature:   %s (%s)\n"
+      "decisions:   %zu -> %zu (%.0f%% removed)\n"
+      "preemptions: %zu -> %zu\n"
+      "validations: %llu across %llu accepted improvements%s\n"
+      "replay:      %s\n"
+      "minimized scenario saved to %s (%zu decisions)\n",
+      r.signature.fingerprint().c_str(),
+      std::string(to_string(r.signature.kind)).c_str(), r.original.size(),
+      r.minimized.schedule.size(), r.removedRatio() * 100.0,
+      r.originalPreemptions, r.minimizedPreemptions,
+      static_cast<unsigned long long>(r.validations),
+      static_cast<unsigned long long>(r.rounds),
+      r.noiseStripped ? " (noise stripped)" : "",
+      r.verifiedExact ? "exact (verified)" : "NOT exact", outPath.c_str(),
+      r.minimized.schedule.size());
+  if (a.has("corpus")) {
+    triage::Corpus corpus(a.get("corpus", "corpus"));
+    triage::InsertResult ins =
+        corpus.insert(r.minimized, r.signature, r.verifiedExact,
+                      /*shrunk=*/true,
+                      static_cast<std::uint64_t>(std::time(nullptr)));
+    const char* what = ins.inserted ? "new entry"
+                       : ins.replaced ? "improved witness"
+                                      : "kept existing smaller witness";
+    std::printf("corpus: %s %s/%s\n", what, r.minimized.program.c_str(),
+                ins.fingerprint.c_str());
+  }
+  return 0;
+}
+
+int cmdCorpus(const Args& a) {
+  if (a.positional.empty()) return usage();
+  const std::string& verb = a.positional[0];
+  triage::Corpus corpus(a.get("corpus", "corpus"));
+  std::string filter = a.get("program", "");
+  if (verb == "list") {
+    std::vector<triage::CorpusEntry> es = corpus.entries(filter);
+    TextTable t("scenario corpus @ " + corpus.root().string());
+    t.header({"program", "fingerprint", "kind", "decisions", "preempt",
+              "seed", "verified", "shrunk", "noise"});
+    for (const auto& e : es) {
+      t.row({e.program, e.fingerprint, e.kind, std::to_string(e.decisions),
+             std::to_string(e.preemptions), std::to_string(e.seed),
+             e.replayVerified ? "yes" : "no", e.shrunk ? "yes" : "no",
+             e.noise});
+    }
+    t.print();
+    std::printf("%zu entr%s\n", es.size(), es.size() == 1 ? "y" : "ies");
+    return 0;
+  }
+  if (verb == "show") {
+    if (a.positional.size() < 3) return usage();
+    std::optional<triage::CorpusEntry> e =
+        corpus.find(a.positional[1], a.positional[2]);
+    if (!e) {
+      std::fprintf(stderr, "mtt: no corpus entry %s/%s\n",
+                   a.positional[1].c_str(), a.positional[2].c_str());
+      return 1;
+    }
+    std::printf(
+        "program:     %s\nfingerprint: %s\nkind:        %s\n"
+        "decisions:   %llu\npreemptions: %llu\nseed:        %llu\n"
+        "verified:    %s\nshrunk:      %s\nnoise:       %s\n"
+        "witness:     %s\n\n%s\nreplay with: mtt replay %s %s\n",
+        e->program.c_str(), e->fingerprint.c_str(), e->kind.c_str(),
+        static_cast<unsigned long long>(e->decisions),
+        static_cast<unsigned long long>(e->preemptions),
+        static_cast<unsigned long long>(e->seed),
+        e->replayVerified ? "yes" : "no", e->shrunk ? "yes" : "no",
+        e->noise.c_str(), e->scenarioPath.c_str(), e->canonical.c_str(),
+        e->program.c_str(), e->scenarioPath.c_str());
+    return 0;
+  }
+  if (verb == "verify") {
+    triage::VerifyOutcome v = corpus.verify(filter);
+    for (const auto& f : v.failures) std::printf("FAIL %s\n", f.c_str());
+    std::printf("verified %zu/%zu witness%s\n", v.passed, v.checked,
+                v.checked == 1 ? "" : "es");
+    return v.ok() ? 0 : 1;
+  }
+  if (verb == "gc") {
+    std::size_t n = corpus.gc();
+    std::printf("removed %zu corrupt or stale bucket%s\n", n,
+                n == 1 ? "" : "s");
+    return 0;
+  }
+  return usage();
 }
 
 // --- tracegen / analyze -------------------------------------------------------------
@@ -588,6 +817,8 @@ int main(int argc, char** argv) {
     if (cmd == "hunt") return cmdHunt(a);
     if (cmd == "replay") return cmdReplay(a);
     if (cmd == "explore") return cmdExplore(a);
+    if (cmd == "shrink") return cmdShrink(a);
+    if (cmd == "corpus") return cmdCorpus(a);
     if (cmd == "tracegen") return cmdTracegen(a);
     if (cmd == "analyze") return cmdAnalyze(a);
     if (cmd == "experiment") return cmdExperiment(a);
