@@ -1,0 +1,183 @@
+// D1 — Hook API v2 dispatch cost: what a kind-filtered (subscription-masked)
+// hook chain saves over the old deliver-to-everyone chain.
+//
+// A real event stream (the "account" program under the controlled runtime)
+// is recorded once, then pumped straight through a HookChain — no runtime,
+// no scheduling, so the measured time is pure dispatch: table lookup, slot
+// walk, listener call.  Each row compares N attached tools with their
+// declared masks (v2 behaviour) against the same N tools forced onto
+// EventMask::all() (the old chain, which delivered every event to every
+// listener).  Results go to stdout and BENCH_dispatch.json.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/event_mask.hpp"
+#include "core/listener.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "race/detectors.hpp"
+#include "rt/controlled_runtime.hpp"
+#include "suite/program.hpp"
+#include "trace/trace.hpp"
+
+using namespace mtt;
+
+namespace {
+
+/// Minimal subscriber: the per-delivery work is one relaxed increment, so
+/// the measurement isolates chain overhead rather than tool analysis cost.
+class CountingTool final : public Listener {
+ public:
+  CountingTool(std::string name, EventMask mask)
+      : name_(std::move(name)), mask_(mask) {}
+
+  void onEvent(const Event& e) override {
+    count_ += static_cast<std::uint64_t>(e.kind) + 1;
+  }
+  EventMask subscribedEvents() const override { return mask_; }
+  std::string_view listenerName() const override { return name_; }
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::string name_;
+  EventMask mask_;
+  std::uint64_t count_ = 0;
+};
+
+/// Representative masks of the real tool suite, in registration order:
+/// lock-graph, fasttrack-like, variable-targeted noise, sync-only coverage,
+/// thread-lifecycle, eraser-like.
+std::vector<EventMask> toolMasks() {
+  return {
+      EventMask::locks() | EventMask{EventKind::CondWaitBegin,
+                                     EventKind::CondWaitEnd},
+      race::hbSyncMask() | EventMask::variable(),
+      EventMask::variable(),
+      EventMask::sync(),
+      EventMask::threads(),
+      EventMask::locks().without(EventKind::MutexTryLockFail) |
+          EventMask::variable(),
+  };
+}
+
+struct Row {
+  int tools = 0;
+  bool masked = false;
+  double nsPerEvent = 0.0;
+  double deliveriesPerEvent = 0.0;
+};
+
+Row measure(const std::vector<Event>& events, int toolCount, bool masked,
+            std::size_t reps) {
+  std::vector<EventMask> masks = toolMasks();
+  std::vector<std::unique_ptr<CountingTool>> tools;
+  HookChain chain;
+  for (int i = 0; i < toolCount; ++i) {
+    tools.push_back(std::make_unique<CountingTool>(
+        "tool" + std::to_string(i), masks[static_cast<std::size_t>(i)]));
+    chain.add(tools.back().get(),
+              masked ? masks[static_cast<std::size_t>(i)] : EventMask::all());
+  }
+  RunInfo info;
+  info.programName = internName("bench_dispatch");
+
+  // Warm-up pass (faults in the tables), then the timed repetitions.
+  chain.dispatchRunStart(info);
+  for (const Event& e : events) chain.dispatchEvent(e);
+  chain.dispatchRunEnd();
+
+  chain.dispatchRunStart(info);
+  Stopwatch sw;
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (const Event& e : events) chain.dispatchEvent(e);
+  }
+  double seconds = sw.elapsedSeconds();
+  DispatchStats stats = chain.stats();
+  chain.dispatchRunEnd();
+
+  Row row;
+  row.tools = toolCount;
+  row.masked = masked;
+  const double n = static_cast<double>(events.size()) *
+                   static_cast<double>(reps);
+  row.nsPerEvent = seconds * 1e9 / n;
+  row.deliveriesPerEvent = static_cast<double>(stats.deliveries) / n;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  suite::registerBuiltins();
+  const std::size_t reps = argc > 1 ? std::stoul(argv[1]) : 400;
+
+  // One recorded stream: every measurement dispatches identical events.
+  // cache_server exercises mutexes, semaphores, rwlocks, and variables, so
+  // every mask in the panel sees a realistic share of the stream.
+  auto program = suite::makeProgram("cache_server");
+  program->reset();
+  rt::ControlledRuntime rt;
+  trace::TraceRecorder rec(rt);
+  rt.hooks().add(&rec);
+  rt::RunOptions o = program->defaultRunOptions();
+  o.seed = 0;
+  o.programName = "cache_server";
+  rt.run([&](rt::Runtime& rr) { program->body(rr); }, o);
+  const std::vector<Event> events = rec.takeTrace().events;
+
+  std::printf(
+      "D1: hook dispatch cost, %zu-event stream x %zu reps per row\n\n",
+      events.size(), reps);
+
+  TextTable t("D1 / masked (v2) vs unmasked (old chain) dispatch");
+  t.header({"tools", "chain", "ns/event", "deliveries/event"});
+  std::vector<Row> rows;
+  for (int n : {0, 1, 3, 6}) {
+    for (bool masked : {false, true}) {
+      if (n == 0 && masked) continue;  // empty chain has no mask to apply
+      Row r = measure(events, n, masked, reps);
+      rows.push_back(r);
+      t.row({std::to_string(r.tools),
+             r.tools == 0 ? "empty" : (r.masked ? "masked" : "unmasked"),
+             TextTable::num(r.nsPerEvent, 1),
+             TextTable::num(r.deliveriesPerEvent, 2)});
+    }
+  }
+  t.print();
+
+  // The acceptance number: one kind-filtered tool vs the old chain.
+  double one_unmasked = 0.0, one_masked = 0.0;
+  for (const Row& r : rows) {
+    if (r.tools == 1) (r.masked ? one_masked : one_unmasked) = r.nsPerEvent;
+  }
+  double reduction =
+      one_unmasked > 0.0 ? 1.0 - one_masked / one_unmasked : 0.0;
+  std::printf(
+      "\n1 kind-filtered tool: %.1f ns/event vs %.1f unfiltered "
+      "(%.0f%% reduction)\n",
+      one_masked, one_unmasked, reduction * 100.0);
+
+  std::ofstream js("BENCH_dispatch.json");
+  js << "{\n  \"bench\": \"dispatch\",\n  \"events\": " << events.size()
+     << ",\n  \"reps\": " << reps << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"tools\": %d, \"masked\": %s, \"ns_per_event\": "
+                  "%.2f, \"deliveries_per_event\": %.3f}%s\n",
+                  r.tools, r.masked ? "true" : "false", r.nsPerEvent,
+                  r.deliveriesPerEvent, i + 1 < rows.size() ? "," : "");
+    js << buf;
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"one_tool_masked_reduction\": %.3f\n}\n",
+                reduction);
+  js << tail;
+  std::printf("wrote BENCH_dispatch.json\n");
+  return reduction >= 0.30 ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 //   replay          ──▶ deterministic re-execution of a found failure
 //   cloning         ──▶ composes with noise/coverage with no integration
 #include <cstdio>
+#include <sstream>
 
 #include "cloning/cloning.hpp"
 #include "core/table.hpp"
@@ -109,6 +110,28 @@ int main() {
   row("instrumentation -> trace -> off-line race detection",
       std::to_string(offline.warningCount()) + " warning(s) from the trace",
       offline.warningCount() == 0 ? false : true);
+
+  // The same trace through both persistence backends: the varint binary
+  // format must round-trip exactly and be measurably smaller than text.
+  {
+    std::ostringstream textOs, binOs;
+    trace::writeText(tr, textOs);
+    trace::writeBinary(tr, binOs);
+    std::istringstream binIs(binOs.str());
+    trace::TraceReader reader(binIs);
+    bool roundTrips = reader.format() == trace::TraceFormat::Binary &&
+                      reader.trace().events.size() == tr.events.size();
+    double ratio = textOs.str().empty()
+                       ? 0.0
+                       : static_cast<double>(binOs.str().size()) /
+                             static_cast<double>(textOs.str().size());
+    char evidence[96];
+    std::snprintf(evidence, sizeof(evidence),
+                  "text %zu B vs binary %zu B (%.0f%%), auto-detected",
+                  textOs.str().size(), binOs.str().size(), ratio * 100.0);
+    row("trace -> binary persistence (round-trip)", evidence,
+        roundTrips && binOs.str().size() < textOs.str().size());
+  }
 
   auto deadlockProgram = suite::makeProgram("lock_order_inversion");
   trace::Trace dtr;

@@ -1,0 +1,155 @@
+// Subscription masks for Hook API v2.
+//
+// A Listener declares, via Listener::subscribedEvents(), the set of
+// EventKinds it wants delivered; HookChain uses the mask to precompile
+// per-kind dispatch tables so an event only reaches subscribed tools.
+// The mask is a plain 32-bit bitset over EventKind (23 kinds today, so a
+// uint32_t has headroom) and every operation is constexpr: masks compose at
+// compile time in tool headers without touching the hot path.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "core/event.hpp"
+
+namespace mtt {
+
+/// Number of real event kinds (kCount excluded).
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kCount);
+
+/// A set of EventKinds, used as a dispatch subscription.
+///
+/// Category helpers (sync(), variable(), control(), ...) mirror the paper's
+/// "abstract type" dimension so a tool can say "all Sync events" without
+/// enumerating kinds.  test_core asserts these stay consistent with
+/// abstract_type_of().
+class EventMask {
+ public:
+  constexpr EventMask() = default;
+
+  /// Mask containing exactly the listed kinds.
+  constexpr EventMask(std::initializer_list<EventKind> kinds) {
+    for (EventKind k : kinds) bits_ |= bit(k);
+  }
+
+  static constexpr EventMask none() { return EventMask(); }
+
+  static constexpr EventMask all() {
+    return fromBits((std::uint32_t{1} << kEventKindCount) - 1);
+  }
+
+  static constexpr EventMask of(EventKind k) { return fromBits(bit(k)); }
+
+  /// All kinds operating on a synchronization object (AbstractType::Sync):
+  /// mutexes, condition variables, semaphores, barriers, rw-locks.
+  static constexpr EventMask sync() {
+    return EventMask{
+        EventKind::MutexLock,      EventKind::MutexUnlock,
+        EventKind::MutexTryLockOk, EventKind::MutexTryLockFail,
+        EventKind::CondWaitBegin,  EventKind::CondWaitEnd,
+        EventKind::CondSignal,     EventKind::CondBroadcast,
+        EventKind::SemAcquire,     EventKind::SemRelease,
+        EventKind::BarrierEnter,   EventKind::BarrierExit,
+        EventKind::RwLockRead,     EventKind::RwLockWrite,
+        EventKind::RwUnlockRead,   EventKind::RwUnlockWrite,
+    };
+  }
+
+  /// Shared-variable accesses (AbstractType::Variable).
+  static constexpr EventMask variable() {
+    return EventMask{EventKind::VarRead, EventKind::VarWrite};
+  }
+
+  /// Thread lifecycle + yields (AbstractType::Control).
+  static constexpr EventMask control() {
+    return EventMask{EventKind::ThreadStart, EventKind::ThreadFinish,
+                     EventKind::ThreadSpawn, EventKind::ThreadJoin,
+                     EventKind::Yield};
+  }
+
+  /// Thread lifecycle only (control() minus Yield).
+  static constexpr EventMask threads() {
+    return EventMask{EventKind::ThreadStart, EventKind::ThreadFinish,
+                     EventKind::ThreadSpawn, EventKind::ThreadJoin};
+  }
+
+  /// Lock-shaped acquire/release kinds (mutex + rw-lock), the working set of
+  /// lockset analyses and lock-order deadlock detectors.
+  static constexpr EventMask locks() {
+    return EventMask{
+        EventKind::MutexLock,      EventKind::MutexUnlock,
+        EventKind::MutexTryLockOk, EventKind::MutexTryLockFail,
+        EventKind::RwLockRead,     EventKind::RwLockWrite,
+        EventKind::RwUnlockRead,   EventKind::RwUnlockWrite,
+    };
+  }
+
+  constexpr EventMask with(EventKind k) const {
+    return fromBits(bits_ | bit(k));
+  }
+
+  constexpr EventMask without(EventKind k) const {
+    return fromBits(bits_ & ~bit(k));
+  }
+
+  constexpr bool contains(EventKind k) const {
+    return (bits_ & bit(k)) != 0;
+  }
+
+  constexpr bool empty() const { return bits_ == 0; }
+
+  constexpr std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint32_t b = bits_; b != 0; b &= b - 1) ++n;
+    return n;
+  }
+
+  constexpr EventMask operator|(EventMask o) const {
+    return fromBits(bits_ | o.bits_);
+  }
+  constexpr EventMask operator&(EventMask o) const {
+    return fromBits(bits_ & o.bits_);
+  }
+  constexpr EventMask operator~() const {
+    return fromBits(~bits_ & all().bits_);
+  }
+  constexpr EventMask& operator|=(EventMask o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  constexpr EventMask& operator&=(EventMask o) {
+    bits_ &= o.bits_;
+    return *this;
+  }
+  constexpr bool operator==(const EventMask&) const = default;
+
+  /// True when every kind in `o` is also in this mask.
+  constexpr bool covers(EventMask o) const {
+    return (o.bits_ & ~bits_) == 0;
+  }
+
+  constexpr std::uint32_t bits() const { return bits_; }
+
+  static constexpr EventMask fromBits(std::uint32_t bits) {
+    EventMask m;
+    m.bits_ = bits & all_bits();
+    return m;
+  }
+
+ private:
+  static constexpr std::uint32_t all_bits() {
+    return (std::uint32_t{1} << kEventKindCount) - 1;
+  }
+  static constexpr std::uint32_t bit(EventKind k) {
+    return std::uint32_t{1} << static_cast<std::uint32_t>(k);
+  }
+
+  std::uint32_t bits_ = 0;
+};
+
+static_assert(kEventKindCount <= 32,
+              "EventMask is a uint32_t bitset; widen it before adding kinds");
+
+}  // namespace mtt

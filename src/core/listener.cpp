@@ -1,31 +1,213 @@
 #include "core/listener.hpp"
 
-#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <unordered_set>
 
 namespace mtt {
 
+namespace {
+
+struct SvHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+struct SvEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string_view internName(std::string_view name) {
+  if (name.empty()) return {};
+  // unordered_set is node-based: references stay valid across rehashing, so
+  // the returned view lives for the rest of the process.
+  static std::mutex mu;
+  static std::unordered_set<std::string, SvHash, SvEq> pool;
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = pool.find(name);
+  if (it == pool.end()) it = pool.emplace(name).first;
+  return *it;
+}
+
+double DispatchStats::nsPerEvent() const {
+  if (!timed || events == 0) return 0.0;
+  std::uint64_t total = 0;
+  for (const ListenerDispatchStats& l : listeners) total += l.ns;
+  return static_cast<double>(total) / static_cast<double>(events);
+}
+
 void HookChain::add(Listener* l) {
   if (l == nullptr) return;
-  if (std::find(listeners_.begin(), listeners_.end(), l) == listeners_.end()) {
-    listeners_.push_back(l);
+  add(l, l->subscribedEvents());
+}
+
+void HookChain::add(Listener* l, EventMask mask) {
+  if (l == nullptr) return;
+  compact();
+  for (const Entry& en : entries_) {
+    if (en.listener == l) return;
   }
+  Entry en;
+  en.listener = l;
+  en.mask = mask;
+  en.name = std::string(l->listenerName());
+  entries_.push_back(std::move(en));
+  rebuild();
 }
 
 void HookChain::remove(Listener* l) {
-  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), l),
-                   listeners_.end());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].listener != l || entries_[i].removed) continue;
+    entries_[i].removed = true;
+    dirty_ = true;
+    // Null the listener's slots so in-flight and subsequent dispatches skip
+    // it; the table structure itself is untouched (safe mid-dispatch).
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      if (slotEntry_[s] == i) {
+        slots_[s].store(nullptr, std::memory_order_release);
+      }
+    }
+  }
 }
 
-void HookChain::dispatchRunStart(const RunInfo& info) const {
-  for (Listener* l : listeners_) l->onRunStart(info);
+void HookChain::clear() {
+  entries_.clear();
+  dirty_ = false;
+  rebuild();
 }
 
-void HookChain::dispatchEvent(const Event& e) const {
-  for (Listener* l : listeners_) l->onEvent(e);
+std::size_t HookChain::size() const {
+  std::size_t n = 0;
+  for (const Entry& en : entries_) {
+    if (!en.removed) ++n;
+  }
+  return n;
 }
 
-void HookChain::dispatchRunEnd() const {
-  for (Listener* l : listeners_) l->onRunEnd();
+void HookChain::compact() {
+  if (!dirty_) return;
+  std::vector<Entry> live;
+  live.reserve(entries_.size());
+  for (Entry& en : entries_) {
+    if (!en.removed) live.push_back(std::move(en));
+  }
+  entries_ = std::move(live);
+  dirty_ = false;
+  rebuild();
+}
+
+void HookChain::rebuild() {
+  std::size_t total = 0;
+  for (const Entry& en : entries_) {
+    if (!en.removed) total += en.mask.count();
+  }
+  std::vector<std::atomic<Listener*>> slots(total);
+  std::vector<std::uint32_t> slotEntry(total);
+  std::uint32_t at = 0;
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    kindOffset_[k] = at;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& en = entries_[i];
+      if (en.removed || !en.mask.contains(static_cast<EventKind>(k))) continue;
+      slots[at].store(en.listener, std::memory_order_relaxed);
+      slotEntry[at] = static_cast<std::uint32_t>(i);
+      ++at;
+    }
+  }
+  kindOffset_[kEventKindCount] = at;
+  slots_ = std::move(slots);
+  slotEntry_ = std::move(slotEntry);
+  entryNs_ = std::vector<std::atomic<std::uint64_t>>(entries_.size());
+  entryCalls_ = std::vector<std::atomic<std::uint64_t>>(entries_.size());
+}
+
+DispatchStats HookChain::stats() const {
+  DispatchStats s;
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    s.countsByKind[k] = counts_[k].load(std::memory_order_relaxed);
+    s.events += s.countsByKind[k];
+  }
+  s.deliveries = deliveries_.load(std::memory_order_relaxed);
+  s.timed = timing_;
+  if (timing_) {
+    s.listeners.reserve(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      ListenerDispatchStats ls;
+      ls.name = entries_[i].name;
+      ls.calls = i < entryCalls_.size()
+                     ? entryCalls_[i].load(std::memory_order_relaxed)
+                     : 0;
+      ls.ns =
+          i < entryNs_.size() ? entryNs_[i].load(std::memory_order_relaxed) : 0;
+      s.listeners.push_back(std::move(ls));
+    }
+  }
+  return s;
+}
+
+void HookChain::resetStats() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  deliveries_.store(0, std::memory_order_relaxed);
+  for (auto& n : entryNs_) n.store(0, std::memory_order_relaxed);
+  for (auto& n : entryCalls_) n.store(0, std::memory_order_relaxed);
+}
+
+void HookChain::dispatchRunStart(const RunInfo& info) {
+  compact();
+  resetStats();
+  // Index loop, not iterators: a listener may remove() (itself or a peer)
+  // from inside onRunStart, which only flips tombstone flags.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].removed) entries_[i].listener->onRunStart(info);
+  }
+}
+
+void HookChain::dispatchEvent(const Event& e) {
+  const auto k = static_cast<std::size_t>(e.kind);
+  counts_[k].fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t begin = kindOffset_[k];
+  const std::uint32_t end = kindOffset_[k + 1];
+  if (begin == end) return;
+  if (!timing_) {
+    for (std::uint32_t s = begin; s < end; ++s) {
+      Listener* l = slots_[s].load(std::memory_order_acquire);
+      if (l == nullptr) continue;  // tombstoned mid-run
+      deliveries_.fetch_add(1, std::memory_order_relaxed);
+      l->onEvent(e);
+    }
+    return;
+  }
+  for (std::uint32_t s = begin; s < end; ++s) {
+    Listener* l = slots_[s].load(std::memory_order_acquire);
+    if (l == nullptr) continue;
+    deliveries_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t t0 = nowNs();
+    l->onEvent(e);
+    const std::uint64_t dt = nowNs() - t0;
+    const std::uint32_t en = slotEntry_[s];
+    entryNs_[en].fetch_add(dt, std::memory_order_relaxed);
+    entryCalls_[en].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HookChain::dispatchRunEnd() {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].removed) entries_[i].listener->onRunEnd();
+  }
 }
 
 }  // namespace mtt

@@ -7,14 +7,28 @@
 // point to every registered listener, so researchers "could use a
 // mix-and-match approach and complement her component with benchmark
 // components".
+//
+// Hook API v2: each listener additionally declares the set of EventKinds it
+// consumes (subscribedEvents()).  HookChain precompiles one dispatch table
+// per kind, so an event only reaches subscribed tools — a race detector never
+// pays for Yield noise, a variable-coverage model never sees barrier traffic,
+// and the common single-tool case is one indirect call with no vector scan.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/event.hpp"
+#include "core/event_mask.hpp"
+
+namespace mtt::rt {
+class Runtime;
+}  // namespace mtt::rt
 
 namespace mtt {
 
@@ -22,10 +36,18 @@ namespace mtt {
 /// injects real sleeps natively but scheduler perturbation under control).
 enum class RuntimeMode : std::uint8_t { Native, Controlled };
 
+/// Interns a program name into a process-lifetime pool and returns a stable
+/// view.  RunInfo carries the view, so starting a run never copies the name
+/// into every listener; the view outlives every run.
+std::string_view internName(std::string_view name);
+
 /// Per-run metadata handed to listeners at run start.
+///
+/// programName points into the intern pool (see internName) and is valid for
+/// the rest of the process, so listeners may store the view directly.
 struct RunInfo {
-  std::string programName;  ///< suite program name, or "" for ad-hoc bodies
-  std::uint64_t seed = 0;   ///< schedule/noise seed for this run
+  std::string_view programName;  ///< suite program name, or "" for ad-hoc
+  std::uint64_t seed = 0;        ///< schedule/noise seed for this run
   RuntimeMode mode = RuntimeMode::Native;
 };
 
@@ -44,35 +66,138 @@ class Listener {
   /// Called once before the run's main body starts.
   virtual void onRunStart(const RunInfo& info) { (void)info; }
 
-  /// Called for every instrumentation-point execution.
+  /// Called for every instrumentation-point execution the listener is
+  /// subscribed to (see subscribedEvents).
   virtual void onEvent(const Event& e) = 0;
 
   /// Called once after all managed threads finished (or the run aborted).
   virtual void onRunEnd() {}
+
+  /// The kinds this listener wants delivered to onEvent.  Sampled once at
+  /// HookChain::add time, so the mask must be stable while registered.
+  /// Defaults to everything: a pre-v2 listener keeps observing the full
+  /// stream without changes.
+  virtual EventMask subscribedEvents() const { return EventMask::all(); }
+
+  /// Short stable name for observability output ("djit", "mixed-noise", ...).
+  virtual std::string_view listenerName() const { return "listener"; }
+
+  /// Called by ToolStack::attach before registration, letting a tool that
+  /// queries runtime services (object names, noise posting) re-target a new
+  /// runtime instance so the same tool object serves many runs.  Tools
+  /// without runtime dependencies ignore it.
+  virtual void bindRuntime(rt::Runtime& rt) { (void)rt; }
+
+  /// Drops all accumulated cross-run artifacts (warnings, recorded traces,
+  /// coverage).  Per-run working state is already re-initialized by
+  /// onRunStart; resetTool additionally returns the tool to its
+  /// freshly-constructed observable state so pooled stacks don't leak
+  /// results between campaigns.
+  virtual void resetTool() {}
+};
+
+/// Per-listener slice of a run's dispatch cost (only populated when timing
+/// was enabled for the run).
+struct ListenerDispatchStats {
+  std::string name;        ///< listenerName() at registration time
+  std::uint64_t calls = 0; ///< onEvent invocations delivered
+  std::uint64_t ns = 0;    ///< wall nanoseconds spent inside onEvent
+};
+
+/// Built-in dispatch observability: what the hook chain saw during a run.
+/// countsByKind is always collected (one relaxed atomic add per event);
+/// per-listener attribution costs two clock reads per delivery and is only
+/// collected when HookChain::setTimingEnabled(true).
+struct DispatchStats {
+  std::array<std::uint64_t, kEventKindCount> countsByKind{};
+  std::uint64_t events = 0;      ///< total events dispatched
+  std::uint64_t deliveries = 0;  ///< listener onEvent invocations
+  bool timed = false;
+  std::vector<ListenerDispatchStats> listeners;
+
+  /// Total listener nanoseconds divided by events (0 when untimed or empty).
+  double nsPerEvent() const;
 };
 
 /// An ordered chain of listeners.  Dispatch order is registration order;
 /// noise makers are conventionally registered last so that analysis tools
 /// observe the event before the noise delay is injected.
+///
+/// v2 structure: registration produces per-kind dispatch tables (slots_),
+/// one contiguous slot range per EventKind, each slot an atomic Listener
+/// pointer.  dispatchEvent indexes the event's kind and walks only that
+/// range — tools not subscribed to the kind are never touched.
+///
+/// Lifetime semantics (the v1 footgun, now defined): remove() during an
+/// active dispatch — e.g. a tool detaching itself from inside onEvent or
+/// onRunEnd — tombstones the listener by nulling its slots instead of
+/// mutating the tables.  The removed listener observes no further callbacks,
+/// including the remainder of the current event's fan-out; tombstones are
+/// compacted at the next add(), clear() or dispatchRunStart().  add() and
+/// clear() rebuild the tables and therefore must NOT be called while a
+/// dispatch is in flight.
 class HookChain {
  public:
-  /// Registers a listener (non-owning).  The listener must outlive the runs
-  /// it observes.
+  HookChain() = default;
+  HookChain(const HookChain&) = delete;
+  HookChain& operator=(const HookChain&) = delete;
+
+  /// Registers a listener (non-owning) subscribed to l->subscribedEvents().
+  /// The listener must outlive the runs it observes.
   void add(Listener* l);
 
-  /// Removes a previously registered listener; no-op if absent.
+  /// Registers with an explicit mask, overriding subscribedEvents().
+  void add(Listener* l, EventMask mask);
+
+  /// Removes a previously registered listener; no-op if absent.  Safe to
+  /// call from inside a callback (see class comment).
   void remove(Listener* l);
 
-  void clear() { listeners_.clear(); }
-  bool empty() const { return listeners_.empty(); }
-  std::size_t size() const { return listeners_.size(); }
+  void clear();
+  bool empty() const { return size() == 0; }
+  std::size_t size() const;
 
-  void dispatchRunStart(const RunInfo& info) const;
-  void dispatchEvent(const Event& e) const;
-  void dispatchRunEnd() const;
+  /// Enables per-listener time attribution for subsequent dispatches.
+  void setTimingEnabled(bool on) { timing_ = on; }
+  bool timingEnabled() const { return timing_; }
+
+  /// Snapshot of dispatch counters accumulated since the last reset (the
+  /// runtimes reset at run start and snapshot into RunResult at run end).
+  DispatchStats stats() const;
+  void resetStats();
+
+  /// Compacts tombstones, resets stats, then notifies live listeners.
+  void dispatchRunStart(const RunInfo& info);
+  void dispatchEvent(const Event& e);
+  void dispatchRunEnd();
 
  private:
-  std::vector<Listener*> listeners_;
+  struct Entry {
+    Listener* listener = nullptr;
+    EventMask mask;
+    std::string name;      ///< cached: survives listener destruction
+    bool removed = false;  ///< tombstone; compacted at the next safe point
+  };
+
+  void compact();
+  void rebuild();
+
+  std::vector<Entry> entries_;  ///< registration order, incl. tombstones
+  bool dirty_ = false;          ///< tombstones pending compaction
+
+  // Per-kind dispatch tables: slots for kind k live at
+  // [kindOffset_[k], kindOffset_[k+1]) in slots_; slotEntry_ maps a slot
+  // back to its entries_ index for timing attribution.  Slots are atomic so
+  // a tombstoning remove() is race-free against native-mode dispatch.
+  std::array<std::uint32_t, kEventKindCount + 1> kindOffset_{};
+  std::vector<std::atomic<Listener*>> slots_;
+  std::vector<std::uint32_t> slotEntry_;
+
+  bool timing_ = false;
+  std::array<std::atomic<std::uint64_t>, kEventKindCount> counts_{};
+  std::atomic<std::uint64_t> deliveries_{0};
+  std::vector<std::atomic<std::uint64_t>> entryNs_;
+  std::vector<std::atomic<std::uint64_t>> entryCalls_;
 };
 
 }  // namespace mtt

@@ -48,6 +48,13 @@ void CoverageModel::onRunStart(const RunInfo& info) {
   outsideUniverse_ = 0;
 }
 
+void CoverageModel::resetTool() {
+  std::lock_guard<std::mutex> lk(mu_);
+  covered_.clear();
+  if (!closed_) known_.clear();
+  outsideUniverse_ = 0;
+}
+
 void CoverageModel::discover(const std::string& task) {
   if (closed_) {
     if (known_.find(task) == known_.end()) ++outsideUniverse_;

@@ -46,6 +46,10 @@ class CoverageModel : public Listener {
 
   void onRunStart(const RunInfo& info) override;
 
+  std::string_view listenerName() const override { return internName(name()); }
+  /// Drops covered tasks and (for open universes) the discovered task set.
+  void resetTool() override;
+
  protected:
   /// Registers a task (no-op against a closed universe when unknown — such
   /// a hit is an infeasible-task signal and is counted separately).
@@ -68,6 +72,7 @@ class SitePointCoverage final : public CoverageModel {
   /// Resolves task names through the global SiteRegistry.
   std::string name() const override { return "site-point"; }
   void onEvent(const Event& e) override;
+  // Subscribes to everything: any event's site counts as executed.
 };
 
 /// ConTest's measure: a shared variable is covered once it experienced
@@ -80,6 +85,9 @@ class VarContentionCoverage final : public CoverageModel {
       : varName_(std::move(varName)), window_(window) {}
   std::string name() const override { return "var-contention"; }
   void onEvent(const Event& e) override;
+  EventMask subscribedEvents() const override {
+    return EventMask::variable();
+  }
 
  private:
   struct Recent {
@@ -101,6 +109,10 @@ class SyncContentionCoverage final : public CoverageModel {
       : objName_(std::move(name)) {}
   std::string name() const override { return "sync-contention"; }
   void onEvent(const Event& e) override;
+  EventMask subscribedEvents() const override {
+    return EventMask{EventKind::MutexLock, EventKind::SemAcquire,
+                     EventKind::RwLockRead, EventKind::RwLockWrite};
+  }
 
  private:
   std::function<std::string(ObjectId)> objName_;
@@ -115,6 +127,10 @@ class LockPairCoverage final : public CoverageModel {
       : objName_(std::move(name)) {}
   std::string name() const override { return "lock-pair"; }
   void onEvent(const Event& e) override;
+  EventMask subscribedEvents() const override {
+    return EventMask{EventKind::MutexLock, EventKind::MutexTryLockOk,
+                     EventKind::MutexUnlock};
+  }
 
  private:
   std::function<std::string(ObjectId)> objName_;
@@ -128,6 +144,9 @@ class SwitchPairCoverage final : public CoverageModel {
  public:
   std::string name() const override { return "switch-pair"; }
   void onEvent(const Event& e) override;
+  EventMask subscribedEvents() const override {
+    return EventMask::variable();
+  }
 
  private:
   struct Last {

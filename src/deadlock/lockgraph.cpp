@@ -46,6 +46,14 @@ void LockGraphDetector::onRunStart(const RunInfo& info) {
   warnings_.clear();
 }
 
+void LockGraphDetector::resetTool() {
+  std::lock_guard<std::mutex> lk(mu_);
+  held_.clear();
+  edges_.clear();
+  edgeInfo_.clear();
+  warnings_.clear();
+}
+
 void LockGraphDetector::onEvent(const Event& e) {
   std::lock_guard<std::mutex> lk(mu_);
   switch (e.kind) {

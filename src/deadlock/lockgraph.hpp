@@ -43,6 +43,15 @@ class LockGraphDetector final : public Listener {
   void onEvent(const Event& e) override;
   void onRunEnd() override;
 
+  /// Lock-order analysis only needs acquire/release-shaped events (plus the
+  /// condvar wait boundary, which releases and re-acquires the mutex).
+  EventMask subscribedEvents() const override {
+    return (EventMask::locks().without(EventKind::MutexTryLockFail) |
+            EventMask{EventKind::CondWaitBegin, EventKind::CondWaitEnd});
+  }
+  std::string_view listenerName() const override { return "lockgraph"; }
+  void resetTool() override;
+
   /// Warnings found (populated during onRunEnd; one per distinct cycle).
   const std::vector<DeadlockWarning>& warnings() const { return warnings_; }
   bool foundPotentialDeadlock() const { return !warnings_.empty(); }

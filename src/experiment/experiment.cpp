@@ -66,7 +66,26 @@ void validateToolConfig(const ToolConfig& tool) {
   }
 }
 
+ToolStack makeToolStack(const ToolConfig& tool) {
+  // Canonical assembly order: detectors observe first, noise perturbs last.
+  ToolStackBuilder b;
+  for (const auto& d : tool.detectors) b.detector(d);
+  if (tool.lockGraph) b.lockGraph();
+  if (tool.noiseName == "targeted") {
+    b.targetedNoise(tool.noiseTargets, tool.noiseOpts);
+  } else {
+    b.noise(tool.noiseName, tool.noiseOpts);
+  }
+  return b.build();
+}
+
 RunObservation executeRun(const ExperimentSpec& spec, std::size_t i) {
+  ToolStack tools = makeToolStack(spec.tool);
+  return executeRun(spec, i, tools);
+}
+
+RunObservation executeRun(const ExperimentSpec& spec, std::size_t i,
+                          ToolStack& tools) {
   auto program = suite::makeProgram(spec.programName);
   program->reset();
 
@@ -75,30 +94,10 @@ RunObservation executeRun(const ExperimentSpec& spec, std::size_t i) {
                           ? makePolicy(spec.tool.policy)
                           : nullptr);
 
-  // Tool assembly: detectors observe first, noise perturbs last.
-  std::vector<std::unique_ptr<race::RaceDetector>> detectors;
-  for (const auto& d : spec.tool.detectors) {
-    auto det = race::makeDetector(d);
-    if (!det) throw std::runtime_error("unknown detector " + d);
-    rt->hooks().add(det.get());
-    detectors.push_back(std::move(det));
-  }
-  deadlock::LockGraphDetector lockGraph;
-  if (spec.tool.lockGraph) rt->hooks().add(&lockGraph);
-
-  std::unique_ptr<noise::NoiseMaker> noiseMaker;
-  if (spec.tool.noiseName == "targeted") {
-    noiseMaker = std::make_unique<noise::TargetedNoise>(
-        *rt, spec.tool.noiseTargets, spec.tool.noiseOpts);
-  } else {
-    noiseMaker =
-        noise::makeNoise(spec.tool.noiseName, *rt, spec.tool.noiseOpts);
-    if (!noiseMaker) {
-      throw std::runtime_error("unknown noise heuristic " +
-                               spec.tool.noiseName);
-    }
-  }
-  rt->hooks().add(noiseMaker.get());
+  // reset() first: a reused stack must start every run in the same state a
+  // freshly-built stack would, or reports stop being seed-deterministic.
+  tools.reset();
+  tools.attach(*rt);
 
   rt::RunOptions opts =
       spec.runOptions ? *spec.runOptions : program->defaultRunOptions();
@@ -113,19 +112,25 @@ RunObservation executeRun(const ExperimentSpec& spec, std::size_t i) {
   obs.seed = opts.seed;
   obs.status = std::string(to_string(r.status));
   obs.manifested = program->evaluate(r) == suite::Verdict::BugManifested;
-  obs.hasDetectors = !detectors.empty();
-  for (const auto& det : detectors) {
+  obs.hasDetectors = !tools.detectors().empty();
+  for (race::RaceDetector* det : tools.detectors()) {
     obs.warnings += det->warningCount();
     obs.trueWarnings += det->trueAlarms();
     obs.falseWarnings += det->falseAlarms();
     obs.detectorHit = obs.detectorHit || det->foundAnnotatedBug();
   }
-  obs.deadlockPotentials = lockGraph.warnings().size();
+  if (tools.lockGraph() != nullptr) {
+    obs.deadlockPotentials = tools.lockGraph()->warnings().size();
+  }
   obs.wallSeconds = r.wallSeconds;
   obs.events = r.events;
-  obs.noiseInjections = noiseMaker->injections();
+  if (tools.noiseMaker() != nullptr) {
+    obs.noiseInjections = tools.noiseMaker()->injections();
+  }
   obs.outcome = program->outcome();
   obs.failureMessage = r.failureMessage;
+  obs.dispatchDeliveries = r.dispatch.deliveries;
+  obs.dispatchNsPerEvent = r.dispatch.nsPerEvent();
   return obs;
 }
 
@@ -180,8 +185,10 @@ ExperimentResult runExperiment(const ExperimentSpec& spec) {
   result.programName = spec.programName;
   result.toolLabel = spec.tool.label();
   result.runs = spec.runs;
+  // One stack for the whole campaign: executeRun resets it per run.
+  ToolStack tools = makeToolStack(spec.tool);
   for (std::size_t i = 0; i < spec.runs; ++i) {
-    accumulate(result, executeRun(spec, i));
+    accumulate(result, executeRun(spec, i, tools));
   }
   return result;
 }

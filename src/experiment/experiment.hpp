@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/stats.hpp"
+#include "experiment/tool_stack.hpp"
 #include "noise/noise.hpp"
 #include "rt/harness.hpp"
 #include "suite/program.hpp"
@@ -105,6 +106,11 @@ struct RunObservation {
   std::uint64_t noiseInjections = 0;
   std::string outcome;
   std::string failureMessage;
+  /// Dispatch observability (Hook API v2): listener deliveries this run
+  /// (events × subscribed tools) and, when RunOptions::dispatchTiming was
+  /// on, mean nanoseconds of tool time per event.
+  std::uint64_t dispatchDeliveries = 0;
+  double dispatchNsPerEvent = 0.0;
   /// Farm bookkeeping: how many attempts this run took (retries + 1).
   std::uint32_t attempts = 1;
 
@@ -128,10 +134,25 @@ std::vector<std::string> policyNames();
 /// instead of surfacing as per-run infrastructure errors.
 void validateToolConfig(const ToolConfig& tool);
 
+/// Builds the owned tool stack a ToolConfig describes, in the canonical
+/// order: detectors (config order), then the lock-graph detector if
+/// requested, then the noise maker.  Throws std::runtime_error on unknown
+/// detector / noise names (validateToolConfig reports the same failures
+/// with nicer messages).
+ToolStack makeToolStack(const ToolConfig& tool);
+
 /// Executes run `i` of the spec on the calling thread.  Thread-safe: each
 /// call builds its own program instance, runtime, and tool stack, so any
 /// number of runs of the same spec may execute concurrently.
 RunObservation executeRun(const ExperimentSpec& spec, std::size_t i);
+
+/// Same, but attaches a caller-provided tool stack instead of building one
+/// per run — campaign loops build the stack once and reuse it.  The stack
+/// is reset() at the start of the run, so the observation is identical to
+/// the build-per-run overload for the same (spec, i).  Not thread-safe with
+/// respect to `tools`: one stack serves one run at a time.
+RunObservation executeRun(const ExperimentSpec& spec, std::size_t i,
+                          ToolStack& tools);
 
 /// Folds one observation into the aggregate (exact serial semantics).
 void accumulate(ExperimentResult& result, const RunObservation& obs);

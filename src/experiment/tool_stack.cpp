@@ -1,0 +1,136 @@
+#include "experiment/tool_stack.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "rt/runtime.hpp"
+
+namespace mtt::experiment {
+
+void ToolStack::attach(rt::Runtime& rt) {
+  for (Listener* l : order_) {
+    l->bindRuntime(rt);
+    rt.hooks().add(l);
+  }
+}
+
+void ToolStack::reset() {
+  for (Listener* l : order_) l->resetTool();
+}
+
+void ToolStackBuilder::addAnalysis(Listener* raw,
+                                   std::unique_ptr<Listener> owned) {
+  if (sawNoise_) {
+    throw std::logic_error(
+        "ToolStackBuilder: analysis tool added after a noise maker; "
+        "noise makers must register last so analysis tools observe each "
+        "event before the perturbation");
+  }
+  stack_.order_.push_back(raw);
+  if (owned) stack_.owned_.push_back(std::move(owned));
+}
+
+void ToolStackBuilder::addNoise(std::unique_ptr<noise::NoiseMaker> nm) {
+  noise::NoiseMaker* raw = nm.get();
+  if (stack_.noise_ == nullptr) stack_.noise_ = raw;
+  stack_.order_.push_back(raw);
+  stack_.owned_.push_back(std::move(nm));
+  sawNoise_ = true;
+}
+
+ToolStackBuilder& ToolStackBuilder::detector(const std::string& name) {
+  auto det = race::makeDetector(name);
+  if (!det) throw std::runtime_error("unknown detector " + name);
+  race::RaceDetector* raw = det.get();
+  stack_.detectors_.push_back(raw);
+  addAnalysis(raw, std::move(det));
+  return *this;
+}
+
+ToolStackBuilder& ToolStackBuilder::lockGraph() {
+  auto lg = std::make_unique<deadlock::LockGraphDetector>();
+  deadlock::LockGraphDetector* raw = lg.get();
+  stack_.lockGraph_ = raw;
+  addAnalysis(raw, std::move(lg));
+  return *this;
+}
+
+ToolStackBuilder& ToolStackBuilder::traceRecorder() {
+  auto rec = std::make_unique<trace::TraceRecorder>();
+  trace::TraceRecorder* raw = rec.get();
+  stack_.recorder_ = raw;
+  addAnalysis(raw, std::move(rec));
+  return *this;
+}
+
+ToolStackBuilder& ToolStackBuilder::listener(std::unique_ptr<Listener> tool) {
+  Listener* raw = tool.get();
+  addAnalysis(raw, std::move(tool));
+  return *this;
+}
+
+ToolStackBuilder& ToolStackBuilder::borrowed(Listener* tool) {
+  addAnalysis(tool, nullptr);
+  return *this;
+}
+
+ToolStackBuilder& ToolStackBuilder::noise(const std::string& name,
+                                          noise::NoiseOptions opts) {
+  auto nm = noise::makeNoise(name, opts);
+  if (!nm) throw std::runtime_error("unknown noise heuristic " + name);
+  addNoise(std::move(nm));
+  return *this;
+}
+
+ToolStackBuilder& ToolStackBuilder::targetedNoise(
+    std::set<std::string> sharedVarNames, noise::NoiseOptions opts) {
+  addNoise(std::make_unique<noise::TargetedNoise>(std::move(sharedVarNames),
+                                                 opts));
+  return *this;
+}
+
+ToolStackBuilder& ToolStackBuilder::noiseMaker(
+    std::unique_ptr<noise::NoiseMaker> nm) {
+  addNoise(std::move(nm));
+  return *this;
+}
+
+ToolStack ToolStackBuilder::build() { return std::move(stack_); }
+
+// --- ToolStackPool -----------------------------------------------------------
+
+struct ToolStackPool::Lease::Shared {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ToolStack>> free;
+  std::function<ToolStack()> factory;
+};
+
+ToolStackPool::ToolStackPool(std::function<ToolStack()> factory)
+    : shared_(std::make_shared<Lease::Shared>()) {
+  shared_->factory = std::move(factory);
+}
+
+ToolStackPool::Lease::Lease(std::shared_ptr<Shared> shared,
+                            std::unique_ptr<ToolStack> stack)
+    : shared_(std::move(shared)), stack_(std::move(stack)) {}
+
+ToolStackPool::Lease::~Lease() {
+  if (shared_ == nullptr || stack_ == nullptr) return;
+  std::lock_guard<std::mutex> lk(shared_->mu);
+  shared_->free.push_back(std::move(stack_));
+}
+
+ToolStackPool::Lease ToolStackPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lk(shared_->mu);
+    if (!shared_->free.empty()) {
+      std::unique_ptr<ToolStack> s = std::move(shared_->free.back());
+      shared_->free.pop_back();
+      return Lease(shared_, std::move(s));
+    }
+  }
+  // Build outside the lock: stack construction allocates tools.
+  return Lease(shared_, std::make_unique<ToolStack>(shared_->factory()));
+}
+
+}  // namespace mtt::experiment

@@ -106,6 +106,12 @@ ExploreResult Explorer::explore(
   rt::RunOptions opts;
   opts.maxSteps = opts_.maxStepsPerRun;
 
+  auto attachTools = [this](rt::Runtime& rt) {
+    if (opts_.tools == nullptr) return;
+    opts_.tools->reset();
+    opts_.tools->attach(rt);
+  };
+
   if (opts_.randomWalk) {
     for (std::uint64_t i = 0; i < opts_.maxSchedules; ++i) {
       if (prepare) prepare();
@@ -115,6 +121,7 @@ ExploreResult Explorer::explore(
           std::make_unique<rt::RandomPolicy>());
       rt::RecordingPolicy* recPtr = rec.get();
       rt.setPolicy(std::move(rec));
+      attachTools(rt);
       opts.seed = opts_.seed + i;
       rt::RunResult r = rt.run(body, opts);
       ++result.schedules;
@@ -138,6 +145,7 @@ ExploreResult Explorer::explore(
   for (std::uint64_t i = 0; i < opts_.maxSchedules; ++i) {
     if (prepare) prepare();
     rt::ControlledRuntime rt(std::make_unique<rt::PolicyRef>(policy));
+    attachTools(rt);
     opts.seed = opts_.seed;
     rt::RunResult r = rt.run(body, opts);
     ++result.schedules;

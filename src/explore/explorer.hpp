@@ -23,12 +23,18 @@
 #include <functional>
 #include <vector>
 
+#include "experiment/tool_stack.hpp"
 #include "rt/controlled_runtime.hpp"
 #include "rt/policy.hpp"
 
 namespace mtt::explore {
 
 struct ExploreOptions {
+  /// Optional tool stack attached to every explored execution (detectors,
+  /// coverage, noise).  Reset before each run, so the stack's final state
+  /// describes the last executed schedule — with stopAtFirstBug that is the
+  /// counterexample run.  Borrowed: must outlive the explore() call.
+  experiment::ToolStack* tools = nullptr;
   /// Maximum complete executions to try.
   std::uint64_t maxSchedules = 10'000;
   /// Maximum preemptive context switches per schedule (-1 = unbounded).

@@ -287,11 +287,20 @@ ExperimentCampaign runExperimentFarm(const experiment::ExperimentSpec& spec,
   opts.seedForIndex = [&spec](std::uint64_t i) { return spec.seedBase + i; };
   const bool hasDetectors = !spec.tool.detectors.empty();
 
+  // Workers lease pooled tool stacks instead of rebuilding the tool set per
+  // run; executeRun resets each leased stack, so results are unchanged.  The
+  // pool is shared-ptr captured because a timed-out worker thread can
+  // outlive this call while still holding its lease.
+  auto pool = std::make_shared<experiment::ToolStackPool>(
+      [tool = spec.tool]() { return experiment::makeToolStack(tool); });
+
   ExperimentCampaign out;
   out.campaign = runJobs(
       spec.runs,
-      [&spec](std::uint64_t i) {
-        return experiment::executeRun(spec, static_cast<std::size_t>(i));
+      [&spec, pool](std::uint64_t i) {
+        auto lease = pool->acquire();
+        return experiment::executeRun(spec, static_cast<std::size_t>(i),
+                                      *lease);
       },
       opts);
 

@@ -76,6 +76,10 @@ std::string toJson(const experiment::RunObservation& o) {
   j += ",\"injections\":" + std::to_string(o.noiseInjections);
   j += ",\"outcome\":";
   appendJsonString(j, o.outcome);
+  j += ",\"dispatch_deliveries\":" + std::to_string(o.dispatchDeliveries);
+  if (o.dispatchNsPerEvent > 0.0) {
+    j += ",\"dispatch_ns_per_event\":" + formatDouble(o.dispatchNsPerEvent);
+  }
   j += ",\"attempts\":" + std::to_string(o.attempts);
   if (!o.failureMessage.empty()) {
     j += ",\"error\":";
@@ -171,13 +175,17 @@ std::string encodePipeRecord(const experiment::RunObservation& o) {
   appendEscaped(line, o.failureMessage);
   line += '\t';
   line += std::to_string(o.attempts);
+  line += '\t';
+  line += std::to_string(o.dispatchDeliveries);
+  line += '\t';
+  line += formatDouble(o.dispatchNsPerEvent);
   return line;
 }
 
 bool decodePipeRecord(const std::string& line,
                       experiment::RunObservation& o) {
   std::vector<std::string> f = splitFields(line);
-  if (f.size() != 16) return false;
+  if (f.size() != 18) return false;
   try {
     o.runIndex = std::stoull(f[0]);
     o.seed = std::stoull(f[1]);
@@ -195,6 +203,8 @@ bool decodePipeRecord(const std::string& line,
     o.outcome = unescape(f[13]);
     o.failureMessage = unescape(f[14]);
     o.attempts = static_cast<std::uint32_t>(std::stoul(f[15]));
+    o.dispatchDeliveries = std::stoull(f[16]);
+    o.dispatchNsPerEvent = std::stod(f[17]);
   } catch (const std::exception&) {
     return false;
   }

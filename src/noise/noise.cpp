@@ -34,7 +34,9 @@ std::uint32_t NoiseMaker::sampleSleep() {
 }
 
 void NoiseMaker::onEvent(const Event& e) {
-  if (!eligible(e)) return;
+  // Masked dispatch already filters to the eligible set; the explicit check
+  // stays for direct calls (trace feeding, tests) and unmasked chains.
+  if (rt_ == nullptr || !eligible(e)) return;
   rt::Runtime::NoiseRequest req;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -94,6 +96,18 @@ TargetedNoise::TargetedNoise(rt::Runtime& rt,
       rtForNames_(&rt),
       targetNames_(std::move(sharedVarNames)) {}
 
+TargetedNoise::TargetedNoise(std::set<std::string> sharedVarNames,
+                             NoiseOptions opts)
+    : NoiseMaker(opts),
+      rtForNames_(nullptr),
+      targetNames_(std::move(sharedVarNames)) {}
+
+void TargetedNoise::bindRuntime(rt::Runtime& rt) {
+  NoiseMaker::bindRuntime(rt);
+  rtForNames_ = &rt;
+  cache_.clear();  // ObjectIds are per-runtime; names are the stable key
+}
+
 bool TargetedNoise::isTarget(ObjectId var) {
   if (targets_.count(var) != 0) return true;
   if (targetNames_.empty()) return false;
@@ -130,6 +144,12 @@ void CoverageDirectedNoise::onRunStart(const RunInfo& info) {
   siteHits_.clear();
 }
 
+void CoverageDirectedNoise::resetTool() {
+  NoiseMaker::resetTool();
+  siteInjections_.clear();
+  siteHits_.clear();
+}
+
 rt::Runtime::NoiseRequest CoverageDirectedNoise::decide(const Event& e) {
   rt::Runtime::NoiseRequest req;
   ++siteHits_[e.syncSite];
@@ -153,12 +173,19 @@ rt::Runtime::NoiseRequest CoverageDirectedNoise::decide(const Event& e) {
 
 std::unique_ptr<NoiseMaker> makeNoise(const std::string& name,
                                       rt::Runtime& rt, NoiseOptions opts) {
-  if (name == "none") return std::make_unique<NoNoise>(rt, opts);
-  if (name == "yield") return std::make_unique<YieldNoise>(rt, opts);
-  if (name == "sleep") return std::make_unique<SleepNoise>(rt, opts);
-  if (name == "mixed") return std::make_unique<MixedNoise>(rt, opts);
+  auto made = makeNoise(name, opts);
+  if (made) made->bindRuntime(rt);
+  return made;
+}
+
+std::unique_ptr<NoiseMaker> makeNoise(const std::string& name,
+                                      NoiseOptions opts) {
+  if (name == "none") return std::make_unique<NoNoise>(opts);
+  if (name == "yield") return std::make_unique<YieldNoise>(opts);
+  if (name == "sleep") return std::make_unique<SleepNoise>(opts);
+  if (name == "mixed") return std::make_unique<MixedNoise>(opts);
   if (name == "coverage-directed") {
-    return std::make_unique<CoverageDirectedNoise>(rt, opts);
+    return std::make_unique<CoverageDirectedNoise>(opts);
   }
   return nullptr;
 }

@@ -47,10 +47,28 @@ class NoiseMaker : public Listener {
   explicit NoiseMaker(rt::Runtime& rt, NoiseOptions opts = {})
       : rt_(&rt), opts_(opts) {}
 
+  /// Runtime-less construction for owned tool stacks: the stack calls
+  /// bindRuntime before every run, so one noise maker serves many runtimes.
+  explicit NoiseMaker(NoiseOptions opts = {}) : rt_(nullptr), opts_(opts) {}
+
   virtual std::string name() const = 0;
 
   void onRunStart(const RunInfo& info) override;
   void onEvent(const Event& e) override;
+
+  /// Noise subscribes to exactly its eligible() set (everything except
+  /// Yield and ThreadFinish).  The mask must stay equal to eligible() —
+  /// heuristics consume one RNG draw per *delivered* eligible event, so a
+  /// narrower mask would shift the noise stream and break replay/report
+  /// determinism for a given seed.
+  EventMask subscribedEvents() const override {
+    return EventMask::all()
+        .without(EventKind::Yield)
+        .without(EventKind::ThreadFinish);
+  }
+  std::string_view listenerName() const override { return internName(name()); }
+  void bindRuntime(rt::Runtime& rt) override { rt_ = &rt; }
+  void resetTool() override { injections_ = 0; }
 
   std::uint64_t injections() const { return injections_; }
 
@@ -84,6 +102,9 @@ class NoNoise final : public NoiseMaker {
  public:
   using NoiseMaker::NoiseMaker;
   std::string name() const override { return "none"; }
+  /// Never perturbs and never draws RNG, so it can unsubscribe entirely:
+  /// baseline runs pay zero dispatch cost.
+  EventMask subscribedEvents() const override { return EventMask::none(); }
 
  protected:
   rt::Runtime::NoiseRequest decide(const Event&) override { return {}; }
@@ -133,7 +154,17 @@ class TargetedNoise final : public NoiseMaker {
   /// runtime's object registry (names are stable across runs, ids are not).
   TargetedNoise(rt::Runtime& rt, std::set<std::string> sharedVarNames,
                 NoiseOptions opts = {});
+  /// Runtime-less name-based variant for owned stacks (bindRuntime rebinds
+  /// the registry and drops the id cache before each run).
+  explicit TargetedNoise(std::set<std::string> sharedVarNames,
+                         NoiseOptions opts = {});
   std::string name() const override { return "targeted"; }
+  /// Only variable accesses are targeted; sync/control events never reach
+  /// decide() and never draw RNG, so the narrow mask is stream-preserving.
+  EventMask subscribedEvents() const override {
+    return EventMask::variable();
+  }
+  void bindRuntime(rt::Runtime& rt) override;
 
  protected:
   rt::Runtime::NoiseRequest decide(const Event& e) override;
@@ -154,6 +185,8 @@ class CoverageDirectedNoise final : public NoiseMaker {
   using NoiseMaker::NoiseMaker;
   std::string name() const override { return "coverage-directed"; }
   void onRunStart(const RunInfo& info) override;
+  /// Drops the cross-run learning state along with the base counters.
+  void resetTool() override;
 
  protected:
   rt::Runtime::NoiseRequest decide(const Event& e) override;
@@ -168,6 +201,9 @@ class CoverageDirectedNoise final : public NoiseMaker {
 /// explicitly.
 std::unique_ptr<NoiseMaker> makeNoise(const std::string& name,
                                       rt::Runtime& rt,
+                                      NoiseOptions opts = {});
+/// Runtime-less factory for owned tool stacks (bindRuntime attaches later).
+std::unique_ptr<NoiseMaker> makeNoise(const std::string& name,
                                       NoiseOptions opts = {});
 std::vector<std::string> noiseNames();
 

@@ -32,6 +32,11 @@ void RaceDetector::onRunStart(const RunInfo& info) {
   resetState();
 }
 
+void RaceDetector::resetTool() {
+  warnings_.clear();
+  resetState();
+}
+
 void RaceDetector::report(RaceWarning w) {
   if (alreadyReported(w.variable, w.firstSite, w.secondSite)) return;
   warnings_.push_back(std::move(w));

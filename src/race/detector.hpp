@@ -59,6 +59,10 @@ class RaceDetector : public Listener {
   void onRunStart(const RunInfo& info) override;
   void onRunEnd() override {}
 
+  std::string_view listenerName() const override { return internName(name()); }
+  /// Clears warnings and algorithm state (same as a run-start reset).
+  void resetTool() override;
+
  protected:
   /// Clears detector state between runs; subclasses extend.
   virtual void resetState() = 0;

@@ -11,6 +11,18 @@
 
 namespace mtt::race {
 
+/// Kinds a happens-before engine consumes: everything that creates or
+/// releases an ordering edge plus thread lifecycle, i.e. all kinds except
+/// failed try-locks (no edge), Yield (pure noise) and the variable accesses
+/// the concrete detector adds back itself.
+constexpr EventMask hbSyncMask() {
+  return EventMask::all()
+      .without(EventKind::MutexTryLockFail)
+      .without(EventKind::Yield)
+      .without(EventKind::VarRead)
+      .without(EventKind::VarWrite);
+}
+
 /// Eraser (Savage et al.): lockset algorithm with the
 /// virgin/exclusive/shared/shared-modified state machine.  Fast and
 /// schedule-insensitive, but blind to non-lock synchronization — semaphore-
@@ -21,6 +33,13 @@ class EraserDetector final : public RaceDetector {
  public:
   std::string name() const override { return "eraser"; }
   void onEvent(const Event& e) override;
+  /// Lockset needs lock acquire/release, condvar-protected handoffs and the
+  /// variable accesses themselves — never barriers, semaphores or yields.
+  EventMask subscribedEvents() const override {
+    return (EventMask::locks().without(EventKind::MutexTryLockFail) |
+            EventMask{EventKind::CondWaitBegin, EventKind::CondWaitEnd} |
+            EventMask::variable());
+  }
 
  protected:
   void resetState() override;
@@ -49,6 +68,9 @@ class DjitDetector final : public RaceDetector, private HbEngine {
  public:
   std::string name() const override { return "djit"; }
   void onEvent(const Event& e) override;
+  EventMask subscribedEvents() const override {
+    return hbSyncMask() | EventMask::variable();
+  }
 
  protected:
   void resetState() override;
@@ -77,6 +99,9 @@ class FastTrackDetector final : public RaceDetector, private HbEngine {
  public:
   std::string name() const override { return "fasttrack"; }
   void onEvent(const Event& e) override;
+  EventMask subscribedEvents() const override {
+    return hbSyncMask() | EventMask::variable();
+  }
 
  protected:
   void resetState() override;
@@ -107,6 +132,9 @@ class HybridDetector final : public RaceDetector, private HbEngine {
  public:
   std::string name() const override { return "hybrid"; }
   void onEvent(const Event& e) override;
+  EventMask subscribedEvents() const override {
+    return hbSyncMask() | EventMask::variable();
+  }
 
  protected:
   void resetState() override;

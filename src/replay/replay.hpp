@@ -124,6 +124,17 @@ class SyncOrderRecorder final : public rt::PreOpGate, public Listener {
   /// Clears the recording (call between runs).
   void reset();
 
+  /// The listener half only consumes completion-recorded acquisitions
+  /// (arrival-recorded ops come through the PreOpGate, not the hook chain).
+  EventMask subscribedEvents() const override {
+    return EventMask{EventKind::MutexLock,      EventKind::MutexTryLockOk,
+                     EventKind::MutexTryLockFail, EventKind::SemAcquire,
+                     EventKind::RwLockRead,     EventKind::RwLockWrite,
+                     EventKind::ThreadJoin};
+  }
+  std::string_view listenerName() const override { return "sync-recorder"; }
+  void resetTool() override { reset(); }
+
   std::vector<SyncOp> order() const;
   std::vector<SyncOp> takeOrder() { return std::move(order_); }
 
@@ -166,6 +177,19 @@ class SyncOrderEnforcer final : public rt::PreOpGate, public Listener {
 
   /// Call between runs when reusing the enforcer.
   void reset();
+
+  /// Completion matching needs every in-scope event (the in-flight op can
+  /// be of any gated class); scope is fixed at construction, so the mask is
+  /// stable as HookChain::add requires.
+  EventMask subscribedEvents() const override {
+    return scope_ == OrderScope::Full
+               ? EventMask::all()
+               : EventMask::all()
+                     .without(EventKind::VarRead)
+                     .without(EventKind::VarWrite);
+  }
+  std::string_view listenerName() const override { return "sync-enforcer"; }
+  void resetTool() override { reset(); }
 
   bool diverged() const;
   /// All recorded operations were enforced in order.

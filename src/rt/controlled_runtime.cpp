@@ -610,8 +610,9 @@ RunResult ControlledRuntime::run(std::function<void(Runtime&)> body,
     resetEventCount();
   }
   policy_->onRunStart(opts.seed);
+  hooks_.setTimingEnabled(opts.dispatchTiming);
   RunInfo info;
-  info.programName = opts.programName;
+  info.programName = internName(opts.programName);
   info.seed = opts.seed;
   info.mode = RuntimeMode::Controlled;
   hooks_.dispatchRunStart(info);
@@ -648,6 +649,7 @@ RunResult ControlledRuntime::run(std::function<void(Runtime&)> body,
   result.events = eventCount();
   result.wallSeconds = sw.elapsedSeconds();
   hooks_.dispatchRunEnd();
+  result.dispatch = hooks_.stats();
   policy_->onRunEnd();
   runActive_ = false;
   return result;

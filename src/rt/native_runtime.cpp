@@ -109,8 +109,9 @@ RunResult NativeRuntime::run(std::function<void(Runtime&)> body,
     blockTimeout_ = opts.blockTimeout;
     resetEventCount();
   }
+  hooks_.setTimingEnabled(opts.dispatchTiming);
   RunInfo info;
-  info.programName = opts.programName;
+  info.programName = internName(opts.programName);
   info.seed = opts.seed;
   info.mode = RuntimeMode::Native;
   hooks_.dispatchRunStart(info);
@@ -154,6 +155,7 @@ RunResult NativeRuntime::run(std::function<void(Runtime&)> body,
   result.events = eventCount();
   result.wallSeconds = sw.elapsedSeconds();
   hooks_.dispatchRunEnd();
+  result.dispatch = hooks_.stats();
   runActive_ = false;
   return result;
 }

@@ -73,6 +73,9 @@ struct RunOptions {
   std::chrono::milliseconds blockTimeout{500};
   /// Name reported to listeners in RunInfo.
   std::string programName;
+  /// Collect per-listener dispatch time attribution into
+  /// RunResult::dispatch (two clock reads per delivery; off by default).
+  bool dispatchTiming = false;
 };
 
 /// Why a run ended.  The first four are produced by the runtimes themselves;
@@ -108,6 +111,9 @@ struct RunResult {
   std::uint64_t steps = 0;     ///< controlled: scheduling decisions taken
   double wallSeconds = 0.0;
   std::vector<BlockedThreadInfo> blocked;  ///< deadlock participants
+  /// Hook-chain observability: per-kind event counts (always), plus
+  /// per-listener time attribution when RunOptions::dispatchTiming was set.
+  DispatchStats dispatch;
 
   bool ok() const { return status == RunStatus::Completed; }
   bool deadlocked() const { return status == RunStatus::Deadlock; }

@@ -245,54 +245,58 @@ std::string getStr(std::istream& is) {
   return s;
 }
 
-}  // namespace
-
-void writeBinary(const Trace& t, std::ostream& os) {
-  os.write("MTTB", 4);
-  putU32(os, 1);  // version
-  putStr(os, t.programName);
-  putU64(os, t.seed);
-  putU32(os, t.mode == RuntimeMode::Controlled ? 1 : 0);
-  putU32(os, static_cast<std::uint32_t>(t.threads.size()));
-  for (const auto& [id, name] : t.threads) {
-    putU32(os, id);
-    putStr(os, name);
+// Varint layer (format version 2).  Unsigned LEB128; signed values zigzag.
+void putVar(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    char b = static_cast<char>((v & 0x7f) | 0x80);
+    os.write(&b, 1);
+    v >>= 7;
   }
-  putU32(os, static_cast<std::uint32_t>(t.objects.size()));
-  for (const auto& [id, sym] : t.objects) {
-    putU32(os, id);
-    putU32(os, static_cast<std::uint32_t>(sym.kind));
-    putStr(os, sym.name);
-  }
-  putU32(os, static_cast<std::uint32_t>(t.sites.size()));
-  for (const auto& [id, sym] : t.sites) {
-    putU32(os, id);
-    putU32(os, sym.bug ? 1 : 0);
-    putU32(os, sym.line);
-    putStr(os, sym.file);
-    putStr(os, sym.tag);
-  }
-  putU64(os, t.events.size());
-  for (const Event& e : t.events) {
-    putU64(os, e.seq);
-    putU32(os, e.thread);
-    putU32(os, static_cast<std::uint32_t>(e.kind));
-    putU32(os, e.object);
-    putU32(os, e.syncSite);
-    putU32(os, e.arg);
-    putU32(os, e.bugSite == BugMark::Yes ? 1 : 0);
-  }
-  if (!os) throw std::runtime_error("mtt: binary trace write failed");
+  char b = static_cast<char>(v);
+  os.write(&b, 1);
 }
 
-Trace readBinary(std::istream& is) {
-  char magic[4] = {};
-  is.read(magic, 4);
-  if (!is || std::memcmp(magic, "MTTB", 4) != 0) {
-    throw std::runtime_error("mtt: not a binary trace");
+std::uint64_t getVar(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    char c = 0;
+    is.read(&c, 1);
+    if (!is) throw std::runtime_error("mtt: truncated binary trace");
+    auto b = static_cast<std::uint8_t>(c);
+    if (shift >= 64) throw std::runtime_error("mtt: malformed varint");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
   }
-  std::uint32_t version = getU32(is);
-  if (version != 1) throw std::runtime_error("mtt: unsupported trace version");
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void putVarStr(std::ostream& os, const std::string& s) {
+  putVar(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string getVarStr(std::istream& is) {
+  std::uint64_t n = getVar(is);
+  std::string s(static_cast<std::size_t>(n), '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("mtt: truncated binary trace");
+  return s;
+}
+
+constexpr std::uint8_t kBugFlag = 0x80;  // high bit of the v2 kind byte
+
+Trace readBinaryV1(std::istream& is) {
   Trace t;
   t.programName = getStr(is);
   t.seed = getU64(is);
@@ -334,6 +338,113 @@ Trace readBinary(std::istream& is) {
   return t;
 }
 
+Trace readBinaryV2(std::istream& is) {
+  Trace t;
+  t.programName = getVarStr(is);
+  t.seed = getVar(is);
+  t.mode = getVar(is) ? RuntimeMode::Controlled : RuntimeMode::Native;
+  for (std::uint64_t n = getVar(is); n > 0; --n) {
+    auto id = static_cast<ThreadId>(getVar(is));
+    t.threads[id] = getVarStr(is);
+  }
+  for (std::uint64_t n = getVar(is); n > 0; --n) {
+    auto id = static_cast<ObjectId>(getVar(is));
+    ObjectSym sym;
+    sym.kind = static_cast<rt::ObjectKind>(getVar(is));
+    sym.name = getVarStr(is);
+    t.objects[id] = std::move(sym);
+  }
+  for (std::uint64_t n = getVar(is); n > 0; --n) {
+    auto id = static_cast<SiteId>(getVar(is));
+    SiteSym sym;
+    sym.bug = getVar(is) != 0;
+    sym.line = static_cast<std::uint32_t>(getVar(is));
+    sym.file = getVarStr(is);
+    sym.tag = getVarStr(is);
+    t.sites[id] = std::move(sym);
+  }
+  std::uint64_t count = getVar(is);
+  t.events.reserve(static_cast<std::size_t>(count));
+  std::int64_t prevSeq = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Event e;
+    std::uint64_t kindByte = getVar(is);
+    e.bugSite = (kindByte & kBugFlag) ? BugMark::Yes : BugMark::No;
+    e.kind = static_cast<EventKind>(kindByte & ~std::uint64_t{kBugFlag});
+    if (e.kind >= EventKind::kCount) {
+      throw std::runtime_error("mtt: binary trace has unknown event kind");
+    }
+    // Sequence numbers are near-monotone (native-mode arrival order can
+    // locally reorder), so a signed delta is 1 byte in the common case.
+    prevSeq += unzigzag(getVar(is));
+    e.seq = static_cast<std::uint64_t>(prevSeq);
+    e.thread = static_cast<ThreadId>(getVar(is));
+    e.object = static_cast<ObjectId>(getVar(is));
+    e.syncSite = static_cast<SiteId>(getVar(is));
+    e.arg = static_cast<std::uint32_t>(getVar(is));
+    e.access = access_of(e.kind);
+    t.events.push_back(e);
+  }
+  return t;
+}
+
+}  // namespace
+
+void writeBinary(const Trace& t, std::ostream& os) {
+  os.write("MTTB", 4);
+  putU32(os, 2);  // version (fixed-width so readers can branch cheaply)
+  putVarStr(os, t.programName);
+  putVar(os, t.seed);
+  putVar(os, t.mode == RuntimeMode::Controlled ? 1 : 0);
+  putVar(os, t.threads.size());
+  for (const auto& [id, name] : t.threads) {
+    putVar(os, id);
+    putVarStr(os, name);
+  }
+  putVar(os, t.objects.size());
+  for (const auto& [id, sym] : t.objects) {
+    putVar(os, id);
+    putVar(os, static_cast<std::uint64_t>(sym.kind));
+    putVarStr(os, sym.name);
+  }
+  putVar(os, t.sites.size());
+  for (const auto& [id, sym] : t.sites) {
+    putVar(os, id);
+    putVar(os, sym.bug ? 1 : 0);
+    putVar(os, sym.line);
+    putVarStr(os, sym.file);
+    putVarStr(os, sym.tag);
+  }
+  putVar(os, t.events.size());
+  std::int64_t prevSeq = 0;
+  for (const Event& e : t.events) {
+    std::uint64_t kindByte = static_cast<std::uint64_t>(e.kind) |
+                             (e.bugSite == BugMark::Yes ? kBugFlag : 0);
+    putVar(os, kindByte);
+    auto seq = static_cast<std::int64_t>(e.seq);
+    putVar(os, zigzag(seq - prevSeq));
+    prevSeq = seq;
+    putVar(os, e.thread);
+    putVar(os, e.object);
+    putVar(os, e.syncSite);
+    putVar(os, e.arg);
+  }
+  if (!os) throw std::runtime_error("mtt: binary trace write failed");
+}
+
+Trace readBinary(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, "MTTB", 4) != 0) {
+    throw std::runtime_error("mtt: not a binary trace");
+  }
+  std::uint32_t version = getU32(is);
+  if (version == 1) return readBinaryV1(is);
+  if (version == 2) return readBinaryV2(is);
+  throw std::runtime_error("mtt: unsupported trace version " +
+                           std::to_string(version));
+}
+
 void writeBinaryFile(const Trace& t, const std::string& path) {
   std::ofstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("mtt: cannot open " + path);
@@ -344,6 +455,52 @@ Trace readBinaryFile(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("mtt: cannot open " + path);
   return readBinary(f);
+}
+
+// --- auto-detecting readers ---------------------------------------------------
+
+namespace {
+
+TraceFormat detectFormat(std::istream& is) {
+  // Both formats start with "MTT": byte 3 disambiguates ('B' binary,
+  // 'T' from "MTTTRACE" text).  Peek without consuming.
+  char magic[4] = {};
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, "MTT", 3) != 0) {
+    throw std::runtime_error("mtt: not a trace (bad magic)");
+  }
+  for (int i = 3; i >= 0; --i) is.putback(magic[i]);
+  return magic[3] == 'B' ? TraceFormat::Binary : TraceFormat::Text;
+}
+
+}  // namespace
+
+Trace read(std::istream& is) {
+  return detectFormat(is) == TraceFormat::Binary ? readBinary(is)
+                                                 : readText(is);
+}
+
+Trace readFile(const std::string& path) {
+  // Binary-safe open either way; the text parser reads through getline.
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("mtt: cannot open " + path);
+  return read(f);
+}
+
+TraceReader::TraceReader(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("mtt: cannot open " + path);
+  format_ = detectFormat(f);
+  trace_ = format_ == TraceFormat::Binary ? readBinary(f) : readText(f);
+}
+
+TraceReader::TraceReader(std::istream& is) {
+  format_ = detectFormat(is);
+  trace_ = format_ == TraceFormat::Binary ? readBinary(is) : readText(is);
+}
+
+void TraceReader::feed(Listener& listener) const {
+  trace::feed(trace_, listener);
 }
 
 // --- TraceRecorder ------------------------------------------------------------
@@ -361,8 +518,14 @@ void TraceRecorder::onEvent(const Event& e) {
   trace_.events.push_back(e);
 }
 
+void TraceRecorder::resetTool() {
+  std::lock_guard<std::mutex> lk(mu_);
+  trace_ = Trace{};
+}
+
 void TraceRecorder::onRunEnd() {
   std::lock_guard<std::mutex> lk(mu_);
+  if (rt_ == nullptr) return;  // unbound: keep events, skip symbol tables
   // Resolve the symbol tables now: every id seen in the event stream.
   for (const Event& e : trace_.events) {
     if (trace_.threads.find(e.thread) == trace_.threads.end()) {
@@ -388,7 +551,7 @@ void TraceRecorder::onRunEnd() {
 
 void feed(const Trace& t, std::initializer_list<Listener*> listeners) {
   RunInfo info;
-  info.programName = t.programName;
+  info.programName = internName(t.programName);
   info.seed = t.seed;
   info.mode = t.mode;
   for (Listener* l : listeners) l->onRunStart(info);

@@ -70,11 +70,45 @@ Trace readText(std::istream& is);
 Trace readTextFile(const std::string& path);
 
 /// Compact binary serialization (magic "MTTB"), for high-volume trace
-/// repositories; semantically identical to the text format.
+/// repositories; semantically identical to the text format.  The writer
+/// emits format version 2: events are varint-encoded (LEB128) with
+/// zigzag-delta sequence numbers and a packed kind/bug byte, so a typical
+/// event costs a few bytes instead of 36.  The reader also accepts the
+/// fixed-width version-1 layout of earlier builds.
 void writeBinary(const Trace& t, std::ostream& os);
 void writeBinaryFile(const Trace& t, const std::string& path);
 Trace readBinary(std::istream& is);
 Trace readBinaryFile(const std::string& path);
+
+/// On-disk flavor of a trace, reported by the auto-detecting readers.
+enum class TraceFormat : std::uint8_t { Text, Binary };
+
+/// Reads a trace in either format, auto-detected from the magic bytes
+/// ("MTTTRACE" text header vs "MTTB" binary header) — callers never branch
+/// on file extensions.  Throws std::runtime_error on malformed input.
+Trace read(std::istream& is);
+Trace readFile(const std::string& path);
+
+/// The uniform offline-consumption surface: loads a trace from either
+/// format and replays it through listeners.  Binary and text recordings of
+/// the same run are indistinguishable through this class.
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+  explicit TraceReader(std::istream& is);
+
+  TraceFormat format() const { return format_; }
+  const Trace& trace() const { return trace_; }
+  Trace take() { return std::move(trace_); }
+
+  /// Replays the trace's events through the listener (onRunStart /
+  /// onEvent* / onRunEnd), same as trace::feed.
+  void feed(Listener& listener) const;
+
+ private:
+  Trace trace_;
+  TraceFormat format_ = TraceFormat::Text;
+};
 
 /// A listener that records a run into a Trace, resolving thread/object/site
 /// names through the runtime and the global SiteRegistry at run end.
@@ -84,16 +118,24 @@ class TraceRecorder final : public Listener {
   /// recorder's runs.
   explicit TraceRecorder(rt::Runtime& rt) : rt_(&rt) {}
 
+  /// Runtime-less construction for owned tool stacks; bindRuntime attaches
+  /// the symbol source before each run.
+  TraceRecorder() = default;
+
   void onRunStart(const RunInfo& info) override;
   void onEvent(const Event& e) override;
   void onRunEnd() override;
+
+  std::string_view listenerName() const override { return "trace-recorder"; }
+  void bindRuntime(rt::Runtime& rt) override { rt_ = &rt; }
+  void resetTool() override;
 
   /// The completed trace of the most recent run (valid after onRunEnd).
   const Trace& trace() const { return trace_; }
   Trace takeTrace() { return std::move(trace_); }
 
  private:
-  rt::Runtime* rt_;
+  rt::Runtime* rt_ = nullptr;
   Trace trace_;
   mutable std::mutex mu_;  // native mode: events arrive concurrently
 };

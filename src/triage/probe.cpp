@@ -70,19 +70,20 @@ ProbeResult executeProbe(const std::string& program, rt::SchedulePolicy& inner,
   rt::ControlledRuntime rt(std::make_unique<rt::PolicyRef>(recording));
 
   SignatureCollector collector;
-  rt.hooks().add(&collector);
-
-  std::unique_ptr<noise::NoiseMaker> noiseMaker;
+  experiment::ToolStackBuilder builder;
+  builder.borrowed(&collector);
   if (cfg.noiseName != "none" && !cfg.noiseName.empty()) {
     noise::NoiseOptions nopts;
     nopts.strength = cfg.strength;
-    noiseMaker = noise::makeNoise(cfg.noiseName, rt, nopts);
-    if (!noiseMaker) {
+    try {
+      builder.noise(cfg.noiseName, nopts);
+    } catch (const std::runtime_error&) {
       throw std::runtime_error("unknown noise heuristic '" + cfg.noiseName +
                                "' in replay tool config");
     }
-    rt.hooks().add(noiseMaker.get());
   }
+  experiment::ToolStack tools = builder.build();
+  tools.attach(rt);
 
   rt::RunOptions opts = prog->defaultRunOptions();
   opts.seed = cfg.seed;

@@ -88,6 +88,11 @@ void SignatureCollector::onRunStart(const RunInfo& info) {
   tags_.clear();
 }
 
+void SignatureCollector::resetTool() {
+  std::lock_guard<std::mutex> lk(mu_);
+  tags_.clear();
+}
+
 void SignatureCollector::onEvent(const Event& e) {
   if (e.bugSite != BugMark::Yes) return;
   const SiteInfo& si = SiteRegistry::instance().lookup(e.syncSite);

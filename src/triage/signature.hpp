@@ -75,6 +75,10 @@ class SignatureCollector final : public Listener {
   void onRunStart(const RunInfo& info) override;
   void onEvent(const Event& e) override;
 
+  // Subscribes to everything: a bug-marked site can appear on any kind.
+  std::string_view listenerName() const override { return "signature"; }
+  void resetTool() override;
+
   /// Sorted unique tags of BugMark::Yes sites seen since run start.
   std::vector<std::string> bugSiteTags() const;
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/event.hpp"
+#include "core/event_mask.hpp"
 #include "core/listener.hpp"
 #include "core/rng.hpp"
 #include "core/site.hpp"
@@ -157,6 +158,283 @@ TEST(HookChain, NullAddIsNoop) {
   HookChain chain;
   chain.add(nullptr);
   EXPECT_TRUE(chain.empty());
+}
+
+// --- event masks -------------------------------------------------------------
+
+TEST(EventMask, NoneAllOfBasics) {
+  EXPECT_TRUE(EventMask::none().empty());
+  EXPECT_EQ(EventMask::none().count(), 0u);
+  EXPECT_EQ(EventMask::all().count(), kEventKindCount);
+  EventMask one = EventMask::of(EventKind::MutexLock);
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_TRUE(one.contains(EventKind::MutexLock));
+  EXPECT_FALSE(one.contains(EventKind::MutexUnlock));
+}
+
+TEST(EventMask, CategoryHelpersMatchAbstractTypeOf) {
+  // sync()/variable()/control() mirror the paper's abstract-type dimension;
+  // this is the consistency contract promised in event_mask.hpp.
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    auto k = static_cast<EventKind>(i);
+    AbstractType t = abstract_type_of(k);
+    EXPECT_EQ(EventMask::sync().contains(k), t == AbstractType::Sync)
+        << to_string(k);
+    EXPECT_EQ(EventMask::variable().contains(k), t == AbstractType::Variable)
+        << to_string(k);
+    EXPECT_EQ(EventMask::control().contains(k), t == AbstractType::Control)
+        << to_string(k);
+  }
+  EXPECT_EQ(EventMask::sync() | EventMask::variable() | EventMask::control(),
+            EventMask::all());
+}
+
+TEST(EventMask, CategorySubsets) {
+  EXPECT_EQ(EventMask::threads(),
+            EventMask::control().without(EventKind::Yield));
+  EXPECT_TRUE(EventMask::sync().covers(EventMask::locks()));
+  EXPECT_FALSE(EventMask::locks().covers(EventMask::sync()));
+}
+
+TEST(EventMask, SetAlgebra) {
+  EventMask m = EventMask::variable().with(EventKind::Yield);
+  EXPECT_EQ(m.count(), 3u);
+  EXPECT_EQ(m.without(EventKind::Yield), EventMask::variable());
+  EXPECT_EQ(m & EventMask::control(), EventMask::of(EventKind::Yield));
+  EXPECT_EQ(EventMask::variable() | EventMask::variable(),
+            EventMask::variable());
+  EXPECT_EQ(~EventMask::none(), EventMask::all());
+  EXPECT_EQ(~EventMask::all(), EventMask::none());
+  EXPECT_TRUE((~EventMask::variable() | EventMask::variable()) ==
+              EventMask::all());
+  EXPECT_TRUE(EventMask::all().covers(m));
+  EXPECT_TRUE(m.covers(EventMask::none()));
+}
+
+TEST(EventMask, FromBitsClampsToRealKinds) {
+  // Bits above kCount must never survive: the dispatch tables index by kind.
+  EXPECT_EQ(EventMask::fromBits(~std::uint32_t{0}), EventMask::all());
+  EXPECT_EQ(EventMask::fromBits(EventMask::sync().bits()), EventMask::sync());
+}
+
+// --- hook chain v2: subscription masks ---------------------------------------
+
+/// Records the kinds delivered, in order; declares `mask` as subscription.
+class MaskedRecorder final : public Listener {
+ public:
+  MaskedRecorder(std::string name, EventMask mask)
+      : name_(std::move(name)), mask_(mask) {}
+
+  void onEvent(const Event& e) override { seen.push_back(e.kind); }
+  EventMask subscribedEvents() const override { return mask_; }
+  std::string_view listenerName() const override { return name_; }
+
+  std::vector<EventKind> seen;
+
+ private:
+  std::string name_;
+  EventMask mask_;
+};
+
+Event eventOf(EventKind k) {
+  Event e;
+  e.kind = k;
+  return e;
+}
+
+TEST(HookChainV2, SubscriptionMaskFiltersDelivery) {
+  HookChain chain;
+  MaskedRecorder locks("locks", EventMask::locks());
+  MaskedRecorder vars("vars", EventMask::variable());
+  chain.add(&locks);
+  chain.add(&vars);
+  for (EventKind k : {EventKind::MutexLock, EventKind::VarRead,
+                      EventKind::Yield, EventKind::VarWrite,
+                      EventKind::MutexUnlock}) {
+    chain.dispatchEvent(eventOf(k));
+  }
+  EXPECT_EQ(locks.seen, (std::vector<EventKind>{EventKind::MutexLock,
+                                                EventKind::MutexUnlock}));
+  EXPECT_EQ(vars.seen, (std::vector<EventKind>{EventKind::VarRead,
+                                               EventKind::VarWrite}));
+}
+
+TEST(HookChainV2, ExplicitMaskOverridesSubscription) {
+  HookChain chain;
+  MaskedRecorder vars("vars", EventMask::variable());
+  chain.add(&vars, EventMask::all());  // old-chain behaviour on demand
+  chain.dispatchEvent(eventOf(EventKind::MutexLock));
+  chain.dispatchEvent(eventOf(EventKind::VarRead));
+  EXPECT_EQ(vars.seen.size(), 2u);
+}
+
+TEST(HookChainV2, DeliveryOrderIsRegistrationOrder) {
+  // Three tools with overlapping masks; each event must fan out to its
+  // subscribers in the order they registered (noise-last depends on this).
+  HookChain chain;
+  std::vector<int> log;
+  class Tagger final : public Listener {
+   public:
+    Tagger(int id, EventMask m, std::vector<int>& log)
+        : id_(id), mask_(m), log_(&log) {}
+    void onEvent(const Event&) override { log_->push_back(id_); }
+    EventMask subscribedEvents() const override { return mask_; }
+
+   private:
+    int id_;
+    EventMask mask_;
+    std::vector<int>* log_;
+  };
+  Tagger a(1, EventMask::all(), log);
+  Tagger b(2, EventMask::variable(), log);
+  Tagger c(3, EventMask::variable() | EventMask::locks(), log);
+  chain.add(&a);
+  chain.add(&b);
+  chain.add(&c);
+  chain.dispatchEvent(eventOf(EventKind::VarRead));    // a, b, c
+  chain.dispatchEvent(eventOf(EventKind::MutexLock));  // a, c
+  chain.dispatchEvent(eventOf(EventKind::Yield));      // a
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 1, 3, 1}));
+}
+
+// --- hook chain v2: remove() during dispatch ---------------------------------
+
+/// Removes a listener from the chain after a set number of onEvent calls.
+class SelfRemover final : public Listener {
+ public:
+  SelfRemover(HookChain& chain, Listener* target, int after)
+      : chain_(&chain), target_(target), after_(after) {}
+  void onEvent(const Event&) override {
+    ++events;
+    if (events == after_) chain_->remove(target_ != nullptr ? target_ : this);
+  }
+  int events = 0;
+
+ private:
+  HookChain* chain_;
+  Listener* target_;
+  int after_;
+};
+
+TEST(HookChainV2, SelfRemoveDuringDispatchStopsFurtherDelivery) {
+  HookChain chain;
+  SelfRemover quitter(chain, nullptr, 2);
+  CountingListener witness;
+  chain.add(&quitter);
+  chain.add(&witness);
+  for (int i = 0; i < 5; ++i) chain.dispatchEvent(Event{});
+  EXPECT_EQ(quitter.events, 2);   // removed itself inside event #2
+  EXPECT_EQ(witness.events, 5);   // peer unaffected
+  EXPECT_EQ(chain.size(), 1u);    // tombstone no longer counted
+}
+
+TEST(HookChainV2, PeerRemoveSkipsRestOfCurrentFanout) {
+  // A registered before B removes B while handling the first event: B must
+  // not observe the remainder of that event's fan-out (documented contract).
+  HookChain chain;
+  CountingListener victim;
+  SelfRemover remover(chain, &victim, 1);
+  chain.add(&remover);
+  chain.add(&victim);
+  chain.dispatchEvent(Event{});
+  chain.dispatchEvent(Event{});
+  EXPECT_EQ(victim.events, 0);
+  EXPECT_EQ(remover.events, 2);
+}
+
+TEST(HookChainV2, RemoveDuringRunEndThenChainIsReusable) {
+  class EndRemover final : public Listener {
+   public:
+    explicit EndRemover(HookChain& chain) : chain_(&chain) {}
+    void onEvent(const Event&) override { ++events; }
+    void onRunEnd() override { chain_->remove(this); }
+    int events = 0;
+
+   private:
+    HookChain* chain_;
+  };
+  HookChain chain;
+  EndRemover once(chain);
+  CountingListener always;
+  chain.add(&once);
+  chain.add(&always);
+  chain.dispatchRunStart(RunInfo{});
+  chain.dispatchEvent(Event{});
+  chain.dispatchRunEnd();
+  // Second run: the tombstone is compacted at run start; only the survivor
+  // observes events.
+  chain.dispatchRunStart(RunInfo{});
+  chain.dispatchEvent(Event{});
+  chain.dispatchRunEnd();
+  EXPECT_EQ(once.events, 1);
+  EXPECT_EQ(always.events, 2);
+  EXPECT_EQ(always.starts, 2);
+  EXPECT_EQ(chain.size(), 1u);
+}
+
+TEST(HookChainV2, ReAddAfterRemoveDelivers) {
+  HookChain chain;
+  CountingListener a;
+  chain.add(&a);
+  chain.remove(&a);
+  chain.dispatchEvent(Event{});
+  chain.add(&a);  // compacts the tombstone, then re-registers
+  chain.dispatchEvent(Event{});
+  EXPECT_EQ(a.events, 1);
+  EXPECT_EQ(chain.size(), 1u);
+}
+
+// --- hook chain v2: dispatch stats -------------------------------------------
+
+TEST(HookChainV2, CountsByKindAlwaysCollected) {
+  HookChain chain;
+  MaskedRecorder vars("vars", EventMask::variable());
+  chain.add(&vars);
+  chain.dispatchRunStart(RunInfo{});
+  chain.dispatchEvent(eventOf(EventKind::VarRead));
+  chain.dispatchEvent(eventOf(EventKind::VarRead));
+  chain.dispatchEvent(eventOf(EventKind::MutexLock));
+  DispatchStats s = chain.stats();
+  EXPECT_EQ(s.events, 3u);
+  EXPECT_EQ(s.countsByKind[static_cast<std::size_t>(EventKind::VarRead)], 2u);
+  EXPECT_EQ(s.countsByKind[static_cast<std::size_t>(EventKind::MutexLock)],
+            1u);
+  EXPECT_EQ(s.deliveries, 2u);  // only the VarReads reached the tool
+  EXPECT_FALSE(s.timed);
+  EXPECT_TRUE(s.listeners.empty());
+  EXPECT_EQ(s.nsPerEvent(), 0.0);
+}
+
+TEST(HookChainV2, TimingAttributesPerListener) {
+  HookChain chain;
+  MaskedRecorder vars("vars", EventMask::variable());
+  MaskedRecorder everything("everything", EventMask::all());
+  chain.add(&vars);
+  chain.add(&everything);
+  chain.setTimingEnabled(true);
+  chain.dispatchRunStart(RunInfo{});
+  chain.dispatchEvent(eventOf(EventKind::VarRead));
+  chain.dispatchEvent(eventOf(EventKind::Yield));
+  DispatchStats s = chain.stats();
+  ASSERT_TRUE(s.timed);
+  ASSERT_EQ(s.listeners.size(), 2u);
+  EXPECT_EQ(s.listeners[0].name, "vars");
+  EXPECT_EQ(s.listeners[0].calls, 1u);
+  EXPECT_EQ(s.listeners[1].name, "everything");
+  EXPECT_EQ(s.listeners[1].calls, 2u);
+  EXPECT_EQ(s.deliveries, 3u);
+}
+
+TEST(HookChainV2, RunStartResetsStats) {
+  HookChain chain;
+  MaskedRecorder all("all", EventMask::all());
+  chain.add(&all);
+  chain.dispatchRunStart(RunInfo{});
+  chain.dispatchEvent(Event{});
+  EXPECT_EQ(chain.stats().events, 1u);
+  chain.dispatchRunStart(RunInfo{});
+  EXPECT_EQ(chain.stats().events, 0u);
+  EXPECT_EQ(chain.stats().deliveries, 0u);
 }
 
 // --- rng ---------------------------------------------------------------------

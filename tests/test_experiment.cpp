@@ -139,6 +139,164 @@ TEST(Experiment, UnknownNamesThrow) {
   EXPECT_THROW(makePolicy("bogus"), std::runtime_error);
 }
 
+// --- owned tool stacks (Hook API v2) ----------------------------------------
+
+TEST(ToolStack, BuilderOwnsToolsInRegistrationOrder) {
+  ToolStackBuilder b;
+  b.detector("fasttrack").detector("eraser").lockGraph().noise("yield");
+  ToolStack s = b.build();
+  EXPECT_EQ(s.size(), 4u);
+  ASSERT_EQ(s.detectors().size(), 2u);
+  EXPECT_NE(s.lockGraph(), nullptr);
+  EXPECT_NE(s.noiseMaker(), nullptr);
+  // Registration order: detectors, lock graph, then noise last.
+  ASSERT_EQ(s.listeners().size(), 4u);
+  EXPECT_EQ(s.listeners()[0], s.detectors()[0]);
+  EXPECT_EQ(s.listeners()[1], s.detectors()[1]);
+  EXPECT_EQ(s.listeners()[2], s.lockGraph());
+  EXPECT_EQ(s.listeners()[3], s.noiseMaker());
+}
+
+TEST(ToolStack, BuilderRejectsAnalysisAfterNoise) {
+  // The ordering convention the hook API documents is now enforced: noise
+  // makers must register last so tools observe events pre-perturbation.
+  ToolStackBuilder b;
+  b.detector("fasttrack").noise("yield");
+  EXPECT_THROW(b.detector("eraser"), std::logic_error);
+  EXPECT_THROW(ToolStackBuilder().noise("mixed").lockGraph(),
+               std::logic_error);
+  EXPECT_THROW(ToolStackBuilder().noise("mixed").traceRecorder(),
+               std::logic_error);
+}
+
+TEST(ToolStack, BuilderRejectsUnknownNames) {
+  EXPECT_THROW(ToolStackBuilder().detector("bogus"), std::runtime_error);
+  EXPECT_THROW(ToolStackBuilder().noise("bogus"), std::runtime_error);
+}
+
+TEST(ToolStack, ReusedStackMatchesBuildPerRun) {
+  // The refactor's hard invariant: executeRun with a reused (reset) stack
+  // must observe exactly what the build-tools-per-run path observes.
+  ExperimentSpec spec;
+  spec.programName = "account";
+  spec.runs = 12;
+  spec.seedBase = 5;
+  spec.tool.detectors = {"fasttrack", "eraser"};
+  spec.tool.lockGraph = true;
+  spec.tool.noiseName = "mixed";
+  spec.tool.noiseOpts.strength = 0.4;
+  ToolStack reused = makeToolStack(spec.tool);
+  for (std::size_t i = 0; i < spec.runs; ++i) {
+    RunObservation fresh = executeRun(spec, i);
+    RunObservation pooled = executeRun(spec, i, reused);
+    EXPECT_EQ(pooled.seed, fresh.seed) << "run " << i;
+    EXPECT_EQ(pooled.status, fresh.status) << "run " << i;
+    EXPECT_EQ(pooled.manifested, fresh.manifested) << "run " << i;
+    EXPECT_EQ(pooled.detectorHit, fresh.detectorHit) << "run " << i;
+    EXPECT_EQ(pooled.warnings, fresh.warnings) << "run " << i;
+    EXPECT_EQ(pooled.trueWarnings, fresh.trueWarnings) << "run " << i;
+    EXPECT_EQ(pooled.falseWarnings, fresh.falseWarnings) << "run " << i;
+    EXPECT_EQ(pooled.deadlockPotentials, fresh.deadlockPotentials)
+        << "run " << i;
+    EXPECT_EQ(pooled.events, fresh.events) << "run " << i;
+    EXPECT_EQ(pooled.noiseInjections, fresh.noiseInjections) << "run " << i;
+    EXPECT_EQ(pooled.outcome, fresh.outcome) << "run " << i;
+    EXPECT_EQ(pooled.dispatchDeliveries, fresh.dispatchDeliveries)
+        << "run " << i;
+  }
+}
+
+TEST(ToolStack, ResetClearsAccumulatedResults) {
+  ExperimentSpec spec;
+  spec.programName = "read_modify_write";
+  spec.runs = 1;
+  spec.tool.detectors = {"fasttrack"};
+  ToolStack tools = makeToolStack(spec.tool);
+  RunObservation first = executeRun(spec, 0, tools);
+  ASSERT_GT(first.warnings, 0u) << "fixture needs a warning-producing run";
+  tools.reset();
+  EXPECT_EQ(tools.detectors()[0]->warningCount(), 0u);
+}
+
+TEST(ToolStack, ByteIdenticalTimingFreeReports) {
+  // Same spec through fresh-stack and reused-stack paths, rendered with
+  // timing off, must produce bitwise-identical report text.
+  ExperimentSpec spec;
+  spec.programName = "account";
+  spec.runs = 10;
+  spec.seedBase = 3;
+  spec.tool.detectors = {"fasttrack"};
+  spec.tool.noiseName = "mixed";
+  spec.tool.noiseOpts.strength = 0.3;
+  auto runWithReusedStack = [&] {
+    ExperimentResult r;
+    r.programName = spec.programName;
+    r.toolLabel = spec.tool.label();
+    r.runs = spec.runs;
+    ToolStack tools = makeToolStack(spec.tool);
+    for (std::size_t i = 0; i < spec.runs; ++i) {
+      accumulate(r, executeRun(spec, i, tools));
+    }
+    return r;
+  };
+  ExperimentResult serial = runExperiment(spec);
+  ExperimentResult pooled = runWithReusedStack();
+  ReportOptions opts;
+  opts.timing = false;
+  EXPECT_EQ(findRateReport("t", {serial}, opts),
+            findRateReport("t", {pooled}, opts));
+  EXPECT_EQ(detectorReport("t", {serial}), detectorReport("t", {pooled}));
+}
+
+TEST(ToolStack, PoolReusesReturnedStacks) {
+  int built = 0;
+  ToolStackPool pool([&built] {
+    ++built;
+    ToolStackBuilder b;
+    b.detector("fasttrack");
+    return b.build();
+  });
+  {
+    auto lease = pool.acquire();
+    EXPECT_EQ(lease->size(), 1u);
+    EXPECT_EQ(built, 1);
+  }
+  {
+    auto a = pool.acquire();  // pooled: no new build
+    auto b = pool.acquire();  // pool empty again: builds a second stack
+    EXPECT_EQ(built, 2);
+  }
+  {
+    auto a = pool.acquire();
+    auto b = pool.acquire();
+    EXPECT_EQ(built, 2);  // both leases recycled
+  }
+}
+
+TEST(ToolStack, BorrowedListenerIsRegisteredNotOwned) {
+  class Probe final : public Listener {
+   public:
+    void onEvent(const Event&) override { ++events; }
+    int events = 0;
+  };
+  Probe probe;
+  ToolStackBuilder b;
+  b.borrowed(&probe);
+  ToolStack s = b.build();
+  ASSERT_EQ(s.listeners().size(), 1u);
+  EXPECT_EQ(s.listeners()[0], &probe);
+  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+  s.attach(*rt);
+  rt::RunOptions o;
+  rt->run(
+      [](rt::Runtime& rr) {
+        rt::SharedVar<int> v(rr, "v", 0);
+        v.write(1);
+      },
+      o);
+  EXPECT_GT(probe.events, 0);
+}
+
 }  // namespace
 }  // namespace mtt::experiment
 

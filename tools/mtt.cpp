@@ -105,6 +105,7 @@ int usage() {
       "  describe <program>                     documentation + bugs + IR info\n"
       "  run <program> [--seed N] [--mode controlled|native]\n"
       "                [--policy rr|random|priority] [--noise H] [--strength F]\n"
+      "                [--dispatch-stats]\n"
       "  hunt <program> [--seeds N] [--noise H] [--policy P] [--out FILE]\n"
       "                [--jobs N] [--timeout-ms T] [--jsonl FILE]\n"
       "                [--corpus DIR] [--shrink]\n"
@@ -114,7 +115,7 @@ int usage() {
       "  corpus list|show|verify|gc [--corpus DIR] [--program P]\n"
       "                (show takes: corpus show <program> <fingerprint>)\n"
       "  explore <program> [--bound K] [--budget N] [--random-walk]\n"
-      "                [--out FILE] [--corpus DIR] [--shrink]\n"
+      "                [--out FILE] [--corpus DIR] [--shrink] [--detectors a,b]\n"
       "  tracegen <dir> [--programs a,b,c] [--seeds N] [--noise H] [--binary]\n"
       "  analyze <trace-file...>\n"
       "  experiment <program> [--runs N] [--policy P] [--noise a,b,c]\n"
@@ -197,7 +198,7 @@ int cmdDescribe(const Args& a) {
 
 struct RunSetup {
   std::unique_ptr<rt::Runtime> runtime;
-  std::unique_ptr<noise::NoiseMaker> noiseMaker;
+  experiment::ToolStack tools;  // owns the noise maker / analysis tools
 };
 
 RuntimeMode parseMode(const Args& a) {
@@ -234,16 +235,15 @@ RunSetup makeSetup(const Args& a, rt::SchedulePolicy* policyRef) {
     policy = experiment::makePolicy(a.get("policy", "random"));
   }
   s.runtime = rt::makeRuntime(mode, std::move(policy));
+  experiment::ToolStackBuilder b;
   std::string noiseName = a.get("noise", "none");
   if (noiseName != "none") {
     noise::NoiseOptions no;
     no.strength = a.getF("strength", 0.25);
-    s.noiseMaker = noise::makeNoise(noiseName, *s.runtime, no);
-    if (!s.noiseMaker) {
-      throw std::runtime_error("unknown noise heuristic " + noiseName);
-    }
-    s.runtime->hooks().add(s.noiseMaker.get());
+    b.noise(noiseName, no);
   }
+  s.tools = b.build();
+  s.tools.attach(*s.runtime);
   return s;
 }
 
@@ -255,6 +255,7 @@ int cmdRun(const Args& a) {
   rt::RunOptions o = p->defaultRunOptions();
   o.seed = a.getU64("seed", 0);
   o.programName = p->name();
+  o.dispatchTiming = a.has("dispatch-stats");
   rt::RunResult r =
       s.runtime->run([&](rt::Runtime& rr) { p->body(rr); }, o);
   std::printf("status:  %s\n", std::string(to_string(r.status)).c_str());
@@ -271,6 +272,24 @@ int cmdRun(const Args& a) {
               p->evaluate(r) == suite::Verdict::BugManifested
                   ? "BUG MANIFESTED"
                   : "pass");
+  if (a.has("dispatch-stats")) {
+    const DispatchStats& d = r.dispatch;
+    std::printf("\ndispatch: %llu events, %llu deliveries, %.1f ns/event\n",
+                static_cast<unsigned long long>(d.events),
+                static_cast<unsigned long long>(d.deliveries),
+                d.nsPerEvent());
+    for (std::size_t k = 0; k < kEventKindCount; ++k) {
+      if (d.countsByKind[k] == 0) continue;
+      std::printf("  %-16s %llu\n",
+                  std::string(to_string(static_cast<EventKind>(k))).c_str(),
+                  static_cast<unsigned long long>(d.countsByKind[k]));
+    }
+    for (const auto& l : d.listeners) {
+      std::printf("  tool %-14s %llu calls, %llu ns\n", l.name.c_str(),
+                  static_cast<unsigned long long>(l.calls),
+                  static_cast<unsigned long long>(l.ns));
+    }
+  }
   return p->evaluate(r) == suite::Verdict::BugManifested ? 1 : 0;
 }
 
@@ -355,10 +374,11 @@ int cmdHunt(const Args& a) {
   std::uint64_t scanned = 0;
   if (!farmRequested(a)) {
     // Serial scan: exact legacy behavior (stops at the first seed, in
-    // order), no farm machinery involved.
+    // order), no farm machinery involved.  One reused tool stack.
+    experiment::ToolStack tools = experiment::makeToolStack(spec.tool);
     for (std::uint64_t seed = 0; seed < seeds; ++seed) {
       experiment::RunObservation obs =
-          experiment::executeRun(spec, static_cast<std::size_t>(seed));
+          experiment::executeRun(spec, static_cast<std::size_t>(seed), tools);
       ++scanned;
       if (obs.manifested) {
         found = seed;
@@ -476,6 +496,12 @@ int cmdExplore(const Args& a) {
   if (!a.has("bound")) o.preemptionBound = -1;
   o.maxSchedules = a.getU64("budget", 20'000);
   o.randomWalk = a.has("random-walk");
+  // Optional detectors ride along with the search; their final state
+  // describes the counterexample run when a bug stops the search.
+  experiment::ToolStackBuilder tb;
+  for (const auto& d : splitList(a.get("detectors", ""))) tb.detector(d);
+  experiment::ToolStack tools = tb.build();
+  if (!tools.empty()) o.tools = &tools;
   explore::Explorer ex(o);
   explore::ExploreResult r = ex.explore(
       [&](rt::Runtime& rr) { p->body(rr); },
@@ -484,6 +510,11 @@ int cmdExplore(const Args& a) {
       },
       [&] { p->reset(); });
   if (r.bugFound) {
+    for (race::RaceDetector* det : tools.detectors()) {
+      std::printf("detector %s: %zu warning(s) on the counterexample run\n",
+                  det->name().c_str(),
+                  static_cast<std::size_t>(det->warningCount()));
+    }
     replay::Scenario sc;
     sc.program = p->name();
     sc.seed = 0;
@@ -649,20 +680,23 @@ int cmdTracegen(const Args& a) {
   std::uint64_t seeds = a.getU64("seeds", 5);
   bool binary = a.has("binary");
   std::size_t written = 0;
+  // One reused tool stack for the whole repository build: recorder first,
+  // optional noise last.
+  experiment::ToolStackBuilder b;
+  b.traceRecorder();
+  if (a.has("noise")) {
+    noise::NoiseOptions no;
+    no.strength = a.getF("strength", 0.25);
+    b.noise(a.get("noise", "mixed"), no);
+  }
+  experiment::ToolStack tools = b.build();
   for (const auto& name : programs) {
     auto p = suite::makeProgram(name);
     for (std::uint64_t s = 0; s < seeds; ++s) {
       p->reset();
       rt::ControlledRuntime rt;
-      trace::TraceRecorder rec(rt);
-      rt.hooks().add(&rec);
-      std::unique_ptr<noise::NoiseMaker> nm;
-      if (a.has("noise")) {
-        noise::NoiseOptions no;
-        no.strength = a.getF("strength", 0.25);
-        nm = noise::makeNoise(a.get("noise", "mixed"), rt, no);
-        rt.hooks().add(nm.get());
-      }
+      tools.reset();
+      tools.attach(rt);
       rt::RunOptions o = p->defaultRunOptions();
       o.seed = s;
       o.programName = name;
@@ -671,9 +705,9 @@ int cmdTracegen(const Args& a) {
       std::string path =
           (dir / (name + "." + std::to_string(s) + ext)).string();
       if (binary) {
-        trace::writeBinaryFile(rec.trace(), path);
+        trace::writeBinaryFile(tools.traceRecorder()->trace(), path);
       } else {
-        trace::writeTextFile(rec.trace(), path);
+        trace::writeTextFile(tools.traceRecorder()->trace(), path);
       }
       ++written;
     }
@@ -688,9 +722,8 @@ int cmdAnalyze(const Args& a) {
   t.header({"trace", "events", "eraser", "djit", "fasttrack", "hybrid",
             "lock-cycles", "annotated-bug-hit"});
   for (const auto& path : a.positional) {
-    trace::Trace tr = path.size() > 5 && path.substr(path.size() - 5) == ".mttb"
-                          ? trace::readBinaryFile(path)
-                          : trace::readTextFile(path);
+    // Format auto-detected from the magic bytes, not the extension.
+    trace::Trace tr = trace::readFile(path);
     std::vector<std::string> row = {
         std::filesystem::path(path).filename().string(),
         std::to_string(tr.events.size())};
