@@ -7,7 +7,9 @@
 // Expected shape: near-linear scaling to the core count (>=3x at 4 jobs),
 // process isolation a modest constant factor behind threads, and the
 // deterministic merge byte-identical to the serial path at every scale.
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -87,5 +89,44 @@ int main() {
       "(>=3x at 4 jobs on 4+ cores); process rows price hard crash isolation\n"
       "(fork + record pipe) a constant factor behind threads.  The watchdog\n"
       "and retry paths are exercised in tests/test_farm.cpp, not timed here.\n");
-  return 0;
+
+  // --- durability: what does the crash-safe journal cost? -----------------
+  // Same campaign with and without the checksummed journal; best-of-3
+  // filters scheduler noise.  Target: < 2% wall-clock overhead (one
+  // ~100-byte formatted append + fflush per run; the fsync is wall-clock
+  // batched so microsecond-scale runs never pay one each).
+  const std::string journalPath = "BENCH_farm.journal";
+  auto timeCampaign = [&spec](const std::string& journal) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      if (!journal.empty()) std::remove(journal.c_str());
+      farm::FarmOptions fo;
+      fo.jobs = 2;
+      fo.journalPath = journal;
+      farm::ExperimentCampaign ec = farm::runExperimentFarm(spec, fo);
+      best = std::min(best, ec.campaign.wallSeconds);
+    }
+    return best;
+  };
+  const double plainSec = timeCampaign("");
+  const double journaledSec = timeCampaign(journalPath);
+  const double overhead = plainSec > 0.0 ? journaledSec / plainSec - 1.0 : 0.0;
+  std::remove(journalPath.c_str());
+  std::printf(
+      "\njournal overhead: %.2f s plain vs %.2f s journaled "
+      "(%+.2f%%, target < 2%%)\n",
+      plainSec, journaledSec, overhead * 100.0);
+
+  std::ofstream js("BENCH_durability.json");
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"bench\": \"durability\",\n  \"runs\": %zu,\n"
+                "  \"jobs\": 2,\n  \"plain_wall_s\": %.4f,\n"
+                "  \"journaled_wall_s\": %.4f,\n"
+                "  \"journal_overhead\": %.4f,\n"
+                "  \"target_overhead\": 0.02\n}\n",
+                kRuns, plainSec, journaledSec, overhead);
+  js << buf;
+  std::printf("wrote BENCH_durability.json\n");
+  return overhead < 0.02 ? 0 : 1;
 }

@@ -104,8 +104,23 @@ RunObservation executeRun(const ExperimentSpec& spec, std::size_t i,
   opts.seed = spec.seedBase + i;
   opts.programName = spec.programName;
 
+  // When the worker process has the flight recorder armed (farm Process
+  // model with a postmortem dir), describe the run so a crash mid-run
+  // dumps a replayable scenario.
+  if (rt::fr::armed()) {
+    rt::fr::RunMeta meta;
+    meta.program = spec.programName.c_str();
+    meta.seed = opts.seed;
+    meta.policy = spec.tool.policy.c_str();
+    meta.noise = spec.tool.noiseName.empty() ? "none"
+                                             : spec.tool.noiseName.c_str();
+    meta.strength = spec.tool.noiseOpts.strength;
+    rt::fr::beginRun(meta);
+  }
+
   rt::RunResult r =
       rt->run([&](rt::Runtime& rr) { program->body(rr); }, opts);
+  rt::fr::endRun();
 
   RunObservation obs;
   obs.runIndex = i;

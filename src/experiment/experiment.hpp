@@ -111,6 +111,11 @@ struct RunObservation {
   /// on, mean nanoseconds of tool time per event.
   std::uint64_t dispatchDeliveries = 0;
   double dispatchNsPerEvent = 0.0;
+  /// Postmortem scenario dumped by the flight recorder when this run
+  /// crashed or timed out under the forked-worker model; empty otherwise.
+  /// Replayable (mtt replay / shrink accept it) and ingestible into the
+  /// triage corpus.
+  std::string postmortemPath;
   /// Farm bookkeeping: how many attempts this run took (retries + 1).
   std::uint32_t attempts = 1;
 

@@ -9,11 +9,13 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/stats.hpp"
 #include "farm/farm.hpp"
+#include "farm/journal.hpp"
 
 namespace mtt::farm::detail {
 
@@ -21,6 +23,14 @@ class Collector {
  public:
   Collector(std::uint64_t total, const FarmOptions& options)
       : total_(total), options_(options) {
+    const std::uint64_t digest = journalDigest(options_.journalConfig);
+    if (options_.resume && !options_.journalPath.empty()) {
+      if (preloadFromJournal(digest)) {
+        // Torn tail: repair the file before reopening for append, else the
+        // next record would be glued onto the partial final line.
+        rewriteJournal(options_.journalPath, digest, total_, records_);
+      }
+    }
     if (!options_.jsonlPath.empty()) {
       jsonl_ = std::fopen(options_.jsonlPath.c_str(),
                           options_.jsonlAppend ? "a" : "w");
@@ -28,6 +38,10 @@ class Collector {
         throw std::runtime_error("mtt::farm: cannot open JSONL path " +
                                  options_.jsonlPath);
       }
+    }
+    if (!options_.journalPath.empty()) {
+      journal_.open(options_.journalPath, digest, total_,
+                    /*append=*/options_.resume);
     }
   }
 
@@ -54,6 +68,7 @@ class Collector {
       std::fputs(line.c_str(), jsonl_);
       std::fflush(jsonl_);
     }
+    journal_.append(obs);
     records_.push_back(std::move(obs));
     if (options_.stopOnRecord && !stop_.load(std::memory_order_relaxed) &&
         options_.stopOnRecord(records_.back())) {
@@ -62,13 +77,23 @@ class Collector {
     maybeProgressLocked(false);
   }
 
-  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+  bool stopped() const {
+    return stop_.load(std::memory_order_relaxed) ||
+           (options_.stopFlag != nullptr &&
+            options_.stopFlag->load(std::memory_order_relaxed));
+  }
   void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// True when run `index` was already delivered by a resumed journal and
+  /// must not be dispatched again.
+  bool isDone(std::uint64_t index) const { return done_.count(index) != 0; }
 
   std::size_t timeouts() const { return timeouts_; }
   std::size_t crashes() const { return crashes_; }
   std::size_t infraErrors() const { return infraErrors_; }
   std::size_t retries() const { return retries_; }
+  std::size_t resumed() const { return resumed_; }
+  std::size_t quarantined() const { return quarantined_; }
   std::size_t delivered() {
     std::lock_guard<std::mutex> lk(mu_);
     return records_.size();
@@ -106,6 +131,53 @@ class Collector {
   }
 
  private:
+  /// Resume path: load the journal, validate it against this campaign's
+  /// config, and adopt its records as already-delivered runs.  Returns
+  /// true when the journal tail was torn and the file needs a repair
+  /// rewrite before further appends.
+  bool preloadFromJournal(std::uint64_t digest) {
+    JournalData jd = loadJournal(options_.journalPath);
+    // A journal torn inside the header carries no usable identity; treat it
+    // as empty (nothing was recorded) rather than mismatched.
+    const bool headerless = jd.configDigest == 0 && jd.total == 0;
+    if (!headerless) {
+      if (jd.configDigest != digest) {
+        throw std::runtime_error(
+            "journal " + options_.journalPath +
+            " was recorded for a different campaign config (digest " +
+            std::to_string(jd.configDigest) + " != " +
+            std::to_string(digest) +
+            "); refusing to merge incomparable records.  Expected config: " +
+            options_.journalConfig);
+      }
+      if (jd.total != total_) {
+        throw std::runtime_error(
+            "journal " + options_.journalPath + " covers a campaign of " +
+            std::to_string(jd.total) + " runs, but this campaign requests " +
+            std::to_string(total_) + "; refusing to resume");
+      }
+    }
+    for (experiment::RunObservation& obs : jd.records) {
+      if (obs.runIndex >= total_ || !done_.insert(obs.runIndex).second) {
+        continue;  // defensive: out-of-range or duplicated index
+      }
+      if (obs.status == "timeout") ++timeouts_;
+      if (obs.status == "crashed") ++crashes_;
+      if (obs.status == "infra-error") {
+        ++infraErrors_;
+        ++quarantined_;  // retry budget already exhausted; do not re-burn
+      }
+      retries_ += obs.attempts > 0 ? obs.attempts - 1 : 0;
+      ++resumed_;
+      records_.push_back(std::move(obs));
+      if (options_.stopOnRecord && !stop_.load(std::memory_order_relaxed) &&
+          options_.stopOnRecord(records_.back())) {
+        stop_.store(true, std::memory_order_relaxed);
+      }
+    }
+    return jd.tornTail;
+  }
+
   void maybeProgressLocked(bool final) {
     if (!options_.progress) return;
     double elapsed = clock_.elapsedSeconds();
@@ -125,6 +197,8 @@ class Collector {
   const std::uint64_t total_;
   const FarmOptions& options_;
   std::FILE* jsonl_ = nullptr;
+  JournalWriter journal_;
+  std::unordered_set<std::uint64_t> done_;
   mutable std::mutex mu_;
   std::vector<experiment::RunObservation> records_;
   std::atomic<bool> stop_{false};
@@ -132,6 +206,8 @@ class Collector {
   std::size_t crashes_ = 0;
   std::size_t infraErrors_ = 0;
   std::size_t retries_ = 0;
+  std::size_t resumed_ = 0;
+  std::size_t quarantined_ = 0;
   Stopwatch clock_;
   double lastPrint_ = -1.0;
 };

@@ -82,7 +82,9 @@ class ThreadPool {
     shards_ = std::vector<Shard>(workers);
     // Contiguous blocks: worker w starts at its own slice of the seed
     // space, so with no stealing the dispatch order is exactly run order.
+    // Runs already delivered by a resumed journal are never re-dispatched.
     for (std::uint64_t i = 0; i < total; ++i) {
+      if (collector.isDone(i)) continue;
       shards_[static_cast<std::size_t>(i * workers / total)].q.push_back(i);
     }
   }
@@ -205,6 +207,8 @@ CampaignResult runJobsThreads(std::uint64_t total, const JobFn& fn,
   cr.crashes = collector.crashes();
   cr.infraErrors = collector.infraErrors();
   cr.retries = collector.retries();
+  cr.resumed = collector.resumed();
+  cr.quarantined = collector.quarantined();
   cr.stoppedEarly = collector.stopped();
   cr.wallSeconds = clock.elapsedSeconds();
   return cr;
@@ -285,6 +289,14 @@ ExperimentCampaign runExperimentFarm(const experiment::ExperimentSpec& spec,
 
   FarmOptions opts = options;
   opts.seedForIndex = [&spec](std::uint64_t i) { return spec.seedBase + i; };
+  if (!opts.journalPath.empty() && opts.journalConfig.empty()) {
+    // Identity of the campaign for resume validation.  Worker count and
+    // model are deliberately excluded: the merge is independent of both, so
+    // a resume may change --jobs or isolation freely.
+    opts.journalConfig = spec.programName + "|" + spec.tool.label() + "|" +
+                         std::to_string(spec.runs) + "|" +
+                         std::to_string(spec.seedBase);
+  }
   const bool hasDetectors = !spec.tool.detectors.empty();
 
   // Workers lease pooled tool stacks instead of rebuilding the tool set per

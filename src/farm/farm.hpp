@@ -19,6 +19,7 @@
 // regardless of worker count or model.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -77,6 +78,40 @@ struct FarmOptions {
   /// itself (timeout / crash / infra-error, where the job produced
   /// nothing).  Defaults to identity.
   std::function<std::uint64_t(std::uint64_t)> seedForIndex;
+
+  // --- durability (see src/farm/journal.hpp) -----------------------------
+
+  /// When non-empty, every completed run appends one checksummed record to
+  /// this append-only journal, fsync-batched; a killed campaign can then be
+  /// resumed without redoing finished runs.
+  std::string journalPath;
+  /// Load journalPath before dispatching: journaled runs are delivered from
+  /// the journal (not re-executed) and only the missing indices run.  In
+  /// controlled mode the merged result is byte-identical to an
+  /// uninterrupted campaign for any `jobs`.
+  bool resume = false;
+  /// Free-text fingerprint of the campaign config (program, tool label,
+  /// run count, seed base...).  Its digest is stored in the journal header
+  /// and resume refuses a journal whose digest differs — resuming under a
+  /// different config would merge incomparable records.
+  /// runExperimentFarm fills this automatically.
+  std::string journalConfig;
+  /// When non-empty (Process model): workers arm the rt flight recorder so
+  /// a crashed or timed-out run dumps its partial schedule recording here,
+  /// and the parent attaches the dump path to the run's record
+  /// (RunObservation::postmortemPath).
+  std::string postmortemDir;
+  /// Per-worker-process address-space cap in MiB (0 = unlimited).  Turns a
+  /// runaway allocation into an isolated worker death instead of a host
+  /// OOM.  Process model only.
+  std::size_t workerMemLimitMb = 0;
+  /// Per-worker-process CPU-seconds cap (0 = unlimited).  Process model
+  /// only.
+  std::size_t workerCpuLimitSec = 0;
+  /// Optional external cancellation latch (e.g. a SIGINT handler): when it
+  /// becomes true, no further runs are dispatched and in-flight runs drain,
+  /// exactly like stopOnRecord.
+  const std::atomic<bool>* stopFlag = nullptr;
 };
 
 /// What happened to a campaign, beyond the per-run records.
@@ -91,6 +126,11 @@ struct CampaignResult {
   std::size_t crashes = 0;
   std::size_t infraErrors = 0;
   std::size_t retries = 0;
+  /// Records delivered from the journal on resume instead of re-executed.
+  std::size_t resumed = 0;
+  /// Journaled infra-error runs skipped on resume: their retry budget is
+  /// already exhausted, so they are reported, not re-burned.
+  std::size_t quarantined = 0;
   bool stoppedEarly = false;
   double wallSeconds = 0.0;
 

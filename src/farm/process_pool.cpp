@@ -14,7 +14,9 @@
 #define MTT_FARM_HAS_FORK 1
 #include <poll.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 #endif
 
@@ -22,10 +24,12 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <optional>
 
 #include "core/stats.hpp"
 #include "farm/collector.hpp"
+#include "rt/flight_recorder.hpp"
 
 namespace mtt::farm::detail {
 
@@ -112,6 +116,9 @@ struct Worker {
   std::uint64_t idx = 0;
   std::uint32_t attempts = 0;
   Clock::time_point start;
+  /// Flight-recorder dump path this worker's crash handlers write to
+  /// (empty when postmortems are off).
+  std::string pmPath;
 };
 
 struct Retry {
@@ -128,8 +135,14 @@ class ProcessPool {
     std::size_t workers = resolveJobs(options.jobs);
     if (total < workers) workers = static_cast<std::size_t>(total);
     if (workers == 0) workers = 1;
-    for (std::uint64_t i = 0; i < total; ++i) queue_.push_back(i);
+    // Runs already delivered by a resumed journal are never re-dispatched.
+    for (std::uint64_t i = 0; i < total; ++i) {
+      if (!collector.isDone(i)) queue_.push_back(i);
+    }
     workers_.resize(workers);
+    if (!options_.postmortemDir.empty()) {
+      std::filesystem::create_directories(options_.postmortemDir);
+    }
   }
 
   std::size_t workerCount() const { return workers_.size(); }
@@ -168,6 +181,16 @@ class ProcessPool {
         if (other.cmdFd >= 0) ::close(other.cmdFd);
         if (other.resFd >= 0) ::close(other.resFd);
       }
+      applyWorkerLimits();
+      if (!options_.postmortemDir.empty()) {
+        // Arm the flight recorder: a crash or a pre-kill SIGTERM drain
+        // dumps the in-progress schedule to this worker's partial file,
+        // which the parent collects into the run record.
+        std::string pm = options_.postmortemDir + "/worker" +
+                         std::to_string(::getpid()) + ".partial";
+        rt::fr::arm(pm.c_str());
+        rt::fr::installCrashHandlers();
+      }
       workerMain(cmd[0], res[1], fn_);
     }
     ::close(cmd[0]);
@@ -177,18 +200,73 @@ class ProcessPool {
     w.resFd = res[0];
     w.buf.clear();
     w.busy = false;
+    w.pmPath = options_.postmortemDir.empty()
+                   ? std::string()
+                   : options_.postmortemDir + "/worker" +
+                         std::to_string(pid) + ".partial";
+  }
+
+  /// Child-side resource caps: a runaway allocation or spin becomes an
+  /// isolated worker death (recorded as crashed) instead of a host OOM.
+  void applyWorkerLimits() {
+    if (options_.workerMemLimitMb > 0) {
+      rlimit rl{};
+      rl.rlim_cur = rl.rlim_max =
+          static_cast<rlim_t>(options_.workerMemLimitMb) * 1024 * 1024;
+      ::setrlimit(RLIMIT_AS, &rl);
+    }
+    if (options_.workerCpuLimitSec > 0) {
+      rlimit rl{};
+      rl.rlim_cur = rl.rlim_max =
+          static_cast<rlim_t>(options_.workerCpuLimitSec);
+      ::setrlimit(RLIMIT_CPU, &rl);
+    }
+  }
+
+  /// Pre-kill drain: SIGTERM gives the worker's flight recorder a bounded
+  /// window to dump the hung run's partial schedule before the SIGKILL.
+  /// Returns true when the worker exited (and was reaped) in the window.
+  bool drainBeforeKill(Worker& w) {
+    if (w.pmPath.empty()) return false;
+    if (::kill(w.pid, SIGTERM) != 0) return false;
+    timespec tick{0, 10 * 1000 * 1000};  // 10ms
+    for (int i = 0; i < 50; ++i) {       // <= ~500ms total
+      int status = 0;
+      if (::waitpid(w.pid, &status, WNOHANG) == w.pid) return true;
+      ::nanosleep(&tick, nullptr);
+    }
+    return false;
   }
 
   void despawn(Worker& w, bool kill) {
     if (w.pid < 0) return;
-    if (kill) ::kill(w.pid, SIGKILL);
+    bool reaped = false;
+    if (kill) {
+      reaped = drainBeforeKill(w);
+      if (!reaped) ::kill(w.pid, SIGKILL);
+    }
     if (w.cmdFd >= 0) ::close(w.cmdFd);
     if (w.resFd >= 0) ::close(w.resFd);
-    int status = 0;
-    ::waitpid(w.pid, &status, 0);
+    if (!reaped) {
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+    }
     w.pid = -1;
     w.cmdFd = w.resFd = -1;
     w.busy = false;
+  }
+
+  /// Claims the worker's flight-recorder dump (if the dying run produced
+  /// one) under a stable per-run name; returns that path or empty.
+  std::string collectPostmortem(Worker& w, std::uint64_t idx) {
+    if (w.pmPath.empty()) return {};
+    std::error_code ec;
+    if (!std::filesystem::exists(w.pmPath, ec)) return {};
+    std::string dest = options_.postmortemDir + "/run" +
+                       std::to_string(idx) + ".postmortem.scenario";
+    std::filesystem::rename(w.pmPath, dest, ec);
+    if (ec) return {};
+    return dest;
   }
 
   bool pendingWork() {
@@ -321,11 +399,10 @@ class ProcessPool {
     std::uint32_t attempts = w.attempts;
     despawn(w, /*kill=*/false);
     if (wasBusy) {
-      collector_.deliver(
-          collector_.supervisedRecord(idx, "crashed",
-                                      "worker process died mid-run",
-                                      attempts),
-          &w - workers_.data());
+      experiment::RunObservation obs = collector_.supervisedRecord(
+          idx, "crashed", "worker process died mid-run", attempts);
+      obs.postmortemPath = collectPostmortem(w, idx);
+      collector_.deliver(std::move(obs), &w - workers_.data());
     }
     if (moreWorkComing()) spawn(w);
   }
@@ -339,9 +416,10 @@ class ProcessPool {
       std::uint64_t idx = w.idx;
       std::uint32_t attempts = w.attempts;
       despawn(w, /*kill=*/true);
-      collector_.deliver(collector_.supervisedRecord(
-                             idx, "timeout", "watchdog expired", attempts),
-                         &w - workers_.data());
+      experiment::RunObservation obs = collector_.supervisedRecord(
+          idx, "timeout", "watchdog expired", attempts);
+      obs.postmortemPath = collectPostmortem(w, idx);
+      collector_.deliver(std::move(obs), &w - workers_.data());
       if (moreWorkComing()) spawn(w);
     }
   }
@@ -388,6 +466,8 @@ CampaignResult runJobsProcesses(std::uint64_t total, const JobFn& fn,
   cr.crashes = collector.crashes();
   cr.infraErrors = collector.infraErrors();
   cr.retries = collector.retries();
+  cr.resumed = collector.resumed();
+  cr.quarantined = collector.quarantined();
   cr.stoppedEarly = collector.stopped();
   cr.wallSeconds = clock.elapsedSeconds();
   return cr;

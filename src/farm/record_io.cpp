@@ -85,6 +85,10 @@ std::string toJson(const experiment::RunObservation& o) {
     j += ",\"error\":";
     appendJsonString(j, o.failureMessage);
   }
+  if (!o.postmortemPath.empty()) {
+    j += ",\"postmortem\":";
+    appendJsonString(j, o.postmortemPath);
+  }
   j += "}";
   return j;
 }
@@ -179,13 +183,15 @@ std::string encodePipeRecord(const experiment::RunObservation& o) {
   line += std::to_string(o.dispatchDeliveries);
   line += '\t';
   line += formatDouble(o.dispatchNsPerEvent);
+  line += '\t';
+  appendEscaped(line, o.postmortemPath);
   return line;
 }
 
 bool decodePipeRecord(const std::string& line,
                       experiment::RunObservation& o) {
   std::vector<std::string> f = splitFields(line);
-  if (f.size() != 18) return false;
+  if (f.size() != 19) return false;
   try {
     o.runIndex = std::stoull(f[0]);
     o.seed = std::stoull(f[1]);
@@ -205,6 +211,7 @@ bool decodePipeRecord(const std::string& line,
     o.attempts = static_cast<std::uint32_t>(std::stoul(f[15]));
     o.dispatchDeliveries = std::stoull(f[16]);
     o.dispatchNsPerEvent = std::stod(f[17]);
+    o.postmortemPath = unescape(f[18]);
   } catch (const std::exception&) {
     return false;
   }

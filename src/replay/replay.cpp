@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/atomic_file.hpp"
+
 namespace mtt::replay {
 
 namespace {
@@ -40,15 +42,9 @@ std::vector<ThreadId> readDecisions(std::istream& f, const std::string& path,
 }  // namespace
 
 void saveScenario(const Scenario& s, const std::string& path) {
-  std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot open " + path);
   char strength[64];
   std::snprintf(strength, sizeof(strength), "%.17g", s.strength);
+  std::ostringstream f;
   f << "MTTSCHED 2\n"
     << "program " << s.program << '\n'
     << "seed " << s.seed << '\n'
@@ -58,7 +54,9 @@ void saveScenario(const Scenario& s, const std::string& path) {
     << "decisions " << s.schedule.decisions.size() << '\n';
   for (ThreadId t : s.schedule.decisions) f << t << '\n';
   f << "end\n";
-  if (!f) throw std::runtime_error("scenario write failed: " + path);
+  // Atomic write-then-rename: a crash mid-save leaves the previous witness
+  // (or nothing), never a torn scenario that later fails to load.
+  core::atomicWriteFile(path, f.str());
 }
 
 Scenario loadScenario(const std::string& path) {
@@ -112,16 +110,10 @@ Scenario loadScenario(const std::string& path) {
 }
 
 void saveSchedule(const rt::Schedule& s, const std::string& path) {
-  std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot open " + path);
+  std::ostringstream f;
   f << "MTTSCHED 1\n" << s.decisions.size() << '\n';
   for (ThreadId t : s.decisions) f << t << '\n';
-  if (!f) throw std::runtime_error("schedule write failed");
+  core::atomicWriteFile(path, f.str());
 }
 
 rt::Schedule loadSchedule(const std::string& path) {

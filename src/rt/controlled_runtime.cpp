@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/stats.hpp"
+#include "rt/flight_recorder.hpp"
 
 namespace mtt::rt {
 
@@ -116,6 +117,10 @@ void ControlledRuntime::scheduleNextLocked() {
         choice = enabled.front();  // defensive: policies must pick enabled
       }
       ++steps_;
+      // Mirror the committed (post-correction) decision into the flight
+      // recorder: this is exactly what a RecordingPolicy would record, so
+      // a postmortem dump replays like a normal recording.
+      fr::recordDecision(this, choice);
       Tcb& c = tcbOf(choice);
       decisionNoise_.push_back(c.pending.injected);
       c.go = true;
@@ -155,6 +160,7 @@ bool ControlledRuntime::waitForTurnLocked(std::unique_lock<std::mutex>& lk,
 void ControlledRuntime::releaseMutexFullyLocked(MutexState& m) {
   m.owner = kNoThread;
   m.depth = 0;
+  fr::lockReleased(this, m.id);
 }
 
 std::string ControlledRuntime::describeWait(const Tcb& t) const {
@@ -285,6 +291,7 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
       } else {
         op.m->owner = self.id;
         op.m->depth = op.condResume ? std::max<std::uint32_t>(op.arg, 1) : 1;
+        fr::lockAcquired(this, op.m->id, self.id);
       }
       emit(op.condResume ? EventKind::CondWaitEnd : EventKind::MutexLock,
            self.id, op.m->id, op.site,
@@ -299,6 +306,7 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
         } else {
           op.m->owner = self.id;
           op.m->depth = 1;
+          fr::lockAcquired(this, op.m->id, self.id);
         }
         self.tryResult = true;
         emit(EventKind::MutexTryLockOk, self.id, op.m->id, op.site);
@@ -320,7 +328,10 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
         return false;
       }
       emit(EventKind::MutexUnlock, self.id, op.m->id, op.site);
-      if (--op.m->depth == 0) op.m->owner = kNoThread;
+      if (--op.m->depth == 0) {
+        op.m->owner = kNoThread;
+        fr::lockReleased(this, op.m->id);
+      }
       return true;
 
     case OpCode::CondWait: {
@@ -353,6 +364,7 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
       // Scheduled again: the reacquire is enabled, perform it.
       m->owner = self.id;
       m->depth = savedDepth;
+      fr::lockAcquired(this, m->id, self.id);
       emit(EventKind::CondWaitEnd, self.id, c->id, st, m->id);
       return true;
     }
@@ -610,6 +622,9 @@ RunResult ControlledRuntime::run(std::function<void(Runtime&)> body,
     resetEventCount();
   }
   policy_->onRunStart(opts.seed);
+  // Bind the (process-global) flight recorder to this runtime for the
+  // duration of the run; a no-op unless fr::arm was called.
+  fr::claim(this);
   hooks_.setTimingEnabled(opts.dispatchTiming);
   RunInfo info;
   info.programName = internName(opts.programName);
@@ -651,6 +666,7 @@ RunResult ControlledRuntime::run(std::function<void(Runtime&)> body,
   hooks_.dispatchRunEnd();
   result.dispatch = hooks_.stats();
   policy_->onRunEnd();
+  fr::release(this);
   runActive_ = false;
   return result;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "rt/controlled_runtime.hpp"
+#include "rt/flight_recorder.hpp"
 #include "rt/native_runtime.hpp"
 #include "rt/policy.hpp"
 

@@ -1,5 +1,7 @@
 #include "rt/runtime.hpp"
 
+#include "rt/flight_recorder.hpp"
+
 namespace mtt::rt {
 
 std::string_view to_string(ObjectKind k) {
@@ -60,6 +62,7 @@ std::uint64_t Runtime::emit(EventKind kind, ThreadId thread, ObjectId object,
   e.access = access_of(kind);
   e.bugSite = s.bug;
   e.arg = arg;
+  fr::recordEvent(this, kind, thread, object);
   if (!filter_ || filter_(e)) hooks_.dispatchEvent(e);
   return e.seq;
 }

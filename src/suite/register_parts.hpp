@@ -9,5 +9,6 @@ void registerDeadlockPrograms();
 void registerRwlockPrograms();
 void registerServerPrograms();
 void registerMiscPrograms();
+void registerCrashPrograms();
 
 }  // namespace mtt::suite

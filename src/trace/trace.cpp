@@ -21,6 +21,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/atomic_file.hpp"
+
 namespace mtt::trace {
 
 std::string Trace::threadName(ThreadId t) const {
@@ -200,9 +202,9 @@ Trace readText(std::istream& is) {
 }
 
 void writeTextFile(const Trace& t, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("mtt: cannot open " + path);
+  std::ostringstream f;
   writeText(t, f);
+  core::atomicWriteFile(path, f.str());
 }
 
 Trace readTextFile(const std::string& path) {
@@ -446,9 +448,9 @@ Trace readBinary(std::istream& is) {
 }
 
 void writeBinaryFile(const Trace& t, const std::string& path) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("mtt: cannot open " + path);
+  std::ostringstream f(std::ios::binary);
   writeBinary(t, f);
+  core::atomicWriteFile(path, f.str());
 }
 
 Trace readBinaryFile(const std::string& path) {

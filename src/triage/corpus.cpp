@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/atomic_file.hpp"
 #include "triage/probe.hpp"
 
 namespace mtt::triage {
@@ -18,12 +19,10 @@ namespace {
 constexpr const char* kWitnessFile = "witness.scenario";
 constexpr const char* kMetaFile = "meta";
 constexpr const char* kIndexFile = "index.tsv";
+constexpr const char* kLockFile = ".lock";
 
 void writeMeta(const fs::path& path, const CorpusEntry& e) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("corpus: cannot write " + path.string());
-  }
+  std::ostringstream out;
   out << "MTTMETA 1\n";
   out << "program " << e.program << '\n';
   out << "fingerprint " << e.fingerprint << '\n';
@@ -43,9 +42,7 @@ void writeMeta(const fs::path& path, const CorpusEntry& e) {
     out << "sig " << line << '\n';
   }
   out << "end\n";
-  if (!out.flush()) {
-    throw std::runtime_error("corpus: short write to " + path.string());
-  }
+  core::atomicWriteFile(path.string(), out.str());
 }
 
 bool parseU64(const std::string& s, std::uint64_t& out) {
@@ -135,6 +132,14 @@ InsertResult Corpus::insert(const replay::Scenario& s,
   res.fingerprint = sig.fingerprint();
   fs::path dir = bucketDir(s.program, res.fingerprint);
   res.witness = dir / kWitnessFile;
+
+  // Serialize against concurrent inserts/gc from other processes (e.g. two
+  // farm campaigns sharing one corpus): the whole read-compare-write cycle
+  // runs under the corpus-wide lock, so the smallest-witness comparison
+  // and the index rewrite cannot interleave.
+  std::error_code lec;
+  fs::create_directories(root_, lec);
+  core::FileLock lock((root_ / kLockFile).string());
 
   CorpusEntry e;
   e.program = s.program;
@@ -231,6 +236,7 @@ std::size_t Corpus::gc() {
   std::size_t removed = 0;
   std::error_code ec;
   if (!fs::is_directory(root_, ec)) return 0;
+  core::FileLock lock((root_ / kLockFile).string());
   for (const auto& progDir : fs::directory_iterator(root_, ec)) {
     if (!progDir.is_directory()) continue;
     std::error_code ec2;
@@ -260,13 +266,7 @@ std::size_t Corpus::gc() {
 }
 
 void Corpus::rebuildIndex() const {
-  std::error_code ec;
-  fs::create_directories(root_, ec);
-  std::ofstream out(root_ / kIndexFile, std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("corpus: cannot write " +
-                             (root_ / kIndexFile).string());
-  }
+  std::ostringstream out;
   out << "# program\tfingerprint\tkind\tdecisions\tpreemptions\tseed\t"
          "verified\tshrunk\tnoise\tdiscovered\n";
   for (const CorpusEntry& e : entries()) {
@@ -275,6 +275,9 @@ void Corpus::rebuildIndex() const {
         << (e.replayVerified ? 1 : 0) << '\t' << (e.shrunk ? 1 : 0) << '\t'
         << e.noise << '\t' << e.discovered << '\n';
   }
+  // Atomic rewrite: readers of index.tsv always see a complete index, even
+  // while another process is mid-insert.
+  core::atomicWriteFile((root_ / kIndexFile).string(), out.str());
 }
 
 }  // namespace mtt::triage

@@ -1,0 +1,83 @@
+#include "triage/postmortem.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mtt::triage {
+
+namespace {
+
+/// The dump's annotation block: everything after the scenario's "end"
+/// trailer, which replay::loadScenario deliberately ignores.
+std::vector<std::string> annotationLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open postmortem file " + path);
+  std::vector<std::string> out;
+  bool past = false;
+  for (std::string line; std::getline(in, line);) {
+    if (!past) {
+      past = line == "end";
+      continue;
+    }
+    if (line == "endpostmortem") break;
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace
+
+PostmortemInfo loadPostmortem(const std::string& path,
+                              const std::string& status) {
+  PostmortemInfo info;
+  info.scenario = replay::loadScenario(path);
+
+  info.signature.kind =
+      status == "timeout" ? FailureKind::Timeout : FailureKind::Crash;
+
+  // The shape mirrors the in-process signatures: normalized, sorted lines.
+  // The signal stays verbatim (normalizing "signal 11" to "signal #" would
+  // merge SIGSEGV and SIGBUS buckets); event/heldlock lines are normalized
+  // so object and thread ids do not split buckets.
+  std::vector<std::string> eventTail;
+  for (const std::string& line : annotationLines(path)) {
+    if (line.rfind("postmortem signal ", 0) == 0) {
+      info.signal = std::atoi(line.c_str() + 18);
+      info.signature.shape.push_back("signal " +
+                                     std::to_string(info.signal));
+    } else if (line == "truncated") {
+      info.truncated = true;
+    } else if (line.rfind("heldlock ", 0) == 0) {
+      info.signature.shape.push_back(normalizeTokens(line));
+    } else if (line.rfind("event ", 0) == 0) {
+      eventTail.push_back(normalizeTokens(line));
+    }
+  }
+  // The last few events describe where the run died; a single combined
+  // line keeps the order (a sorted shape would scramble it).
+  const std::size_t keep = 8;
+  if (!eventTail.empty()) {
+    std::string tail = "tail:";
+    std::size_t first = eventTail.size() > keep ? eventTail.size() - keep : 0;
+    for (std::size_t i = first; i < eventTail.size(); ++i) {
+      tail += " " + eventTail[i].substr(6);  // strip "event "
+    }
+    info.signature.shape.push_back(tail);
+  }
+  std::sort(info.signature.shape.begin(), info.signature.shape.end());
+  return info;
+}
+
+InsertResult ingestPostmortem(Corpus& corpus, const std::string& path,
+                              const std::string& status,
+                              std::uint64_t discoveredEpoch) {
+  PostmortemInfo info = loadPostmortem(path, status);
+  return corpus.insert(info.scenario, info.signature,
+                       /*replayVerified=*/false, /*shrunk=*/false,
+                       discoveredEpoch);
+}
+
+}  // namespace mtt::triage

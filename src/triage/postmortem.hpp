@@ -1,0 +1,45 @@
+// Postmortem ingestion: turning a flight-recorder dump into a corpus entry.
+//
+// A crashed or timed-out run never reports in-process, so the usual triage
+// path (record the run, fingerprint the observed failure) cannot execute —
+// replaying a scenario that segfaults the process would segfault triage
+// too.  Instead, ingestion synthesizes the failure signature directly from
+// the dump: the kind is Crash or Timeout (from the farm's run status), and
+// the shape comes from the dump's postmortem annotations (signal, held
+// locks, last events), normalized the same way in-process shapes are.  The
+// witness is inserted unverified (replayVerified=false); a later
+// `mtt replay` in a soft configuration (the crash programs are env-gated)
+// or `mtt corpus verify` can upgrade confidence manually.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "triage/corpus.hpp"
+#include "triage/signature.hpp"
+
+namespace mtt::triage {
+
+/// What a postmortem scenario file carries beyond the replayable schedule.
+struct PostmortemInfo {
+  replay::Scenario scenario;
+  FailureSignature signature;
+  int signal = 0;       ///< signal from the dump annotations (0 = drain)
+  bool truncated = false;
+};
+
+/// Parses a flight-recorder dump: the scenario header/decisions plus the
+/// annotations after the "end" trailer.  `status` is the farm run status
+/// ("crashed" or "timeout") and selects the signature kind.  Throws
+/// std::runtime_error on an unreadable scenario.
+PostmortemInfo loadPostmortem(const std::string& path,
+                              const std::string& status);
+
+/// Loads the dump at `path` and inserts it into the corpus as an
+/// unverified witness.  Returns the insert outcome (bucketed by the
+/// synthesized signature's fingerprint).
+InsertResult ingestPostmortem(Corpus& corpus, const std::string& path,
+                              const std::string& status,
+                              std::uint64_t discoveredEpoch);
+
+}  // namespace mtt::triage

@@ -19,6 +19,10 @@ std::string_view to_string(FailureKind k) {
       return "deadlock";
     case FailureKind::StepLimit:
       return "step-limit";
+    case FailureKind::Crash:
+      return "crash";
+    case FailureKind::Timeout:
+      return "timeout";
   }
   return "none";
 }
@@ -26,7 +30,8 @@ std::string_view to_string(FailureKind k) {
 bool failure_kind_from_string(std::string_view name, FailureKind& out) {
   for (FailureKind k : {FailureKind::None, FailureKind::Assert,
                         FailureKind::Oracle, FailureKind::Deadlock,
-                        FailureKind::StepLimit}) {
+                        FailureKind::StepLimit, FailureKind::Crash,
+                        FailureKind::Timeout}) {
     if (name == to_string(k)) {
       out = k;
       return true;

@@ -37,6 +37,12 @@ enum class FailureKind : std::uint8_t {
   Oracle,     ///< completed but the program's oracle flagged the bug
   Deadlock,   ///< controlled scheduler found an empty enabled set
   StepLimit,  ///< livelock guard: maxSteps exceeded
+  /// Postmortem kinds: the run never reported in-process — the farm
+  /// observed the worker die (Crash) or killed it at the watchdog deadline
+  /// (Timeout), and the flight recorder's dump is the witness.
+  /// makeSignature never produces these; postmortem ingestion does.
+  Crash,
+  Timeout,
 };
 
 std::string_view to_string(FailureKind k);

@@ -8,11 +8,16 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "core/stats.hpp"
 #include "farm/farm.hpp"
+#include "farm/journal.hpp"
+#include "replay/replay.hpp"
 
 namespace mtt::farm {
 namespace {
@@ -230,7 +235,9 @@ TEST(FarmWatchdog, HungRunIsRecordedAndCampaignCompletes) {
   EXPECT_EQ(cr.timeouts, 1u);
   EXPECT_EQ(cr.records[3].status, "timeout");
   for (std::size_t i = 0; i < 8; ++i) {
-    if (i != 3) EXPECT_EQ(cr.records[i].status, "completed") << i;
+    if (i != 3) {
+      EXPECT_EQ(cr.records[i].status, "completed") << i;
+    }
   }
 }
 
@@ -271,7 +278,9 @@ TEST(FarmCrash, AbortingWorkerIsContained) {
   EXPECT_EQ(cr.crashes, 1u);
   EXPECT_EQ(cr.records[4].status, "crashed");
   for (std::size_t i = 0; i < 9; ++i) {
-    if (i != 4) EXPECT_EQ(cr.records[i].status, "completed") << i;
+    if (i != 4) {
+      EXPECT_EQ(cr.records[i].status, "completed") << i;
+    }
   }
 }
 
@@ -454,6 +463,335 @@ TEST(CandidateScan, ThrowingPredicateCountsAsRejection) {
     EXPECT_TRUE(s.found) << "jobs=" << jobs;
     EXPECT_EQ(s.index, 4u) << "jobs=" << jobs;
   }
+}
+
+// --- journal & resume ------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string timingFreeReport(const experiment::ExperimentResult& r) {
+  experiment::ReportOptions ro;
+  ro.timing = false;
+  return experiment::findRateReport("t", {r}, ro);
+}
+
+TEST(FarmJournal, RoundTripRecordsEveryRun) {
+  std::string path = ::testing::TempDir() + "roundtrip.journal";
+  std::remove(path.c_str());
+  auto spec = accountSpec(12);
+  FarmOptions fo;
+  fo.jobs = 2;
+  fo.journalPath = path;
+  ExperimentCampaign ec = runExperimentFarm(spec, fo);
+  ASSERT_EQ(ec.campaign.records.size(), 12u);
+
+  JournalData jd = loadJournal(path);
+  EXPECT_FALSE(jd.tornTail);
+  EXPECT_EQ(jd.total, 12u);
+  ASSERT_EQ(jd.records.size(), 12u);
+  // Journal order is delivery order; match by runIndex against the sorted
+  // campaign records.
+  for (const auto& r : jd.records) {
+    ASSERT_LT(r.runIndex, 12u);
+    const auto& want = ec.campaign.records[r.runIndex];
+    EXPECT_EQ(r.status, want.status);
+    EXPECT_EQ(r.seed, want.seed);
+    EXPECT_EQ(r.outcome, want.outcome);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FarmJournal, EveryBytePrefixRecoversCleanly) {
+  std::string path = ::testing::TempDir() + "fuzz.journal";
+  std::remove(path.c_str());
+  auto spec = accountSpec(6);
+  FarmOptions fo;
+  fo.jobs = 1;
+  fo.journalPath = path;
+  runExperimentFarm(spec, fo);
+  std::string whole = slurp(path);
+  ASSERT_GT(whole.size(), 0u);
+  JournalData full = loadJournal(path);
+  ASSERT_EQ(full.records.size(), 6u);
+
+  // Truncation at ANY byte is what SIGKILL leaves behind: every prefix must
+  // load without throwing, recover only complete records, and flag the torn
+  // tail so the writer can repair the file before appending.
+  std::string cut = ::testing::TempDir() + "fuzz.cut.journal";
+  for (std::size_t n = 0; n <= whole.size(); ++n) {
+    std::ofstream(cut, std::ios::binary | std::ios::trunc)
+        << whole.substr(0, n);
+    JournalData jd;
+    ASSERT_NO_THROW(jd = loadJournal(cut)) << "prefix " << n;
+    ASSERT_LE(jd.records.size(), full.records.size()) << "prefix " << n;
+    for (std::size_t i = 0; i < jd.records.size(); ++i) {
+      EXPECT_EQ(jd.records[i].runIndex, full.records[i].runIndex)
+          << "prefix " << n;
+      EXPECT_EQ(jd.records[i].outcome, full.records[i].outcome)
+          << "prefix " << n;
+    }
+    // Torn iff the cut landed mid-line (the tail must be repaired before
+    // appending) or before the config line completed; a cut at a record
+    // boundary leaves a clean, directly appendable journal.
+    bool expectTorn = n == 0 || whole[n - 1] != '\n' ||
+                      n == std::string("MTTJOURNAL 1\n").size();
+    EXPECT_EQ(jd.tornTail, expectTorn) << "prefix " << n;
+  }
+  std::remove(path.c_str());
+  std::remove(cut.c_str());
+}
+
+TEST(FarmJournal, TerminatedCorruptionIsDiagnosedNotSilentlyDropped) {
+  std::string path = ::testing::TempDir() + "corrupt.journal";
+  std::remove(path.c_str());
+  auto spec = accountSpec(3);
+  FarmOptions fo;
+  fo.jobs = 1;
+  fo.journalPath = path;
+  runExperimentFarm(spec, fo);
+  std::string whole = slurp(path);
+  // Flip one payload byte of a terminated record: the checksum no longer
+  // matches, and unlike a torn tail this is bit rot, not a crash artifact.
+  std::size_t firstR = whole.find("\nR ");
+  ASSERT_NE(firstR, std::string::npos);
+  std::size_t payload = firstR + 3 + 17;  // past "R <16-hex> "
+  whole[payload] = whole[payload] == 'x' ? 'y' : 'x';
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << whole;
+  try {
+    loadJournal(path);
+    FAIL() << "expected corrupt-journal diagnostic";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FarmJournal, ConfigMismatchIsRefusedWithDiagnostic) {
+  std::string path = ::testing::TempDir() + "mismatch.journal";
+  std::remove(path.c_str());
+  auto spec = accountSpec(8);
+  FarmOptions fo;
+  fo.jobs = 1;
+  fo.journalPath = path;
+  runExperimentFarm(spec, fo);
+
+  // Same journal, different tool stack: the records are incomparable.
+  auto other = accountSpec(8);
+  other.tool.noiseName = "yield";
+  FarmOptions ro;
+  ro.jobs = 1;
+  ro.journalPath = path;
+  ro.resume = true;
+  try {
+    runExperimentFarm(other, ro);
+    FAIL() << "expected config-mismatch rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("different campaign config"),
+              std::string::npos);
+  }
+
+  // Same config, different run count: also refused.
+  auto shorter = accountSpec(4);
+  try {
+    runExperimentFarm(shorter, ro);
+    FAIL() << "expected size-mismatch rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("refusing"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FarmJournal, ResumeProducesByteIdenticalReport) {
+  auto spec = accountSpec(48);
+  std::string reference =
+      timingFreeReport(experiment::runExperiment(spec));
+
+  for (std::size_t resumeJobs : {1u, 3u}) {
+    std::string path = ::testing::TempDir() + "resume" +
+                       std::to_string(resumeJobs) + ".journal";
+    std::remove(path.c_str());
+    // Interrupt the campaign partway: stopOnRecord models the drain after
+    // SIGINT (records flushed, dispatch stopped, gaps left behind).
+    FarmOptions part;
+    part.jobs = 2;
+    part.journalPath = path;
+    part.stopOnRecord = [](const experiment::RunObservation& o) {
+      return o.runIndex >= 23;
+    };
+    ExperimentCampaign partial = runExperimentFarm(spec, part);
+    ASSERT_TRUE(partial.campaign.stoppedEarly);
+    ASSERT_LT(partial.campaign.records.size(), 48u);
+
+    FarmOptions res;
+    res.jobs = resumeJobs;
+    res.journalPath = path;
+    res.resume = true;
+    ExperimentCampaign resumed = runExperimentFarm(spec, res);
+    SCOPED_TRACE("resumeJobs=" + std::to_string(resumeJobs));
+    EXPECT_EQ(resumed.campaign.resumed, partial.campaign.records.size());
+    EXPECT_EQ(resumed.campaign.records.size(), 48u);
+    EXPECT_EQ(timingFreeReport(resumed.result), reference);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FarmJournal, ResumeOfCompleteJournalRunsNothing) {
+  std::string path = ::testing::TempDir() + "complete.journal";
+  std::remove(path.c_str());
+  auto spec = accountSpec(10);
+  FarmOptions fo;
+  fo.jobs = 2;
+  fo.journalPath = path;
+  ASSERT_EQ(runExperimentFarm(spec, fo).campaign.records.size(), 10u);
+
+  std::atomic<std::size_t> executed{0};
+  FarmOptions res;
+  res.jobs = 2;
+  res.journalPath = path;
+  res.resume = true;
+  // The same fingerprint runExperimentFarm derives; if the derivation
+  // drifts the loader throws, failing this test loudly.
+  res.journalConfig = spec.programName + "|" + spec.tool.label() + "|" +
+                      std::to_string(spec.runs) + "|" +
+                      std::to_string(spec.seedBase);
+  CampaignResult cr = runJobs(
+      10,
+      [&executed](std::uint64_t i) {
+        executed.fetch_add(1);
+        return quickJob(i);
+      },
+      res);
+  EXPECT_EQ(executed.load(), 0u);
+  EXPECT_EQ(cr.resumed, 10u);
+  EXPECT_EQ(cr.records.size(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(FarmJournal, QuarantinedInfraErrorsAreNotReburned) {
+  std::string path = ::testing::TempDir() + "quarantine.journal";
+  std::remove(path.c_str());
+  FarmOptions fo;
+  fo.jobs = 1;
+  fo.maxRetries = 0;
+  fo.journalPath = path;
+  fo.journalConfig = "qtest";
+  CampaignResult first = runJobs(
+      4,
+      [](std::uint64_t i) -> experiment::RunObservation {
+        if (i == 2) throw std::runtime_error("deterministically broken");
+        return quickJob(i);
+      },
+      fo);
+  ASSERT_EQ(first.infraErrors, 1u);
+
+  // On resume the journaled infra-error is reported, not re-attempted —
+  // its retry budget was already exhausted in the first campaign.
+  std::atomic<std::size_t> executed{0};
+  FarmOptions res = fo;
+  res.resume = true;
+  CampaignResult second = runJobs(
+      4,
+      [&executed](std::uint64_t i) {
+        executed.fetch_add(1);
+        return quickJob(i);
+      },
+      res);
+  EXPECT_EQ(executed.load(), 0u);
+  EXPECT_EQ(second.quarantined, 1u);
+  EXPECT_EQ(second.infraErrors, 1u);
+  ASSERT_EQ(second.records.size(), 4u);
+  EXPECT_EQ(second.records[2].status, "infra-error");
+  std::remove(path.c_str());
+}
+
+// --- external stop flag ----------------------------------------------------
+
+TEST(FarmInterrupt, StopFlagStopsDispatchAndDrains) {
+  std::atomic<bool> stop{false};
+  FarmOptions fo;
+  fo.jobs = 2;
+  fo.stopFlag = &stop;
+  CampaignResult cr = runJobs(
+      10'000,
+      [&stop](std::uint64_t i) {
+        if (i == 7) stop.store(true);
+        return quickJob(i);
+      },
+      fo);
+  EXPECT_TRUE(cr.stoppedEarly);
+  EXPECT_GE(cr.records.size(), 1u);
+  EXPECT_LT(cr.records.size(), 10'000u);
+}
+
+// --- postmortem flight recorder --------------------------------------------
+
+experiment::ExperimentSpec crashSpec(const char* program, std::size_t runs) {
+  experiment::ExperimentSpec spec;
+  spec.programName = program;
+  spec.runs = runs;
+  spec.tool.policy = "random";
+  return spec;
+}
+
+TEST(FarmPostmortem, CrashedRunDeliversReplayableScenario) {
+  if (!detail::processIsolationSupported()) GTEST_SKIP();
+  std::string dir = ::testing::TempDir() + "pm_crash";
+  std::filesystem::remove_all(dir);
+  ::setenv("MTT_CRASH_DEREF_HARD", "1", 1);
+  FarmOptions fo;
+  fo.jobs = 2;
+  fo.model = WorkerModel::Process;
+  fo.postmortemDir = dir;
+  ExperimentCampaign ec = runExperimentFarm(crashSpec("crash_deref", 24), fo);
+  ::unsetenv("MTT_CRASH_DEREF_HARD");
+
+  ASSERT_GT(ec.campaign.crashes, 0u);
+  bool sawDump = false;
+  for (const auto& r : ec.campaign.records) {
+    if (r.status != "crashed") continue;
+    ASSERT_FALSE(r.postmortemPath.empty()) << "run " << r.runIndex;
+    replay::Scenario sc = replay::loadScenario(r.postmortemPath);
+    EXPECT_EQ(sc.program, "crash_deref");
+    EXPECT_EQ(sc.seed, r.seed);
+    EXPECT_GT(sc.schedule.size(), 0u);
+    // The annotations carry the fatal signal (SIGSEGV).
+    EXPECT_NE(slurp(r.postmortemPath).find("postmortem signal 11"),
+              std::string::npos);
+    sawDump = true;
+  }
+  EXPECT_TRUE(sawDump);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FarmPostmortem, TimeoutDrainDeliversReplayableScenario) {
+  if (!detail::processIsolationSupported()) GTEST_SKIP();
+  std::string dir = ::testing::TempDir() + "pm_stall";
+  std::filesystem::remove_all(dir);
+  FarmOptions fo;
+  fo.jobs = 2;
+  fo.model = WorkerModel::Process;
+  fo.runTimeout = std::chrono::milliseconds(300);
+  fo.postmortemDir = dir;
+  ExperimentCampaign ec = runExperimentFarm(crashSpec("wall_stall", 8), fo);
+
+  ASSERT_GT(ec.campaign.timeouts, 0u);
+  bool sawDump = false;
+  for (const auto& r : ec.campaign.records) {
+    if (r.status != "timeout" || r.postmortemPath.empty()) continue;
+    replay::Scenario sc = replay::loadScenario(r.postmortemPath);
+    EXPECT_EQ(sc.program, "wall_stall");
+    EXPECT_GT(sc.schedule.size(), 0u);
+    sawDump = true;
+  }
+  // The SIGTERM drain raced the 500ms kill window; at least one stalled
+  // worker must have dumped before dying.
+  EXPECT_TRUE(sawDump);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

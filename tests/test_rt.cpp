@@ -2,9 +2,13 @@
 // policies, determinism, deadlock detection, and the primitive API.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "core/stats.hpp"
+#include "rt/flight_recorder.hpp"
 #include "rt/harness.hpp"
 #include "rt/primitives.hpp"
 #include "test_util.hpp"
@@ -904,6 +908,66 @@ TEST(Policy, ReplayFollowsThenDiverges) {
   EXPECT_TRUE(t == 1 || t == 2);
   EXPECT_TRUE(p.diverged());
   EXPECT_EQ(p.divergenceStep(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Postmortem flight recorder: arm/claim/dump lifecycle (no signals; the
+// signal paths are exercised end-to-end by the farm postmortem tests).
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, DumpExportsPartialRecordingAsScenario) {
+  std::string path = ::testing::TempDir() + "fr_unit.scenario";
+  std::remove(path.c_str());
+  fr::arm(path.c_str());
+  ASSERT_TRUE(fr::armed());
+
+  fr::RunMeta meta;
+  meta.program = "fr_test";
+  meta.seed = 99;
+  meta.policy = "random";
+  meta.noise = "none";
+  fr::beginRun(meta);
+  int fake = 0;  // any stable address works as the runtime key
+  ASSERT_TRUE(fr::claim(&fake));
+  for (int i = 0; i < 5; ++i) {
+    fr::recordDecision(&fake, static_cast<ThreadId>(1 + (i % 2)));
+  }
+  fr::recordEvent(&fake, EventKind::MutexLock, 2, 7);
+  fr::lockAcquired(&fake, 7, 2);
+  EXPECT_EQ(fr::dumpNow(0), 0);
+
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string dump = ss.str();
+  EXPECT_NE(dump.find("MTTSCHED 2"), std::string::npos);
+  EXPECT_NE(dump.find("program fr_test"), std::string::npos);
+  EXPECT_NE(dump.find("seed 99"), std::string::npos);
+  EXPECT_NE(dump.find("decisions 5"), std::string::npos);
+  EXPECT_NE(dump.find("\nend\n"), std::string::npos);
+  EXPECT_NE(dump.find("postmortem signal 0"), std::string::npos);
+  EXPECT_NE(dump.find("heldlock 7 2"), std::string::npos);
+  EXPECT_NE(dump.find("event MutexLock 2 7"), std::string::npos);
+  EXPECT_NE(dump.find("endpostmortem"), std::string::npos);
+
+  // A released lock leaves the held set; a finished run dumps nothing.
+  fr::lockReleased(&fake, 7);
+  fr::release(&fake);
+  fr::endRun();
+  EXPECT_EQ(fr::dumpNow(0), -1);
+
+  // The slot is single-occupancy: a second runtime cannot claim it while
+  // the first holds it.
+  fr::beginRun(meta);
+  ASSERT_TRUE(fr::claim(&fake));
+  int other = 0;
+  EXPECT_FALSE(fr::claim(&other));
+  fr::release(&fake);
+  fr::endRun();
+
+  fr::disarm();
+  EXPECT_FALSE(fr::armed());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -200,4 +200,79 @@ TEST(Cli, ShrinkRejectsWrongProgram) {
       << r.output;
 }
 
+TEST(Cli, JournaledExperimentResumesByteIdentical) {
+  namespace fs = std::filesystem;
+  std::string dir = ::testing::TempDir() + "cli_journal";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string journal = dir + "/run.journal";
+  std::string common =
+      "experiment account --runs 60 --noise mixed --jobs 2 --no-timing";
+
+  CmdResult whole = runCli(common);
+  ASSERT_EQ(whole.exitCode, 0) << whole.output;
+
+  CmdResult journaled = runCli(common + " --journal " + journal);
+  ASSERT_EQ(journaled.exitCode, 0) << journaled.output;
+  ASSERT_TRUE(fs::exists(journal));
+
+  // Resuming a complete journal re-runs nothing and reproduces the report
+  // byte-for-byte (the report is everything before any stderr notes; with
+  // --no-timing and 2>&1 the whole output matches).
+  CmdResult resumed = runCli(common + " --resume " + journal);
+  EXPECT_EQ(resumed.exitCode, 0) << resumed.output;
+  EXPECT_EQ(resumed.output, whole.output);
+
+  // A different tool stack is refused with a clear diagnostic.
+  CmdResult mismatch = runCli(
+      "experiment account --runs 60 --noise yield --jobs 2 --no-timing "
+      "--resume " +
+      journal);
+  EXPECT_EQ(mismatch.exitCode, 2) << mismatch.output;
+  EXPECT_NE(mismatch.output.find("different campaign config"),
+            std::string::npos)
+      << mismatch.output;
+  fs::remove_all(dir);
+}
+
+TEST(Cli, PostmortemHuntFilesReplayableWitness) {
+  namespace fs = std::filesystem;
+  std::string dir = ::testing::TempDir() + "cli_pm";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string scenario = dir + "/crash.scenario";
+
+  // Env-gated hard mode: the bug segfaults the forked worker; the flight
+  // recorder delivers the partial schedule; hunt files it without replaying
+  // the crash in-process.
+  ::setenv("MTT_CRASH_DEREF_HARD", "1", 1);
+  CmdResult hunt = runCli("hunt crash_deref --seeds 64 --isolate --jobs 2 "
+                          "--postmortem-dir " +
+                          dir + "/pm --corpus " + dir + "/corpus --out " +
+                          scenario);
+  ::unsetenv("MTT_CRASH_DEREF_HARD");
+  ASSERT_EQ(hunt.exitCode, 0) << hunt.output;
+  EXPECT_NE(hunt.output.find("(crashed)"), std::string::npos) << hunt.output;
+  EXPECT_NE(hunt.output.find("postmortem scenario saved"), std::string::npos)
+      << hunt.output;
+  EXPECT_NE(hunt.output.find("unverified postmortem witness"),
+            std::string::npos)
+      << hunt.output;
+
+  // Soft mode (gate unset): the same schedule replays and shrinks safely.
+  CmdResult rep = runCli("replay crash_deref " + scenario);
+  EXPECT_EQ(rep.exitCode, 0) << rep.output;
+  EXPECT_NE(rep.output.find("(exact)"), std::string::npos) << rep.output;
+  CmdResult shr = runCli("shrink crash_deref " + scenario);
+  EXPECT_EQ(shr.exitCode, 0) << shr.output;
+  EXPECT_NE(shr.output.find("minimized scenario saved"), std::string::npos)
+      << shr.output;
+
+  CmdResult list = runCli("corpus list --corpus " + dir + "/corpus");
+  EXPECT_EQ(list.exitCode, 0) << list.output;
+  EXPECT_NE(list.output.find("crash_deref"), std::string::npos) << list.output;
+  EXPECT_NE(list.output.find("crash"), std::string::npos) << list.output;
+  fs::remove_all(dir);
+}
+
 }  // namespace

@@ -7,15 +7,25 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "replay/replay.hpp"
 #include "triage/corpus.hpp"
+#include "triage/postmortem.hpp"
 #include "triage/probe.hpp"
 #include "triage/shrink.hpp"
 #include "triage/signature.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define MTT_TEST_HAS_FORK 1
+#else
+#define MTT_TEST_HAS_FORK 0
+#endif
 
 namespace mtt::triage {
 namespace {
@@ -499,6 +509,137 @@ TEST(Shrink, RespectsTheValidationBudget) {
   ShrinkResult r = shrinkScenario(accountScenario(), so);
   ASSERT_TRUE(r.reproduced);
   EXPECT_LE(r.validations, so.maxValidations + 2);  // + final verification
+}
+
+// --- cross-process corpus locking -------------------------------------------
+
+#if MTT_TEST_HAS_FORK
+TEST(CorpusLock, TwoProcessInsertStressKeepsIndexConsistent) {
+  fs::path root = freshDir("triage_corpus_lock");
+  constexpr int kPerChild = 12;
+
+  // Two child processes hammer the same corpus with distinct buckets.
+  // Without the flock around insert(), the concurrent read-merge-rewrite
+  // cycles lose entries from index.tsv (both children list the buckets,
+  // then the slower rewrite clobbers the faster one's additions).
+  auto child = [&root](int id) {
+    try {
+      Corpus corpus(root);
+      for (int i = 0; i < kPerChild; ++i) {
+        FailureSignature sig;
+        sig.kind = FailureKind::Oracle;
+        sig.bugSites = {"stress.site"};
+        sig.shape = {"child" + std::to_string(id) + " entry " +
+                     std::to_string(i)};
+        corpus.insert(syntheticScenario(4 + i % 3), sig, false, false,
+                      static_cast<std::uint64_t>(1000 + i));
+      }
+      ::_exit(0);
+    } catch (...) {
+      ::_exit(1);
+    }
+  };
+  pid_t a = ::fork();
+  ASSERT_GE(a, 0);
+  if (a == 0) child(1);
+  pid_t b = ::fork();
+  ASSERT_GE(b, 0);
+  if (b == 0) child(2);
+  int statusA = 0, statusB = 0;
+  ASSERT_EQ(::waitpid(a, &statusA, 0), a);
+  ASSERT_EQ(::waitpid(b, &statusB, 0), b);
+  ASSERT_TRUE(WIFEXITED(statusA) && WEXITSTATUS(statusA) == 0);
+  ASSERT_TRUE(WIFEXITED(statusB) && WEXITSTATUS(statusB) == 0);
+
+  Corpus corpus(root);
+  std::vector<CorpusEntry> all = corpus.entries();
+  EXPECT_EQ(all.size(), 2u * kPerChild);
+
+  // index.tsv reflects every bucket and every row is structurally whole.
+  std::string index = slurp(root / "index.tsv");
+  std::size_t rows = 0;
+  std::istringstream in(index);
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    ++rows;
+    std::size_t tabs = 0;
+    for (char c : line) tabs += c == '\t';
+    EXPECT_EQ(tabs, 9u) << line;
+  }
+  EXPECT_EQ(rows, 2u * kPerChild);
+  for (const CorpusEntry& e : all) {
+    EXPECT_NE(index.find(e.fingerprint), std::string::npos) << e.fingerprint;
+  }
+}
+#endif  // MTT_TEST_HAS_FORK
+
+// --- postmortem ingestion ---------------------------------------------------
+
+fs::path writeSyntheticPostmortem(const std::string& name,
+                                  const std::string& annotations) {
+  fs::path p = fs::path(::testing::TempDir()) / name;
+  std::ofstream out(p, std::ios::trunc);
+  out << "MTTSCHED 2\n"
+         "program account\n"
+         "seed 3\n"
+         "policy random\n"
+         "noise none\n"
+         "strength 0.25\n"
+         "decisions 4\n"
+         "1\n2\n1\n2\n"
+         "end\n"
+      << annotations;
+  return p;
+}
+
+TEST(Postmortem, LoadSynthesizesCrashSignatureFromAnnotations) {
+  fs::path p = writeSyntheticPostmortem("pm_load.scenario",
+                                        "postmortem signal 11\n"
+                                        "heldlock 7 2\n"
+                                        "event VarRead 3 1\n"
+                                        "event VarWrite 2 1\n"
+                                        "endpostmortem\n");
+  PostmortemInfo info = loadPostmortem(p.string(), "crashed");
+  EXPECT_EQ(info.signature.kind, FailureKind::Crash);
+  EXPECT_EQ(info.signal, 11);
+  EXPECT_FALSE(info.truncated);
+  EXPECT_EQ(info.scenario.program, "account");
+  EXPECT_EQ(info.scenario.schedule.size(), 4u);
+  ASSERT_EQ(info.signature.shape.size(), 3u);  // sorted
+  EXPECT_EQ(info.signature.shape[0], "heldlock # #");
+  EXPECT_EQ(info.signature.shape[1], "signal 11");
+  EXPECT_EQ(info.signature.shape[2], "tail: VarRead # # VarWrite # #");
+  EXPECT_TRUE(info.signature.failure());
+}
+
+TEST(Postmortem, TimeoutStatusSelectsTimeoutKindAndDistinctBucket) {
+  fs::path p = writeSyntheticPostmortem("pm_timeout.scenario",
+                                        "postmortem signal 0\n"
+                                        "endpostmortem\n");
+  PostmortemInfo crash = loadPostmortem(p.string(), "crashed");
+  PostmortemInfo timeout = loadPostmortem(p.string(), "timeout");
+  EXPECT_EQ(crash.signature.kind, FailureKind::Crash);
+  EXPECT_EQ(timeout.signature.kind, FailureKind::Timeout);
+  EXPECT_NE(crash.signature.fingerprint(), timeout.signature.fingerprint());
+}
+
+TEST(Postmortem, IngestFilesAnUnverifiedWitness) {
+  fs::path p = writeSyntheticPostmortem("pm_ingest.scenario",
+                                        "postmortem signal 6\n"
+                                        "truncated\n"
+                                        "endpostmortem\n");
+  Corpus corpus(freshDir("triage_corpus_pm"));
+  InsertResult ins = ingestPostmortem(corpus, p.string(), "crashed", 777);
+  EXPECT_TRUE(ins.inserted);
+  auto e = corpus.find("account", ins.fingerprint);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->kind, "crash");
+  EXPECT_FALSE(e->replayVerified);
+  EXPECT_FALSE(e->shrunk);
+  EXPECT_EQ(e->discovered, 777u);
+  // The filed witness is itself a loadable scenario.
+  replay::Scenario sc = replay::loadScenario(e->scenarioPath.string());
+  EXPECT_EQ(sc.schedule.size(), 4u);
 }
 
 }  // namespace

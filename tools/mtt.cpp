@@ -16,7 +16,10 @@
 //   mtt analyze <trace...>            offline race + deadlock analysis
 //   mtt experiment <program> [opts]   the prepared experiment (find rates)
 //   mtt check <program>               static analysis + model checking (IR)
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <filesystem>
@@ -39,6 +42,7 @@
 #include "suite/program.hpp"
 #include "trace/trace.hpp"
 #include "triage/corpus.hpp"
+#include "triage/postmortem.hpp"
 #include "triage/probe.hpp"
 #include "triage/shrink.hpp"
 #include "triage/signature.hpp"
@@ -46,6 +50,25 @@
 using namespace mtt;
 
 namespace {
+
+// --- graceful shutdown -------------------------------------------------------
+//
+// The first SIGINT/SIGTERM latches the stop flag: the farm stops dispatching,
+// in-flight runs drain, the journal is flushed, and the command prints a
+// partial summary with a resume hint before exiting 130.  A second signal
+// means "now": hard exit without draining.
+constexpr int kInterruptedExit = 130;
+
+std::atomic<bool> g_stopRequested{false};
+
+extern "C" void onStopSignal(int) {
+  if (g_stopRequested.exchange(true)) std::_Exit(kInterruptedExit);
+}
+
+void installStopHandlers() {
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+}
 
 struct Args {
   std::vector<std::string> positional;
@@ -108,7 +131,8 @@ int usage() {
       "                [--dispatch-stats]\n"
       "  hunt <program> [--seeds N] [--noise H] [--policy P] [--out FILE]\n"
       "                [--jobs N] [--timeout-ms T] [--jsonl FILE]\n"
-      "                [--corpus DIR] [--shrink]\n"
+      "                [--corpus DIR] [--shrink] [--journal FILE]\n"
+      "                [--resume FILE] [--postmortem-dir DIR]\n"
       "  replay <program> <scenario-file> [--seed N] [--noise H] [--strength F]\n"
       "  shrink <program> <scenario-file> [--jobs N] [--out FILE]\n"
       "                [--corpus DIR] [--keep-noise] [--max-validations N]\n"
@@ -121,12 +145,22 @@ int usage() {
       "  experiment <program> [--runs N] [--policy P] [--noise a,b,c]\n"
       "                [--detectors a,b,c] [--jobs N] [--timeout-ms T]\n"
       "                [--jsonl FILE] [--isolate] [--progress] [--no-timing]\n"
+      "                [--journal FILE] [--resume FILE]\n"
       "  check <program>                        static + model checking\n"
       "\n"
       "  farm flags: --jobs N shards runs over N workers (0 = all cores);\n"
       "  --timeout-ms is a per-run watchdog; --jsonl streams one JSON record\n"
       "  per run; --isolate forks worker processes (crash containment);\n"
       "  --no-timing drops wall-clock columns for byte-stable reports.\n"
+      "\n"
+      "  durability flags: --journal FILE appends a checksummed record per\n"
+      "  completed run; --resume FILE skips journaled runs and merges their\n"
+      "  records (byte-identical report in controlled mode for any --jobs);\n"
+      "  --postmortem-dir DIR (with --isolate) dumps a replayable partial\n"
+      "  scenario when a run crashes or times out; --worker-mem-mb N and\n"
+      "  --worker-cpu-s N cap each worker process.  SIGINT drains in-flight\n"
+      "  runs, flushes the journal and exits 130; a second SIGINT is "
+      "immediate.\n"
       "\n"
       "  triage flags: --corpus DIR files each counterexample under its\n"
       "  failure fingerprint (dedup keeps the smallest witness); --shrink\n"
@@ -217,12 +251,45 @@ farm::FarmOptions farmOptions(const Args& a) {
   fo.model = a.has("isolate") ? farm::WorkerModel::Process
                               : farm::WorkerModel::Thread;
   fo.progress = a.has("progress");
+  fo.journalPath = a.get("journal", "");
+  if (a.has("resume")) {
+    fo.journalPath = a.get("resume", "");
+    fo.resume = true;
+  }
+  fo.postmortemDir = a.get("postmortem-dir", "");
+  fo.workerMemLimitMb = static_cast<std::size_t>(a.getU64("worker-mem-mb", 0));
+  fo.workerCpuLimitSec = static_cast<std::size_t>(a.getU64("worker-cpu-s", 0));
+  fo.stopFlag = &g_stopRequested;
+  installStopHandlers();
   return fo;
 }
 
 bool farmRequested(const Args& a) {
   return a.has("jobs") || a.has("timeout-ms") || a.has("jsonl") ||
-         a.has("isolate") || a.has("progress");
+         a.has("isolate") || a.has("progress") || a.has("journal") ||
+         a.has("resume") || a.has("postmortem-dir") ||
+         a.has("worker-mem-mb") || a.has("worker-cpu-s");
+}
+
+// Partial-summary epilogue for a campaign the user interrupted: says what
+// completed, how to pick the campaign back up, and exits 130.
+int interruptedEpilogue(const farm::CampaignResult& cr,
+                        const std::string& journalPath) {
+  std::fprintf(stderr,
+               "mtt: interrupted; %zu of %llu run(s) completed and flushed\n",
+               cr.records.size(),
+               static_cast<unsigned long long>(cr.requested));
+  if (!journalPath.empty()) {
+    std::fprintf(stderr,
+                 "mtt: resume with: --resume %s  (skips the %zu journaled "
+                 "run(s))\n",
+                 journalPath.c_str(), cr.records.size());
+  } else {
+    std::fprintf(stderr,
+                 "mtt: re-run with --journal FILE to make campaigns "
+                 "resumable\n");
+  }
+  return kInterruptedExit;
 }
 
 RunSetup makeSetup(const Args& a, rt::SchedulePolicy* policyRef) {
@@ -371,6 +438,7 @@ int cmdHunt(const Args& a) {
 
   std::optional<std::uint64_t> found;
   std::string foundStatus;
+  std::string foundPostmortem;
   std::uint64_t scanned = 0;
   if (!farmRequested(a)) {
     // Serial scan: exact legacy behavior (stops at the first seed, in
@@ -388,8 +456,10 @@ int cmdHunt(const Args& a) {
     }
   } else {
     farm::FarmOptions fo = farmOptions(a);
+    // A crashed/timed-out worker with a flight-recorder dump is a find too:
+    // the bug manifested hard enough to kill the process.
     fo.stopOnRecord = [](const experiment::RunObservation& o) {
-      return o.manifested;
+      return o.manifested || !o.postmortemPath.empty();
     };
     farm::CampaignResult cr = farm::runJobs(
         seeds,
@@ -399,11 +469,21 @@ int cmdHunt(const Args& a) {
         fo);
     scanned = cr.records.size();
     for (const auto& r : cr.records) {  // sorted: smallest manifesting seed
-      if (r.manifested) {
+      if (r.manifested || !r.postmortemPath.empty()) {
         found = r.runIndex;
         foundStatus = r.status;
+        foundPostmortem = r.postmortemPath;
         break;
       }
+    }
+    if (cr.quarantined > 0) {
+      std::fprintf(stderr,
+                   "mtt: %zu quarantined run(s) reported from the journal "
+                   "(infra-error; retry budget exhausted)\n",
+                   cr.quarantined);
+    }
+    if (!found && g_stopRequested.load()) {
+      return interruptedEpilogue(cr, fo.journalPath);
     }
   }
 
@@ -411,6 +491,45 @@ int cmdHunt(const Args& a) {
     std::printf("no manifestation in %llu seeds\n",
                 static_cast<unsigned long long>(seeds));
     return 1;
+  }
+  if (!foundPostmortem.empty()) {
+    // The find never reported in-process (the worker died), so re-recording
+    // it here would take this process down too.  The flight-recorder dump
+    // IS the scenario: file it as an unverified witness.
+    std::string outPath =
+        a.get("out", spec.programName + ".seed" + std::to_string(*found) +
+                         ".postmortem.scenario");
+    std::error_code ec;
+    std::filesystem::copy_file(
+        foundPostmortem, outPath,
+        std::filesystem::copy_options::overwrite_existing, ec);
+    if (ec) outPath = foundPostmortem;  // keep pointing at the dump
+    replay::Scenario sc = replay::loadScenario(outPath);
+    std::printf(
+        "bug manifested at seed %llu (%s) after %llu runs\n"
+        "postmortem scenario saved to %s (%zu decisions, partial)\n"
+        "replay with: mtt replay %s %s\n",
+        static_cast<unsigned long long>(*found), foundStatus.c_str(),
+        static_cast<unsigned long long>(scanned), outPath.c_str(),
+        sc.schedule.size(), spec.programName.c_str(), outPath.c_str());
+    if (a.has("shrink")) {
+      std::printf(
+          "shrink: skipped for a %s postmortem (exact replay would repeat "
+          "the crash in-process; shrink it in a soft configuration)\n",
+          foundStatus.c_str());
+    }
+    if (a.has("corpus")) {
+      triage::Corpus corpus(a.get("corpus", "corpus"));
+      triage::InsertResult ins = triage::ingestPostmortem(
+          corpus, outPath, foundStatus,
+          static_cast<std::uint64_t>(std::time(nullptr)));
+      const char* what = ins.inserted ? "new entry"
+                         : ins.replaced ? "improved witness"
+                                        : "kept existing smaller witness";
+      std::printf("corpus: %s %s/%s (unverified postmortem witness)\n", what,
+                  spec.programName.c_str(), ins.fingerprint.c_str());
+    }
+    return 0;
   }
   // Re-execute the found seed with a RecordingPolicy (controlled mode is
   // deterministic in (policy, seed), so this reproduces what the scan saw)
@@ -755,6 +874,9 @@ int cmdExperiment(const Args& a) {
   std::vector<std::string> detectors = splitList(a.get("detectors", ""));
   std::vector<experiment::ExperimentResult> rows;
   std::size_t supervised = 0;
+  std::size_t quarantined = 0;
+  bool interrupted = false;
+  std::string journalHint;
   bool first = true;
   for (const auto& h : heuristics) {
     experiment::ExperimentSpec spec;
@@ -771,10 +893,21 @@ int cmdExperiment(const Args& a) {
     } else {
       farm::FarmOptions fo = farmOptions(a);
       fo.jsonlAppend = !first;  // one stream across all campaign rows
+      // One journal per campaign row: each heuristic is its own config, so
+      // a multi-row experiment fans the journal out per heuristic.
+      if (!fo.journalPath.empty() && heuristics.size() > 1) {
+        fo.journalPath += "." + h;
+      }
       farm::ExperimentCampaign ec = farm::runExperimentFarm(spec, fo);
       supervised += ec.campaign.timeouts + ec.campaign.crashes +
                     ec.campaign.infraErrors;
+      quarantined += ec.campaign.quarantined;
       rows.push_back(std::move(ec.result));
+      if (g_stopRequested.load()) {
+        interrupted = true;
+        journalHint = fo.journalPath;
+        break;
+      }
     }
     first = false;
   }
@@ -795,6 +928,24 @@ int cmdExperiment(const Args& a) {
                  "mtt: %zu run(s) ended under farm supervision "
                  "(timeout/crash/infra); see statusCounts or --jsonl\n",
                  supervised);
+  }
+  if (quarantined > 0) {
+    std::fprintf(stderr,
+                 "mtt: %zu quarantined run(s) reported from the journal "
+                 "(infra-error; retry budget exhausted)\n",
+                 quarantined);
+  }
+  if (interrupted) {
+    std::fprintf(stderr, "mtt: interrupted; the report above is partial\n");
+    if (!journalHint.empty()) {
+      std::fprintf(stderr, "mtt: resume with: --resume %s\n",
+                   journalHint.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "mtt: re-run with --journal FILE to make campaigns "
+                   "resumable\n");
+    }
+    return kInterruptedExit;
   }
   return 0;
 }
