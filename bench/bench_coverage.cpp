@@ -92,7 +92,7 @@ int main() {
       rt::RunOptions o = program->defaultRunOptions();
       o.seed = s;
       rt.run([&](rt::Runtime& rr) { program->body(rr); }, o);
-      for (const auto& t : cov.covered()) everCovered.insert(t);
+      for (const auto& t : cov.snapshot().covered) everCovered.insert(t);
     }
     double ratio = universe.empty()
                        ? 0.0

@@ -1,8 +1,10 @@
 #include "coverage/coverage.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/site.hpp"
+#include "rt/runtime.hpp"
 
 namespace mtt::coverage {
 
@@ -12,6 +14,31 @@ void CoverageModel::declareTasks(const std::set<std::string>& tasks) {
   closed_ = true;
 }
 
+Snapshot CoverageModel::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  s.covered = covered_;
+  s.known = known_;
+  s.closed = closed_;
+  s.outsideUniverse = outsideUniverse_;
+  return s;
+}
+
+Snapshot CoverageModel::runSnapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  s.covered = covered_;
+  // Closed universes keep the declared task set (constant, so still a pure
+  // function of the run); open universes report only this run's discoveries
+  // so that a reused stack and a fresh one produce identical records.
+  s.known = closed_ ? known_ : runDiscovered_;
+  s.closed = closed_;
+  s.outsideUniverse = outsideUniverse_;
+  return s;
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 std::set<std::string> CoverageModel::covered() const {
   std::lock_guard<std::mutex> lk(mu_);
   return covered_;
@@ -21,6 +48,7 @@ std::set<std::string> CoverageModel::known() const {
   std::lock_guard<std::mutex> lk(mu_);
   return known_;
 }
+#pragma GCC diagnostic pop
 
 std::size_t CoverageModel::coveredCount() const {
   std::lock_guard<std::mutex> lk(mu_);
@@ -44,15 +72,22 @@ void CoverageModel::onRunStart(const RunInfo& info) {
   (void)info;
   std::lock_guard<std::mutex> lk(mu_);
   covered_.clear();
-  if (!closed_) known_.clear();
+  runDiscovered_.clear();
   outsideUniverse_ = 0;
+  clearRunState();
+}
+
+void CoverageModel::bindRuntime(rt::Runtime& rt) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rt_ = &rt;
 }
 
 void CoverageModel::resetTool() {
   std::lock_guard<std::mutex> lk(mu_);
   covered_.clear();
-  if (!closed_) known_.clear();
+  runDiscovered_.clear();
   outsideUniverse_ = 0;
+  clearRunState();
 }
 
 void CoverageModel::discover(const std::string& task) {
@@ -61,15 +96,26 @@ void CoverageModel::discover(const std::string& task) {
     return;
   }
   known_.insert(task);
+  runDiscovered_.insert(task);
 }
 
 void CoverageModel::cover(const std::string& task) {
-  if (closed_ && known_.find(task) == known_.end()) {
-    ++outsideUniverse_;
+  if (closed_) {
+    if (known_.find(task) == known_.end()) {
+      ++outsideUniverse_;
+      return;
+    }
+    covered_.insert(task);
     return;
   }
   known_.insert(task);
+  runDiscovered_.insert(task);
   covered_.insert(task);
+}
+
+std::string CoverageModel::objectLabel(ObjectId id) const {
+  if (rt_ != nullptr) return rt_->objectInfo(id).name;
+  return "obj#" + std::to_string(id);
 }
 
 // --- SitePointCoverage --------------------------------------------------------
@@ -86,7 +132,7 @@ void VarContentionCoverage::onEvent(const Event& e) {
   if (e.kind != EventKind::VarRead && e.kind != EventKind::VarWrite) return;
   bool isWrite = e.kind == EventKind::VarWrite;
   std::lock_guard<std::mutex> lk(mu_);
-  std::string task = varName_(e.object);
+  std::string task = varName_ ? varName_(e.object) : objectLabel(e.object);
   discover(task);
   auto& hist = recent_[e.object];
   for (const Recent& r : hist) {
@@ -108,7 +154,7 @@ void SyncContentionCoverage::onEvent(const Event& e) {
     return;
   }
   std::lock_guard<std::mutex> lk(mu_);
-  std::string base = objName_(e.object);
+  std::string base = objName_ ? objName_(e.object) : objectLabel(e.object);
   discover(base + "/free");
   discover(base + "/blocked");
   cover(base + (e.arg != 0 ? "/blocked" : "/free"));
@@ -118,13 +164,16 @@ void SyncContentionCoverage::onEvent(const Event& e) {
 
 void LockPairCoverage::onEvent(const Event& e) {
   std::lock_guard<std::mutex> lk(mu_);
+  auto label = [this](ObjectId id) {
+    return objName_ ? objName_(id) : objectLabel(id);
+  };
   switch (e.kind) {
     case EventKind::MutexLock:
     case EventKind::MutexTryLockOk: {
       auto& stack = held_[e.thread];
       for (ObjectId h : stack) {
         if (h != e.object) {
-          cover(objName_(h) + "<" + objName_(e.object));
+          cover(label(h) + "<" + label(e.object));
         }
       }
       stack.push_back(e.object);
@@ -155,11 +204,31 @@ void SwitchPairCoverage::onEvent(const Event& e) {
   l.site = e.syncSite;
 }
 
+// --- factory ------------------------------------------------------------------
+
+std::vector<std::string> coverageNames() {
+  return {"site-point", "var-contention", "sync-contention", "lock-pair",
+          "switch-pair"};
+}
+
+std::unique_ptr<CoverageModel> makeCoverage(const std::string& name) {
+  if (name == "site-point") return std::make_unique<SitePointCoverage>();
+  if (name == "var-contention") {
+    return std::make_unique<VarContentionCoverage>();
+  }
+  if (name == "sync-contention") {
+    return std::make_unique<SyncContentionCoverage>();
+  }
+  if (name == "lock-pair") return std::make_unique<LockPairCoverage>();
+  if (name == "switch-pair") return std::make_unique<SwitchPairCoverage>();
+  throw std::invalid_argument("unknown coverage model: " + name);
+}
+
 // --- CoverageAccumulator ------------------------------------------------------------
 
-std::size_t CoverageAccumulator::addRun(const CoverageModel& model) {
+std::size_t CoverageAccumulator::addRun(const Snapshot& snap) {
   std::size_t before = covered_.size();
-  for (const auto& t : model.covered()) covered_.insert(t);
+  covered_.insert(snap.covered.begin(), snap.covered.end());
   std::size_t added = covered_.size() - before;
   perRunNew_.push_back(added);
   return added;

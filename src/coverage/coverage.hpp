@@ -9,8 +9,11 @@
 // A CoverageModel defines a universe of tasks (possibly open-ended, i.e.
 // discovered while running, or closed when fed by static analysis — the
 // feasibility problem the paper describes) and marks tasks covered from the
-// event stream.  The CoverageAccumulator merges covered sets across runs and
-// answers the how-many-runs question from the growth curve.
+// event stream.  Results are read out as coverage::Snapshot values
+// (snapshot.hpp): runSnapshot() is the pure per-run delta that travels
+// through the farm pipe into campaign control (mtt::guide), snapshot() the
+// accumulated model state.  The CoverageAccumulator merges snapshots across
+// runs and answers the how-many-runs question from the growth curve.
 #pragma once
 
 #include <functional>
@@ -23,11 +26,19 @@
 
 #include "core/event.hpp"
 #include "core/listener.hpp"
+#include "coverage/snapshot.hpp"
 
 namespace mtt::coverage {
 
 /// Base class for coverage models.  Task keys are strings so covered sets
 /// are stable across runs (object *ids* are not; names are).
+///
+/// State lifecycle: `covered` and the per-run discovered set reset at every
+/// run start (and on resetTool), so runSnapshot() is a pure function of the
+/// run.  The task universe `known` persists across runs and resetTool — for
+/// a closed universe it was declared up front; for an open one it is the
+/// union of everything discovered so far, which is exactly what a reused
+/// ToolStack must not lose between farm runs.
 class CoverageModel : public Listener {
  public:
   virtual std::string name() const = 0;
@@ -37,17 +48,33 @@ class CoverageModel : public Listener {
   void declareTasks(const std::set<std::string>& tasks);
   bool closedUniverse() const { return closed_; }
 
+  /// Accumulated state: covered tasks of the current/last run plus the full
+  /// task universe known so far.
+  Snapshot snapshot() const;
+  /// Pure per-run delta: covered tasks of the current/last run, and only the
+  /// tasks *this run* discovered (closed universes keep the declared set —
+  /// it is constant).  Identical for a fresh model and a reused one given
+  /// the same run, which is what keeps farm records byte-deterministic.
+  Snapshot runSnapshot() const;
+
+  [[deprecated("copies a set under the model mutex; migrate to snapshot()")]]
   std::set<std::string> covered() const;
+  [[deprecated("copies a set under the model mutex; migrate to snapshot()")]]
   std::set<std::string> known() const;
+
   std::size_t coveredCount() const;
   std::size_t taskCount() const;
   /// coveredCount / taskCount; 0 when the universe is empty.
   double ratio() const;
 
   void onRunStart(const RunInfo& info) override;
+  void bindRuntime(rt::Runtime& rt) override;
 
   std::string_view listenerName() const override { return internName(name()); }
-  /// Drops covered tasks and (for open universes) the discovered task set.
+  /// Drops per-run state (covered tasks, infeasible-hit count) but keeps the
+  /// task universe: discovered tasks are a cross-campaign artifact, and a
+  /// pooled stack that forgot them between runs would silently restart the
+  /// universe from scratch (the E4 growth curve would never converge).
   void resetTool() override;
 
  protected:
@@ -55,13 +82,23 @@ class CoverageModel : public Listener {
   /// a hit is an infeasible-task signal and is counted separately).
   void discover(const std::string& task);
   void cover(const std::string& task);
+  /// Resolves an object's display name through the bound runtime (falls
+  /// back to "obj#<id>" when unbound).  Models constructed without an
+  /// explicit resolver use this, so makeCoverage() names need no runtime
+  /// at construction time.
+  std::string objectLabel(ObjectId id) const;
+  /// Hook for models to drop per-run working state (recent-access windows,
+  /// held-lock stacks); called under mu_ from onRunStart and resetTool.
+  virtual void clearRunState() {}
   mutable std::mutex mu_;
 
  private:
   std::set<std::string> known_;
   std::set<std::string> covered_;
+  std::set<std::string> runDiscovered_;
   bool closed_ = false;
   std::size_t outsideUniverse_ = 0;
+  rt::Runtime* rt_ = nullptr;
 };
 
 /// Every instrumentation site executed at least once — the concurrent
@@ -80,8 +117,10 @@ class SitePointCoverage final : public CoverageModel {
 /// write, within a bounded event window.
 class VarContentionCoverage final : public CoverageModel {
  public:
+  /// Without a resolver, names come from the bound runtime (objectLabel).
   explicit VarContentionCoverage(
-      std::function<std::string(ObjectId)> varName, std::size_t window = 50)
+      std::function<std::string(ObjectId)> varName = {},
+      std::size_t window = 50)
       : varName_(std::move(varName)), window_(window) {}
   std::string name() const override { return "var-contention"; }
   void onEvent(const Event& e) override;
@@ -95,6 +134,7 @@ class VarContentionCoverage final : public CoverageModel {
     bool write;
     std::uint64_t seq;
   };
+  void clearRunState() override { recent_.clear(); }
   std::function<std::string(ObjectId)> varName_;
   std::size_t window_;
   std::map<ObjectId, std::vector<Recent>> recent_;
@@ -105,7 +145,8 @@ class VarContentionCoverage final : public CoverageModel {
 /// with arg=1).  Two tasks per object: "<name>/free" and "<name>/blocked".
 class SyncContentionCoverage final : public CoverageModel {
  public:
-  explicit SyncContentionCoverage(std::function<std::string(ObjectId)> name)
+  explicit SyncContentionCoverage(
+      std::function<std::string(ObjectId)> name = {})
       : objName_(std::move(name)) {}
   std::string name() const override { return "sync-contention"; }
   void onEvent(const Event& e) override;
@@ -123,7 +164,7 @@ class SyncContentionCoverage final : public CoverageModel {
 /// classic deadlock-risk smell.
 class LockPairCoverage final : public CoverageModel {
  public:
-  explicit LockPairCoverage(std::function<std::string(ObjectId)> name)
+  explicit LockPairCoverage(std::function<std::string(ObjectId)> name = {})
       : objName_(std::move(name)) {}
   std::string name() const override { return "lock-pair"; }
   void onEvent(const Event& e) override;
@@ -133,6 +174,7 @@ class LockPairCoverage final : public CoverageModel {
   }
 
  private:
+  void clearRunState() override { held_.clear(); }
   std::function<std::string(ObjectId)> objName_;
   std::map<ThreadId, std::vector<ObjectId>> held_;
 };
@@ -153,14 +195,28 @@ class SwitchPairCoverage final : public CoverageModel {
     ThreadId thread = kNoThread;
     SiteId site = kNoSite;
   };
+  void clearRunState() override { last_.clear(); }
   std::map<ObjectId, Last> last_;
 };
+
+/// Known model names for makeCoverage, in presentation order.
+std::vector<std::string> coverageNames();
+
+/// Builds a coverage model by name ("site-point", "var-contention",
+/// "sync-contention", "lock-pair", "switch-pair"); the model resolves object
+/// names through whatever runtime it is later bound to (ToolStack::attach).
+/// Throws std::invalid_argument on an unknown name.
+std::unique_ptr<CoverageModel> makeCoverage(const std::string& name);
 
 /// Merges covered sets across runs and models the growth curve.
 class CoverageAccumulator {
  public:
-  /// Folds one run's results in; returns the number of newly covered tasks.
-  std::size_t addRun(const CoverageModel& model);
+  /// Folds one run's snapshot in; returns the number of newly covered tasks.
+  std::size_t addRun(const Snapshot& snap);
+  /// Convenience: folds in model.snapshot().
+  std::size_t addRun(const CoverageModel& model) {
+    return addRun(model.snapshot());
+  }
 
   std::size_t runs() const { return perRunNew_.size(); }
   std::size_t totalCovered() const { return covered_.size(); }

@@ -5,6 +5,7 @@
 
 #include "core/table.hpp"
 #include "deadlock/lockgraph.hpp"
+#include "model/static.hpp"
 #include "race/detectors.hpp"
 
 namespace mtt::experiment {
@@ -16,6 +17,10 @@ std::string ToolConfig::label() const {
   }
   for (const auto& d : detectors) l += "+" + d;
   if (lockGraph) l += "+lockgraph";
+  if (!coverage.empty()) {
+    l += "+cov:" + coverage;
+    if (coverageClosedUniverse) l += "(closed)";
+  }
   l += mode == RuntimeMode::Controlled ? "/ctl-" + policy : "/native";
   return l;
 }
@@ -64,6 +69,13 @@ void validateToolConfig(const ToolConfig& tool) {
                                joinNames(race::detectorNames()) + ")");
     }
   }
+  if (!tool.coverage.empty()) {
+    const auto names = coverage::coverageNames();
+    if (std::find(names.begin(), names.end(), tool.coverage) == names.end()) {
+      throw std::runtime_error("unknown coverage model '" + tool.coverage +
+                               "' (valid: " + joinNames(names) + ")");
+    }
+  }
 }
 
 ToolStack makeToolStack(const ToolConfig& tool) {
@@ -71,6 +83,7 @@ ToolStack makeToolStack(const ToolConfig& tool) {
   ToolStackBuilder b;
   for (const auto& d : tool.detectors) b.detector(d);
   if (tool.lockGraph) b.lockGraph();
+  if (!tool.coverage.empty()) b.coverage(tool.coverage);
   if (tool.noiseName == "targeted") {
     b.targetedNoise(tool.noiseTargets, tool.noiseOpts);
   } else {
@@ -79,25 +92,32 @@ ToolStack makeToolStack(const ToolConfig& tool) {
   return b.build();
 }
 
-RunObservation executeRun(const ExperimentSpec& spec, std::size_t i) {
+RunObservation executeRun(const RunSpec& spec, std::size_t i) {
   ToolStack tools = makeToolStack(spec.tool);
   return executeRun(spec, i, tools);
 }
 
-RunObservation executeRun(const ExperimentSpec& spec, std::size_t i,
+RunObservation executeRun(const RunSpec& spec, std::size_t i,
                           ToolStack& tools) {
   auto program = suite::makeProgram(spec.programName);
   program->reset();
 
-  auto rt = rt::makeRuntime(
-      spec.tool.mode, spec.tool.mode == RuntimeMode::Controlled
-                          ? makePolicy(spec.tool.policy)
-                          : nullptr);
+  std::unique_ptr<rt::SchedulePolicy> policy;
+  if (spec.tool.mode == RuntimeMode::Controlled) {
+    policy = spec.policyFactory ? spec.policyFactory()
+                                : makePolicy(spec.tool.policy);
+  }
+  auto rt = rt::makeRuntime(spec.tool.mode, std::move(policy));
 
   // reset() first: a reused stack must start every run in the same state a
   // freshly-built stack would, or reports stop being seed-deterministic.
   tools.reset();
   tools.attach(*rt);
+  if (tools.coverageModel() != nullptr && spec.tool.coverageClosedUniverse) {
+    if (const model::Program* ir = program->irModel()) {
+      tools.coverageModel()->declareTasks(model::contentionTaskUniverse(*ir));
+    }
+  }
 
   rt::RunOptions opts =
       spec.runOptions ? *spec.runOptions : program->defaultRunOptions();
@@ -146,6 +166,12 @@ RunObservation executeRun(const ExperimentSpec& spec, std::size_t i,
   obs.failureMessage = r.failureMessage;
   obs.dispatchDeliveries = r.dispatch.deliveries;
   obs.dispatchNsPerEvent = r.dispatch.nsPerEvent();
+  if (tools.coverageModel() != nullptr) {
+    // runSnapshot, not snapshot: the record must be a pure function of the
+    // run (a reused stack's accumulated universe would otherwise leak into
+    // it and break the farm's byte-determinism across worker counts).
+    obs.coverage = tools.coverageModel()->runSnapshot().encode();
+  }
   return obs;
 }
 

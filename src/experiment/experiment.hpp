@@ -13,6 +13,7 @@
 // outcome distribution.  Every bench binary is "a push of the button".
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -43,17 +44,39 @@ struct ToolConfig {
   RuntimeMode mode = RuntimeMode::Controlled;
   /// Controlled-mode policy: "random", "rr", "priority".
   std::string policy = "random";
+  /// Coverage model attached to the stack ("" = none; a
+  /// coverage::makeCoverage name otherwise).  The per-run snapshot flows
+  /// into RunObservation::coverage and from there through the farm pipe and
+  /// journal into campaign control (mtt::guide).
+  std::string coverage;
+  /// Close the coverage universe from the program's static IR model when it
+  /// has one (model::contentionTaskUniverse) — the paper's feasibility
+  /// filter.  Meaningful for "var-contention"; ignored without an IR model.
+  bool coverageClosedUniverse = false;
 
   std::string label() const;
 };
 
-struct ExperimentSpec {
+/// The per-run recipe: program, tool stack, seed base, and run-option
+/// overrides — the one knob struct consumed by executeRun, the explorer
+/// (exploreSpec), and the farm.  Campaign engines vary a single field per
+/// run (noise arm, seed) instead of copying three parallel structs.
+struct RunSpec {
   std::string programName;
   ToolConfig tool;
-  std::size_t runs = 100;
   std::uint64_t seedBase = 0;
   /// Overrides the program's default run options when set.
   std::optional<rt::RunOptions> runOptions;
+  /// When set (controlled mode), each run schedules under a fresh policy
+  /// from this factory instead of tool.policy — how guide's corpus-seeded
+  /// schedule mutators ride an otherwise unchanged spec.  Must be safe to
+  /// invoke concurrently.
+  std::function<std::unique_ptr<rt::SchedulePolicy>()> policyFactory;
+};
+
+/// A RunSpec with a fixed run budget (the classic `--runs N` campaign).
+struct ExperimentSpec : RunSpec {
+  std::size_t runs = 100;
 };
 
 struct ExperimentResult {
@@ -116,6 +139,11 @@ struct RunObservation {
   /// Replayable (mtt replay / shrink accept it) and ingestible into the
   /// triage corpus.
   std::string postmortemPath;
+  /// Per-run coverage delta when the tool config attached a coverage model:
+  /// the binary encoding (MSNP1) of the run's coverage::Snapshot.  Rides
+  /// hex-encoded in the farm pipe record and the journal, which is how
+  /// coverage feedback survives worker isolation and campaign resume.
+  std::string coverage;
   /// Farm bookkeeping: how many attempts this run took (retries + 1).
   std::uint32_t attempts = 1;
 
@@ -146,17 +174,18 @@ void validateToolConfig(const ToolConfig& tool);
 /// with nicer messages).
 ToolStack makeToolStack(const ToolConfig& tool);
 
-/// Executes run `i` of the spec on the calling thread.  Thread-safe: each
-/// call builds its own program instance, runtime, and tool stack, so any
-/// number of runs of the same spec may execute concurrently.
-RunObservation executeRun(const ExperimentSpec& spec, std::size_t i);
+/// Executes run `i` of the spec (seed = spec.seedBase + i) on the calling
+/// thread.  Thread-safe: each call builds its own program instance,
+/// runtime, and tool stack, so any number of runs of the same spec may
+/// execute concurrently.
+RunObservation executeRun(const RunSpec& spec, std::size_t i);
 
 /// Same, but attaches a caller-provided tool stack instead of building one
 /// per run — campaign loops build the stack once and reuse it.  The stack
 /// is reset() at the start of the run, so the observation is identical to
 /// the build-per-run overload for the same (spec, i).  Not thread-safe with
 /// respect to `tools`: one stack serves one run at a time.
-RunObservation executeRun(const ExperimentSpec& spec, std::size_t i,
+RunObservation executeRun(const RunSpec& spec, std::size_t i,
                           ToolStack& tools);
 
 /// Folds one observation into the aggregate (exact serial semantics).

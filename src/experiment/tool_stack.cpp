@@ -63,6 +63,18 @@ ToolStackBuilder& ToolStackBuilder::traceRecorder() {
   return *this;
 }
 
+ToolStackBuilder& ToolStackBuilder::coverage(const std::string& name) {
+  return coverageModel(mtt::coverage::makeCoverage(name));
+}
+
+ToolStackBuilder& ToolStackBuilder::coverageModel(
+    std::unique_ptr<mtt::coverage::CoverageModel> model) {
+  mtt::coverage::CoverageModel* raw = model.get();
+  if (stack_.coverage_ == nullptr) stack_.coverage_ = raw;
+  addAnalysis(raw, std::move(model));
+  return *this;
+}
+
 ToolStackBuilder& ToolStackBuilder::listener(std::unique_ptr<Listener> tool) {
   Listener* raw = tool.get();
   addAnalysis(raw, std::move(tool));

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/listener.hpp"
+#include "coverage/coverage.hpp"
 #include "deadlock/lockgraph.hpp"
 #include "noise/noise.hpp"
 #include "race/detectors.hpp"
@@ -58,6 +59,7 @@ class ToolStack {
   deadlock::LockGraphDetector* lockGraph() const { return lockGraph_; }
   noise::NoiseMaker* noiseMaker() const { return noise_; }
   trace::TraceRecorder* traceRecorder() const { return recorder_; }
+  mtt::coverage::CoverageModel* coverageModel() const { return coverage_; }
 
   /// All tools in registration order (owned and borrowed alike).
   const std::vector<Listener*>& listeners() const { return order_; }
@@ -70,6 +72,7 @@ class ToolStack {
   deadlock::LockGraphDetector* lockGraph_ = nullptr;
   noise::NoiseMaker* noise_ = nullptr;
   trace::TraceRecorder* recorder_ = nullptr;
+  mtt::coverage::CoverageModel* coverage_ = nullptr;
 };
 
 /// Builds a ToolStack and enforces the ordering convention the hook API has
@@ -88,6 +91,15 @@ class ToolStackBuilder {
 
   /// A trace recorder (bindRuntime supplies the symbol source per run).
   ToolStackBuilder& traceRecorder();
+
+  /// A coverage model by factory name (coverage::makeCoverage); the model
+  /// resolves object names through the runtime it is bound to per run.
+  /// Throws std::invalid_argument on unknown names.
+  ToolStackBuilder& coverage(const std::string& name);
+
+  /// Any owned coverage model (e.g. one with a custom name resolver).
+  ToolStackBuilder& coverageModel(
+      std::unique_ptr<mtt::coverage::CoverageModel> model);
 
   /// Any owned analysis listener (coverage models, custom tools).
   ToolStackBuilder& listener(std::unique_ptr<Listener> tool);

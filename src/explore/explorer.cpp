@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "experiment/experiment.hpp"
+#include "suite/program.hpp"
+
 namespace mtt::explore {
 
 void ExplorerPolicy::onRunStart(std::uint64_t seed) {
@@ -167,6 +170,25 @@ ExploreResult Explorer::explore(
     }
   }
   return result;
+}
+
+ExploreResult exploreSpec(const experiment::RunSpec& spec,
+                          ExploreOptions opts) {
+  auto program = suite::makeProgram(spec.programName);
+  experiment::ToolStack owned;
+  if (opts.tools == nullptr) {
+    owned = experiment::makeToolStack(spec.tool);
+    opts.tools = &owned;
+  }
+  if (spec.runOptions) opts.maxStepsPerRun = spec.runOptions->maxSteps;
+  if (spec.seedBase != 0) opts.seed = spec.seedBase;
+  Explorer ex(opts);
+  return ex.explore(
+      [&](rt::Runtime& rr) { program->body(rr); },
+      [&](const rt::RunResult& r) {
+        return program->evaluate(r) == suite::Verdict::BugManifested;
+      },
+      [&] { program->reset(); });
 }
 
 }  // namespace mtt::explore

@@ -27,6 +27,10 @@
 #include "rt/controlled_runtime.hpp"
 #include "rt/policy.hpp"
 
+namespace mtt::experiment {
+struct RunSpec;
+}  // namespace mtt::experiment
+
 namespace mtt::explore {
 
 struct ExploreOptions {
@@ -113,5 +117,16 @@ class Explorer {
  private:
   ExploreOptions opts_;
 };
+
+/// Spec-driven exploration: resolves the suite program named by `spec`,
+/// builds the tool stack its ToolConfig describes (unless opts.tools is
+/// already set), takes the per-run step limit from spec.runOptions and the
+/// walk seed from spec.seedBase (when nonzero), and uses the program's own
+/// oracle.  This is the RunSpec face of the explorer — the same knob struct
+/// executeRun and the farm consume; exploration-only knobs (enumeration
+/// budget, preemption bound, random walk) stay in ExploreOptions.
+/// spec.tool.policy is ignored: the explorer owns scheduling.
+ExploreResult exploreSpec(const experiment::RunSpec& spec,
+                          ExploreOptions opts = {});
 
 }  // namespace mtt::explore

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "coverage/snapshot.hpp"
 #include "farm/farm.hpp"
 
 namespace mtt::farm {
@@ -81,6 +82,19 @@ std::string toJson(const experiment::RunObservation& o) {
     j += ",\"dispatch_ns_per_event\":" + formatDouble(o.dispatchNsPerEvent);
   }
   j += ",\"attempts\":" + std::to_string(o.attempts);
+  if (!o.coverage.empty()) {
+    // Decoded covered-count for dashboards plus the full hex blob so the
+    // stream is lossless (guide replays/audits read it back).
+    try {
+      auto snap = coverage::Snapshot::decode(o.coverage);
+      j += ",\"coverage_covered\":" + std::to_string(snap.coveredCount());
+      j += ",\"coverage_known\":" + std::to_string(snap.taskCount());
+    } catch (const std::exception&) {
+      // Malformed blob: still emit the raw bytes below.
+    }
+    j += ",\"coverage\":";
+    appendJsonString(j, coverage::toHex(o.coverage));
+  }
   if (!o.failureMessage.empty()) {
     j += ",\"error\":";
     appendJsonString(j, o.failureMessage);
@@ -185,13 +199,19 @@ std::string encodePipeRecord(const experiment::RunObservation& o) {
   line += formatDouble(o.dispatchNsPerEvent);
   line += '\t';
   appendEscaped(line, o.postmortemPath);
+  line += '\t';
+  // Hex, not escaped raw bytes: the blob is binary and the journal format
+  // wants printable payloads.
+  line += coverage::toHex(o.coverage);
   return line;
 }
 
 bool decodePipeRecord(const std::string& line,
                       experiment::RunObservation& o) {
   std::vector<std::string> f = splitFields(line);
-  if (f.size() != 19) return false;
+  // 19 fields: pre-coverage records (journals written by earlier builds);
+  // 20: current format with the trailing coverage snapshot hex.
+  if (f.size() != 19 && f.size() != 20) return false;
   try {
     o.runIndex = std::stoull(f[0]);
     o.seed = std::stoull(f[1]);
@@ -212,6 +232,7 @@ bool decodePipeRecord(const std::string& line,
     o.dispatchDeliveries = std::stoull(f[16]);
     o.dispatchNsPerEvent = std::stod(f[17]);
     o.postmortemPath = unescape(f[18]);
+    o.coverage = f.size() > 19 ? coverage::fromHex(f[19]) : std::string();
   } catch (const std::exception&) {
     return false;
   }

@@ -1,0 +1,52 @@
+#include "guide/bandit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mtt::guide {
+
+Ucb1::Ucb1(std::size_t arms, double exploration)
+    : stats_(arms), exploration_(exploration) {
+  if (arms == 0) throw std::invalid_argument("Ucb1: need at least one arm");
+}
+
+std::size_t Ucb1::assign() {
+  // Round-robin through untried arms first: UCB1's ln(N)/n_i term is
+  // undefined at n_i = 0, and every arm deserves one look.
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    if (stats_[i].pulls == 0) {
+      ++stats_[i].pulls;
+      ++totalPulls_;
+      return i;
+    }
+  }
+  double logN = std::log(static_cast<double>(totalPulls_));
+  std::size_t best = 0;
+  double bestScore = -1.0;
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    double score =
+        stats_[i].meanReward() +
+        exploration_ *
+            std::sqrt(logN / static_cast<double>(stats_[i].pulls));
+    if (score > bestScore) {  // strict: ties keep the lowest index
+      bestScore = score;
+      best = i;
+    }
+  }
+  ++stats_[best].pulls;
+  ++totalPulls_;
+  return best;
+}
+
+void Ucb1::reward(std::size_t arm, double value) {
+  ArmStats& s = stats_.at(arm);
+  ++s.completed;
+  s.totalReward += value;
+}
+
+void Ucb1::assignFixed(std::size_t arm) {
+  ++stats_.at(arm).pulls;
+  ++totalPulls_;
+}
+
+}  // namespace mtt::guide

@@ -1,0 +1,105 @@
+// UCB1 multi-armed bandit — the allocation rule of the guided campaign.
+//
+// Arms are (noise heuristic × strength × optional corpus-schedule mutation)
+// configurations; the reward of a run is 1 when it produced a novel coverage
+// task or a novel failure fingerprint, 0 otherwise.  UCB1 (Auer,
+// Cesa-Bianchi & Fischer 2002) plays the arm maximizing
+//
+//     mean_reward(i) + c * sqrt(ln(N) / n_i)
+//
+// which spends the run budget on whichever configuration is still producing
+// new behavior while periodically revisiting the others — exactly the
+// paper's "use coverage to decide how many times each test should be
+// executed", generalized to *which variant* runs next.
+//
+// Assignment and reward are split (assign() / reward()) because the farm
+// executes runs in batches: the engine assigns a whole batch before any of
+// its rewards exist.  assign() counts a provisional pull so a batch spreads
+// across arms instead of hammering the current argmax; reward() later adds
+// the observed payoff.  Everything is deterministic — ties break toward the
+// lowest arm index, and no wall-clock or global RNG is consulted — which is
+// what makes a guided campaign reproducible from its decision log.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mtt::guide {
+
+struct ArmStats {
+  std::uint64_t pulls = 0;     ///< assigned runs (incl. in-flight)
+  std::uint64_t completed = 0; ///< runs whose reward has been folded
+  double totalReward = 0.0;
+  std::uint64_t novelCoverageRuns = 0;
+  std::uint64_t novelFingerprintRuns = 0;
+  std::uint64_t manifestations = 0;
+
+  double meanReward() const {
+    return completed == 0 ? 0.0
+                          : totalReward / static_cast<double>(completed);
+  }
+};
+
+class Ucb1 {
+ public:
+  /// `exploration` is the c constant; sqrt(2) is the classic choice.
+  explicit Ucb1(std::size_t arms, double exploration);
+
+  /// Picks the next arm and counts a provisional pull.  Untried arms first
+  /// (lowest index), then the UCB1 argmax (ties toward lowest index).
+  std::size_t assign();
+
+  /// Folds the observed reward of a completed pull of `arm`.
+  void reward(std::size_t arm, double value);
+
+  /// Re-plays a logged assignment (decision-log replay / resume): counts
+  /// the pull against `arm` without consulting the argmax.
+  void assignFixed(std::size_t arm);
+
+  std::size_t arms() const { return stats_.size(); }
+  std::uint64_t totalPulls() const { return totalPulls_; }
+  const std::vector<ArmStats>& stats() const { return stats_; }
+  ArmStats& statsOf(std::size_t arm) { return stats_[arm]; }
+
+ private:
+  std::vector<ArmStats> stats_;
+  double exploration_;
+  std::uint64_t totalPulls_ = 0;
+};
+
+/// Good–Turing unseen-mass estimator over task-coverage observations: with
+/// n total observations of which f1 are of tasks seen exactly once, the
+/// probability that the *next* observation is a never-seen task is ~ f1/n
+/// (Good 1953).  The guided campaign's open-universe stopping rule: when
+/// the estimated unseen mass falls below a threshold, more runs are
+/// unlikely to buy new coverage.
+class UnseenMass {
+ public:
+  /// Folds one run: `taskSeenCounts` must be the post-update observation
+  /// counts of the tasks this run covered (the caller owns the task->count
+  /// map; this class only needs the f1 bookkeeping).
+  void observe(std::uint64_t newCount) {
+    ++n_;
+    if (newCount == 1) {
+      ++f1_;
+    } else if (newCount == 2) {
+      // The task just left the seen-once class.
+      --f1_;
+    }
+  }
+
+  std::uint64_t observations() const { return n_; }
+  std::uint64_t seenOnce() const { return f1_; }
+  /// f1/n; 1.0 before any observation (everything is unseen).
+  double estimate() const {
+    return n_ == 0 ? 1.0
+                   : static_cast<double>(f1_) / static_cast<double>(n_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  std::uint64_t f1_ = 0;
+};
+
+}  // namespace mtt::guide

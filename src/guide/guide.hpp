@@ -1,0 +1,193 @@
+// mtt::guide — coverage-guided adaptive campaigns.
+//
+// The paper's coverage section ends with the operational question: "the
+// coverage information could be used to decide how many times each test
+// should be executed" (Section 2.2).  This subsystem answers it, and the
+// dual question of *which variant* to execute, with a feedback loop over
+// the farm:
+//
+//   1. every run's tool stack carries a coverage model; executeRun extracts
+//      a coverage::Snapshot delta that rides in RunObservation::coverage
+//      through the worker pipe, the JSONL stream, and the journal;
+//   2. a UCB1 bandit (src/guide/bandit.hpp) allocates each next run to one
+//      of the configured arms — noise heuristic × strength, plus
+//      corpus-seeded schedule-mutation arms built from triage witnesses —
+//      rewarding arms whose runs still produce novel coverage tasks or
+//      novel failure fingerprints;
+//   3. a Good–Turing unseen-mass estimate of the coverage growth curve
+//      provides the stopping rule: the campaign ends when the budget is
+//      exhausted OR coverage has saturated (--saturate), replacing the
+//      blind `--runs N` with `--budget N` as an upper bound.
+//
+// Determinism: every arm decision is appended to a decision log; replaying
+// a campaign from its log (GuideOptions::replayLogPath) folds records in
+// global run-index order and produces byte-identical timing-free reports
+// for ANY --jobs value.  Journaled guided campaigns resume mid-flight: the
+// journal supplies finished records, the log supplies their arms, and the
+// bandit/coverage state is reconstructed by re-folding — the continuation
+// then proceeds exactly as the uninterrupted campaign would have.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "coverage/snapshot.hpp"
+#include "farm/farm.hpp"
+#include "guide/bandit.hpp"
+#include "rt/policy.hpp"
+
+namespace mtt::guide {
+
+/// One bandit arm: a noise heuristic at a strength, optionally seeded with
+/// a corpus witness schedule that each run replays a random prefix of.
+struct Arm {
+  std::string noise = "none";
+  double strength = 0.25;
+  /// Corpus fingerprint of the witness this arm mutates; empty for the
+  /// plain heuristic×strength arms.
+  std::string mutationFingerprint;
+  /// The witness schedule (mutation arms only; shared across runs).
+  std::shared_ptr<const rt::Schedule> witness;
+
+  /// Stable single-token label ("mixed@0.25", "sleep@0.1~4f2a..."): the
+  /// identity stored in the decision log and checked on replay/resume.
+  std::string label() const;
+};
+
+/// Corpus-seeded schedule mutation: replays a seed-chosen prefix of the
+/// witness schedule, then hands over to a RandomPolicy tail — the classic
+/// "mutate a known-interesting schedule" move, built from the decision
+/// sequences the triage corpus already stores.  Deterministic per seed.
+class MutatedReplayPolicy final : public rt::SchedulePolicy {
+ public:
+  explicit MutatedReplayPolicy(std::shared_ptr<const rt::Schedule> witness)
+      : witness_(std::move(witness)) {}
+  void onRunStart(std::uint64_t seed) override;
+  ThreadId pick(const rt::PickContext& ctx) override;
+  /// Prefix length chosen for the current run (for tests).
+  std::size_t prefixLength() const { return prefixLen_; }
+
+ private:
+  std::shared_ptr<const rt::Schedule> witness_;
+  std::size_t prefixLen_ = 0;
+  std::size_t step_ = 0;
+  bool replaying_ = false;
+  rt::RandomPolicy tail_;
+};
+
+struct GuideOptions {
+  /// Plain arms = heuristics × strengths.
+  std::vector<std::string> heuristics{"yield", "sleep", "mixed",
+                                      "coverage-directed"};
+  std::vector<double> strengths{0.1, 0.25, 0.5};
+  /// Run budget — the campaign never exceeds it ("--budget N").
+  std::uint64_t budget = 200;
+  /// Stop early when coverage saturates ("--saturate"): a closed universe
+  /// stops only when fully covered; an open universe stops when the
+  /// Good–Turing unseen-mass estimate drops below unseenMassThreshold AND
+  /// quietRuns consecutive runs produced no reward.
+  bool saturate = false;
+  std::size_t quietRuns = 24;
+  double unseenMassThreshold = 0.02;
+  /// UCB1 exploration constant (sqrt(2) is the classic choice).
+  double exploration = 1.4142135623730951;
+  /// Triage corpus to harvest mutation arms from ("" = no mutation arms).
+  std::string corpusDir;
+  std::size_t maxMutationArms = 4;
+  /// Where arm decisions are appended ("" = journalPath + ".arms" when
+  /// journaling, else no log).  Required for resume and replay.
+  std::string decisionLogPath;
+  /// Replay a previous campaign's decisions instead of consulting the
+  /// bandit: with the same log and budget, timing-free reports are
+  /// byte-identical for any farm.jobs.
+  std::string replayLogPath;
+  /// Stop at the first manifested bug / failure fingerprint (mtt hunt).
+  bool stopOnFirstFind = false;
+  /// Stop once every fingerprint in this set has been observed (bench
+  /// harnesses: "reach the fixed campaign's bug set in fewer runs").
+  std::set<std::string> targetFingerprints;
+  /// Farm passthrough: jobs, runTimeout, model, jsonl, progress, limits,
+  /// stopFlag... journalPath/resume are honored by the GUIDE (which owns
+  /// the journal so batches share one file); inner batches never journal.
+  farm::FarmOptions farm;
+};
+
+struct ArmReport {
+  Arm arm;
+  ArmStats stats;
+};
+
+struct GuideResult {
+  /// Deterministic merged experiment result (timing-free fields are a pure
+  /// function of the folded record prefix).
+  experiment::ExperimentResult result;
+  /// Folded records in global run-index order.  May be shorter than the
+  /// number of executed runs when a stopping rule fired mid-batch: records
+  /// past the stop index are discarded, which is what keeps the folded
+  /// prefix identical for any --jobs.
+  std::vector<experiment::RunObservation> records;
+  std::vector<ArmReport> arms;
+  coverage::Snapshot coverage;       ///< merged over all folded runs
+  std::set<std::string> fingerprints;///< distinct failure fingerprints seen
+  std::uint64_t budget = 0;
+  bool saturated = false;
+  std::uint64_t saturatedAtRun = 0;  ///< folded-run count when rule fired
+  double unseenMass = 1.0;           ///< final Good–Turing estimate
+  bool targetReached = false;        ///< targetFingerprints all observed
+  bool stoppedEarly = false;         ///< stopFlag / first-find / target
+  bool found = false;                ///< any failure fingerprint observed
+  std::uint64_t firstFindRun = 0;    ///< run index of the first failure
+  std::uint64_t firstFindSeed = 0;
+  std::size_t firstFindArm = 0;
+  std::string firstFindFingerprint;
+  std::size_t resumed = 0;           ///< records served from the journal
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  std::size_t crashes = 0;
+  std::size_t infraErrors = 0;
+  double wallSeconds = 0.0;
+  std::string decisionLogPath;       ///< log actually written ("" if none)
+
+  std::size_t runs() const { return records.size(); }
+};
+
+/// Builds the arm set for a spec: heuristics × strengths, then up to
+/// maxMutationArms corpus-seeded mutation arms for base.programName (sorted
+/// corpus order; unloadable witnesses are skipped).  Deterministic.
+std::vector<Arm> buildArms(const experiment::RunSpec& base,
+                           const GuideOptions& opts);
+
+/// The spec an arm's runs execute under: base with the arm's noise
+/// heuristic/strength substituted and, for mutation arms, the
+/// MutatedReplayPolicy factory installed.
+experiment::RunSpec armSpec(const experiment::RunSpec& base, const Arm& arm);
+
+/// A fresh scheduling policy for one run of `arm` (what armSpec's factory
+/// returns for mutation arms; makePolicy(basePolicy) otherwise).  Exposed
+/// so callers can wrap it in a RecordingPolicy to capture a witness of a
+/// find for the triage corpus.
+std::unique_ptr<rt::SchedulePolicy> makeArmPolicy(const Arm& arm,
+                                                  const std::string& basePolicy);
+
+/// The failure fingerprint of one observation ("" for a clean run):
+/// 16-hex FNV-1a over (status, oracle verdict, normalized outcome,
+/// normalized failure message).  A pure function of the record, so guided
+/// resume and replay re-derive identical bandit rewards from the journal.
+std::string observationFingerprint(const experiment::RunObservation& o);
+
+/// Runs a guided campaign.  base.tool.coverage defaults to "switch-pair"
+/// when unset (the guide needs a coverage signal).  Throws
+/// std::runtime_error on configuration errors (unknown names, digest
+/// mismatch on resume/replay, decision log missing for journaled runs).
+GuideResult runGuided(const experiment::RunSpec& base,
+                      const GuideOptions& opts);
+
+/// Renders the per-arm allocation table plus the campaign summary
+/// (coverage, saturation, first find).  timing=false omits wall-clock
+/// lines for byte-stable reports.
+std::string guideReport(const GuideResult& g, bool timing = true);
+
+}  // namespace mtt::guide

@@ -72,6 +72,19 @@ class NoiseMaker : public Listener {
 
   std::uint64_t injections() const { return injections_; }
 
+  /// Re-tunes the heuristic in place (between runs, never mid-run): the
+  /// guide engine's bandit rebinds strength per leased stack instead of
+  /// reallocating a noise maker per arm.  The per-run RNG stream depends
+  /// only on the run seed, so retuning keeps seed determinism.
+  void setOptions(const NoiseOptions& opts) {
+    std::lock_guard<std::mutex> lk(mu_);
+    opts_ = opts;
+  }
+  NoiseOptions options() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return opts_;
+  }
+
  protected:
   /// Decides whether/how to perturb at this event; kNone for no noise.
   /// Called with the internal lock held; implementations use rng() freely.
@@ -94,7 +107,7 @@ class NoiseMaker : public Listener {
   Rng rng_{0};
   RuntimeMode mode_ = RuntimeMode::Native;
   std::uint64_t injections_ = 0;
-  std::mutex mu_;  // native mode: events arrive concurrently
+  mutable std::mutex mu_;  // native mode: events arrive concurrently
 };
 
 /// No perturbation at all — the baseline every experiment compares against.

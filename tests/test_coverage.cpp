@@ -1,6 +1,8 @@
 // Tests for the concurrency coverage models and the cross-run accumulator.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "coverage/coverage.hpp"
 #include "model/static.hpp"
 #include "rt/harness.hpp"
@@ -45,7 +47,7 @@ TEST(VarContention, SharedVarCoveredLocalNot) {
     rt::RunOptions o;
     o.seed = s;
     rt->run(contentionBody, o);
-    auto covered = cov.covered();
+    auto covered = cov.snapshot().covered;
     EXPECT_EQ(covered.count("local"), 0u) << "seed " << s;
     if (covered.count("shared")) return;  // found a contended schedule
   }
@@ -67,7 +69,7 @@ TEST(VarContention, SequentialAccessIsNotContention) {
         x.write(2);  // > window events after t's write
       },
       rt::RunOptions{});
-  EXPECT_EQ(cov.covered().count("x"), 0u);
+  EXPECT_EQ(cov.snapshot().covered.count("x"), 0u);
 }
 
 TEST(SyncContention, FreeAndBlockedTasks) {
@@ -77,8 +79,8 @@ TEST(SyncContention, FreeAndBlockedTasks) {
   SyncContentionCoverage cov(namesOf(*rt));
   rt->hooks().add(&cov);
   rt->run(contentionBody, rt::RunOptions{});
-  EXPECT_EQ(cov.covered().count("m/free"), 1u);
-  EXPECT_EQ(cov.covered().count("m/blocked"), 0u);
+  EXPECT_EQ(cov.snapshot().covered.count("m/free"), 1u);
+  EXPECT_EQ(cov.snapshot().covered.count("m/blocked"), 0u);
 
   bool blockedSeen = false;
   for (std::uint64_t s = 0; s < 30 && !blockedSeen; ++s) {
@@ -88,7 +90,7 @@ TEST(SyncContention, FreeAndBlockedTasks) {
     rt::RunOptions o;
     o.seed = s;
     rt2->run(contentionBody, o);
-    blockedSeen = cov2.covered().count("m/blocked") != 0;
+    blockedSeen = cov2.snapshot().covered.count("m/blocked") != 0;
   }
   EXPECT_TRUE(blockedSeen);
 }
@@ -106,7 +108,7 @@ TEST(SyncContention, SemaphoreBlockedAcquire) {
         t.join();
       },
       rt::RunOptions{});
-  EXPECT_EQ(cov.covered().count("sem/blocked"), 1u);
+  EXPECT_EQ(cov.snapshot().covered.count("sem/blocked"), 1u);
 }
 
 TEST(LockPair, NestedOrderObserved) {
@@ -120,8 +122,8 @@ TEST(LockPair, NestedOrderObserved) {
         LockGuard gb(b);
       },
       rt::RunOptions{});
-  EXPECT_EQ(cov.covered().count("A<B"), 1u);
-  EXPECT_EQ(cov.covered().count("B<A"), 0u);
+  EXPECT_EQ(cov.snapshot().covered.count("A<B"), 1u);
+  EXPECT_EQ(cov.snapshot().covered.count("B<A"), 0u);
 }
 
 TEST(SwitchPair, CoversOnlyCrossThreadAdjacency) {
@@ -149,7 +151,7 @@ TEST(SitePoint, CoversExecutedSites) {
       },
       rt::RunOptions{});
   bool found = false;
-  for (const auto& t : cov.covered()) {
+  for (const auto& t : cov.snapshot().covered) {
     if (t.find("covtest.write") != std::string::npos) found = true;
   }
   EXPECT_TRUE(found);
@@ -175,7 +177,7 @@ TEST(ClosedUniverse, StaticFeasibilityFiltersTasks) {
   rt->run(contentionBody, o);
   // Ratio is now meaningful: covered/feasible, not covered/all.
   EXPECT_LE(cov.ratio(), 1.0);
-  EXPECT_EQ(cov.known().count("local"), 0u);
+  EXPECT_EQ(cov.snapshot().known.count("local"), 0u);
 }
 
 TEST(Accumulator, GrowthCurveAndSaturation) {
@@ -219,6 +221,171 @@ TEST(Accumulator, SaturationDetectsQuietTail) {
   }
   EXPECT_EQ(acc.saturationRun(3), 4u);  // runs 4,5,6 added nothing
 }
+
+TEST(Snapshot, EncodeDecodeRoundTrip) {
+  Snapshot s;
+  s.known = {"a", "b/blocked", "long task name with spaces", "τ-unicode"};
+  s.covered = {"a", "long task name with spaces"};
+  s.closed = true;
+  s.outsideUniverse = 3;
+  Snapshot back = Snapshot::decode(s.encode());
+  EXPECT_EQ(back, s);
+
+  Snapshot empty;
+  EXPECT_EQ(Snapshot::decode(empty.encode()), empty);
+}
+
+TEST(Snapshot, EncodeRejectsCoveredOutsideKnown) {
+  Snapshot s;
+  s.known = {"a"};
+  s.covered = {"a", "stray"};
+  EXPECT_THROW(s.encode(), std::logic_error);
+}
+
+TEST(Snapshot, MergeUnionsAndSumsInfeasibleHits) {
+  Snapshot a;
+  a.known = {"x", "y"};
+  a.covered = {"x"};
+  a.outsideUniverse = 2;
+  Snapshot b;
+  b.known = {"y", "z"};
+  b.covered = {"z"};
+  b.closed = true;
+  b.outsideUniverse = 1;
+  a.merge(b);
+  EXPECT_EQ(a.known, (std::set<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(a.covered, (std::set<std::string>{"x", "z"}));
+  EXPECT_TRUE(a.closed);
+  EXPECT_EQ(a.outsideUniverse, 3u);
+}
+
+TEST(Snapshot, NoveltyCountsTasksThePriorLacked) {
+  Snapshot prior;
+  prior.known = prior.covered = {"a", "b"};
+  Snapshot run;
+  run.known = run.covered = {"b", "c", "d"};
+  EXPECT_EQ(run.novelty(prior), 2u);
+  EXPECT_EQ(prior.novelty(run), 1u);
+  EXPECT_EQ(run.novelty(run), 0u);
+}
+
+TEST(Snapshot, CompleteOnlyForCoveredClosedUniverses) {
+  Snapshot s;
+  s.known = s.covered = {"a"};
+  EXPECT_FALSE(s.complete());  // open: no notion of done
+  s.closed = true;
+  EXPECT_TRUE(s.complete());
+  s.known.insert("b");
+  EXPECT_FALSE(s.complete());
+}
+
+TEST(Snapshot, DecodeRejectsEveryTruncation) {
+  Snapshot s;
+  s.known = {"alpha", "beta", "gamma"};
+  s.covered = {"beta"};
+  s.outsideUniverse = 300;  // forces a multi-byte varint
+  const std::string bytes = s.encode();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(Snapshot::decode(std::string_view(bytes.data(), len)),
+                 std::runtime_error)
+        << "prefix of length " << len << " decoded";
+  }
+  EXPECT_THROW(Snapshot::decode(bytes + "x"), std::runtime_error);
+}
+
+TEST(Snapshot, DecodeSurvivesSingleByteCorruption) {
+  // Every single-byte mutation must either decode to *some* snapshot or
+  // throw std::runtime_error — never crash or loop (the ASan job in CI
+  // runs this as the decoder fuzz smoke).
+  Snapshot s;
+  s.known = {"alpha", "beta", "gamma", "delta"};
+  s.covered = {"beta", "delta"};
+  s.closed = true;
+  const std::string bytes = s.encode();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int delta : {1, 0x55, 0xFF}) {
+      std::string mut = bytes;
+      mut[i] = static_cast<char>(static_cast<unsigned char>(mut[i]) ^ delta);
+      try {
+        (void)Snapshot::decode(mut);
+      } catch (const std::runtime_error&) {
+        // rejected: fine
+      }
+    }
+  }
+}
+
+TEST(Snapshot, HexTransportRoundTrips) {
+  const std::string raw("\x00\x7f\xff MSNP", 8);
+  EXPECT_EQ(fromHex(toHex(raw)), raw);
+  EXPECT_THROW(fromHex("abc"), std::runtime_error);   // odd length
+  EXPECT_THROW(fromHex("zz"), std::runtime_error);    // non-hex
+}
+
+TEST(ResetTool, PreservesOpenUniverseAcrossRuns) {
+  // Regression: resetTool used to wipe known_, so a pooled (reused) stack
+  // restarted the task universe from scratch between farm runs while a
+  // build-per-run stack kept discovering the same tasks — the growth curve
+  // never converged.  Only per-run state may clear.
+  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+  VarContentionCoverage cov(namesOf(*rt));
+  rt->hooks().add(&cov);
+  std::uint64_t seed = 0;
+  for (; seed < 20; ++seed) {
+    rt::RunOptions o;
+    o.seed = seed;
+    rt->run(contentionBody, o);
+    if (cov.coveredCount() > 0) break;
+  }
+  ASSERT_GT(cov.taskCount(), 0u);
+  const std::size_t tasksBefore = cov.taskCount();
+
+  cov.resetTool();
+  EXPECT_EQ(cov.taskCount(), tasksBefore) << "resetTool dropped known tasks";
+  EXPECT_EQ(cov.coveredCount(), 0u);
+  EXPECT_EQ(cov.snapshot().outsideUniverse, 0u);
+}
+
+TEST(ResetTool, ReusedStackMatchesBuildPerRunSnapshots) {
+  // The farm byte-determinism contract: a pooled model that has seen other
+  // runs produces the same runSnapshot() for seed s as a fresh model.
+  auto freshRun = [](std::uint64_t seed) {
+    auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+    VarContentionCoverage cov(namesOf(*rt));
+    rt->hooks().add(&cov);
+    rt::RunOptions o;
+    o.seed = seed;
+    rt->run(contentionBody, o);
+    return cov.runSnapshot();
+  };
+
+  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+  VarContentionCoverage reused(namesOf(*rt));
+  rt->hooks().add(&reused);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    reused.resetTool();
+    rt::RunOptions o;
+    o.seed = seed;
+    rt->run(contentionBody, o);
+    EXPECT_EQ(reused.runSnapshot(), freshRun(seed)) << "seed " << seed;
+  }
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(DeprecatedShims, CoveredAndKnownStillAnswer) {
+  // The legacy accessors survive one release as shims; this is their only
+  // sanctioned call site.
+  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
+  VarContentionCoverage cov(namesOf(*rt));
+  rt->hooks().add(&cov);
+  rt::RunOptions o;
+  o.seed = 4;
+  rt->run(contentionBody, o);
+  EXPECT_EQ(cov.covered(), cov.snapshot().covered);
+  EXPECT_EQ(cov.known(), cov.snapshot().known);
+}
+#pragma GCC diagnostic pop
 
 TEST(Accumulator, NoSaturationWhileGrowing) {
   CoverageAccumulator acc;

@@ -33,6 +33,7 @@
 #include "experiment/experiment.hpp"
 #include "farm/farm.hpp"
 #include "explore/explorer.hpp"
+#include "guide/guide.hpp"
 #include "model/checker.hpp"
 #include "model/static.hpp"
 #include "noise/noise.hpp"
@@ -133,6 +134,8 @@ int usage() {
       "                [--jobs N] [--timeout-ms T] [--jsonl FILE]\n"
       "                [--corpus DIR] [--shrink] [--journal FILE]\n"
       "                [--resume FILE] [--postmortem-dir DIR]\n"
+      "                [--guide] [--budget N] [--saturate] [--coverage M]\n"
+      "                [--guide-log FILE] [--guide-replay FILE]\n"
       "  replay <program> <scenario-file> [--seed N] [--noise H] [--strength F]\n"
       "  shrink <program> <scenario-file> [--jobs N] [--out FILE]\n"
       "                [--corpus DIR] [--keep-noise] [--max-validations N]\n"
@@ -146,6 +149,7 @@ int usage() {
       "                [--detectors a,b,c] [--jobs N] [--timeout-ms T]\n"
       "                [--jsonl FILE] [--isolate] [--progress] [--no-timing]\n"
       "                [--journal FILE] [--resume FILE]\n"
+      "                [--adaptive] [--budget N] [--saturate] [--coverage M]\n"
       "  check <program>                        static + model checking\n"
       "\n"
       "  farm flags: --jobs N shards runs over N workers (0 = all cores);\n"
@@ -164,7 +168,18 @@ int usage() {
       "\n"
       "  triage flags: --corpus DIR files each counterexample under its\n"
       "  failure fingerprint (dedup keeps the smallest witness); --shrink\n"
-      "  ddmin-minimizes the schedule before filing/saving it.\n",
+      "  ddmin-minimizes the schedule before filing/saving it.\n"
+      "\n"
+      "  guided flags: --guide / --adaptive run a coverage-guided campaign —\n"
+      "  a UCB1 bandit over noise-heuristic x strength arms (plus corpus-\n"
+      "  seeded schedule-mutation arms with --corpus) spends --budget N runs\n"
+      "  where novel coverage or failure fingerprints still appear;\n"
+      "  --saturate stops early when coverage saturates (closed universes:\n"
+      "  full coverage; open: Good-Turing unseen mass < --unseen-threshold).\n"
+      "  --coverage M picks the model (default switch-pair); --closed-\n"
+      "  universe declares the static task universe.  Arm decisions append\n"
+      "  to --guide-log FILE (default: <journal>.arms); --guide-replay FILE\n"
+      "  re-runs a logged campaign byte-identically for any --jobs.\n",
       stderr);
   return 2;
 }
@@ -243,6 +258,26 @@ RuntimeMode parseMode(const Args& a) {
                            "' (valid: controlled, native)");
 }
 
+// The one flag table every run-executing subcommand (run, hunt, explore,
+// experiment) shares: --mode/--policy/--noise/--strength/--detectors/
+// --lock-graph/--coverage/--closed-universe/--seed-base all land in the
+// same experiment::RunSpec, so a flag means the same thing everywhere.
+experiment::RunSpec runSpecFromArgs(const Args& a,
+                                    const std::string& defaultPolicy) {
+  experiment::RunSpec spec;
+  if (!a.positional.empty()) spec.programName = a.positional[0];
+  spec.tool.mode = parseMode(a);
+  spec.tool.policy = a.get("policy", defaultPolicy);
+  spec.tool.noiseName = a.get("noise", "none");
+  spec.tool.noiseOpts.strength = a.getF("strength", 0.25);
+  spec.tool.detectors = splitList(a.get("detectors", ""));
+  spec.tool.lockGraph = a.has("lock-graph");
+  spec.tool.coverage = a.get("coverage", "");
+  spec.tool.coverageClosedUniverse = a.has("closed-universe");
+  spec.seedBase = a.getU64("seed-base", 0);
+  return spec;
+}
+
 farm::FarmOptions farmOptions(const Args& a) {
   farm::FarmOptions fo;
   fo.jobs = static_cast<std::size_t>(a.getU64("jobs", 0));
@@ -293,23 +328,17 @@ int interruptedEpilogue(const farm::CampaignResult& cr,
 }
 
 RunSetup makeSetup(const Args& a, rt::SchedulePolicy* policyRef) {
+  experiment::RunSpec spec = runSpecFromArgs(a, "random");
+  experiment::validateToolConfig(spec.tool);
   RunSetup s;
-  RuntimeMode mode = parseMode(a);
   std::unique_ptr<rt::SchedulePolicy> policy;
   if (policyRef != nullptr) {
     policy = std::make_unique<rt::PolicyRef>(*policyRef);
-  } else if (mode == RuntimeMode::Controlled) {
-    policy = experiment::makePolicy(a.get("policy", "random"));
+  } else if (spec.tool.mode == RuntimeMode::Controlled) {
+    policy = experiment::makePolicy(spec.tool.policy);
   }
-  s.runtime = rt::makeRuntime(mode, std::move(policy));
-  experiment::ToolStackBuilder b;
-  std::string noiseName = a.get("noise", "none");
-  if (noiseName != "none") {
-    noise::NoiseOptions no;
-    no.strength = a.getF("strength", 0.25);
-    b.noise(noiseName, no);
-  }
-  s.tools = b.build();
+  s.runtime = rt::makeRuntime(spec.tool.mode, std::move(policy));
+  s.tools = experiment::makeToolStack(spec.tool);
   s.tools.attach(*s.runtime);
   return s;
 }
@@ -420,20 +449,138 @@ void triageScenario(const Args& a, const replay::Scenario& sc,
   }
 }
 
+// Builds the guide options every adaptive subcommand (hunt --guide,
+// experiment --adaptive) shares.
+guide::GuideOptions guideOptionsFromArgs(const Args& a,
+                                         std::uint64_t defaultBudget) {
+  guide::GuideOptions go;
+  go.budget = a.getU64("budget", defaultBudget);
+  go.saturate = a.has("saturate");
+  if (a.has("heuristics")) go.heuristics = splitList(a.get("heuristics", ""));
+  if (a.has("strengths")) {
+    go.strengths.clear();
+    for (const std::string& s : splitList(a.get("strengths", ""))) {
+      try {
+        go.strengths.push_back(std::stod(s));
+      } catch (const std::exception&) {
+        throw std::runtime_error("--strengths expects numbers, got '" + s +
+                                 "'");
+      }
+    }
+  }
+  if (a.has("corpus")) go.corpusDir = a.get("corpus", "corpus");
+  go.maxMutationArms =
+      static_cast<std::size_t>(a.getU64("mutation-arms", 4));
+  go.decisionLogPath = a.get("guide-log", "");
+  go.replayLogPath = a.get("guide-replay", "");
+  go.quietRuns = static_cast<std::size_t>(a.getU64("quiet-runs", 24));
+  go.unseenMassThreshold = a.getF("unseen-threshold", 0.02);
+  go.farm = farmOptions(a);
+  return go;
+}
+
+// Re-executes a guided find under a RecordingPolicy to capture its witness
+// schedule + signature (the guide's campaign runs record no schedules —
+// controlled mode makes the (arm, seed) pair reproducible on demand).
+triage::ProbeResult recordGuidedFind(const experiment::RunSpec& base,
+                                     const guide::Arm& arm,
+                                     std::uint64_t seed) {
+  auto p = suite::makeProgram(base.programName);
+  p->reset();
+  auto rec = std::make_unique<rt::RecordingPolicy>(
+      guide::makeArmPolicy(arm, base.tool.policy));
+  rt::RecordingPolicy* recPtr = rec.get();
+  rt::ControlledRuntime rtc(std::move(rec));
+  triage::SignatureCollector collector;
+  experiment::ToolStackBuilder b;
+  b.borrowed(&collector);
+  if (arm.noise != "none") {
+    noise::NoiseOptions no = base.tool.noiseOpts;
+    no.strength = arm.strength;
+    b.noise(arm.noise, no);
+  }
+  experiment::ToolStack tools = b.build();
+  tools.attach(rtc);
+  rt::RunOptions o = p->defaultRunOptions();
+  o.seed = seed;
+  o.programName = p->name();
+  rt::RunResult r = rtc.run([&](rt::Runtime& rr) { p->body(rr); }, o);
+  triage::ProbeResult out;
+  out.result = r;
+  out.recorded = recPtr->schedule();
+  out.outcome = p->outcome();
+  out.signature = triage::makeSignature(
+      r, p->evaluate(r) == suite::Verdict::BugManifested, out.outcome,
+      collector.bugSiteTags());
+  return out;
+}
+
+int cmdHuntGuided(const Args& a) {
+  experiment::RunSpec base = runSpecFromArgs(a, "random");
+  guide::GuideOptions go =
+      guideOptionsFromArgs(a, a.getU64("seeds", 500));
+  go.stopOnFirstFind = true;
+  guide::GuideResult g = guide::runGuided(base, go);
+  std::fputs(guide::guideReport(g, !a.has("no-timing")).c_str(), stdout);
+  if (!g.decisionLogPath.empty()) {
+    std::printf("decision log: %s\n", g.decisionLogPath.c_str());
+  }
+  if (!g.found) {
+    if (g_stopRequested.load()) {
+      std::fprintf(stderr,
+                   "mtt: interrupted; %zu of %llu guided run(s) folded\n",
+                   g.runs(), static_cast<unsigned long long>(g.budget));
+      if (!go.farm.journalPath.empty()) {
+        std::fprintf(stderr, "mtt: resume with: --resume %s\n",
+                     go.farm.journalPath.c_str());
+      }
+      return kInterruptedExit;
+    }
+    std::printf("no manifestation in %zu guided runs%s\n", g.runs(),
+                g.saturated ? " (coverage saturated)" : "");
+    return 1;
+  }
+  // Record the find as a v2 scenario, exactly as the fixed-budget hunt
+  // does, so --shrink / --corpus triage applies unchanged.
+  const guide::Arm& arm = g.arms[g.firstFindArm].arm;
+  triage::ProbeResult rec = recordGuidedFind(base, arm, g.firstFindSeed);
+  replay::Scenario sc;
+  sc.program = base.programName;
+  sc.seed = g.firstFindSeed;
+  sc.policy = arm.witness ? "mutated-replay" : base.tool.policy;
+  sc.noise = arm.noise;
+  sc.strength = arm.strength;
+  sc.schedule = rec.recorded;
+  std::string outPath =
+      a.get("out", sc.program + ".seed" + std::to_string(g.firstFindSeed) +
+                       ".scenario");
+  replay::saveScenario(sc, outPath);
+  std::printf(
+      "bug manifested at run %llu (seed %llu, arm %s) of %zu guided runs\n"
+      "scenario saved to %s (%zu decisions)\n"
+      "fingerprint %s (%s)\n"
+      "replay with: mtt replay %s %s\n",
+      static_cast<unsigned long long>(g.firstFindRun),
+      static_cast<unsigned long long>(g.firstFindSeed), arm.label().c_str(),
+      g.runs(), outPath.c_str(), sc.schedule.size(),
+      rec.signature.fingerprint().c_str(),
+      std::string(to_string(rec.signature.kind)).c_str(),
+      sc.program.c_str(), outPath.c_str());
+  triageScenario(a, sc, rec.signature, outPath);
+  return 0;
+}
+
 int cmdHunt(const Args& a) {
   if (a.positional.empty()) return usage();
+  if (a.has("guide") || a.has("guide-replay")) return cmdHuntGuided(a);
   auto p = suite::makeProgram(a.positional[0]);
   std::uint64_t seeds = a.getU64("seeds", 500);
 
   // The seed scan is a farm campaign: sharded over --jobs workers, stopped
   // at the first manifestation, optionally streamed to --jsonl.
   experiment::ExperimentSpec spec;
-  spec.programName = p->name();
+  static_cast<experiment::RunSpec&>(spec) = runSpecFromArgs(a, "random");
   spec.runs = seeds;
-  spec.tool.mode = RuntimeMode::Controlled;
-  spec.tool.policy = a.get("policy", "random");
-  spec.tool.noiseName = a.get("noise", "none");
-  spec.tool.noiseOpts.strength = a.getF("strength", 0.25);
   experiment::validateToolConfig(spec.tool);
 
   std::optional<std::uint64_t> found;
@@ -615,19 +762,14 @@ int cmdExplore(const Args& a) {
   if (!a.has("bound")) o.preemptionBound = -1;
   o.maxSchedules = a.getU64("budget", 20'000);
   o.randomWalk = a.has("random-walk");
-  // Optional detectors ride along with the search; their final state
-  // describes the counterexample run when a bug stops the search.
-  experiment::ToolStackBuilder tb;
-  for (const auto& d : splitList(a.get("detectors", ""))) tb.detector(d);
-  experiment::ToolStack tools = tb.build();
+  // The shared flag table drives the search too: detectors (whose final
+  // state describes the counterexample run), coverage models, noise — all
+  // through the same RunSpec the other subcommands consume.
+  experiment::RunSpec spec = runSpecFromArgs(a, "random");
+  experiment::validateToolConfig(spec.tool);
+  experiment::ToolStack tools = experiment::makeToolStack(spec.tool);
   if (!tools.empty()) o.tools = &tools;
-  explore::Explorer ex(o);
-  explore::ExploreResult r = ex.explore(
-      [&](rt::Runtime& rr) { p->body(rr); },
-      [&](const rt::RunResult& res) {
-        return p->evaluate(res) == suite::Verdict::BugManifested;
-      },
-      [&] { p->reset(); });
+  explore::ExploreResult r = explore::exploreSpec(spec, o);
   if (r.bugFound) {
     for (race::RaceDetector* det : tools.detectors()) {
       std::printf("detector %s: %zu warning(s) on the counterexample run\n",
@@ -865,8 +1007,35 @@ int cmdAnalyze(const Args& a) {
 
 // --- experiment / check --------------------------------------------------------------
 
+// experiment --adaptive: one guided campaign replaces the per-heuristic
+// fixed-budget rows — the bandit decides how the budget splits across
+// heuristics and strengths, and --saturate stops when coverage stalls.
+int cmdExperimentAdaptive(const Args& a) {
+  experiment::RunSpec base = runSpecFromArgs(a, "rr");
+  guide::GuideOptions go = guideOptionsFromArgs(a, a.getU64("runs", 100));
+  if (a.has("noise")) go.heuristics = splitList(a.get("noise", ""));
+  guide::GuideResult g = guide::runGuided(base, go);
+  std::fputs(guide::guideReport(g, !a.has("no-timing")).c_str(), stdout);
+  experiment::ReportOptions ro;
+  ro.timing = !a.has("no-timing");
+  std::fputs(experiment::findRateReport(
+                 "adaptive experiment / " + base.programName, {g.result}, ro)
+                 .c_str(),
+             stdout);
+  if (g_stopRequested.load()) {
+    std::fprintf(stderr, "mtt: interrupted; the report above is partial\n");
+    if (!go.farm.journalPath.empty()) {
+      std::fprintf(stderr, "mtt: resume with: --resume %s\n",
+                   go.farm.journalPath.c_str());
+    }
+    return kInterruptedExit;
+  }
+  return 0;
+}
+
 int cmdExperiment(const Args& a) {
   if (a.positional.empty()) return usage();
+  if (a.has("adaptive")) return cmdExperimentAdaptive(a);
   std::vector<std::string> heuristics =
       a.has("noise") ? splitList(a.get("noise", ""))
                      : std::vector<std::string>{"none", "yield", "sleep",
@@ -878,15 +1047,12 @@ int cmdExperiment(const Args& a) {
   bool interrupted = false;
   std::string journalHint;
   bool first = true;
+  experiment::RunSpec base = runSpecFromArgs(a, "rr");
   for (const auto& h : heuristics) {
     experiment::ExperimentSpec spec;
-    spec.programName = a.positional[0];
+    static_cast<experiment::RunSpec&>(spec) = base;
     spec.runs = a.getU64("runs", 100);
-    spec.tool.mode = parseMode(a);
-    spec.tool.policy = a.get("policy", "rr");
     spec.tool.noiseName = h;
-    spec.tool.noiseOpts.strength = a.getF("strength", 0.25);
-    spec.tool.detectors = detectors;
     experiment::validateToolConfig(spec.tool);
     if (!farmRequested(a)) {
       rows.push_back(experiment::runExperiment(spec));
