@@ -1,0 +1,170 @@
+// E12 — the fleet dispatch tax: what does moving a campaign's runs across
+// a socket cost per run, and how fast can the coordinator fold the records
+// coming back?
+//
+// Two measurements:
+//   (a) socket-dispatch overhead — the same campaign through the serial
+//       farm (`--jobs 1`) and through a coordinator + one local worker on
+//       a unix socket.  The delta, divided by the run count, is the per-run
+//       price of framing + wire + reorder-buffered fold; the timing-free
+//       reports must stay byte-identical (the fleet's core claim).
+//   (b) fold throughput — RECORD payload decode + experiment::accumulate,
+//       the coordinator's per-record hot path, over pre-encoded payloads.
+//       This bounds how large a fleet one coordinator can feed.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "experiment/experiment.hpp"
+#include "farm/farm.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/protocol.hpp"
+#include "fleet/worker.hpp"
+#include "suite/program.hpp"
+
+using namespace mtt;
+
+namespace {
+
+experiment::ExperimentSpec campaignSpec(std::size_t runs) {
+  experiment::ExperimentSpec spec;
+  spec.programName = "bounded_buffer_bug";
+  spec.runs = runs;
+  spec.seedBase = 1;
+  spec.tool.policy = "random";
+  spec.tool.noiseName = "mixed";
+  spec.tool.noiseOpts.strength = 0.3;
+  return spec;
+}
+
+std::string reportLine(const experiment::ExperimentResult& r) {
+  experiment::ReportOptions ro;
+  ro.timing = false;
+  return experiment::findRateReport("x", {r}, ro);
+}
+
+}  // namespace
+
+int main() {
+  suite::registerBuiltins();
+  const std::size_t kRuns = 800;
+  std::printf(
+      "E12: fleet dispatch overhead and coordinator fold throughput\n"
+      "(%zu controlled runs of bounded_buffer_bug with mixed noise).\n\n",
+      kRuns);
+
+  const auto spec = campaignSpec(kRuns);
+  const std::string sock =
+      (std::filesystem::temp_directory_path() /
+       ("bench-fleet-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+
+  // --- (a) serial farm vs. coordinator + one local worker ----------------
+  double farmSec = 1e300;
+  farm::ExperimentCampaign farmRun;
+  for (int rep = 0; rep < 3; ++rep) {
+    farm::FarmOptions fo;
+    fo.jobs = 1;
+    farm::ExperimentCampaign ec = farm::runExperimentFarm(spec, fo);
+    if (ec.campaign.wallSeconds < farmSec) {
+      farmSec = ec.campaign.wallSeconds;
+      farmRun = std::move(ec);
+    }
+  }
+
+  double fleetSec = 1e300;
+  farm::ExperimentCampaign fleetRun;
+  for (int rep = 0; rep < 3; ++rep) {
+    fleet::FleetOptions fl;
+    fl.listen = "unix:" + sock;
+    std::thread worker([&sock] {
+      fleet::WorkerOptions wo;
+      wo.connect = "unix:" + sock;
+      fleet::runWorker(wo);
+    });
+    farm::ExperimentCampaign ec = fleet::runExperimentFleet(spec, fl);
+    worker.join();
+    if (ec.campaign.wallSeconds < fleetSec) {
+      fleetSec = ec.campaign.wallSeconds;
+      fleetRun = std::move(ec);
+    }
+  }
+  std::filesystem::remove(sock);
+
+  const bool identical =
+      reportLine(farmRun.result) == reportLine(fleetRun.result);
+  const double perRunUs = (fleetSec - farmSec) / kRuns * 1e6;
+
+  TextTable t("E12 / socket dispatch vs. in-process farm (best of 3)");
+  t.header({"path", "wall s", "runs/s", "per-run overhead", "identical"});
+  t.row({"farm --jobs 1", TextTable::num(farmSec, 3),
+         TextTable::num(kRuns / farmSec, 0), "-", "-"});
+  t.row({"fleet, 1 worker", TextTable::num(fleetSec, 3),
+         TextTable::num(kRuns / fleetSec, 0),
+         TextTable::num(perRunUs, 1) + " us", identical ? "yes" : "NO"});
+  t.print();
+  std::printf(
+      "\nThe overhead column prices one lease/record round trip: frame\n"
+      "encode + unix-socket write + coordinator decode + reorder-buffer\n"
+      "fold.  Expected well under 1 ms/run — microsecond-scale controlled\n"
+      "runs should not be dominated by their own transport.\n");
+
+  // --- (b) coordinator fold throughput -----------------------------------
+  // Pre-encode RECORD payloads from real observations, then time the
+  // coordinator's receive path: decodeRecord + accumulate.
+  std::vector<std::string> payloads;
+  payloads.reserve(farmRun.campaign.records.size());
+  for (const experiment::RunObservation& obs : farmRun.campaign.records) {
+    payloads.push_back(fleet::encodeRecord(1, obs));
+  }
+  const std::size_t kFold = 200000;
+  experiment::ExperimentResult fold;
+  Stopwatch foldClock;
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < kFold; ++i) {
+    std::uint64_t leaseId = 0;
+    experiment::RunObservation obs;
+    std::string err;
+    if (!fleet::decodeRecord(payloads[i % payloads.size()], leaseId, obs,
+                             err)) {
+      ++bad;
+      continue;
+    }
+    experiment::accumulate(fold, obs);
+  }
+  const double foldSec = foldClock.elapsedSeconds();
+  const double foldRate = kFold / foldSec;
+  std::printf(
+      "\nfold throughput: %zu records in %.3f s = %.0f records/s"
+      " (%zu decode failures)\n"
+      "At ~%.0f runs/s per serial worker, one coordinator keeps roughly\n"
+      "%.0f such workers saturated before the fold itself is the ceiling.\n",
+      kFold, foldSec, foldRate, bad, kRuns / farmSec,
+      foldRate / (kRuns / farmSec));
+
+  const bool pass = identical && bad == 0 && perRunUs < 1000.0;
+  std::ofstream js("BENCH_fleet.json");
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"bench\": \"fleet\",\n  \"runs\": %zu,\n"
+                "  \"farm_jobs1_wall_s\": %.4f,\n"
+                "  \"fleet_1worker_wall_s\": %.4f,\n"
+                "  \"per_run_overhead_us\": %.1f,\n"
+                "  \"target_overhead_us\": 1000,\n"
+                "  \"reports_identical\": %s,\n"
+                "  \"fold_records_per_s\": %.0f,\n"
+                "  \"pass\": %s\n}\n",
+                kRuns, farmSec, fleetSec, perRunUs,
+                identical ? "true" : "false", foldRate,
+                pass ? "true" : "false");
+  js << buf;
+  std::printf("wrote BENCH_fleet.json\n");
+  return pass ? 0 : 1;
+}

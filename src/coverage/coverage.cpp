@@ -37,19 +37,6 @@ Snapshot CoverageModel::runSnapshot() const {
   return s;
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-std::set<std::string> CoverageModel::covered() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return covered_;
-}
-
-std::set<std::string> CoverageModel::known() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return known_;
-}
-#pragma GCC diagnostic pop
-
 std::size_t CoverageModel::coveredCount() const {
   std::lock_guard<std::mutex> lk(mu_);
   return covered_.size();

@@ -57,11 +57,6 @@ class CoverageModel : public Listener {
   /// the same run, which is what keeps farm records byte-deterministic.
   Snapshot runSnapshot() const;
 
-  [[deprecated("copies a set under the model mutex; migrate to snapshot()")]]
-  std::set<std::string> covered() const;
-  [[deprecated("copies a set under the model mutex; migrate to snapshot()")]]
-  std::set<std::string> known() const;
-
   std::size_t coveredCount() const;
   std::size_t taskCount() const;
   /// coveredCount / taskCount; 0 when the universe is empty.

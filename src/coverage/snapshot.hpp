@@ -1,8 +1,8 @@
 // coverage::Snapshot — the value-type coverage result of one (or many) runs.
 //
-// The old CoverageModel::covered()/known() accessors copied whole string
-// sets under the model mutex and left merging/novelty logic to every call
-// site.  A Snapshot extracts the model state once and is then a plain value:
+// Earlier CoverageModel accessors copied whole string sets under the model
+// mutex and left merging/novelty logic to every call site (those shims are
+// gone).  A Snapshot extracts the model state once and is then a plain value:
 // it merges, computes novelty against a prior, and serializes to a compact
 // binary form that travels over the farm's worker pipe and into the campaign
 // journal — which is what lets mtt::guide feed per-run coverage deltas back

@@ -56,6 +56,7 @@ class Collector {
   /// the progress display, and evaluates the early-stop predicate.
   void deliver(experiment::RunObservation obs, std::size_t worker) {
     std::lock_guard<std::mutex> lk(mu_);
+    if (options_.scrubTiming) scrubTimingFields(obs);
     if (obs.status == "timeout") ++timeouts_;
     if (obs.status == "crashed") ++crashes_;
     if (obs.status == "infra-error") ++infraErrors_;
@@ -161,6 +162,7 @@ class Collector {
       if (obs.runIndex >= total_ || !done_.insert(obs.runIndex).second) {
         continue;  // defensive: out-of-range or duplicated index
       }
+      if (options_.scrubTiming) scrubTimingFields(obs);
       if (obs.status == "timeout") ++timeouts_;
       if (obs.status == "crashed") ++crashes_;
       if (obs.status == "infra-error") {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "experiment/experiment.hpp"
+#include "farm/record_io.hpp"
 
 namespace mtt::farm {
 
@@ -112,6 +113,12 @@ struct FarmOptions {
   /// becomes true, no further runs are dispatched and in-flight runs drain,
   /// exactly like stopOnRecord.
   const std::atomic<bool>* stopFlag = nullptr;
+  /// Zero the wall-clock fields (wallSeconds, dispatchNsPerEvent) of every
+  /// record at delivery.  In controlled mode this makes the JSONL stream
+  /// and the journal byte-reproducible across machines and schedulings —
+  /// the knob fleet byte-compares (and CI) turn on for both sides of a
+  /// distributed-vs-serial comparison.
+  bool scrubTiming = false;
 };
 
 /// What happened to a campaign, beyond the per-run records.
@@ -186,16 +193,9 @@ CandidateScan scanCandidates(std::uint64_t total,
                              const std::function<bool(std::uint64_t)>& accept,
                              std::size_t jobs);
 
-// --- record serialization (exposed for tests and external consumers) -----
-
-/// The JSONL encoding of one run record, as streamed to FarmOptions::
-/// jsonlPath (one object per line; `worker` is added by the streamer).
-std::string toJson(const experiment::RunObservation& o);
-
-/// Compact escaped tab-separated encoding used on the worker-process pipe;
-/// round-trips exactly (doubles via %.17g).
-std::string encodePipeRecord(const experiment::RunObservation& o);
-bool decodePipeRecord(const std::string& line, experiment::RunObservation& o);
+// Record serialization (toJson / encodePipeRecord / decodePipeRecord and
+// the field-escaping helpers) lives in farm/record_io.hpp, shared with the
+// fleet wire protocol.
 
 // --- internal entry points shared by farm.cpp / process_pool.cpp ---------
 
@@ -211,6 +211,11 @@ CampaignResult runJobsProcesses(std::uint64_t total, const JobFn& fn,
                                 const FarmOptions& options);
 /// True when fork()-based isolation is available on this platform.
 bool processIsolationSupported();
+
+/// Applies the RLIMIT_AS / RLIMIT_CPU caps (MiB / seconds, 0 = unlimited)
+/// to the calling process.  Used by forked farm workers and by the fleet
+/// worker service so a runaway run dies in isolation.  No-op off POSIX.
+void applyRunLimits(std::size_t memLimitMb, std::size_t cpuLimitSec);
 
 }  // namespace detail
 

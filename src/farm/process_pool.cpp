@@ -41,6 +41,24 @@ bool processIsolationSupported() {
 #endif
 }
 
+void applyRunLimits(std::size_t memLimitMb, std::size_t cpuLimitSec) {
+#ifdef MTT_FARM_HAS_FORK
+  if (memLimitMb > 0) {
+    rlimit rl{};
+    rl.rlim_cur = rl.rlim_max = static_cast<rlim_t>(memLimitMb) * 1024 * 1024;
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+  if (cpuLimitSec > 0) {
+    rlimit rl{};
+    rl.rlim_cur = rl.rlim_max = static_cast<rlim_t>(cpuLimitSec);
+    ::setrlimit(RLIMIT_CPU, &rl);
+  }
+#else
+  (void)memLimitMb;
+  (void)cpuLimitSec;
+#endif
+}
+
 #ifndef MTT_FARM_HAS_FORK
 
 CampaignResult runJobsProcesses(std::uint64_t total, const JobFn& fn,
@@ -209,18 +227,7 @@ class ProcessPool {
   /// Child-side resource caps: a runaway allocation or spin becomes an
   /// isolated worker death (recorded as crashed) instead of a host OOM.
   void applyWorkerLimits() {
-    if (options_.workerMemLimitMb > 0) {
-      rlimit rl{};
-      rl.rlim_cur = rl.rlim_max =
-          static_cast<rlim_t>(options_.workerMemLimitMb) * 1024 * 1024;
-      ::setrlimit(RLIMIT_AS, &rl);
-    }
-    if (options_.workerCpuLimitSec > 0) {
-      rlimit rl{};
-      rl.rlim_cur = rl.rlim_max =
-          static_cast<rlim_t>(options_.workerCpuLimitSec);
-      ::setrlimit(RLIMIT_CPU, &rl);
-    }
+    applyRunLimits(options_.workerMemLimitMb, options_.workerCpuLimitSec);
   }
 
   /// Pre-kill drain: SIGTERM gives the worker's flight recorder a bounded

@@ -9,6 +9,7 @@
 
 #include "coverage/snapshot.hpp"
 #include "farm/farm.hpp"
+#include "farm/record_io.hpp"
 
 namespace mtt::farm {
 
@@ -107,12 +108,11 @@ std::string toJson(const experiment::RunObservation& o) {
   return j;
 }
 
-namespace {
-
 // Pipe framing: '\t' separates fields, so embedded tabs/newlines/backslashes
-// are escaped.  The format only ever talks farm-worker -> farm-parent of the
-// same build, so there is no versioning concern.
-void appendEscaped(std::string& out, const std::string& s) {
+// are escaped.  The format only ever talks between processes of the same
+// build (farm worker pipe, journal payloads, fleet frames), so there is no
+// versioning concern beyond the field count.
+void appendEscapedField(std::string& out, const std::string& s) {
   for (char c : s) {
     switch (c) {
       case '\\': out += "\\\\"; break;
@@ -124,7 +124,7 @@ void appendEscaped(std::string& out, const std::string& s) {
   }
 }
 
-std::string unescape(const std::string& s) {
+std::string unescapeField(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (std::size_t i = 0; i < s.size(); ++i) {
@@ -143,7 +143,7 @@ std::string unescape(const std::string& s) {
   return out;
 }
 
-std::vector<std::string> splitFields(const std::string& line) {
+std::vector<std::string> splitTabFields(const std::string& line) {
   std::vector<std::string> fields;
   std::string cur;
   for (char c : line) {
@@ -158,15 +158,13 @@ std::vector<std::string> splitFields(const std::string& line) {
   return fields;
 }
 
-}  // namespace
-
 std::string encodePipeRecord(const experiment::RunObservation& o) {
   std::string line;
   line += std::to_string(o.runIndex);
   line += '\t';
   line += std::to_string(o.seed);
   line += '\t';
-  appendEscaped(line, o.status);
+  appendEscapedField(line, o.status);
   line += '\t';
   line += o.manifested ? '1' : '0';
   line += '\t';
@@ -188,9 +186,9 @@ std::string encodePipeRecord(const experiment::RunObservation& o) {
   line += '\t';
   line += std::to_string(o.noiseInjections);
   line += '\t';
-  appendEscaped(line, o.outcome);
+  appendEscapedField(line, o.outcome);
   line += '\t';
-  appendEscaped(line, o.failureMessage);
+  appendEscapedField(line, o.failureMessage);
   line += '\t';
   line += std::to_string(o.attempts);
   line += '\t';
@@ -198,7 +196,7 @@ std::string encodePipeRecord(const experiment::RunObservation& o) {
   line += '\t';
   line += formatDouble(o.dispatchNsPerEvent);
   line += '\t';
-  appendEscaped(line, o.postmortemPath);
+  appendEscapedField(line, o.postmortemPath);
   line += '\t';
   // Hex, not escaped raw bytes: the blob is binary and the journal format
   // wants printable payloads.
@@ -208,14 +206,14 @@ std::string encodePipeRecord(const experiment::RunObservation& o) {
 
 bool decodePipeRecord(const std::string& line,
                       experiment::RunObservation& o) {
-  std::vector<std::string> f = splitFields(line);
+  std::vector<std::string> f = splitTabFields(line);
   // 19 fields: pre-coverage records (journals written by earlier builds);
   // 20: current format with the trailing coverage snapshot hex.
   if (f.size() != 19 && f.size() != 20) return false;
   try {
     o.runIndex = std::stoull(f[0]);
     o.seed = std::stoull(f[1]);
-    o.status = unescape(f[2]);
+    o.status = unescapeField(f[2]);
     o.manifested = f[3] == "1";
     o.hasDetectors = f[4] == "1";
     o.detectorHit = f[5] == "1";
@@ -226,12 +224,12 @@ bool decodePipeRecord(const std::string& line,
     o.wallSeconds = std::stod(f[10]);
     o.events = std::stoull(f[11]);
     o.noiseInjections = std::stoull(f[12]);
-    o.outcome = unescape(f[13]);
-    o.failureMessage = unescape(f[14]);
+    o.outcome = unescapeField(f[13]);
+    o.failureMessage = unescapeField(f[14]);
     o.attempts = static_cast<std::uint32_t>(std::stoul(f[15]));
     o.dispatchDeliveries = std::stoull(f[16]);
     o.dispatchNsPerEvent = std::stod(f[17]);
-    o.postmortemPath = unescape(f[18]);
+    o.postmortemPath = unescapeField(f[18]);
     o.coverage = f.size() > 19 ? coverage::fromHex(f[19]) : std::string();
   } catch (const std::exception&) {
     return false;

@@ -1,0 +1,645 @@
+// Coordinator implementation: a single-threaded poll loop (the same shape
+// as the farm's forked-worker parent) over a listening socket and N worker
+// connections, plus the lease table that makes reassignment and dedup
+// possible.
+#include "fleet/coordinator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/stats.hpp"
+#include "farm/collector.hpp"
+#include "farm/record_io.hpp"
+#include "fleet/net.hpp"
+#include "suite/program.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MTT_FLEET_HAS_SOCKETS 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace mtt::fleet {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+/// Stash for lastFleetCounters (per thread: tests run fleets in parallel).
+thread_local FleetCounters g_lastCounters;
+}  // namespace
+
+FleetCounters lastFleetCounters() { return g_lastCounters; }
+
+struct Coordinator::Impl {
+  struct Conn {
+    Socket sock;
+    std::uint64_t id = 0;
+    std::string rx;
+    bool active = false;  ///< HELLO validated, SPEC sent
+    bool quarantined = false;
+    std::size_t inflight = 0;
+    std::size_t infraRecords = 0;
+    Clock::time_point lastActivity = Clock::now();
+  };
+
+  struct Lease {
+    std::vector<RunAssignment> runs;
+    std::set<std::uint64_t> remaining;
+    std::uint64_t connId = 0;
+  };
+
+  experiment::RunSpec base;
+  FleetOptions opts;
+  std::unique_ptr<Listener> listener;
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::uint64_t nextConnId = 1;
+  std::uint64_t nextLeaseId = 1;
+  FleetCounters counters;
+  bool shutdownDone = false;
+
+  // Cross-batch progress bookkeeping.
+  Stopwatch clock;
+  double lastPrint = -1.0;
+  std::uint64_t totalWanted = 0;
+  std::uint64_t totalDelivered = 0;
+
+  // --- per-batch state (reset by runBatch) -------------------------------
+  std::unordered_map<std::uint64_t, RunAssignment> wanted;
+  std::unordered_set<std::uint64_t> delivered;
+  std::deque<std::vector<RunAssignment>> pending;
+  std::map<std::uint64_t, Lease> leases;
+  std::unordered_map<std::uint64_t, std::uint64_t> indexLease;
+  std::unordered_map<std::uint64_t, std::size_t> indexFailures;
+  BatchResult* batch = nullptr;
+  const RecordSink* sink = nullptr;
+  const std::function<bool(const experiment::RunObservation&)>* stopOn =
+      nullptr;
+  bool stopRequested = false;
+
+  bool externallyStopped() const {
+    return opts.farm.stopFlag != nullptr &&
+           opts.farm.stopFlag->load(std::memory_order_relaxed);
+  }
+
+  void sendFrame(Conn& c, FrameType type, const std::string& payload) {
+    const std::string bytes = encodeFrame(type, payload);
+    std::string err;
+    if (!sendAll(c.sock.fd(), bytes, err)) {
+      std::fprintf(stderr, "[fleet] worker %llu send failed: %s\n",
+                   static_cast<unsigned long long>(c.id), err.c_str());
+      dropConn(c, "timeout", "fleet worker connection lost mid-lease");
+      return;
+    }
+    counters.bytesSent += bytes.size();
+  }
+
+  /// Closes a connection and requeues its unfinished leases.  `status` /
+  /// `message` describe the cause for indices that exhaust indexGiveUp.
+  void dropConn(Conn& c, const char* status, const std::string& message) {
+    if (!c.sock.valid()) return;
+    c.sock.close();
+    if (c.active) --counters.workersActive;
+    c.active = false;
+    requeueConnLeases(c.id, status, message);
+  }
+
+  void quarantineConn(Conn& c, const std::string& why) {
+    if (c.quarantined) return;
+    c.quarantined = true;
+    ++counters.workersQuarantined;
+    std::fprintf(stderr, "[fleet] quarantining worker %llu: %s\n",
+                 static_cast<unsigned long long>(c.id), why.c_str());
+    if (c.sock.valid()) sendFrame(c, FrameType::Quit, why);
+    dropConn(c, "timeout", "fleet worker quarantined (" + why + ")");
+  }
+
+  void requeueConnLeases(std::uint64_t connId, const char* status,
+                         const std::string& message) {
+    std::vector<std::uint64_t> ids;
+    for (const auto& [id, lease] : leases) {
+      if (lease.connId == connId) ids.push_back(id);
+    }
+    for (std::uint64_t id : ids) requeueLease(id, status, message);
+  }
+
+  /// Returns the lease's unfinished assignments to the pending queue (or
+  /// gives up on indices that keep killing workers).
+  void requeueLease(std::uint64_t leaseId, const char* status,
+                    const std::string& message) {
+    auto it = leases.find(leaseId);
+    if (it == leases.end()) return;
+    Lease lease = std::move(it->second);
+    leases.erase(it);
+    ++counters.leasesReassigned;
+    std::vector<RunAssignment> retry;
+    for (const RunAssignment& a : lease.runs) {
+      if (lease.remaining.find(a.index) == lease.remaining.end()) continue;
+      indexLease.erase(a.index);
+      const std::size_t failures = ++indexFailures[a.index];
+      if (failures >= opts.indexGiveUp) {
+        // The farm's supervision semantics: record the failure as a run
+        // outcome instead of retrying forever.
+        experiment::RunObservation obs;
+        obs.runIndex = a.index;
+        obs.seed = a.seed;
+        obs.status = status;
+        obs.failureMessage =
+            message + " (" + std::to_string(failures) + " leases)";
+        obs.attempts = static_cast<std::uint32_t>(failures);
+        deliverRecord(std::move(obs), /*connId=*/0);
+      } else {
+        retry.push_back(a);
+      }
+    }
+    // Front of the queue: reassigned work is the oldest and gates the
+    // reorder buffer's contiguous flush.
+    if (!retry.empty()) pending.push_front(std::move(retry));
+  }
+
+  /// First-delivery filter + batch bookkeeping for one record.
+  void deliverRecord(experiment::RunObservation obs, std::uint64_t connId) {
+    const std::uint64_t idx = obs.runIndex;
+    auto w = wanted.find(idx);
+    if (w == wanted.end() || delivered.find(idx) != delivered.end()) {
+      ++counters.duplicatesDropped;
+      return;
+    }
+    if (opts.farm.scrubTiming) farm::scrubTimingFields(obs);
+    delivered.insert(idx);
+    ++totalDelivered;
+    // Clear the index out of whatever active lease still carries it (a
+    // stale worker may deliver work that was since reassigned).
+    auto il = indexLease.find(idx);
+    if (il != indexLease.end()) {
+      auto lt = leases.find(il->second);
+      if (lt != leases.end()) {
+        lt->second.remaining.erase(idx);
+        if (lt->second.remaining.empty()) finishLease(lt->first);
+      }
+      indexLease.erase(il);
+    }
+    if (batch != nullptr) {
+      batch->retries += obs.attempts > 0 ? obs.attempts - 1 : 0;
+      if (sink != nullptr && *sink) {
+        (*sink)(obs, static_cast<std::size_t>(connId));
+      }
+      if (stopOn != nullptr && *stopOn && !stopRequested && (*stopOn)(obs)) {
+        stopRequested = true;
+      }
+      batch->records.emplace(idx, std::move(obs));
+    }
+  }
+
+  void finishLease(std::uint64_t leaseId) {
+    auto it = leases.find(leaseId);
+    if (it == leases.end()) return;
+    Conn* owner = connById(it->second.connId);
+    if (owner != nullptr && owner->inflight > 0) --owner->inflight;
+    leases.erase(it);
+  }
+
+  Conn* connById(std::uint64_t id) {
+    for (auto& c : conns) {
+      if (c->id == id) return c.get();
+    }
+    return nullptr;
+  }
+
+  void handleFrame(Conn& c, Frame frame) {
+    c.lastActivity = Clock::now();
+    switch (frame.type) {
+      case FrameType::Hello: {
+        std::uint32_t version = 0;
+        std::string err;
+        if (!decodeHello(frame.payload, version, err)) {
+          sendFrame(c, FrameType::Error, err);
+          dropConn(c, "timeout", err);
+          return;
+        }
+        if (version != kProtocolVersion) {
+          const std::string msg =
+              "protocol version mismatch: coordinator speaks " +
+              std::to_string(kProtocolVersion) + ", worker speaks " +
+              std::to_string(version);
+          sendFrame(c, FrameType::Error, msg);
+          dropConn(c, "timeout", msg);
+          return;
+        }
+        sendFrame(c, FrameType::Spec, encodeSpec(base));
+        if (c.sock.valid()) {
+          c.active = true;
+          ++counters.workersActive;
+        }
+        return;
+      }
+      case FrameType::Record: {
+        std::uint64_t leaseId = 0;
+        experiment::RunObservation obs;
+        std::string err;
+        if (!decodeRecord(frame.payload, leaseId, obs, err)) {
+          std::fprintf(stderr, "[fleet] worker %llu: %s\n",
+                       static_cast<unsigned long long>(c.id), err.c_str());
+          dropConn(c, "crashed", err);
+          return;
+        }
+        (void)leaseId;  // delivery and lease cleanup are keyed by index
+        ++counters.recordsStreamed;
+        if (obs.status == "infra-error") {
+          if (++c.infraRecords >= opts.quarantineAfter) {
+            // Deliver first — the record itself is valid — then stop
+            // trusting this worker with further leases.
+            deliverRecord(std::move(obs), c.id);
+            quarantineConn(c, std::to_string(c.infraRecords) +
+                                  " infra-error records");
+            return;
+          }
+        }
+        deliverRecord(std::move(obs), c.id);
+        return;
+      }
+      case FrameType::LeaseDone: {
+        std::uint64_t leaseId = 0;
+        std::string err;
+        if (!decodeLeaseDone(frame.payload, leaseId, err)) {
+          dropConn(c, "crashed", err);
+          return;
+        }
+        auto it = leases.find(leaseId);
+        if (it == leases.end()) return;  // completed or reassigned already
+        if (!it->second.remaining.empty()) {
+          // The worker claims completion but records are missing: treat
+          // the gap like a lost lease.
+          requeueLease(leaseId, "crashed",
+                       "fleet worker completed a lease with missing records");
+          if (c.inflight > 0) --c.inflight;
+          return;
+        }
+        finishLease(leaseId);
+        return;
+      }
+      case FrameType::Heartbeat:
+        return;
+      case FrameType::Error: {
+        std::fprintf(stderr, "[fleet] worker %llu error: %s\n",
+                     static_cast<unsigned long long>(c.id),
+                     frame.payload.c_str());
+        dropConn(c, "crashed", "fleet worker reported: " + frame.payload);
+        return;
+      }
+      case FrameType::Spec:
+      case FrameType::Lease:
+      case FrameType::Quit: {
+        const std::string msg = "unexpected frame from worker";
+        sendFrame(c, FrameType::Error, msg);
+        dropConn(c, "crashed", msg);
+        return;
+      }
+    }
+  }
+
+#ifdef MTT_FLEET_HAS_SOCKETS
+  void readConn(Conn& c) {
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(c.sock.fd(), buf, sizeof buf, 0);
+      if (n > 0) {
+        counters.bytesReceived += static_cast<std::uint64_t>(n);
+        c.rx.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      // EOF or hard error: the worker is gone.
+      dropConn(c, "crashed", "fleet worker died mid-lease");
+      return;
+    }
+    while (c.sock.valid()) {
+      ParseResult r = tryParseFrame(c.rx);
+      if (r.status == ParseStatus::NeedMore) break;
+      if (r.status == ParseStatus::Corrupt) {
+        std::fprintf(stderr, "[fleet] worker %llu stream corrupt: %s\n",
+                     static_cast<unsigned long long>(c.id), r.error.c_str());
+        dropConn(c, "crashed", r.error);
+        return;
+      }
+      c.rx.erase(0, r.consumed);
+      handleFrame(c, std::move(r.frame));
+    }
+  }
+#endif
+
+  void grantLeases() {
+    if (stopRequested) return;
+    // Round-robin over healthy workers with spare lease slots.
+    bool granted = true;
+    while (!pending.empty() && granted) {
+      granted = false;
+      for (auto& cp : conns) {
+        if (pending.empty()) break;
+        Conn& c = *cp;
+        if (!c.sock.valid() || !c.active || c.quarantined) continue;
+        if (c.inflight >= opts.maxLeasesPerWorker) continue;
+        LeasePayload payload;
+        payload.leaseId = nextLeaseId++;
+        payload.runs = std::move(pending.front());
+        pending.pop_front();
+        Lease lease;
+        lease.connId = c.id;
+        lease.runs = payload.runs;
+        for (const RunAssignment& a : payload.runs) {
+          lease.remaining.insert(a.index);
+          indexLease[a.index] = payload.leaseId;
+        }
+        leases.emplace(payload.leaseId, std::move(lease));
+        ++c.inflight;
+        ++counters.leasesGranted;
+        sendFrame(c, FrameType::Lease, encodeLease(payload));
+        if (!c.sock.valid()) continue;  // send failed; lease was requeued
+        granted = true;
+      }
+    }
+  }
+
+  void checkLeaseTimeouts() {
+    const Clock::time_point now = Clock::now();
+    std::vector<Conn*> hung;
+    for (auto& [id, lease] : leases) {
+      Conn* owner = connById(lease.connId);
+      if (owner == nullptr || !owner->sock.valid()) continue;
+      if (now - owner->lastActivity > opts.leaseTimeout) {
+        hung.push_back(owner);
+      }
+    }
+    std::sort(hung.begin(), hung.end());
+    hung.erase(std::unique(hung.begin(), hung.end()), hung.end());
+    for (Conn* c : hung) {
+      quarantineConn(*c, "no record for " +
+                             std::to_string(opts.leaseTimeout.count()) +
+                             " ms on a held lease");
+    }
+  }
+
+  void maybeProgress(bool final) {
+    if (!opts.farm.progress) return;
+    const double elapsed = clock.elapsedSeconds();
+    if (!final && elapsed - lastPrint < 0.2) return;
+    lastPrint = elapsed;
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(totalDelivered) / elapsed : 0.0;
+    std::fprintf(
+        stderr,
+        "\r[fleet] %llu/%llu runs  %.1f runs/s  %zu workers  %zu leases  "
+        "%zu reassigned  %zu quarantined  %.2f MiB in%s",
+        static_cast<unsigned long long>(totalDelivered),
+        static_cast<unsigned long long>(totalWanted), rate,
+        counters.workersActive, counters.leasesGranted,
+        counters.leasesReassigned, counters.workersQuarantined,
+        static_cast<double>(counters.bytesReceived) / (1024.0 * 1024.0),
+        final ? "\n" : "");
+    std::fflush(stderr);
+  }
+
+  void pollOnce() {
+#ifdef MTT_FLEET_HAS_SOCKETS
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listener->fd(), POLLIN, 0});
+    std::vector<Conn*> polled;
+    for (auto& cp : conns) {
+      if (!cp->sock.valid()) continue;
+      fds.push_back(pollfd{cp->sock.fd(), POLLIN, 0});
+      polled.push_back(cp.get());
+    }
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+    if (rc <= 0) return;
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        Socket s = listener->accept();
+        if (!s.valid()) break;
+        auto conn = std::make_unique<Conn>();
+        conn->sock = std::move(s);
+        conn->id = nextConnId++;
+        conn->lastActivity = Clock::now();
+        ++counters.workersConnected;
+        conns.push_back(std::move(conn));
+      }
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      if ((fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        readConn(*polled[i]);
+      }
+    }
+    // Compact closed connections (their leases were already requeued).
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const std::unique_ptr<Conn>& c) {
+                                 return !c->sock.valid();
+                               }),
+                conns.end());
+#endif
+  }
+};
+
+Coordinator::Coordinator(experiment::RunSpec base, const FleetOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  if (base.policyFactory) {
+    throw std::runtime_error(
+        "fleet campaigns cannot ship a policyFactory across the wire; "
+        "use a named policy (and note corpus-mutation arms are "
+        "coordinator-local)");
+  }
+  impl_->base = std::move(base);
+  impl_->opts = options;
+  impl_->listener = std::make_unique<Listener>(parseAddress(options.listen));
+  if (options.onListen) options.onListen(impl_->listener->boundAddress());
+}
+
+Coordinator::~Coordinator() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructor must not throw; the sockets close regardless.
+  }
+}
+
+std::string Coordinator::address() const {
+  return impl_->listener != nullptr ? impl_->listener->boundAddress()
+                                    : std::string();
+}
+
+const FleetCounters& Coordinator::counters() const { return impl_->counters; }
+
+void Coordinator::shutdown() {
+  Impl& im = *impl_;
+  if (im.shutdownDone) return;
+  im.shutdownDone = true;
+  for (auto& cp : im.conns) {
+    if (cp->sock.valid()) {
+      im.sendFrame(*cp, FrameType::Quit, "campaign complete");
+      cp->sock.close();
+    }
+  }
+  im.conns.clear();
+  im.listener.reset();
+  g_lastCounters = im.counters;
+}
+
+Coordinator::BatchResult Coordinator::runBatch(
+    const std::vector<RunAssignment>& runs, const RecordSink& sink,
+    const std::function<bool(const experiment::RunObservation&)>& stopOn) {
+  Impl& im = *impl_;
+  if (im.shutdownDone) {
+    throw std::runtime_error("fleet coordinator is already shut down");
+  }
+  BatchResult result;
+  if (runs.empty()) return result;
+
+  im.wanted.clear();
+  im.delivered.clear();
+  im.pending.clear();
+  im.leases.clear();
+  im.indexLease.clear();
+  im.indexFailures.clear();
+  im.batch = &result;
+  im.sink = &sink;
+  im.stopOn = &stopOn;
+  im.stopRequested = false;
+  im.totalWanted += runs.size();
+
+  for (const RunAssignment& a : runs) im.wanted.emplace(a.index, a);
+  const std::size_t leaseSize = std::max<std::size_t>(im.opts.leaseSize, 1);
+  for (std::size_t i = 0; i < runs.size(); i += leaseSize) {
+    im.pending.emplace_back(
+        runs.begin() + static_cast<std::ptrdiff_t>(i),
+        runs.begin() +
+            static_cast<std::ptrdiff_t>(std::min(i + leaseSize, runs.size())));
+  }
+
+  while (im.delivered.size() < im.wanted.size()) {
+    if (im.stopRequested || im.externallyStopped()) {
+      result.stoppedEarly = true;
+      break;
+    }
+    im.grantLeases();
+    im.pollOnce();
+    im.checkLeaseTimeouts();
+    im.maybeProgress(false);
+  }
+  // Active leases of a cancelled batch go stale: their indices leave the
+  // tracking tables, and late records for them will be dup-dropped.
+  im.pending.clear();
+  im.leases.clear();
+  im.indexLease.clear();
+  for (auto& cp : im.conns) cp->inflight = 0;
+  im.maybeProgress(true);
+  im.batch = nullptr;
+  im.sink = nullptr;
+  im.stopOn = nullptr;
+  g_lastCounters = im.counters;
+  return result;
+}
+
+// --- the campaign entry point --------------------------------------------
+
+farm::ExperimentCampaign runExperimentFleet(
+    const experiment::ExperimentSpec& spec, const FleetOptions& options) {
+  experiment::validateToolConfig(spec.tool);
+  suite::makeProgram(spec.programName);  // throws on unknown program
+
+  Stopwatch wall;
+  farm::FarmOptions fopts = options.farm;
+  fopts.seedForIndex = [&spec](std::uint64_t i) { return spec.seedBase + i; };
+  if (!fopts.journalPath.empty() && fopts.journalConfig.empty()) {
+    // The exact farm fingerprint: a fleet journal and a farm journal of the
+    // same campaign are interchangeable (resume across the boundary works).
+    fopts.journalConfig = spec.programName + "|" + spec.tool.label() + "|" +
+                          std::to_string(spec.runs) + "|" +
+                          std::to_string(spec.seedBase);
+  }
+  // The coordinator renders the fleet progress line; the collector's
+  // farm-style line would fight it for the same stderr row.
+  farm::FarmOptions collectorOpts = fopts;
+  collectorOpts.progress = false;
+  farm::detail::Collector collector(spec.runs, collectorOpts);
+
+  Coordinator coordinator(static_cast<const experiment::RunSpec&>(spec),
+                          options);
+
+  std::vector<RunAssignment> assignments;
+  assignments.reserve(spec.runs);
+  for (std::uint64_t i = 0; i < spec.runs; ++i) {
+    if (collector.isDone(i)) continue;  // journaled; never re-dispatched
+    RunAssignment a;
+    a.index = i;
+    a.seed = spec.seedBase + i;
+    assignments.push_back(a);
+  }
+
+  // Reorder buffer: records arrive in any order, the collector (journal,
+  // JSONL, fold) sees them only in contiguous global-index order.
+  std::map<std::uint64_t, std::pair<experiment::RunObservation, std::size_t>>
+      held;
+  std::uint64_t cursor = 0;
+  auto flush = [&] {
+    while (cursor < spec.runs) {
+      if (collector.isDone(cursor)) {
+        ++cursor;
+        continue;
+      }
+      auto it = held.find(cursor);
+      if (it == held.end()) break;
+      collector.deliver(std::move(it->second.first), it->second.second);
+      held.erase(it);
+      ++cursor;
+    }
+  };
+  Coordinator::RecordSink sink =
+      [&](const experiment::RunObservation& obs, std::size_t worker) {
+        held.emplace(obs.runIndex, std::make_pair(obs, worker));
+        flush();
+      };
+
+  Coordinator::BatchResult br =
+      coordinator.runBatch(assignments, sink, fopts.stopOnRecord);
+
+  // A cancelled batch leaves non-contiguous stragglers in the buffer;
+  // deliver them in index order (the journal stays index-sorted, with the
+  // same gaps a stopped farm campaign would leave).
+  for (auto& [idx, rec] : held) {
+    collector.deliver(std::move(rec.first), rec.second);
+  }
+  held.clear();
+
+  const bool hasDetectors = !spec.tool.detectors.empty();
+  farm::ExperimentCampaign out;
+  out.campaign.records = collector.finish();
+  out.campaign.requested = spec.runs;
+  out.campaign.workers = coordinator.counters().workersConnected;
+  out.campaign.timeouts = collector.timeouts();
+  out.campaign.crashes = collector.crashes();
+  out.campaign.infraErrors = collector.infraErrors();
+  out.campaign.retries = collector.retries();
+  out.campaign.resumed = collector.resumed();
+  out.campaign.quarantined = collector.quarantined();
+  out.campaign.stoppedEarly = br.stoppedEarly || collector.stopped();
+  out.campaign.wallSeconds = wall.elapsedSeconds();
+
+  out.result.programName = spec.programName;
+  out.result.toolLabel = spec.tool.label();
+  out.result.runs = out.campaign.records.size();
+  for (auto& obs : out.campaign.records) {
+    if (obs.supervised()) obs.hasDetectors = hasDetectors;
+    experiment::accumulate(out.result, obs);
+  }
+  coordinator.shutdown();
+  return out;
+}
+
+}  // namespace mtt::fleet

@@ -1,0 +1,49 @@
+// Bridges the fleet coordinator into mtt::guide's BatchRunner seam so a
+// guided (adaptive) campaign can execute its batches on remote workers:
+// `mtt serve --adaptive` is runGuided with this runner installed.
+//
+// Determinism note: the bandit's decision sequence depends on the batch
+// width (GuideOptions::farm.jobs), not on where runs execute — a fleet
+// campaign served with --jobs J produces the same timing-free report as a
+// local `mtt hunt --guided --jobs J` of the same spec, for any worker
+// count.  Consumers link mtt_guide in addition to mtt_fleet.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "fleet/coordinator.hpp"
+#include "guide/guide.hpp"
+
+namespace mtt::fleet {
+
+/// A BatchRunner that leases each guided batch across the coordinator's
+/// workers.  `stopOnFirstFind` mirrors GuideOptions::stopOnFirstFind: the
+/// batch is cancelled as soon as any record carries a failure fingerprint
+/// (the guide still decides campaign-level stopping from the folded
+/// prefix).  The coordinator must outlive the returned runner.
+inline guide::BatchRunner makeGuideBatchRunner(Coordinator& coordinator,
+                                               bool stopOnFirstFind) {
+  return [&coordinator,
+          stopOnFirstFind](const std::vector<guide::GuideBatchRun>& batch) {
+    std::vector<RunAssignment> runs;
+    runs.reserve(batch.size());
+    for (const guide::GuideBatchRun& r : batch) {
+      runs.push_back(RunAssignment{r.index, r.seed, r.noiseName, r.strength});
+    }
+    std::function<bool(const experiment::RunObservation&)> stopOn;
+    if (stopOnFirstFind) {
+      stopOn = [](const experiment::RunObservation& o) {
+        return !guide::observationFingerprint(o).empty();
+      };
+    }
+    Coordinator::BatchResult br = coordinator.runBatch(runs, {}, stopOn);
+    guide::GuideBatchOutcome out;
+    out.records = std::move(br.records);
+    out.stoppedEarly = br.stoppedEarly;
+    out.retries = br.retries;
+    return out;
+  };
+}
+
+}  // namespace mtt::fleet

@@ -1,0 +1,277 @@
+#include "fleet/net.hpp"
+
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MTT_FLEET_HAS_SOCKETS 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#endif
+
+namespace mtt::fleet {
+
+Address parseAddress(const std::string& s) {
+  Address a;
+  const std::string unixPrefix = "unix:";
+  if (s.compare(0, unixPrefix.size(), unixPrefix) == 0) {
+    a.isUnix = true;
+    a.path = s.substr(unixPrefix.size());
+    if (a.path.empty()) {
+      throw std::runtime_error(
+          "fleet address \"" + s + "\" names no socket path; expected "
+          "\"unix:/path/to.sock\" or \"host:port\"");
+    }
+    return a;
+  }
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    throw std::runtime_error(
+        "fleet address \"" + s + "\" is malformed; expected "
+        "\"unix:/path/to.sock\" or \"host:port\"");
+  }
+  a.host = s.substr(0, colon);
+  const std::string portStr = s.substr(colon + 1);
+  unsigned long port = 0;
+  try {
+    std::size_t pos = 0;
+    port = std::stoul(portStr, &pos);
+    if (pos != portStr.size()) throw std::invalid_argument(portStr);
+  } catch (const std::exception&) {
+    throw std::runtime_error("fleet address \"" + s +
+                             "\" carries a non-numeric port");
+  }
+  if (port > 65535) {
+    throw std::runtime_error("fleet address \"" + s +
+                             "\" carries an out-of-range port");
+  }
+  a.port = static_cast<std::uint16_t>(port);
+  return a;
+}
+
+std::string to_string(const Address& a) {
+  if (a.isUnix) return "unix:" + a.path;
+  return a.host + ":" + std::to_string(a.port);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+#ifdef MTT_FLEET_HAS_SOCKETS
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void setNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+namespace {
+
+/// A worker whose coordinator vanished sees EPIPE on write, not SIGPIPE.
+void ignoreSigpipeOnce() {
+  static const bool done = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+sockaddr_un unixSockaddr(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(sa.sun_path)) {
+    throw std::runtime_error("unix socket path too long (" +
+                             std::to_string(path.size()) + " bytes): " + path);
+  }
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return sa;
+}
+
+sockaddr_in tcpSockaddr(const Address& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(a.port);
+  if (::inet_pton(AF_INET, a.host.c_str(), &sa.sin_addr) == 1) return sa;
+  // Not a dotted quad: resolve the name (getaddrinfo, IPv4).
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(a.host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    throw std::runtime_error("cannot resolve fleet host \"" + a.host +
+                             "\": " + ::gai_strerror(rc));
+  }
+  sa.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return sa;
+}
+
+}  // namespace
+
+Listener::Listener(const Address& addr) : bound_(addr) {
+  ignoreSigpipeOnce();
+  if (addr.isUnix) {
+    Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!s.valid()) {
+      throw std::runtime_error(std::string("socket(AF_UNIX): ") +
+                               std::strerror(errno));
+    }
+    ::unlink(addr.path.c_str());  // stale socket from a killed coordinator
+    sockaddr_un sa = unixSockaddr(addr.path);
+    if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      throw std::runtime_error("bind(" + addr.path +
+                               "): " + std::strerror(errno));
+    }
+    sock_ = std::move(s);
+  } else {
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid()) {
+      throw std::runtime_error(std::string("socket(AF_INET): ") +
+                               std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in sa = tcpSockaddr(bound_);
+    if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      throw std::runtime_error("bind(" + to_string(addr) +
+                               "): " + std::strerror(errno));
+    }
+    socklen_t len = sizeof sa;
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&sa), &len) == 0) {
+      bound_.port = ntohs(sa.sin_port);  // resolve an ephemeral port 0
+    }
+    sock_ = std::move(s);
+  }
+  if (::listen(sock_.fd(), 64) != 0) {
+    throw std::runtime_error("listen(" + boundAddress() +
+                             "): " + std::strerror(errno));
+  }
+  setNonBlocking(sock_.fd());
+}
+
+Listener::~Listener() {
+  if (bound_.isUnix && sock_.valid()) ::unlink(bound_.path.c_str());
+}
+
+Socket Listener::accept() {
+  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) return Socket();
+  setNonBlocking(fd);
+  int one = 1;
+  if (!bound_.isUnix) {
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  return Socket(fd);
+}
+
+Socket connectTo(const Address& addr, std::chrono::milliseconds timeout) {
+  ignoreSigpipeOnce();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::string lastError;
+  for (;;) {
+    Socket s(::socket(addr.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+    if (s.valid()) {
+      int rc;
+      if (addr.isUnix) {
+        sockaddr_un sa = unixSockaddr(addr.path);
+        rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof sa);
+      } else {
+        sockaddr_in sa = tcpSockaddr(addr);
+        rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof sa);
+      }
+      if (rc == 0) {
+        if (!addr.isUnix) {
+          int one = 1;
+          ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        }
+        return s;
+      }
+      lastError = std::strerror(errno);
+    } else {
+      lastError = std::strerror(errno);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("cannot connect to fleet coordinator at " +
+                               to_string(addr) + " within " +
+                               std::to_string(timeout.count()) +
+                               " ms: " + lastError);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+bool sendAll(int fd, const std::string& data, std::string& err) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      ::poll(&p, 1, 1000);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    err = n == 0 ? "peer closed the connection" : std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+#else  // !MTT_FLEET_HAS_SOCKETS
+
+namespace {
+[[noreturn]] void unsupported() {
+  throw std::runtime_error("mtt::fleet requires POSIX sockets");
+}
+}  // namespace
+
+void Socket::close() { fd_ = -1; }
+void setNonBlocking(int) { unsupported(); }
+Listener::Listener(const Address&) { unsupported(); }
+Listener::~Listener() = default;
+Socket Listener::accept() { unsupported(); }
+Socket connectTo(const Address&, std::chrono::milliseconds) { unsupported(); }
+bool sendAll(int, const std::string&, std::string&) { unsupported(); }
+
+#endif  // MTT_FLEET_HAS_SOCKETS
+
+}  // namespace mtt::fleet

@@ -1,0 +1,90 @@
+// Minimal POSIX stream-socket layer for mtt::fleet: address parsing, an
+// RAII fd, a listening endpoint, and connect-with-retry.  TCP and
+// Unix-domain sockets only — everything above this file speaks the framed
+// protocol (fleet/protocol.hpp) and never touches an fd directly except
+// through these helpers.
+//
+// Off POSIX, every entry point throws std::runtime_error("mtt::fleet
+// requires POSIX sockets"), mirroring the farm's graceful degradation
+// pattern: the library still links, the feature reports itself missing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mtt::fleet {
+
+/// A listen/connect endpoint: "unix:/path/to.sock" or "host:port" (TCP;
+/// numeric IPv4 or a resolvable name; port 0 binds an ephemeral port).
+struct Address {
+  bool isUnix = false;
+  std::string path;  ///< unix socket path
+  std::string host;  ///< TCP host
+  std::uint16_t port = 0;
+};
+
+/// Parses an endpoint string; throws std::runtime_error with the accepted
+/// grammar on malformed input.
+Address parseAddress(const std::string& s);
+
+/// Renders an Address back to its endpoint string.
+std::string to_string(const Address& a);
+
+/// RAII socket fd.  Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+  /// Releases ownership without closing.
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening endpoint.  Unix paths are unlinked on destruction.
+class Listener {
+ public:
+  explicit Listener(const Address& addr);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int fd() const { return sock_.fd(); }
+  /// The actual bound endpoint ("127.0.0.1:41833" after binding port 0).
+  std::string boundAddress() const { return to_string(bound_); }
+
+  /// Accepts one pending connection (non-blocking); invalid Socket when
+  /// none is waiting.  The returned socket is non-blocking.
+  Socket accept();
+
+ private:
+  Socket sock_;
+  Address bound_;
+};
+
+/// Connects to `addr`, retrying with a short backoff until `timeout`
+/// elapses — workers may be launched before their coordinator is
+/// listening.  Throws std::runtime_error when the deadline passes.
+/// The returned socket is blocking.
+Socket connectTo(const Address& addr, std::chrono::milliseconds timeout);
+
+/// Marks `fd` non-blocking.
+void setNonBlocking(int fd);
+
+/// Writes all of `data`, waiting (poll POLLOUT) through partial writes and
+/// EAGAIN.  Returns false on a peer error/close, with a diagnostic in
+/// `err`.  Works for blocking and non-blocking fds.
+bool sendAll(int fd, const std::string& data, std::string& err);
+
+}  // namespace mtt::fleet

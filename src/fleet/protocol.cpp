@@ -1,0 +1,380 @@
+// Frame and payload codecs for the fleet wire protocol.  Everything here
+// is a pure function of its input bytes: no I/O, no globals — which is
+// what makes the byte-prefix truncation fuzz in test_fleet.cpp possible.
+#include "fleet/protocol.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "farm/record_io.hpp"
+
+namespace mtt::fleet {
+
+namespace {
+
+std::string formatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+bool parseU64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  try {
+    std::size_t pos = 0;
+    out = std::stoull(s, &pos);
+    return pos == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parseU32(const std::string& s, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (!parseU64(s, v) || v > 0xffffffffull) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parseDouble(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  try {
+    std::size_t pos = 0;
+    out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parseBool(const std::string& s, bool& out) {
+  if (s != "0" && s != "1") return false;
+  out = s == "1";
+  return true;
+}
+
+std::vector<std::string> splitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+}  // namespace
+
+bool knownFrameType(std::uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::Hello:
+    case FrameType::Spec:
+    case FrameType::Lease:
+    case FrameType::Record:
+    case FrameType::LeaseDone:
+    case FrameType::Heartbeat:
+    case FrameType::Quit:
+    case FrameType::Error:
+      return true;
+  }
+  return false;
+}
+
+std::string encodeFrame(FrameType type, const std::string& payload) {
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size() + 1);
+  std::string out;
+  out.reserve(4 + length);
+  out += static_cast<char>(length & 0xff);
+  out += static_cast<char>((length >> 8) & 0xff);
+  out += static_cast<char>((length >> 16) & 0xff);
+  out += static_cast<char>((length >> 24) & 0xff);
+  out += static_cast<char>(type);
+  out += payload;
+  return out;
+}
+
+ParseResult tryParseFrame(const std::string& buffer) {
+  ParseResult r;
+  if (buffer.size() < 4) {
+    r.status = ParseStatus::NeedMore;
+    return r;
+  }
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(buffer[0])) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(buffer[1])) << 8 |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(buffer[2])) << 16 |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(buffer[3])) << 24;
+  if (length == 0) {
+    r.status = ParseStatus::Corrupt;
+    r.error = "fleet frame with zero length (missing type byte)";
+    return r;
+  }
+  if (length > kMaxFrameBytes) {
+    r.status = ParseStatus::Corrupt;
+    r.error = "fleet frame length " + std::to_string(length) +
+              " exceeds the " + std::to_string(kMaxFrameBytes) +
+              "-byte limit (corrupt stream?)";
+    return r;
+  }
+  // Validate the type as soon as it is visible: a corrupt discriminator
+  // should not wait for a possibly-large payload to arrive.
+  if (buffer.size() >= 5 && !knownFrameType(
+          static_cast<std::uint8_t>(buffer[4]))) {
+    r.status = ParseStatus::Corrupt;
+    r.error = "unknown fleet frame type byte " +
+              std::to_string(static_cast<unsigned char>(buffer[4]));
+    return r;
+  }
+  if (buffer.size() < 4u + length) {
+    r.status = ParseStatus::NeedMore;
+    return r;
+  }
+  r.status = ParseStatus::Ok;
+  r.frame.type = static_cast<FrameType>(buffer[4]);
+  r.frame.payload = buffer.substr(5, length - 1);
+  r.consumed = 4u + length;
+  return r;
+}
+
+// --- HELLO ----------------------------------------------------------------
+
+std::string encodeHello() {
+  return "MTTFLEET " + std::to_string(kProtocolVersion);
+}
+
+bool decodeHello(const std::string& payload, std::uint32_t& version,
+                 std::string& err) {
+  const std::string magic = "MTTFLEET ";
+  if (payload.compare(0, magic.size(), magic) != 0) {
+    err = "HELLO payload does not start with \"MTTFLEET \"";
+    return false;
+  }
+  if (!parseU32(payload.substr(magic.size()), version)) {
+    err = "HELLO payload carries a malformed protocol version";
+    return false;
+  }
+  return true;
+}
+
+// --- SPEC -----------------------------------------------------------------
+
+namespace {
+
+void appendSpecLine(std::string& out, const char* key,
+                    const std::string& value) {
+  out += key;
+  out += '\t';
+  farm::appendEscapedField(out, value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string encodeSpec(const experiment::RunSpec& spec) {
+  std::string out = "MTTSPEC 1\n";
+  appendSpecLine(out, "program", spec.programName);
+  appendSpecLine(out, "mode", spec.tool.mode == RuntimeMode::Controlled
+                                  ? "controlled"
+                                  : "native");
+  appendSpecLine(out, "policy", spec.tool.policy);
+  appendSpecLine(out, "noise", spec.tool.noiseName);
+  appendSpecLine(out, "strength", formatDouble(spec.tool.noiseOpts.strength));
+  appendSpecLine(out, "max-yields",
+                 std::to_string(spec.tool.noiseOpts.maxYields));
+  appendSpecLine(out, "max-sleep-native",
+                 std::to_string(spec.tool.noiseOpts.maxSleepNative));
+  appendSpecLine(out, "max-sleep-controlled",
+                 std::to_string(spec.tool.noiseOpts.maxSleepControlled));
+  for (const std::string& t : spec.tool.noiseTargets) {
+    appendSpecLine(out, "target", t);
+  }
+  for (const std::string& d : spec.tool.detectors) {
+    appendSpecLine(out, "detector", d);
+  }
+  appendSpecLine(out, "lock-graph", spec.tool.lockGraph ? "1" : "0");
+  appendSpecLine(out, "coverage", spec.tool.coverage);
+  appendSpecLine(out, "closed-universe",
+                 spec.tool.coverageClosedUniverse ? "1" : "0");
+  appendSpecLine(out, "seed-base", std::to_string(spec.seedBase));
+  if (spec.runOptions.has_value()) {
+    appendSpecLine(out, "max-steps", std::to_string(spec.runOptions->maxSteps));
+    appendSpecLine(out, "block-timeout-ms",
+                   std::to_string(spec.runOptions->blockTimeout.count()));
+    appendSpecLine(out, "dispatch-timing",
+                   spec.runOptions->dispatchTiming ? "1" : "0");
+  }
+  return out;
+}
+
+bool decodeSpec(const std::string& payload, experiment::RunSpec& out,
+                std::string& err) {
+  std::vector<std::string> lines = splitLines(payload);
+  if (lines.empty() || lines[0] != "MTTSPEC 1") {
+    err = "SPEC payload missing the \"MTTSPEC 1\" header";
+    return false;
+  }
+  experiment::RunSpec spec;
+  bool sawProgram = false;
+  rt::RunOptions runOpts;
+  bool sawRunOpts = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::vector<std::string> f = farm::splitTabFields(lines[i]);
+    if (f.size() != 2) {
+      err = "SPEC line " + std::to_string(i + 1) +
+            " is not a key/value pair: \"" + lines[i] + "\"";
+      return false;
+    }
+    const std::string& key = f[0];
+    const std::string value = farm::unescapeField(f[1]);
+    bool ok = true;
+    if (key == "program") {
+      spec.programName = value;
+      sawProgram = true;
+    } else if (key == "mode") {
+      if (value == "controlled") {
+        spec.tool.mode = RuntimeMode::Controlled;
+      } else if (value == "native") {
+        spec.tool.mode = RuntimeMode::Native;
+      } else {
+        ok = false;
+      }
+    } else if (key == "policy") {
+      spec.tool.policy = value;
+    } else if (key == "noise") {
+      spec.tool.noiseName = value;
+    } else if (key == "strength") {
+      ok = parseDouble(value, spec.tool.noiseOpts.strength);
+    } else if (key == "max-yields") {
+      ok = parseU32(value, spec.tool.noiseOpts.maxYields);
+    } else if (key == "max-sleep-native") {
+      ok = parseU32(value, spec.tool.noiseOpts.maxSleepNative);
+    } else if (key == "max-sleep-controlled") {
+      ok = parseU32(value, spec.tool.noiseOpts.maxSleepControlled);
+    } else if (key == "target") {
+      spec.tool.noiseTargets.insert(value);
+    } else if (key == "detector") {
+      spec.tool.detectors.push_back(value);
+    } else if (key == "lock-graph") {
+      ok = parseBool(value, spec.tool.lockGraph);
+    } else if (key == "coverage") {
+      spec.tool.coverage = value;
+    } else if (key == "closed-universe") {
+      ok = parseBool(value, spec.tool.coverageClosedUniverse);
+    } else if (key == "seed-base") {
+      ok = parseU64(value, spec.seedBase);
+    } else if (key == "max-steps") {
+      ok = parseU64(value, runOpts.maxSteps);
+      sawRunOpts = true;
+    } else if (key == "block-timeout-ms") {
+      std::uint64_t ms = 0;
+      ok = parseU64(value, ms);
+      runOpts.blockTimeout = std::chrono::milliseconds(ms);
+      sawRunOpts = true;
+    } else if (key == "dispatch-timing") {
+      ok = parseBool(value, runOpts.dispatchTiming);
+      sawRunOpts = true;
+    } else {
+      err = "SPEC carries unknown key \"" + key +
+            "\" (worker and coordinator builds differ?)";
+      return false;
+    }
+    if (!ok) {
+      err = "SPEC key \"" + key + "\" has malformed value \"" + value + "\"";
+      return false;
+    }
+  }
+  if (!sawProgram) {
+    err = "SPEC payload names no program";
+    return false;
+  }
+  if (sawRunOpts) spec.runOptions = runOpts;
+  out = std::move(spec);
+  return true;
+}
+
+// --- LEASE ----------------------------------------------------------------
+
+std::string encodeLease(const LeasePayload& lease) {
+  std::string out = std::to_string(lease.leaseId);
+  out += '\n';
+  for (const RunAssignment& a : lease.runs) {
+    out += std::to_string(a.index);
+    out += '\t';
+    out += std::to_string(a.seed);
+    out += '\t';
+    farm::appendEscapedField(out, a.noiseName);
+    out += '\t';
+    out += formatDouble(a.strength);
+    out += '\n';
+  }
+  return out;
+}
+
+bool decodeLease(const std::string& payload, LeasePayload& out,
+                 std::string& err) {
+  std::vector<std::string> lines = splitLines(payload);
+  if (lines.empty()) {
+    err = "LEASE payload is empty";
+    return false;
+  }
+  LeasePayload lease;
+  if (!parseU64(lines[0], lease.leaseId)) {
+    err = "LEASE payload carries a malformed lease id \"" + lines[0] + "\"";
+    return false;
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::vector<std::string> f = farm::splitTabFields(lines[i]);
+    RunAssignment a;
+    if (f.size() != 4 || !parseU64(f[0], a.index) || !parseU64(f[1], a.seed) ||
+        !parseDouble(f[3], a.strength)) {
+      err = "LEASE assignment line " + std::to_string(i + 1) +
+            " is malformed: \"" + lines[i] + "\"";
+      return false;
+    }
+    a.noiseName = farm::unescapeField(f[2]);
+    lease.runs.push_back(std::move(a));
+  }
+  out = std::move(lease);
+  return true;
+}
+
+// --- RECORD / LEASE_DONE --------------------------------------------------
+
+std::string encodeRecord(std::uint64_t leaseId,
+                         const experiment::RunObservation& obs) {
+  return std::to_string(leaseId) + '\t' + farm::encodePipeRecord(obs);
+}
+
+bool decodeRecord(const std::string& payload, std::uint64_t& leaseId,
+                  experiment::RunObservation& obs, std::string& err) {
+  const std::size_t tab = payload.find('\t');
+  if (tab == std::string::npos || !parseU64(payload.substr(0, tab), leaseId)) {
+    err = "RECORD payload carries a malformed lease id prefix";
+    return false;
+  }
+  if (!farm::decodePipeRecord(payload.substr(tab + 1), obs)) {
+    err = "RECORD payload carries a malformed pipe record";
+    return false;
+  }
+  return true;
+}
+
+std::string encodeLeaseDone(std::uint64_t leaseId) {
+  return std::to_string(leaseId);
+}
+
+bool decodeLeaseDone(const std::string& payload, std::uint64_t& leaseId,
+                     std::string& err) {
+  if (!parseU64(payload, leaseId)) {
+    err = "LEASE_DONE payload carries a malformed lease id";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mtt::fleet

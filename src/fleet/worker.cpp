@@ -1,0 +1,269 @@
+#include "fleet/worker.hpp"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "experiment/experiment.hpp"
+#include "farm/farm.hpp"
+#include "farm/record_io.hpp"
+#include "fleet/net.hpp"
+#include "fleet/protocol.hpp"
+#include "suite/program.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MTT_FLEET_HAS_SOCKETS 1
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace mtt::fleet {
+
+#ifndef MTT_FLEET_HAS_SOCKETS
+
+WorkerStats runWorker(const WorkerOptions&) {
+  throw std::runtime_error("mtt::fleet requires POSIX sockets");
+}
+
+#else
+
+namespace {
+
+/// Internal signal: the coordinator vanished mid-send (EPIPE/reset).
+/// Handled as an orderly exit, exactly like reading EOF — the coordinator
+/// races QUIT delivery against closing the socket, and a worker must not
+/// treat losing that race as a crash.
+struct ConnectionClosed {
+  std::string detail;
+};
+
+class WorkerSession {
+ public:
+  WorkerSession(const WorkerOptions& options)
+      : options_(options),
+        sock_(connectTo(parseAddress(options.connect),
+                        options.connectTimeout)) {}
+
+  WorkerStats run() {
+    farm::detail::applyRunLimits(options_.memLimitMb, options_.cpuLimitSec);
+    try {
+      return serve();
+    } catch (const ConnectionClosed&) {
+      stats_.exitReason = "coordinator connection closed";
+      return stats_;
+    }
+  }
+
+ private:
+  WorkerStats serve() {
+    send(FrameType::Hello, encodeHello());
+    for (;;) {
+      Frame frame;
+      if (!nextFrame(frame)) {
+        // EOF races QUIT delivery during normal campaign teardown; treat
+        // a vanished coordinator as an orderly exit, not a crash.
+        stats_.exitReason = "coordinator connection closed";
+        return stats_;
+      }
+      if (stopped()) {
+        stats_.exitReason = "stopped by signal";
+        return stats_;
+      }
+      switch (frame.type) {
+        case FrameType::Spec:
+          adoptSpec(frame.payload);
+          break;
+        case FrameType::Lease:
+          executeLease(frame.payload);
+          break;
+        case FrameType::Quit:
+          stats_.exitReason = frame.payload.empty()
+                                  ? "coordinator closed the campaign"
+                                  : frame.payload;
+          return stats_;
+        case FrameType::Error:
+          throw std::runtime_error("fleet coordinator rejected this worker: " +
+                                   frame.payload);
+        case FrameType::Heartbeat:
+          break;
+        case FrameType::Hello:
+        case FrameType::Record:
+        case FrameType::LeaseDone: {
+          const std::string msg = "unexpected frame from coordinator";
+          send(FrameType::Error, msg);
+          throw std::runtime_error("fleet worker: " + msg);
+        }
+      }
+    }
+  }
+
+  bool stopped() const {
+    return options_.stopFlag != nullptr &&
+           options_.stopFlag->load(std::memory_order_relaxed);
+  }
+
+  void send(FrameType type, const std::string& payload) {
+    const std::string bytes = encodeFrame(type, payload);
+    std::string err;
+    if (!sendAll(sock_.fd(), bytes, err)) throw ConnectionClosed{err};
+    stats_.bytesSent += bytes.size();
+  }
+
+  /// Blocks for the next frame, emitting idle heartbeats.  False on EOF.
+  /// Throws on read errors and corrupt streams.
+  bool nextFrame(Frame& out) {
+    for (;;) {
+      ParseResult r = tryParseFrame(rx_);
+      if (r.status == ParseStatus::Ok) {
+        rx_.erase(0, r.consumed);
+        out = std::move(r.frame);
+        return true;
+      }
+      if (r.status == ParseStatus::Corrupt) {
+        send(FrameType::Error, r.error);
+        throw std::runtime_error("fleet worker: coordinator stream corrupt: " +
+                                 r.error);
+      }
+      pollfd p{sock_.fd(), POLLIN, 0};
+      const int rc = ::poll(
+          &p, 1, static_cast<int>(options_.heartbeatInterval.count()));
+      if (stopped()) return false;
+      if (rc == 0) {
+        send(FrameType::Heartbeat, "");
+        continue;
+      }
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("fleet worker poll: ") +
+                                 std::strerror(errno));
+      }
+      char buf[64 * 1024];
+      const ssize_t n = ::recv(sock_.fd(), buf, sizeof buf, 0);
+      if (n == 0) return false;
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        throw std::runtime_error(std::string("fleet worker recv: ") +
+                                 std::strerror(errno));
+      }
+      stats_.bytesReceived += static_cast<std::uint64_t>(n);
+      rx_.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  void adoptSpec(const std::string& payload) {
+    experiment::RunSpec spec;
+    std::string err;
+    if (!decodeSpec(payload, spec, err)) {
+      send(FrameType::Error, err);
+      throw std::runtime_error("fleet worker: " + err);
+    }
+    // Validate on THIS build before accepting work: an unknown program or
+    // tool must be one handshake error, not a stream of infra-errors.
+    try {
+      experiment::validateToolConfig(spec.tool);
+      suite::makeProgram(spec.programName);
+    } catch (const std::exception& e) {
+      send(FrameType::Error, e.what());
+      throw std::runtime_error(
+          std::string("fleet worker cannot execute this spec: ") + e.what());
+    }
+    spec_ = std::move(spec);
+    stacks_.clear();
+    haveSpec_ = true;
+  }
+
+  experiment::ToolStack& stackFor(const experiment::ToolConfig& tool) {
+    auto it = stacks_.find(tool.noiseName);
+    if (it == stacks_.end()) {
+      it = stacks_
+               .emplace(tool.noiseName, std::make_unique<experiment::ToolStack>(
+                                            experiment::makeToolStack(tool)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  void executeLease(const std::string& payload) {
+    if (!haveSpec_) {
+      const std::string msg = "LEASE before SPEC";
+      send(FrameType::Error, msg);
+      throw std::runtime_error("fleet worker: " + msg);
+    }
+    LeasePayload lease;
+    std::string err;
+    if (!decodeLease(payload, lease, err)) {
+      send(FrameType::Error, err);
+      throw std::runtime_error("fleet worker: " + err);
+    }
+    for (const RunAssignment& a : lease.runs) {
+      if (stopped()) break;
+      experiment::RunObservation obs = executeAssignment(a);
+      obs.runIndex = a.index;  // global campaign index, not the local 0
+      send(FrameType::Record, encodeRecord(lease.leaseId, obs));
+      ++stats_.recordsSent;
+    }
+    send(FrameType::LeaseDone, encodeLeaseDone(lease.leaseId));
+    ++stats_.leases;
+  }
+
+  experiment::RunObservation executeAssignment(const RunAssignment& a) {
+    experiment::RunSpec rs = spec_;
+    if (!a.noiseName.empty()) {
+      rs.tool.noiseName = a.noiseName;
+      rs.tool.noiseOpts.strength = a.strength;
+    }
+    rs.seedBase = a.seed;  // executeRun(rs, 0) then runs exactly `seed`
+    std::string lastError;
+    for (std::uint32_t attempt = 1;; ++attempt) {
+      try {
+        experiment::ToolStack& stack = stackFor(rs.tool);
+        if (stack.noiseMaker() != nullptr) {
+          stack.noiseMaker()->setOptions(rs.tool.noiseOpts);
+        }
+        experiment::RunObservation obs = experiment::executeRun(rs, 0, stack);
+        obs.attempts = attempt;
+        ++stats_.runsExecuted;
+        return obs;
+      } catch (const std::exception& e) {
+        lastError = e.what();
+      } catch (...) {
+        lastError = "unknown harness error";
+      }
+      if (attempt > options_.maxRetries) {
+        experiment::RunObservation obs;
+        obs.runIndex = a.index;
+        obs.seed = a.seed;
+        obs.status = "infra-error";
+        obs.failureMessage = lastError;
+        obs.attempts = attempt;
+        return obs;
+      }
+      std::this_thread::sleep_for(options_.retryBackoff * (1u << (attempt - 1)));
+    }
+  }
+
+  const WorkerOptions& options_;
+  Socket sock_;
+  std::string rx_;
+  WorkerStats stats_;
+  experiment::RunSpec spec_;
+  bool haveSpec_ = false;
+  std::map<std::string, std::unique_ptr<experiment::ToolStack>> stacks_;
+};
+
+}  // namespace
+
+WorkerStats runWorker(const WorkerOptions& options) {
+  WorkerSession session(options);
+  return session.run();
+}
+
+#endif  // MTT_FLEET_HAS_SOCKETS
+
+}  // namespace mtt::fleet

@@ -326,6 +326,16 @@ GuideResult runGuided(const experiment::RunSpec& baseIn,
         "guide: no arms — configure at least one heuristic and strength, "
         "or a corpus with entries for the program");
   }
+  if (opts.batchRunner) {
+    for (const Arm& a : arms) {
+      if (a.witness != nullptr) {
+        throw std::runtime_error(
+            "guide: schedule-mutation arms require in-process execution — "
+            "fleet workers have no corpus (drop --corpus or the "
+            "batch runner)");
+      }
+    }
+  }
 
   // The campaign identity: program, tool config, seed base, arm set.  The
   // digest guards both the journal and the decision log against resuming
@@ -574,7 +584,24 @@ GuideResult runGuided(const experiment::RunSpec& baseIn,
 
     std::map<std::uint64_t, experiment::RunObservation> fresh;
     bool batchCancelled = false;
-    if (!toRun.empty()) {
+    if (!toRun.empty() && opts.batchRunner) {
+      // External executor (fleet): ship (index, seed, arm) and take the
+      // records back.  The fold below is identical to the farm path, so
+      // where a run executed cannot leak into the folded prefix.
+      std::vector<GuideBatchRun> req;
+      req.reserve(toRun.size());
+      for (const Slot& s : toRun) {
+        req.push_back(GuideBatchRun{s.idx, s.seed, s.arm, arms[s.arm].noise,
+                                    arms[s.arm].strength});
+      }
+      GuideBatchOutcome out = opts.batchRunner(req);
+      g.retries += out.retries;
+      batchCancelled = out.stoppedEarly;
+      for (auto& [idx, r] : out.records) {
+        r.runIndex = idx;  // the map key is authoritative
+        fresh.emplace(idx, std::move(r));
+      }
+    } else if (!toRun.empty()) {
       farm::FarmOptions inner = opts.farm;
       inner.journalPath.clear();
       inner.resume = false;

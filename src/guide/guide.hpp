@@ -29,6 +29,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -78,6 +80,35 @@ class MutatedReplayPolicy final : public rt::SchedulePolicy {
   rt::RandomPolicy tail_;
 };
 
+/// One run of a guided batch, as handed to an external BatchRunner: the
+/// (global index, seed, noise arm) triple that pins the observation in
+/// controlled mode.  Mutation arms carry in-process witness state and are
+/// therefore never expressed as a GuideBatchRun (see GuideOptions).
+struct GuideBatchRun {
+  std::uint64_t index = 0;   ///< campaign-global run index
+  std::uint64_t seed = 0;
+  std::size_t armIndex = 0;  ///< into the campaign's arm vector
+  std::string noiseName;     ///< the arm's heuristic
+  double strength = 0.0;     ///< the arm's noise strength
+};
+
+struct GuideBatchOutcome {
+  /// Executed records keyed by campaign-global index.  Missing indices are
+  /// treated as a cancelled batch tail (exactly like the in-process farm
+  /// path after an early stop).
+  std::map<std::uint64_t, experiment::RunObservation> records;
+  bool stoppedEarly = false;
+  std::size_t retries = 0;
+};
+
+/// External batch executor (the fleet coordinator, in practice): receives
+/// the batch's assignments and returns their records.  The guide folds the
+/// records in global index order regardless of how the runner produced
+/// them, so a correct runner yields byte-identical timing-free reports to
+/// the in-process farm path.
+using BatchRunner =
+    std::function<GuideBatchOutcome(const std::vector<GuideBatchRun>&)>;
+
 struct GuideOptions {
   /// Plain arms = heuristics × strengths.
   std::vector<std::string> heuristics{"yield", "sleep", "mixed",
@@ -109,9 +140,17 @@ struct GuideOptions {
   /// Stop once every fingerprint in this set has been observed (bench
   /// harnesses: "reach the fixed campaign's bug set in fewer runs").
   std::set<std::string> targetFingerprints;
+  /// When set, batches execute through this runner instead of the
+  /// in-process farm (mtt serve --adaptive routes them to fleet workers).
+  /// Incompatible with corpus mutation arms: their witness schedules live
+  /// in this process and cannot cross the wire, so runGuided throws when
+  /// both are configured.
+  BatchRunner batchRunner;
   /// Farm passthrough: jobs, runTimeout, model, jsonl, progress, limits,
   /// stopFlag... journalPath/resume are honored by the GUIDE (which owns
   /// the journal so batches share one file); inner batches never journal.
+  /// With a batchRunner, jobs still fixes the batch width (and with it the
+  /// bandit decision sequence) but spawns no local workers.
   farm::FarmOptions farm;
 };
 

@@ -1,7 +1,10 @@
 // Tests for the concurrency coverage models and the cross-run accumulator.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
+#include <vector>
 
 #include "coverage/coverage.hpp"
 #include "model/static.hpp"
@@ -371,22 +374,6 @@ TEST(ResetTool, ReusedStackMatchesBuildPerRunSnapshots) {
   }
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DeprecatedShims, CoveredAndKnownStillAnswer) {
-  // The legacy accessors survive one release as shims; this is their only
-  // sanctioned call site.
-  auto rt = rt::makeRuntime(RuntimeMode::Controlled);
-  VarContentionCoverage cov(namesOf(*rt));
-  rt->hooks().add(&cov);
-  rt::RunOptions o;
-  o.seed = 4;
-  rt->run(contentionBody, o);
-  EXPECT_EQ(cov.covered(), cov.snapshot().covered);
-  EXPECT_EQ(cov.known(), cov.snapshot().known);
-}
-#pragma GCC diagnostic pop
-
 TEST(Accumulator, NoSaturationWhileGrowing) {
   CoverageAccumulator acc;
   class FakeModel : public CoverageModel {
@@ -405,6 +392,51 @@ TEST(Accumulator, NoSaturationWhileGrowing) {
   }
   EXPECT_EQ(acc.saturationRun(3), 0u);
 }
+
+#ifdef MTT_SOURCE_DIR
+// The covered()/known() accessor shims were deleted after every caller
+// migrated to snapshot()/runSnapshot(); this scan keeps them from creeping
+// back in (a reintroduced call would copy string sets under the model
+// mutex on every record).
+TEST(RemovedShims, NoCoveredOrKnownAccessorCallsInTree) {
+  namespace fs = std::filesystem;
+  // Assembled at runtime so this file's own source lines never match.
+  std::vector<std::string> banned;
+  for (const char* name : {"covered", "known"}) {
+    banned.push_back(std::string(".") + name + "()");
+    banned.push_back(std::string("->") + name + "()");
+  }
+  std::vector<std::string> offenders;
+  for (const char* sub : {"src", "tools", "bench", "tests"}) {
+    fs::path root = fs::path(MTT_SOURCE_DIR) / sub;
+    ASSERT_TRUE(fs::exists(root)) << root;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      fs::path p = entry.path();
+      if (p.extension() != ".hpp" && p.extension() != ".cpp") continue;
+      std::ifstream in(p);
+      std::string line;
+      std::size_t lineNo = 0;
+      while (std::getline(in, line)) {
+        ++lineNo;
+        for (const std::string& token : banned) {
+          if (line.find(token) != std::string::npos) {
+            offenders.push_back(p.string() + ":" + std::to_string(lineNo) +
+                                ": " + line);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(offenders.empty())
+      << "deleted CoverageModel shim accessors referenced by:\n"
+      << [&] {
+           std::string all;
+           for (const std::string& o : offenders) all += o + "\n";
+           return all;
+         }();
+}
+#endif  // MTT_SOURCE_DIR
 
 }  // namespace
 }  // namespace mtt::coverage

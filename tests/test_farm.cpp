@@ -146,6 +146,54 @@ TEST(RecordIo, DecodeRejectsGarbage) {
   EXPECT_FALSE(decodePipeRecord("", o));
 }
 
+TEST(RecordIo, EscapeHelpersRoundTripSeparatorBytes) {
+  // The shared codec (worker pipe, journal, fleet frames) must round-trip
+  // every byte that doubles as a record separator.
+  const std::string nasty[] = {
+      "",
+      "plain",
+      "tab\tnewline\nreturn\rbackslash\\",
+      "\\t is not a tab",
+      "\t\n\r\\\t\n\r\\",
+      std::string("embedded\0nul", 12),
+  };
+  for (const std::string& s : nasty) {
+    std::string enc;
+    appendEscapedField(enc, s);
+    EXPECT_EQ(enc.find('\t'), std::string::npos);
+    EXPECT_EQ(enc.find('\n'), std::string::npos);
+    EXPECT_EQ(unescapeField(enc), s);
+  }
+  // Escaped fields split cleanly even when the raw values contain tabs.
+  std::string joined;
+  appendEscapedField(joined, "a\tb");
+  joined += '\t';
+  appendEscapedField(joined, "c\nd");
+  std::vector<std::string> fields = splitTabFields(joined);
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(unescapeField(fields[0]), "a\tb");
+  EXPECT_EQ(unescapeField(fields[1]), "c\nd");
+}
+
+TEST(RecordIo, EveryBytePrefixDecodesOrRejectsCleanly) {
+  experiment::RunObservation o;
+  o.runIndex = 7;
+  o.seed = 123;
+  o.status = "completed";
+  o.outcome = "tab\tand\nnewline";
+  o.failureMessage = "back\\slash";
+  o.wallSeconds = 0.5;
+  const std::string full = encodePipeRecord(o);
+  experiment::RunObservation back;
+  ASSERT_TRUE(decodePipeRecord(full, back));
+  // Totality under truncation: a crashed worker can cut the pipe at any
+  // byte; decode must return false (or a valid shorter parse), never crash.
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    experiment::RunObservation scratch;
+    (void)decodePipeRecord(full.substr(0, n), scratch);
+  }
+}
+
 TEST(RecordIo, JsonHasTheDocumentedFields) {
   experiment::RunObservation o;
   o.runIndex = 5;
@@ -364,6 +412,37 @@ TEST(FarmJsonl, StreamsOneRecordPerRun) {
   }
   EXPECT_EQ(lines, 10u);
   std::remove(path.c_str());
+}
+
+TEST(FarmScrub, ScrubTimingMakesJournalsByteReproducible) {
+  // With scrubTiming, every record's wall-clock fields are zeroed at
+  // delivery, so two executions of the same campaign write byte-identical
+  // journals (the property the fleet's byte-compare smoke test rests on).
+  // jobs = 1 because the journal is an arrival-order log: only the serial
+  // farm (and the fleet's reorder buffer) pin the line order.
+  auto spec = accountSpec(12);
+  std::string journals[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    std::string path = ::testing::TempDir() + "farm_scrub_" +
+                       std::to_string(pass) + ".journal";
+    std::remove(path.c_str());
+    FarmOptions fo;
+    fo.jobs = 1;
+    fo.scrubTiming = true;
+    fo.journalPath = path;
+    ExperimentCampaign ec = runExperimentFarm(spec, fo);
+    for (const auto& r : ec.campaign.records) {
+      EXPECT_EQ(r.wallSeconds, 0.0);
+      EXPECT_EQ(r.dispatchNsPerEvent, 0.0);
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    journals[pass] = ss.str();
+    std::remove(path.c_str());
+  }
+  ASSERT_FALSE(journals[0].empty());
+  EXPECT_EQ(journals[0], journals[1]);
 }
 
 // --- supervised outcomes flow into the experiment merge --------------------

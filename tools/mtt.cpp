@@ -33,6 +33,9 @@
 #include "experiment/experiment.hpp"
 #include "farm/farm.hpp"
 #include "explore/explorer.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/guide_runner.hpp"
+#include "fleet/worker.hpp"
 #include "guide/guide.hpp"
 #include "model/checker.hpp"
 #include "model/static.hpp"
@@ -150,6 +153,12 @@ int usage() {
       "                [--jsonl FILE] [--isolate] [--progress] [--no-timing]\n"
       "                [--journal FILE] [--resume FILE]\n"
       "                [--adaptive] [--budget N] [--saturate] [--coverage M]\n"
+      "  serve <program> [--listen ADDR] [--runs N] [--lease-size N]\n"
+      "                [--lease-timeout-ms T] [--max-leases N]\n"
+      "                [--quarantine-after N] [--adaptive] [--budget N]\n"
+      "                [--journal FILE] [--resume FILE] [--scrub-timing]\n"
+      "  worker --connect ADDR [--connect-timeout-ms T] [--retries N]\n"
+      "                [--worker-mem-mb N] [--worker-cpu-s N]\n"
       "  check <program>                        static + model checking\n"
       "\n"
       "  farm flags: --jobs N shards runs over N workers (0 = all cores);\n"
@@ -179,7 +188,17 @@ int usage() {
       "  --coverage M picks the model (default switch-pair); --closed-\n"
       "  universe declares the static task universe.  Arm decisions append\n"
       "  to --guide-log FILE (default: <journal>.arms); --guide-replay FILE\n"
-      "  re-runs a logged campaign byte-identically for any --jobs.\n",
+      "  re-runs a logged campaign byte-identically for any --jobs.\n"
+      "\n"
+      "  fleet flags: serve listens on --listen (host:port, port 0 =\n"
+      "  ephemeral, or unix:/path.sock) and shards runs into --lease-size\n"
+      "  leases over connected workers; dead/hung workers are quarantined\n"
+      "  and their leases reassigned, so the final report and journal are\n"
+      "  byte-identical to the single-machine --jobs 1 run (--scrub-timing\n"
+      "  zeroes wall-clock record fields for exact journal comparison).\n"
+      "  serve --adaptive runs the guided campaign with batches leased to\n"
+      "  the fleet.  worker executes leased runs until the coordinator\n"
+      "  closes the campaign.\n",
       stderr);
   return 2;
 }
@@ -294,6 +313,7 @@ farm::FarmOptions farmOptions(const Args& a) {
   fo.postmortemDir = a.get("postmortem-dir", "");
   fo.workerMemLimitMb = static_cast<std::size_t>(a.getU64("worker-mem-mb", 0));
   fo.workerCpuLimitSec = static_cast<std::size_t>(a.getU64("worker-cpu-s", 0));
+  fo.scrubTiming = a.has("scrub-timing");
   fo.stopFlag = &g_stopRequested;
   installStopHandlers();
   return fo;
@@ -303,7 +323,8 @@ bool farmRequested(const Args& a) {
   return a.has("jobs") || a.has("timeout-ms") || a.has("jsonl") ||
          a.has("isolate") || a.has("progress") || a.has("journal") ||
          a.has("resume") || a.has("postmortem-dir") ||
-         a.has("worker-mem-mb") || a.has("worker-cpu-s");
+         a.has("worker-mem-mb") || a.has("worker-cpu-s") ||
+         a.has("scrub-timing");
 }
 
 // Partial-summary epilogue for a campaign the user interrupted: says what
@@ -1116,6 +1137,147 @@ int cmdExperiment(const Args& a) {
   return 0;
 }
 
+// --- fleet: serve / worker ---------------------------------------------------
+
+fleet::FleetOptions fleetOptionsFromArgs(const Args& a) {
+  fleet::FleetOptions fl;
+  fl.listen = a.get("listen", "127.0.0.1:0");
+  fl.leaseSize = static_cast<std::size_t>(a.getU64("lease-size", 16));
+  fl.maxLeasesPerWorker = static_cast<std::size_t>(a.getU64("max-leases", 2));
+  fl.leaseTimeout = std::chrono::milliseconds(a.getU64("lease-timeout-ms", 30000));
+  fl.quarantineAfter =
+      static_cast<std::size_t>(a.getU64("quarantine-after", 3));
+  fl.indexGiveUp = static_cast<std::size_t>(a.getU64("index-give-up", 3));
+  fl.onListen = [](const std::string& addr) {
+    std::fprintf(stderr, "[fleet] listening on %s\n", addr.c_str());
+    std::fprintf(stderr, "[fleet] connect workers with: mtt worker --connect %s\n",
+                 addr.c_str());
+  };
+  fl.farm = farmOptions(a);
+  return fl;
+}
+
+void fleetEpilogue(const fleet::FleetCounters& fc) {
+  std::fprintf(
+      stderr,
+      "[fleet] workers: %zu connected, %zu quarantined; leases: %zu granted, "
+      "%zu reassigned; records: %llu streamed, %llu duplicate(s) dropped; "
+      "wire: %.2f MiB in, %.2f MiB out\n",
+      fc.workersConnected, fc.workersQuarantined, fc.leasesGranted,
+      fc.leasesReassigned, static_cast<unsigned long long>(fc.recordsStreamed),
+      static_cast<unsigned long long>(fc.duplicatesDropped),
+      static_cast<double>(fc.bytesReceived) / (1024.0 * 1024.0),
+      static_cast<double>(fc.bytesSent) / (1024.0 * 1024.0));
+}
+
+// serve --adaptive: runGuided with its batches leased to fleet workers.
+// The batch width (and with it the bandit decision sequence) is --jobs, so
+// the timing-free report byte-matches a local guided run with the same
+// --jobs regardless of how many workers serve the campaign.
+int cmdServeAdaptive(const Args& a) {
+  if (a.has("corpus")) {
+    throw std::runtime_error(
+        "serve --adaptive cannot use --corpus: schedule-mutation arms "
+        "require in-process execution and fleet workers have no corpus");
+  }
+  experiment::RunSpec base = runSpecFromArgs(a, "rr");
+  // runGuided applies this default internally; workers must see the same
+  // tool config, so pin it before the spec crosses the wire.
+  if (base.tool.coverage.empty()) base.tool.coverage = "switch-pair";
+  guide::GuideOptions go = guideOptionsFromArgs(a, a.getU64("runs", 100));
+  if (a.has("noise")) go.heuristics = splitList(a.get("noise", ""));
+  fleet::FleetOptions fl = fleetOptionsFromArgs(a);
+  fleet::Coordinator coordinator(base, fl);
+  go.batchRunner = fleet::makeGuideBatchRunner(coordinator, false);
+  guide::GuideResult g = guide::runGuided(base, go);
+  coordinator.shutdown();
+  std::fputs(guide::guideReport(g, !a.has("no-timing")).c_str(), stdout);
+  experiment::ReportOptions ro;
+  ro.timing = !a.has("no-timing");
+  std::fputs(experiment::findRateReport(
+                 "adaptive experiment / " + base.programName, {g.result}, ro)
+                 .c_str(),
+             stdout);
+  fleetEpilogue(coordinator.counters());
+  if (g_stopRequested.load()) {
+    std::fprintf(stderr, "mtt: interrupted; the report above is partial\n");
+    if (!go.farm.journalPath.empty()) {
+      std::fprintf(stderr, "mtt: resume with: --resume %s\n",
+                   go.farm.journalPath.c_str());
+    }
+    return kInterruptedExit;
+  }
+  return 0;
+}
+
+// serve: the coordinator side of a distributed campaign.  The spec flags
+// mean exactly what they mean for `experiment` with a single heuristic;
+// workers connect with `mtt worker --connect ADDR` and the folded report is
+// byte-identical to the single-machine run of the same spec.
+int cmdServe(const Args& a) {
+  if (a.positional.empty()) return usage();
+  if (a.has("adaptive")) return cmdServeAdaptive(a);
+  experiment::ExperimentSpec spec;
+  static_cast<experiment::RunSpec&>(spec) = runSpecFromArgs(a, "rr");
+  spec.runs = a.getU64("runs", 100);
+  experiment::validateToolConfig(spec.tool);
+  fleet::FleetOptions fl = fleetOptionsFromArgs(a);
+  farm::ExperimentCampaign ec = fleet::runExperimentFleet(spec, fl);
+  experiment::ReportOptions ro;
+  ro.timing = !a.has("no-timing");
+  std::fputs(experiment::findRateReport(
+                 "prepared experiment / " + a.positional[0], {ec.result}, ro)
+                 .c_str(),
+             stdout);
+  const std::size_t supervisedRuns =
+      ec.campaign.timeouts + ec.campaign.crashes + ec.campaign.infraErrors;
+  if (supervisedRuns > 0) {
+    std::fprintf(stderr,
+                 "mtt: %zu run(s) ended under fleet supervision "
+                 "(timeout/crash/infra); see statusCounts or --jsonl\n",
+                 supervisedRuns);
+  }
+  fleetEpilogue(fleet::lastFleetCounters());
+  if (g_stopRequested.load()) {
+    std::fprintf(stderr, "mtt: interrupted; the report above is partial\n");
+    if (!fl.farm.journalPath.empty()) {
+      std::fprintf(stderr, "mtt: resume with: --resume %s\n",
+                   fl.farm.journalPath.c_str());
+    }
+    return kInterruptedExit;
+  }
+  return 0;
+}
+
+// worker: the executor side.  Connects, executes leased runs, exits when
+// the coordinator closes the campaign.
+int cmdWorker(const Args& a) {
+  fleet::WorkerOptions wo;
+  wo.connect = a.get("connect", "");
+  if (wo.connect.empty()) {
+    std::fprintf(stderr, "mtt worker requires --connect HOST:PORT or "
+                         "--connect unix:/path.sock\n");
+    return 2;
+  }
+  wo.connectTimeout =
+      std::chrono::milliseconds(a.getU64("connect-timeout-ms", 10000));
+  wo.maxRetries = static_cast<std::size_t>(a.getU64("retries", 2));
+  wo.memLimitMb = static_cast<std::size_t>(a.getU64("worker-mem-mb", 0));
+  wo.cpuLimitSec = static_cast<std::size_t>(a.getU64("worker-cpu-s", 0));
+  installStopHandlers();
+  wo.stopFlag = &g_stopRequested;
+  fleet::WorkerStats ws = fleet::runWorker(wo);
+  std::fprintf(stderr,
+               "[fleet] worker done: %llu lease(s), %llu run(s), %llu "
+               "record(s) sent, %.2f MiB out — %s\n",
+               static_cast<unsigned long long>(ws.leases),
+               static_cast<unsigned long long>(ws.runsExecuted),
+               static_cast<unsigned long long>(ws.recordsSent),
+               static_cast<double>(ws.bytesSent) / (1024.0 * 1024.0),
+               ws.exitReason.c_str());
+  return g_stopRequested.load() ? kInterruptedExit : 0;
+}
+
 int cmdCheck(const Args& a) {
   if (a.positional.empty()) return usage();
   auto p = suite::makeProgram(a.positional[0]);
@@ -1172,6 +1334,8 @@ int main(int argc, char** argv) {
     if (cmd == "tracegen") return cmdTracegen(a);
     if (cmd == "analyze") return cmdAnalyze(a);
     if (cmd == "experiment") return cmdExperiment(a);
+    if (cmd == "serve") return cmdServe(a);
+    if (cmd == "worker") return cmdWorker(a);
     if (cmd == "check") return cmdCheck(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mtt: %s\n", e.what());
