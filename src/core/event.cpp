@@ -16,6 +16,8 @@ constexpr std::array<std::string_view, kKindCount> kKindNames = {
     "SemAcquire",     "SemRelease",      "BarrierEnter", "BarrierExit",
     "RwLockRead",     "RwLockWrite",     "RwUnlockRead", "RwUnlockWrite",
     "VarRead",        "VarWrite",        "Yield",
+    "TaskPost",       "TaskBegin",       "TaskEnd",      "TimerFire",
+    "QueueTake",      "QueuePut",
 };
 
 }  // namespace
@@ -31,6 +33,13 @@ AbstractType abstract_type_of(EventKind k) {
     case EventKind::ThreadJoin:
     case EventKind::Yield:
       return AbstractType::Control;
+    case EventKind::TaskPost:
+    case EventKind::TaskBegin:
+    case EventKind::TaskEnd:
+    case EventKind::TimerFire:
+    case EventKind::QueueTake:
+    case EventKind::QueuePut:
+      return AbstractType::Task;
     default:
       return AbstractType::Sync;
   }

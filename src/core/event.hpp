@@ -55,12 +55,22 @@ enum class EventKind : std::uint8_t {
   VarWrite,
   // Scheduling noise / explicit yields (control events).
   Yield,
+  // Event-loop runtime (mtt::evloop).  Appended after Yield so the numeric
+  // values of the original kinds — and thus trace v2 recordings — are stable.
+  TaskPost,   ///< callback handed to a loop (object = loop, arg = task id)
+  TaskBegin,  ///< callback about to run on a scheduler slot
+  TaskEnd,    ///< callback returned; slot about to be released
+  TimerFire,  ///< deferred callback's delay elapsed; now ready
+  QueueTake,  ///< task taken from the ready queue (arg = task id)
+  QueuePut,   ///< task entered the ready queue (arg = task id)
   kCount  ///< number of kinds; not a real event
 };
 
 /// The "abstract type" dimension of the paper's record: whether the point
-/// touches a variable, a synchronization object, or thread control.
-enum class AbstractType : std::uint8_t { Variable, Sync, Control };
+/// touches a variable, a synchronization object, thread control, or an
+/// event-loop task boundary (Task is mtt's extension for the evloop runtime;
+/// the paper's instrumentation predates callback scheduling).
+enum class AbstractType : std::uint8_t { Variable, Sync, Control, Task };
 
 /// Read/write dimension for variable accesses; None otherwise.
 enum class Access : std::uint8_t { None, Read, Write };

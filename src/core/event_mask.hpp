@@ -3,7 +3,7 @@
 // A Listener declares, via Listener::subscribedEvents(), the set of
 // EventKinds it wants delivered; HookChain uses the mask to precompile
 // per-kind dispatch tables so an event only reaches subscribed tools.
-// The mask is a plain 32-bit bitset over EventKind (23 kinds today, so a
+// The mask is a plain 32-bit bitset over EventKind (29 kinds today, so a
 // uint32_t has headroom) and every operation is constexpr: masks compose at
 // compile time in tool headers without touching the hot path.
 #pragma once
@@ -67,6 +67,15 @@ class EventMask {
     return EventMask{EventKind::ThreadStart, EventKind::ThreadFinish,
                      EventKind::ThreadSpawn, EventKind::ThreadJoin,
                      EventKind::Yield};
+  }
+
+  /// Event-loop task boundaries (AbstractType::Task): callback post/begin/
+  /// end, timer fires, ready-queue take/put — the schedule points of
+  /// mtt::evloop::EventLoop.
+  static constexpr EventMask evloop() {
+    return EventMask{EventKind::TaskPost,  EventKind::TaskBegin,
+                     EventKind::TaskEnd,   EventKind::TimerFire,
+                     EventKind::QueueTake, EventKind::QueuePut};
   }
 
   /// Thread lifecycle only (control() minus Yield).

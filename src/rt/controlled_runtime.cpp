@@ -489,6 +489,10 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
            self.id, op.var, op.site);
       return true;
 
+    case OpCode::EvPoint:
+      emit(op.evKind, self.id, op.var, op.site, op.arg);
+      return true;
+
     case OpCode::Yield:
       emit(EventKind::Yield, self.id, kNoObject, op.site);
       return true;
@@ -724,6 +728,17 @@ void ControlledRuntime::sleepFor(std::chrono::microseconds d) {
   auto ticks = static_cast<std::uint32_t>(
       std::clamp<std::int64_t>(d.count() / 100, 1, 100000));
   op.arg = ticks;
+  visibleOp(op);
+}
+
+void ControlledRuntime::evloopPoint(EventKind kind, ObjectId obj, Site s,
+                                    std::uint32_t arg) {
+  PendingOp op;
+  op.code = OpCode::EvPoint;
+  op.evKind = kind;
+  op.var = obj;
+  op.site = s;
+  op.arg = arg;
   visibleOp(op);
 }
 

@@ -74,6 +74,8 @@ class ControlledRuntime final : public Runtime {
   void rwLockWrite(RwState& rw, Site s) override;
   void rwUnlockWrite(RwState& rw, Site s) override;
   void varAccess(ObjectId var, Access a, Site s) override;
+  void evloopPoint(EventKind kind, ObjectId obj, Site s,
+                   std::uint32_t arg) override;
 
  private:
   enum class OpCode : std::uint8_t {
@@ -95,6 +97,7 @@ class ControlledRuntime final : public Runtime {
     RwUnlockW,
     Join,
     VarAccess,
+    EvPoint,  ///< event-loop task boundary (Runtime::evloopPoint)
     Yield,
     Sleep,
     Finish,
@@ -110,6 +113,7 @@ class ControlledRuntime final : public Runtime {
     ObjectId var = kNoObject;
     Access access = Access::None;
     ThreadId target = kNoThread;  ///< join target / spawned child
+    EventKind evKind = EventKind::Yield;  ///< EvPoint: kind to emit
     Site site{};
     std::uint32_t arg = 0;        ///< sem release count / saved mutex depth
     std::uint64_t wakeStep = 0;   ///< sleep expiry (virtual step)

@@ -238,6 +238,13 @@ void NativeRuntime::sleepFor(std::chrono::microseconds d) {
   std::this_thread::sleep_for(d);
 }
 
+void NativeRuntime::evloopPoint(EventKind kind, ObjectId obj, Site s,
+                                std::uint32_t arg) {
+  checkAbort();
+  gate(kind, obj);
+  emit(kind, currentThread(), obj, s, arg);
+}
+
 void NativeRuntime::postNoise(const NoiseRequest& req) {
   // Native mode: apply immediately on the posting thread.
   switch (req.kind) {

@@ -78,6 +78,8 @@ class NativeRuntime final : public Runtime {
   void rwLockWrite(RwState& rw, Site s) override;
   void rwUnlockWrite(RwState& rw, Site s) override;
   void varAccess(ObjectId var, Access a, Site s) override;
+  void evloopPoint(EventKind kind, ObjectId obj, Site s,
+                   std::uint32_t arg) override;
 
  private:
   struct Tcb {

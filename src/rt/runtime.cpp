@@ -13,6 +13,7 @@ std::string_view to_string(ObjectKind k) {
     case ObjectKind::Barrier: return "barrier";
     case ObjectKind::Variable: return "variable";
     case ObjectKind::Thread: return "thread";
+    case ObjectKind::TaskQueue: return "taskqueue";
   }
   return "?";
 }

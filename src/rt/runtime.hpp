@@ -49,6 +49,7 @@ enum class ObjectKind : std::uint8_t {
   Barrier,
   Variable,
   Thread,
+  TaskQueue,  ///< an mtt::evloop::EventLoop's ready queue
 };
 
 std::string_view to_string(ObjectKind k);
@@ -279,6 +280,14 @@ class Runtime {
   /// Instrumentation for a shared-variable access; the actual load/store is
   /// performed by SharedVar around this call.
   virtual void varAccess(ObjectId var, Access a, Site s) = 0;
+  /// Instrumentation point for an event-loop task boundary (mtt::evloop).
+  /// `kind` must be one of the EventMask::evloop() kinds; `obj` is the loop's
+  /// registered TaskQueue object and `arg` the task id.  Controlled mode
+  /// parks the thread like any visible operation (so the schedule policy
+  /// decides when the boundary executes); native mode runs pre-op gates and
+  /// emits inline, so noise makers can jitter callback dispatch.
+  virtual void evloopPoint(EventKind kind, ObjectId obj, Site s,
+                           std::uint32_t arg = 0) = 0;
 
  protected:
   Runtime() = default;

@@ -1,7 +1,9 @@
 #include "suite/program.hpp"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 
 namespace mtt::suite {
@@ -19,8 +21,12 @@ std::string_view to_string(BugKind k) {
 }
 
 struct ProgramRegistry::Impl {
+  struct Entry {
+    ProgramRegistry::Factory factory;
+    std::vector<std::string> tags;
+  };
   std::mutex mu;
-  std::map<std::string, Factory> factories;
+  std::map<std::string, Entry> entries;
 };
 
 ProgramRegistry::Impl* ProgramRegistry::impl() {
@@ -33,31 +39,61 @@ ProgramRegistry& ProgramRegistry::instance() {
   return *reg;
 }
 
-void ProgramRegistry::add(const std::string& name, Factory f) {
+void ProgramRegistry::add(const std::string& name, Factory f,
+                          std::vector<std::string> tags) {
   Impl* i = impl();
   std::lock_guard<std::mutex> lk(i->mu);
-  i->factories[name] = std::move(f);
+  i->entries[name] = Impl::Entry{std::move(f), std::move(tags)};
 }
 
 std::vector<std::string> ProgramRegistry::names() const {
   Impl* i = const_cast<ProgramRegistry*>(this)->impl();
   std::lock_guard<std::mutex> lk(i->mu);
   std::vector<std::string> out;
-  for (const auto& [n, _] : i->factories) out.push_back(n);
+  for (const auto& [n, _] : i->entries) out.push_back(n);
   return out;
+}
+
+std::vector<std::string> ProgramRegistry::names(const std::string& tag) const {
+  Impl* i = const_cast<ProgramRegistry*>(this)->impl();
+  std::lock_guard<std::mutex> lk(i->mu);
+  std::vector<std::string> out;
+  for (const auto& [n, e] : i->entries) {
+    if (tag.empty() ||
+        std::find(e.tags.begin(), e.tags.end(), tag) != e.tags.end()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ProgramRegistry::tagsOf(
+    const std::string& name) const {
+  Impl* i = const_cast<ProgramRegistry*>(this)->impl();
+  std::lock_guard<std::mutex> lk(i->mu);
+  auto it = i->entries.find(name);
+  return it == i->entries.end() ? std::vector<std::string>{} : it->second.tags;
+}
+
+std::vector<std::string> ProgramRegistry::allTags() const {
+  Impl* i = const_cast<ProgramRegistry*>(this)->impl();
+  std::lock_guard<std::mutex> lk(i->mu);
+  std::set<std::string> tags;
+  for (const auto& [_, e] : i->entries) tags.insert(e.tags.begin(), e.tags.end());
+  return std::vector<std::string>(tags.begin(), tags.end());
 }
 
 std::unique_ptr<Program> ProgramRegistry::make(const std::string& name) const {
   Impl* i = const_cast<ProgramRegistry*>(this)->impl();
   std::lock_guard<std::mutex> lk(i->mu);
-  auto it = i->factories.find(name);
-  return it == i->factories.end() ? nullptr : it->second();
+  auto it = i->entries.find(name);
+  return it == i->entries.end() ? nullptr : it->second.factory();
 }
 
 bool ProgramRegistry::has(const std::string& name) const {
   Impl* i = const_cast<ProgramRegistry*>(this)->impl();
   std::lock_guard<std::mutex> lk(i->mu);
-  return i->factories.count(name) != 0;
+  return i->entries.count(name) != 0;
 }
 
 std::unique_ptr<Program> makeProgram(const std::string& name) {
@@ -70,6 +106,11 @@ std::unique_ptr<Program> makeProgram(const std::string& name) {
 std::vector<std::string> allProgramNames() {
   registerBuiltins();
   return ProgramRegistry::instance().names();
+}
+
+std::vector<std::string> allProgramNames(const std::string& tag) {
+  registerBuiltins();
+  return ProgramRegistry::instance().names(tag);
 }
 
 }  // namespace mtt::suite

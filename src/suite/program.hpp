@@ -104,8 +104,18 @@ class ProgramRegistry {
   static ProgramRegistry& instance();
 
   using Factory = std::function<std::unique_ptr<Program>()>;
-  void add(const std::string& name, Factory f);
+  /// Registers a factory.  `tags` label the program's family for filtered
+  /// listings (`mtt list --tag`, CI smokes); programs built on raw threads
+  /// default to {"threads"}.
+  void add(const std::string& name, Factory f,
+           std::vector<std::string> tags = {"threads"});
   std::vector<std::string> names() const;
+  /// Names of registered programs carrying `tag` (sorted; empty tag = all).
+  std::vector<std::string> names(const std::string& tag) const;
+  /// Tags of a registered program; empty for unknown names.
+  std::vector<std::string> tagsOf(const std::string& name) const;
+  /// Union of all registered tags, sorted.
+  std::vector<std::string> allTags() const;
   /// Creates a fresh instance; nullptr for unknown names.
   std::unique_ptr<Program> make(const std::string& name) const;
   bool has(const std::string& name) const;
@@ -123,5 +133,7 @@ void registerBuiltins();
 std::unique_ptr<Program> makeProgram(const std::string& name);
 /// Convenience: all catalog names.
 std::vector<std::string> allProgramNames();
+/// Convenience: catalog names carrying `tag` (empty tag = all).
+std::vector<std::string> allProgramNames(const std::string& tag);
 
 }  // namespace mtt::suite

@@ -66,6 +66,7 @@ void registerBuiltins() {
     registerDeadlockPrograms();
     registerRwlockPrograms();
     registerServerPrograms();
+    registerEvloopPrograms();
     registerMiscPrograms();
     registerCrashPrograms();
   });

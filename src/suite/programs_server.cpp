@@ -244,9 +244,11 @@ class CacheServerFixed final : public CacheServerBase {
 
 void registerServerPrograms() {
   auto& reg = ProgramRegistry::instance();
-  reg.add("cache_server", [] { return std::make_unique<CacheServer>(); });
+  reg.add("cache_server", [] { return std::make_unique<CacheServer>(); },
+          {"threads", "server"});
   reg.add("cache_server_fixed",
-          [] { return std::make_unique<CacheServerFixed>(); });
+          [] { return std::make_unique<CacheServerFixed>(); },
+          {"threads", "server"});
 }
 
 }  // namespace mtt::suite

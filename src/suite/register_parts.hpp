@@ -8,6 +8,7 @@ void registerSyncPrograms();
 void registerDeadlockPrograms();
 void registerRwlockPrograms();
 void registerServerPrograms();
+void registerEvloopPrograms();
 void registerMiscPrograms();
 void registerCrashPrograms();
 

@@ -73,6 +73,7 @@ const char* kindName(rt::ObjectKind k) {
     case rt::ObjectKind::Barrier: return "barrier";
     case rt::ObjectKind::Variable: return "variable";
     case rt::ObjectKind::Thread: return "thread";
+    case rt::ObjectKind::TaskQueue: return "taskqueue";
   }
   return "variable";
 }
@@ -84,6 +85,7 @@ rt::ObjectKind kindFromName(const std::string& s) {
   if (s == "semaphore") return rt::ObjectKind::Semaphore;
   if (s == "barrier") return rt::ObjectKind::Barrier;
   if (s == "thread") return rt::ObjectKind::Thread;
+  if (s == "taskqueue") return rt::ObjectKind::TaskQueue;
   return rt::ObjectKind::Variable;
 }
 

@@ -87,6 +87,15 @@ TEST(Event, AbstractTypeClassification) {
   EXPECT_EQ(abstract_type_of(EventKind::BarrierExit), AbstractType::Sync);
   EXPECT_EQ(abstract_type_of(EventKind::ThreadStart), AbstractType::Control);
   EXPECT_EQ(abstract_type_of(EventKind::Yield), AbstractType::Control);
+  // The event-loop lifecycle kinds form their own abstract type: they are
+  // neither variable accesses nor blocking sync, and tools that bucket by
+  // abstract type must see them as task-lifecycle events.
+  EXPECT_EQ(abstract_type_of(EventKind::TaskPost), AbstractType::Task);
+  EXPECT_EQ(abstract_type_of(EventKind::TaskBegin), AbstractType::Task);
+  EXPECT_EQ(abstract_type_of(EventKind::TaskEnd), AbstractType::Task);
+  EXPECT_EQ(abstract_type_of(EventKind::TimerFire), AbstractType::Task);
+  EXPECT_EQ(abstract_type_of(EventKind::QueueTake), AbstractType::Task);
+  EXPECT_EQ(abstract_type_of(EventKind::QueuePut), AbstractType::Task);
 }
 
 TEST(Event, AccessOfKinds) {
@@ -184,8 +193,11 @@ TEST(EventMask, CategoryHelpersMatchAbstractTypeOf) {
         << to_string(k);
     EXPECT_EQ(EventMask::control().contains(k), t == AbstractType::Control)
         << to_string(k);
+    EXPECT_EQ(EventMask::evloop().contains(k), t == AbstractType::Task)
+        << to_string(k);
   }
-  EXPECT_EQ(EventMask::sync() | EventMask::variable() | EventMask::control(),
+  EXPECT_EQ(EventMask::sync() | EventMask::variable() | EventMask::control() |
+                EventMask::evloop(),
             EventMask::all());
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/event_mask.hpp"
+#include "evloop/event_loop.hpp"
 #include "rt/harness.hpp"
 #include "rt/primitives.hpp"
 
@@ -52,7 +53,8 @@ class Recorder final : public Listener {
 
 /// A workload touching nearly every EventKind: mutexes (incl. try-lock
 /// success and failure), a condvar (wait/signal/broadcast), a semaphore, a
-/// barrier, a rw-lock, shared variables, yields, and thread lifecycle.
+/// barrier, a rw-lock, shared variables, yields, thread lifecycle, and an
+/// event loop (task post/begin/end, queue put/take, timer fire).
 void kindZoo(Runtime& rr) {
   SharedVar<int> x(rr, "x", 0);
   SharedVar<int> ready(rr, "ready", 0);
@@ -108,6 +110,15 @@ void kindZoo(Runtime& rr) {
   }
   held.unlock(site("dz.main.release"));
   t.join();
+
+  // Event-loop kinds: an immediate task that posts a follow-up from inside
+  // its callback, plus a timer task, then a drain.
+  evloop::EventLoop loop(rr, "dz.loop");
+  loop.post(
+      [&] { loop.post([&] { x.write(8); }, site("dz.loop.nested")); },
+      site("dz.loop.post"));
+  loop.postDelayed([&] { x.write(9); }, 2, site("dz.loop.timer"));
+  loop.drain(site("dz.loop.drain"));
 }
 
 bool sameEvent(const Event& a, const Event& b) {
@@ -202,8 +213,19 @@ void checkMaskingProperty(RuntimeMode mode, std::uint64_t seed) {
 
   // The workload must actually exercise a broad slice of the kind space,
   // or the per-kind checks are vacuous.
-  EXPECT_GE(nonEmptyKinds, 15u)
+  EXPECT_GE(nonEmptyKinds, 21u)
       << "kindZoo produced too few distinct kinds for the property to bite";
+
+  // The event-loop lifecycle kinds are part of the dispatch contract: each
+  // must have been emitted, classified as task-lifecycle, and routed to its
+  // single-kind subscriber.
+  for (EventKind k : {EventKind::TaskPost, EventKind::TaskBegin,
+                      EventKind::TaskEnd, EventKind::TimerFire,
+                      EventKind::QueueTake, EventKind::QueuePut}) {
+    EXPECT_EQ(abstract_type_of(k), AbstractType::Task) << to_string(k);
+    EXPECT_FALSE(perKind[static_cast<std::size_t>(k)]->seen().empty())
+        << to_string(k) << " never reached its subscriber";
+  }
 }
 
 TEST(DispatchProperty, ControlledMaskedEqualsFilteredUnmasked) {

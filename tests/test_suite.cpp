@@ -4,6 +4,7 @@
 // and the MultiBenchmark outcome machinery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "model/checker.hpp"
@@ -66,6 +67,40 @@ TEST(Catalog, UnknownProgramThrows) {
   EXPECT_THROW(makeProgram("no_such_program"), std::runtime_error);
 }
 
+TEST(Catalog, TagsPartitionThePrograms) {
+  auto& reg = ProgramRegistry::instance();
+  // Every program carries at least one tag, every tag is discoverable, and
+  // the tag-filtered listing is consistent with the per-program tags.
+  for (const auto& name : allProgramNames()) {
+    EXPECT_FALSE(reg.tagsOf(name).empty()) << name;
+  }
+  const auto tags = reg.allTags();
+  EXPECT_NE(std::find(tags.begin(), tags.end(), "threads"), tags.end());
+  EXPECT_NE(std::find(tags.begin(), tags.end(), "evloop"), tags.end());
+  EXPECT_NE(std::find(tags.begin(), tags.end(), "server"), tags.end());
+  for (const auto& tag : tags) {
+    const auto names = allProgramNames(tag);
+    EXPECT_FALSE(names.empty()) << tag;
+    for (const auto& name : names) {
+      const auto ts = reg.tagsOf(name);
+      EXPECT_NE(std::find(ts.begin(), ts.end(), tag), ts.end())
+          << name << " listed under '" << tag << "' but not tagged with it";
+    }
+  }
+}
+
+TEST(Catalog, EvloopFamilyIsTaggedAndPaired) {
+  const auto names = allProgramNames("evloop");
+  EXPECT_GE(names.size(), 6u);
+  for (const auto& name : names) {
+    if (name.size() > 6 && name.substr(name.size() - 6) == "_fixed") continue;
+    EXPECT_NE(std::find(names.begin(), names.end(), name + "_fixed"),
+              names.end())
+        << name << " has no _fixed control";
+  }
+  EXPECT_TRUE(allProgramNames("no_such_tag").empty());
+}
+
 TEST(Catalog, FreshInstancesAreIndependent) {
   auto a = makeProgram("account");
   auto b = makeProgram("account");
@@ -92,7 +127,9 @@ INSTANTIATE_TEST_SUITE_P(
                       "philosophers_ordered", "producer_consumer_sem",
                       "stat_counter_sharded", "work_queue_ok",
                       "ticket_lottery", "rwlock_stats",
-                      "cache_server_fixed"));
+                      "cache_server_fixed", "evloop_conn_pool_fixed",
+                      "evloop_lru_cache_fixed",
+                      "evloop_quota_sessions_fixed"));
 
 // Buggy programs: masked by round-robin, exposed by random scheduling.
 class BuggyProgramTest : public ::testing::TestWithParam<std::string> {};
@@ -111,7 +148,9 @@ INSTANTIATE_TEST_SUITE_P(
                       "bounded_buffer_bug", "notify_lost",
                       "lock_order_inversion", "philosophers_deadlock",
                       "work_queue", "order_violation", "barrier_reuse",
-                      "rwlock_cache", "rwlock_upgrade", "cache_server"));
+                      "rwlock_cache", "rwlock_upgrade", "cache_server",
+                      "evloop_conn_pool", "evloop_lru_cache",
+                      "evloop_quota_sessions"));
 
 TEST(DeterministicScheduler, MasksMostRaceBugs) {
   // "under the simple conditions of unit testing the scheduler is

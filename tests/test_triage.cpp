@@ -451,6 +451,22 @@ TEST(Shrink, PhilosophersDeadlockLosesAtLeastHalfItsDecisions) {
   EXPECT_EQ(r.signature.kind, FailureKind::Deadlock);
 }
 
+TEST(Shrink, EvloopScenarioShrinksWithFingerprintPreserved) {
+  // Regression for the event-loop runtime: a recorded counterexample from
+  // an evloop program (every decision is a tasklet pick) must ddmin like
+  // any thread program — same fingerprint, and the dense tasklet churn
+  // around the double-release gives the minimizer at least 40% to remove.
+  FailureSignature sig;
+  replay::Scenario s = huntFailure("evloop_conn_pool", &sig);
+  ShrinkResult r = shrinkScenario(s, {});
+  ASSERT_TRUE(r.reproduced);
+  EXPECT_TRUE(r.verifiedExact);
+  EXPECT_EQ(r.signature.fingerprint(), sig.fingerprint());
+  EXPECT_EQ(r.signature.kind, FailureKind::Assert);
+  EXPECT_GE(r.removedRatio(), 0.40)
+      << r.original.size() << " -> " << r.minimized.schedule.size();
+}
+
 TEST(Shrink, MinimizedWitnessKeepsTheOriginalSignature) {
   const ShrinkResult& r = accountShrunk();
   ProbeResult back = probeExact(r.minimized.program, r.minimized.schedule,

@@ -128,7 +128,8 @@ int usage() {
   std::fputs(
       "usage: mtt <command> [args]\n"
       "\n"
-      "  list                                   program catalog\n"
+      "  list [--tag T] [--names]               program catalog (--tag\n"
+      "                filters by registry tag; --names prints bare names)\n"
       "  describe <program>                     documentation + bugs + IR info\n"
       "  run <program> [--seed N] [--mode controlled|native]\n"
       "                [--policy rr|random|priority] [--noise H] [--strength F]\n"
@@ -220,20 +221,43 @@ std::vector<std::string> splitList(const std::string& s) {
 
 // --- list / describe ---------------------------------------------------------
 
-int cmdList() {
+int cmdList(const Args& a) {
+  const std::string tag = a.get("tag", "");
+  const auto names = tag.empty() ? suite::allProgramNames()
+                                 : suite::allProgramNames(tag);
+  if (tag.empty() == false && names.empty()) {
+    std::string known;
+    for (const auto& t : suite::ProgramRegistry::instance().allTags()) {
+      if (!known.empty()) known += ", ";
+      known += t;
+    }
+    std::fprintf(stderr, "no programs tagged '%s' (known tags: %s)\n",
+                 tag.c_str(), known.c_str());
+    return 1;
+  }
+  if (a.has("names")) {
+    // Script-friendly: one bare program name per line, no decoration.
+    for (const auto& name : names) std::printf("%s\n", name.c_str());
+    return 0;
+  }
   TextTable t("benchmark program repository");
-  t.header({"program", "kind", "bugs", "description"});
-  for (const auto& name : suite::allProgramNames()) {
+  t.header({"program", "kind", "tags", "bugs", "description"});
+  for (const auto& name : names) {
     auto p = suite::makeProgram(name);
     std::string kinds;
     for (const auto& b : p->bugs()) {
       if (!kinds.empty()) kinds += ",";
       kinds += to_string(b.kind);
     }
+    std::string tags;
+    for (const auto& tg : suite::ProgramRegistry::instance().tagsOf(name)) {
+      if (!tags.empty()) tags += ",";
+      tags += tg;
+    }
     std::string desc = p->description();
-    if (desc.size() > 58) desc = desc.substr(0, 55) + "...";
+    if (desc.size() > 48) desc = desc.substr(0, 45) + "...";
     t.row({name, p->isControl() ? "control" : "buggy",
-           kinds.empty() ? "-" : kinds, desc});
+           tags.empty() ? "-" : tags, kinds.empty() ? "-" : kinds, desc});
   }
   t.print();
   return 0;
@@ -1323,7 +1347,7 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   Args a = parseArgs(argc, argv, 2);
   try {
-    if (cmd == "list") return cmdList();
+    if (cmd == "list") return cmdList(parseArgs(argc, argv, 2));
     if (cmd == "describe") return cmdDescribe(a);
     if (cmd == "run") return cmdRun(a);
     if (cmd == "hunt") return cmdHunt(a);
