@@ -1,0 +1,174 @@
+// E14 — the policy arsenal: operation-aware schedule policies compared as
+// bug finders, plus the sleep-set pruning win on exhaustive exploration.
+//
+//   (a) find rates of rr / random / pct (true PCT, adaptive run length) /
+//       pos (Partial Order Sampling) across thread-shaped AND event-loop
+//       suite programs, no noise — pure scheduler-vs-scheduler;
+//   (b) exhaustive exploration with and without sleep-set pruning on the
+//       programs small enough to exhaust: executed schedules, pruned runs,
+//       and the invariant that the verdict is identical.
+//
+// Results go to stdout and BENCH_policies.json.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "experiment/experiment.hpp"
+#include "explore/explorer.hpp"
+#include "suite/program.hpp"
+
+using namespace mtt;
+
+namespace {
+
+struct FindRow {
+  std::string program;
+  std::string policy;
+  std::size_t found = 0;
+  std::size_t runs = 0;
+};
+
+struct ExploreRow {
+  std::string program;
+  std::uint64_t naive = 0;        // executed schedules, naive DFS
+  std::uint64_t slept = 0;        // executed schedules, sleep sets
+  std::uint64_t pruned = 0;       // runs discarded by sleep sets
+  bool sameVerdict = false;
+  double savings() const {
+    return naive == 0 ? 0.0
+                      : 100.0 * (1.0 - static_cast<double>(slept) /
+                                           static_cast<double>(naive));
+  }
+};
+
+ExploreRow exploreBoth(const std::string& program) {
+  ExploreRow row;
+  row.program = program;
+  bool naiveBug = false, sleptBug = false;
+  for (bool sleepSets : {false, true}) {
+    experiment::RunSpec spec;
+    spec.programName = program;
+    explore::ExploreOptions o;
+    o.stopAtFirstBug = false;
+    o.maxSchedules = 5'000'000;
+    o.sleepSets = sleepSets;
+    explore::ExploreResult r = explore::exploreSpec(spec, o);
+    if (!r.exhausted) {
+      std::fprintf(stderr, "%s did not exhaust within budget\n",
+                   program.c_str());
+      std::exit(1);
+    }
+    if (sleepSets) {
+      row.slept = r.schedules;
+      row.pruned = r.prunedRuns;
+      sleptBug = r.bugFound;
+    } else {
+      row.naive = r.schedules;
+      naiveBug = r.bugFound;
+    }
+  }
+  row.sameVerdict = naiveBug == sleptBug;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  suite::registerBuiltins();
+  std::printf("E14: the policy arsenal — PCT, POS, and sleep-set pruning\n\n");
+
+  // --- (a) policy find rates, no noise -------------------------------------
+  const std::vector<std::string> policies = {"rr", "random", "pct:d=3",
+                                             "pos"};
+  const std::vector<std::string> programs = {
+      "account",          "check_then_act", "work_queue",
+      "cache_server",     "notify_lost",    "evloop_conn_pool",
+      "evloop_lru_cache", "evloop_quota_sessions"};
+  constexpr std::size_t kRuns = 100;
+
+  std::vector<FindRow> findRows;
+  TextTable rates("E14 / policy find rates without noise (100 runs per cell)");
+  rates.header({"program", "rr", "random", "pct:d=3", "pos"});
+  for (const std::string& prog : programs) {
+    std::vector<std::string> row = {prog};
+    for (const std::string& policy : policies) {
+      experiment::ExperimentSpec spec;
+      spec.programName = prog;
+      spec.runs = kRuns;
+      spec.tool.policy = policy;
+      spec.tool.noiseName = "none";
+      auto r = experiment::runExperiment(spec);
+      row.push_back(
+          TextTable::frac(r.manifested.successes, r.manifested.trials));
+      findRows.push_back(
+          FindRow{prog, policy, r.manifested.successes, kRuns});
+    }
+    rates.row(std::move(row));
+  }
+  rates.print();
+
+  // --- (b) sleep-set pruning on exhaustive exploration ---------------------
+  std::printf("\n");
+  std::vector<ExploreRow> exploreRows;
+  TextTable prune("E14 / sleep-set pruning (exhaustive DFS, same verdict)");
+  prune.header({"program", "naive schedules", "sleep-set schedules", "pruned",
+                "saved", "verdict"});
+  for (const std::string& prog :
+       {"account_sync", "check_then_act", "account"}) {
+    ExploreRow row = exploreBoth(prog);
+    prune.row({row.program, std::to_string(row.naive),
+               std::to_string(row.slept), std::to_string(row.pruned),
+               TextTable::num(row.savings(), 1) + "%",
+               row.sameVerdict ? "identical" : "DIFFERS"});
+    exploreRows.push_back(row);
+  }
+  prune.print();
+
+  std::printf(
+      "\nExpected shape: rr masks everything; random is the strong baseline\n"
+      "on these short programs; pct trades uniform coverage for its\n"
+      "depth-targeted guarantee (wins grow with run length); pos matches or\n"
+      "beats random where the racing operations are object-sparse, because\n"
+      "priorities are reassigned exactly at dependent operations.  Sleep-set\n"
+      "pruning explores strictly fewer schedules with identical verdicts —\n"
+      "the classic partial-order-reduction win, now available to any\n"
+      "operation-aware policy through the v2 choice-point API.\n");
+
+  std::ofstream js("BENCH_policies.json");
+  js << "{\n  \"bench\": \"policies\",\n  \"rows\": [\n";
+  bool first = true;
+  for (const FindRow& r : findRows) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "%s    {\"kind\": \"find_rate\", \"program\": \"%s\", "
+                  "\"policy\": \"%s\", \"found\": %zu, \"runs\": %zu}",
+                  first ? "" : ",\n", r.program.c_str(), r.policy.c_str(),
+                  r.found, r.runs);
+    js << buf;
+    first = false;
+  }
+  for (const ExploreRow& r : exploreRows) {
+    char buf[260];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n    {\"kind\": \"sleep_sets\", \"program\": \"%s\", "
+                  "\"naive_schedules\": %llu, \"sleepset_schedules\": %llu, "
+                  "\"pruned_runs\": %llu, \"same_verdict\": %s}",
+                  r.program.c_str(),
+                  static_cast<unsigned long long>(r.naive),
+                  static_cast<unsigned long long>(r.slept),
+                  static_cast<unsigned long long>(r.pruned),
+                  r.sameVerdict ? "true" : "false");
+    js << buf;
+  }
+  js << "\n  ]\n}\n";
+  std::printf("wrote BENCH_policies.json\n");
+
+  // Acceptance: sleep sets pruned something everywhere, verdicts identical,
+  // and the executed-schedule count strictly dropped.
+  for (const ExploreRow& r : exploreRows) {
+    if (!r.sameVerdict || r.slept >= r.naive || r.pruned == 0) return 1;
+  }
+  return 0;
+}

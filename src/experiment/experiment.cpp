@@ -36,17 +36,125 @@ std::string joinNames(const std::vector<std::string>& names) {
   return out;
 }
 
+constexpr const char* kPolicyGrammar =
+    "rr | random[:switch=P] | pct[:d=D,k=K] | pos | priority[:d=D,k=K]";
+
+[[noreturn]] void badPolicy(const std::string& name, const std::string& why) {
+  throw std::runtime_error("malformed schedule policy '" + name + "': " +
+                           why + " (grammar: " + kPolicyGrammar + ")");
+}
+
+/// Parses the `key=value[,key=value...]` parameter list of a policy spec.
+std::vector<std::pair<std::string, std::string>> parsePolicyParams(
+    const std::string& name, const std::string& params) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t pos = 0;
+  while (pos <= params.size()) {
+    std::size_t comma = params.find(',', pos);
+    if (comma == std::string::npos) comma = params.size();
+    const std::string item = params.substr(pos, comma - pos);
+    const std::size_t eq = item.find('=');
+    if (item.empty() || eq == std::string::npos || eq == 0 ||
+        eq + 1 == item.size()) {
+      badPolicy(name, "expected key=value, got '" + item + "'");
+    }
+    out.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::uint64_t policyUint(const std::string& name, const std::string& key,
+                         const std::string& value) {
+  std::size_t used = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size()) {
+    badPolicy(name, key + " must be a non-negative integer, got '" + value +
+                        "'");
+  }
+  return v;
+}
+
+double policyProb(const std::string& name, const std::string& key,
+                  const std::string& value) {
+  std::size_t used = 0;
+  double v = 0;
+  try {
+    v = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size() || v < 0.0 || v > 1.0) {
+    badPolicy(name, key + " must be a probability in [0,1], got '" + value +
+                        "'");
+  }
+  return v;
+}
+
 }  // namespace
 
 std::unique_ptr<rt::SchedulePolicy> makePolicy(const std::string& name) {
-  if (name == "rr") return std::make_unique<rt::RoundRobinPolicy>();
-  if (name == "priority") return std::make_unique<rt::PriorityPolicy>();
-  if (name == "random") return std::make_unique<rt::RandomPolicy>();
+  const std::size_t colon = name.find(':');
+  const std::string base = name.substr(0, colon);
+  std::vector<std::pair<std::string, std::string>> params;
+  if (colon != std::string::npos) {
+    params = parsePolicyParams(name, name.substr(colon + 1));
+  }
+  auto rejectParams = [&] {
+    if (!params.empty()) {
+      badPolicy(name, "'" + base + "' takes no parameters");
+    }
+  };
+  if (base == "rr") {
+    rejectParams();
+    return std::make_unique<rt::RoundRobinPolicy>();
+  }
+  if (base == "random") {
+    double switchProb = 1.0;
+    for (const auto& [k, v] : params) {
+      if (k == "switch") {
+        switchProb = policyProb(name, k, v);
+      } else {
+        badPolicy(name, "unknown parameter '" + k + "'");
+      }
+    }
+    return std::make_unique<rt::RandomPolicy>(switchProb);
+  }
+  if (base == "pct" || base == "priority") {
+    // `priority` is the historical name of the PCT scheduler; both spell
+    // the same policy.  d = priority-change points (bug depth to target),
+    // k = run-length window (0/absent = adaptive estimate).
+    std::uint64_t d = 3;
+    std::uint64_t k = 0;
+    for (const auto& [key, v] : params) {
+      if (key == "d") {
+        d = policyUint(name, key, v);
+        if (d == 0) badPolicy(name, "d must be >= 1");
+      } else if (key == "k") {
+        k = policyUint(name, key, v);
+      } else {
+        badPolicy(name, "unknown parameter '" + key + "'");
+      }
+    }
+    return std::make_unique<rt::PriorityPolicy>(static_cast<int>(d), k);
+  }
+  if (base == "pos") {
+    rejectParams();
+    return std::make_unique<rt::POSPolicy>();
+  }
   throw std::runtime_error("unknown schedule policy '" + name +
-                           "' (valid: " + joinNames(policyNames()) + ")");
+                           "' (valid: " + joinNames(policyNames()) +
+                           "; grammar: " + kPolicyGrammar + ")");
 }
 
-std::vector<std::string> policyNames() { return {"random", "rr", "priority"}; }
+std::vector<std::string> policyNames() {
+  return {"random", "rr", "pct", "pos", "priority"};
+}
 
 void validateToolConfig(const ToolConfig& tool) {
   if (tool.mode == RuntimeMode::Controlled) {

@@ -155,10 +155,14 @@ struct RunObservation {
   }
 };
 
-/// Builds a fresh policy by name ("random", "rr", "priority"); throws a
-/// std::runtime_error naming the valid policies on an unknown name.
+/// Builds a fresh policy from a parameterized policy spec.  Grammar:
+///   rr | random[:switch=P] | pct[:d=D,k=K] | pos | priority[:d=D,k=K]
+/// where P is a probability, D the PCT priority-change-point count (>= 1)
+/// and K the run-length window (0/absent = adaptive).  "priority" is the
+/// historical alias of "pct".  Throws std::runtime_error naming the valid
+/// policies and the grammar on unknown names or malformed parameters.
 std::unique_ptr<rt::SchedulePolicy> makePolicy(const std::string& name);
-/// All valid policy names, for error messages and CLI validation.
+/// All valid base policy names, for error messages and CLI validation.
 std::vector<std::string> policyNames();
 
 /// Throws std::runtime_error on the first unknown policy / noise heuristic /

@@ -7,10 +7,57 @@
 
 namespace mtt::explore {
 
+namespace {
+
+/// Operation descriptors in `alts` order (empty descriptors when the
+/// context carries none — sleep sets then degrade to no pruning, since a
+/// default-constructed op is never independent with itself).
+std::vector<rt::PendingOpInfo> opsFor(const std::vector<ThreadId>& alts,
+                                      const rt::PickContext& ctx) {
+  std::vector<rt::PendingOpInfo> out;
+  out.reserve(alts.size());
+  for (ThreadId t : alts) {
+    const rt::PendingOpInfo* op = ctx.opOf(t);
+    rt::PendingOpInfo info;
+    info.thread = t;
+    out.push_back(op != nullptr ? *op : info);
+  }
+  return out;
+}
+
+bool inSet(const std::vector<rt::PendingOpInfo>& set,
+           const rt::PendingOpInfo& op) {
+  return std::find(set.begin(), set.end(), op) != set.end();
+}
+
+}  // namespace
+
 void ExplorerPolicy::onRunStart(std::uint64_t seed) {
   (void)seed;
   step_ = 0;
+  pruned_ = false;
+  sleep_.clear();
   lastSchedule_.decisions.clear();
+}
+
+void ExplorerPolicy::advanceSleepSet(
+    const std::vector<rt::PendingOpInfo>& altOps, std::uint32_t idx) {
+  // Child sleep set = {z in S : independent(z, chosen)} plus the explored
+  // earlier siblings (their subtrees are complete, so reordering the chosen
+  // op before them is redundant) — kept only while independent with chosen.
+  const rt::PendingOpInfo chosen = altOps[idx];
+  std::vector<rt::PendingOpInfo> next;
+  for (const rt::PendingOpInfo& z : sleep_) {
+    if (rt::independent(z, chosen)) next.push_back(z);
+  }
+  for (std::uint32_t i = 0; i < idx; ++i) {
+    const rt::PendingOpInfo& sib = altOps[i];
+    if (!inSet(sleep_, sib) && rt::independent(sib, chosen) &&
+        !inSet(next, sib)) {
+      next.push_back(sib);
+    }
+  }
+  sleep_ = std::move(next);
 }
 
 std::vector<ThreadId> ExplorerPolicy::orderAlternatives(
@@ -44,6 +91,11 @@ int ExplorerPolicy::preemptionsUpTo(std::size_t len,
 }
 
 ThreadId ExplorerPolicy::pick(const rt::PickContext& ctx) {
+  if (pruned_) {
+    // Abandoned (redundant) run: finish it deterministically without
+    // extending the decision tree below the pruned node.
+    return ctx.enabled.front();
+  }
   std::vector<ThreadId> alts = orderAlternatives(ctx);
   bool currentEnabled = !alts.empty() && alts.front() == ctx.current &&
                         !ctx.currentYielding &&
@@ -55,13 +107,15 @@ ThreadId ExplorerPolicy::pick(const rt::PickContext& ctx) {
     if (c.realCount != alts.size()) diverged_ = true;
     std::uint32_t idx = std::min<std::uint32_t>(
         c.idx, static_cast<std::uint32_t>(alts.size()) - 1);
+    if (sleepSets_) advanceSleepSet(opsFor(alts, ctx), idx);
     ++step_;
     lastSchedule_.decisions.push_back(alts[idx]);
     return alts[idx];
   }
-  // Fresh node: take alternative 0 and record the branching degree.  When
-  // the preemption budget is exhausted, preemptive alternatives are not
-  // explorable, so the recorded count collapses accordingly.
+  // Fresh node: take the first explorable alternative and record the
+  // branching degree.  When the preemption budget is exhausted, preemptive
+  // alternatives are not explorable, so the recorded count collapses
+  // accordingly.
   Choice c;
   c.idx = 0;
   c.currentWasEnabled = currentEnabled;
@@ -75,20 +129,44 @@ ThreadId ExplorerPolicy::pick(const rt::PickContext& ctx) {
           preemptionBound_;
   c.realCount = static_cast<std::uint32_t>(alts.size());
   c.count = (currentEnabled && !budgetLeft) ? 1 : c.realCount;
+  if (sleepSets_) {
+    c.altOps = opsFor(alts, ctx);
+    c.sleepIn = sleep_;
+    // Asleep alternatives are not explorable: their reordering against the
+    // run that put them to sleep is already covered.
+    std::uint32_t j = 0;
+    while (j < c.count && inSet(c.sleepIn, c.altOps[j])) ++j;
+    if (j >= c.count) {
+      // Every explorable alternative is asleep — the whole subtree is
+      // redundant.  Mark the run pruned; backtrack() pops this node.
+      pruned_ = true;
+      c.count = 0;
+      prefix_.push_back(c);
+      ++step_;
+      return alts[0];
+    }
+    c.idx = j;
+    advanceSleepSet(c.altOps, j);
+  }
   prefix_.push_back(c);
   ++step_;
-  lastSchedule_.decisions.push_back(alts[0]);
-  return alts[0];
+  lastSchedule_.decisions.push_back(alts[c.idx]);
+  return alts[c.idx];
 }
 
 bool ExplorerPolicy::backtrack() {
   while (!prefix_.empty()) {
     Choice& c = prefix_.back();
-    if (c.idx + 1 < c.count) {
+    std::uint32_t j = c.idx + 1;
+    if (sleepSets_) {
+      // Skip alternatives asleep at this node.
+      while (j < c.count && inSet(c.sleepIn, c.altOps[j])) ++j;
+    }
+    if (j < c.count) {
       // Check the preemption budget for the incremented alternative.
       if (preemptionBound_ < 0 ||
-          preemptionsUpTo(prefix_.size(), c.idx + 1) <= preemptionBound_) {
-        ++c.idx;
+          preemptionsUpTo(prefix_.size(), j) <= preemptionBound_) {
+        c.idx = j;
         return true;
       }
     }
@@ -144,25 +222,32 @@ ExploreResult Explorer::explore(
     return result;
   }
 
-  ExplorerPolicy policy(opts_.preemptionBound);
+  ExplorerPolicy policy(opts_.preemptionBound, opts_.sleepSets);
   for (std::uint64_t i = 0; i < opts_.maxSchedules; ++i) {
     if (prepare) prepare();
     rt::ControlledRuntime rt(std::make_unique<rt::PolicyRef>(policy));
     attachTools(rt);
     opts.seed = opts_.seed;
     rt::RunResult r = rt.run(body, opts);
-    ++result.schedules;
     result.totalSteps += r.steps;
-    if (r.status == rt::RunStatus::Deadlock) ++result.deadlocks;
-    if (bugIn(r)) {
-      ++result.oracleFailures;
-      if (!result.bugFound) {
-        result.bugFound = true;
-        result.firstBugSchedule = result.schedules;
-        result.counterexample = policy.lastSchedule();
-        result.bugResult = r;
+    if (policy.prunedRun()) {
+      // The run hit a fully-slept node: it is Mazurkiewicz-equivalent to an
+      // already-explored schedule, so it is discarded — not counted and not
+      // oracle-evaluated (its verdicts are covered by explored runs).
+      ++result.prunedRuns;
+    } else {
+      ++result.schedules;
+      if (r.status == rt::RunStatus::Deadlock) ++result.deadlocks;
+      if (bugIn(r)) {
+        ++result.oracleFailures;
+        if (!result.bugFound) {
+          result.bugFound = true;
+          result.firstBugSchedule = result.schedules;
+          result.counterexample = policy.lastSchedule();
+          result.bugResult = r;
+        }
+        if (opts_.stopAtFirstBug) return result;
       }
-      if (opts_.stopAtFirstBug) return result;
     }
     if (!policy.backtrack()) {
       result.exhausted = !policy.divergenceDetected();

@@ -15,6 +15,11 @@
 // controlled scheduler provides it).  Knobs:
 //   * preemption bounding (iterative context bounding): explore schedules
 //     with at most k preemptive switches first — most bugs need few;
+//   * sleep-set pruning (Godefroid): using rt::independent() over the
+//     choice-point operation descriptors, skip schedules that only reorder
+//     independent operations — strictly fewer runs, identical verdicts
+//     (sleep sets alone preserve every reachable state, hence every
+//     deadlock, assertion failure, and oracle verdict);
 //   * random walk mode: sample schedules instead of enumerating (baseline).
 // The saved scenario is an rt::Schedule, replayable via rt::ReplayPolicy /
 // mtt::replay.
@@ -49,6 +54,10 @@ struct ExploreOptions {
   std::uint64_t maxStepsPerRun = 200'000;
   /// Stop at the first schedule whose oracle reports a bug.
   bool stopAtFirstBug = true;
+  /// Sleep-set pruning: skip runs that only commute independent operations
+  /// of an already-explored run.  Sound for every property the explorer
+  /// reports (the pruned runs reach no new states).
+  bool sleepSets = false;
   /// Sample random schedules instead of DFS enumeration.
   bool randomWalk = false;
   std::uint64_t seed = 1;
@@ -56,6 +65,7 @@ struct ExploreOptions {
 
 struct ExploreResult {
   std::uint64_t schedules = 0;   ///< complete executions performed
+  std::uint64_t prunedRuns = 0;  ///< runs discarded by sleep-set pruning
   std::uint64_t totalSteps = 0;  ///< scheduling decisions across all runs
   bool exhausted = false;        ///< schedule space fully enumerated
   bool bugFound = false;
@@ -70,8 +80,8 @@ struct ExploreResult {
 /// Explorer re-runs the program until the decision tree is exhausted.
 class ExplorerPolicy final : public rt::SchedulePolicy {
  public:
-  explicit ExplorerPolicy(int preemptionBound = -1)
-      : preemptionBound_(preemptionBound) {}
+  explicit ExplorerPolicy(int preemptionBound = -1, bool sleepSets = false)
+      : preemptionBound_(preemptionBound), sleepSets_(sleepSets) {}
 
   void onRunStart(std::uint64_t seed) override;
   ThreadId pick(const rt::PickContext& ctx) override;
@@ -83,6 +93,10 @@ class ExplorerPolicy final : public rt::SchedulePolicy {
   /// True when the program behaved nondeterministically under replayed
   /// prefixes (would invalidate the search).
   bool divergenceDetected() const { return diverged_; }
+  /// True when the last run hit a node whose every alternative was asleep:
+  /// the run is Mazurkiewicz-equivalent to an already-explored one and must
+  /// be discarded (not counted, not oracle-evaluated).
+  bool prunedRun() const { return pruned_; }
 
  private:
   struct Choice {
@@ -91,15 +105,26 @@ class ExplorerPolicy final : public rt::SchedulePolicy {
     std::uint32_t realCount = 0;     ///< actual alternatives (for the
                                      ///< determinism/divergence check)
     bool currentWasEnabled = false;  ///< picking idx>0 costs a preemption
+    // Sleep-set mode: operation descriptors of the alternatives (parallel
+    // to the orderAlternatives() order) and the sleep set inherited at this
+    // node, so backtrack() can skip asleep alternatives without a context.
+    std::vector<rt::PendingOpInfo> altOps;
+    std::vector<rt::PendingOpInfo> sleepIn;
   };
   std::vector<ThreadId> orderAlternatives(const rt::PickContext& ctx) const;
   int preemptionsUpTo(std::size_t len, std::uint32_t lastIdx) const;
+  /// Advances sleep_ to the child set after choosing alternative `idx`.
+  void advanceSleepSet(const std::vector<rt::PendingOpInfo>& altOps,
+                       std::uint32_t idx);
 
   int preemptionBound_;
+  bool sleepSets_;
   std::vector<Choice> prefix_;
   std::size_t step_ = 0;
   rt::Schedule lastSchedule_;
   bool diverged_ = false;
+  bool pruned_ = false;
+  std::vector<rt::PendingOpInfo> sleep_;  ///< sleep set along the current path
 };
 
 class Explorer {
@@ -124,8 +149,10 @@ class Explorer {
 /// walk seed from spec.seedBase (when nonzero), and uses the program's own
 /// oracle.  This is the RunSpec face of the explorer — the same knob struct
 /// executeRun and the farm consume; exploration-only knobs (enumeration
-/// budget, preemption bound, random walk) stay in ExploreOptions.
-/// spec.tool.policy is ignored: the explorer owns scheduling.
+/// budget, preemption bound, sleep sets, random walk) stay in
+/// ExploreOptions.  spec.tool.policy has no effect here — the explorer owns
+/// scheduling — which is why the CLI rejects an explicit --policy on the
+/// explore subcommand (exit 2) instead of silently dropping it.
 ExploreResult exploreSpec(const experiment::RunSpec& spec,
                           ExploreOptions opts = {});
 

@@ -29,7 +29,8 @@ inline guide::BatchRunner makeGuideBatchRunner(Coordinator& coordinator,
     std::vector<RunAssignment> runs;
     runs.reserve(batch.size());
     for (const guide::GuideBatchRun& r : batch) {
-      runs.push_back(RunAssignment{r.index, r.seed, r.noiseName, r.strength});
+      runs.push_back(
+          RunAssignment{r.index, r.seed, r.noiseName, r.strength, r.policy});
     }
     std::function<bool(const experiment::RunObservation&)> stopOn;
     if (stopOnFirstFind) {

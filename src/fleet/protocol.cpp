@@ -310,6 +310,12 @@ std::string encodeLease(const LeasePayload& lease) {
     farm::appendEscapedField(out, a.noiseName);
     out += '\t';
     out += formatDouble(a.strength);
+    if (!a.policy.empty()) {
+      // Optional fifth field: omitted when empty so plain campaigns emit
+      // the exact version-1 wire bytes (mixed fleets stay compatible).
+      out += '\t';
+      farm::appendEscapedField(out, a.policy);
+    }
     out += '\n';
   }
   return out;
@@ -330,13 +336,14 @@ bool decodeLease(const std::string& payload, LeasePayload& out,
   for (std::size_t i = 1; i < lines.size(); ++i) {
     std::vector<std::string> f = farm::splitTabFields(lines[i]);
     RunAssignment a;
-    if (f.size() != 4 || !parseU64(f[0], a.index) || !parseU64(f[1], a.seed) ||
-        !parseDouble(f[3], a.strength)) {
+    if ((f.size() != 4 && f.size() != 5) || !parseU64(f[0], a.index) ||
+        !parseU64(f[1], a.seed) || !parseDouble(f[3], a.strength)) {
       err = "LEASE assignment line " + std::to_string(i + 1) +
             " is malformed: \"" + lines[i] + "\"";
       return false;
     }
     a.noiseName = farm::unescapeField(f[2]);
+    if (f.size() == 5) a.policy = farm::unescapeField(f[4]);
     lease.runs.push_back(std::move(a));
   }
   out = std::move(lease);

@@ -104,12 +104,18 @@ bool decodeSpec(const std::string& payload, experiment::RunSpec& out,
 /// One unit of leased work: execute global run `index` with `seed`.
 /// `noiseName` empty means the spec's own tool config; otherwise the
 /// worker substitutes this heuristic and strength (how guided campaigns
-/// fan bandit arms across the fleet).
+/// fan bandit arms across the fleet).  `policy` empty means the spec's
+/// own schedule policy; otherwise a parameterized policy spec
+/// (experiment::makePolicy grammar) the worker substitutes — the wire
+/// form of the guide's policy arm dimension.  Encoded as an optional
+/// fifth lease field: version-1 coordinators emit four fields and
+/// version-1 workers accept both, so mixed fleets stay compatible.
 struct RunAssignment {
   std::uint64_t index = 0;
   std::uint64_t seed = 0;
   std::string noiseName;
   double strength = 0.0;
+  std::string policy;
 };
 
 struct LeasePayload {

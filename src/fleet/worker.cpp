@@ -218,6 +218,9 @@ class WorkerSession {
       rs.tool.noiseName = a.noiseName;
       rs.tool.noiseOpts.strength = a.strength;
     }
+    // Policy-arm substitution: executeRun builds the policy per run from
+    // rs.tool.policy, so no stack state changes (stacks stay keyed by noise).
+    if (!a.policy.empty()) rs.tool.policy = a.policy;
     rs.seedBase = a.seed;  // executeRun(rs, 0) then runs exactly `seed`
     std::string lastError;
     for (std::uint32_t attempt = 1;; ++attempt) {

@@ -36,7 +36,12 @@ std::string hex16(std::uint64_t v) {
 }  // namespace
 
 std::string Arm::label() const {
-  std::string out = noise + "@" + formatStrength(strength);
+  // Policy prefix only when the arm overrides the base policy, so the
+  // default arm set's labels (and thus campaign digests and decision logs)
+  // are unchanged by the policy dimension's existence.
+  std::string out;
+  if (!policy.empty()) out += policy + "/";
+  out += noise + "@" + formatStrength(strength);
   if (!mutationFingerprint.empty()) out += "~" + mutationFingerprint;
   return out;
 }
@@ -76,12 +81,20 @@ ThreadId MutatedReplayPolicy::pick(const rt::PickContext& ctx) {
 std::vector<Arm> buildArms(const experiment::RunSpec& base,
                            const GuideOptions& opts) {
   std::vector<Arm> arms;
-  for (const std::string& h : opts.heuristics) {
-    for (double s : opts.strengths) {
-      Arm a;
-      a.noise = h;
-      a.strength = s;
-      arms.push_back(std::move(a));
+  // Policy dimension: an empty list means a single implicit entry for the
+  // base spec's policy, so campaigns that never pass --policies get exactly
+  // the historical arm set (same labels, same digests, same logs).
+  std::vector<std::string> policies = opts.policies;
+  if (policies.empty()) policies.push_back("");
+  for (const std::string& p : policies) {
+    for (const std::string& h : opts.heuristics) {
+      for (double s : opts.strengths) {
+        Arm a;
+        a.policy = p;
+        a.noise = h;
+        a.strength = s;
+        arms.push_back(std::move(a));
+      }
     }
   }
   if (!opts.corpusDir.empty() && opts.maxMutationArms > 0) {
@@ -112,13 +125,14 @@ std::vector<Arm> buildArms(const experiment::RunSpec& base,
 std::unique_ptr<rt::SchedulePolicy> makeArmPolicy(
     const Arm& arm, const std::string& basePolicy) {
   if (arm.witness) return std::make_unique<MutatedReplayPolicy>(arm.witness);
-  return experiment::makePolicy(basePolicy);
+  return experiment::makePolicy(arm.policy.empty() ? basePolicy : arm.policy);
 }
 
 experiment::RunSpec armSpec(const experiment::RunSpec& base, const Arm& arm) {
   experiment::RunSpec spec = base;
   spec.tool.noiseName = arm.noise;
   spec.tool.noiseOpts.strength = arm.strength;
+  if (!arm.policy.empty()) spec.tool.policy = arm.policy;
   if (arm.witness) {
     spec.policyFactory = [w = arm.witness] {
       return std::unique_ptr<rt::SchedulePolicy>(
@@ -318,6 +332,11 @@ GuideResult runGuided(const experiment::RunSpec& baseIn,
   experiment::validateToolConfig(base.tool);
   if (opts.budget == 0) {
     throw std::runtime_error("guide: budget must be > 0");
+  }
+  // Fail fast on malformed policy-arm specs: makePolicy throws the same
+  // grammar-naming error a per-run failure would, but before any run starts.
+  for (const std::string& p : opts.policies) {
+    if (!p.empty()) experiment::makePolicy(p);
   }
 
   std::vector<Arm> arms = buildArms(base, opts);
@@ -592,7 +611,8 @@ GuideResult runGuided(const experiment::RunSpec& baseIn,
       req.reserve(toRun.size());
       for (const Slot& s : toRun) {
         req.push_back(GuideBatchRun{s.idx, s.seed, s.arm, arms[s.arm].noise,
-                                    arms[s.arm].strength});
+                                    arms[s.arm].strength,
+                                    arms[s.arm].policy});
       }
       GuideBatchOutcome out = opts.batchRunner(req);
       g.retries += out.retries;

@@ -43,19 +43,25 @@
 
 namespace mtt::guide {
 
-/// One bandit arm: a noise heuristic at a strength, optionally seeded with
-/// a corpus witness schedule that each run replays a random prefix of.
+/// One bandit arm: a noise heuristic at a strength, optionally under a
+/// non-default schedule policy, optionally seeded with a corpus witness
+/// schedule that each run replays a random prefix of.
 struct Arm {
   std::string noise = "none";
   double strength = 0.25;
+  /// Schedule policy of this arm ("" = the base spec's policy).  Adds the
+  /// policy dimension to the bandit: arms = policy × noise × strength.
+  /// Never set on mutation arms (the witness owns scheduling).
+  std::string policy;
   /// Corpus fingerprint of the witness this arm mutates; empty for the
   /// plain heuristic×strength arms.
   std::string mutationFingerprint;
   /// The witness schedule (mutation arms only; shared across runs).
   std::shared_ptr<const rt::Schedule> witness;
 
-  /// Stable single-token label ("mixed@0.25", "sleep@0.1~4f2a..."): the
-  /// identity stored in the decision log and checked on replay/resume.
+  /// Stable single-token label ("mixed@0.25", "pct:d=3/mixed@0.25",
+  /// "sleep@0.1~4f2a..."): the identity stored in the decision log and
+  /// checked on replay/resume.
   std::string label() const;
 };
 
@@ -90,6 +96,7 @@ struct GuideBatchRun {
   std::size_t armIndex = 0;  ///< into the campaign's arm vector
   std::string noiseName;     ///< the arm's heuristic
   double strength = 0.0;     ///< the arm's noise strength
+  std::string policy;        ///< the arm's policy ("" = the spec's policy)
 };
 
 struct GuideBatchOutcome {
@@ -110,10 +117,16 @@ using BatchRunner =
     std::function<GuideBatchOutcome(const std::vector<GuideBatchRun>&)>;
 
 struct GuideOptions {
-  /// Plain arms = heuristics × strengths.
+  /// Plain arms = policies × heuristics × strengths.
   std::vector<std::string> heuristics{"yield", "sleep", "mixed",
                                       "coverage-directed"};
   std::vector<double> strengths{0.1, 0.25, 0.5};
+  /// Schedule-policy arm dimension ("--policies").  Empty = a single
+  /// implicit entry for the base spec's policy, so the default arm set is
+  /// unchanged.  An entry of "" also means "the base spec's policy";
+  /// non-empty entries are parameterized policy specs ("pct:d=3", "pos"),
+  /// validated up front.
+  std::vector<std::string> policies;
   /// Run budget — the campaign never exceeds it ("--budget N").
   std::uint64_t budget = 200;
   /// Stop early when coverage saturates ("--saturate"): a closed universe
@@ -193,21 +206,21 @@ struct GuideResult {
   std::size_t runs() const { return records.size(); }
 };
 
-/// Builds the arm set for a spec: heuristics × strengths, then up to
-/// maxMutationArms corpus-seeded mutation arms for base.programName (sorted
-/// corpus order; unloadable witnesses are skipped).  Deterministic.
+/// Builds the arm set for a spec: policies × heuristics × strengths, then
+/// up to maxMutationArms corpus-seeded mutation arms for base.programName
+/// (sorted corpus order; unloadable witnesses are skipped).  Deterministic.
 std::vector<Arm> buildArms(const experiment::RunSpec& base,
                            const GuideOptions& opts);
 
 /// The spec an arm's runs execute under: base with the arm's noise
-/// heuristic/strength substituted and, for mutation arms, the
-/// MutatedReplayPolicy factory installed.
+/// heuristic/strength (and policy, when the arm carries one) substituted
+/// and, for mutation arms, the MutatedReplayPolicy factory installed.
 experiment::RunSpec armSpec(const experiment::RunSpec& base, const Arm& arm);
 
 /// A fresh scheduling policy for one run of `arm` (what armSpec's factory
-/// returns for mutation arms; makePolicy(basePolicy) otherwise).  Exposed
-/// so callers can wrap it in a RecordingPolicy to capture a witness of a
-/// find for the triage corpus.
+/// returns for mutation arms; makePolicy(arm.policy or basePolicy)
+/// otherwise).  Exposed so callers can wrap it in a RecordingPolicy to
+/// capture a witness of a find for the triage corpus.
 std::unique_ptr<rt::SchedulePolicy> makeArmPolicy(const Arm& arm,
                                                   const std::string& basePolicy);
 

@@ -69,6 +69,90 @@ bool ControlledRuntime::enabledLocked(const Tcb& t) const {
   }
 }
 
+PendingOpInfo ControlledRuntime::opInfoOf(const Tcb& t) const {
+  PendingOpInfo info;
+  info.thread = t.id;
+  const PendingOp& op = t.pending;
+  switch (op.code) {
+    case OpCode::Start: info.kind = OpKind::ThreadStart; break;
+    case OpCode::Spawn: info.kind = OpKind::Spawn; break;
+    case OpCode::Lock:
+      info.kind = OpKind::MutexLock;
+      info.object = op.m->id;
+      break;
+    case OpCode::TryLock:
+      info.kind = OpKind::MutexTryLock;
+      info.object = op.m->id;
+      break;
+    case OpCode::Unlock:
+      info.kind = OpKind::MutexUnlock;
+      info.object = op.m->id;
+      break;
+    case OpCode::CondWait:
+      info.kind = OpKind::CondWait;
+      info.object = op.c->id;
+      info.object2 = op.m->id;
+      break;
+    case OpCode::CondSignal:
+      info.kind = OpKind::CondSignal;
+      info.object = op.c->id;
+      break;
+    case OpCode::CondBroadcast:
+      info.kind = OpKind::CondBroadcast;
+      info.object = op.c->id;
+      break;
+    case OpCode::SemAcquire:
+      info.kind = OpKind::SemAcquire;
+      info.object = op.sem->id;
+      break;
+    case OpCode::SemTryAcquire:
+      info.kind = OpKind::SemTryAcquire;
+      info.object = op.sem->id;
+      break;
+    case OpCode::SemRelease:
+      info.kind = OpKind::SemRelease;
+      info.object = op.sem->id;
+      break;
+    case OpCode::BarrierArrive:
+      info.kind = OpKind::BarrierArrive;
+      info.object = op.b->id;
+      break;
+    case OpCode::RwRead:
+      info.kind = OpKind::RwRead;
+      info.object = op.rw->id;
+      break;
+    case OpCode::RwWrite:
+      info.kind = OpKind::RwWrite;
+      info.object = op.rw->id;
+      break;
+    case OpCode::RwUnlockR:
+      info.kind = OpKind::RwUnlockRead;
+      info.object = op.rw->id;
+      break;
+    case OpCode::RwUnlockW:
+      info.kind = OpKind::RwUnlockWrite;
+      info.object = op.rw->id;
+      break;
+    case OpCode::Join:
+      info.kind = OpKind::Join;
+      info.object = op.target;
+      break;
+    case OpCode::VarAccess:
+      info.kind =
+          op.access == Access::Write ? OpKind::VarWrite : OpKind::VarRead;
+      info.object = op.var;
+      break;
+    case OpCode::EvPoint:
+      info.kind = OpKind::Task;
+      info.object = op.var;  // the loop/queue object id
+      break;
+    case OpCode::Yield: info.kind = OpKind::Yield; break;
+    case OpCode::Sleep: info.kind = OpKind::Sleep; break;
+    case OpCode::Finish: info.kind = OpKind::Finish; break;
+  }
+  return info;
+}
+
 void ControlledRuntime::scheduleNextLocked() {
   for (;;) {
     std::vector<ThreadId> enabled;
@@ -107,8 +191,12 @@ void ControlledRuntime::scheduleNextLocked() {
                    (prev.pending.code == OpCode::Yield ||
                     prev.pending.code == OpCode::Sleep);
       }
+      std::vector<PendingOpInfo> ops;
+      ops.reserve(enabled.size());
+      for (ThreadId t : enabled) ops.push_back(opInfoOf(tcbOf(t)));
       PickContext ctx;
       ctx.enabled = std::span<const ThreadId>(enabled);
+      ctx.ops = std::span<const PendingOpInfo>(ops);
       ctx.current = lastRunning_;
       ctx.currentYielding = yielding;
       ctx.step = steps_;

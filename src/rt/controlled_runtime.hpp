@@ -156,6 +156,8 @@ class ControlledRuntime final : public Runtime {
   Tcb& tcbOf(ThreadId id) const;
   Tcb* currentTcb() const;
   bool enabledLocked(const Tcb& t) const;
+  // Policy-facing descriptor of a parked thread's pending operation.
+  PendingOpInfo opInfoOf(const Tcb& t) const;
   // Picks and wakes the next thread (or fast-forwards virtual time, or
   // detects completion / deadlock / step-limit).
   void scheduleNextLocked();

@@ -19,7 +19,156 @@ ThreadId nextAfter(std::span<const ThreadId> enabled, ThreadId current) {
   return enabled.front();
 }
 
+/// Namespace of an operation's object id: object ids are allocated per
+/// primitive kind, so (class, id) — not id alone — names an object.
+enum class ObjClass : std::uint8_t {
+  None, Mutex, Cond, Sem, Barrier, Rw, Var, Thread, Queue
+};
+
+ObjClass classOf(OpKind k) {
+  switch (k) {
+    case OpKind::MutexLock:
+    case OpKind::MutexTryLock:
+    case OpKind::MutexUnlock:
+      return ObjClass::Mutex;
+    case OpKind::CondWait:
+    case OpKind::CondSignal:
+    case OpKind::CondBroadcast:
+      return ObjClass::Cond;
+    case OpKind::SemAcquire:
+    case OpKind::SemTryAcquire:
+    case OpKind::SemRelease:
+      return ObjClass::Sem;
+    case OpKind::BarrierArrive:
+      return ObjClass::Barrier;
+    case OpKind::RwRead:
+    case OpKind::RwWrite:
+    case OpKind::RwUnlockRead:
+    case OpKind::RwUnlockWrite:
+      return ObjClass::Rw;
+    case OpKind::VarRead:
+    case OpKind::VarWrite:
+      return ObjClass::Var;
+    case OpKind::Join:
+      return ObjClass::Thread;
+    case OpKind::Task:
+      return ObjClass::Queue;
+    default:
+      return ObjClass::None;
+  }
+}
+
+struct Touch {
+  ObjClass cls;
+  ObjectId id;
+  OpKind kind;
+};
+
+/// The (class, id) pairs an operation touches — at most two (CondWait
+/// releases and reacquires its mutex alongside the condvar).
+int touchesOf(const PendingOpInfo& o, Touch out[2]) {
+  int n = 0;
+  ObjClass c = classOf(o.kind);
+  if (c != ObjClass::None) out[n++] = {c, o.object, o.kind};
+  if (o.kind == OpKind::CondWait) {
+    out[n++] = {ObjClass::Mutex, o.object2, OpKind::MutexLock};
+  }
+  return n;
+}
+
+/// Both operations touch a common object with a non-commuting access pair.
+bool conflictOn(const PendingOpInfo& a, const PendingOpInfo& b) {
+  Touch ta[2], tb[2];
+  const int na = touchesOf(a, ta);
+  const int nb = touchesOf(b, tb);
+  for (int i = 0; i < na; ++i) {
+    for (int j = 0; j < nb; ++j) {
+      if (ta[i].cls != tb[j].cls || ta[i].id != tb[j].id) continue;
+      // Read-read pairs commute; everything else on a shared object may not.
+      if (ta[i].kind == OpKind::VarRead && tb[j].kind == OpKind::VarRead) {
+        continue;
+      }
+      if (ta[i].kind == OpKind::RwRead && tb[j].kind == OpKind::RwRead) {
+        continue;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::ThreadStart: return "ThreadStart";
+    case OpKind::Spawn: return "Spawn";
+    case OpKind::MutexLock: return "MutexLock";
+    case OpKind::MutexTryLock: return "MutexTryLock";
+    case OpKind::MutexUnlock: return "MutexUnlock";
+    case OpKind::CondWait: return "CondWait";
+    case OpKind::CondSignal: return "CondSignal";
+    case OpKind::CondBroadcast: return "CondBroadcast";
+    case OpKind::SemAcquire: return "SemAcquire";
+    case OpKind::SemTryAcquire: return "SemTryAcquire";
+    case OpKind::SemRelease: return "SemRelease";
+    case OpKind::BarrierArrive: return "BarrierArrive";
+    case OpKind::RwRead: return "RwRead";
+    case OpKind::RwWrite: return "RwWrite";
+    case OpKind::RwUnlockRead: return "RwUnlockRead";
+    case OpKind::RwUnlockWrite: return "RwUnlockWrite";
+    case OpKind::Join: return "Join";
+    case OpKind::VarRead: return "VarRead";
+    case OpKind::VarWrite: return "VarWrite";
+    case OpKind::Task: return "Task";
+    case OpKind::Yield: return "Yield";
+    case OpKind::Sleep: return "Sleep";
+    case OpKind::Finish: return "Finish";
+  }
+  return "?";
+}
+
+std::string describe(const PendingOpInfo& op) {
+  const char* tag = nullptr;
+  switch (classOf(op.kind)) {
+    case ObjClass::Mutex: tag = "m"; break;
+    case ObjClass::Cond: tag = "c"; break;
+    case ObjClass::Sem: tag = "s"; break;
+    case ObjClass::Barrier: tag = "b"; break;
+    case ObjClass::Rw: tag = "rw"; break;
+    case ObjClass::Var: tag = "v"; break;
+    case ObjClass::Thread: tag = "t"; break;
+    case ObjClass::Queue: tag = "q"; break;
+    case ObjClass::None: break;
+  }
+  std::string s = to_string(op.kind);
+  if (tag != nullptr) {
+    s += "(";
+    s += tag;
+    s += std::to_string(op.object);
+    if (op.kind == OpKind::CondWait) {
+      s += ",m" + std::to_string(op.object2);
+    }
+    s += ")";
+  }
+  return s;
+}
+
+bool independent(const PendingOpInfo& a, const PendingOpInfo& b) {
+  if (a.thread == b.thread) return false;
+  // Spawn/Spawn: thread-id assignment order is visible state.
+  if (a.kind == OpKind::Spawn && b.kind == OpKind::Spawn) return false;
+  // Finish enables the Join waiting on that thread.
+  if (a.kind == OpKind::Finish && b.kind == OpKind::Join &&
+      b.object == a.thread) {
+    return false;
+  }
+  if (b.kind == OpKind::Finish && a.kind == OpKind::Join &&
+      a.object == b.thread) {
+    return false;
+  }
+  return !conflictOn(a, b);
+}
 
 ThreadId RoundRobinPolicy::pick(const PickContext& ctx) {
   if (!ctx.currentYielding && contains(ctx.enabled, ctx.current)) {
@@ -40,13 +189,23 @@ void PriorityPolicy::onRunStart(std::uint64_t seed) {
   rng_ = Rng(seed);
   priority_.assign(2, 0);
   nextPriority_ = 0;
+  lastStep_ = 0;
+  window_ = fixedWindow_ != 0 ? fixedWindow_ : estimate_;
   changeAt_.clear();
-  // Spread the priority-change points over a window of plausible run length;
-  // re-rolled lazily as the run grows past the window.
+  // Spread the d priority-change points over the run-length window.
   for (int i = 0; i < changePoints_; ++i) {
-    changeAt_.push_back(rng_.below(expectedSteps_) + 1);
+    changeAt_.push_back(rng_.below(window_) + 1);
   }
   std::sort(changeAt_.begin(), changeAt_.end());
+}
+
+void PriorityPolicy::onRunEnd() {
+  if (fixedWindow_ != 0) return;
+  // Fold the observed run length into the adaptive k estimate: jump up to a
+  // longer run immediately, decay toward shorter ones gradually.
+  const std::uint64_t observed = lastStep_ + 1;
+  estimate_ = std::max<std::uint64_t>(
+      {16, observed, (estimate_ + observed + 1) / 2});
 }
 
 std::uint64_t PriorityPolicy::priorityFor(ThreadId t) {
@@ -59,6 +218,21 @@ std::uint64_t PriorityPolicy::priorityFor(ThreadId t) {
 }
 
 ThreadId PriorityPolicy::pick(const PickContext& ctx) {
+  lastStep_ = ctx.step;
+  if (fixedWindow_ == 0 && !changeAt_.empty() && ctx.step > window_) {
+    // The run outlived the estimated length: double the window and re-spread
+    // the unconsumed change points over the extension, instead of letting
+    // them all fire in an immediate burst (which would concentrate the
+    // priority drops at one point and void the PCT guarantee).
+    const std::size_t left = changeAt_.size();
+    const std::uint64_t lo = window_ + 1;
+    window_ *= 2;
+    changeAt_.clear();
+    for (std::size_t i = 0; i < left; ++i) {
+      changeAt_.push_back(lo + rng_.below(window_ - lo + 1));
+    }
+    std::sort(changeAt_.begin(), changeAt_.end());
+  }
   if (!changeAt_.empty() && ctx.step >= changeAt_.front()) {
     changeAt_.erase(changeAt_.begin());
     if (ctx.current != kNoThread) {
@@ -75,6 +249,66 @@ ThreadId PriorityPolicy::pick(const PickContext& ctx) {
     if (p >= bestPrio) {
       bestPrio = p;
       best = t;
+    }
+  }
+  return best;
+}
+
+void POSPolicy::onRunStart(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  prio_.assign(2, 0);
+  assignedFor_.assign(2, PendingOpInfo{});
+}
+
+std::uint64_t POSPolicy::freshPriority() {
+  std::uint64_t p;
+  do {
+    p = rng_.next();
+  } while (p == 0);  // 0 is the "unassigned" sentinel
+  return p;
+}
+
+ThreadId POSPolicy::pick(const PickContext& ctx) {
+  if (ctx.ops.empty()) {
+    // Hand-built context without descriptors: fall back to uniform random.
+    return ctx.enabled[rng_.below(ctx.enabled.size())];
+  }
+  // Assign priorities to operations seen for the first time (or to threads
+  // whose pending operation changed since the last assignment).
+  const std::size_t maxId = ctx.enabled.back();
+  if (maxId >= prio_.size()) {
+    prio_.resize(maxId + 1, 0);
+    assignedFor_.resize(maxId + 1, PendingOpInfo{});
+  }
+  for (std::size_t i = 0; i < ctx.enabled.size(); ++i) {
+    const ThreadId t = ctx.enabled[i];
+    const PendingOpInfo& op = ctx.ops[i];
+    if (prio_[t] == 0 || !(assignedFor_[t] == op)) {
+      prio_[t] = freshPriority();
+      assignedFor_[t] = op;
+    }
+  }
+  // Execute the highest-priority enabled operation (ties, which are
+  // astronomically unlikely, break toward the higher thread id).
+  ThreadId best = ctx.enabled.front();
+  std::uint64_t bestPrio = 0;
+  for (ThreadId t : ctx.enabled) {
+    if (prio_[t] >= bestPrio) {
+      bestPrio = prio_[t];
+      best = t;
+    }
+  }
+  // Reassignment: the chosen operation executes (its thread's next op draws
+  // fresh), and every enabled operation racing with it re-rolls, so each
+  // racing pair's ordering is re-randomized as the race resolves.
+  const PendingOpInfo chosen = *ctx.opOf(best);
+  prio_[best] = 0;
+  for (std::size_t i = 0; i < ctx.enabled.size(); ++i) {
+    const ThreadId t = ctx.enabled[i];
+    if (t == best) continue;
+    if (!independent(ctx.ops[i], chosen)) {
+      prio_[t] = freshPriority();
+      assignedFor_[t] = ctx.ops[i];
     }
   }
   return best;

@@ -9,16 +9,29 @@
 //    help"; it runs a thread until it blocks, yields or finishes.
 //  * RandomPolicy     — a uniformly random scheduler; every decision point
 //    picks uniformly among enabled threads.
+//  * PriorityPolicy   — PCT (Probabilistic Concurrency Testing): random
+//    thread priorities plus d priority-change points over an adaptively
+//    estimated run length k.
+//  * POSPolicy        — Partial Order Sampling: per-*operation* random
+//    priorities, reassigned for racing (dependent) operations.
 //  * RecordingPolicy  — decorator capturing the decision sequence (the
 //    record phase of replay).
 //  * ReplayPolicy     — re-applies a recorded decision sequence (the playback
 //    phase); detects divergence.
 // Systematic exploration drives its own policy (mtt::explore::ExplorerPolicy).
+//
+// Choice-point API v2: alongside the enabled thread ids, PickContext carries
+// a PendingOpInfo descriptor per enabled thread (abstract operation kind +
+// object id) and the independent() predicate over descriptors — the
+// information POS, sleep-set pruning, and other partial-order-aware
+// algorithms need.  Decisions remain plain ThreadId values, so schedules,
+// replay, shrinking, and every journal format are untouched.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/ids.hpp"
@@ -26,11 +39,73 @@
 
 namespace mtt::rt {
 
+/// Abstract kind of the operation an enabled thread is about to perform.
+/// This is the policy-facing projection of the runtime's internal pending-op
+/// descriptor: enough structure to reason about commutativity, nothing about
+/// call sites or runtime internals.
+enum class OpKind : std::uint8_t {
+  ThreadStart,   ///< first scheduling of a spawned thread
+  Spawn,         ///< about to create a thread (assigns the next ThreadId)
+  MutexLock,     ///< object = mutex
+  MutexTryLock,  ///< object = mutex
+  MutexUnlock,   ///< object = mutex
+  CondWait,      ///< object = condvar, object2 = the mutex it releases
+  CondSignal,    ///< object = condvar
+  CondBroadcast, ///< object = condvar
+  SemAcquire,    ///< object = semaphore
+  SemTryAcquire, ///< object = semaphore
+  SemRelease,    ///< object = semaphore
+  BarrierArrive, ///< object = barrier
+  RwRead,        ///< object = rwlock (shared acquire)
+  RwWrite,       ///< object = rwlock (exclusive acquire)
+  RwUnlockRead,  ///< object = rwlock
+  RwUnlockWrite, ///< object = rwlock
+  Join,          ///< object = joined ThreadId
+  VarRead,       ///< object = instrumented variable
+  VarWrite,      ///< object = instrumented variable
+  Task,          ///< event-loop task boundary; object = loop/queue id
+  Yield,         ///< voluntary yield (including injected noise)
+  Sleep,         ///< sleep expiry (including injected noise)
+  Finish,        ///< thread about to finish
+};
+
+const char* to_string(OpKind k);
+
+/// Pending-operation descriptor for one enabled thread at a choice point.
+struct PendingOpInfo {
+  ThreadId thread = kNoThread;
+  OpKind kind = OpKind::Yield;
+  /// Primary object the operation touches (mutex/condvar/semaphore/barrier/
+  /// rwlock/variable/queue id, or the target ThreadId for Join).  kNoObject
+  /// for purely thread-local operations (yield, sleep, start, finish).
+  ObjectId object = kNoObject;
+  /// Secondary object: CondWait's released mutex; kNoObject otherwise.
+  ObjectId object2 = kNoObject;
+
+  friend bool operator==(const PendingOpInfo&, const PendingOpInfo&) = default;
+};
+
+/// "MutexLock(m3)", "SemAcquire(s1)", "Task(q7)", "Yield" — for logs/tests.
+std::string describe(const PendingOpInfo& op);
+
+/// Conservative independence (commutativity) predicate: true only when
+/// executing `a` then `b` provably reaches the same state as `b` then `a`.
+/// Operations of the same thread are never independent; object-scoped
+/// operations are independent when their object sets are disjoint, or when
+/// they share an object with compatible (read-read) access; thread-local
+/// operations are independent with everything except the pairs that move
+/// shared scheduler state (Spawn/Spawn id assignment, Finish vs. its Join).
+bool independent(const PendingOpInfo& a, const PendingOpInfo& b);
+
 /// Context handed to a policy at each decision point.
 struct PickContext {
   /// Enabled pending operations, as thread ids sorted ascending.  Never
   /// empty when pick() is called.
   std::span<const ThreadId> enabled;
+  /// Pending-operation descriptors parallel to `enabled` (ops[i] describes
+  /// enabled[i]'s next operation).  May be empty for hand-built contexts;
+  /// operation-aware policies must degrade gracefully then.
+  std::span<const PendingOpInfo> ops;
   /// Thread that executed the previous operation (kNoThread at run start).
   ThreadId current = kNoThread;
   /// True when `current` is enabled and its pending operation is an explicit
@@ -38,6 +113,14 @@ struct PickContext {
   bool currentYielding = false;
   /// Scheduling decisions taken so far in this run.
   std::uint64_t step = 0;
+
+  /// Descriptor of thread `t`, or nullptr when descriptors are absent.
+  const PendingOpInfo* opOf(ThreadId t) const {
+    for (const PendingOpInfo& o : ops) {
+      if (o.thread == t) return &o;
+    }
+    return nullptr;
+  }
 };
 
 class SchedulePolicy {
@@ -75,21 +158,35 @@ class RandomPolicy final : public SchedulePolicy {
   Rng rng_{0};
 };
 
-/// PCT-inspired priority scheduler: assigns random priorities to threads at
-/// run start and always runs the highest-priority enabled thread; at `depth`
-/// random decision points, the running thread's priority is dropped below
-/// everyone else's.  Good at exposing ordering bugs with few preemptions.
+/// PCT (Probabilistic Concurrency Testing) priority scheduler: assigns
+/// random priorities to threads and always runs the highest-priority enabled
+/// thread; at d random decision points, the running thread's priority is
+/// dropped below everyone else's.  For a bug of depth d, PCT guarantees a
+/// manifestation probability of at least 1/(n·k^(d-1)) per run — provided
+/// the change points are drawn from the actual run length k.
+///
+/// k handling (the "true PCT" part): with expectedSteps == 0 (the default)
+/// the run-length estimate is adaptive — the draw window starts at 64,
+/// doubles mid-run whenever the run outlives it (the remaining change points
+/// are re-spread over the extension instead of degenerating into an
+/// immediate burst), and onRunEnd() folds the observed run length into the
+/// estimate the next run driven by this instance draws from.  A nonzero
+/// expectedSteps pins k (the `pct:d=D,k=K` spelling).
 class PriorityPolicy final : public SchedulePolicy {
  public:
-  /// changePoints ~ the bug depth to target plus one (PCT's d parameter);
-  /// expectedSteps is the window the change points are drawn from — it
-  /// should be on the order of the run's step count (PCT assumes the run
-  /// length k is known; 64 suits the benchmark suite's small programs).
+  /// changePoints is PCT's d parameter (bug depth to target); expectedSteps
+  /// is PCT's k, 0 meaning "estimate adaptively from prior runs".
   explicit PriorityPolicy(int changePoints = 3,
-                          std::uint64_t expectedSteps = 64)
-      : changePoints_(changePoints), expectedSteps_(expectedSteps) {}
+                          std::uint64_t expectedSteps = 0)
+      : changePoints_(changePoints), fixedWindow_(expectedSteps) {}
   void onRunStart(std::uint64_t seed) override;
   ThreadId pick(const PickContext& ctx) override;
+  void onRunEnd() override;
+
+  /// Current run-length estimate k (the next run's draw window).
+  std::uint64_t runLengthEstimate() const {
+    return fixedWindow_ != 0 ? fixedWindow_ : estimate_;
+  }
 
  private:
   int changePoints_;
@@ -97,8 +194,33 @@ class PriorityPolicy final : public SchedulePolicy {
   std::vector<std::uint64_t> priority_;  // indexed by ThreadId
   std::vector<std::uint64_t> changeAt_;  // steps at which to deprioritize
   std::uint64_t nextPriority_ = 0;
-  std::uint64_t expectedSteps_;
+  std::uint64_t fixedWindow_;     // explicit k; 0 = adaptive
+  std::uint64_t estimate_ = 64;   // adaptive k, learned across runs
+  std::uint64_t window_ = 64;     // draw window of the current run
+  std::uint64_t lastStep_ = 0;    // highest step seen this run
   std::uint64_t priorityFor(ThreadId t);
+};
+
+/// Partial Order Sampling (POS): every pending *operation* — not thread —
+/// carries a uniformly random priority, and the highest-priority enabled
+/// operation executes.  After each decision the executed operation's
+/// priority is discarded (its thread's next operation draws fresh) and every
+/// enabled operation racing with it (dependent per independent()) is
+/// reassigned a fresh priority.  Reassignment is what gives POS its
+/// near-uniform coverage of partial orders: the ordering of each racing pair
+/// is re-randomized every time the race is about to resolve, instead of
+/// being frozen by one priority draw at spawn time.  Degrades to a uniform
+/// random pick when the context carries no operation descriptors.
+class POSPolicy final : public SchedulePolicy {
+ public:
+  void onRunStart(std::uint64_t seed) override;
+  ThreadId pick(const PickContext& ctx) override;
+
+ private:
+  std::uint64_t freshPriority();
+  Rng rng_{0};
+  std::vector<std::uint64_t> prio_;          // by ThreadId: pending op's prio
+  std::vector<PendingOpInfo> assignedFor_;   // op the priority was drawn for
 };
 
 /// The recorded decision sequence of one run.  Decisions are thread ids; the

@@ -139,6 +139,44 @@ TEST(Experiment, UnknownNamesThrow) {
   EXPECT_THROW(makePolicy("bogus"), std::runtime_error);
 }
 
+TEST(Experiment, PolicyGrammarAcceptsParameterizedSpecs) {
+  EXPECT_NE(makePolicy("rr"), nullptr);
+  EXPECT_NE(makePolicy("random"), nullptr);
+  EXPECT_NE(makePolicy("random:switch=0.5"), nullptr);
+  EXPECT_NE(makePolicy("pct"), nullptr);
+  EXPECT_NE(makePolicy("pct:d=3,k=128"), nullptr);
+  EXPECT_NE(makePolicy("priority:d=2"), nullptr);  // historical alias
+  EXPECT_NE(makePolicy("pos"), nullptr);
+  const auto names = policyNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "pct"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pos"), names.end());
+}
+
+TEST(Experiment, PolicyGrammarRejectsMalformedSpecsNamingTheGrammar) {
+  auto expectBad = [](const std::string& spec) {
+    try {
+      makePolicy(spec);
+      FAIL() << "'" << spec << "' should not parse";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("grammar"), std::string::npos)
+          << spec << " -> " << e.what();
+    }
+  };
+  expectBad("pct:d=oops");       // non-numeric value
+  expectBad("pct:d=0");          // d must be >= 1
+  expectBad("pct:d=");           // empty value
+  expectBad("pct:bogus=1");      // unknown parameter
+  expectBad("pct:d");            // missing '='
+  expectBad("random:switch=2");  // probability out of range
+  expectBad("rr:d=1");           // rr takes no parameters
+  expectBad("pos:d=1");          // pos takes no parameters
+  // Unknown base names keep the plain unknown-policy diagnostic with the
+  // valid list (validateToolConfig path).
+  ToolConfig tc;
+  tc.policy = "bogus";
+  EXPECT_THROW(validateToolConfig(tc), std::runtime_error);
+}
+
 // --- owned tool stacks (Hook API v2) ----------------------------------------
 
 TEST(ToolStack, BuilderOwnsToolsInRegistrationOrder) {

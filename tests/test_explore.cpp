@@ -1,6 +1,10 @@
 // Tests for systematic state-space exploration over the controlled runtime.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <utility>
+
 #include "explore/explorer.hpp"
 #include "rt/primitives.hpp"
 #include "suite/program.hpp"
@@ -164,6 +168,82 @@ TEST(Explorer, WorksOnSuiteProgram) {
       },
       [&] { program->reset(); });
   EXPECT_TRUE(r.bugFound);
+}
+
+// --- sleep-set pruning ------------------------------------------------------
+
+// Exhausts `name` twice — naive DFS and sleep-set-pruned — and checks the
+// soundness contract: strictly fewer executed schedules, same exhaustion
+// verdict, and the identical set of observed run fingerprints
+// (status | verdict | program outcome).
+void expectSleepSetsPreserveVerdicts(const std::string& name) {
+  suite::registerBuiltins();
+  auto enumerate = [&](bool sleepSets) {
+    auto program = suite::makeProgram(name);
+    ExploreOptions o;
+    o.stopAtFirstBug = false;
+    o.maxSchedules = 2'000'000;
+    o.sleepSets = sleepSets;
+    std::set<std::string> fingerprints;
+    ExploreResult r = Explorer(o).explore(
+        [&](Runtime& rr) { program->body(rr); },
+        [&](const rt::RunResult& res) {
+          const bool bug =
+              program->evaluate(res) == suite::Verdict::BugManifested;
+          fingerprints.insert(std::string(rt::to_string(res.status)) + "|" +
+                              (bug ? "bug" : "ok") + "|" + program->outcome());
+          return bug;
+        },
+        [&] { program->reset(); });
+    return std::pair<ExploreResult, std::set<std::string>>(r, fingerprints);
+  };
+  auto [naive, naiveFps] = enumerate(false);
+  auto [pruned, prunedFps] = enumerate(true);
+  ASSERT_TRUE(naive.exhausted) << name;
+  ASSERT_TRUE(pruned.exhausted) << name;
+  EXPECT_EQ(naive.prunedRuns, 0u);
+  EXPECT_LT(pruned.schedules, naive.schedules)
+      << name << ": sleep sets must prune strictly";
+  EXPECT_GT(pruned.prunedRuns, 0u) << name;
+  EXPECT_EQ(naive.bugFound, pruned.bugFound) << name;
+  EXPECT_EQ(naiveFps, prunedFps)
+      << name << ": pruning may only drop Mazurkiewicz-equivalent runs";
+}
+
+TEST(SleepSets, ExhaustCheckThenActWithFewerSchedules) {
+  expectSleepSetsPreserveVerdicts("check_then_act");
+}
+
+TEST(SleepSets, ExhaustAccountWithFewerSchedules) {
+  expectSleepSetsPreserveVerdicts("account");
+}
+
+TEST(SleepSets, PruneCleanLockedProgram) {
+  // The mutex-protected increments commute almost everywhere: sleep sets
+  // must exhaust the same (bug-free) space with strictly fewer runs.
+  ExploreOptions naive, slept;
+  naive.stopAtFirstBug = slept.stopAtFirstBug = false;
+  naive.maxSchedules = slept.maxSchedules = 1'000'000;
+  slept.sleepSets = true;
+  ExploreResult n = Explorer(naive).explore(cleanBody);
+  ExploreResult s = Explorer(slept).explore(cleanBody);
+  ASSERT_TRUE(n.exhausted);
+  ASSERT_TRUE(s.exhausted);
+  EXPECT_FALSE(s.bugFound);
+  EXPECT_LT(s.schedules, n.schedules);
+}
+
+TEST(SleepSets, StillFindDeadlocksAndTheCounterexampleReplays) {
+  ExploreOptions o;
+  o.sleepSets = true;
+  ExploreResult r = Explorer(o).explore(inversionBody);
+  ASSERT_TRUE(r.bugFound);
+  EXPECT_EQ(r.bugResult.status, rt::RunStatus::Deadlock);
+  rt::ReplayPolicy rep(r.counterexample);
+  rt::ControlledRuntime replayRt(std::make_unique<rt::PolicyRef>(rep));
+  rt::RunResult rr = replayRt.run(inversionBody, rt::RunOptions{});
+  EXPECT_EQ(rr.status, rt::RunStatus::Deadlock);
+  EXPECT_FALSE(rep.diverged());
 }
 
 TEST(Explorer, CustomOracleDrivesSearch) {

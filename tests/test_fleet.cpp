@@ -82,7 +82,7 @@ TEST(FleetFrame, EveryBytePrefixNeedsMoreOrParses) {
   stream += encodeFrame(FrameType::Heartbeat, "");
   LeasePayload lease;
   lease.leaseId = 3;
-  lease.runs.push_back(RunAssignment{9, 16, "mixed", 0.25});
+  lease.runs.push_back(RunAssignment{9, 16, "mixed", 0.25, "pct:d=2"});
   stream += encodeFrame(FrameType::Lease, encodeLease(lease));
   for (std::size_t n = 0; n < stream.size(); ++n) {
     ParseResult r = tryParseFrame(stream.substr(0, n));
@@ -190,21 +190,32 @@ TEST(FleetSpec, TruncatedAndMangledPayloadsAreRejectedWithDiagnostics) {
 TEST(FleetLease, RoundTripsAndRejectsTruncation) {
   LeasePayload lease;
   lease.leaseId = 42;
-  lease.runs.push_back(RunAssignment{0, 7, "", 0.0});
-  lease.runs.push_back(RunAssignment{5, 12, "noise\twith\ttabs", 0.625});
+  lease.runs.push_back(RunAssignment{0, 7, "", 0.0, ""});
+  lease.runs.push_back(RunAssignment{5, 12, "noise\twith\ttabs", 0.625, ""});
+  lease.runs.push_back(RunAssignment{6, 13, "yield", 0.5, "pct:d=3,k=128"});
 
   LeasePayload back;
   std::string err;
   const std::string full = encodeLease(lease);
   ASSERT_TRUE(decodeLease(full, back, err)) << err;
   EXPECT_EQ(back.leaseId, 42u);
-  ASSERT_EQ(back.runs.size(), 2u);
+  ASSERT_EQ(back.runs.size(), 3u);
   EXPECT_EQ(back.runs[0].index, 0u);
   EXPECT_EQ(back.runs[0].seed, 7u);
   EXPECT_TRUE(back.runs[0].noiseName.empty());
   EXPECT_EQ(back.runs[1].index, 5u);
   EXPECT_EQ(back.runs[1].noiseName, "noise\twith\ttabs");
   EXPECT_DOUBLE_EQ(back.runs[1].strength, 0.625);
+  EXPECT_TRUE(back.runs[1].policy.empty());
+  EXPECT_EQ(back.runs[2].policy, "pct:d=3,k=128");
+
+  // Policy-less assignments stay on the four-field version-1 wire form, and
+  // four-field lines decode to an empty policy — mixed fleets interoperate.
+  EXPECT_EQ(encodeLease(lease).find("pct"), full.find("pct"));
+  LeasePayload v1;
+  ASSERT_TRUE(decodeLease("9\n3\t17\tmixed\t0.25\n", v1, err)) << err;
+  ASSERT_EQ(v1.runs.size(), 1u);
+  EXPECT_TRUE(v1.runs[0].policy.empty());
 
   for (std::size_t n = 0; n < full.size(); ++n) {
     err.clear();
@@ -340,6 +351,54 @@ TEST(FleetEquivalence, GuidedCampaignMatchesInProcessGuide) {
   fs::remove(sock);
 }
 
+TEST(FleetEquivalence, PolicyArmedGuidedCampaignMatchesInProcessGuide) {
+  // The policy arm dimension crosses the wire as the optional fifth lease
+  // field; the folded campaign must stay byte-identical to the in-process
+  // guide for the same options.
+  const std::string sock = tempPath("fleet-guide-policy.sock");
+
+  experiment::RunSpec base;
+  base.programName = "account";
+  base.seedBase = 3;
+  base.tool.policy = "rr";
+  base.tool.coverage = "switch-pair";  // pin: the spec crosses the wire
+
+  guide::GuideOptions go;
+  go.budget = 48;
+  go.heuristics = {"yield"};
+  go.strengths = {0.2, 0.5};
+  go.policies = {"", "pct:d=2", "pos"};  // 6 arms: policy x strength
+  go.farm.jobs = 4;  // fixes the batch width == the decision sequence
+  guide::GuideResult local = guide::runGuided(base, go);
+
+  FleetOptions fl;
+  fl.listen = "unix:" + sock;
+  fl.leaseSize = 3;
+  Coordinator coordinator(base, fl);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2; ++i) {
+    workers.emplace_back([&sock] {
+      WorkerOptions wo;
+      wo.connect = "unix:" + sock;
+      runWorker(wo);
+    });
+  }
+  guide::GuideOptions fleetGo = go;
+  fleetGo.batchRunner = makeGuideBatchRunner(coordinator, false);
+  guide::GuideResult remote = guide::runGuided(base, fleetGo);
+  coordinator.shutdown();
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(guide::guideReport(local, false), guide::guideReport(remote, false));
+  EXPECT_EQ(local.records.size(), remote.records.size());
+  // The policy prefix is visible in the arm labels of both reports.
+  EXPECT_NE(guide::guideReport(local, false).find("pct:d=2/yield@0.2"),
+            std::string::npos);
+  EXPECT_NE(guide::guideReport(local, false).find("pos/yield@0.5"),
+            std::string::npos);
+  fs::remove(sock);
+}
+
 TEST(FleetGuide, MutationArmsAreRejectedWithBatchRunner) {
   experiment::RunSpec base;
   base.programName = "account";
@@ -422,7 +481,7 @@ TEST(FleetRobustness, DuplicateAndReorderedRecordsAreFoldedOnce) {
 
   std::vector<RunAssignment> runs;
   for (std::uint64_t i = 0; i < spec.runs; ++i) {
-    runs.push_back(RunAssignment{i, spec.seedBase + i, "", 0.0});
+    runs.push_back(RunAssignment{i, spec.seedBase + i, "", 0.0, ""});
   }
   Coordinator::BatchResult br = coordinator.runBatch(runs);
   coordinator.shutdown();
@@ -479,7 +538,7 @@ TEST(FleetRobustness, KilledWorkerLeasesAreReassignedAndQuarantined) {
 
   std::vector<RunAssignment> runs;
   for (std::uint64_t i = 0; i < spec.runs; ++i) {
-    runs.push_back(RunAssignment{i, spec.seedBase + i, "", 0.0});
+    runs.push_back(RunAssignment{i, spec.seedBase + i, "", 0.0, ""});
   }
   Coordinator::BatchResult br = coordinator.runBatch(runs, sink);
   coordinator.shutdown();

@@ -154,6 +154,51 @@ TEST(Arms, CrossProductOfHeuristicsAndStrengths) {
   EXPECT_EQ(arms[3].label(), "sleep@0.5");
 }
 
+TEST(Arms, PolicyDimensionMultipliesTheArmSet) {
+  experiment::RunSpec base;
+  base.programName = "account";
+  GuideOptions o;
+  o.heuristics = {"yield"};
+  o.strengths = {0.25};
+  o.policies = {"", "pct:d=3", "pos"};
+  auto arms = buildArms(base, o);
+  ASSERT_EQ(arms.size(), 3u);
+  // "" keeps the base policy and the historical (unprefixed) label; the
+  // policy-carrying arms prepend "policy/" as one token.
+  EXPECT_EQ(arms[0].label(), "yield@0.25");
+  EXPECT_EQ(arms[1].label(), "pct:d=3/yield@0.25");
+  EXPECT_EQ(arms[2].label(), "pos/yield@0.25");
+}
+
+TEST(Arms, ArmSpecAndPolicySubstituteThePolicy) {
+  experiment::RunSpec base;
+  base.programName = "account";
+  base.tool.policy = "rr";
+  Arm a;
+  a.noise = "yield";
+  a.policy = "pos";
+  experiment::RunSpec spec = armSpec(base, a);
+  EXPECT_EQ(spec.tool.policy, "pos");
+  EXPECT_NE(dynamic_cast<rt::POSPolicy*>(makeArmPolicy(a, "rr").get()),
+            nullptr);
+  Arm plain;
+  plain.noise = "yield";
+  experiment::RunSpec unchanged = armSpec(base, plain);
+  EXPECT_EQ(unchanged.tool.policy, "rr");
+  EXPECT_NE(
+      dynamic_cast<rt::RoundRobinPolicy*>(makeArmPolicy(plain, "rr").get()),
+      nullptr);
+}
+
+TEST(Guided, MalformedPolicyArmSpecFailsFast) {
+  experiment::RunSpec base;
+  base.programName = "account";
+  GuideOptions o;
+  o.budget = 4;
+  o.policies = {"pct:d=oops"};
+  EXPECT_THROW(runGuided(base, o), std::runtime_error);
+}
+
 TEST(Arms, ArmSpecSubstitutesNoiseAndStrength) {
   experiment::RunSpec base;
   base.programName = "account";
@@ -278,6 +323,40 @@ TEST(Guided, ReplayIsByteIdenticalForAnyJobsValue) {
     }
     EXPECT_EQ(g2.decisionLogPath, "");  // replay writes no log
   }
+}
+
+TEST(Guided, PolicyArmedReplayIsByteIdenticalForAnyJobsValue) {
+  // The policy arm dimension must not weaken the determinism contract: a
+  // recorded campaign over policy x strength arms replays byte-identically
+  // for any --jobs value.
+  std::string log = ::testing::TempDir() + "guide_policy_replay.arms";
+  std::filesystem::remove(log);
+
+  GuideOptions live = smallCampaign();
+  live.heuristics = {"yield"};
+  live.policies = {"", "pct:d=2", "pos"};
+  live.decisionLogPath = log;
+  GuideResult g1 = runGuided(accountSpec(), live);
+  ASSERT_EQ(g1.runs(), live.budget);
+  ASSERT_EQ(g1.arms.size(), 3u);
+
+  for (std::size_t jobs : {1u, 3u}) {
+    GuideOptions re = smallCampaign();
+    re.heuristics = {"yield"};
+    re.policies = {"", "pct:d=2", "pos"};
+    re.replayLogPath = log;
+    re.farm.jobs = jobs;
+    GuideResult g2 = runGuided(accountSpec(), re);
+    EXPECT_EQ(guideReport(g1, false), guideReport(g2, false))
+        << "jobs=" << jobs;
+    ASSERT_EQ(g2.runs(), g1.runs());
+    for (std::size_t i = 0; i < g1.records.size(); ++i) {
+      EXPECT_EQ(g1.records[i].seed, g2.records[i].seed);
+      EXPECT_EQ(g1.records[i].status, g2.records[i].status);
+      EXPECT_EQ(g1.records[i].coverage, g2.records[i].coverage);
+    }
+  }
+  std::filesystem::remove(log);
 }
 
 TEST(Guided, ReplayOfAnEarlyStoppedLogClampsTheBudget) {

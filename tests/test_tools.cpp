@@ -86,6 +86,46 @@ TEST(Cli, ExploreFindsDeadlock) {
   EXPECT_NE(r.output.find("deadlock"), std::string::npos);
 }
 
+TEST(Cli, ExploreRejectsExplicitPolicy) {
+  // --policy used to be silently ignored by explore; it must exit 2 with a
+  // message pointing at the subcommands that do take a policy.
+  CmdResult r = runCli("explore account --policy rr");
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("accepts no --policy"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("hunt"), std::string::npos);
+}
+
+TEST(Cli, MalformedPolicySpecFailsWithGrammar) {
+  CmdResult r = runCli("run account --policy pct:d=oops --seed 1");
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("grammar"), std::string::npos) << r.output;
+  CmdResult unknown = runCli("run account --policy bogus --seed 1");
+  EXPECT_EQ(unknown.exitCode, 2) << unknown.output;
+  EXPECT_NE(unknown.output.find("valid:"), std::string::npos)
+      << unknown.output;
+  CmdResult guided = runCli("hunt account --guide --budget 4 --policies pct:d=");
+  EXPECT_EQ(guided.exitCode, 2) << guided.output;
+  EXPECT_NE(guided.output.find("grammar"), std::string::npos) << guided.output;
+}
+
+TEST(Cli, ParameterizedPoliciesRunAndHunt) {
+  CmdResult pct = runCli("run account --policy pct:d=2,k=64 --seed 5");
+  EXPECT_EQ(pct.exitCode, 0) << pct.output;
+  CmdResult pos = runCli("run account --policy pos --seed 5");
+  EXPECT_EQ(pos.exitCode, 0) << pos.output;
+}
+
+TEST(Cli, ExploreSleepSetsReportsPrunedRuns) {
+  // account_sync is clean: exploration exhausts, and with --sleep-sets some
+  // runs are discarded as redundant commutations.
+  CmdResult r = runCli("explore account_sync --sleep-sets --budget 2000000");
+  EXPECT_EQ(r.exitCode, 1) << r.output;  // no bug -> exit 1
+  EXPECT_NE(r.output.find("pruned by sleep sets"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("exhausted"), std::string::npos) << r.output;
+}
+
 TEST(Cli, TracegenAndAnalyze) {
   CmdResult gen = runCli(
       "tracegen /tmp/mtt_cli_traces --programs account,producer_consumer_sem "

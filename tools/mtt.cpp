@@ -132,7 +132,7 @@ int usage() {
       "                filters by registry tag; --names prints bare names)\n"
       "  describe <program>                     documentation + bugs + IR info\n"
       "  run <program> [--seed N] [--mode controlled|native]\n"
-      "                [--policy rr|random|priority] [--noise H] [--strength F]\n"
+      "                [--policy P] [--noise H] [--strength F]\n"
       "                [--dispatch-stats]\n"
       "  hunt <program> [--seeds N] [--noise H] [--policy P] [--out FILE]\n"
       "                [--jobs N] [--timeout-ms T] [--jsonl FILE]\n"
@@ -146,7 +146,8 @@ int usage() {
       "  corpus list|show|verify|gc [--corpus DIR] [--program P]\n"
       "                (show takes: corpus show <program> <fingerprint>)\n"
       "  explore <program> [--bound K] [--budget N] [--random-walk]\n"
-      "                [--out FILE] [--corpus DIR] [--shrink] [--detectors a,b]\n"
+      "                [--sleep-sets] [--out FILE] [--corpus DIR] [--shrink]\n"
+      "                [--detectors a,b]  (no --policy: systematic order)\n"
       "  tracegen <dir> [--programs a,b,c] [--seeds N] [--noise H] [--binary]\n"
       "  analyze <trace-file...>\n"
       "  experiment <program> [--runs N] [--policy P] [--noise a,b,c]\n"
@@ -161,6 +162,15 @@ int usage() {
       "  worker --connect ADDR [--connect-timeout-ms T] [--retries N]\n"
       "                [--worker-mem-mb N] [--worker-cpu-s N]\n"
       "  check <program>                        static + model checking\n"
+      "\n"
+      "  schedule policies (--policy P): rr | random[:switch=P] |\n"
+      "  pct[:d=D,k=K] | pos | priority[:d=D,k=K].  pct is randomized\n"
+      "  priority scheduling with D priority-change points over a run-length\n"
+      "  window K (k=0 or absent: adaptive); priority is its historical\n"
+      "  alias; pos draws a fresh random priority per pending operation and\n"
+      "  reassigns the priorities of racing operations after each step.\n"
+      "  explore enumerates systematically and rejects --policy; --sleep-sets\n"
+      "  prunes schedules that only commute independent operations.\n"
       "\n"
       "  farm flags: --jobs N shards runs over N workers (0 = all cores);\n"
       "  --timeout-ms is a per-run watchdog; --jsonl streams one JSON record\n"
@@ -182,7 +192,9 @@ int usage() {
       "\n"
       "  guided flags: --guide / --adaptive run a coverage-guided campaign —\n"
       "  a UCB1 bandit over noise-heuristic x strength arms (plus corpus-\n"
-      "  seeded schedule-mutation arms with --corpus) spends --budget N runs\n"
+      "  seeded schedule-mutation arms with --corpus; --policies \"a;b\"\n"
+      "  multiplies the arm set by schedule policies, ';'-separated since\n"
+      "  policy specs contain commas) spends --budget N runs\n"
       "  where novel coverage or failure fingerprints still appear;\n"
       "  --saturate stops early when coverage saturates (closed universes:\n"
       "  full coverage; open: Good-Turing unseen mass < --unseen-threshold).\n"
@@ -513,6 +525,24 @@ guide::GuideOptions guideOptionsFromArgs(const Args& a,
       }
     }
   }
+  if (a.has("policies")) {
+    // ';'-separated (not ','): parameterized policy specs like "pct:d=3,k=64"
+    // contain commas.  Entries validate inside runGuided (exit 2 on error).
+    go.policies.clear();
+    const std::string list = a.get("policies", "");
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      std::size_t end = list.find(';', start);
+      if (end == std::string::npos) end = list.size();
+      std::string item = list.substr(start, end - start);
+      if (!item.empty()) go.policies.push_back(std::move(item));
+      start = end + 1;
+    }
+    if (go.policies.empty()) {
+      throw std::runtime_error(
+          "--policies expects a ';'-separated list of schedule policy specs");
+    }
+  }
   if (a.has("corpus")) go.corpusDir = a.get("corpus", "corpus");
   go.maxMutationArms =
       static_cast<std::size_t>(a.getU64("mutation-arms", 4));
@@ -592,7 +622,9 @@ int cmdHuntGuided(const Args& a) {
   replay::Scenario sc;
   sc.program = base.programName;
   sc.seed = g.firstFindSeed;
-  sc.policy = arm.witness ? "mutated-replay" : base.tool.policy;
+  sc.policy = arm.witness ? "mutated-replay"
+              : arm.policy.empty() ? base.tool.policy
+                                   : arm.policy;
   sc.noise = arm.noise;
   sc.strength = arm.strength;
   sc.schedule = rec.recorded;
@@ -800,6 +832,15 @@ int cmdReplay(const Args& a) {
 
 int cmdExplore(const Args& a) {
   if (a.positional.empty()) return usage();
+  if (a.has("policy")) {
+    // The explorer owns the schedule order (DFS over the choice tree); a
+    // --policy here used to be silently ignored, which read as "explore
+    // under pct" when it never was.  Reject it loudly instead.
+    throw std::runtime_error(
+        "explore enumerates schedules systematically and accepts no "
+        "--policy; use 'mtt hunt' or 'mtt experiment' to search under a "
+        "schedule policy");
+  }
   auto p = suite::makeProgram(a.positional[0]);
   explore::ExploreOptions o;
   o.preemptionBound = static_cast<int>(
@@ -807,6 +848,7 @@ int cmdExplore(const Args& a) {
   if (!a.has("bound")) o.preemptionBound = -1;
   o.maxSchedules = a.getU64("budget", 20'000);
   o.randomWalk = a.has("random-walk");
+  o.sleepSets = a.has("sleep-sets");
   // The shared flag table drives the search too: detectors (whose final
   // state describes the counterexample run), coverage models, noise — all
   // through the same RunSpec the other subcommands consume.
@@ -847,8 +889,12 @@ int cmdExplore(const Args& a) {
     triageScenario(a, sc, pr.signature, path);
     return 0;
   }
-  std::printf("no bug in %llu schedules%s\n",
-              static_cast<unsigned long long>(r.schedules),
+  std::string prunedNote;
+  if (r.prunedRuns > 0) {
+    prunedNote = ", " + std::to_string(r.prunedRuns) + " pruned by sleep sets";
+  }
+  std::printf("no bug in %llu schedules%s%s\n",
+              static_cast<unsigned long long>(r.schedules), prunedNote.c_str(),
               r.exhausted ? " (schedule space exhausted)" : " (budget)");
   return 1;
 }
