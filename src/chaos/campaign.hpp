@@ -1,0 +1,103 @@
+// The chaos campaign driver: runs one experiment campaign through the
+// fleet under an installed FaultPlan and delivers a verdict against the
+// chaos invariant:
+//
+//   For every injected fault class, the campaign either COMPLETES with a
+//   report and journal byte-identical to the fault-free `--jobs 1` run of
+//   the same spec, or TERMINATES PROMPTLY with a resumable journal and a
+//   diagnostic naming the fault — never a hang, never silent corruption.
+//
+// Mechanics: a fault-free serial baseline is executed first (no injector
+// installed); then the same spec runs as a fleet campaign — coordinator on
+// a Unix socket plus in-process reconnecting worker threads — with the
+// FaultPlan installed and a wall-clock watchdog armed.  A completed chaos
+// run must match the baseline bit for bit; an aborted one must carry a
+// diagnostic and leave a journal that, resumed fault-free and serially,
+// reconstructs the baseline exactly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "chaos/chaos.hpp"
+#include "experiment/experiment.hpp"
+
+namespace mtt::chaos {
+
+enum class ChaosVerdict : std::uint8_t {
+  /// Campaign completed; report + journal byte-identical to the baseline.
+  Recovered,
+  /// Campaign aborted with a diagnostic; the journal resumed fault-free to
+  /// the exact baseline.
+  DegradedResumable,
+  /// Output diverged from the baseline (the invariant's "silent
+  /// corruption" arm) — always a bug.
+  Corruption,
+  /// The wall-clock cap fired before the campaign terminated on its own —
+  /// the invariant's "never a hang" arm.  Always a bug.
+  Hang,
+  /// The campaign stopped abnormally without naming its fault, or the
+  /// degraded journal could not be resumed.
+  Failed,
+};
+
+const char* to_string(ChaosVerdict v);
+
+struct ChaosOptions {
+  /// Fault plan spec (chaos::parsePlan grammar / preset names).
+  std::string plan = "sever";
+  /// Seed for the deterministic fault sequence (same seed + same plan =
+  /// same injected faults at every site).
+  std::uint64_t seed = 1;
+  /// In-process fleet workers serving the campaign.
+  std::size_t workers = 2;
+  /// Runs-per-lease sharding; deliberately small so faults land between
+  /// many protocol edges.
+  std::size_t leaseSize = 7;
+  /// Worker idle-heartbeat cadence (must stay below leaseTimeout).
+  std::chrono::milliseconds heartbeat{200};
+  /// Coordinator lease timeout (hung-worker quarantine deadline).  Kept
+  /// short: a worker-side sever is invisible to the coordinator until the
+  /// lease expires, so this bounds the recovery latency per injected fault.
+  std::chrono::milliseconds leaseTimeout{2000};
+  /// Coordinator degraded-mode deadline: no workers + no records for this
+  /// long aborts the campaign with a diagnostic.
+  std::chrono::milliseconds noProgressTimeout{3000};
+  /// Hard wall-clock cap on the chaos run; exceeding it is verdict Hang.
+  std::chrono::milliseconds wallCap{60000};
+  /// Scratch directory for sockets/journals; empty = a fresh directory
+  /// under the system temp path, removed afterwards unless keepArtifacts.
+  std::string workDir;
+  bool keepArtifacts = false;
+};
+
+struct ChaosReport {
+  ChaosVerdict verdict = ChaosVerdict::Failed;
+  /// The campaign's abort diagnostic (degraded path) or an explanation of
+  /// the verdict (corruption/hang/failure); empty for a clean Recovered.
+  std::string diagnostic;
+  /// Injected-fault counters and the deterministic trigger trace.
+  FaultPlanStats faults;
+  std::uint64_t runs = 0;           ///< requested campaign size
+  std::uint64_t delivered = 0;      ///< records the chaos run produced
+  std::uint64_t workerReconnects = 0;
+  bool resumedToBaseline = false;   ///< degraded path resumed successfully
+  double wallSeconds = 0.0;
+
+  bool passed() const {
+    return verdict == ChaosVerdict::Recovered ||
+           verdict == ChaosVerdict::DegradedResumable;
+  }
+};
+
+/// Runs the full baseline / chaos / verify sequence.  Throws
+/// std::runtime_error on configuration errors (bad plan spec, unknown
+/// program); fault consequences are reported in the verdict, not thrown.
+ChaosReport runChaosCampaign(const experiment::ExperimentSpec& spec,
+                             const ChaosOptions& options);
+
+/// Human-readable multi-line rendering of a report (CLI epilogue).
+std::string renderChaosReport(const ChaosReport& report);
+
+}  // namespace mtt::chaos

@@ -1,0 +1,127 @@
+// mtt::chaos — deterministic, seed-driven fault injection for the
+// fleet/farm campaign service.
+//
+// A FaultPlan is a set of rules ("sever network sends", "fail disk writes
+// with ENOSPC after 4 KiB", ...) compiled from a small spec grammar and
+// installed process-wide through the core::FaultInjector seam.  Every
+// instrumented I/O site (fleet sends/recvs, worker heartbeats, journal
+// appends, atomic file writes) consults the plan, and the plan answers with
+// a decision that is a PURE function of (plan seed, site name, per-site
+// operation counter) — never of wall-clock time or thread interleaving.
+// Two campaigns under the same plan and seed therefore see the same fault
+// sequence at every site, which is what makes a chaos failure replayable.
+//
+// Plan spec grammar (parsePlan):
+//
+//   plan   := rule ("+" rule)*
+//   rule   := name [":" kv ("," kv)*]
+//   kv     := key "=" value
+//
+// Rule names (FaultClass) and their tunables:
+//
+//   sever        cut a connection at a byte boundary     [prob, after, times]
+//   stall        delay a send/recv before it proceeds    [prob, ms, times]
+//   short-read   truncate a recv (partial frames)        [prob, bytes, times]
+//   hb-dup       duplicate an idle heartbeat             [prob, times]
+//   hb-delay     delay an idle heartbeat                 [prob, ms, times]
+//   disk-short   short write to the journal/atomic file  [prob, after, bytes, times]
+//   disk-full    fail a disk write with ENOSPC           [prob, after, times]
+//   fsync-fail   fail an fsync with EIO                  [prob, after, times]
+//
+// Common keys: site=<substring> restricts a rule to matching site tags
+// (e.g. site=fleet.worker); prob=<0..1> is the per-operation trigger
+// probability; after=<bytes> arms the rule only once the site has seen that
+// many cumulative bytes; times=<n> caps total triggers; ms=<n> sets the
+// delay; bytes=<n> the short-I/O size.
+//
+// Named presets (spelled like a rule with no keys, expanded by parsePlan):
+// "sever", "stall", "partial", "heartbeat", "disk-full", "fsync-fail" —
+// curated rule sets the CLI and CI soak job use.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/fault.hpp"
+
+namespace mtt::chaos {
+
+enum class FaultClass : std::uint8_t {
+  Sever,
+  Stall,
+  ShortRead,
+  HeartbeatDup,
+  HeartbeatDelay,
+  DiskShort,
+  DiskFull,
+  FsyncFail,
+};
+
+const char* to_string(FaultClass c);
+
+/// One compiled fault rule.
+struct FaultRule {
+  FaultClass cls = FaultClass::Sever;
+  /// Substring filter on the site tag; empty = every site the class's
+  /// operation reaches.
+  std::string site;
+  /// Per-operation trigger probability in [0, 1].
+  double prob = 0.05;
+  /// Arm only after this many cumulative bytes at the site.
+  std::uint64_t afterBytes = 0;
+  /// Total trigger budget across the whole run (0 = unlimited).
+  std::size_t times = 0;
+  /// Stall/delay duration.
+  std::chrono::milliseconds delay{25};
+  /// Short-I/O size (bytes let through before the fault).
+  std::size_t bytes = 1;
+};
+
+/// Parses a plan spec (grammar above; presets expanded).  Throws
+/// std::runtime_error naming the defect and the grammar on malformed input.
+std::vector<FaultRule> parsePlan(const std::string& spec);
+
+/// One line per preset, for --help output.
+std::string plansHelp();
+
+/// Injection counters, per fault class, plus the deterministic trigger
+/// trace (one "site#opIndex:class" string per injected fault, sorted —
+/// per-site sequences are reproducible, cross-site interleaving is not).
+struct FaultPlanStats {
+  std::map<std::string, std::uint64_t> triggersByClass;
+  std::uint64_t opsObserved = 0;
+  std::uint64_t triggers = 0;
+  std::vector<std::string> trace;
+};
+
+/// The injector: thread-safe, deterministic per (seed, site, op counter).
+/// Install with core::FaultScope for the duration of a campaign.
+class FaultPlan final : public core::FaultInjector {
+ public:
+  FaultPlan(std::vector<FaultRule> rules, std::uint64_t seed);
+
+  core::FaultDecision onOp(core::FaultOp op, const char* site,
+                           std::size_t bytes) override;
+
+  /// Snapshot of the counters (trace sorted for stable comparison).
+  FaultPlanStats stats() const;
+
+ private:
+  struct SiteState {
+    std::uint64_t ops = 0;    ///< operations seen at this site
+    std::uint64_t bytes = 0;  ///< cumulative bytes seen at this site
+  };
+
+  const std::vector<FaultRule> rules_;
+  const std::uint64_t seed_;
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+  std::vector<std::uint64_t> triggersPerRule_;
+  FaultPlanStats stats_;
+};
+
+}  // namespace mtt::chaos

@@ -1,5 +1,7 @@
 #include "core/atomic_file.hpp"
 
+#include "core/fault.hpp"
+
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -49,12 +51,39 @@ void atomicWriteFile(const std::string& path, const std::string& contents,
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) fail("cannot create temporary", tmp);
 
-  bool ok = contents.empty() ||
-            std::fwrite(contents.data(), 1, contents.size(), f) ==
-                contents.size();
+  // Fault-injection seam: an injected Short writes only a prefix of the
+  // contents, Fail skips the write entirely — both feed the existing
+  // failure path below (temp removed, target untouched, exception thrown),
+  // which is exactly the atomicity contract under test.
+  using Action = FaultDecision::Action;
+  const FaultDecision wfault =
+      checkFault(FaultOp::DiskWrite, "core.atomic_file.write", contents.size());
+  bool ok = true;
+  if (wfault.action == Action::Fail) {
+    errno = wfault.err != 0 ? wfault.err : ENOSPC;
+    ok = false;
+  } else if (wfault.action == Action::Short) {
+    const std::size_t wrote = std::min(contents.size(), wfault.count);
+    std::fwrite(contents.data(), 1, wrote, f);
+    errno = ENOSPC;
+    ok = false;
+  } else {
+    ok = contents.empty() ||
+         std::fwrite(contents.data(), 1, contents.size(), f) ==
+             contents.size();
+  }
   ok = std::fflush(f) == 0 && ok;
 #if MTT_HAS_UNISTD
-  if (ok && syncToDisk) ok = ::fsync(::fileno(f)) == 0;
+  if (ok && syncToDisk) {
+    const FaultDecision sfault =
+        checkFault(FaultOp::DiskFsync, "core.atomic_file.fsync", 0);
+    if (sfault.action == Action::Fail) {
+      errno = sfault.err != 0 ? sfault.err : EIO;
+      ok = false;
+    } else {
+      ok = ::fsync(::fileno(f)) == 0;
+    }
+  }
 #else
   (void)syncToDisk;
 #endif

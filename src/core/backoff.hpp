@@ -1,0 +1,95 @@
+// Unified retry backoff: capped exponential growth with deterministic
+// jitter.
+//
+// Before mtt::chaos, three subsystems each hand-rolled the same idea with
+// slightly different bugs waiting to happen: the farm's run-retry loop and
+// the fleet worker's assignment-retry loop both computed
+// `backoff * (1u << (attempt - 1))` (unbounded, overflow-prone past 32
+// attempts), and the fleet's retrying connect slept a flat 50 ms.  This
+// header is the one implementation all of them (plus the worker reconnect
+// path) now share.
+//
+// Jitter is deterministic: it is a pure function of (seed, attempt), so a
+// retry schedule is reproducible from the same inputs — chaos campaigns can
+// replay the exact timing-decision sequence, and two runs of the same seed
+// never diverge on sleep durations.  Spread matters only to de-synchronize
+// *different* seeds (e.g. many workers reconnecting after a coordinator
+// restart), which distinct seeds provide.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace mtt::core {
+
+struct BackoffPolicy {
+  /// Delay before the first retry.
+  std::chrono::milliseconds initial{10};
+  /// Hard ceiling on any single delay (the "capped" in capped exponential).
+  std::chrono::milliseconds cap{2000};
+  /// Multiplier per attempt; 2 doubles, 1 makes the backoff flat.
+  unsigned factor = 2;
+  /// Fraction of the pre-jitter delay that jitter may subtract, in
+  /// [0, 1].  0 disables jitter entirely.
+  double jitter = 0.5;
+  /// Stream selector for the deterministic jitter.
+  std::uint64_t seed = 0;
+};
+
+namespace backoff_detail {
+
+/// SplitMix64 output function: a stateless 64-bit mix, good enough to turn
+/// (seed, attempt) into an independent-looking jitter draw.
+inline std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace backoff_detail
+
+/// Delay before retry number `attempt` (1-based): initial * factor^(a-1),
+/// clamped to the cap, minus a deterministic jitter slice.  Pure function —
+/// the same (policy, attempt) always yields the same delay.
+inline std::chrono::milliseconds backoffDelay(const BackoffPolicy& policy,
+                                              std::uint32_t attempt) {
+  if (attempt == 0) attempt = 1;
+  // Grow in 64-bit and saturate instead of shifting into UB: attempt 40 of
+  // a doubling schedule must hit the cap, not wrap to a tiny sleep.
+  std::uint64_t ms = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(policy.initial.count(), 0));
+  const std::uint64_t capMs = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(policy.cap.count(), 0));
+  for (std::uint32_t i = 1; i < attempt && ms < capMs; ++i) {
+    ms *= std::max(1u, policy.factor);
+  }
+  ms = std::min(ms, capMs);
+  if (policy.jitter > 0.0 && ms > 0) {
+    const double frac = std::clamp(policy.jitter, 0.0, 1.0);
+    const std::uint64_t draw =
+        backoff_detail::mix(policy.seed * 0x2545f4914f6cdd1dull + attempt);
+    // Uniform in [0, frac): subtractive jitter keeps the cap a true ceiling.
+    const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    ms -= static_cast<std::uint64_t>(static_cast<double>(ms) * frac * u);
+  }
+  return std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+}
+
+/// Stateful wrapper: next() walks the schedule, reset() rewinds it (a
+/// successful attempt ends the episode).
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy) : policy_(policy) {}
+
+  std::chrono::milliseconds next() { return backoffDelay(policy_, ++attempt_); }
+  void reset() { attempt_ = 0; }
+  std::uint32_t attempts() const { return attempt_; }
+
+ private:
+  BackoffPolicy policy_;
+  std::uint32_t attempt_ = 0;
+};
+
+}  // namespace mtt::core

@@ -1,0 +1,30 @@
+#include "core/fault.hpp"
+
+namespace mtt::core {
+
+namespace fault_detail {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace fault_detail
+
+const char* to_string(FaultOp op) {
+  switch (op) {
+    case FaultOp::NetSend:
+      return "net-send";
+    case FaultOp::NetRecv:
+      return "net-recv";
+    case FaultOp::HeartbeatSend:
+      return "heartbeat";
+    case FaultOp::DiskWrite:
+      return "disk-write";
+    case FaultOp::DiskFsync:
+      return "fsync";
+  }
+  return "?";
+}
+
+FaultInjector* setFaultInjector(FaultInjector* injector) {
+  return fault_detail::g_injector.exchange(injector,
+                                           std::memory_order_acq_rel);
+}
+
+}  // namespace mtt::core

@@ -1,0 +1,105 @@
+// The fault-injection seam mtt::chaos plugs into.
+//
+// Every I/O primitive the campaign infrastructure depends on — fleet socket
+// sends/recvs, worker heartbeats, journal appends, fsyncs, atomic file
+// writes — consults the process-global FaultInjector (if any) immediately
+// before touching the kernel.  With no injector installed (the default) the
+// check is one relaxed atomic load; production paths pay nothing
+// measurable.  With one installed (tests, `mtt chaos`), the injector sees
+// every operation as (op kind, site tag, byte count) and may order the
+// caller to sever the connection, truncate the transfer, stall, fail with a
+// chosen errno, or duplicate the operation.
+//
+// The seam lives in core — below farm and fleet — so both layers inject
+// through the same interface and a single plan can coordinate network and
+// disk faults.  The injector itself (mtt::chaos::FaultPlan) lives one layer
+// up; core only defines the contract.
+//
+// Thread-safety: onOp may be called concurrently from the coordinator
+// thread, worker threads, and farm workers; implementations must be
+// thread-safe.  Installation is not synchronized with in-flight I/O —
+// install before starting the campaign, uninstall after it fully stops
+// (FaultScope does both ends).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace mtt::core {
+
+/// Where in the I/O stack an operation is about to happen.
+enum class FaultOp : std::uint8_t {
+  NetSend,        ///< fleet frame/byte send
+  NetRecv,        ///< fleet byte receive
+  HeartbeatSend,  ///< worker idle keepalive (delay/duplicate target)
+  DiskWrite,      ///< journal append / atomic-file payload write
+  DiskFsync,      ///< journal or atomic-file fsync
+};
+
+const char* to_string(FaultOp op);
+
+/// What the injector orders the I/O site to do.
+struct FaultDecision {
+  enum class Action : std::uint8_t {
+    None,       ///< proceed normally
+    Sever,      ///< let `count` bytes through, then cut the connection
+    Short,      ///< transfer at most `count` bytes (partial read/write)
+    Stall,      ///< sleep `delay`, then proceed
+    Fail,       ///< fail the operation with errno `err`
+    Duplicate,  ///< perform the operation twice (heartbeats)
+  };
+  Action action = Action::None;
+  std::size_t count = 0;  ///< Sever / Short byte budget
+  int err = 0;            ///< Fail errno
+  std::chrono::milliseconds delay{0};  ///< Stall duration
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  /// Called once per I/O operation with the operation kind, a stable site
+  /// tag (e.g. "fleet.coord.recv", "farm.journal.append"), and the byte
+  /// count about to move (0 when unknown).  Must be thread-safe.
+  virtual FaultDecision onOp(FaultOp op, const char* site,
+                             std::size_t bytes) = 0;
+};
+
+namespace fault_detail {
+extern std::atomic<FaultInjector*> g_injector;
+}
+
+/// The currently installed injector, or nullptr (the common case).
+inline FaultInjector* faultInjector() {
+  return fault_detail::g_injector.load(std::memory_order_acquire);
+}
+
+/// Installs `injector` process-wide (nullptr uninstalls).  Returns the
+/// previous injector.
+FaultInjector* setFaultInjector(FaultInjector* injector);
+
+/// One-call convenience for I/O sites: no injector -> Action::None.
+inline FaultDecision checkFault(FaultOp op, const char* site,
+                                std::size_t bytes) {
+  FaultInjector* inj = faultInjector();
+  if (inj == nullptr) return FaultDecision{};
+  return inj->onOp(op, site, bytes);
+}
+
+/// RAII installation: installs on construction, restores the previous
+/// injector on destruction.  Scope it around an entire campaign, never
+/// around individual operations.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector* injector)
+      : previous_(setFaultInjector(injector)) {}
+  ~FaultScope() { setFaultInjector(previous_); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace mtt::core

@@ -54,9 +54,27 @@ class Collector {
 
   /// Records one finished run: stores it, streams the JSONL line, updates
   /// the progress display, and evaluates the early-stop predicate.
+  ///
+  /// A journal write failure (disk full, short write — real or injected)
+  /// latches ioError() and requests a stop instead of propagating: worker
+  /// threads must not die on an exception, and the record is deliberately
+  /// NOT stored, so a resumed campaign re-runs it — the journal never
+  /// claims a run it did not durably record.
   void deliver(experiment::RunObservation obs, std::size_t worker) {
     std::lock_guard<std::mutex> lk(mu_);
+    if (ioErrored_) return;  // journal is unreliable; drop further records
     if (options_.scrubTiming) scrubTimingFields(obs);
+    try {
+      journal_.append(obs);
+    } catch (const std::exception& e) {
+      ioErrored_ = true;
+      ioError_ = std::string("campaign journal write failed: ") + e.what() +
+                 "; stopping (the journal tail is repairable and the "
+                 "campaign is resumable)";
+      std::fprintf(stderr, "\n[farm] %s\n", ioError_.c_str());
+      stop_.store(true, std::memory_order_relaxed);
+      return;
+    }
     if (obs.status == "timeout") ++timeouts_;
     if (obs.status == "crashed") ++crashes_;
     if (obs.status == "infra-error") ++infraErrors_;
@@ -69,13 +87,18 @@ class Collector {
       std::fputs(line.c_str(), jsonl_);
       std::fflush(jsonl_);
     }
-    journal_.append(obs);
     records_.push_back(std::move(obs));
     if (options_.stopOnRecord && !stop_.load(std::memory_order_relaxed) &&
         options_.stopOnRecord(records_.back())) {
       stop_.store(true, std::memory_order_relaxed);
     }
     maybeProgressLocked(false);
+  }
+
+  /// Non-empty after a journal I/O failure latched the stop.
+  std::string ioError() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ioError_;
   }
 
   bool stopped() const {
@@ -203,6 +226,8 @@ class Collector {
   std::unordered_set<std::uint64_t> done_;
   mutable std::mutex mu_;
   std::vector<experiment::RunObservation> records_;
+  bool ioErrored_ = false;
+  std::string ioError_;
   std::atomic<bool> stop_{false};
   std::size_t timeouts_ = 0;
   std::size_t crashes_ = 0;

@@ -11,6 +11,7 @@
 #include <optional>
 #include <thread>
 
+#include "core/backoff.hpp"
 #include "core/stats.hpp"
 #include "farm/collector.hpp"
 
@@ -135,7 +136,8 @@ class ThreadPool {
         return collector_.supervisedRecord(idx, "infra-error", lastError,
                                            attempt);
       }
-      std::this_thread::sleep_for(options_.retryBackoff * (1u << (attempt - 1)));
+      std::this_thread::sleep_for(
+          core::backoffDelay(retryPolicy(options_), attempt));
       (void)self;
     }
   }
@@ -210,6 +212,7 @@ CampaignResult runJobsThreads(std::uint64_t total, const JobFn& fn,
   cr.resumed = collector.resumed();
   cr.quarantined = collector.quarantined();
   cr.stoppedEarly = collector.stopped();
+  cr.abortDiagnostic = collector.ioError();
   cr.wallSeconds = clock.elapsedSeconds();
   return cr;
 }

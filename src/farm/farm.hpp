@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backoff.hpp"
 #include "experiment/experiment.hpp"
 #include "farm/record_io.hpp"
 
@@ -139,6 +140,11 @@ struct CampaignResult {
   /// already exhausted, so they are reported, not re-burned.
   std::size_t quarantined = 0;
   bool stoppedEarly = false;
+  /// Non-empty when the campaign terminated abnormally but controllably:
+  /// a fleet degraded-mode abort or a journal I/O failure.  Names the fault
+  /// and states whether the journal is resumable; CLIs surface it verbatim
+  /// and exit nonzero.
+  std::string abortDiagnostic;
   double wallSeconds = 0.0;
 
   double throughput() const {
@@ -216,6 +222,19 @@ bool processIsolationSupported();
 /// to the calling process.  Used by forked farm workers and by the fleet
 /// worker service so a runaway run dies in isolation.  No-op off POSIX.
 void applyRunLimits(std::size_t memLimitMb, std::size_t cpuLimitSec);
+
+/// The farm's unified run-retry schedule (core::backoffDelay): capped
+/// doubling from FarmOptions::retryBackoff, jitter-free — retry timing must
+/// be a pure function of the options for byte-stable campaigns.  Shared by
+/// the thread pool and the forked-worker pool.
+inline core::BackoffPolicy retryPolicy(const FarmOptions& options) {
+  core::BackoffPolicy p;
+  p.initial = options.retryBackoff;
+  p.cap = std::chrono::milliseconds(5000);
+  p.factor = 2;
+  p.jitter = 0.0;
+  return p;
+}
 
 }  // namespace detail
 

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "core/atomic_file.hpp"
+#include "core/fault.hpp"
 #include "farm/farm.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -210,10 +211,19 @@ void JournalWriter::open(const std::string& path, std::uint64_t configDigest,
     throw std::runtime_error("cannot open journal " + path + ": " +
                              std::strerror(errno));
   }
+  path_ = path;
   std::fseek(f_, 0, SEEK_END);
   if (std::ftell(f_) == 0) {
-    std::fputs(headerText(configDigest, total).c_str(), f_);
-    sync();
+    // The header must be durable before the first record: a journal whose
+    // identity line never landed is indistinguishable from corruption.
+    const std::string header = headerText(configDigest, total);
+    if (std::fputs(header.c_str(), f_) == EOF || !sync()) {
+      const std::string why = std::strerror(errno);
+      std::fclose(f_);
+      f_ = nullptr;
+      throw std::runtime_error("cannot write journal header to " + path +
+                               ": " + why);
+    }
   }
 }
 
@@ -227,29 +237,66 @@ std::int64_t monotonicMs() {
 
 }  // namespace
 
+void JournalWriter::fail(const std::string& why) {
+  failed_ = true;
+  throw std::runtime_error("journal " + path_ + ": " + why);
+}
+
 void JournalWriter::append(const experiment::RunObservation& obs) {
   if (f_ == nullptr) return;
-  std::fputs(recordLine(obs).c_str(), f_);
+  if (failed_) fail("writer latched by an earlier write failure");
+  const std::string line = recordLine(obs);
+  using Action = core::FaultDecision::Action;
+  const core::FaultDecision fault = core::checkFault(
+      core::FaultOp::DiskWrite, "farm.journal.append", line.size());
+  if (fault.action == Action::Short) {
+    // Realistic short write: a prefix of the line lands before the device
+    // fails, leaving exactly the torn tail loadJournal repairs.
+    const std::size_t wrote = std::min(line.size(), fault.count);
+    std::fwrite(line.data(), 1, wrote, f_);
+    std::fflush(f_);
+    fail("short write (injected fault): " + std::to_string(wrote) + " of " +
+         std::to_string(line.size()) + " bytes");
+  }
+  if (fault.action == Action::Fail) {
+    fail(std::string("write failed (injected fault): ") +
+         std::strerror(fault.err != 0 ? fault.err : ENOSPC));
+  }
+  if (std::fwrite(line.data(), 1, line.size(), f_) != line.size()) {
+    fail(std::string("short write: ") + std::strerror(errno));
+  }
   // fflush is the kill-safety line: once the kernel holds the bytes,
   // SIGKILLing this process loses nothing.  The (much more expensive)
   // fsync only guards against machine crashes, so it is time-batched.
-  std::fflush(f_);
-  if (monotonicMs() - lastSyncMs_ >= kSyncIntervalMs) sync();
+  if (std::fflush(f_) != 0) {
+    fail(std::string("flush failed: ") + std::strerror(errno));
+  }
+  if (monotonicMs() - lastSyncMs_ >= kSyncIntervalMs && !sync()) {
+    fail(std::string("fsync failed: ") + std::strerror(errno));
+  }
 }
 
-void JournalWriter::sync() {
+bool JournalWriter::sync() {
   lastSyncMs_ = monotonicMs();
-  std::fflush(f_);
+  if (std::fflush(f_) != 0) return false;
+  const core::FaultDecision fault =
+      core::checkFault(core::FaultOp::DiskFsync, "farm.journal.fsync", 0);
+  if (fault.action == core::FaultDecision::Action::Fail) {
+    errno = fault.err != 0 ? fault.err : EIO;
+    return false;
+  }
 #if MTT_JOURNAL_HAS_FSYNC
-  ::fsync(::fileno(f_));
+  if (::fsync(::fileno(f_)) != 0) return false;
 #endif
+  return true;
 }
 
 void JournalWriter::close() {
   if (f_ == nullptr) return;
-  sync();
+  if (!failed_) sync();  // best-effort; close must never throw
   std::fclose(f_);
   f_ = nullptr;
+  failed_ = false;
 }
 
 }  // namespace mtt::farm

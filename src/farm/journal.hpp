@@ -84,19 +84,32 @@ class JournalWriter {
   /// record survives SIGKILL of this process once the kernel has it) and
   /// fsyncs at most once per kSyncIntervalMs (power-crash loss bounded by
   /// one time slice, not one record).
+  ///
+  /// Throws std::runtime_error on a write/flush/fsync failure — real
+  /// (ENOSPC, EIO) or injected through the core::checkFault seam
+  /// (FaultOp::DiskWrite at "farm.journal.append", FaultOp::DiskFsync at
+  /// "farm.journal.fsync").  A failure latches the writer: further appends
+  /// rethrow, and close() skips the sync (it must never throw).  The
+  /// on-disk damage is at most one torn final line, which loadJournal's
+  /// checksum drops — exactly the crash case the format was built for.
   void append(const experiment::RunObservation& obs);
 
-  /// Flushes + fsyncs + closes; safe to call repeatedly.
+  /// Flushes + fsyncs + closes; safe to call repeatedly, never throws.
   void close();
 
   bool isOpen() const { return f_ != nullptr; }
+  /// True after a write failure latched the writer.
+  bool failed() const { return failed_; }
 
   static constexpr long kSyncIntervalMs = 250;
 
  private:
-  void sync();
+  bool sync();  ///< false on flush/fsync failure (errno describes it)
+  [[noreturn]] void fail(const std::string& why);
 
   std::FILE* f_ = nullptr;
+  std::string path_;
+  bool failed_ = false;
   std::int64_t lastSyncMs_ = 0;
 };
 

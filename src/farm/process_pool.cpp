@@ -391,7 +391,8 @@ class ProcessPool {
     if (obs.status == "infra-error" && w.attempts <= options_.maxRetries) {
       retries_.push_back(
           Retry{obs.runIndex, w.attempts,
-                Clock::now() + options_.retryBackoff * (1u << (w.attempts - 1))});
+                Clock::now() + core::backoffDelay(retryPolicy(options_),
+                                                  w.attempts)});
       return;
     }
     if (obs.status == "infra-error") {
@@ -476,6 +477,7 @@ CampaignResult runJobsProcesses(std::uint64_t total, const JobFn& fn,
   cr.resumed = collector.resumed();
   cr.quarantined = collector.quarantined();
   cr.stoppedEarly = collector.stopped();
+  cr.abortDiagnostic = collector.ioError();
   cr.wallSeconds = clock.elapsedSeconds();
   return cr;
 }

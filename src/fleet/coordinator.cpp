@@ -43,6 +43,7 @@ struct Coordinator::Impl {
   struct Conn {
     Socket sock;
     std::uint64_t id = 0;
+    std::string peer;  ///< "ip:port" / "unix" — log attribution
     std::string rx;
     bool active = false;  ///< HELLO validated, SPEC sent
     bool quarantined = false;
@@ -85,18 +86,40 @@ struct Coordinator::Impl {
       nullptr;
   bool stopRequested = false;
 
+  // Degraded-mode bookkeeping: the last instant the batch either delivered
+  // a record or had a healthy worker to wait on.
+  Clock::time_point lastProgress = Clock::now();
+
   bool externallyStopped() const {
     return opts.farm.stopFlag != nullptr &&
            opts.farm.stopFlag->load(std::memory_order_relaxed);
   }
 
+  /// "worker 3 (127.0.0.1:51442)" — every fleet diagnostic names the
+  /// connection id and peer address so failures are attributable from the
+  /// coordinator log alone.
+  std::string describeConn(const Conn& c) const {
+    return "worker " + std::to_string(c.id) + " (" +
+           (c.peer.empty() ? "?" : c.peer) + ")";
+  }
+
+  /// Campaign-context suffix for ERROR frames: which campaign, which
+  /// connection, and (when relevant) which lease — the receiving worker's
+  /// log then identifies the failure without coordinator-side correlation.
+  std::string errorContext(const Conn& c, std::uint64_t leaseId = 0) const {
+    std::string s = " [program=" + base.programName + " " + describeConn(c);
+    if (leaseId != 0) s += " lease=" + std::to_string(leaseId);
+    return s + "]";
+  }
+
   void sendFrame(Conn& c, FrameType type, const std::string& payload) {
     const std::string bytes = encodeFrame(type, payload);
     std::string err;
-    if (!sendAll(c.sock.fd(), bytes, err)) {
-      std::fprintf(stderr, "[fleet] worker %llu send failed: %s\n",
-                   static_cast<unsigned long long>(c.id), err.c_str());
-      dropConn(c, "timeout", "fleet worker connection lost mid-lease");
+    if (!sendAll(c.sock.fd(), bytes, err, "fleet.coord.send")) {
+      std::fprintf(stderr, "[fleet] %s send failed: %s\n",
+                   describeConn(c).c_str(), err.c_str());
+      dropConn(c, "timeout",
+               "fleet " + describeConn(c) + " connection lost mid-lease");
       return;
     }
     counters.bytesSent += bytes.size();
@@ -116,10 +139,11 @@ struct Coordinator::Impl {
     if (c.quarantined) return;
     c.quarantined = true;
     ++counters.workersQuarantined;
-    std::fprintf(stderr, "[fleet] quarantining worker %llu: %s\n",
-                 static_cast<unsigned long long>(c.id), why.c_str());
-    if (c.sock.valid()) sendFrame(c, FrameType::Quit, why);
-    dropConn(c, "timeout", "fleet worker quarantined (" + why + ")");
+    std::fprintf(stderr, "[fleet] quarantining %s: %s\n",
+                 describeConn(c).c_str(), why.c_str());
+    if (c.sock.valid()) sendFrame(c, FrameType::Quit, why + errorContext(c));
+    dropConn(c, "timeout",
+             "fleet " + describeConn(c) + " quarantined (" + why + ")");
   }
 
   void requeueConnLeases(std::uint64_t connId, const char* status,
@@ -176,6 +200,7 @@ struct Coordinator::Impl {
     if (opts.farm.scrubTiming) farm::scrubTimingFields(obs);
     delivered.insert(idx);
     ++totalDelivered;
+    lastProgress = Clock::now();
     // Clear the index out of whatever active lease still carries it (a
     // stale worker may deliver work that was since reassigned).
     auto il = indexLease.find(idx);
@@ -221,7 +246,7 @@ struct Coordinator::Impl {
         std::uint32_t version = 0;
         std::string err;
         if (!decodeHello(frame.payload, version, err)) {
-          sendFrame(c, FrameType::Error, err);
+          sendFrame(c, FrameType::Error, err + errorContext(c));
           dropConn(c, "timeout", err);
           return;
         }
@@ -230,7 +255,7 @@ struct Coordinator::Impl {
               "protocol version mismatch: coordinator speaks " +
               std::to_string(kProtocolVersion) + ", worker speaks " +
               std::to_string(version);
-          sendFrame(c, FrameType::Error, msg);
+          sendFrame(c, FrameType::Error, msg + errorContext(c));
           dropConn(c, "timeout", msg);
           return;
         }
@@ -246,9 +271,9 @@ struct Coordinator::Impl {
         experiment::RunObservation obs;
         std::string err;
         if (!decodeRecord(frame.payload, leaseId, obs, err)) {
-          std::fprintf(stderr, "[fleet] worker %llu: %s\n",
-                       static_cast<unsigned long long>(c.id), err.c_str());
-          dropConn(c, "crashed", err);
+          std::fprintf(stderr, "[fleet] %s: %s\n", describeConn(c).c_str(),
+                       err.c_str());
+          dropConn(c, "crashed", err + errorContext(c, leaseId));
           return;
         }
         (void)leaseId;  // delivery and lease cleanup are keyed by index
@@ -279,7 +304,8 @@ struct Coordinator::Impl {
           // The worker claims completion but records are missing: treat
           // the gap like a lost lease.
           requeueLease(leaseId, "crashed",
-                       "fleet worker completed a lease with missing records");
+                       "fleet " + describeConn(c) + " completed lease " +
+                           std::to_string(leaseId) + " with missing records");
           if (c.inflight > 0) --c.inflight;
           return;
         }
@@ -289,18 +315,18 @@ struct Coordinator::Impl {
       case FrameType::Heartbeat:
         return;
       case FrameType::Error: {
-        std::fprintf(stderr, "[fleet] worker %llu error: %s\n",
-                     static_cast<unsigned long long>(c.id),
+        std::fprintf(stderr, "[fleet] %s error: %s\n", describeConn(c).c_str(),
                      frame.payload.c_str());
-        dropConn(c, "crashed", "fleet worker reported: " + frame.payload);
+        dropConn(c, "crashed",
+                 "fleet " + describeConn(c) + " reported: " + frame.payload);
         return;
       }
       case FrameType::Spec:
       case FrameType::Lease:
       case FrameType::Quit: {
         const std::string msg = "unexpected frame from worker";
-        sendFrame(c, FrameType::Error, msg);
-        dropConn(c, "crashed", msg);
+        sendFrame(c, FrameType::Error, msg + errorContext(c));
+        dropConn(c, "crashed", msg + " (" + describeConn(c) + ")");
         return;
       }
     }
@@ -310,25 +336,30 @@ struct Coordinator::Impl {
   void readConn(Conn& c) {
     char buf[64 * 1024];
     for (;;) {
-      const ssize_t n = ::recv(c.sock.fd(), buf, sizeof buf, 0);
-      if (n > 0) {
-        counters.bytesReceived += static_cast<std::uint64_t>(n);
-        c.rx.append(buf, static_cast<std::size_t>(n));
+      // All coordinator reads funnel through recvSome: EINTR is retried
+      // there, and the "fleet.coord.recv" site exposes the read to the
+      // fault-injection seam.
+      const RecvResult r =
+          recvSome(c.sock.fd(), buf, sizeof buf, "fleet.coord.recv");
+      if (r.status == RecvStatus::Data) {
+        counters.bytesReceived += static_cast<std::uint64_t>(r.n);
+        c.rx.append(buf, r.n);
         continue;
       }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      if (n < 0 && errno == EINTR) continue;
+      if (r.status == RecvStatus::WouldBlock) break;
       // EOF or hard error: the worker is gone.
-      dropConn(c, "crashed", "fleet worker died mid-lease");
+      dropConn(c, "crashed",
+               "fleet " + describeConn(c) + " died mid-lease" +
+                   (r.err.empty() ? std::string() : " (" + r.err + ")"));
       return;
     }
     while (c.sock.valid()) {
       ParseResult r = tryParseFrame(c.rx);
       if (r.status == ParseStatus::NeedMore) break;
       if (r.status == ParseStatus::Corrupt) {
-        std::fprintf(stderr, "[fleet] worker %llu stream corrupt: %s\n",
-                     static_cast<unsigned long long>(c.id), r.error.c_str());
-        dropConn(c, "crashed", r.error);
+        std::fprintf(stderr, "[fleet] %s stream corrupt: %s\n",
+                     describeConn(c).c_str(), r.error.c_str());
+        dropConn(c, "crashed", r.error + " (" + describeConn(c) + ")");
         return;
       }
       c.rx.erase(0, r.consumed);
@@ -427,6 +458,7 @@ struct Coordinator::Impl {
         auto conn = std::make_unique<Conn>();
         conn->sock = std::move(s);
         conn->id = nextConnId++;
+        conn->peer = peerDescription(conn->sock.fd());
         conn->lastActivity = Clock::now();
         ++counters.workersConnected;
         conns.push_back(std::move(conn));
@@ -454,6 +486,17 @@ Coordinator::Coordinator(experiment::RunSpec base, const FleetOptions& options)
         "fleet campaigns cannot ship a policyFactory across the wire; "
         "use a named policy (and note corpus-mutation arms are "
         "coordinator-local)");
+  }
+  if (options.heartbeatInterval.count() <= 0) {
+    throw std::runtime_error("--heartbeat-ms must be positive");
+  }
+  if (options.heartbeatInterval >= options.leaseTimeout) {
+    throw std::runtime_error(
+        "--heartbeat-ms (" + std::to_string(options.heartbeatInterval.count()) +
+        ") must be strictly less than --lease-timeout-ms (" +
+        std::to_string(options.leaseTimeout.count()) +
+        "): an idle worker must fit at least one heartbeat inside the "
+        "lease timeout or it would be quarantined while healthy");
   }
   impl_->base = std::move(base);
   impl_->opts = options;
@@ -511,6 +554,7 @@ Coordinator::BatchResult Coordinator::runBatch(
   im.sink = &sink;
   im.stopOn = &stopOn;
   im.stopRequested = false;
+  im.lastProgress = Clock::now();
   im.totalWanted += runs.size();
 
   for (const RunAssignment& a : runs) im.wanted.emplace(a.index, a);
@@ -530,6 +574,24 @@ Coordinator::BatchResult Coordinator::runBatch(
     im.grantLeases();
     im.pollOnce();
     im.checkLeaseTimeouts();
+    // Degraded mode: a healthy worker counts as progress (it may be deep in
+    // a long run), but a fleet with nobody connected and nothing arriving
+    // must eventually abort with a diagnostic instead of hanging — the
+    // journal keeps every delivered record, so the campaign resumes.
+    if (im.counters.workersActive > 0) im.lastProgress = Clock::now();
+    if (im.opts.noProgressTimeout.count() > 0 &&
+        Clock::now() - im.lastProgress > im.opts.noProgressTimeout) {
+      const std::size_t undone = im.wanted.size() - im.delivered.size();
+      result.aborted = true;
+      result.stoppedEarly = true;
+      result.abortDiagnostic =
+          "fleet degraded: no active workers and no record for " +
+          std::to_string(im.opts.noProgressTimeout.count()) + " ms with " +
+          std::to_string(undone) + " of " + std::to_string(im.wanted.size()) +
+          " run(s) undone; the campaign journal is resumable";
+      std::fprintf(stderr, "\n[fleet] %s\n", result.abortDiagnostic.c_str());
+      break;
+    }
     im.maybeProgress(false);
   }
   // Active leases of a cancelled batch go stale: their indices leave the
@@ -606,8 +668,16 @@ farm::ExperimentCampaign runExperimentFleet(
         flush();
       };
 
-  Coordinator::BatchResult br =
-      coordinator.runBatch(assignments, sink, fopts.stopOnRecord);
+  // The batch also stops when the collector latches (stop-on-record match,
+  // or a journal I/O failure surfaced by the fault seam) — a campaign whose
+  // journal can no longer be trusted must terminate promptly, not stream on.
+  const std::function<bool(const experiment::RunObservation&)> stopPred =
+      [&](const experiment::RunObservation& obs) {
+        if (collector.stopped()) return true;
+        return fopts.stopOnRecord && fopts.stopOnRecord(obs);
+      };
+
+  Coordinator::BatchResult br = coordinator.runBatch(assignments, sink, stopPred);
 
   // A cancelled batch leaves non-contiguous stragglers in the buffer;
   // deliver them in index order (the journal stays index-sorted, with the
@@ -629,6 +699,8 @@ farm::ExperimentCampaign runExperimentFleet(
   out.campaign.resumed = collector.resumed();
   out.campaign.quarantined = collector.quarantined();
   out.campaign.stoppedEarly = br.stoppedEarly || collector.stopped();
+  out.campaign.abortDiagnostic =
+      !br.abortDiagnostic.empty() ? br.abortDiagnostic : collector.ioError();
   out.campaign.wallSeconds = wall.elapsedSeconds();
 
   out.result.programName = spec.programName;

@@ -70,6 +70,19 @@ struct FleetOptions {
   /// its leases are reassigned and it is quarantined.  Must comfortably
   /// exceed the slowest single run (a worker cannot heartbeat mid-run).
   std::chrono::milliseconds leaseTimeout{30000};
+  /// The idle-heartbeat cadence workers are expected to run
+  /// (WorkerOptions::heartbeatInterval).  The Coordinator constructor
+  /// rejects a configuration where this does not fit strictly inside
+  /// leaseTimeout — an idle worker that cannot fit one heartbeat into the
+  /// timeout window would be quarantined for being healthy.
+  std::chrono::milliseconds heartbeatInterval{1000};
+  /// Degraded mode: when the fleet has no active workers and no record has
+  /// arrived for this long, the batch aborts with a diagnostic instead of
+  /// waiting forever — undispatched leases stay queued in the journal's
+  /// sense (their indices are simply absent), so the campaign resumes
+  /// cleanly.  0 disables the deadline (a coordinator may legitimately wait
+  /// indefinitely for its first worker).
+  std::chrono::milliseconds noProgressTimeout{0};
   /// Quarantine a worker after this many infra-error records from it.
   std::size_t quarantineAfter = 3;
   /// Give up on an index after its lease died this many times and record
@@ -108,6 +121,11 @@ class Coordinator {
     std::map<std::uint64_t, experiment::RunObservation> records;
     bool stoppedEarly = false;
     std::size_t retries = 0;  ///< sum of (attempts - 1) over records
+    /// Degraded-mode exit: the noProgressTimeout deadline fired with runs
+    /// still owed.  `abortDiagnostic` names the cause (and the undone run
+    /// count); the campaign journal remains resumable.
+    bool aborted = false;
+    std::string abortDiagnostic;
   };
 
   /// Arrival-order record callback (before any reorder buffering); the

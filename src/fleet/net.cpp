@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/backoff.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define MTT_FLEET_HAS_SOCKETS 1
 #include <arpa/inet.h>
@@ -184,7 +186,10 @@ Listener::~Listener() {
 }
 
 Socket Listener::accept() {
-  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  int fd;
+  do {
+    fd = ::accept(sock_.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);  // a signal is not "no connection"
   if (fd < 0) return Socket();
   setNonBlocking(fd);
   int one = 1;
@@ -194,21 +199,51 @@ Socket Listener::accept() {
   return Socket(fd);
 }
 
-Socket connectTo(const Address& addr, std::chrono::milliseconds timeout) {
+std::string peerDescription(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof ss;
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+    return "?";
+  }
+  if (ss.ss_family == AF_INET) {
+    const auto* sin = reinterpret_cast<const sockaddr_in*>(&ss);
+    char ip[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &sin->sin_addr, ip, sizeof ip);
+    return std::string(ip) + ":" + std::to_string(ntohs(sin->sin_port));
+  }
+  if (ss.ss_family == AF_UNIX) return "unix";
+  return "?";
+}
+
+Socket connectTo(const Address& addr, std::chrono::milliseconds timeout,
+                 const std::atomic<bool>* stop) {
   ignoreSigpipeOnce();
   const auto deadline = std::chrono::steady_clock::now() + timeout;
+  // Deterministic-jitter schedule seeded by the target port (distinct
+  // endpoints de-synchronize; the same endpoint retries reproducibly).
+  core::Backoff backoff(core::BackoffPolicy{
+      std::chrono::milliseconds(10), std::chrono::milliseconds(250), 2, 0.5,
+      static_cast<std::uint64_t>(addr.port) + addr.path.size()});
   std::string lastError;
   for (;;) {
     Socket s(::socket(addr.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
     if (s.valid()) {
       int rc;
-      if (addr.isUnix) {
-        sockaddr_un sa = unixSockaddr(addr.path);
-        rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof sa);
-      } else {
-        sockaddr_in sa = tcpSockaddr(addr);
-        rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof sa);
-      }
+      do {
+        if (addr.isUnix) {
+          sockaddr_un sa = unixSockaddr(addr.path);
+          rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof sa);
+        } else {
+          sockaddr_in sa = tcpSockaddr(addr);
+          rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof sa);
+        }
+        // EINTR mid-connect: retry on a fresh socket right away — the
+        // interrupted attempt's state is indeterminate, but the signal is
+        // not a refusal and must not consume a backoff slot.
+      } while (rc != 0 && errno == EINTR &&
+               (s = Socket(::socket(addr.isUnix ? AF_UNIX : AF_INET,
+                                    SOCK_STREAM, 0)),
+                s.valid()));
       if (rc == 0) {
         if (!addr.isUnix) {
           int one = 1;
@@ -220,20 +255,48 @@ Socket connectTo(const Address& addr, std::chrono::milliseconds timeout) {
     } else {
       lastError = std::strerror(errno);
     }
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      throw std::runtime_error("connect to fleet coordinator at " +
+                               to_string(addr) +
+                               " abandoned: stop requested");
+    }
     if (std::chrono::steady_clock::now() >= deadline) {
       throw std::runtime_error("cannot connect to fleet coordinator at " +
                                to_string(addr) + " within " +
                                std::to_string(timeout.count()) +
                                " ms: " + lastError);
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::this_thread::sleep_for(backoff.next());
   }
 }
 
-bool sendAll(int fd, const std::string& data, std::string& err) {
+bool sendAll(int fd, const std::string& data, std::string& err,
+             const char* site) {
+  std::size_t budget = data.size();  // bytes an injected Sever lets through
+  bool severAfterBudget = false;
+  const core::FaultDecision fault =
+      core::checkFault(core::FaultOp::NetSend, site, data.size());
+  switch (fault.action) {
+    case core::FaultDecision::Action::None:
+    case core::FaultDecision::Action::Short:  // fragments; sendAll re-sends
+    case core::FaultDecision::Action::Duplicate:
+      break;
+    case core::FaultDecision::Action::Stall:
+      std::this_thread::sleep_for(fault.delay);
+      break;
+    case core::FaultDecision::Action::Sever:
+      budget = std::min(budget, fault.count);
+      severAfterBudget = true;
+      break;
+    case core::FaultDecision::Action::Fail:
+      err = std::string("chaos: injected send failure at ") + site + " (" +
+            std::strerror(fault.err != 0 ? fault.err : EIO) + ")";
+      ::shutdown(fd, SHUT_RDWR);
+      return false;
+  }
   std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+  while (off < budget) {
+    const ssize_t n = ::send(fd, data.data() + off, budget - off,
 #ifdef MSG_NOSIGNAL
                              MSG_NOSIGNAL
 #else
@@ -246,14 +309,75 @@ bool sendAll(int fd, const std::string& data, std::string& err) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       pollfd p{fd, POLLOUT, 0};
-      ::poll(&p, 1, 1000);
+      int rc;
+      do {
+        rc = ::poll(&p, 1, 1000);
+      } while (rc < 0 && errno == EINTR);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     err = n == 0 ? "peer closed the connection" : std::strerror(errno);
     return false;
   }
+  if (severAfterBudget) {
+    // The peer sees a mid-frame EOF at an arbitrary byte boundary — the
+    // partial-frame edge every parser above this layer must survive.
+    ::shutdown(fd, SHUT_RDWR);
+    err = std::string("chaos: connection severed at ") + site + " after " +
+          std::to_string(off) + " of " + std::to_string(data.size()) +
+          " bytes";
+    return false;
+  }
   return true;
+}
+
+RecvResult recvSome(int fd, char* buf, std::size_t cap, const char* site) {
+  RecvResult r;
+  const core::FaultDecision fault =
+      core::checkFault(core::FaultOp::NetRecv, site, cap);
+  switch (fault.action) {
+    case core::FaultDecision::Action::None:
+    case core::FaultDecision::Action::Duplicate:
+      break;
+    case core::FaultDecision::Action::Stall:
+      std::this_thread::sleep_for(fault.delay);
+      break;
+    case core::FaultDecision::Action::Short:
+      // Truncated read: frames upstream arrive in pieces, exercising the
+      // incremental parser on every prefix the plan chooses.
+      cap = std::max<std::size_t>(1, std::min(cap, fault.count));
+      break;
+    case core::FaultDecision::Action::Sever:
+      ::shutdown(fd, SHUT_RDWR);
+      r.status = RecvStatus::Error;
+      r.err = std::string("chaos: connection severed at ") + site;
+      return r;
+    case core::FaultDecision::Action::Fail:
+      r.status = RecvStatus::Error;
+      r.err = std::string("chaos: injected recv failure at ") + site + " (" +
+              std::strerror(fault.err != 0 ? fault.err : EIO) + ")";
+      return r;
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) {
+      r.status = RecvStatus::Data;
+      r.n = static_cast<std::size_t>(n);
+      return r;
+    }
+    if (n == 0) {
+      r.status = RecvStatus::Eof;
+      return r;
+    }
+    if (errno == EINTR) continue;  // a signal must not look like a dead peer
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      r.status = RecvStatus::WouldBlock;
+      return r;
+    }
+    r.status = RecvStatus::Error;
+    r.err = std::strerror(errno);
+    return r;
+  }
 }
 
 #else  // !MTT_FLEET_HAS_SOCKETS
@@ -269,8 +393,15 @@ void setNonBlocking(int) { unsupported(); }
 Listener::Listener(const Address&) { unsupported(); }
 Listener::~Listener() = default;
 Socket Listener::accept() { unsupported(); }
-Socket connectTo(const Address&, std::chrono::milliseconds) { unsupported(); }
-bool sendAll(int, const std::string&, std::string&) { unsupported(); }
+std::string peerDescription(int) { unsupported(); }
+Socket connectTo(const Address&, std::chrono::milliseconds,
+                 const std::atomic<bool>*) {
+  unsupported();
+}
+bool sendAll(int, const std::string&, std::string&, const char*) {
+  unsupported();
+}
+RecvResult recvSome(int, char*, std::size_t, const char*) { unsupported(); }
 
 #endif  // MTT_FLEET_HAS_SOCKETS
 

@@ -9,9 +9,12 @@
 // pattern: the library still links, the feature reports itself missing.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
+
+#include "core/fault.hpp"
 
 namespace mtt::fleet {
 
@@ -73,18 +76,54 @@ class Listener {
   Address bound_;
 };
 
-/// Connects to `addr`, retrying with a short backoff until `timeout`
-/// elapses — workers may be launched before their coordinator is
-/// listening.  Throws std::runtime_error when the deadline passes.
+/// Connects to `addr`, retrying with capped exponential backoff
+/// (core::Backoff) until `timeout` elapses — workers may be launched before
+/// their coordinator is listening.  An EINTR'd connect() retries
+/// immediately rather than burning a backoff slot.  Throws
+/// std::runtime_error when the deadline passes, or as soon as `stop` is
+/// latched — a reconnecting worker whose campaign just ended must not sit
+/// out the full dial timeout against a coordinator that is already gone.
 /// The returned socket is blocking.
-Socket connectTo(const Address& addr, std::chrono::milliseconds timeout);
+Socket connectTo(const Address& addr, std::chrono::milliseconds timeout,
+                 const std::atomic<bool>* stop = nullptr);
 
 /// Marks `fd` non-blocking.
 void setNonBlocking(int fd);
 
-/// Writes all of `data`, waiting (poll POLLOUT) through partial writes and
-/// EAGAIN.  Returns false on a peer error/close, with a diagnostic in
-/// `err`.  Works for blocking and non-blocking fds.
-bool sendAll(int fd, const std::string& data, std::string& err);
+/// "ip:port" (TCP) or "unix" for the peer of a connected socket — the
+/// worker-address half of attributable fleet diagnostics.
+std::string peerDescription(int fd);
+
+/// Writes all of `data`, waiting (poll POLLOUT) through partial writes,
+/// EAGAIN, and EINTR.  Returns false on a peer error/close, with a
+/// diagnostic in `err`.  Works for blocking and non-blocking fds.  `site`
+/// tags the operation for the fault-injection seam (core::checkFault with
+/// FaultOp::NetSend); an injected Sever lets the decided byte budget
+/// through, shuts the socket down, and reports the injected fault in `err`.
+bool sendAll(int fd, const std::string& data, std::string& err,
+             const char* site = "fleet.send");
+
+/// One recv(2) worth of bytes, with EINTR retried internally so a signal
+/// never surfaces as a connection error.
+enum class RecvStatus : std::uint8_t {
+  Data,        ///< `n` bytes landed in the buffer
+  WouldBlock,  ///< non-blocking fd with nothing pending
+  Eof,         ///< orderly peer close
+  Error,       ///< hard error (or injected fault), diagnostic in `err`
+};
+struct RecvResult {
+  RecvStatus status = RecvStatus::Error;
+  std::size_t n = 0;
+  std::string err;
+};
+
+/// Reads at most `cap` bytes into `buf`.  All fleet reads (coordinator and
+/// worker) funnel through here: EINTR handling lives in exactly one place,
+/// and `site` exposes the read to the fault-injection seam
+/// (FaultOp::NetRecv) — an injected Short decision truncates the read (the
+/// peer's frames arrive partially), Stall sleeps first, Sever/Fail surface
+/// as Error with the injected diagnostic.
+RecvResult recvSome(int fd, char* buf, std::size_t cap,
+                    const char* site = "fleet.recv");
 
 }  // namespace mtt::fleet

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/backoff.hpp"
+#include "core/fault.hpp"
 #include "experiment/experiment.hpp"
 #include "farm/farm.hpp"
 #include "farm/record_io.hpp"
@@ -46,7 +48,7 @@ class WorkerSession {
   WorkerSession(const WorkerOptions& options)
       : options_(options),
         sock_(connectTo(parseAddress(options.connect),
-                        options.connectTimeout)) {}
+                        options.connectTimeout, options.stopFlag)) {}
 
   WorkerStats run() {
     farm::detail::applyRunLimits(options_.memLimitMb, options_.cpuLimitSec);
@@ -109,7 +111,9 @@ class WorkerSession {
   void send(FrameType type, const std::string& payload) {
     const std::string bytes = encodeFrame(type, payload);
     std::string err;
-    if (!sendAll(sock_.fd(), bytes, err)) throw ConnectionClosed{err};
+    if (!sendAll(sock_.fd(), bytes, err, "fleet.worker.send")) {
+      throw ConnectionClosed{err};
+    }
     stats_.bytesSent += bytes.size();
   }
 
@@ -133,7 +137,20 @@ class WorkerSession {
           &p, 1, static_cast<int>(options_.heartbeatInterval.count()));
       if (stopped()) return false;
       if (rc == 0) {
+        // The heartbeat fault site: Stall (or a bare delay) postpones the
+        // beat past its cadence, Duplicate sends extras — the coordinator
+        // must tolerate both (late beats only matter against leaseTimeout,
+        // and HEARTBEAT frames are idempotent).
+        const core::FaultDecision fault = core::checkFault(
+            core::FaultOp::HeartbeatSend, "fleet.worker.heartbeat", 0);
+        if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
         send(FrameType::Heartbeat, "");
+        if (fault.action == core::FaultDecision::Action::Duplicate) {
+          const std::size_t extra = std::max<std::size_t>(fault.count, 1);
+          for (std::size_t i = 0; i < extra; ++i) {
+            send(FrameType::Heartbeat, "");
+          }
+        }
         continue;
       }
       if (rc < 0) {
@@ -142,17 +159,19 @@ class WorkerSession {
                                  std::strerror(errno));
       }
       char buf[64 * 1024];
-      const ssize_t n = ::recv(sock_.fd(), buf, sizeof buf, 0);
-      if (n == 0) return false;
-      if (n < 0) {
-        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
-          continue;
-        }
-        throw std::runtime_error(std::string("fleet worker recv: ") +
-                                 std::strerror(errno));
+      const RecvResult rr =
+          recvSome(sock_.fd(), buf, sizeof buf, "fleet.worker.recv");
+      if (rr.status == RecvStatus::Eof) return false;
+      if (rr.status == RecvStatus::Error) {
+        // A hard read error (ECONNRESET, an injected sever...) means the
+        // connection is unusable, which for a worker is the same situation
+        // as an orderly close: exit this session (and let the reconnect
+        // loop, when enabled, return the worker to service).
+        throw ConnectionClosed{rr.err};
       }
-      stats_.bytesReceived += static_cast<std::uint64_t>(n);
-      rx_.append(buf, static_cast<std::size_t>(n));
+      if (rr.status == RecvStatus::WouldBlock) continue;
+      stats_.bytesReceived += static_cast<std::uint64_t>(rr.n);
+      rx_.append(buf, rr.n);
     }
   }
 
@@ -247,7 +266,11 @@ class WorkerSession {
         obs.attempts = attempt;
         return obs;
       }
-      std::this_thread::sleep_for(options_.retryBackoff * (1u << (attempt - 1)));
+      core::BackoffPolicy bp;
+      bp.initial = options_.retryBackoff;
+      bp.cap = std::chrono::milliseconds(5000);
+      bp.jitter = 0.0;  // deterministic retry timing, like the farm's
+      std::this_thread::sleep_for(core::backoffDelay(bp, attempt));
     }
   }
 
@@ -260,11 +283,76 @@ class WorkerSession {
   std::map<std::string, std::unique_ptr<experiment::ToolStack>> stacks_;
 };
 
+void accumulateStats(WorkerStats& total, const WorkerStats& s) {
+  total.leases += s.leases;
+  total.runsExecuted += s.runsExecuted;
+  total.recordsSent += s.recordsSent;
+  total.bytesSent += s.bytesSent;
+  total.bytesReceived += s.bytesReceived;
+  total.exitReason = s.exitReason;
+}
+
+std::uint64_t addressSeed(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
 WorkerStats runWorker(const WorkerOptions& options) {
-  WorkerSession session(options);
-  return session.run();
+  WorkerStats total;
+  // Reconnect-with-session-resume: a dropped connection ends one session,
+  // not the worker.  The coordinator requeues the dropped leases and dedups
+  // records by global index, so a fresh HELLO/SPEC handshake resumes the
+  // campaign with zero output difference; the only things the worker must
+  // NOT reconnect after are QUIT (campaign over), a stop latch, and a
+  // coordinator that rejected it (those exceptions still propagate).
+  core::BackoffPolicy dialPolicy;
+  dialPolicy.initial = std::chrono::milliseconds(50);
+  dialPolicy.cap = std::chrono::milliseconds(2000);
+  dialPolicy.seed = addressSeed(options.connect);
+  core::Backoff dialBackoff(dialPolicy);
+  bool everConnected = false;
+  std::size_t failedDials = 0;
+  for (;;) {
+    std::unique_ptr<WorkerSession> session;
+    try {
+      session = std::make_unique<WorkerSession>(options);
+    } catch (const std::exception& e) {
+      // Dial failure.  On the very first dial (or without reconnect) this
+      // is fatal, as it always was; in reconnect mode a bounded run of
+      // re-dial failures is how a worker discovers the campaign is over.
+      if (!options.reconnect || !everConnected) throw;
+      if (options.stopFlag != nullptr &&
+          options.stopFlag->load(std::memory_order_relaxed)) {
+        total.exitReason = "coordinator connection closed (stop requested "
+                           "during reconnect)";
+        return total;
+      }
+      if (++failedDials > options.reconnectAttempts) {
+        total.exitReason = "coordinator connection closed (gave up after " +
+                           std::to_string(failedDials - 1) +
+                           " failed reconnect attempts: " + e.what() + ")";
+        return total;
+      }
+      std::this_thread::sleep_for(dialBackoff.next());
+      continue;
+    }
+    everConnected = true;
+    failedDials = 0;
+    accumulateStats(total, session->run());
+    const bool connectionLost =
+        total.exitReason == "coordinator connection closed";
+    const bool stopped = options.stopFlag != nullptr &&
+                         options.stopFlag->load(std::memory_order_relaxed);
+    if (!options.reconnect || !connectionLost || stopped) return total;
+    ++total.reconnects;
+    std::this_thread::sleep_for(dialBackoff.next());
+  }
 }
 
 #endif  // MTT_FLEET_HAS_SOCKETS

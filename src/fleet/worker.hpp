@@ -42,6 +42,15 @@ struct WorkerOptions {
   /// External stop latch (SIGINT): finish the current run, send what is
   /// done, and disconnect.
   const std::atomic<bool>* stopFlag = nullptr;
+  /// Reconnect after a dropped connection (never after QUIT or a stop
+  /// latch): the worker re-dials, re-HELLOs, and receives the SPEC again.
+  /// The coordinator already requeued the dropped leases, and records are
+  /// deduplicated by global index, so a reconnect changes nothing about the
+  /// campaign's output — it only returns this worker to service.
+  bool reconnect = false;
+  /// Consecutive failed reconnect dials before giving up (a vanished
+  /// coordinator must not trap the worker in a dial loop forever).
+  std::size_t reconnectAttempts = 5;
 };
 
 struct WorkerStats {
@@ -50,6 +59,8 @@ struct WorkerStats {
   std::uint64_t recordsSent = 0;
   std::uint64_t bytesSent = 0;
   std::uint64_t bytesReceived = 0;
+  /// Successful re-dials after a dropped connection (reconnect mode).
+  std::uint64_t reconnects = 0;
   /// Why the worker exited ("coordinator closed the campaign", ...).
   std::string exitReason;
 };

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/campaign.hpp"
 #include "core/table.hpp"
 #include "deadlock/lockgraph.hpp"
 #include "experiment/experiment.hpp"
@@ -156,11 +157,18 @@ int usage() {
       "                [--journal FILE] [--resume FILE]\n"
       "                [--adaptive] [--budget N] [--saturate] [--coverage M]\n"
       "  serve <program> [--listen ADDR] [--runs N] [--lease-size N]\n"
-      "                [--lease-timeout-ms T] [--max-leases N]\n"
+      "                [--heartbeat-ms T] [--lease-timeout-ms T]\n"
+      "                [--degraded-timeout-ms T] [--max-leases N]\n"
       "                [--quarantine-after N] [--adaptive] [--budget N]\n"
       "                [--journal FILE] [--resume FILE] [--scrub-timing]\n"
       "  worker --connect ADDR [--connect-timeout-ms T] [--retries N]\n"
+      "                [--heartbeat-ms T] [--reconnect]\n"
+      "                [--reconnect-attempts N]\n"
       "                [--worker-mem-mb N] [--worker-cpu-s N]\n"
+      "  chaos <program> [--plan SPEC] [--chaos-seed N] [--runs N]\n"
+      "                [--workers N] [--lease-size N] [--heartbeat-ms T]\n"
+      "                [--lease-timeout-ms T] [--degraded-timeout-ms T]\n"
+      "                [--wall-cap-ms T] [--dir DIR] [--keep]\n"
       "  check <program>                        static + model checking\n"
       "\n"
       "  schedule policies (--policy P): rr | random[:switch=P] |\n"
@@ -211,7 +219,23 @@ int usage() {
       "  zeroes wall-clock record fields for exact journal comparison).\n"
       "  serve --adaptive runs the guided campaign with batches leased to\n"
       "  the fleet.  worker executes leased runs until the coordinator\n"
-      "  closes the campaign.\n",
+      "  closes the campaign.  --heartbeat-ms must be strictly less than\n"
+      "  --lease-timeout-ms; --degraded-timeout-ms aborts a campaign with a\n"
+      "  resumable journal when no worker is active and no record arrives\n"
+      "  for that long (0 = wait forever).  worker --reconnect re-dials a\n"
+      "  lost coordinator (at most --reconnect-attempts consecutive failed\n"
+      "  dials) and resumes its session.\n"
+      "\n"
+      "  chaos flags: --plan takes a fault-plan spec — a preset (sever,\n"
+      "  stall, partial, heartbeat, disk-full, fsync-fail) or\n"
+      "  rule[:k=v,...][+rule...] with rules sever|stall|short-read|hb-dup|\n"
+      "  hb-delay|disk-short|disk-full|fsync-fail and keys site=,prob=,\n"
+      "  after=,times=,ms=,bytes=.  The same --chaos-seed yields the same\n"
+      "  fault sequence.  chaos runs a fault-free --jobs 1 baseline, then\n"
+      "  the same campaign through a 2-worker fleet under the plan, and\n"
+      "  verifies: complete byte-identically, or terminate promptly with a\n"
+      "  resumable journal and a diagnostic naming the fault — never a\n"
+      "  hang, never silent corruption.  Exits 0 only if that holds.\n",
       stderr);
   return 2;
 }
@@ -1137,6 +1161,7 @@ int cmdExperiment(const Args& a) {
   std::size_t quarantined = 0;
   bool interrupted = false;
   std::string journalHint;
+  std::string abortDiagnostic;
   bool first = true;
   experiment::RunSpec base = runSpecFromArgs(a, "rr");
   for (const auto& h : heuristics) {
@@ -1159,6 +1184,12 @@ int cmdExperiment(const Args& a) {
       supervised += ec.campaign.timeouts + ec.campaign.crashes +
                     ec.campaign.infraErrors;
       quarantined += ec.campaign.quarantined;
+      if (!ec.campaign.abortDiagnostic.empty()) {
+        abortDiagnostic = ec.campaign.abortDiagnostic;
+        journalHint = fo.journalPath;
+        rows.push_back(std::move(ec.result));
+        break;
+      }
       rows.push_back(std::move(ec.result));
       if (g_stopRequested.load()) {
         interrupted = true;
@@ -1192,6 +1223,15 @@ int cmdExperiment(const Args& a) {
                  "(infra-error; retry budget exhausted)\n",
                  quarantined);
   }
+  if (!abortDiagnostic.empty()) {
+    std::fprintf(stderr, "mtt: campaign aborted: %s\n",
+                 abortDiagnostic.c_str());
+    if (!journalHint.empty()) {
+      std::fprintf(stderr, "mtt: resume with: --resume %s\n",
+                   journalHint.c_str());
+    }
+    return 3;
+  }
   if (interrupted) {
     std::fprintf(stderr, "mtt: interrupted; the report above is partial\n");
     if (!journalHint.empty()) {
@@ -1215,6 +1255,19 @@ fleet::FleetOptions fleetOptionsFromArgs(const Args& a) {
   fl.leaseSize = static_cast<std::size_t>(a.getU64("lease-size", 16));
   fl.maxLeasesPerWorker = static_cast<std::size_t>(a.getU64("max-leases", 2));
   fl.leaseTimeout = std::chrono::milliseconds(a.getU64("lease-timeout-ms", 30000));
+  fl.heartbeatInterval =
+      std::chrono::milliseconds(a.getU64("heartbeat-ms", 1000));
+  // The Coordinator constructor re-validates; failing here keeps the
+  // message at the flag level before any socket is bound.
+  if (fl.heartbeatInterval >= fl.leaseTimeout) {
+    throw std::runtime_error(
+        "--heartbeat-ms (" + std::to_string(fl.heartbeatInterval.count()) +
+        ") must be strictly less than --lease-timeout-ms (" +
+        std::to_string(fl.leaseTimeout.count()) +
+        "): an idle worker must fit a heartbeat inside the lease timeout");
+  }
+  fl.noProgressTimeout =
+      std::chrono::milliseconds(a.getU64("degraded-timeout-ms", 0));
   fl.quarantineAfter =
       static_cast<std::size_t>(a.getU64("quarantine-after", 3));
   fl.indexGiveUp = static_cast<std::size_t>(a.getU64("index-give-up", 3));
@@ -1308,6 +1361,15 @@ int cmdServe(const Args& a) {
                  supervisedRuns);
   }
   fleetEpilogue(fleet::lastFleetCounters());
+  if (!ec.campaign.abortDiagnostic.empty()) {
+    std::fprintf(stderr, "mtt: campaign aborted: %s\n",
+                 ec.campaign.abortDiagnostic.c_str());
+    if (!fl.farm.journalPath.empty()) {
+      std::fprintf(stderr, "mtt: resume with: --resume %s\n",
+                   fl.farm.journalPath.c_str());
+    }
+    return 3;
+  }
   if (g_stopRequested.load()) {
     std::fprintf(stderr, "mtt: interrupted; the report above is partial\n");
     if (!fl.farm.journalPath.empty()) {
@@ -1332,6 +1394,27 @@ int cmdWorker(const Args& a) {
   wo.connectTimeout =
       std::chrono::milliseconds(a.getU64("connect-timeout-ms", 10000));
   wo.maxRetries = static_cast<std::size_t>(a.getU64("retries", 2));
+  wo.heartbeatInterval =
+      std::chrono::milliseconds(a.getU64("heartbeat-ms", 1000));
+  // A worker does not know its coordinator's lease timeout, but when the
+  // operator states it, validate the pair here too: a heartbeat cadence
+  // that cannot fit inside the timeout gets this worker quarantined while
+  // perfectly healthy.
+  if (a.has("lease-timeout-ms")) {
+    const auto leaseTimeout =
+        std::chrono::milliseconds(a.getU64("lease-timeout-ms", 30000));
+    if (wo.heartbeatInterval >= leaseTimeout) {
+      std::fprintf(stderr,
+                   "mtt: --heartbeat-ms (%lld) must be strictly less than "
+                   "--lease-timeout-ms (%lld)\n",
+                   static_cast<long long>(wo.heartbeatInterval.count()),
+                   static_cast<long long>(leaseTimeout.count()));
+      return 2;
+    }
+  }
+  wo.reconnect = a.has("reconnect");
+  wo.reconnectAttempts =
+      static_cast<std::size_t>(a.getU64("reconnect-attempts", 5));
   wo.memLimitMb = static_cast<std::size_t>(a.getU64("worker-mem-mb", 0));
   wo.cpuLimitSec = static_cast<std::size_t>(a.getU64("worker-cpu-s", 0));
   installStopHandlers();
@@ -1339,13 +1422,47 @@ int cmdWorker(const Args& a) {
   fleet::WorkerStats ws = fleet::runWorker(wo);
   std::fprintf(stderr,
                "[fleet] worker done: %llu lease(s), %llu run(s), %llu "
-               "record(s) sent, %.2f MiB out — %s\n",
+               "record(s) sent, %llu reconnect(s), %.2f MiB out — %s\n",
                static_cast<unsigned long long>(ws.leases),
                static_cast<unsigned long long>(ws.runsExecuted),
                static_cast<unsigned long long>(ws.recordsSent),
+               static_cast<unsigned long long>(ws.reconnects),
                static_cast<double>(ws.bytesSent) / (1024.0 * 1024.0),
                ws.exitReason.c_str());
   return g_stopRequested.load() ? kInterruptedExit : 0;
+}
+
+// chaos: run one campaign through the fleet under an injected fault plan
+// and verify the chaos invariant — complete byte-identically, or terminate
+// promptly with a resumable journal and a diagnostic naming the fault.
+int cmdChaos(const Args& a) {
+  if (a.positional.empty()) return usage();
+  experiment::ExperimentSpec spec;
+  static_cast<experiment::RunSpec&>(spec) = runSpecFromArgs(a, "rr");
+  spec.runs = a.getU64("runs", 60);
+  experiment::validateToolConfig(spec.tool);
+  chaos::ChaosOptions co;
+  co.plan = a.get("plan", "sever");
+  co.seed = a.getU64("chaos-seed", 1);
+  co.workers = static_cast<std::size_t>(a.getU64("workers", 2));
+  co.leaseSize = static_cast<std::size_t>(a.getU64("lease-size", 7));
+  co.heartbeat = std::chrono::milliseconds(a.getU64("heartbeat-ms", 200));
+  co.leaseTimeout =
+      std::chrono::milliseconds(a.getU64("lease-timeout-ms", 2000));
+  co.noProgressTimeout =
+      std::chrono::milliseconds(a.getU64("degraded-timeout-ms", 3000));
+  co.wallCap = std::chrono::milliseconds(a.getU64("wall-cap-ms", 60000));
+  co.workDir = a.get("dir", "");
+  co.keepArtifacts = a.has("keep");
+  if (co.heartbeat >= co.leaseTimeout) {
+    throw std::runtime_error(
+        "--heartbeat-ms (" + std::to_string(co.heartbeat.count()) +
+        ") must be strictly less than --lease-timeout-ms (" +
+        std::to_string(co.leaseTimeout.count()) + ")");
+  }
+  chaos::ChaosReport report = chaos::runChaosCampaign(spec, co);
+  std::fputs(chaos::renderChaosReport(report).c_str(), stdout);
+  return report.passed() ? 0 : 1;
 }
 
 int cmdCheck(const Args& a) {
@@ -1406,6 +1523,7 @@ int main(int argc, char** argv) {
     if (cmd == "experiment") return cmdExperiment(a);
     if (cmd == "serve") return cmdServe(a);
     if (cmd == "worker") return cmdWorker(a);
+    if (cmd == "chaos") return cmdChaos(a);
     if (cmd == "check") return cmdCheck(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mtt: %s\n", e.what());
