@@ -1,0 +1,222 @@
+// M1/M2 — weak-memory runtime cost.
+//
+// M1 compares the per-event cost of the two instrumentation families under
+// the controlled runtime: an Atomic fetch-add (one AtomicRMW event, store
+// history append, vector-clock joins for seq_cst) against a Mutex-protected
+// plain increment (two lock events, no store history).  Two threads contend
+// on one object in both rows, so scheduling overhead is identical and the
+// delta is the atomic bookkeeping itself.
+//
+// M2 measures observable-store-set construction: a writer issues K relaxed
+// stores to one location while a reader (never synchronized with it, so the
+// happens-before floor stays at the initial store) issues relaxed loads.
+// Every load walks the retained history to build its candidate set and asks
+// the policy for a StorePick, so ns/load as a function of K is the cost of
+// the candidate machinery at that history depth.  Results go to stdout and
+// BENCH_mem.json.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "mem/atomic.hpp"
+#include "rt/controlled_runtime.hpp"
+#include "rt/primitives.hpp"
+
+using namespace mtt;
+
+namespace {
+
+struct M1Row {
+  std::string primitive;
+  std::uint64_t ops = 0;      // total operations across both threads
+  std::uint64_t events = 0;   // events those operations emit
+  double nsPerOp = 0.0;
+  double nsPerEvent = 0.0;
+};
+
+/// Runs `body` once under a fresh controlled runtime and returns seconds.
+double timedRun(const std::function<void(rt::Runtime&)>& body,
+                std::uint64_t steps) {
+  rt::ControlledRuntime rt;
+  rt::RunOptions o;
+  o.seed = 1;
+  o.maxSteps = steps;
+  o.programName = "bench_mem";
+  Stopwatch sw;
+  rt::RunResult r = rt.run(body, o);
+  double seconds = sw.elapsedSeconds();
+  if (r.status != rt::RunStatus::Completed) {
+    std::fprintf(stderr, "bench_mem: run did not complete cleanly\n");
+    std::exit(2);
+  }
+  return seconds;
+}
+
+M1Row measureAtomic(std::uint64_t opsPerThread) {
+  auto body = [&](rt::Runtime& rr) {
+    mem::Atomic<std::uint64_t> counter(rr, "counter", 0);
+    auto work = [&] {
+      for (std::uint64_t i = 0; i < opsPerThread; ++i) {
+        counter.fetchAdd(1, std::memory_order_seq_cst);
+      }
+    };
+    rt::Thread a(rr, "a", work);
+    rt::Thread b(rr, "b", work);
+    a.join();
+    b.join();
+  };
+  // Warm-up run, then the timed one.
+  (void)timedRun(body, opsPerThread * 16 + 4096);
+  double seconds = timedRun(body, opsPerThread * 16 + 4096);
+  M1Row row;
+  row.primitive = "atomic fetch_add";
+  row.ops = opsPerThread * 2;
+  row.events = row.ops;  // one AtomicRMW event per op
+  row.nsPerOp = seconds * 1e9 / static_cast<double>(row.ops);
+  row.nsPerEvent = seconds * 1e9 / static_cast<double>(row.events);
+  return row;
+}
+
+M1Row measureMutex(std::uint64_t opsPerThread) {
+  auto body = [&](rt::Runtime& rr) {
+    rt::Mutex m(rr, "m");
+    std::uint64_t counter = 0;
+    auto work = [&] {
+      for (std::uint64_t i = 0; i < opsPerThread; ++i) {
+        m.lock();
+        ++counter;
+        m.unlock();
+      }
+    };
+    rt::Thread a(rr, "a", work);
+    rt::Thread b(rr, "b", work);
+    a.join();
+    b.join();
+  };
+  (void)timedRun(body, opsPerThread * 16 + 4096);
+  double seconds = timedRun(body, opsPerThread * 16 + 4096);
+  M1Row row;
+  row.primitive = "mutex increment";
+  row.ops = opsPerThread * 2;
+  row.events = row.ops * 2;  // MutexLock + MutexUnlock per op
+  row.nsPerOp = seconds * 1e9 / static_cast<double>(row.ops);
+  row.nsPerEvent = seconds * 1e9 / static_cast<double>(row.events);
+  return row;
+}
+
+struct M2Row {
+  std::uint64_t depth = 0;  // stores retained in the location's history
+  double nsPerLoad = 0.0;
+};
+
+M2Row measureStoreSet(std::uint64_t depth, std::uint64_t loads) {
+  auto body = [&](rt::Runtime& rr) {
+    mem::Atomic<std::uint64_t> x(rr, "x", 0);
+    rt::Thread writer(rr, "writer", [&] {
+      for (std::uint64_t i = 0; i < depth; ++i) {
+        x.store(i + 1, std::memory_order_relaxed);
+      }
+    });
+    // The writer runs to completion first so every reader load sees the
+    // full depth-(K+1) candidate set; the reader never joins the writer,
+    // so no happens-before edge prunes it.
+    writer.join();
+    std::uint64_t sink = 0;
+    rt::Thread reader(rr, "reader", [&] {
+      for (std::uint64_t i = 0; i < loads; ++i) {
+        sink += x.load(std::memory_order_relaxed);
+      }
+    });
+    reader.join();
+    rr.check(sink < ~std::uint64_t{0}, "sink overflow");
+  };
+  (void)timedRun(body, (depth + loads) * 16 + 4096);
+  double seconds = timedRun(body, (depth + loads) * 16 + 4096);
+  M2Row row;
+  row.depth = depth;
+  row.nsPerLoad = seconds * 1e9 / static_cast<double>(loads);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t opsPerThread =
+      argc > 1 ? std::stoull(argv[1]) : 4000;
+  const std::uint64_t loads = argc > 2 ? std::stoull(argv[2]) : 2000;
+
+  std::printf("M1: per-event cost, 2 threads x %llu ops each\n",
+              static_cast<unsigned long long>(opsPerThread));
+  std::vector<M1Row> m1;
+  m1.push_back(measureAtomic(opsPerThread));
+  m1.push_back(measureMutex(opsPerThread));
+
+  TextTable t1("M1 / Atomic vs Mutex under the controlled runtime");
+  t1.header({"primitive", "ops", "events", "ns/op", "ns/event"});
+  for (const M1Row& r : m1) {
+    t1.row({r.primitive, std::to_string(r.ops), std::to_string(r.events),
+            TextTable::num(r.nsPerOp, 1), TextTable::num(r.nsPerEvent, 1)});
+  }
+  t1.print();
+
+  std::printf("\nM2: store-set construction, %llu relaxed loads per row\n",
+              static_cast<unsigned long long>(loads));
+  std::vector<M2Row> m2;
+  for (std::uint64_t depth : {1u, 8u, 32u, 128u}) {
+    m2.push_back(measureStoreSet(depth, loads));
+  }
+
+  TextTable t2("M2 / ns per load vs retained store-history depth");
+  t2.header({"depth", "ns/load"});
+  for (const M2Row& r : m2) {
+    t2.row({std::to_string(r.depth), TextTable::num(r.nsPerLoad, 1)});
+  }
+  t2.print();
+
+  double atomicNs = m1[0].nsPerEvent;
+  double mutexNs = m1[1].nsPerEvent;
+  std::printf(
+      "\natomic: %.1f ns/event vs mutex: %.1f ns/event (%.2fx); "
+      "store-set depth 128: %.1f ns/load vs depth 1: %.1f (%.2fx)\n",
+      atomicNs, mutexNs, atomicNs / mutexNs, m2.back().nsPerLoad,
+      m2.front().nsPerLoad, m2.back().nsPerLoad / m2.front().nsPerLoad);
+
+  std::ofstream js("BENCH_mem.json");
+  js << "{\n  \"bench\": \"mem\",\n  \"ops_per_thread\": " << opsPerThread
+     << ",\n  \"loads\": " << loads << ",\n  \"per_event\": [\n";
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    const M1Row& r = m1[i];
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"primitive\": \"%s\", \"ops\": %llu, \"events\": "
+                  "%llu, \"ns_per_op\": %.2f, \"ns_per_event\": %.2f}%s\n",
+                  r.primitive.c_str(),
+                  static_cast<unsigned long long>(r.ops),
+                  static_cast<unsigned long long>(r.events), r.nsPerOp,
+                  r.nsPerEvent, i + 1 < m1.size() ? "," : "");
+    js << buf;
+  }
+  js << "  ],\n  \"store_set\": [\n";
+  for (std::size_t i = 0; i < m2.size(); ++i) {
+    const M2Row& r = m2[i];
+    char buf[120];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"depth\": %llu, \"ns_per_load\": %.2f}%s\n",
+                  static_cast<unsigned long long>(r.depth), r.nsPerLoad,
+                  i + 1 < m2.size() ? "," : "");
+    js << buf;
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"atomic_vs_mutex_per_event\": %.3f\n}\n",
+                atomicNs / mutexNs);
+  js << tail;
+  std::printf("wrote BENCH_mem.json\n");
+
+  bool sane = atomicNs > 0.0 && mutexNs > 0.0;
+  for (const M2Row& r : m2) sane = sane && r.nsPerLoad > 0.0;
+  return sane ? 0 : 1;
+}

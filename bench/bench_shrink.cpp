@@ -101,7 +101,7 @@ int main() {
   p.header({"program", "jobs", "decisions", "identical", "wall s"});
   for (std::size_t i = 0; i < programs.size(); ++i) {
     if (!hunted[i].found) continue;
-    std::vector<ThreadId> serialWitness;
+    std::vector<rt::Decision> serialWitness;
     for (std::size_t jobs : {1u, 2u, 4u}) {
       triage::ShrinkOptions so;
       so.jobs = jobs;

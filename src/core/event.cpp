@@ -18,6 +18,7 @@ constexpr std::array<std::string_view, kKindCount> kKindNames = {
     "VarRead",        "VarWrite",        "Yield",
     "TaskPost",       "TaskBegin",       "TaskEnd",      "TimerFire",
     "QueueTake",      "QueuePut",
+    "AtomicLoad",     "AtomicStore",     "AtomicRMW",    "Fence",
 };
 
 }  // namespace
@@ -40,6 +41,11 @@ AbstractType abstract_type_of(EventKind k) {
     case EventKind::QueueTake:
     case EventKind::QueuePut:
       return AbstractType::Task;
+    case EventKind::AtomicLoad:
+    case EventKind::AtomicStore:
+    case EventKind::AtomicRMW:
+    case EventKind::Fence:
+      return AbstractType::Atomic;
     default:
       return AbstractType::Sync;
   }
@@ -48,8 +54,11 @@ AbstractType abstract_type_of(EventKind k) {
 Access access_of(EventKind k) {
   switch (k) {
     case EventKind::VarRead:
+    case EventKind::AtomicLoad:
       return Access::Read;
     case EventKind::VarWrite:
+    case EventKind::AtomicStore:
+    case EventKind::AtomicRMW:
       return Access::Write;
     default:
       return Access::None;

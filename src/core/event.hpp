@@ -63,14 +63,22 @@ enum class EventKind : std::uint8_t {
   TimerFire,  ///< deferred callback's delay elapsed; now ready
   QueueTake,  ///< task taken from the ready queue (arg = task id)
   QueuePut,   ///< task entered the ready queue (arg = task id)
+  // Instrumented atomics (mtt::mem).  Appended after QueuePut so the numeric
+  // values of the original kinds — and thus trace v2 recordings — are stable.
+  // `arg` packs the memory-order payload; see rt::AtomicArg.
+  AtomicLoad,   ///< atomic load committed (object = atomic id)
+  AtomicStore,  ///< atomic store committed (object = atomic id)
+  AtomicRMW,    ///< read-modify-write committed (object = atomic id)
+  Fence,        ///< standalone memory fence (object = kNoObject)
   kCount  ///< number of kinds; not a real event
 };
 
 /// The "abstract type" dimension of the paper's record: whether the point
-/// touches a variable, a synchronization object, thread control, or an
-/// event-loop task boundary (Task is mtt's extension for the evloop runtime;
-/// the paper's instrumentation predates callback scheduling).
-enum class AbstractType : std::uint8_t { Variable, Sync, Control, Task };
+/// touches a variable, a synchronization object, thread control, an
+/// event-loop task boundary, or an instrumented atomic (Task and Atomic are
+/// mtt's extensions for the evloop and weak-memory runtimes; the paper's
+/// instrumentation predates both).
+enum class AbstractType : std::uint8_t { Variable, Sync, Control, Task, Atomic };
 
 /// Read/write dimension for variable accesses; None otherwise.
 enum class Access : std::uint8_t { None, Read, Write };

@@ -3,8 +3,8 @@
 // A Listener declares, via Listener::subscribedEvents(), the set of
 // EventKinds it wants delivered; HookChain uses the mask to precompile
 // per-kind dispatch tables so an event only reaches subscribed tools.
-// The mask is a plain 32-bit bitset over EventKind (29 kinds today, so a
-// uint32_t has headroom) and every operation is constexpr: masks compose at
+// The mask is a plain 64-bit bitset over EventKind (33 kinds today, so a
+// uint64_t has headroom) and every operation is constexpr: masks compose at
 // compile time in tool headers without touching the hot path.
 #pragma once
 
@@ -37,7 +37,7 @@ class EventMask {
   static constexpr EventMask none() { return EventMask(); }
 
   static constexpr EventMask all() {
-    return fromBits((std::uint32_t{1} << kEventKindCount) - 1);
+    return fromBits((std::uint64_t{1} << kEventKindCount) - 1);
   }
 
   static constexpr EventMask of(EventKind k) { return fromBits(bit(k)); }
@@ -78,6 +78,13 @@ class EventMask {
                      EventKind::QueueTake, EventKind::QueuePut};
   }
 
+  /// Instrumented-atomic operations (AbstractType::Atomic): memory-order-
+  /// carrying loads/stores/RMWs and standalone fences of mtt::mem::Atomic.
+  static constexpr EventMask atomics() {
+    return EventMask{EventKind::AtomicLoad, EventKind::AtomicStore,
+                     EventKind::AtomicRMW, EventKind::Fence};
+  }
+
   /// Thread lifecycle only (control() minus Yield).
   static constexpr EventMask threads() {
     return EventMask{EventKind::ThreadStart, EventKind::ThreadFinish,
@@ -111,7 +118,7 @@ class EventMask {
 
   constexpr std::size_t count() const {
     std::size_t n = 0;
-    for (std::uint32_t b = bits_; b != 0; b &= b - 1) ++n;
+    for (std::uint64_t b = bits_; b != 0; b &= b - 1) ++n;
     return n;
   }
 
@@ -139,26 +146,26 @@ class EventMask {
     return (o.bits_ & ~bits_) == 0;
   }
 
-  constexpr std::uint32_t bits() const { return bits_; }
+  constexpr std::uint64_t bits() const { return bits_; }
 
-  static constexpr EventMask fromBits(std::uint32_t bits) {
+  static constexpr EventMask fromBits(std::uint64_t bits) {
     EventMask m;
     m.bits_ = bits & all_bits();
     return m;
   }
 
  private:
-  static constexpr std::uint32_t all_bits() {
-    return (std::uint32_t{1} << kEventKindCount) - 1;
+  static constexpr std::uint64_t all_bits() {
+    return (std::uint64_t{1} << kEventKindCount) - 1;
   }
-  static constexpr std::uint32_t bit(EventKind k) {
-    return std::uint32_t{1} << static_cast<std::uint32_t>(k);
+  static constexpr std::uint64_t bit(EventKind k) {
+    return std::uint64_t{1} << static_cast<std::uint32_t>(k);
   }
 
-  std::uint32_t bits_ = 0;
+  std::uint64_t bits_ = 0;
 };
 
-static_assert(kEventKindCount <= 32,
-              "EventMask is a uint32_t bitset; widen it before adding kinds");
+static_assert(kEventKindCount <= 64,
+              "EventMask is a uint64_t bitset; widen it before adding kinds");
 
 }  // namespace mtt

@@ -172,9 +172,12 @@ void validateToolConfig(const ToolConfig& tool) {
     }
   }
   for (const auto& d : tool.detectors) {
-    if (!race::makeDetector(d)) {
+    // "mmrace" is resolved by ToolStackBuilder::detector (it lives in
+    // mtt::mem, outside race::detectorNames()).
+    if (d != "mmrace" && !race::makeDetector(d)) {
       throw std::runtime_error("unknown detector '" + d + "' (valid: " +
-                               joinNames(race::detectorNames()) + ")");
+                               joinNames(race::detectorNames()) +
+                               ", mmrace)");
     }
   }
   if (!tool.coverage.empty()) {
@@ -231,6 +234,7 @@ RunObservation executeRun(const RunSpec& spec, std::size_t i,
       spec.runOptions ? *spec.runOptions : program->defaultRunOptions();
   opts.seed = spec.seedBase + i;
   opts.programName = spec.programName;
+  if (spec.forceSeqCst) opts.forceSeqCst = true;
 
   // When the worker process has the flight recorder armed (farm Process
   // model with a postmortem dir), describe the run so a crash mid-run

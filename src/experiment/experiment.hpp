@@ -67,6 +67,10 @@ struct RunSpec {
   std::uint64_t seedBase = 0;
   /// Overrides the program's default run options when set.
   std::optional<rt::RunOptions> runOptions;
+  /// Forces seq_cst semantics on every mem::Atomic operation (the
+  /// "does the bug need weak memory?" control; `--seq-cst` on the CLI).
+  /// Applied on top of whichever run options are in effect.
+  bool forceSeqCst = false;
   /// When set (controlled mode), each run schedules under a fresh policy
   /// from this factory instead of tool.policy — how guide's corpus-seeded
   /// schedule mutators ride an otherwise unchanged spec.  Must be safe to

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "mem/mmrace.hpp"
 #include "rt/runtime.hpp"
 
 namespace mtt::experiment {
@@ -39,7 +40,14 @@ void ToolStackBuilder::addNoise(std::unique_ptr<noise::NoiseMaker> nm) {
 }
 
 ToolStackBuilder& ToolStackBuilder::detector(const std::string& name) {
-  auto det = race::makeDetector(name);
+  std::unique_ptr<race::RaceDetector> det = race::makeDetector(name);
+  // The memory-model-aware check lives in mtt::mem (it consumes the Atomic
+  // event kinds, not variable accesses), so it is resolved here rather than
+  // in race::detectorNames() — the classic four-column analyze reports stay
+  // byte-stable.
+  if (!det && name == "mmrace") {
+    det = std::make_unique<mem::MemoryModelRaceDetector>();
+  }
   if (!det) throw std::runtime_error("unknown detector " + name);
   race::RaceDetector* raw = det.get();
   stack_.detectors_.push_back(raw);

@@ -109,7 +109,7 @@ ThreadId ExplorerPolicy::pick(const rt::PickContext& ctx) {
         c.idx, static_cast<std::uint32_t>(alts.size()) - 1);
     if (sleepSets_) advanceSleepSet(opsFor(alts, ctx), idx);
     ++step_;
-    lastSchedule_.decisions.push_back(alts[idx]);
+    lastSchedule_.decisions.push_back(rt::Decision::thread(alts[idx]));
     return alts[idx];
   }
   // Fresh node: take the first explorable alternative and record the
@@ -150,16 +150,41 @@ ThreadId ExplorerPolicy::pick(const rt::PickContext& ctx) {
   }
   prefix_.push_back(c);
   ++step_;
-  lastSchedule_.decisions.push_back(alts[c.idx]);
+  lastSchedule_.decisions.push_back(rt::Decision::thread(alts[c.idx]));
   return alts[c.idx];
+}
+
+std::uint32_t ExplorerPolicy::pickStore(const rt::StorePickContext& ctx) {
+  const auto count = static_cast<std::uint32_t>(ctx.options.size());
+  if (pruned_) return 0;
+  if (step_ < prefix_.size()) {
+    Choice& c = prefix_[step_];
+    if (!c.isStore || c.realCount != count) diverged_ = true;
+    std::uint32_t idx = std::min<std::uint32_t>(c.idx, count - 1);
+    ++step_;
+    lastSchedule_.decisions.push_back(rt::Decision::store(idx));
+    return idx;
+  }
+  // Fresh store node: observe the coherence-newest value first (the SC
+  // behaviour), enumerate older observable stores on backtracking.
+  Choice c;
+  c.idx = 0;
+  c.isStore = true;
+  c.count = count;
+  c.realCount = count;
+  prefix_.push_back(c);
+  ++step_;
+  lastSchedule_.decisions.push_back(rt::Decision::store(0));
+  return 0;
 }
 
 bool ExplorerPolicy::backtrack() {
   while (!prefix_.empty()) {
     Choice& c = prefix_.back();
     std::uint32_t j = c.idx + 1;
-    if (sleepSets_) {
-      // Skip alternatives asleep at this node.
+    if (sleepSets_ && !c.isStore) {
+      // Skip alternatives asleep at this node (store nodes carry no
+      // operation descriptors; every store option is explorable).
       while (j < c.count && inSet(c.sleepIn, c.altOps[j])) ++j;
     }
     if (j < c.count) {

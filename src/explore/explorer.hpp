@@ -85,6 +85,10 @@ class ExplorerPolicy final : public rt::SchedulePolicy {
 
   void onRunStart(std::uint64_t seed) override;
   ThreadId pick(const rt::PickContext& ctx) override;
+  /// Weak-memory store choice points are DFS nodes exactly like thread
+  /// picks (no preemption cost, no sleep-set pruning — store options have
+  /// no independence relation here), so backtrack() enumerates them too.
+  std::uint32_t pickStore(const rt::StorePickContext& ctx) override;
 
   /// Advances to the next unexplored schedule; false when exhausted.
   bool backtrack();
@@ -104,6 +108,7 @@ class ExplorerPolicy final : public rt::SchedulePolicy {
     std::uint32_t count = 0;  ///< explorable alternatives (budget-capped)
     std::uint32_t realCount = 0;     ///< actual alternatives (for the
                                      ///< determinism/divergence check)
+    bool isStore = false;            ///< store-observation node (StorePick)
     bool currentWasEnabled = false;  ///< picking idx>0 costs a preemption
     // Sleep-set mode: operation descriptors of the alternatives (parallel
     // to the orderAlternatives() order) and the sleep set inherited at this

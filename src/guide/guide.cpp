@@ -62,18 +62,34 @@ void MutatedReplayPolicy::onRunStart(std::uint64_t seed) {
 
 ThreadId MutatedReplayPolicy::pick(const rt::PickContext& ctx) {
   if (replaying_ && step_ < prefixLen_) {
-    ThreadId want = witness_->decisions[step_];
-    if (std::find(ctx.enabled.begin(), ctx.enabled.end(), want) !=
-        ctx.enabled.end()) {
-      ++step_;
-      return want;
+    const rt::Decision& d = witness_->decisions[step_];
+    if (d.isThread()) {
+      auto want = static_cast<ThreadId>(d.value);
+      if (std::find(ctx.enabled.begin(), ctx.enabled.end(), want) !=
+          ctx.enabled.end()) {
+        ++step_;
+        return want;
+      }
     }
-    // Divergence (e.g. different noise decisions upstream): abandon the
+    // Divergence (a store pick where the run wants a thread, or a thread no
+    // longer enabled — e.g. different noise decisions upstream): abandon the
     // prefix and free-run — the mutation already did its job of steering
     // the run into the witness's neighborhood.
     replaying_ = false;
   }
   return tail_.pick(ctx);
+}
+
+std::uint32_t MutatedReplayPolicy::pickStore(const rt::StorePickContext& ctx) {
+  if (replaying_ && step_ < prefixLen_) {
+    const rt::Decision& d = witness_->decisions[step_];
+    if (d.isStore() && d.value < ctx.options.size()) {
+      ++step_;
+      return d.value;
+    }
+    replaying_ = false;
+  }
+  return tail_.pickStore(ctx);
 }
 
 // --- arms ------------------------------------------------------------------

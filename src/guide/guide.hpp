@@ -75,6 +75,10 @@ class MutatedReplayPolicy final : public rt::SchedulePolicy {
       : witness_(std::move(witness)) {}
   void onRunStart(std::uint64_t seed) override;
   ThreadId pick(const rt::PickContext& ctx) override;
+  /// Weak-memory witnesses carry StorePick decisions; the prefix replays
+  /// them at store choice points and abandons the prefix on misalignment,
+  /// exactly like pick() does for thread decisions.
+  std::uint32_t pickStore(const rt::StorePickContext& ctx) override;
   /// Prefix length chosen for the current run (for tests).
   std::size_t prefixLength() const { return prefixLen_; }
 

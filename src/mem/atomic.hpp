@@ -1,0 +1,135 @@
+// Instrumented atomics — the weak-memory face of the benchmark.
+//
+// mtt::mem::Atomic<T> is to std::atomic<T> what rt::SharedVar<T> is to a
+// plain shared variable: every operation is an instrumentation point that
+// emits an Event (AtomicLoad / AtomicStore / AtomicRMW / Fence, with the
+// std::memory_order packed into Event::arg — see rt::AtomicArg) and, in
+// controlled mode, a scheduling decision.  Unlike SharedVar, a relaxed or
+// acquire load is additionally a *StorePick* choice point: the controlled
+// runtime computes the set of stores the load may observe under its
+// store-buffer memory model and asks the schedule policy which one commits.
+// Under seq_cst orders (the default) that set is always the singleton
+// coherence-newest store, so programs written entirely with the defaults
+// behave exactly like SC programs and record thread-pick-only schedules.
+//
+// Values travel through the runtime as raw 64-bit images; the wrapper
+// memcpys T in and out, so T must be trivially copyable and at most 8 bytes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+#include "rt/runtime.hpp"
+
+namespace mtt::mem {
+
+/// Instrumented atomic cell.  Operations mirror std::atomic<T>'s, with the
+/// memory order an explicit (defaulted) argument so benchmark programs can
+/// spell the exact ordering their bug depends on.
+template <typename T>
+class Atomic {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "mem::Atomic requires a trivially copyable type");
+  static_assert(sizeof(T) <= sizeof(std::uint64_t),
+                "mem::Atomic values travel as 64-bit images");
+
+ public:
+  Atomic(rt::Runtime& rt, std::string name, T init = T{}) : rt_(&rt) {
+    st_.id = rt.registerObject(rt::ObjectKind::Atomic, std::move(name));
+    const std::uint64_t img = encode(init);
+    st_.init = img;
+    st_.native.store(img, std::memory_order_relaxed);
+    st_.value = img;
+  }
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  /// Instrumented load.  Controlled mode: non-seq_cst loads may observe any
+  /// store in the observable-store set (a StorePick choice point when the
+  /// set has more than one element).
+  T load(std::memory_order mo = std::memory_order_seq_cst,
+         Site s = site()) {
+    return decode(rt_->atomicLoad(st_, mo, s));
+  }
+
+  /// Instrumented store.
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst,
+             Site s = site()) {
+    rt_->atomicStore(st_, encode(v), mo, s);
+  }
+
+  /// Unconditional swap; returns the previous value.  RMWs always read the
+  /// coherence-newest store, so they are never StorePick choice points.
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst,
+             Site s = site()) {
+    return decode(
+        rt_->atomicRmw(st_, rt::RmwOp::Exchange, encode(v), 0, mo, s));
+  }
+
+  /// Atomic add; returns the previous value.  Integral T only.
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetchAdd(T delta, std::memory_order mo = std::memory_order_seq_cst,
+             Site s = site()) {
+    return decode(
+        rt_->atomicRmw(st_, rt::RmwOp::FetchAdd, encode(delta), 0, mo, s));
+  }
+
+  /// Strong compare-exchange.  On failure `expected` receives the observed
+  /// value, matching std::atomic::compare_exchange_strong.
+  bool compareExchange(T& expected, T desired,
+                       std::memory_order mo = std::memory_order_seq_cst,
+                       Site s = site()) {
+    bool ok = false;
+    const std::uint64_t old = rt_->atomicRmw(
+        st_, rt::RmwOp::CompareExchange, encode(desired), encode(expected),
+        mo, s, &ok);
+    if (!ok) expected = decode(old);
+    return ok;
+  }
+
+  /// Uninstrumented access for oracles / setup outside the measured run.
+  /// Reads the coherence-newest value (what a seq_cst load would observe).
+  T plainGet() const {
+    return decode(rt_->mode() == RuntimeMode::Controlled
+                      ? st_.value
+                      : st_.native.load(std::memory_order_relaxed));
+  }
+  void plainSet(T v) {
+    const std::uint64_t img = encode(v);
+    st_.value = img;
+    st_.native.store(img, std::memory_order_relaxed);
+  }
+
+  ObjectId id() const { return st_.id; }
+  rt::AtomicState& state() { return st_; }
+
+ private:
+  static std::uint64_t encode(T v) {
+    std::uint64_t img = 0;
+    std::memcpy(&img, &v, sizeof(T));
+    return img;
+  }
+  static T decode(std::uint64_t img) {
+    T v;
+    std::memcpy(&v, &img, sizeof(T));
+    return v;
+  }
+
+  rt::Runtime* rt_;
+  rt::AtomicState st_;
+};
+
+/// Standalone memory fence (emits a Fence event).  An acquire or stronger
+/// fence upgrades the current thread's earlier relaxed loads: stores they
+/// observed become synchronized as if loaded with memory_order_acquire.
+inline void fence(rt::Runtime& rt,
+                  std::memory_order mo = std::memory_order_seq_cst,
+                  Site s = site()) {
+  rt.atomicFence(mo, s);
+}
+
+}  // namespace mtt::mem

@@ -1,0 +1,102 @@
+#include "mem/mmrace.hpp"
+
+#include "rt/runtime.hpp"
+
+namespace mtt::mem {
+namespace {
+
+bool isAcquireOrStronger(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+bool isReleaseOrStronger(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+}  // namespace
+
+void MemoryModelRaceDetector::onEvent(const Event& e) {
+  std::lock_guard<std::mutex> g(mu_);
+  const std::uint32_t arg = e.arg;
+  switch (e.kind) {
+    case EventKind::AtomicStore:
+    case EventKind::AtomicRMW: {
+      StoreInfo& si = lastStore_[e.object][e.thread];
+      si.site = e.syncSite;
+      // Stores carry the release bit in the arg flag; RMWs use the flag for
+      // the CAS outcome, so derive release-ness from the order instead.
+      si.release = e.kind == EventKind::AtomicStore
+                       ? rt::AtomicArg::flag(arg)
+                       : isReleaseOrStronger(rt::AtomicArg::order(arg));
+      si.bug = e.bugSite == BugMark::Yes;
+      break;
+    }
+    case EventKind::AtomicLoad: {
+      const ThreadId storer = rt::AtomicArg::storer(arg);
+      if (storer == kNoThread || storer == e.thread) break;
+      if (rt::AtomicArg::flag(arg)) break;  // synchronized observation
+      const StoreInfo si = lastStore_[e.object][storer];
+      if (alreadyReported(e.object, si.site, e.syncSite)) break;
+      bool dup = false;
+      for (const Pending& q : pending_) {
+        if (q.warning.variable == e.object && q.warning.firstSite == si.site &&
+            q.warning.secondSite == e.syncSite) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) break;
+      Pending p;
+      p.warning.variable = e.object;
+      p.warning.firstThread = storer;
+      p.warning.firstSite = si.site;
+      p.warning.firstAccess = Access::Write;
+      p.warning.secondThread = e.thread;
+      p.warning.secondSite = e.syncSite;
+      p.warning.secondAccess = Access::Read;
+      p.warning.onBugSite = si.bug || e.bugSite == BugMark::Yes;
+      p.warning.detail =
+          rt::AtomicArg::age(arg) == 0
+              ? "unsynchronized atomic observation (no happens-before edge)"
+              : "unsynchronized atomic observation of a stale store (age " +
+                    std::to_string(rt::AtomicArg::age(arg)) + ")";
+      p.loader = e.thread;
+      p.storeWasRelease = si.release;
+      pending_.push_back(std::move(p));
+      break;
+    }
+    case EventKind::Fence: {
+      if (!isAcquireOrStronger(rt::AtomicArg::order(arg))) break;
+      // The fence retroactively synchronizes this thread's earlier relaxed
+      // observations of release stores.
+      std::erase_if(pending_, [&](const Pending& p) {
+        return p.loader == e.thread && p.storeWasRelease;
+      });
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MemoryModelRaceDetector::onRunEnd() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (Pending& p : pending_) {
+    if (alreadyReported(p.warning.variable, p.warning.firstSite,
+                        p.warning.secondSite)) {
+      continue;
+    }
+    report(std::move(p.warning));
+  }
+  pending_.clear();
+}
+
+void MemoryModelRaceDetector::resetState() {
+  std::lock_guard<std::mutex> g(mu_);
+  lastStore_.clear();
+  pending_.clear();
+}
+
+}  // namespace mtt::mem

@@ -1,0 +1,72 @@
+// Memory-model-aware race check over the EventMask::atomics() kinds.
+//
+// The classic detectors (race/) reason about *plain* variable accesses and
+// treat every atomic as synchronization.  Under the weak-memory runtime that
+// is exactly backwards: an atomic access is always atomic (never a data race
+// in the C++ sense), but a *relaxed* load that observes another thread's
+// store without any synchronizing edge is the weak-memory analogue of a
+// race — the observation is unordered, so the program may see stale or
+// reordered values (the very bugs the `atomics` suite family documents).
+//
+// MemoryModelRaceDetector flags exactly those observations.  It reads the
+// rt::AtomicArg payload the runtime packs into Event::arg:
+//
+//   * AtomicStore / AtomicRMW — remember, per (object, storing thread), the
+//     store's site, whether it had release semantics, and its bug mark.
+//   * AtomicLoad — the arg carries the observed storer and a `synced` flag
+//     (set when an acquire-or-stronger load observed a release-or-stronger
+//     store, or the load was seq_cst).  A cross-thread observation with the
+//     flag clear becomes a *pending* warning.
+//   * Fence — an acquire-or-stronger fence by thread T retroactively
+//     synchronizes T's earlier relaxed observations of *release* stores
+//     (mirroring the runtime's fence-claiming rule), so matching pending
+//     warnings are cancelled rather than reported.
+//
+// Remaining pending warnings are reported at run end.  Approximations: the
+// observed store is attributed to the storer's most recent store site to
+// that object (older same-thread stores share the site), and RMW reads are
+// not flagged (RMWs always read the coherence-newest store atomically).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "race/detector.hpp"
+
+namespace mtt::mem {
+
+class MemoryModelRaceDetector final : public race::RaceDetector {
+ public:
+  std::string name() const override { return "mmrace"; }
+  void onEvent(const Event& e) override;
+  void onRunEnd() override;
+  EventMask subscribedEvents() const override {
+    return EventMask::atomics();
+  }
+
+ protected:
+  void resetState() override;
+
+ private:
+  /// Last store to an object by a given thread.
+  struct StoreInfo {
+    SiteId site = kNoSite;
+    bool release = false;
+    bool bug = false;
+  };
+  /// A suspect observation, held back until run end so an acquire fence can
+  /// still claim it.
+  struct Pending {
+    race::RaceWarning warning;
+    ThreadId loader = kNoThread;
+    bool storeWasRelease = false;
+  };
+
+  std::map<ObjectId, std::map<ThreadId, StoreInfo>> lastStore_;
+  std::vector<Pending> pending_;
+  std::mutex mu_;  // native mode: concurrent events
+};
+
+}  // namespace mtt::mem

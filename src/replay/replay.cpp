@@ -17,26 +17,71 @@ namespace {
   throw std::runtime_error("bad scenario file " + path + ": " + why);
 }
 
-std::vector<ThreadId> readDecisions(std::istream& f, const std::string& path,
-                                    std::uint64_t n) {
+// Strict unsigned parse: every character must be a digit (operator>> would
+// accept "12abc" and leave the junk to confuse the next field).
+bool parseU64(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty() || tok.size() > 20) return false;
+  out = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    if (out > (~std::uint64_t{0} - (c - '0')) / 10) return false;  // overflow
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+std::vector<rt::Decision> readDecisions(std::istream& f,
+                                        const std::string& path,
+                                        std::uint64_t n, int version) {
   if (n > kMaxScenarioDecisions) {
     badScenario(path, "implausible decision count " + std::to_string(n));
   }
-  std::vector<ThreadId> out;
+  std::vector<rt::Decision> out;
   out.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
-    std::uint64_t t = 0;
-    if (!(f >> t)) {
+    std::string tok;
+    if (!(f >> tok)) {
       badScenario(path, "truncated decision list (" + std::to_string(i) +
                             " of " + std::to_string(n) + " decisions)");
+    }
+    if (tok == "s") {
+      // Store-observation pick — a version-3 decision line.
+      if (version < 3) {
+        badScenario(path, "store pick at decision " + std::to_string(i) +
+                              " in a version-" + std::to_string(version) +
+                              " file");
+      }
+      std::uint64_t idx = 0;
+      if (!(f >> tok) || !parseU64(tok, idx)) {
+        badScenario(path,
+                    "malformed store index at decision " + std::to_string(i));
+      }
+      if (idx > kMaxScenarioStoreIndex) {
+        badScenario(path, "implausible store index " + std::to_string(idx) +
+                              " at decision " + std::to_string(i));
+      }
+      out.push_back(rt::Decision::store(static_cast<std::uint32_t>(idx)));
+      continue;
+    }
+    std::uint64_t t = 0;
+    if (!parseU64(tok, t)) {
+      badScenario(path, "malformed decision '" + tok + "' at decision " +
+                            std::to_string(i));
     }
     if (t == kNoThread || t > kMaxThreads) {
       badScenario(path, "invalid thread id " + std::to_string(t) +
                             " at decision " + std::to_string(i));
     }
-    out.push_back(static_cast<ThreadId>(t));
+    out.push_back(rt::Decision::thread(static_cast<ThreadId>(t)));
   }
   return out;
+}
+
+void writeDecisionLines(std::ostringstream& f, const rt::Schedule& s) {
+  for (const rt::Decision& d : s.decisions) {
+    if (d.isStore()) f << "s " << d.value << '\n';
+    else f << d.value << '\n';
+  }
 }
 
 }  // namespace
@@ -45,14 +90,16 @@ void saveScenario(const Scenario& s, const std::string& path) {
   char strength[64];
   std::snprintf(strength, sizeof(strength), "%.17g", s.strength);
   std::ostringstream f;
-  f << "MTTSCHED 2\n"
+  // Thread-pick-only schedules keep the historical version-2 encoding
+  // byte-for-byte; only schedules with store picks need version 3.
+  f << (s.schedule.threadPicksOnly() ? "MTTSCHED 2\n" : "MTTSCHED 3\n")
     << "program " << s.program << '\n'
     << "seed " << s.seed << '\n'
     << "policy " << s.policy << '\n'
     << "noise " << s.noise << '\n'
     << "strength " << strength << '\n'
     << "decisions " << s.schedule.decisions.size() << '\n';
-  for (ThreadId t : s.schedule.decisions) f << t << '\n';
+  writeDecisionLines(f, s.schedule);
   f << "end\n";
   // Atomic write-then-rename: a crash mid-save leaves the previous witness
   // (or nothing), never a torn scenario that later fails to load.
@@ -72,13 +119,13 @@ Scenario loadScenario(const std::string& path) {
   if (version == 1) {
     std::uint64_t n = 0;
     if (!(f >> n)) badScenario(path, "missing decision count");
-    s.schedule.decisions = readDecisions(f, path, n);
+    s.schedule.decisions = readDecisions(f, path, n, 1);
     return s;
   }
-  if (version != 2) {
+  if (version != 2 && version != 3) {
     badScenario(path, "unsupported version " + std::to_string(version));
   }
-  // v2 header: "key value" lines until the decisions count, then the
+  // v2/v3 header: "key value" lines until the decisions count, then the
   // decision list, then the "end" trailer that catches truncation.
   std::uint64_t n = 0;
   bool haveCount = false;
@@ -101,7 +148,7 @@ Scenario loadScenario(const std::string& path) {
       badScenario(path, "unknown header key '" + key + "'");
     }
   }
-  s.schedule.decisions = readDecisions(f, path, n);
+  s.schedule.decisions = readDecisions(f, path, n, version);
   std::string trailer;
   if (!(f >> trailer) || trailer != "end") {
     badScenario(path, "missing 'end' trailer (file truncated?)");
@@ -111,8 +158,16 @@ Scenario loadScenario(const std::string& path) {
 
 void saveSchedule(const rt::Schedule& s, const std::string& path) {
   std::ostringstream f;
-  f << "MTTSCHED 1\n" << s.decisions.size() << '\n';
-  for (ThreadId t : s.decisions) f << t << '\n';
+  if (s.threadPicksOnly()) {
+    // Historical bare-schedule format, byte-identical.
+    f << "MTTSCHED 1\n" << s.decisions.size() << '\n';
+    for (const rt::Decision& d : s.decisions) f << d.value << '\n';
+  } else {
+    // Headerless version 3: the loader's header loop accepts zero keys.
+    f << "MTTSCHED 3\n" << "decisions " << s.decisions.size() << '\n';
+    writeDecisionLines(f, s);
+    f << "end\n";
+  }
   core::atomicWriteFile(path, f.str());
 }
 

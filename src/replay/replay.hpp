@@ -42,8 +42,12 @@ namespace mtt::replay {
 /// A saved scenario: the recorded schedule plus the metadata needed to
 /// re-execute it "with the push of a button" — which program was run, which
 /// seed, and which tool stack (policy/noise) shaped the recorded run.
-/// Version-2 scenario files carry this header; version-1 files are the bare
-/// schedule (program empty, tool fields defaulted).
+/// Version-2/3 scenario files carry this header; version-1 files are the
+/// bare schedule (program empty, tool fields defaulted).  Version 3 adds
+/// tagged decisions: a decision line is either a bare thread id (ThreadPick)
+/// or "s <idx>" (StorePick, the observable-store index a weak-memory load
+/// observed).  Writers emit version 2 whenever the schedule is thread-picks
+/// only, so pre-weak-memory recordings stay byte-identical.
 struct Scenario {
   std::string program;           ///< suite program name ("" for v1 files)
   std::uint64_t seed = 0;        ///< run seed (noise makers derive from it)
@@ -51,24 +55,39 @@ struct Scenario {
   std::string noise = "none";    ///< noise heuristic active while recording
   double strength = 0.25;        ///< noise strength while recording
   rt::Schedule schedule;
+
+  /// Pre-v3 accessor: the thread picks of the schedule, store picks
+  /// projected out.  Kept as a migration shim only.
+  [[deprecated("use schedule.decisions (tagged rt::Decision API)")]]
+  std::vector<ThreadId> decisionThreads() const {
+    return schedule.threadPicks();
+  }
 };
 
 /// Upper bounds rejected by the loader before any allocation happens, so a
 /// corrupt header can neither exhaust memory nor fabricate thread ids.
 inline constexpr std::size_t kMaxScenarioDecisions = 16u << 20;
 
-/// Writes a version-2 scenario file, creating parent directories as needed.
+/// Upper bound on a StorePick index in a scenario file; the runtime's
+/// observable sets are far smaller (store history is capped), so anything
+/// larger is corruption.
+inline constexpr std::uint32_t kMaxScenarioStoreIndex = 255;
+
+/// Writes a scenario file, creating parent directories as needed.  Emits
+/// version 2 when the schedule contains only thread picks (byte-identical
+/// to the historical format), version 3 otherwise.
 void saveScenario(const Scenario& s, const std::string& path);
 
-/// Loads a version-1 or version-2 scenario file.  Hardened: a missing,
+/// Loads a version-1, -2, or -3 scenario file.  Hardened: a missing,
 /// truncated, or corrupt file (bad magic, unsupported version, malformed
-/// header, implausible decision count, invalid thread id, missing trailer)
-/// throws std::runtime_error with a diagnostic naming the path and the
-/// defect — never UB and never a silently empty schedule.
+/// header, implausible decision count, invalid thread id or store index,
+/// missing trailer) throws std::runtime_error with a diagnostic naming the
+/// path and the defect — never UB and never a silently empty schedule.
 Scenario loadScenario(const std::string& path);
 
-/// Legacy helpers: bare-schedule persistence (version-1 file format).
-/// loadSchedule accepts both versions and discards the header.
+/// Legacy helpers: bare-schedule persistence (version-1 file format for
+/// thread-pick-only schedules; a headerless version-3 file otherwise).
+/// loadSchedule accepts every version and discards the header.
 void saveSchedule(const rt::Schedule& s, const std::string& path);
 rt::Schedule loadSchedule(const std::string& path);
 

@@ -13,6 +13,43 @@ namespace {
 // The managed thread currently executing on this OS thread (one runtime's
 // managed threads never share an OS thread with another runtime's).
 thread_local void* tl_current = nullptr;
+
+// --- vector-clock helpers (weak-memory model) ------------------------------
+// Clocks are indexed by ThreadId (slot 0, kNoThread, stays unused); all
+// access happens under the scheduler lock.
+
+std::uint64_t vcAt(const std::vector<std::uint64_t>& vc, ThreadId t) {
+  return t < vc.size() ? vc[t] : 0;
+}
+
+void vcJoin(std::vector<std::uint64_t>& dst,
+            const std::vector<std::uint64_t>& src) {
+  if (dst.size() < src.size()) dst.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (dst[i] < src[i]) dst[i] = src[i];
+  }
+}
+
+std::uint64_t vcTick(std::vector<std::uint64_t>& vc, ThreadId t) {
+  if (vc.size() <= t) vc.resize(t + 1, 0);
+  return ++vc[t];
+}
+
+bool isAcquire(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+bool isRelease(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+/// Per-location store-history cap: the oldest record is dropped past this.
+/// Sound — dropping history only shrinks observable sets toward the SC
+/// (coherence-newest) value, never adds behaviours.
+constexpr std::size_t kMaxStoreHistory = 64;
+
 }  // namespace
 
 ControlledRuntime::ControlledRuntime(std::unique_ptr<SchedulePolicy> policy)
@@ -146,6 +183,19 @@ PendingOpInfo ControlledRuntime::opInfoOf(const Tcb& t) const {
       info.kind = OpKind::Task;
       info.object = op.var;  // the loop/queue object id
       break;
+    case OpCode::AtomicLoad:
+      info.kind = OpKind::AtomicLoad;
+      info.object = op.at->id;
+      break;
+    case OpCode::AtomicStore:
+      info.kind = OpKind::AtomicStore;
+      info.object = op.at->id;
+      break;
+    case OpCode::AtomicRmw:
+      info.kind = OpKind::AtomicRMW;
+      info.object = op.at->id;
+      break;
+    case OpCode::Fence: info.kind = OpKind::Fence; break;
     case OpCode::Yield: info.kind = OpKind::Yield; break;
     case OpCode::Sleep: info.kind = OpKind::Sleep; break;
     case OpCode::Finish: info.kind = OpKind::Finish; break;
@@ -347,6 +397,203 @@ void ControlledRuntime::fail(std::string msg) {
   failLocked(lk, std::move(msg));
 }
 
+ControlledRuntime::AtomicLoc& ControlledRuntime::locOf(AtomicState& a) {
+  auto [it, inserted] = atomics_.try_emplace(a.id);
+  AtomicLoc& loc = it->second;
+  if (inserted) {
+    // Seed with the initial-value pseudo-store (seq 0, no storer): it
+    // happens-before everything, so an untouched cell always loads init.
+    AtomicStoreRec init;
+    init.value = a.init;
+    init.storer = kNoThread;
+    loc.stores.push_back(std::move(init));
+    a.value = a.init;
+  }
+  return loc;
+}
+
+std::memory_order ControlledRuntime::effectiveOrder(std::uint8_t mo) const {
+  if (forceSeqCst_) return std::memory_order_seq_cst;
+  auto m = static_cast<std::memory_order>(mo);
+  return m == std::memory_order_consume ? std::memory_order_acquire : m;
+}
+
+bool ControlledRuntime::hbVisible(const Tcb& t,
+                                  const AtomicStoreRec& rec) const {
+  return rec.storer == kNoThread || rec.stamp <= vcAt(t.vc, rec.storer);
+}
+
+std::uint64_t ControlledRuntime::performAtomicLoadLocked(Tcb& self,
+                                                         PendingOp& op) {
+  AtomicState& a = *op.at;
+  AtomicLoc& loc = locOf(a);
+  const std::memory_order mo = effectiveOrder(op.memOrder);
+  if (mo == std::memory_order_seq_cst) vcJoin(self.vc, scClock_);
+
+  // The load may observe any store at or past its floor: hbFloor is the
+  // newest store that happens-before the load (coherence forbids reading
+  // past it backwards), readFloor the per-(thread, location) monotonic-read
+  // floor.
+  std::uint64_t floor = 0;
+  for (const AtomicStoreRec& rec : loc.stores) {
+    if (hbVisible(self, rec) && rec.seq > floor) floor = rec.seq;
+  }
+  auto rf = self.readFloor.find(a.id);
+  if (rf != self.readFloor.end() && rf->second > floor) floor = rf->second;
+
+  // Candidate indices into loc.stores, newest first: cand[0] is the
+  // coherence-newest store, i.e. the SC value.  Non-empty by construction
+  // (the newest store's seq is the per-location maximum, hence >= floor).
+  std::vector<std::size_t> cand;
+  for (std::size_t i = loc.stores.size(); i-- > 0;) {
+    if (loc.stores[i].seq < floor) break;  // seq ascends; rest are older
+    cand.push_back(i);
+  }
+
+  std::uint32_t pick = 0;
+  if (cand.size() > 1) {
+    // A real choice point: ask the policy which store to observe and commit
+    // the answer as a StorePick decision.  Singleton sets never reach the
+    // policy, so SC-only programs record pure thread-pick schedules.
+    std::vector<StoreOption> opts;
+    opts.reserve(cand.size());
+    for (std::size_t i : cand) {
+      const AtomicStoreRec& rec = loc.stores[i];
+      opts.push_back(StoreOption{rec.storer, rec.value, rec.stamp});
+    }
+    StorePickContext ctx;
+    ctx.object = a.id;
+    ctx.thread = self.id;
+    ctx.options = std::span<const StoreOption>(opts);
+    ctx.step = steps_;
+    pick = policy_->pickStore(ctx);
+    if (pick >= cand.size()) pick = 0;  // defensive, mirrors RecordingPolicy
+    ++steps_;
+    fr::recordStorePick(this, pick);
+    // Store picks are never noise-injected; keep the provenance vector
+    // parallel to the decision sequence.
+    decisionNoise_.push_back(false);
+  }
+
+  const AtomicStoreRec& rec = loc.stores[cand[pick]];
+  bool synced = false;
+  if (rec.release && rec.storer != kNoThread) {
+    if (isAcquire(mo)) {
+      vcJoin(self.vc, rec.clock);
+      synced = true;
+    } else {
+      // Relaxed load of a release store: the synchronization is deferred
+      // until this thread's next acquire fence claims pendingAcq.
+      vcJoin(self.pendingAcq, rec.clock);
+    }
+  }
+  // An observation of a store that already happens-before the loader is a
+  // synchronized observation regardless of the load's own order (e.g. a
+  // relaxed payload load after an acquire-of-release publication) — the
+  // memory-model race check keys off this bit.
+  if (!synced && rec.storer != kNoThread &&
+      rec.stamp <= vcAt(self.vc, rec.storer)) {
+    synced = true;
+  }
+  std::uint64_t& floorSlot = self.readFloor[a.id];
+  if (floorSlot < rec.seq) floorSlot = rec.seq;
+  if (mo == std::memory_order_seq_cst) vcJoin(scClock_, self.vc);
+  emit(EventKind::AtomicLoad, self.id, a.id, op.site,
+       AtomicArg::pack(static_cast<std::memory_order>(op.memOrder), synced,
+                       pick, rec.storer));
+  return rec.value;
+}
+
+void ControlledRuntime::performAtomicStoreLocked(Tcb& self, PendingOp& op) {
+  AtomicState& a = *op.at;
+  AtomicLoc& loc = locOf(a);
+  const std::memory_order mo = effectiveOrder(op.memOrder);
+  if (mo == std::memory_order_seq_cst) vcJoin(self.vc, scClock_);
+  AtomicStoreRec rec;
+  rec.value = op.aval;
+  rec.storer = self.id;
+  rec.stamp = vcTick(self.vc, self.id);
+  rec.seq = loc.nextSeq++;
+  rec.release = isRelease(mo) || self.releaseFence;
+  if (rec.release) rec.clock = self.vc;
+  const bool release = rec.release;
+  const std::uint64_t seq = rec.seq;
+  loc.stores.push_back(std::move(rec));
+  if (loc.stores.size() > kMaxStoreHistory) loc.stores.erase(loc.stores.begin());
+  a.value = op.aval;
+  std::uint64_t& floorSlot = self.readFloor[a.id];
+  if (floorSlot < seq) floorSlot = seq;
+  if (mo == std::memory_order_seq_cst) vcJoin(scClock_, self.vc);
+  emit(EventKind::AtomicStore, self.id, a.id, op.site,
+       AtomicArg::pack(static_cast<std::memory_order>(op.memOrder), release, 0,
+                       self.id));
+}
+
+std::uint64_t ControlledRuntime::performAtomicRmwLocked(Tcb& self,
+                                                        PendingOp& op) {
+  AtomicState& a = *op.at;
+  AtomicLoc& loc = locOf(a);
+  const std::memory_order mo = effectiveOrder(op.memOrder);
+  if (mo == std::memory_order_seq_cst) vcJoin(self.vc, scClock_);
+  // Atomicity: an RMW always reads the coherence-newest store, so it is
+  // never a StorePick choice point.  (Copy: the push_back below reallocates.)
+  const AtomicStoreRec cur = loc.stores.back();
+  const std::uint64_t old = cur.value;
+  if (cur.release && cur.storer != kNoThread) {
+    if (isAcquire(mo)) vcJoin(self.vc, cur.clock);
+    else vcJoin(self.pendingAcq, cur.clock);
+  }
+  bool ok = true;
+  std::uint64_t newVal = old;
+  switch (op.rmwOp) {
+    case RmwOp::Exchange: newVal = op.aval; break;
+    case RmwOp::FetchAdd: newVal = old + op.aval; break;
+    case RmwOp::CompareExchange:
+      ok = old == op.aexp;
+      if (ok) newVal = op.aval;
+      break;
+  }
+  std::uint64_t newFloor = cur.seq;
+  if (ok) {
+    AtomicStoreRec rec;
+    rec.value = newVal;
+    rec.storer = self.id;
+    rec.stamp = vcTick(self.vc, self.id);
+    rec.seq = loc.nextSeq++;
+    rec.release = isRelease(mo) || self.releaseFence;
+    if (rec.release) rec.clock = self.vc;
+    newFloor = rec.seq;
+    loc.stores.push_back(std::move(rec));
+    if (loc.stores.size() > kMaxStoreHistory) {
+      loc.stores.erase(loc.stores.begin());
+    }
+    a.value = newVal;
+  }
+  std::uint64_t& floorSlot = self.readFloor[a.id];
+  if (floorSlot < newFloor) floorSlot = newFloor;
+  if (mo == std::memory_order_seq_cst) vcJoin(scClock_, self.vc);
+  self.tryResult = ok;
+  emit(EventKind::AtomicRMW, self.id, a.id, op.site,
+       AtomicArg::pack(static_cast<std::memory_order>(op.memOrder), ok, 0,
+                       cur.storer));
+  return old;
+}
+
+void ControlledRuntime::performFenceLocked(Tcb& self, PendingOp& op) {
+  const std::memory_order mo = effectiveOrder(op.memOrder);
+  if (mo == std::memory_order_seq_cst) vcJoin(self.vc, scClock_);
+  if (isAcquire(mo) && !self.pendingAcq.empty()) {
+    // Claim the release clocks earlier relaxed loads observed.
+    vcJoin(self.vc, self.pendingAcq);
+    self.pendingAcq.clear();
+  }
+  if (isRelease(mo)) self.releaseFence = true;
+  if (mo == std::memory_order_seq_cst) vcJoin(scClock_, self.vc);
+  emit(EventKind::Fence, self.id, kNoObject, op.site,
+       AtomicArg::pack(static_cast<std::memory_order>(op.memOrder), false, 0,
+                       kNoThread));
+}
+
 bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
                                         Tcb& self) {
   PendingOp& op = self.pending;
@@ -365,6 +612,10 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
       child->pending = PendingOp{};
       child->pending.code = OpCode::Start;
       child->body = std::move(self.spawnFn);
+      // Spawn is a happens-before edge: the child starts with the parent's
+      // clock and per-location coherence floors.
+      child->vc = self.vc;
+      child->readFloor = self.readFloor;
       Tcb* raw = child.get();
       tcbs_.push_back(std::move(child));
       osThreads_.emplace_back([this, raw] { trampoline(raw); });
@@ -380,6 +631,7 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
         op.m->owner = self.id;
         op.m->depth = op.condResume ? std::max<std::uint32_t>(op.arg, 1) : 1;
         fr::lockAcquired(this, op.m->id, self.id);
+        vcJoin(self.vc, op.m->relClock);  // acquire: sync with releasers
       }
       emit(op.condResume ? EventKind::CondWaitEnd : EventKind::MutexLock,
            self.id, op.m->id, op.site,
@@ -395,6 +647,7 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
           op.m->owner = self.id;
           op.m->depth = 1;
           fr::lockAcquired(this, op.m->id, self.id);
+          vcJoin(self.vc, op.m->relClock);
         }
         self.tryResult = true;
         emit(EventKind::MutexTryLockOk, self.id, op.m->id, op.site);
@@ -417,6 +670,7 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
       }
       emit(EventKind::MutexUnlock, self.id, op.m->id, op.site);
       if (--op.m->depth == 0) {
+        vcJoin(op.m->relClock, self.vc);  // release: publish our clock
         op.m->owner = kNoThread;
         fr::lockReleased(this, op.m->id);
       }
@@ -431,6 +685,7 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
       // release/reacquire edges of the wait.
       emit(EventKind::CondWaitBegin, self.id, op.c->id, op.site, op.m->id);
       std::uint32_t savedDepth = op.m->depth;
+      vcJoin(op.m->relClock, self.vc);  // wait releases the mutex
       releaseMutexFullyLocked(*op.m);
       CondState* c = op.c;
       // Re-arm the pending op as the post-signal reacquire; the signaler
@@ -453,6 +708,7 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
       m->owner = self.id;
       m->depth = savedDepth;
       fr::lockAcquired(this, m->id, self.id);
+      vcJoin(self.vc, m->relClock);
       emit(EventKind::CondWaitEnd, self.id, c->id, st, m->id);
       return true;
     }
@@ -483,18 +739,22 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
 
     case OpCode::SemAcquire:
       --op.sem->permits;
+      vcJoin(self.vc, op.sem->relClock);
       emit(EventKind::SemAcquire, self.id, op.sem->id, op.site,
            op.everBlocked ? 1 : 0);
       return true;
 
     case OpCode::RwRead:
       ++op.rw->readers;
+      vcJoin(self.vc, op.rw->relClockW);  // readers sync with prior writers
       emit(EventKind::RwLockRead, self.id, op.rw->id, op.site,
            op.everBlocked ? 1 : 0);
       return true;
 
     case OpCode::RwWrite:
       op.rw->writer = self.id;
+      vcJoin(self.vc, op.rw->relClockW);  // writers sync with everyone
+      vcJoin(self.vc, op.rw->relClockR);
       emit(EventKind::RwLockWrite, self.id, op.rw->id, op.site,
            op.everBlocked ? 1 : 0);
       return true;
@@ -509,6 +769,7 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
         return false;
       }
       emit(EventKind::RwUnlockRead, self.id, op.rw->id, op.site);
+      vcJoin(op.rw->relClockR, self.vc);
       --op.rw->readers;
       return true;
 
@@ -523,12 +784,14 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
         return false;
       }
       emit(EventKind::RwUnlockWrite, self.id, op.rw->id, op.site);
+      vcJoin(op.rw->relClockW, self.vc);
       op.rw->writer = kNoThread;
       return true;
 
     case OpCode::SemTryAcquire:
       if (op.sem->permits > 0) {
         --op.sem->permits;
+        vcJoin(self.vc, op.sem->relClock);
         self.tryResult = true;
         emit(EventKind::SemAcquire, self.id, op.sem->id, op.site);
       } else {
@@ -538,6 +801,7 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
 
     case OpCode::SemRelease:
       op.sem->permits += op.arg;
+      vcJoin(op.sem->relClock, self.vc);
       emit(EventKind::SemRelease, self.id, op.sem->id, op.site, op.arg);
       return true;
 
@@ -545,6 +809,7 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
       BarrierState* b = op.b;
       emit(EventKind::BarrierEnter, self.id, b->id, op.site,
            static_cast<std::uint32_t>(b->generation));
+      vcJoin(b->clock, self.vc);  // arrival publishes to the generation
       ++b->arrived;
       Site st = op.site;
       if (b->arrived >= b->parties) {
@@ -562,12 +827,15 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
       }
       scheduleNextLocked();
       if (!waitForTurnLocked(lk, self)) return false;
+      vcJoin(self.vc, b->clock);  // exit syncs with every arriver
       emit(EventKind::BarrierExit, self.id, b->id, st,
            static_cast<std::uint32_t>(b->generation));
       return true;
     }
 
     case OpCode::Join:
+      // Join is a happens-before edge from everything the target did.
+      vcJoin(self.vc, tcbOf(op.target).vc);
       emit(EventKind::ThreadJoin, self.id, op.target, op.site);
       return true;
 
@@ -579,6 +847,22 @@ bool ControlledRuntime::performOpLocked(std::unique_lock<std::mutex>& lk,
 
     case OpCode::EvPoint:
       emit(op.evKind, self.id, op.var, op.site, op.arg);
+      return true;
+
+    case OpCode::AtomicLoad:
+      self.atomicResult = performAtomicLoadLocked(self, op);
+      return true;
+
+    case OpCode::AtomicStore:
+      performAtomicStoreLocked(self, op);
+      return true;
+
+    case OpCode::AtomicRmw:
+      self.atomicResult = performAtomicRmwLocked(self, op);
+      return true;
+
+    case OpCode::Fence:
+      performFenceLocked(self, op);
       return true;
 
     case OpCode::Yield:
@@ -711,6 +995,9 @@ RunResult ControlledRuntime::run(std::function<void(Runtime&)> body,
     maxSteps_ = opts.maxSteps == 0 ? ~std::uint64_t{0} : opts.maxSteps;
     blocked_.clear();
     decisionNoise_.clear();
+    atomics_.clear();
+    scClock_.clear();
+    forceSeqCst_ = opts.forceSeqCst;
     resetEventCount();
   }
   policy_->onRunStart(opts.seed);
@@ -956,6 +1243,55 @@ void ControlledRuntime::varAccess(ObjectId var, Access a, Site s) {
   op.code = OpCode::VarAccess;
   op.var = var;
   op.access = a;
+  op.site = s;
+  visibleOp(op);
+}
+
+std::uint64_t ControlledRuntime::atomicLoad(AtomicState& a,
+                                            std::memory_order mo, Site s) {
+  PendingOp op;
+  op.code = OpCode::AtomicLoad;
+  op.at = &a;
+  op.memOrder = static_cast<std::uint8_t>(mo);
+  op.site = s;
+  visibleOp(op);
+  return currentTcb()->atomicResult;
+}
+
+void ControlledRuntime::atomicStore(AtomicState& a, std::uint64_t v,
+                                    std::memory_order mo, Site s) {
+  PendingOp op;
+  op.code = OpCode::AtomicStore;
+  op.at = &a;
+  op.aval = v;
+  op.memOrder = static_cast<std::uint8_t>(mo);
+  op.site = s;
+  visibleOp(op);
+}
+
+std::uint64_t ControlledRuntime::atomicRmw(AtomicState& a, RmwOp rop,
+                                           std::uint64_t operand,
+                                           std::uint64_t expected,
+                                           std::memory_order mo, Site s,
+                                           bool* ok) {
+  PendingOp op;
+  op.code = OpCode::AtomicRmw;
+  op.at = &a;
+  op.rmwOp = rop;
+  op.aval = operand;
+  op.aexp = expected;
+  op.memOrder = static_cast<std::uint8_t>(mo);
+  op.site = s;
+  visibleOp(op);
+  Tcb* self = currentTcb();
+  if (ok != nullptr) *ok = self->tryResult;
+  return self->atomicResult;
+}
+
+void ControlledRuntime::atomicFence(std::memory_order mo, Site s) {
+  PendingOp op;
+  op.code = OpCode::Fence;
+  op.memOrder = static_cast<std::uint8_t>(mo);
   op.site = s;
   visibleOp(op);
 }

@@ -18,10 +18,30 @@
 // totally ordered and listeners need no internal locking in this mode);
 // listeners must not call runtime operations from onEvent — noise makers use
 // Runtime::postNoise, which is applied before the thread's next operation.
+// Weak-memory extension (Decision API v3): mtt::mem::Atomic operations are
+// visible ops like any other, but an atomic *load* additionally computes its
+// observable-store set — the per-location store history filtered by a
+// vector-clock happens-before / coherence check — and, when that set has
+// more than one element, asks the policy which store to observe
+// (SchedulePolicy::pickStore, recorded as a StorePick decision).  The model
+// is deliberately a little stronger than C11 (sound for bug hunting: every
+// behaviour it produces is C11-allowed):
+//  * per-location modification order == execution order of the stores
+//    (execution is serialized, so stores are totally ordered anyway);
+//  * a load may observe any store S with S.seq >= max(hbFloor, readFloor),
+//    where hbFloor is the newest store that happens-before the load and
+//    readFloor is the loading thread's per-location coherence floor
+//    (advanced by its own reads and stores, inherited across spawn);
+//  * observing a release store with an acquire load joins the storer's
+//    clock snapshot (relaxed loads defer the join to a later acquire fence);
+//  * seq_cst operations additionally join a global SC clock both ways, so
+//    all-seq_cst programs always observe the newest store (singleton set =
+//    no choice point = byte-identical SC schedules).
 #pragma once
 
 #include <memory>
 #include <thread>
+#include <unordered_map>
 
 #include "rt/policy.hpp"
 #include "rt/runtime.hpp"
@@ -76,6 +96,14 @@ class ControlledRuntime final : public Runtime {
   void varAccess(ObjectId var, Access a, Site s) override;
   void evloopPoint(EventKind kind, ObjectId obj, Site s,
                    std::uint32_t arg) override;
+  std::uint64_t atomicLoad(AtomicState& a, std::memory_order mo,
+                           Site s) override;
+  void atomicStore(AtomicState& a, std::uint64_t v, std::memory_order mo,
+                   Site s) override;
+  std::uint64_t atomicRmw(AtomicState& a, RmwOp op, std::uint64_t operand,
+                          std::uint64_t expected, std::memory_order mo, Site s,
+                          bool* ok) override;
+  void atomicFence(std::memory_order mo, Site s) override;
 
  private:
   enum class OpCode : std::uint8_t {
@@ -98,6 +126,10 @@ class ControlledRuntime final : public Runtime {
     Join,
     VarAccess,
     EvPoint,  ///< event-loop task boundary (Runtime::evloopPoint)
+    AtomicLoad,
+    AtomicStore,
+    AtomicRmw,
+    Fence,
     Yield,
     Sleep,
     Finish,
@@ -110,6 +142,7 @@ class ControlledRuntime final : public Runtime {
     RwState* rw = nullptr;
     SemState* sem = nullptr;
     BarrierState* b = nullptr;
+    AtomicState* at = nullptr;    ///< Atomic*/Fence state block
     ObjectId var = kNoObject;
     Access access = Access::None;
     ThreadId target = kNoThread;  ///< join target / spawned child
@@ -117,6 +150,10 @@ class ControlledRuntime final : public Runtime {
     Site site{};
     std::uint32_t arg = 0;        ///< sem release count / saved mutex depth
     std::uint64_t wakeStep = 0;   ///< sleep expiry (virtual step)
+    std::uint8_t memOrder = 0;    ///< Atomic*/Fence: std::memory_order
+    RmwOp rmwOp = RmwOp::Exchange;
+    std::uint64_t aval = 0;       ///< store value / RMW operand
+    std::uint64_t aexp = 0;       ///< CompareExchange comparand
     bool condResume = false;      ///< Lock is a reacquire after cond wait
     bool everBlocked = false;     ///< op was seen disabled at least once
     bool injected = false;        ///< noise-injected yield/sleep (postNoise)
@@ -136,7 +173,8 @@ class ControlledRuntime final : public Runtime {
     St st = St::Parked;
     PendingOp pending{};
     bool go = false;
-    bool tryResult = false;  ///< out-param of TryLock / SemTryAcquire
+    bool tryResult = false;  ///< out-param of TryLock / SemTryAcquire / CAS
+    std::uint64_t atomicResult = 0;  ///< out-param of AtomicLoad / AtomicRmw
     NoiseRequest noise{};    ///< posted by listeners, applied at next op
     std::condition_variable cv;
     std::function<void()> body;
@@ -144,6 +182,34 @@ class ControlledRuntime final : public Runtime {
     // spawners don't clobber each other).
     std::string spawnName;
     std::function<void()> spawnFn;
+    // Weak-memory bookkeeping (scheduler lock protects).
+    std::vector<std::uint64_t> vc;  ///< vector clock, indexed by ThreadId
+    /// Deferred acquire clock: release clocks observed by relaxed loads,
+    /// claimed by this thread's next acquire (or stronger) fence.
+    std::vector<std::uint64_t> pendingAcq;
+    /// Per-atomic coherence floor: modification-order index of the newest
+    /// store this thread has observed (read or written).  Inherited across
+    /// spawn (spawn is a happens-before edge).
+    std::unordered_map<ObjectId, std::uint64_t> readFloor;
+    /// A release (or stronger) fence was issued: subsequent relaxed stores
+    /// carry release semantics.
+    bool releaseFence = false;
+  };
+
+  /// One committed store of an atomic location (controlled mode).
+  struct AtomicStoreRec {
+    std::uint64_t value = 0;
+    ThreadId storer = kNoThread;  ///< kNoThread for the initial value
+    std::uint64_t stamp = 0;      ///< storer's own clock at the store
+    std::uint64_t seq = 0;        ///< per-location modification-order index
+    bool release = false;         ///< store had release semantics
+    std::vector<std::uint64_t> clock;  ///< storer's clock snapshot
+  };
+
+  /// Per-location store history: ascending seq, back() = coherence-newest.
+  struct AtomicLoc {
+    std::vector<AtomicStoreRec> stores;
+    std::uint64_t nextSeq = 1;  // seq 0 is the initial-value pseudo-store
   };
 
   // The generic gateway for visible operations of the current thread.
@@ -174,6 +240,16 @@ class ControlledRuntime final : public Runtime {
   // the turn to the highest-id unfinished thread.
   void advanceUnwindLocked();
   void collectBlockedLocked();
+  // Weak-memory helpers (mu_ held).  locOf lazily seeds the history with
+  // the initial-value pseudo-store; effectiveOrder applies forceSeqCst and
+  // maps consume to acquire.
+  AtomicLoc& locOf(AtomicState& a);
+  std::memory_order effectiveOrder(std::uint8_t mo) const;
+  bool hbVisible(const Tcb& t, const AtomicStoreRec& rec) const;
+  std::uint64_t performAtomicLoadLocked(Tcb& self, PendingOp& op);
+  void performAtomicStoreLocked(Tcb& self, PendingOp& op);
+  std::uint64_t performAtomicRmwLocked(Tcb& self, PendingOp& op);
+  void performFenceLocked(Tcb& self, PendingOp& op);
   std::string describeWait(const Tcb& t) const;
   void releaseMutexFullyLocked(MutexState& m);
   void trampoline(Tcb* self);
@@ -198,6 +274,10 @@ class ControlledRuntime final : public Runtime {
   std::vector<BlockedThreadInfo> blocked_;
   std::vector<bool> decisionNoise_;
   bool runActive_ = false;
+  // Weak-memory state (scheduler lock protects; reset per run).
+  std::unordered_map<ObjectId, AtomicLoc> atomics_;
+  std::vector<std::uint64_t> scClock_;  ///< global seq_cst order clock
+  bool forceSeqCst_ = false;
 };
 
 }  // namespace mtt::rt

@@ -39,8 +39,15 @@ std::atomic<bool> g_armed{false};
 std::atomic<bool> g_runActive{false};
 std::atomic<const void*> g_owner{nullptr};
 
+// A decision slot holds either a thread pick (the chosen ThreadId) or a
+// store-observation pick (the observable-set index).  The kind lives in a
+// parallel byte array so the hot thread-pick path keeps its single-word
+// store; g_storePicks lets the dump pick the v2 magic (byte-identical to
+// the pre-weak-memory format) when no store picks were recorded.
 ThreadId g_decisions[kMaxDecisions];
+std::uint8_t g_decisionIsStore[kMaxDecisions];
 std::atomic<std::uint32_t> g_decisionCount{0};
+std::atomic<std::uint32_t> g_storePicks{0};
 std::atomic<bool> g_truncated{false};
 
 EventEntry g_events[kEventRing];
@@ -95,8 +102,9 @@ struct Writer {
 void formatHeader(const RunMeta& meta) {
   // snprintf is NOT async-signal-safe, which is exactly why the header is
   // preformatted here, outside any handler.
+  // The magic line is written by dumpNow: the version depends on whether
+  // the run recorded store picks, which is unknown at beginRun time.
   std::snprintf(g_header, sizeof g_header,
-                "MTTSCHED 2\n"
                 "program %s\n"
                 "seed %llu\n"
                 "policy %s\n"
@@ -127,6 +135,7 @@ void beginRun(const RunMeta& meta) {
   if (!armed()) return;
   formatHeader(meta);
   g_decisionCount.store(0, std::memory_order_relaxed);
+  g_storePicks.store(0, std::memory_order_relaxed);
   g_truncated.store(false, std::memory_order_relaxed);
   g_eventTotal.store(0, std::memory_order_relaxed);
   for (HeldLock& l : g_locks) l.active = false;
@@ -163,8 +172,23 @@ void recordDecision(const void* runtime, ThreadId chosen) {
     return;
   }
   g_decisions[n] = chosen;
+  g_decisionIsStore[n] = 0;
   // Publish after the slot is written: a handler interrupting here sees a
   // consistent prefix.
+  g_decisionCount.store(n + 1, std::memory_order_release);
+}
+
+void recordStorePick(const void* runtime, std::uint32_t age) {
+  if (!isOwner(runtime)) return;
+  std::uint32_t n = g_decisionCount.load(std::memory_order_relaxed);
+  if (n >= kMaxDecisions) {
+    g_truncated.store(true, std::memory_order_relaxed);
+    return;
+  }
+  g_decisions[n] = age;
+  g_decisionIsStore[n] = 1;
+  g_storePicks.store(g_storePicks.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
   g_decisionCount.store(n + 1, std::memory_order_release);
 }
 
@@ -209,13 +233,17 @@ int dumpNow(int signo) {
   Writer w;
   w.fd = fd;
 
-  // A valid v2 scenario: header, decision list, "end".
-  w.put(g_header);
+  // A valid scenario: magic, header, decision list, "end".  Runs without
+  // store picks dump the historical v2 format byte-for-byte.
   std::uint32_t n = g_decisionCount.load(std::memory_order_acquire);
+  bool v3 = g_storePicks.load(std::memory_order_relaxed) != 0;
+  w.put(v3 ? "MTTSCHED 3\n" : "MTTSCHED 2\n");
+  w.put(g_header);
   w.put("decisions ");
   w.putU64(n);
   w.put("\n");
   for (std::uint32_t i = 0; i < n; ++i) {
+    if (g_decisionIsStore[i]) w.put("s ");
     w.putU64(g_decisions[i]);
     w.put("\n");
   }

@@ -6,8 +6,9 @@
 // died with the worker.  The flight recorder closes that loop: while a run
 // is in progress it mirrors every scheduling decision into a preallocated
 // buffer, and a fatal-signal handler (or the SIGTERM drain the farm parent
-// sends before SIGKILL) dumps the partial recording as a valid v2 scenario
-// file, annotated (after the "end" trailer, which the scenario loader
+// sends before SIGKILL) dumps the partial recording as a valid scenario
+// file (v2, or v3 when the run recorded store-observation picks),
+// annotated (after the "end" trailer, which the scenario loader
 // ignores) with the signal, the last-N-events ring, and the held-lock set.
 // The dumped file replays directly: `mtt replay` / `mtt shrink` accept it.
 //
@@ -75,6 +76,11 @@ bool isOwner(const void* runtime);
 /// Mirrors one committed scheduling decision (the post-correction pick, so
 /// the dump matches what a RecordingPolicy would have recorded).
 void recordDecision(const void* runtime, ThreadId chosen);
+/// Mirrors one committed store-observation pick (weak-memory runs).  A
+/// dump containing at least one store pick is written as a v3 scenario
+/// ("s <idx>" decision lines); otherwise the dump stays byte-identical to
+/// the historical v2 format.
+void recordStorePick(const void* runtime, std::uint32_t age);
 /// Feeds the last-N-events diagnostic ring.
 void recordEvent(const void* runtime, EventKind kind, ThreadId thread,
                  ObjectId object);

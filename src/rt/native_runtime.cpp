@@ -509,4 +509,61 @@ void NativeRuntime::varAccess(ObjectId var, Access a, Site s) {
        currentThread(), var, s);
 }
 
+std::uint64_t NativeRuntime::atomicLoad(AtomicState& a, std::memory_order mo,
+                                        Site s) {
+  checkAbort();
+  gate(EventKind::AtomicLoad, a.id);
+  std::uint64_t v = a.native.load(mo);
+  // Native mode has no store history: the observed storer is unknown and
+  // the age reads as 0 (whatever the hardware made newest).
+  emit(EventKind::AtomicLoad, currentThread(), a.id, s,
+       AtomicArg::pack(mo, false, 0, kNoThread));
+  return v;
+}
+
+void NativeRuntime::atomicStore(AtomicState& a, std::uint64_t v,
+                                std::memory_order mo, Site s) {
+  checkAbort();
+  gate(EventKind::AtomicStore, a.id);
+  a.native.store(v, mo);
+  emit(EventKind::AtomicStore, currentThread(), a.id, s,
+       AtomicArg::pack(mo, mo == std::memory_order_release ||
+                               mo == std::memory_order_acq_rel ||
+                               mo == std::memory_order_seq_cst,
+                       0, currentThread()));
+}
+
+std::uint64_t NativeRuntime::atomicRmw(AtomicState& a, RmwOp op,
+                                       std::uint64_t operand,
+                                       std::uint64_t expected,
+                                       std::memory_order mo, Site s,
+                                       bool* ok) {
+  checkAbort();
+  gate(EventKind::AtomicRMW, a.id);
+  std::uint64_t old = 0;
+  bool success = true;
+  switch (op) {
+    case RmwOp::Exchange: old = a.native.exchange(operand, mo); break;
+    case RmwOp::FetchAdd: old = a.native.fetch_add(operand, mo); break;
+    case RmwOp::CompareExchange: {
+      std::uint64_t exp = expected;
+      success = a.native.compare_exchange_strong(exp, operand, mo);
+      old = exp;
+      break;
+    }
+  }
+  if (ok != nullptr) *ok = success;
+  emit(EventKind::AtomicRMW, currentThread(), a.id, s,
+       AtomicArg::pack(mo, success, 0, kNoThread));
+  return old;
+}
+
+void NativeRuntime::atomicFence(std::memory_order mo, Site s) {
+  checkAbort();
+  gate(EventKind::Fence, kNoObject);
+  std::atomic_thread_fence(mo);
+  emit(EventKind::Fence, currentThread(), kNoObject, s,
+       AtomicArg::pack(mo, false, 0, kNoThread));
+}
+
 }  // namespace mtt::rt

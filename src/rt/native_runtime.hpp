@@ -80,6 +80,17 @@ class NativeRuntime final : public Runtime {
   void varAccess(ObjectId var, Access a, Site s) override;
   void evloopPoint(EventKind kind, ObjectId obj, Site s,
                    std::uint32_t arg) override;
+  // Atomics run on the real std::atomic cell with the caller's memory
+  // order: native mode provides no store-buffer simulation, the hardware's
+  // weak behaviours are whatever the host exhibits.
+  std::uint64_t atomicLoad(AtomicState& a, std::memory_order mo,
+                           Site s) override;
+  void atomicStore(AtomicState& a, std::uint64_t v, std::memory_order mo,
+                   Site s) override;
+  std::uint64_t atomicRmw(AtomicState& a, RmwOp op, std::uint64_t operand,
+                          std::uint64_t expected, std::memory_order mo, Site s,
+                          bool* ok) override;
+  void atomicFence(std::memory_order mo, Site s) override;
 
  private:
   struct Tcb {

@@ -22,7 +22,7 @@ ThreadId nextAfter(std::span<const ThreadId> enabled, ThreadId current) {
 /// Namespace of an operation's object id: object ids are allocated per
 /// primitive kind, so (class, id) — not id alone — names an object.
 enum class ObjClass : std::uint8_t {
-  None, Mutex, Cond, Sem, Barrier, Rw, Var, Thread, Queue
+  None, Mutex, Cond, Sem, Barrier, Rw, Var, Thread, Queue, Atomic
 };
 
 ObjClass classOf(OpKind k) {
@@ -53,6 +53,10 @@ ObjClass classOf(OpKind k) {
       return ObjClass::Thread;
     case OpKind::Task:
       return ObjClass::Queue;
+    case OpKind::AtomicLoad:
+    case OpKind::AtomicStore:
+    case OpKind::AtomicRMW:
+      return ObjClass::Atomic;
     default:
       return ObjClass::None;
   }
@@ -88,6 +92,10 @@ bool conflictOn(const PendingOpInfo& a, const PendingOpInfo& b) {
       if (ta[i].kind == OpKind::VarRead && tb[j].kind == OpKind::VarRead) {
         continue;
       }
+      // Atomic loads of the same object do NOT commute under the
+      // store-buffer runtime: the observable-store set a load is offered
+      // depends on the loading thread's coherence floor, which the other
+      // load advances.  Keep them dependent (conservative and sound).
       if (ta[i].kind == OpKind::RwRead && tb[j].kind == OpKind::RwRead) {
         continue;
       }
@@ -121,6 +129,10 @@ const char* to_string(OpKind k) {
     case OpKind::VarRead: return "VarRead";
     case OpKind::VarWrite: return "VarWrite";
     case OpKind::Task: return "Task";
+    case OpKind::AtomicLoad: return "AtomicLoad";
+    case OpKind::AtomicStore: return "AtomicStore";
+    case OpKind::AtomicRMW: return "AtomicRMW";
+    case OpKind::Fence: return "Fence";
     case OpKind::Yield: return "Yield";
     case OpKind::Sleep: return "Sleep";
     case OpKind::Finish: return "Finish";
@@ -139,6 +151,7 @@ std::string describe(const PendingOpInfo& op) {
     case ObjClass::Var: tag = "v"; break;
     case ObjClass::Thread: tag = "t"; break;
     case ObjClass::Queue: tag = "q"; break;
+    case ObjClass::Atomic: tag = "a"; break;
     case ObjClass::None: break;
   }
   std::string s = to_string(op.kind);
@@ -167,6 +180,17 @@ bool independent(const PendingOpInfo& a, const PendingOpInfo& b) {
       a.object == b.thread) {
     return false;
   }
+  // A fence changes the visibility frontier of every atomic operation (it
+  // promotes/absorbs release-acquire edges and joins the SC order), so it
+  // commutes with nothing atomic — including other fences.
+  auto fenceLike = [](OpKind k) {
+    return k == OpKind::Fence || k == OpKind::AtomicLoad ||
+           k == OpKind::AtomicStore || k == OpKind::AtomicRMW;
+  };
+  if ((a.kind == OpKind::Fence && fenceLike(b.kind)) ||
+      (b.kind == OpKind::Fence && fenceLike(a.kind))) {
+    return false;
+  }
   return !conflictOn(a, b);
 }
 
@@ -185,6 +209,10 @@ ThreadId RandomPolicy::pick(const PickContext& ctx) {
   return ctx.enabled[rng_.below(ctx.enabled.size())];
 }
 
+std::uint32_t RandomPolicy::pickStore(const StorePickContext& ctx) {
+  return static_cast<std::uint32_t>(rng_.below(ctx.options.size()));
+}
+
 void PriorityPolicy::onRunStart(std::uint64_t seed) {
   rng_ = Rng(seed);
   priority_.assign(2, 0);
@@ -197,6 +225,13 @@ void PriorityPolicy::onRunStart(std::uint64_t seed) {
     changeAt_.push_back(rng_.below(window_) + 1);
   }
   std::sort(changeAt_.begin(), changeAt_.end());
+}
+
+std::uint32_t PriorityPolicy::pickStore(const StorePickContext& ctx) {
+  // Store choices are orthogonal to the thread-priority machinery: sample
+  // uniformly so PCT hunts cover the weak-memory axis too.  The draw comes
+  // from the same per-run rng, so runs stay deterministic per seed.
+  return static_cast<std::uint32_t>(rng_.below(ctx.options.size()));
 }
 
 void PriorityPolicy::onRunEnd() {
@@ -314,6 +349,34 @@ ThreadId POSPolicy::pick(const PickContext& ctx) {
   return best;
 }
 
+std::uint32_t POSPolicy::pickStore(const StorePickContext& ctx) {
+  // Same rationale as PriorityPolicy: a uniform draw per store-choice point.
+  return static_cast<std::uint32_t>(rng_.below(ctx.options.size()));
+}
+
+bool Schedule::threadPicksOnly() const {
+  for (const Decision& d : decisions) {
+    if (!d.isThread()) return false;
+  }
+  return true;
+}
+
+std::vector<ThreadId> Schedule::threadPicks() const {
+  std::vector<ThreadId> out;
+  out.reserve(decisions.size());
+  for (const Decision& d : decisions) {
+    if (d.isThread()) out.push_back(static_cast<ThreadId>(d.value));
+  }
+  return out;
+}
+
+Schedule Schedule::fromThreads(const std::vector<ThreadId>& ids) {
+  Schedule s;
+  s.decisions.reserve(ids.size());
+  for (ThreadId t : ids) s.decisions.push_back(Decision::thread(t));
+  return s;
+}
+
 void RecordingPolicy::onRunStart(std::uint64_t seed) {
   schedule_.decisions.clear();
   inner_->onRunStart(seed);
@@ -321,8 +384,17 @@ void RecordingPolicy::onRunStart(std::uint64_t seed) {
 
 ThreadId RecordingPolicy::pick(const PickContext& ctx) {
   ThreadId t = inner_->pick(ctx);
-  schedule_.decisions.push_back(t);
+  schedule_.decisions.push_back(Decision::thread(t));
   return t;
+}
+
+std::uint32_t RecordingPolicy::pickStore(const StorePickContext& ctx) {
+  std::uint32_t age = inner_->pickStore(ctx);
+  // Clamp exactly like the runtime does before recording, so the recorded
+  // decision is the committed one and a replay never diverges on it.
+  if (age >= ctx.options.size()) age = 0;
+  schedule_.decisions.push_back(Decision::store(age));
+  return age;
 }
 
 void ReplayPolicy::onRunStart(std::uint64_t seed) {
@@ -334,11 +406,14 @@ void ReplayPolicy::onRunStart(std::uint64_t seed) {
 
 ThreadId ReplayPolicy::pick(const PickContext& ctx) {
   if (!diverged_) {
-    if (next_ >= schedule_.decisions.size()) {
+    if (next_ >= schedule_.decisions.size() ||
+        !schedule_.decisions[next_].isThread()) {
+      // Exhausted, or the schedule expects a store choice here: the run no
+      // longer matches the recording.
       diverged_ = true;
       divergenceStep_ = ctx.step;
     } else {
-      ThreadId want = schedule_.decisions[next_];
+      auto want = static_cast<ThreadId>(schedule_.decisions[next_].value);
       if (contains(ctx.enabled, want)) {
         ++next_;
         return want;
@@ -348,6 +423,20 @@ ThreadId ReplayPolicy::pick(const PickContext& ctx) {
     }
   }
   return fallback_.pick(ctx);
+}
+
+std::uint32_t ReplayPolicy::pickStore(const StorePickContext& ctx) {
+  if (!diverged_) {
+    if (next_ < schedule_.decisions.size() &&
+        schedule_.decisions[next_].isStore() &&
+        schedule_.decisions[next_].value < ctx.options.size()) {
+      return schedule_.decisions[next_++].value;
+    }
+    diverged_ = true;
+    divergenceStep_ = ctx.step;
+  }
+  // Observe-newest is the deterministic fallback (the SC value).
+  return 0;
 }
 
 }  // namespace mtt::rt

@@ -24,8 +24,18 @@
 // a PendingOpInfo descriptor per enabled thread (abstract operation kind +
 // object id) and the independent() predicate over descriptors — the
 // information POS, sleep-set pruning, and other partial-order-aware
-// algorithms need.  Decisions remain plain ThreadId values, so schedules,
-// replay, shrinking, and every journal format are untouched.
+// algorithms need.
+//
+// Decision API v3 (weak memory): a schedule is no longer a bare ThreadId
+// vector.  Under the store-buffer runtime an atomic load whose
+// observable-store set has several elements is itself a choice point, so a
+// recorded run interleaves two decision kinds: ThreadPick (which enabled
+// thread runs) and StorePick (which observable store a load reads).  Both
+// are carried by the tagged Decision type below; policies answer StorePicks
+// via pickStore(), which defaults to "observe the coherence-newest store" —
+// exactly sequentially-consistent behaviour — so SC-only programs record
+// zero StorePicks and every pre-v3 schedule, scenario file, and journal
+// stays byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +74,10 @@ enum class OpKind : std::uint8_t {
   VarRead,       ///< object = instrumented variable
   VarWrite,      ///< object = instrumented variable
   Task,          ///< event-loop task boundary; object = loop/queue id
+  AtomicLoad,    ///< object = instrumented atomic
+  AtomicStore,   ///< object = instrumented atomic
+  AtomicRMW,     ///< object = instrumented atomic
+  Fence,         ///< standalone memory fence (no object)
   Yield,         ///< voluntary yield (including injected noise)
   Sleep,         ///< sleep expiry (including injected noise)
   Finish,        ///< thread about to finish
@@ -123,6 +137,32 @@ struct PickContext {
   }
 };
 
+/// One observable store an atomic load may read, as shown to policies.
+/// Options are ordered newest-first: options[0] is the coherence-newest
+/// store — the value sequential consistency would deliver — and higher
+/// indices are progressively staler stores still admitted by the runtime's
+/// happens-before / coherence filter.
+struct StoreOption {
+  ThreadId storer = kNoThread;  ///< thread that performed the store
+  std::uint64_t value = 0;      ///< stored value (raw 64-bit image)
+  std::uint64_t stamp = 0;      ///< storer-local timestamp of the store
+};
+
+/// Context handed to a policy at a store-choice point: an atomic load whose
+/// observable-store set has more than one element under the weak-memory
+/// runtime.  Loads with a singleton set never consult the policy, so SC-only
+/// programs see no store-choice points at all.
+struct StorePickContext {
+  ObjectId object = kNoObject;  ///< the atomic object being loaded
+  ThreadId thread = kNoThread;  ///< the loading thread
+  /// Observable stores, newest first; always size() >= 2 when a policy is
+  /// consulted.
+  std::span<const StoreOption> options;
+  /// Scheduling decisions taken so far in this run (ThreadPicks and
+  /// StorePicks combined).
+  std::uint64_t step = 0;
+};
+
 class SchedulePolicy {
  public:
   virtual ~SchedulePolicy() = default;
@@ -131,6 +171,14 @@ class SchedulePolicy {
   /// Returns the thread whose pending operation executes next; must be a
   /// member of ctx.enabled.
   virtual ThreadId pick(const PickContext& ctx) = 0;
+  /// Returns the index into ctx.options of the store the pending atomic
+  /// load observes.  The default — index 0, the coherence-newest store — is
+  /// exactly sequentially-consistent behaviour, so policies that predate the
+  /// weak-memory runtime remain correct (and deterministic) unchanged.
+  virtual std::uint32_t pickStore(const StorePickContext& ctx) {
+    (void)ctx;
+    return 0;
+  }
   virtual void onRunEnd() {}
 };
 
@@ -152,6 +200,8 @@ class RandomPolicy final : public SchedulePolicy {
       : switchProb_(switchProbability) {}
   void onRunStart(std::uint64_t seed) override { rng_ = Rng(seed); }
   ThreadId pick(const PickContext& ctx) override;
+  /// Uniform draw over the observable stores (weak-memory choice points).
+  std::uint32_t pickStore(const StorePickContext& ctx) override;
 
  private:
   double switchProb_;
@@ -181,6 +231,8 @@ class PriorityPolicy final : public SchedulePolicy {
       : changePoints_(changePoints), fixedWindow_(expectedSteps) {}
   void onRunStart(std::uint64_t seed) override;
   ThreadId pick(const PickContext& ctx) override;
+  /// Uniform draw over the observable stores (weak-memory choice points).
+  std::uint32_t pickStore(const StorePickContext& ctx) override;
   void onRunEnd() override;
 
   /// Current run-length estimate k (the next run's draw window).
@@ -215,6 +267,8 @@ class POSPolicy final : public SchedulePolicy {
  public:
   void onRunStart(std::uint64_t seed) override;
   ThreadId pick(const PickContext& ctx) override;
+  /// Uniform draw over the observable stores (weak-memory choice points).
+  std::uint32_t pickStore(const StorePickContext& ctx) override;
 
  private:
   std::uint64_t freshPriority();
@@ -223,40 +277,85 @@ class POSPolicy final : public SchedulePolicy {
   std::vector<PendingOpInfo> assignedFor_;   // op the priority was drawn for
 };
 
-/// The recorded decision sequence of one run.  Decisions are thread ids; the
-/// controlled runtime is deterministic given the same program and sequence,
-/// so this is a complete schedule representation ("scenario" in the paper's
-/// state-space-exploration terminology).
-struct Schedule {
-  std::vector<ThreadId> decisions;
-  bool empty() const { return decisions.empty(); }
-  std::size_t size() const { return decisions.size(); }
+/// One recorded scheduling decision — the tagged unit of the Decision API.
+///
+/// ThreadPick carries the ThreadId whose pending operation executed;
+/// StorePick carries the index into the observable-store set (newest first,
+/// so 0 means "the SC value") an atomic load observed.  The controlled
+/// runtime is deterministic given the same program and decision sequence, so
+/// a vector of these is a complete schedule representation ("scenario" in
+/// the paper's state-space-exploration terminology).
+struct Decision {
+  enum class Kind : std::uint8_t { ThreadPick, StorePick };
+  Kind kind = Kind::ThreadPick;
+  /// ThreadId for ThreadPick; observable-store index (0 = newest) for
+  /// StorePick.
+  std::uint32_t value = kNoThread;
+
+  static constexpr Decision thread(ThreadId t) {
+    return Decision{Kind::ThreadPick, t};
+  }
+  static constexpr Decision store(std::uint32_t age) {
+    return Decision{Kind::StorePick, age};
+  }
+  constexpr bool isThread() const { return kind == Kind::ThreadPick; }
+  constexpr bool isStore() const { return kind == Kind::StorePick; }
+
+  friend constexpr bool operator==(const Decision&, const Decision&) = default;
 };
 
-/// Decorator: forwards to an inner policy and records every decision.
+/// The recorded decision sequence of one run.
+struct Schedule {
+  std::vector<Decision> decisions;
+  bool empty() const { return decisions.empty(); }
+  std::size_t size() const { return decisions.size(); }
+
+  /// True when every decision is a ThreadPick — an SC-only schedule, which
+  /// serializes in the pre-weak-memory scenario format byte-identically.
+  bool threadPicksOnly() const;
+  /// Thread ids of the ThreadPick decisions in order (StorePicks skipped).
+  std::vector<ThreadId> threadPicks() const;
+  /// Builds an SC-only schedule from bare thread ids.
+  static Schedule fromThreads(const std::vector<ThreadId>& ids);
+};
+
+/// Decorator: forwards to an inner policy and records every decision (thread
+/// picks and store picks, interleaved in the order the runtime asked).
 class RecordingPolicy final : public SchedulePolicy {
  public:
   explicit RecordingPolicy(std::unique_ptr<SchedulePolicy> inner)
       : inner_(std::move(inner)) {}
   void onRunStart(std::uint64_t seed) override;
   ThreadId pick(const PickContext& ctx) override;
+  std::uint32_t pickStore(const StorePickContext& ctx) override;
   void onRunEnd() override { inner_->onRunEnd(); }
   const Schedule& schedule() const { return schedule_; }
+
+  /// Pre-Decision-API accessor: the recorded thread picks as a bare id
+  /// vector.  Superseded by schedule().decisions, which also carries the
+  /// weak-memory StorePick decisions this projection silently drops.
+  [[deprecated("use schedule().decisions (tagged Decision API)")]]
+  std::vector<ThreadId> decisionThreads() const {
+    return schedule_.threadPicks();
+  }
 
  private:
   std::unique_ptr<SchedulePolicy> inner_;
   Schedule schedule_;
 };
 
-/// Replays a recorded schedule.  If the recorded thread is not enabled at
-/// some step, or the schedule is exhausted while the run continues, the
-/// policy marks divergence and falls back to round-robin so the run still
-/// terminates.
+/// Replays a recorded schedule.  If the recorded decision does not fit the
+/// choice point the runtime presents — the thread is not enabled, the
+/// decision kinds misalign (a ThreadPick where the runtime asks for a store,
+/// or vice versa), a StorePick index is out of range, or the schedule is
+/// exhausted while the run continues — the policy marks divergence and falls
+/// back to round-robin / observe-newest so the run still terminates.
 class ReplayPolicy final : public SchedulePolicy {
  public:
   explicit ReplayPolicy(Schedule schedule) : schedule_(std::move(schedule)) {}
   void onRunStart(std::uint64_t seed) override;
   ThreadId pick(const PickContext& ctx) override;
+  std::uint32_t pickStore(const StorePickContext& ctx) override;
   bool diverged() const { return diverged_; }
   /// Step at which divergence occurred (meaningful only when diverged()).
   std::uint64_t divergenceStep() const { return divergenceStep_; }
@@ -277,6 +376,9 @@ class PolicyRef final : public SchedulePolicy {
   explicit PolicyRef(SchedulePolicy& p) : p_(&p) {}
   void onRunStart(std::uint64_t seed) override { p_->onRunStart(seed); }
   ThreadId pick(const PickContext& ctx) override { return p_->pick(ctx); }
+  std::uint32_t pickStore(const StorePickContext& ctx) override {
+    return p_->pickStore(ctx);
+  }
   void onRunEnd() override { p_->onRunEnd(); }
 
  private:

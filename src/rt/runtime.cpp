@@ -14,6 +14,7 @@ std::string_view to_string(ObjectKind k) {
     case ObjectKind::Variable: return "variable";
     case ObjectKind::Thread: return "thread";
     case ObjectKind::TaskQueue: return "taskqueue";
+    case ObjectKind::Atomic: return "atomic";
   }
   return "?";
 }

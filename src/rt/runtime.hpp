@@ -50,6 +50,7 @@ enum class ObjectKind : std::uint8_t {
   Variable,
   Thread,
   TaskQueue,  ///< an mtt::evloop::EventLoop's ready queue
+  Atomic,     ///< an mtt::mem::Atomic<T> cell
 };
 
 std::string_view to_string(ObjectKind k);
@@ -77,6 +78,13 @@ struct RunOptions {
   /// Collect per-listener dispatch time attribution into
   /// RunResult::dispatch (two clock reads per delivery; off by default).
   bool dispatchTiming = false;
+  /// Weak-memory control: treat every mtt::mem::Atomic operation as if it
+  /// carried std::memory_order_seq_cst.  Under the controlled store-buffer
+  /// runtime this collapses every observable-store set to the newest store,
+  /// so no StorePick choice points occur and the run is exactly the SC
+  /// execution of the same schedule — the "does the bug need weak memory?"
+  /// control knob (`mtt hunt --seq-cst`).
+  bool forceSeqCst = false;
 };
 
 /// Why a run ended.  The first four are produced by the runtimes themselves;
@@ -143,6 +151,9 @@ struct MutexState {
   // Controlled mode (scheduler lock protects).
   ThreadId owner = kNoThread;
   std::uint32_t depth = 0;
+  // Weak-memory bookkeeping: join of every releaser's vector clock, so the
+  // store-buffer runtime sees lock-protected publication as happens-before.
+  std::vector<std::uint64_t> relClock;
 };
 
 struct CondState {
@@ -160,6 +171,10 @@ struct RwState {
   // Controlled mode (scheduler lock protects).
   ThreadId writer = kNoThread;
   std::uint32_t readers = 0;
+  // Weak-memory bookkeeping: writer releases publish to relClockW, reader
+  // releases to relClockR; writers acquire both, readers acquire relClockW.
+  std::vector<std::uint64_t> relClockW;
+  std::vector<std::uint64_t> relClockR;
 };
 
 struct SemState {
@@ -170,6 +185,8 @@ struct SemState {
   // Native mode.
   std::mutex nm;
   std::condition_variable ncv;
+  // Controlled mode, weak-memory bookkeeping (scheduler lock protects).
+  std::vector<std::uint64_t> relClock;
 };
 
 struct BarrierState {
@@ -180,6 +197,60 @@ struct BarrierState {
   // Native mode.
   std::mutex nm;
   std::condition_variable ncv;
+  // Controlled mode, weak-memory bookkeeping (scheduler lock protects):
+  // join of every arriver's vector clock this generation.
+  std::vector<std::uint64_t> clock;
+};
+
+/// State block of one mtt::mem::Atomic<T> cell.  The wrapper owns it and
+/// funnels every operation through Runtime::atomic*(); values travel as raw
+/// 64-bit images (the wrapper memcpys T in and out).
+struct AtomicState {
+  ObjectId id = kNoObject;
+  /// Initial value; seeds the store history in controlled mode.
+  std::uint64_t init = 0;
+  // Native mode: the real cell, operated on with the caller's memory order.
+  std::atomic<std::uint64_t> native{0};
+  // Controlled mode (scheduler lock protects): the coherence-newest value.
+  // The per-location store *history* — what weak loads may still observe —
+  // lives inside ControlledRuntime, keyed by id.
+  std::uint64_t value = 0;
+};
+
+/// Read-modify-write flavours of mtt::mem::Atomic.  Every RMW reads the
+/// coherence-newest store (atomicity), so RMWs are never StorePick choice
+/// points.
+enum class RmwOp : std::uint8_t {
+  Exchange,         ///< unconditionally store the operand, return the old value
+  FetchAdd,         ///< store old + operand, return the old value
+  CompareExchange,  ///< store the operand iff old == expected
+};
+
+/// Packing of the `Event::arg` payload of the EventMask::atomics() kinds:
+/// bits 0-2 the std::memory_order the program wrote, bit 3 a per-kind flag
+/// (load: the observation is synchronized — the store's release clock was
+/// acquired, or the store already happens-before the loader; store: the
+/// store has release semantics; RMW: the compare-exchange succeeded), bits 4-11
+/// the observable-store index the load picked (0 = coherence-newest, i.e.
+/// the SC value), bits 12-31 the storing thread observed by a load/RMW.
+struct AtomicArg {
+  static constexpr std::uint32_t pack(std::memory_order mo, bool flag,
+                                      std::uint32_t age, ThreadId storer) {
+    return (static_cast<std::uint32_t>(mo) & 0x7u) |
+           (flag ? 0x8u : 0u) |
+           ((age > 0xffu ? 0xffu : age) << 4) |
+           ((storer & 0xfffffu) << 12);
+  }
+  static constexpr std::memory_order order(std::uint32_t arg) {
+    return static_cast<std::memory_order>(arg & 0x7u);
+  }
+  static constexpr bool flag(std::uint32_t arg) { return (arg & 0x8u) != 0; }
+  static constexpr std::uint32_t age(std::uint32_t arg) {
+    return (arg >> 4) & 0xffu;
+  }
+  static constexpr ThreadId storer(std::uint32_t arg) {
+    return static_cast<ThreadId>(arg >> 12);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -288,6 +359,27 @@ class Runtime {
   /// emits inline, so noise makers can jitter callback dispatch.
   virtual void evloopPoint(EventKind kind, ObjectId obj, Site s,
                            std::uint32_t arg = 0) = 0;
+
+  // --- instrumented atomics (called by mem/atomic.hpp) --------------------
+  /// Atomic load with the given memory order; returns the observed value.
+  /// Controlled mode computes the observable-store set and may consult the
+  /// schedule policy (a StorePick choice point); native mode performs the
+  /// real std::atomic load.
+  virtual std::uint64_t atomicLoad(AtomicState& a, std::memory_order mo,
+                                   Site s) = 0;
+  /// Atomic store with the given memory order.
+  virtual void atomicStore(AtomicState& a, std::uint64_t v,
+                           std::memory_order mo, Site s) = 0;
+  /// Read-modify-write: returns the value read (the coherence-newest store).
+  /// For CompareExchange, `expected` is the comparand and `*ok` (when
+  /// non-null) receives whether the store happened; other flavours always
+  /// store and set *ok = true.
+  virtual std::uint64_t atomicRmw(AtomicState& a, RmwOp op,
+                                  std::uint64_t operand,
+                                  std::uint64_t expected, std::memory_order mo,
+                                  Site s, bool* ok = nullptr) = 0;
+  /// Standalone memory fence with the given order.
+  virtual void atomicFence(std::memory_order mo, Site s) = 0;
 
  protected:
   Runtime() = default;

@@ -1,0 +1,346 @@
+// Weak-memory benchmark programs (tag "atomics"): bugs that NO sequentially
+// consistent interleaving can manifest.  Each buggy program uses relaxed
+// atomics whose reorderings are legal under the store-buffer memory model;
+// the controlled runtime turns every weakly-ordered load into a StorePick
+// choice point, so hunting/exploring/shrinking find these bugs with the
+// same policy arsenal that finds interleaving bugs.  The `_fixed` controls
+// add exactly the ordering the bug is missing (seq_cst, or release/acquire
+// where that suffices) and must stay clean under every schedule AND every
+// store pick.
+//
+// All spin loops are bounded: a reader that never observes the flag records
+// a neutral outcome and passes, so the programs terminate under any policy
+// (round-robin runs a spinning thread to its bound before switching).
+#include "mem/atomic.hpp"
+#include "suite/program.hpp"
+#include "suite/register_parts.hpp"
+
+namespace mtt::suite {
+namespace {
+
+using mem::Atomic;
+using rt::Runtime;
+using rt::Thread;
+
+constexpr int kSpinBound = 24;
+
+// ---------------------------------------------------------------------------
+// mp_reorder: the canonical message-passing reordering.  The writer
+// publishes data then raises a flag, both relaxed; the reader that sees the
+// flag may still observe the *initial* data value, because nothing orders
+// the two stores for it.
+// ---------------------------------------------------------------------------
+class MpReorder : public Program {
+ public:
+  std::string name() const override { return "mp_reorder"; }
+  std::string description() const override {
+    return "message passing with relaxed data and flag; the reader can see "
+           "the flag yet read stale data (needs weak memory; no SC schedule "
+           "manifests it)";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"mp_reorder.stale-data", BugKind::OrderViolation,
+                    "data and flag stores are both relaxed, so observing "
+                    "flag=1 does not make data=1 visible; the reader can "
+                    "load the initial 0",
+                    {"mp_reorder.data.store", "mp_reorder.data.load"}}};
+  }
+
+  void body(Runtime& rt) override {
+    Atomic<int> data(rt, "data", 0);
+    Atomic<int> flag(rt, "flag", 0);
+    Thread writer(rt, "writer", [&] {
+      data.store(1, dataOrder(), site("mp_reorder.data.store", BugMark::Yes));
+      flag.store(1, flagOrder(), site("mp_reorder.flag.store"));
+    });
+    int seen = -1;
+    Thread reader(rt, "reader", [&] {
+      for (int i = 0; i < kSpinBound; ++i) {
+        if (flag.load(flagOrder(), site("mp_reorder.flag.load")) == 1) {
+          seen = data.load(dataOrder(),
+                           site("mp_reorder.data.load", BugMark::Yes));
+          return;
+        }
+      }
+    });
+    writer.join();
+    reader.join();
+    if (seen < 0) {
+      setOutcome("flag-unseen");
+    } else {
+      setOutcome("data=" + std::to_string(seen));
+      rt.check(seen == 1, "mp_reorder: flag observed but data is stale");
+    }
+  }
+
+ protected:
+  virtual std::memory_order dataOrder() const {
+    return std::memory_order_relaxed;
+  }
+  virtual std::memory_order flagOrder() const {
+    return std::memory_order_relaxed;
+  }
+};
+
+class MpReorderFixed final : public MpReorder {
+ public:
+  std::string name() const override { return "mp_reorder_fixed"; }
+  std::string description() const override {
+    return "message passing with seq_cst data and flag (control: stale "
+           "reads impossible)";
+  }
+  std::vector<BugInfo> bugs() const override { return {}; }
+
+ protected:
+  std::memory_order dataOrder() const override {
+    return std::memory_order_seq_cst;
+  }
+  std::memory_order flagOrder() const override {
+    return std::memory_order_seq_cst;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// flag_publish: one-shot publication.  Like mp_reorder but the reader
+// checks the flag exactly once — the minimal weak-memory bug (two stores,
+// two loads, no loops).  Fixed with release/acquire alone: the acquire
+// load that observes the release store pulls the data store into the
+// reader's happens-before, no seq_cst needed.
+// ---------------------------------------------------------------------------
+class FlagPublish : public Program {
+ public:
+  std::string name() const override { return "flag_publish"; }
+  std::string description() const override {
+    return "one-shot relaxed publication; a reader that sees ready=1 can "
+           "still read the unpublished payload";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"flag_publish.unpublished", BugKind::OrderViolation,
+                    "payload store and ready store are relaxed; ready=1 "
+                    "does not order the payload for the reader",
+                    {"flag_publish.payload.store", "flag_publish.payload.load"}}};
+  }
+
+  void body(Runtime& rt) override {
+    Atomic<int> payload(rt, "payload", 0);
+    Atomic<int> ready(rt, "ready", 0);
+    Thread pub(rt, "publisher", [&] {
+      payload.store(42, std::memory_order_relaxed,
+                    site("flag_publish.payload.store", BugMark::Yes));
+      ready.store(1, storeOrder(), site("flag_publish.ready.store"));
+    });
+    int got = -1;
+    Thread sub(rt, "subscriber", [&] {
+      if (ready.load(loadOrder(), site("flag_publish.ready.load")) == 1) {
+        got = payload.load(std::memory_order_relaxed,
+                           site("flag_publish.payload.load", BugMark::Yes));
+      }
+    });
+    pub.join();
+    sub.join();
+    if (got < 0) {
+      setOutcome("not-ready");
+    } else {
+      setOutcome("payload=" + std::to_string(got));
+      rt.check(got == 42, "flag_publish: ready observed but payload is 0");
+    }
+  }
+
+ protected:
+  virtual std::memory_order storeOrder() const {
+    return std::memory_order_relaxed;
+  }
+  virtual std::memory_order loadOrder() const {
+    return std::memory_order_relaxed;
+  }
+};
+
+class FlagPublishFixed final : public FlagPublish {
+ public:
+  std::string name() const override { return "flag_publish_fixed"; }
+  std::string description() const override {
+    return "one-shot publication with release store / acquire load "
+           "(control: acquire-of-release makes the payload visible)";
+  }
+  std::vector<BugInfo> bugs() const override { return {}; }
+
+ protected:
+  std::memory_order storeOrder() const override {
+    return std::memory_order_release;
+  }
+  std::memory_order loadOrder() const override {
+    return std::memory_order_acquire;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// seqlock_torn_read: a relaxed seqlock.  The writer bumps the sequence to
+// odd, writes both halves, bumps back to even; the reader validates with
+// seq-before == seq-after.  With relaxed orders the validation proves
+// nothing — both seq loads can observe stale values, accepting a torn pair.
+// Note the acq/rel version is NOT a fix under this model (the second seq
+// load could still observe the stale 0), so the control is seq_cst.
+// ---------------------------------------------------------------------------
+class SeqlockTornRead : public Program {
+ public:
+  std::string name() const override { return "seqlock_torn_read"; }
+  std::string description() const override {
+    return "seqlock with relaxed seq and data; the reader's seq validation "
+           "accepts a torn read of the two data halves";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"seqlock_torn_read.torn", BugKind::AtomicityViolation,
+                    "relaxed seq loads can both observe stale values, so "
+                    "seq1==seq2 no longer implies the data halves are from "
+                    "one writer generation",
+                    {"seqlock_torn_read.d1.load", "seqlock_torn_read.d2.load"}}};
+  }
+
+  void body(Runtime& rt) override {
+    Atomic<unsigned> seq(rt, "seq", 0);
+    Atomic<int> d1(rt, "d1", 0);
+    Atomic<int> d2(rt, "d2", 0);
+    const std::memory_order mo = order();
+    Thread writer(rt, "writer", [&] {
+      seq.store(1, mo, site("seqlock_torn_read.seq.odd"));
+      d1.store(1, mo, site("seqlock_torn_read.d1.store"));
+      d2.store(1, mo, site("seqlock_torn_read.d2.store"));
+      seq.store(2, mo, site("seqlock_torn_read.seq.even"));
+    });
+    int a = -1, b = -1;
+    bool accepted = false;
+    Thread reader(rt, "reader", [&] {
+      for (int i = 0; i < 4 && !accepted; ++i) {
+        const unsigned s1 = seq.load(mo, site("seqlock_torn_read.s1"));
+        if ((s1 & 1u) != 0) continue;  // writer mid-flight; retry
+        const int v1 =
+            d1.load(mo, site("seqlock_torn_read.d1.load", BugMark::Yes));
+        const int v2 =
+            d2.load(mo, site("seqlock_torn_read.d2.load", BugMark::Yes));
+        const unsigned s2 = seq.load(mo, site("seqlock_torn_read.s2"));
+        if (s1 == s2) {
+          a = v1;
+          b = v2;
+          accepted = true;
+        }
+      }
+    });
+    writer.join();
+    reader.join();
+    if (!accepted) {
+      setOutcome("no-stable-read");
+    } else {
+      setOutcome("d1=" + std::to_string(a) + ",d2=" + std::to_string(b));
+      rt.check(a == b, "seqlock_torn_read: validated read is torn");
+    }
+  }
+
+ protected:
+  virtual std::memory_order order() const {
+    return std::memory_order_relaxed;
+  }
+};
+
+class SeqlockTornReadFixed final : public SeqlockTornRead {
+ public:
+  std::string name() const override { return "seqlock_torn_read_fixed"; }
+  std::string description() const override {
+    return "seqlock with seq_cst seq and data (control: validation is "
+           "sound, torn reads impossible)";
+  }
+  std::vector<BugInfo> bugs() const override { return {}; }
+
+ protected:
+  std::memory_order order() const override {
+    return std::memory_order_seq_cst;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// iriw: independent reads of independent writes.  Two writers store to x
+// and y; two readers read the pair in opposite orders.  Relaxed atomics
+// let the readers disagree on the store order (a=1,b=0 and c=1,d=0); under
+// any single interleaving that outcome is a cycle, so the bug needs the
+// weak model.
+// ---------------------------------------------------------------------------
+class Iriw : public Program {
+ public:
+  std::string name() const override { return "iriw"; }
+  std::string description() const override {
+    return "independent reads of independent writes with relaxed atomics; "
+           "the two readers observe the writes in opposite orders";
+  }
+  std::vector<BugInfo> bugs() const override {
+    return {BugInfo{"iriw.no-total-order", BugKind::OrderViolation,
+                    "relaxed loads have no single total store order; reader "
+                    "1 sees x before y while reader 2 sees y before x",
+                    {"iriw.r1.y", "iriw.r2.x"}}};
+  }
+
+  void body(Runtime& rt) override {
+    Atomic<int> x(rt, "x", 0);
+    Atomic<int> y(rt, "y", 0);
+    const std::memory_order mo = order();
+    Thread w1(rt, "w1", [&] { x.store(1, mo, site("iriw.w1.x")); });
+    Thread w2(rt, "w2", [&] { y.store(1, mo, site("iriw.w2.y")); });
+    int a = 0, b = 0, c = 0, d = 0;
+    Thread r1(rt, "r1", [&] {
+      a = x.load(mo, site("iriw.r1.x"));
+      b = y.load(mo, site("iriw.r1.y", BugMark::Yes));
+    });
+    Thread r2(rt, "r2", [&] {
+      c = y.load(mo, site("iriw.r2.y"));
+      d = x.load(mo, site("iriw.r2.x", BugMark::Yes));
+    });
+    w1.join();
+    w2.join();
+    r1.join();
+    r2.join();
+    setOutcome("a=" + std::to_string(a) + ",b=" + std::to_string(b) +
+               ",c=" + std::to_string(c) + ",d=" + std::to_string(d));
+    rt.check(!(a == 1 && b == 0 && c == 1 && d == 0),
+             "iriw: readers disagree on the order of the two writes");
+  }
+
+ protected:
+  virtual std::memory_order order() const {
+    return std::memory_order_relaxed;
+  }
+};
+
+class IriwFixed final : public Iriw {
+ public:
+  std::string name() const override { return "iriw_fixed"; }
+  std::string description() const override {
+    return "independent reads of independent writes with seq_cst atomics "
+           "(control: the single total order forbids disagreement)";
+  }
+  std::vector<BugInfo> bugs() const override { return {}; }
+
+ protected:
+  std::memory_order order() const override {
+    return std::memory_order_seq_cst;
+  }
+};
+
+}  // namespace
+
+void registerMemPrograms() {
+  auto& reg = ProgramRegistry::instance();
+  const std::vector<std::string> tags{"atomics"};
+  reg.add("mp_reorder", [] { return std::make_unique<MpReorder>(); }, tags);
+  reg.add("mp_reorder_fixed",
+          [] { return std::make_unique<MpReorderFixed>(); }, tags);
+  reg.add("flag_publish", [] { return std::make_unique<FlagPublish>(); },
+          tags);
+  reg.add("flag_publish_fixed",
+          [] { return std::make_unique<FlagPublishFixed>(); }, tags);
+  reg.add("seqlock_torn_read",
+          [] { return std::make_unique<SeqlockTornRead>(); }, tags);
+  reg.add("seqlock_torn_read_fixed",
+          [] { return std::make_unique<SeqlockTornReadFixed>(); }, tags);
+  reg.add("iriw", [] { return std::make_unique<Iriw>(); }, tags);
+  reg.add("iriw_fixed", [] { return std::make_unique<IriwFixed>(); }, tags);
+}
+
+}  // namespace mtt::suite

@@ -67,6 +67,7 @@ void registerBuiltins() {
     registerRwlockPrograms();
     registerServerPrograms();
     registerEvloopPrograms();
+    registerMemPrograms();
     registerMiscPrograms();
     registerCrashPrograms();
   });

@@ -9,6 +9,7 @@ void registerDeadlockPrograms();
 void registerRwlockPrograms();
 void registerServerPrograms();
 void registerEvloopPrograms();
+void registerMemPrograms();
 void registerMiscPrograms();
 void registerCrashPrograms();
 

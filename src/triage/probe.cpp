@@ -23,7 +23,7 @@ namespace {
 /// the next current schedule.
 class CandidatePolicy final : public rt::SchedulePolicy {
  public:
-  explicit CandidatePolicy(std::vector<ThreadId> decisions)
+  explicit CandidatePolicy(std::vector<rt::Decision> decisions)
       : decisions_(std::move(decisions)) {}
 
   void onRunStart(std::uint64_t seed) override {
@@ -35,7 +35,14 @@ class CandidatePolicy final : public rt::SchedulePolicy {
 
   ThreadId pick(const rt::PickContext& ctx) override {
     while (next_ < decisions_.size()) {
-      ThreadId want = decisions_[next_++];
+      rt::Decision d = decisions_[next_++];
+      if (!d.isThread()) {
+        // A store pick where the run wants a thread: the edit misaligned
+        // the vectors — drop it and keep the thread picks flowing.
+        ++skips_;
+        continue;
+      }
+      auto want = static_cast<ThreadId>(d.value);
       if (std::find(ctx.enabled.begin(), ctx.enabled.end(), want) !=
           ctx.enabled.end()) {
         return want;
@@ -46,11 +53,25 @@ class CandidatePolicy final : public rt::SchedulePolicy {
     return fallback_.pick(ctx);
   }
 
+  std::uint32_t pickStore(const rt::StorePickContext& ctx) override {
+    if (next_ < decisions_.size() && decisions_[next_].isStore()) {
+      std::uint32_t age = decisions_[next_++].value;
+      if (age < ctx.options.size()) return age;
+      ++skips_;
+      return 0;
+    }
+    // The vector expects a thread pick (or is exhausted) at this store
+    // choice point: repair by observing the coherence-newest store without
+    // consuming, so the thread picks stay aligned.
+    ++skips_;
+    return 0;
+  }
+
   /// No decision was skipped and the round-robin tail never ran.
   bool exact() const { return skips_ == 0 && tailPicks_ == 0; }
 
  private:
-  std::vector<ThreadId> decisions_;
+  std::vector<rt::Decision> decisions_;
   std::size_t next_ = 0;
   std::uint64_t skips_ = 0;
   std::uint64_t tailPicks_ = 0;
@@ -125,27 +146,34 @@ ProbeResult probeExact(const std::string& program, const rt::Schedule& s,
 }
 
 ProbeResult probeCandidate(const std::string& program,
-                           const std::vector<ThreadId>& decisions,
+                           const std::vector<rt::Decision>& decisions,
                            const ReplayToolConfig& cfg) {
   CandidatePolicy cand(decisions);
   return executeProbe(program, cand, cfg, [&cand] { return cand.exact(); });
 }
 
-std::size_t countPreemptions(const std::vector<ThreadId>& decisions) {
-  if (decisions.size() < 2) return 0;
+std::size_t countPreemptions(const std::vector<rt::Decision>& decisions) {
+  // Store picks are transparent: they belong to the thread scheduled just
+  // before them, so the switch structure lives in the thread picks alone.
+  std::vector<ThreadId> threads;
+  threads.reserve(decisions.size());
+  for (const rt::Decision& d : decisions) {
+    if (d.isThread()) threads.push_back(static_cast<ThreadId>(d.value));
+  }
+  if (threads.size() < 2) return 0;
   // lastAt[t] = last index where thread t is scheduled.
   std::vector<std::size_t> lastAt;
   auto noteLast = [&lastAt](ThreadId t, std::size_t i) {
     if (t >= lastAt.size()) lastAt.resize(t + 1, 0);
     lastAt[t] = i;
   };
-  for (std::size_t i = 0; i < decisions.size(); ++i) {
-    noteLast(decisions[i], i);
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    noteLast(threads[i], i);
   }
   std::size_t preemptions = 0;
-  for (std::size_t i = 1; i < decisions.size(); ++i) {
-    ThreadId prev = decisions[i - 1];
-    if (decisions[i] != prev && lastAt[prev] >= i) ++preemptions;
+  for (std::size_t i = 1; i < threads.size(); ++i) {
+    ThreadId prev = threads[i - 1];
+    if (threads[i] != prev && lastAt[prev] >= i) ++preemptions;
   }
   return preemptions;
 }

@@ -62,13 +62,17 @@ ProbeResult probeExact(const std::string& program, const rt::Schedule& s,
                        const ReplayToolConfig& cfg);
 
 /// Best-effort execution of an edited decision vector (see file comment).
+/// StorePick decisions are consumed at store choice points; an edit that
+/// misaligned them is repaired by observing the coherence-newest store.
 ProbeResult probeCandidate(const std::string& program,
-                           const std::vector<ThreadId>& decisions,
+                           const std::vector<rt::Decision>& decisions,
                            const ReplayToolConfig& cfg);
 
 /// Offline preemption estimate for a decision vector: context switches away
 /// from a thread that is scheduled again later (a switch away from a thread
-/// that never runs again is it finishing, not a preemption).
-std::size_t countPreemptions(const std::vector<ThreadId>& decisions);
+/// that never runs again is it finishing, not a preemption).  StorePick
+/// decisions are transparent — they belong to the thread scheduled before
+/// them and never count as switches.
+std::size_t countPreemptions(const std::vector<rt::Decision>& decisions);
 
 }  // namespace mtt::triage

@@ -11,9 +11,12 @@ namespace mtt::triage {
 
 namespace {
 
-using Decisions = std::vector<ThreadId>;
+using Decisions = std::vector<rt::Decision>;
 
-/// current minus its i-th of n chunks (ddmin complement).
+/// current minus its i-th of n chunks (ddmin complement).  Chunks are cut
+/// over the raw decision vector — StorePick decisions are removable entries
+/// like any other, and probeCandidate repairs whatever misalignment a cut
+/// produces.
 Decisions dropChunk(const Decisions& current, std::size_t n, std::size_t i) {
   std::size_t len = current.size();
   std::size_t lo = i * len / n;
@@ -25,14 +28,46 @@ Decisions dropChunk(const Decisions& current, std::size_t n, std::size_t i) {
   return out;
 }
 
-/// Indices of context switches in `current` (candidate positions for the
-/// preemption-lowering pass).
-std::vector<std::size_t> switchPositions(const Decisions& current) {
-  std::vector<std::size_t> out;
-  for (std::size_t i = 1; i < current.size(); ++i) {
-    if (current[i] != current[i - 1]) out.push_back(i);
+/// Positions of context switches in `current`, paired with the thread pick
+/// that precedes them (candidates for the preemption-lowering pass).  Store
+/// picks are transparent: a switch is a thread pick whose nearest preceding
+/// thread pick names a different thread.
+struct SwitchPos {
+  std::size_t pos;    ///< index of the switching thread pick
+  ThreadId prev;      ///< thread of the nearest preceding thread pick
+};
+
+std::vector<SwitchPos> switchPositions(const Decisions& current) {
+  std::vector<SwitchPos> out;
+  bool havePrev = false;
+  ThreadId prev = 0;
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    if (!current[i].isThread()) continue;
+    auto t = static_cast<ThreadId>(current[i].value);
+    if (havePrev && t != prev) out.push_back(SwitchPos{i, prev});
+    prev = t;
+    havePrev = true;
   }
   return out;
+}
+
+/// Positions of non-default store observations (candidates for the
+/// store-lowering pass: rewriting them to 0 means "observe the
+/// coherence-newest store", the SC behaviour).
+std::vector<std::size_t> weakPickPositions(const Decisions& current) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    if (current[i].isStore() && current[i].value != 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t countWeakPicks(const Decisions& current) {
+  std::size_t n = 0;
+  for (const rt::Decision& d : current) {
+    if (d.isStore() && d.value != 0) ++n;
+  }
+  return n;
 }
 
 struct Shrinker {
@@ -89,11 +124,12 @@ struct Shrinker {
       const std::size_t curSize = snapshot.size();
       const std::size_t curPre = countPreemptions(snapshot);
       if (curPre == 0) break;
-      std::vector<std::size_t> positions = switchPositions(snapshot);
+      std::vector<SwitchPos> positions = switchPositions(snapshot);
       auto accept = [&](std::uint64_t i) {
         Decisions cand = snapshot;
-        std::size_t pos = positions[static_cast<std::size_t>(i)];
-        cand[pos] = cand[pos - 1];  // let the previous thread keep running
+        const SwitchPos& sw = positions[static_cast<std::size_t>(i)];
+        // Let the previous thread keep running.
+        cand[sw.pos] = rt::Decision::thread(sw.prev);
         ProbeResult p = probe(cand);
         return p.signature == target &&
                countPreemptions(p.recorded.decisions) < curPre &&
@@ -103,8 +139,43 @@ struct Shrinker {
           farm::scanCandidates(positions.size(), accept, opts.jobs);
       if (!scan.found) break;
       Decisions winner = snapshot;
-      std::size_t pos = positions[static_cast<std::size_t>(scan.index)];
-      winner[pos] = winner[pos - 1];
+      const SwitchPos& sw = positions[static_cast<std::size_t>(scan.index)];
+      winner[sw.pos] = rt::Decision::thread(sw.prev);
+      ProbeResult p = probe(winner);
+      current = p.recorded.decisions;
+      improvedEver = true;
+      ++rounds;
+    }
+    return improvedEver;
+  }
+
+  /// One store-lowering fixpoint: rewrite non-default store observations to
+  /// "observe the coherence-newest store" (index 0, the SC behaviour),
+  /// accepting signature-preserving candidates with strictly fewer weak
+  /// picks — minimized weak-memory witnesses keep only the stale reads the
+  /// bug actually needs.  Returns true if the weak-pick count dropped.
+  bool lowerStorePicks(Decisions& current, std::uint64_t& rounds) {
+    bool improvedEver = false;
+    while (budgetLeft()) {
+      const Decisions snapshot = current;
+      const std::size_t curSize = snapshot.size();
+      const std::size_t curWeak = countWeakPicks(snapshot);
+      if (curWeak == 0) break;
+      std::vector<std::size_t> positions = weakPickPositions(snapshot);
+      auto accept = [&](std::uint64_t i) {
+        Decisions cand = snapshot;
+        cand[positions[static_cast<std::size_t>(i)]] = rt::Decision::store(0);
+        ProbeResult p = probe(cand);
+        return p.signature == target &&
+               countWeakPicks(p.recorded.decisions) < curWeak &&
+               p.recorded.size() <= curSize;
+      };
+      farm::CandidateScan scan =
+          farm::scanCandidates(positions.size(), accept, opts.jobs);
+      if (!scan.found) break;
+      Decisions winner = snapshot;
+      winner[positions[static_cast<std::size_t>(scan.index)]] =
+          rt::Decision::store(0);
       ProbeResult p = probe(winner);
       current = p.recorded.decisions;
       improvedEver = true;
@@ -166,10 +237,12 @@ ShrinkResult shrinkScenario(const replay::Scenario& s,
     }
   }
 
-  // 3./4. Alternate ddmin and preemption lowering to a joint fixpoint.
+  // 3./4. Alternate ddmin, preemption lowering and store-pick lowering to a
+  // joint fixpoint.
   for (;;) {
     bool improved = sh.ddmin(current, res.rounds);
     improved = sh.lowerPreemptions(current, res.rounds) || improved;
+    improved = sh.lowerStorePicks(current, res.rounds) || improved;
     if (!improved || !sh.budgetLeft()) break;
   }
 

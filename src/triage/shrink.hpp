@@ -17,7 +17,10 @@
 //   4. a preemption-lowering pass: rewrite context switches to let the
 //      previous thread continue, accepting signature-preserving candidates
 //      with strictly fewer preemptions — witnesses end up "mostly
-//      sequential", which is what a human wants to read;
+//      sequential", which is what a human wants to read; a sibling
+//      store-lowering pass rewrites weak-memory StorePick decisions to
+//      "observe the coherence-newest store" (the SC behaviour), so the
+//      witness keeps only the stale reads the bug actually needs;
 //   5. final exact-replay verification of the minimized witness.
 //
 // Candidate batches are evaluated in parallel through farm::scanCandidates;

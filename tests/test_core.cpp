@@ -96,12 +96,23 @@ TEST(Event, AbstractTypeClassification) {
   EXPECT_EQ(abstract_type_of(EventKind::TimerFire), AbstractType::Task);
   EXPECT_EQ(abstract_type_of(EventKind::QueueTake), AbstractType::Task);
   EXPECT_EQ(abstract_type_of(EventKind::QueuePut), AbstractType::Task);
+  // Instrumented atomics are their own abstract type: a relaxed load is not
+  // a plain variable read (it may legally observe stale stores) and not
+  // blocking sync either.
+  EXPECT_EQ(abstract_type_of(EventKind::AtomicLoad), AbstractType::Atomic);
+  EXPECT_EQ(abstract_type_of(EventKind::AtomicStore), AbstractType::Atomic);
+  EXPECT_EQ(abstract_type_of(EventKind::AtomicRMW), AbstractType::Atomic);
+  EXPECT_EQ(abstract_type_of(EventKind::Fence), AbstractType::Atomic);
 }
 
 TEST(Event, AccessOfKinds) {
   EXPECT_EQ(access_of(EventKind::VarRead), Access::Read);
   EXPECT_EQ(access_of(EventKind::VarWrite), Access::Write);
   EXPECT_EQ(access_of(EventKind::MutexLock), Access::None);
+  EXPECT_EQ(access_of(EventKind::AtomicLoad), Access::Read);
+  EXPECT_EQ(access_of(EventKind::AtomicStore), Access::Write);
+  EXPECT_EQ(access_of(EventKind::AtomicRMW), Access::Write);
+  EXPECT_EQ(access_of(EventKind::Fence), Access::None);
 }
 
 TEST(Event, DescribeMentionsThreadAndKind) {
@@ -195,9 +206,11 @@ TEST(EventMask, CategoryHelpersMatchAbstractTypeOf) {
         << to_string(k);
     EXPECT_EQ(EventMask::evloop().contains(k), t == AbstractType::Task)
         << to_string(k);
+    EXPECT_EQ(EventMask::atomics().contains(k), t == AbstractType::Atomic)
+        << to_string(k);
   }
   EXPECT_EQ(EventMask::sync() | EventMask::variable() | EventMask::control() |
-                EventMask::evloop(),
+                EventMask::evloop() | EventMask::atomics(),
             EventMask::all());
 }
 
@@ -225,7 +238,7 @@ TEST(EventMask, SetAlgebra) {
 
 TEST(EventMask, FromBitsClampsToRealKinds) {
   // Bits above kCount must never survive: the dispatch tables index by kind.
-  EXPECT_EQ(EventMask::fromBits(~std::uint32_t{0}), EventMask::all());
+  EXPECT_EQ(EventMask::fromBits(~std::uint64_t{0}), EventMask::all());
   EXPECT_EQ(EventMask::fromBits(EventMask::sync().bits()), EventMask::sync());
 }
 

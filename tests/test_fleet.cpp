@@ -312,6 +312,58 @@ TEST(FleetEquivalence, TwoWorkerCampaignMatchesJobs1Bitwise) {
   fs::remove(sock);
 }
 
+TEST(FleetEquivalence, WeakMemoryCampaignMatchesJobs1Bitwise) {
+  // Same byte-identity claim over a weak-memory program: the schedules the
+  // workers record carry StorePick decisions, and the merged campaign must
+  // still be bit-identical to a serial --jobs 1 farm.
+  const std::string sock = tempPath("fleet-mem.sock");
+  const std::string farmJournal = tempPath("fleet-mem-farm.journal");
+  const std::string fleetJournal = tempPath("fleet-mem-fleet.journal");
+  fs::remove(farmJournal);
+  fs::remove(fleetJournal);
+
+  experiment::ExperimentSpec spec;
+  spec.programName = "mp_reorder";
+  spec.runs = 40;
+  spec.seedBase = 1;
+  spec.tool.policy = "random";  // random store picks exercise the weak model
+
+  farm::FarmOptions serial;
+  serial.jobs = 1;
+  serial.scrubTiming = true;
+  serial.journalPath = farmJournal;
+  farm::ExperimentCampaign baseline = farm::runExperimentFarm(spec, serial);
+
+  FleetOptions fl;
+  fl.listen = "unix:" + sock;
+  fl.leaseSize = 7;
+  fl.farm.scrubTiming = true;
+  fl.farm.journalPath = fleetJournal;
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2; ++i) {
+    workers.emplace_back([&sock] {
+      WorkerOptions wo;
+      wo.connect = "unix:" + sock;
+      runWorker(wo);
+    });
+  }
+  farm::ExperimentCampaign fleetRun = runExperimentFleet(spec, fl);
+  for (auto& w : workers) w.join();
+
+  // The weak bug actually manifested somewhere in the campaign (otherwise
+  // this equivalence test would be vacuous).
+  EXPECT_GT(baseline.result.manifested.successes, 0u);
+
+  const std::string a = readFile(farmJournal);
+  const std::string b = readFile(fleetJournal);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  fs::remove(farmJournal);
+  fs::remove(fleetJournal);
+  fs::remove(sock);
+}
+
 TEST(FleetEquivalence, GuidedCampaignMatchesInProcessGuide) {
   const std::string sock = tempPath("fleet-guide.sock");
 

@@ -92,8 +92,8 @@ TEST(UnseenMass, SingletonsRaiseRepeatsLowerTheEstimate) {
 // --- schedule mutation -----------------------------------------------------
 
 TEST(MutatedReplay, PrefixLengthIsAPureFunctionOfTheSeed) {
-  auto witness = std::make_shared<rt::Schedule>();
-  witness->decisions = {0, 1, 0, 1, 1, 0, 0, 1};
+  auto witness = std::make_shared<rt::Schedule>(
+      rt::Schedule::fromThreads({0, 1, 0, 1, 1, 0, 0, 1}));
   MutatedReplayPolicy a(witness), b(witness);
   for (std::uint64_t seed = 0; seed < 32; ++seed) {
     a.onRunStart(seed);
@@ -105,7 +105,7 @@ TEST(MutatedReplay, PrefixLengthIsAPureFunctionOfTheSeed) {
 
 TEST(MutatedReplay, SeedsSpreadAcrossPrefixLengths) {
   auto witness = std::make_shared<rt::Schedule>();
-  witness->decisions.assign(16, 0);
+  witness->decisions.assign(16, rt::Decision::thread(0));
   MutatedReplayPolicy p(witness);
   std::set<std::size_t> lengths;
   for (std::uint64_t seed = 0; seed < 64; ++seed) {
@@ -118,8 +118,8 @@ TEST(MutatedReplay, SeedsSpreadAcrossPrefixLengths) {
 }
 
 TEST(MutatedReplay, ReplaysWitnessThenAbandonsOnDivergence) {
-  auto witness = std::make_shared<rt::Schedule>();
-  witness->decisions = {2, 2, 2, 2};
+  auto witness = std::make_shared<rt::Schedule>(
+      rt::Schedule::fromThreads({2, 2, 2, 2}));
   MutatedReplayPolicy p(witness);
   // Find a seed with a non-empty prefix.
   std::uint64_t seed = 0;

@@ -48,8 +48,7 @@ void racyBody(Runtime& rt) {
 }
 
 TEST(ScheduleFile, SaveLoadRoundTrip) {
-  rt::Schedule s;
-  s.decisions = {1, 2, 2, 1, 3, 1};
+  rt::Schedule s = rt::Schedule::fromThreads({1, 2, 2, 1, 3, 1});
   std::string path = "/tmp/mtt_test_sched.txt";
   saveSchedule(s, path);
   rt::Schedule back = loadSchedule(path);

@@ -249,8 +249,7 @@ TEST(Controlled, RecordedScheduleReplaysExactly) {
 }
 
 TEST(Controlled, ReplayOfForeignScheduleDiverges) {
-  Schedule bogus;
-  bogus.decisions = {kMainThread};  // far too short for the real run
+  Schedule bogus = Schedule::fromThreads({kMainThread});  // far too short
   ReplayPolicy rep(bogus);
   RunResult r = runOnce(RuntimeMode::Controlled, racyIncrementBody, seeded(0),
                         {}, std::make_unique<PolicyRef>(rep));
@@ -888,13 +887,12 @@ TEST(Policy, RecordingCapturesDecisions) {
   ctx.currentYielding = true;
   rec.pick(ctx);
   EXPECT_EQ(rec.schedule().size(), 2u);
-  EXPECT_EQ(rec.schedule().decisions[0], 1u);
-  EXPECT_EQ(rec.schedule().decisions[1], 2u);
+  EXPECT_EQ(rec.schedule().decisions[0], Decision::thread(1));
+  EXPECT_EQ(rec.schedule().decisions[1], Decision::thread(2));
 }
 
 TEST(Policy, ReplayFollowsThenDiverges) {
-  Schedule s;
-  s.decisions = {2, 1, 7};
+  Schedule s = Schedule::fromThreads({2, 1, 7});
   ReplayPolicy p(s);
   p.onRunStart(0);
   ThreadId en[] = {1, 2};

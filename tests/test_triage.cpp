@@ -171,9 +171,9 @@ TEST(Probe, CandidateRecordingIsExactlyReplayable) {
   // Feed a mangled decision vector: the repair-mode policy must survive and
   // its recording must replay exactly.
   const replay::Scenario& s = accountScenario();
-  std::vector<ThreadId> mangled(s.schedule.decisions.begin(),
-                                s.schedule.decisions.begin() +
-                                    s.schedule.decisions.size() / 2);
+  std::vector<rt::Decision> mangled(s.schedule.decisions.begin(),
+                                    s.schedule.decisions.begin() +
+                                        s.schedule.decisions.size() / 2);
   ProbeResult cand = probeCandidate(s.program, mangled, toolConfigOf(s));
   ProbeResult again =
       probeExact(s.program, cand.recorded, toolConfigOf(s));
@@ -183,14 +183,28 @@ TEST(Probe, CandidateRecordingIsExactlyReplayable) {
 }
 
 TEST(Probe, CountPreemptionsDistinguishesFinishFromPreempt) {
-  EXPECT_EQ(countPreemptions({}), 0u);
-  EXPECT_EQ(countPreemptions({1, 1, 1}), 0u);
+  auto count = [](std::initializer_list<ThreadId> threads) {
+    return countPreemptions(rt::Schedule::fromThreads(threads).decisions);
+  };
+  EXPECT_EQ(count({}), 0u);
+  EXPECT_EQ(count({1, 1, 1}), 0u);
   // Switch away from a thread that never runs again = it finished.
-  EXPECT_EQ(countPreemptions({1, 1, 2, 2}), 0u);
+  EXPECT_EQ(count({1, 1, 2, 2}), 0u);
   // Switch away from a thread that runs again later = preemption.
-  EXPECT_EQ(countPreemptions({1, 2, 1}), 1u);
-  EXPECT_EQ(countPreemptions({1, 2, 1, 2}), 2u);
-  EXPECT_EQ(countPreemptions({1, 1, 2, 2, 1}), 1u);
+  EXPECT_EQ(count({1, 2, 1}), 1u);
+  EXPECT_EQ(count({1, 2, 1, 2}), 2u);
+  EXPECT_EQ(count({1, 1, 2, 2, 1}), 1u);
+}
+
+TEST(Probe, CountPreemptionsIgnoresStorePicks) {
+  // StorePick decisions belong to the thread scheduled before them; they
+  // never count as, or mask, a context switch.
+  std::vector<rt::Decision> d = {
+      rt::Decision::thread(1), rt::Decision::store(2),
+      rt::Decision::thread(2), rt::Decision::store(0),
+      rt::Decision::thread(1),
+  };
+  EXPECT_EQ(countPreemptions(d), 1u);
 }
 
 TEST(Probe, UnknownNoiseNameThrows) {
@@ -209,7 +223,7 @@ TEST(ScenarioFormat, V2RoundTripPreservesEveryField) {
   s.policy = "random";
   s.noise = "mixed";
   s.strength = 0.3333333333333333;
-  s.schedule.decisions = {1, 2, 1, 3, 3, 2};
+  s.schedule = rt::Schedule::fromThreads({1, 2, 1, 3, 3, 2});
   std::string path = (dir / "rt.scenario").string();
   replay::saveScenario(s, path);
   replay::Scenario back = replay::loadScenario(path);
@@ -223,8 +237,7 @@ TEST(ScenarioFormat, V2RoundTripPreservesEveryField) {
 
 TEST(ScenarioFormat, V1FilesStillLoad) {
   fs::path dir = freshDir("triage_fmt_v1");
-  rt::Schedule sched;
-  sched.decisions = {2, 1, 2};
+  rt::Schedule sched = rt::Schedule::fromThreads({2, 1, 2});
   std::string path = (dir / "v1.schedule").string();
   replay::saveSchedule(sched, path);
   replay::Scenario back = replay::loadScenario(path);
@@ -280,7 +293,7 @@ TEST(ScenarioFormat, EveryTruncationEitherLoadsOrThrows) {
   s.seed = 7;
   s.noise = "mixed";
   s.strength = 1.0;
-  s.schedule.decisions = {1, 2, 3, 12, 3, 2, 1, 10, 11, 2};
+  s.schedule = rt::Schedule::fromThreads({1, 2, 3, 12, 3, 2, 1, 10, 11, 2});
   std::string full = (dir / "full.scenario").string();
   replay::saveScenario(s, full);
   std::string bytes = slurp(full);
@@ -310,7 +323,7 @@ replay::Scenario syntheticScenario(std::size_t decisions,
   s.seed = 5;
   for (std::size_t i = 0; i < decisions; ++i) {
     s.schedule.decisions.push_back(
-        static_cast<ThreadId>(1 + i % distinctThreads));
+        rt::Decision::thread(static_cast<ThreadId>(1 + i % distinctThreads)));
   }
   return s;
 }

@@ -140,7 +140,7 @@ int usage() {
       "                [--corpus DIR] [--shrink] [--journal FILE]\n"
       "                [--resume FILE] [--postmortem-dir DIR]\n"
       "                [--guide] [--budget N] [--saturate] [--coverage M]\n"
-      "                [--guide-log FILE] [--guide-replay FILE]\n"
+      "                [--guide-log FILE] [--guide-replay FILE] [--seq-cst]\n"
       "  replay <program> <scenario-file> [--seed N] [--noise H] [--strength F]\n"
       "  shrink <program> <scenario-file> [--jobs N] [--out FILE]\n"
       "                [--corpus DIR] [--keep-noise] [--max-validations N]\n"
@@ -179,6 +179,11 @@ int usage() {
       "  reassigns the priorities of racing operations after each step.\n"
       "  explore enumerates systematically and rejects --policy; --sleep-sets\n"
       "  prunes schedules that only commute independent operations.\n"
+      "\n"
+      "  weak memory: programs tagged 'atomics' use mem::Atomic with\n"
+      "  explicit memory orders; --seq-cst (run/hunt/experiment) forces\n"
+      "  seq_cst on every atomic op, so a bug that vanishes under it needs\n"
+      "  the weak model, not just an unlucky interleaving.\n"
       "\n"
       "  farm flags: --jobs N shards runs over N workers (0 = all cores);\n"
       "  --timeout-ms is a per-run watchdog; --jsonl streams one JSON record\n"
@@ -354,6 +359,7 @@ experiment::RunSpec runSpecFromArgs(const Args& a,
   spec.tool.coverage = a.get("coverage", "");
   spec.tool.coverageClosedUniverse = a.has("closed-universe");
   spec.seedBase = a.getU64("seed-base", 0);
+  spec.forceSeqCst = a.has("seq-cst");
   return spec;
 }
 
@@ -433,6 +439,7 @@ int cmdRun(const Args& a) {
   o.seed = a.getU64("seed", 0);
   o.programName = p->name();
   o.dispatchTiming = a.has("dispatch-stats");
+  if (a.has("seq-cst")) o.forceSeqCst = true;
   rt::RunResult r =
       s.runtime->run([&](rt::Runtime& rr) { p->body(rr); }, o);
   std::printf("status:  %s\n", std::string(to_string(r.status)).c_str());
